@@ -1,0 +1,553 @@
+(* Benchmark harness: regenerates every figure and table of the paper's
+   evaluation (Section 4) on the modeled machines, plus the derived tables
+   and ablations indexed in DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe                 (full run, logn <= 18)
+     dune exec bench/main.exe -- --fast       (logn <= 12)
+     dune exec bench/main.exe -- --max-logn 20
+     dune exec bench/main.exe -- --only fig3a,crossover *)
+
+open Spiral_rewrite
+open Spiral_codegen
+open Spiral_sim
+
+let max_logn = ref 18
+let only : string list ref = ref []
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--fast" :: rest ->
+        max_logn := 12;
+        parse rest
+    | "--max-logn" :: v :: rest ->
+        max_logn := int_of_string v;
+        parse rest
+    | "--only" :: v :: rest ->
+        only := String.split_on_char ',' v;
+        parse rest
+    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let enabled section = !only = [] || List.mem section !only
+
+let sizes () =
+  let rec go l = if l > !max_logn then [] else l :: go (l + 1) in
+  go 6
+
+(* ------------------------------------------------------------------ *)
+(* Plan construction per series, memoized per (machine, size).         *)
+
+let seq_tree_cache : (int, Ruletree.t) Hashtbl.t = Hashtbl.create 32
+
+let best_seq_tree machine n =
+  match Hashtbl.find_opt seq_tree_cache n with
+  | Some t -> t
+  | None ->
+      let measure t =
+        (Simulate.run machine Seq (Plan.of_formula (Ruletree.expand t)))
+          .Simulate.cycles
+      in
+      let candidates =
+        [ Ruletree.mixed_radix n; Ruletree.right_expanded ~radix:8 n;
+          Ruletree.balanced n ]
+      in
+      let best =
+        List.fold_left
+          (fun (bt, bc) t ->
+            let c = measure t in
+            if c < bc then (t, c) else (bt, bc))
+          (List.hd candidates, measure (List.hd candidates))
+          (List.tl candidates)
+      in
+      Hashtbl.add seq_tree_cache n (fst best);
+      fst best
+
+(* Truncated search over valid top splits for the multicore formula:
+   power-of-two splits within a factor 8 of sqrt(n). *)
+let multicore_plans machine p mu n =
+  let q = p * mu in
+  let sqrt_n =
+    let rec go m = if m * m >= n then m else go (2 * m) in
+    go 1
+  in
+  let rec splits m acc =
+    if m > n / q then acc
+    else
+      let acc =
+        if n mod m = 0 && m mod q = 0 && (n / m) mod q = 0
+           && m >= sqrt_n / 8 && m <= sqrt_n * 8
+        then m :: acc
+        else acc
+      in
+      splits (m * 2) acc
+  in
+  splits q []
+  |> List.filter_map (fun m ->
+         let tree =
+           Ruletree.Ct (Ruletree.mixed_radix m, Ruletree.mixed_radix (n / m))
+         in
+         match Derive.multicore_dft ~p ~mu tree with
+         | Ok f -> Some (Plan.of_formula f)
+         | Error _ -> None)
+  |> fun plans ->
+  ignore machine;
+  plans
+
+let best_result machine backend plans =
+  List.fold_left
+    (fun acc plan ->
+      let r = Simulate.run machine backend plan in
+      match acc with
+      | Some (best : Simulate.result) when best.cycles <= r.cycles -> acc
+      | _ -> Some r)
+    None plans
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: five series per machine.                                  *)
+
+type series_point = {
+  spiral_pthreads : float;
+  spiral_openmp : float;
+  spiral_seq : float;
+  fftw_pthreads : float;
+  fftw_seq : float;
+  raw_parallel : float;  (** Spiral pthreads without the max(seq, ·). *)
+}
+
+let figure_point machine logn =
+  let n = 1 lsl logn in
+  let p = machine.Machine.cores in
+  let mu = Machine.mu machine in
+  let seq_plan = Plan.of_formula (Ruletree.expand (best_seq_tree machine n)) in
+  let r_seq = Simulate.run machine Seq seq_plan in
+  let mc = multicore_plans machine p mu n in
+  let r_pool = best_result machine (Pooled p) mc in
+  let r_fj = best_result machine (ForkJoin p) mc in
+  let fftw_seq_plan = Spiral_fft.Fftw_like.sequential_plan n in
+  let r_fftw_seq = Simulate.run machine Seq fftw_seq_plan in
+  let r_fftw_par =
+    match Spiral_fft.Fftw_like.parallel_plan ~p n with
+    | Some plan ->
+        Some
+          (Simulate.run machine
+             ~schedule:(Spiral_fft.Fftw_like.schedule ~p ~count:(n / 8))
+             (ForkJoin p) plan)
+    | None -> None
+  in
+  let pm = function Some (r : Simulate.result) -> r.pseudo_mflops | None -> 0.0 in
+  (* the paper plots the best of 1..p threads: parallel series branch off
+     the sequential line at the size where threads start to pay *)
+  {
+    spiral_pthreads = Float.max r_seq.pseudo_mflops (pm r_pool);
+    spiral_openmp = Float.max r_seq.pseudo_mflops (pm r_fj);
+    spiral_seq = r_seq.pseudo_mflops;
+    fftw_pthreads = Float.max r_fftw_seq.pseudo_mflops (pm r_fftw_par);
+    fftw_seq = r_fftw_seq.pseudo_mflops;
+    raw_parallel = pm r_pool;
+  }
+
+let fig_cache : (string * int, series_point) Hashtbl.t = Hashtbl.create 64
+
+let point machine logn =
+  let key = (machine.Machine.name, logn) in
+  match Hashtbl.find_opt fig_cache key with
+  | Some p -> p
+  | None ->
+      let p = figure_point machine logn in
+      Hashtbl.add fig_cache key p;
+      p
+
+let run_figure tag machine =
+  if enabled tag then begin
+    Printf.printf
+      "\n# %s: %s — pseudo Mflop/s = 5 N lg N / time (higher is better)\n" tag
+      machine.Machine.name;
+    Printf.printf "%-6s %16s %14s %11s %14s %9s\n" "logN" "Spiral-pthreads"
+      "Spiral-OpenMP" "Spiral-seq" "FFTW-pthreads" "FFTW-seq";
+    List.iter
+      (fun logn ->
+        let pt = point machine logn in
+        Printf.printf "%-6d %16.0f %14.0f %11.0f %14.0f %9.0f\n" logn
+          pt.spiral_pthreads pt.spiral_openmp pt.spiral_seq pt.fftw_pthreads
+          pt.fftw_seq)
+      (sizes ());
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* T1: crossover sizes.                                                *)
+
+let run_crossover () =
+  if enabled "crossover" then begin
+    Printf.printf
+      "\n# T1 (Section 4 claims): smallest N with parallel speedup\n";
+    Printf.printf
+      "%-44s %-14s %-14s\n" "machine" "Spiral" "FFTW-like";
+    List.iter
+      (fun machine ->
+        let first pred =
+          List.find_opt (fun logn -> pred (point machine logn)) (sizes ())
+        in
+        let spiral =
+          first (fun pt -> pt.raw_parallel > pt.spiral_seq)
+        in
+        let fftw = first (fun pt -> pt.fftw_pthreads > pt.fftw_seq) in
+        let show = function
+          | Some l -> Printf.sprintf "2^%d" l
+          | None -> "none"
+        in
+        Printf.printf "%-44s %-14s %-14s\n" machine.Machine.name (show spiral)
+          (show fftw))
+      Machine.all;
+    Printf.printf
+      "(paper: Spiral speeds up from 2^8 on the CMP; FFTW only from 2^13)\n";
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* T2: sequential parity.                                              *)
+
+let run_seq_parity () =
+  if enabled "seq_parity" then begin
+    Printf.printf
+      "\n# T2: Spiral-seq vs FFTW-like-seq (paper: within 10%%), Core Duo model\n";
+    Printf.printf "%-6s %12s %12s %8s\n" "logN" "Spiral" "FFTW-like" "ratio";
+    List.iter
+      (fun logn ->
+        let pt = point Machine.core_duo logn in
+        Printf.printf "%-6d %12.0f %12.0f %8.2f\n" logn pt.spiral_seq
+          pt.fftw_seq
+          (pt.spiral_seq /. pt.fftw_seq))
+      (sizes ());
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* T3: in-L1 speedup at 2^8 (headline claim).                          *)
+
+let run_l1_speedup () =
+  if enabled "l1_speedup" then begin
+    Printf.printf
+      "\n# T3: parallelization of an L1-resident DFT_{2^8} (Core Duo model)\n";
+    let machine = Machine.core_duo in
+    let n = 256 in
+    let seq = Simulate.run machine Seq (Plan.of_formula (Ruletree.expand (best_seq_tree machine n))) in
+    match best_result machine (Pooled 2) (multicore_plans machine 2 (Machine.mu machine) n) with
+    | None -> Printf.printf "no multicore plan for 2^8\n"
+    | Some par ->
+        Printf.printf "sequential: %8.0f cycles (%5.0f pMflop/s)\n"
+          seq.Simulate.cycles seq.Simulate.pseudo_mflops;
+        Printf.printf "2 threads:  %8.0f cycles (%5.0f pMflop/s)  speedup %.2fx\n"
+          par.Simulate.cycles par.Simulate.pseudo_mflops
+          (seq.Simulate.cycles /. par.Simulate.cycles);
+        Printf.printf
+          "(paper: speedup at 2^8, in L1, running at less than 10,000 cycles: %s)\n"
+          (if par.Simulate.cycles < 10_000.0 then "reproduced" else "NOT reproduced");
+        flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* T4: false sharing.                                                  *)
+
+let run_false_sharing () =
+  if enabled "false_sharing" then begin
+    Printf.printf
+      "\n# T4: false-sharing events per transform at N = 2^12 (proof of Definition 1)\n";
+    Printf.printf "%-44s %18s %22s\n" "machine" "multicore-CT (14)"
+      "block-cyclic schedule";
+    List.iter
+      (fun machine ->
+        let p = machine.Machine.cores and mu = Machine.mu machine in
+        match multicore_plans machine p mu 4096 with
+        | [] -> ()
+        | plan :: _ ->
+            let good = Simulate.run machine (Pooled p) plan in
+            let bad =
+              Simulate.run machine
+                ~schedule:(Spiral_smp.Par_exec.Cyclic 1) (Pooled p) plan
+            in
+            Printf.printf "%-44s %18d %22d\n" machine.Machine.name
+              good.Simulate.false_sharing bad.Simulate.false_sharing)
+      Machine.all;
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* T5: load balance (static schedule of formula 14).                   *)
+
+let run_load_balance () =
+  if enabled "load_balance" then begin
+    Printf.printf
+      "\n# T5: per-processor flop counts of the multicore Cooley-Tukey formula\n";
+    Printf.printf "%-8s %-4s %-40s %10s\n" "N" "p" "per-core flops" "imbalance";
+    List.iter
+      (fun (logn, p, mu) ->
+        let n = 1 lsl logn in
+        let half =
+          let rec go m = if m * m >= n then m else go (2 * m) in
+          go (p * mu)
+        in
+        let tree =
+          Ruletree.Ct (Ruletree.mixed_radix half, Ruletree.mixed_radix (n / half))
+        in
+        match Derive.multicore_dft ~p ~mu tree with
+        | Error _ -> ()
+        | Ok f ->
+            let w = Spiral_spl.Cost.per_processor ~p f in
+            Printf.printf "2^%-6d %-4d %-40s %10.4f\n" logn p
+              (String.concat " "
+                 (Array.to_list (Array.map string_of_int w)))
+              (Spiral_spl.Cost.imbalance ~p f))
+      [ (8, 2, 4); (10, 2, 4); (12, 4, 4); (14, 4, 4); (16, 4, 4) ];
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* A1: synchronization ablation — pooled spin barrier vs fork-join.    *)
+
+let run_ablation_sync () =
+  if enabled "ablation_sync" then begin
+    Printf.printf
+      "\n# A1 (ablation): thread pool + spin barrier vs per-call thread start\n";
+    Printf.printf "%-6s %18s %18s %10s\n" "logN" "pooled (cycles)"
+      "fork-join (cycles)" "overhead";
+    let machine = Machine.core_duo in
+    List.iter
+      (fun logn ->
+        let n = 1 lsl logn in
+        match multicore_plans machine 2 4 n with
+        | [] -> ()
+        | plan :: _ ->
+            let pool = Simulate.run machine (Pooled 2) plan in
+            let fj = Simulate.run machine (ForkJoin 2) plan in
+            Printf.printf "%-6d %18.0f %18.0f %9.1fx\n" logn
+              pool.Simulate.cycles fj.Simulate.cycles
+              (fj.Simulate.cycles /. pool.Simulate.cycles))
+      (List.filter (fun l -> l >= 8) (sizes ()));
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* A2: µ-aware derivation ablation.                                    *)
+
+let run_ablation_mu () =
+  if enabled "ablation_mu" then begin
+    Printf.printf
+      "\n# A2 (ablation): cache-line-aware rules (µ = 4) vs µ-ignorant (µ = 1)\n";
+    Printf.printf "%-8s %22s %22s\n" "N" "µ=4: false sharing"
+      "µ=1: false sharing";
+    let machine = Machine.core_duo in
+    List.iter
+      (fun n ->
+        let derive mu =
+          let q = 2 * mu in
+          let m =
+            List.find_opt
+              (fun m -> m mod q = 0 && (n / m) mod q = 0)
+              (Spiral_util.Int_util.divisors n)
+          in
+          match m with
+          | None -> None
+          | Some m -> (
+              let tree =
+                Ruletree.Ct
+                  (Ruletree.mixed_radix m, Ruletree.mixed_radix (n / m))
+              in
+              match Derive.multicore_dft ~p:2 ~mu tree with
+              | Ok f ->
+                  Some
+                    (Simulate.run machine (Pooled 2) (Plan.of_formula f))
+                      .Simulate.false_sharing
+              | Error _ -> None)
+        in
+        let show = function Some v -> string_of_int v | None -> "n/a" in
+        Printf.printf "%-8d %22s %22s\n" n (show (derive 4)) (show (derive 1)))
+      [ 196; 484; 900; 4096; 9216 ];
+    Printf.printf
+      "(µ-ignorant derivations split mid-line; the µ-aware formula exists \
+       only when (pµ)² | N — the paper's condition)\n";
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* T6: multicore Cooley-Tukey (14) vs the traditional six-step (3).     *)
+
+let run_sixstep () =
+  if enabled "sixstep" then begin
+    Printf.printf
+      "\n# T6: formula (14) vs the traditional six-step algorithm (Core Duo, p=2)\n";
+    Printf.printf "%-6s %16s %16s %18s\n" "logN" "multicore (14)"
+      "six-step merged" "six-step explicit";
+    let machine = Machine.core_duo in
+    List.iter
+      (fun logn ->
+        if logn mod 2 = 0 then begin
+          let n = 1 lsl logn in
+          let half = 1 lsl (logn / 2) in
+          match
+            ( multicore_plans machine 2 4 n,
+              Derive.six_step_dft ~p:2 ~mu:4 ~m:half ~n:half )
+          with
+          | mc :: _, Ok ss ->
+              let r14 = Simulate.run machine (Pooled 2) mc in
+              let rm = Simulate.run machine (Pooled 2) (Plan.of_formula ss) in
+              let re =
+                Simulate.run machine (Pooled 2)
+                  (Plan.of_formula ~explicit_data:true ss)
+              in
+              Printf.printf "%-6d %16.0f %16.0f %18.0f   pMflop/s\n" logn
+                r14.Simulate.pseudo_mflops rm.Simulate.pseudo_mflops
+                re.Simulate.pseudo_mflops
+          | _ -> ()
+        end)
+      (List.filter (fun l -> l >= 8) (sizes ()));
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* A3: loop-merging ablation — Spiral's Sigma-SPL merging [11] vs
+   explicit permutation/diagonal passes.                                *)
+
+let run_ablation_merge () =
+  if enabled "ablation_merge" then begin
+    Printf.printf
+      "\n# A3 (ablation): loop merging vs explicit data passes (six-step, Core Duo)\n";
+    Printf.printf "%-6s %8s %8s %18s %18s %8s\n" "logN" "passes" "passes"
+      "merged (cycles)" "explicit (cycles)" "gain";
+    let machine = Machine.core_duo in
+    List.iter
+      (fun logn ->
+        let n = 1 lsl logn in
+        let half = 1 lsl (logn / 2) in
+        match Derive.six_step_dft ~p:2 ~mu:4 ~m:half ~n:(n / half) with
+        | Error _ -> ()
+        | Ok f ->
+            let merged = Plan.of_formula f in
+            let explicit = Plan.of_formula ~explicit_data:true f in
+            let rm = Simulate.run machine (Pooled 2) merged in
+            let re = Simulate.run machine (Pooled 2) explicit in
+            Printf.printf "%-6d %8d %8d %18.0f %18.0f %7.2fx\n" logn
+              (Array.length merged.Plan.passes)
+              (Array.length explicit.Plan.passes)
+              rm.Simulate.cycles re.Simulate.cycles
+              (re.Simulate.cycles /. rm.Simulate.cycles))
+      (List.filter (fun l -> l >= 8 && l mod 2 = 0) (sizes ()));
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* B2: numerical accuracy of generated plans vs the naive definition.   *)
+
+let run_accuracy () =
+  if enabled "accuracy" then begin
+    Printf.printf
+      "\n# B2: numerical accuracy (relative L-inf error vs the O(n^2) definition)\n";
+    Printf.printf "%-6s %14s %14s\n" "logN" "generated" "bluestein(n-1)";
+    List.iter
+      (fun logn ->
+        if logn <= 12 then begin
+          let n = 1 lsl logn in
+          let open Spiral_util in
+          let x = Cvec.random ~seed:logn n in
+          let plan = Plan.of_formula (Ruletree.expand (Ruletree.mixed_radix n)) in
+          let y = Cvec.create n in
+          Plan.execute plan x y;
+          let want = Naive_dft.dft x in
+          let scale = Cvec.l2_norm want in
+          let gen_err = Cvec.max_abs_diff y want /. scale in
+          (* an awkward odd size via the chirp transform *)
+          let nb = n - 1 in
+          let xb = Cvec.random ~seed:(logn + 50) nb in
+          let b = Spiral_fft.Bluestein.plan nb in
+          let yb = Cvec.create nb in
+          Spiral_fft.Bluestein.execute_into b ~src:xb ~dst:yb;
+          Spiral_fft.Bluestein.destroy b;
+          let wantb = Naive_dft.dft xb in
+          let berr = Cvec.max_abs_diff yb wantb /. Cvec.l2_norm wantb in
+          Printf.printf "%-6d %14.2e %14.2e\n" logn gen_err berr
+        end)
+      (sizes ());
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* B1: host wall-clock benchmark of sequential plans (bechamel).        *)
+
+let run_host_seq () =
+  if enabled "host_seq" then begin
+    Printf.printf
+      "\n# B1: host wall-clock, sequential generated plans (this machine, 1 core)\n";
+    let open Bechamel in
+    let tests =
+      List.filter_map
+        (fun logn ->
+          if logn > 14 then None
+          else
+            let n = 1 lsl logn in
+            let plan = Plan.of_formula (Ruletree.expand (Ruletree.mixed_radix n)) in
+            let x = Spiral_util.Cvec.random n in
+            let y = Spiral_util.Cvec.create n in
+            Some
+              (Test.make
+                 ~name:(Printf.sprintf "dft 2^%d" logn)
+                 (Staged.stage (fun () -> Plan.execute plan x y))))
+        (sizes ())
+    in
+    let test = Test.make_grouped ~name:"host-seq" ~fmt:"%s %s" tests in
+    let benchmark () =
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false
+          ~predictors:[| Measure.run |]
+      in
+      let instances = Toolkit.Instance.[ monotonic_clock ] in
+      let cfg =
+        Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+      in
+      let raw = Benchmark.all cfg instances test in
+      List.map (fun i -> Analyze.all ols i raw) instances
+    in
+    match benchmark () with
+    | [ results ] ->
+        Printf.printf "%-14s %14s %14s\n" "size" "ns/transform" "pseudo-Mflop/s";
+        Hashtbl.iter
+          (fun name ols ->
+            match Analyze.OLS.estimates ols with
+            | Some [ ns ] ->
+                (* recover n from the name "host-seq dft 2^k" *)
+                let logn =
+                  try Scanf.sscanf name "host-seq dft 2^%d" (fun k -> k)
+                  with _ -> 0
+                in
+                let n = float_of_int (1 lsl logn) in
+                let pmf = 5.0 *. n *. (log n /. log 2.0) /. ns *. 1000.0 in
+                Printf.printf "%-14s %14.0f %14.0f\n" name ns pmf
+            | _ -> ())
+          results
+    | _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf
+    "spiral-smp benchmark harness (paper: Franchetti et al., SC 2006)\n";
+  Printf.printf "max logN = %d%s\n" !max_logn
+    (if !only = [] then "" else "; sections: " ^ String.concat "," !only);
+  run_figure "fig3a" Machine.core_duo;
+  run_figure "fig3b" Machine.opteron;
+  run_figure "fig3c" Machine.pentium_d;
+  run_figure "fig3d" Machine.xeon_mp;
+  run_crossover ();
+  run_seq_parity ();
+  run_l1_speedup ();
+  run_false_sharing ();
+  run_load_balance ();
+  run_sixstep ();
+  run_ablation_sync ();
+  run_ablation_mu ();
+  run_ablation_merge ();
+  run_accuracy ();
+  run_host_seq ()

@@ -1,0 +1,229 @@
+(* spiralgen: command-line front end to the generator.
+
+   Subcommands:
+     formula   — derive and print the SPL formula for a DFT
+     generate  — emit C code (sequential / OpenMP / pthreads)
+     run       — execute a transform on this host and verify it
+     search    — autotune a ruletree (DP over the machine model)
+     simulate  — performance-simulate a plan on a modeled machine *)
+
+open Cmdliner
+open Spiral_util
+open Spiral_rewrite
+open Spiral_codegen
+open Spiral_sim
+
+let machine_of_string = function
+  | "core-duo" -> Ok Machine.core_duo
+  | "pentium-d" -> Ok Machine.pentium_d
+  | "opteron" -> Ok Machine.opteron
+  | "xeon-mp" -> Ok Machine.xeon_mp
+  | s -> Error (`Msg ("unknown machine: " ^ s ^ " (core-duo|pentium-d|opteron|xeon-mp)"))
+
+let machine_conv =
+  Arg.conv
+    ( machine_of_string,
+      fun ppf m -> Format.pp_print_string ppf m.Machine.name )
+
+let n_arg =
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Transform size.")
+
+let p_arg =
+  Arg.(value & opt int 1 & info [ "p"; "threads" ] ~docv:"P" ~doc:"Number of processors.")
+
+let mu_arg =
+  Arg.(value & opt int 4 & info [ "mu" ] ~docv:"MU" ~doc:"Cache line length in complex elements.")
+
+let machine_arg =
+  Arg.(value & opt machine_conv Machine.core_duo
+       & info [ "machine" ] ~docv:"M" ~doc:"Machine model (core-duo|pentium-d|opteron|xeon-mp).")
+
+let size_supported n =
+  n >= 1
+  && List.for_all
+       (fun f -> f <= Ruletree.leaf_max)
+       (Int_util.prime_factors (max n 1))
+
+let derive_plan ~p ~mu n =
+  if n < 1 then Error "N must be >= 1"
+  else if not (size_supported n) then
+    Error
+      (Printf.sprintf
+         "N=%d has a prime factor beyond the codelet range; formula/C \
+          generation needs generated code for the exact size (the `run` \
+          subcommand handles such sizes via Bluestein)"
+         n)
+  else if p <= 1 then Ok (Ruletree.expand (Ruletree.mixed_radix n))
+  else
+    let q = p * mu in
+    let split =
+      List.find_opt
+        (fun m -> m mod q = 0 && (n / m) mod q = 0)
+        (List.rev (Int_util.divisors n))
+    in
+    match split with
+    | None ->
+        Error
+          (Printf.sprintf
+             "no top split with (p*mu)^2 | N exists for N=%d, p=%d, mu=%d" n p mu)
+    | Some m -> (
+        let tree = Ruletree.Ct (Ruletree.mixed_radix m, Ruletree.mixed_radix (n / m)) in
+        match Derive.multicore_dft ~p ~mu tree with
+        | Ok f -> Ok f
+        | Error e -> Error (Derive.error_to_string e))
+
+(* ------------------------------------------------------------------ *)
+
+let cmd_formula =
+  let run n p mu =
+    match derive_plan ~p ~mu n with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok f ->
+        Format.printf "%a@." Spiral_spl.Formula.pp f;
+        if p > 1 then begin
+          Printf.printf "\nload balanced (p=%d):      %b\n" p
+            (Spiral_spl.Props.load_balanced ~p f);
+          Printf.printf "avoids false sharing (µ=%d): %b\n" mu
+            (Spiral_spl.Props.avoids_false_sharing ~mu f);
+          Printf.printf "flops: %d, per processor: %s\n"
+            (Spiral_spl.Cost.flops f)
+            (String.concat " "
+               (Array.to_list
+                  (Array.map string_of_int (Spiral_spl.Cost.per_processor ~p f))))
+        end;
+        0
+  in
+  Cmd.v (Cmd.info "formula" ~doc:"Derive and print the SPL formula")
+    Term.(const run $ n_arg $ p_arg $ mu_arg)
+
+let cmd_generate =
+  let backend_conv =
+    Arg.conv
+      ( (function
+        | "omp" | "openmp" -> Ok `OpenMP
+        | "pthreads" -> Ok `Pthreads
+        | "seq" -> Ok `None
+        | s -> Error (`Msg ("unknown backend: " ^ s))),
+        fun ppf b ->
+          Format.pp_print_string ppf
+            (match b with `OpenMP -> "openmp" | `Pthreads -> "pthreads" | `None -> "seq") )
+  in
+  let backend_arg =
+    Arg.(value & opt backend_conv `OpenMP
+         & info [ "backend" ] ~docv:"B" ~doc:"omp | pthreads | seq")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run n p mu backend out =
+    match derive_plan ~p ~mu n with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok f -> (
+        match C_emit.to_c ~backend (Plan.of_formula f) with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | src ->
+        match out with
+        | None ->
+            print_string src;
+            0
+        | Some file ->
+            let oc = open_out file in
+            output_string oc src;
+            close_out oc;
+            Printf.printf "wrote %s (%d bytes)\n" file (String.length src);
+            0)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Emit C code for the transform")
+    Term.(const run $ n_arg $ p_arg $ mu_arg $ backend_arg $ out_arg)
+
+let cmd_run =
+  let reps_arg =
+    Arg.(value & opt int 100 & info [ "reps" ] ~docv:"R" ~doc:"Timing repetitions.")
+  in
+  let run n p mu reps =
+    if n < 1 then begin
+      Printf.eprintf "error: N must be >= 1\n";
+      1
+    end
+    else
+      (* the library API dispatches to Bluestein for sizes with large
+         prime factors, so `run` works for any N *)
+      Spiral_fft.Dft.with_plan ~threads:p ~mu n (fun t ->
+          let x = Cvec.random n in
+          let y = Cvec.create n in
+          Spiral_fft.Dft.execute_into t ~src:x ~dst:y;
+          let err =
+            if n <= 4096 then Cvec.max_abs_diff y (Naive_dft.dft x) else nan
+          in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            Spiral_fft.Dft.execute_into t ~src:x ~dst:y
+          done;
+          let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+          let nf = float_of_int n in
+          Printf.printf "DFT_%d threads=%d: %.3f us/transform, %.0f \
+                         pseudo-Mflop/s" n
+            (Spiral_fft.Dft.threads t)
+            (dt *. 1e6)
+            (5.0 *. nf *. (log nf /. log 2.0) /. dt /. 1e6);
+          if Float.is_nan err then print_newline ()
+          else Printf.printf ", max err vs naive %.2e\n" err;
+          print_string (Spiral_fft.Dft.description t);
+          0)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute on this host and verify")
+    Term.(const run $ n_arg $ p_arg $ mu_arg $ reps_arg)
+
+let cmd_search =
+  let run n machine =
+    let measure t =
+      (Simulate.run machine Simulate.Seq (Plan.of_formula (Ruletree.expand t)))
+        .Simulate.cycles
+    in
+    let tree, cycles = Spiral_search.Dp.search ~measure n in
+    Printf.printf "best ruletree for DFT_%d on %s:\n  %s\n  (%.0f simulated cycles)\n"
+      n machine.Machine.name (Ruletree.to_string tree) cycles;
+    0
+  in
+  Cmd.v (Cmd.info "search" ~doc:"DP-autotune a ruletree on a machine model")
+    Term.(const run $ n_arg $ machine_arg)
+
+let cmd_simulate =
+  let run n p mu machine =
+    match derive_plan ~p ~mu n with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok f ->
+        let plan = Plan.of_formula f in
+        let backend = if p > 1 then Simulate.Pooled p else Simulate.Seq in
+        let r = Simulate.run machine backend plan in
+        Printf.printf "%s, DFT_%d, p=%d:\n" machine.Machine.name n p;
+        Printf.printf "  %.0f cycles = %.2f us, %.0f pseudo-Mflop/s\n"
+          r.Simulate.cycles (r.Simulate.seconds *. 1e6) r.Simulate.pseudo_mflops;
+        Printf.printf "  L1 misses %d, L2 misses %d, coherence events %d, false sharing %d\n"
+          r.Simulate.l1_misses r.Simulate.l2_misses r.Simulate.coherence_events
+          r.Simulate.false_sharing;
+        Printf.printf "  per-core busy cycles: %s\n"
+          (String.concat " "
+             (Array.to_list
+                (Array.map (Printf.sprintf "%.0f") r.Simulate.per_core_cycles)));
+        0
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate on a modeled machine")
+    Term.(const run $ n_arg $ p_arg $ mu_arg $ machine_arg)
+
+let () =
+  let info =
+    Cmd.info "spiralgen" ~version:"1.0"
+      ~doc:"FFT program generation for shared memory (SC 2006 reproduction)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ cmd_formula; cmd_generate; cmd_run; cmd_search; cmd_simulate ]))

@@ -1,0 +1,37 @@
+(* Autotuning: Spiral's search over the factorization space.  For each
+   size, dynamic programming over ruletrees measured on the Core Duo
+   machine model; compare the tuned tree against naive choices.
+
+   Run with: dune exec examples/autotune.exe *)
+
+open Spiral_rewrite
+open Spiral_codegen
+open Spiral_sim
+open Spiral_search
+
+let () =
+  let machine = Machine.core_duo in
+  let measure t =
+    (Simulate.run machine Simulate.Seq (Plan.of_formula (Ruletree.expand t)))
+      .Simulate.cycles
+  in
+  let memo = Hashtbl.create 64 in
+  Printf.printf "DP autotuning on the %s model:\n\n" machine.Machine.name;
+  Printf.printf "%-8s %-28s %12s %12s %12s\n" "N" "best ruletree" "tuned"
+    "radix-2" "mixed";
+  List.iter
+    (fun logn ->
+      let n = 1 lsl logn in
+      let tree, best = Dp.search ~memo ~measure n in
+      Printf.printf "2^%-6d %-28s %12.0f %12.0f %12.0f\n" logn
+        (Ruletree.to_string tree) best
+        (measure (Ruletree.right_expanded ~radix:2 n))
+        (measure (Ruletree.mixed_radix n)))
+    [ 4; 6; 8; 10; 12 ];
+  Printf.printf "\n(simulated cycles per transform; smaller is better)\n";
+
+  (* the evolutionary search explores shapes DP's bottom-up assumption
+     can miss *)
+  let t, c = Evolve.search ~measure 1024 in
+  Printf.printf "\nevolutionary search for 2^10: %s (%.0f cycles)\n"
+    (Ruletree.to_string t) c

@@ -1,0 +1,36 @@
+(* Quickstart: plan a DFT, execute it, check it, round-trip it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Spiral_util
+open Spiral_fft
+
+let () =
+  let n = 1024 in
+
+  (* Plan once (this derives a formula, rewrites it, and compiles it to
+     merged loop nests), then execute as often as you like. *)
+  Dft.with_plan n (fun plan ->
+      let x = Cvec.random n in
+      let y = Dft.execute plan x in
+
+      (* check against the O(n²) definition *)
+      let err = Cvec.max_abs_diff y (Naive_dft.dft x) in
+      Printf.printf "DFT_%d: max error vs definition = %.2e\n" n err;
+
+      (* how was it computed? *)
+      print_string (Dft.description plan));
+
+  (* A multithreaded plan: requests the multicore Cooley-Tukey formula (14)
+     of the paper for p = 2 processors and cache lines of 4 complex
+     numbers.  On hosts with one core this is still correct (OCaml domains
+     are oversubscribed); the performance story is in bench/. *)
+  Dft.with_plan ~threads:2 ~mu:4 n (fun plan ->
+      Printf.printf "\nparallel plan uses %d threads (parallel = %b)\n"
+        (Dft.threads plan) (Dft.parallel plan);
+      let x = Cvec.random n in
+      let y = Dft.execute plan x in
+      (* inverse round trip *)
+      Dft.with_plan ~direction:Dft.Inverse n (fun inv ->
+          let back = Dft.execute inv y in
+          Printf.printf "round trip error = %.2e\n" (Cvec.max_abs_diff back x)))

@@ -1,0 +1,56 @@
+(* Multicore scaling and false sharing: the paper's core claims on the
+   four modeled machines, in miniature.
+
+   Run with: dune exec examples/scaling.exe *)
+
+open Spiral_rewrite
+open Spiral_codegen
+open Spiral_sim
+
+let mc_plan p mu n =
+  let half =
+    let rec go m = if m * m >= n then m else go (2 * m) in
+    go (p * mu)
+  in
+  match
+    Derive.multicore_dft ~p ~mu
+      (Ruletree.Ct (Ruletree.mixed_radix half, Ruletree.mixed_radix (n / half)))
+  with
+  | Ok f -> Plan.of_formula f
+  | Error e -> failwith (Derive.error_to_string e)
+
+let () =
+  let n = 1 lsl 12 in
+  Printf.printf "DFT_%d on the paper's four machines (simulated):\n\n" n;
+  Printf.printf "%-44s %10s %10s %8s %6s\n" "machine" "seq pMf/s" "par pMf/s"
+    "speedup" "fs";
+  List.iter
+    (fun machine ->
+      let p = machine.Machine.cores and mu = Machine.mu machine in
+      let seq =
+        Simulate.run machine Simulate.Seq
+          (Plan.of_formula (Ruletree.expand (Ruletree.mixed_radix n)))
+      in
+      let par = Simulate.run machine (Simulate.Pooled p) (mc_plan p mu n) in
+      Printf.printf "%-44s %10.0f %10.0f %7.2fx %6d\n" machine.Machine.name
+        seq.Simulate.pseudo_mflops par.Simulate.pseudo_mflops
+        (par.Simulate.pseudo_mflops /. seq.Simulate.pseudo_mflops)
+        par.Simulate.false_sharing)
+    Machine.all;
+
+  (* what goes wrong without the paper's cache-line-aware schedule: the
+     same plan, but iterations handed out cyclically one at a time *)
+  let machine = Machine.pentium_d in
+  let plan = mc_plan 2 4 n in
+  let good = Simulate.run machine (Simulate.Pooled 2) plan in
+  let bad =
+    Simulate.run machine ~schedule:(Spiral_smp.Par_exec.Cyclic 1)
+      (Simulate.Pooled 2) plan
+  in
+  Printf.printf
+    "\n%s, block vs cyclic(1) schedule:\n\
+    \  block:  %6.0f pMf/s, %6d false-sharing events\n\
+    \  cyclic: %6.0f pMf/s, %6d false-sharing events (coherence traffic %d)\n"
+    machine.Machine.name good.Simulate.pseudo_mflops good.Simulate.false_sharing
+    bad.Simulate.pseudo_mflops bad.Simulate.false_sharing
+    bad.Simulate.coherence_events

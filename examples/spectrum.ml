@@ -1,0 +1,32 @@
+(* Spectrum analysis: find the tones hidden in a noisy signal — the bread
+   and butter DSP workload FFT libraries exist for.
+
+   Run with: dune exec examples/spectrum.exe *)
+
+open Spiral_util
+open Spiral_fft
+
+let () =
+  let n = 4096 in
+  (* a signal with three tones of different strengths, plus noise *)
+  let signal =
+    let tones =
+      Cvec.add
+        (Signal.sine_wave ~n ~freq:130 ~amplitude:2.0 ())
+        (Cvec.add
+           (Signal.sine_wave ~n ~freq:440 ~amplitude:1.0 ())
+           (Signal.sine_wave ~n ~freq:1021 ~amplitude:0.5 ()))
+    in
+    let noise = Cvec.random ~seed:7 n in
+    Cvec.scale 0.05 noise;
+    Cvec.add tones noise
+  in
+  let spectrum = Signal.power_spectrum signal in
+  Printf.printf "dominant bins of a %d-point spectrum:\n" n;
+  List.iter
+    (fun (bin, power) ->
+      Printf.printf "  bin %4d: power %10.1f  (%s)\n" bin power
+        (match bin with
+        | 130 | 440 | 1021 -> "planted tone"
+        | _ -> "?"))
+    (Signal.dominant_bins ~count:3 spectrum)

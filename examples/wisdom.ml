@@ -1,0 +1,47 @@
+(* Wisdom: persist autotuned plans across runs, FFTW-style.
+
+   The first run searches (DP over the machine model) and saves the best
+   ruletrees; later runs load them instantly.
+
+   Run with: dune exec examples/wisdom.exe *)
+
+open Spiral_rewrite
+open Spiral_codegen
+open Spiral_sim
+open Spiral_search
+
+let wisdom_file = Filename.concat (Filename.get_temp_dir_name ()) "spiral_wisdom.txt"
+
+let () =
+  let machine = Machine.core_duo in
+  let cache =
+    if Sys.file_exists wisdom_file then begin
+      let c = Plan_cache.load wisdom_file in
+      Printf.printf "loaded %d tuned plans from %s\n" (Plan_cache.size c) wisdom_file;
+      c
+    end
+    else begin
+      Printf.printf "no wisdom yet; will search and save to %s\n" wisdom_file;
+      Plan_cache.create ()
+    end
+  in
+  let measure t =
+    (Simulate.run machine Simulate.Seq (Plan.of_formula (Ruletree.expand t)))
+      .Simulate.cycles
+  in
+  let memo = Hashtbl.create 64 in
+  List.iter
+    (fun logn ->
+      let n = 1 lsl logn in
+      let key = { Plan_cache.n; p = 1; mu = 4; machine = "core-duo" } in
+      let t0 = Unix.gettimeofday () in
+      let tree =
+        Plan_cache.find_or_add cache key (fun () ->
+            fst (Dp.search ~memo ~measure n))
+      in
+      Printf.printf "2^%-3d %-30s (%.0f ms)\n" logn (Ruletree.to_string tree)
+        ((Unix.gettimeofday () -. t0) *. 1e3))
+    [ 6; 8; 10; 12 ];
+  Plan_cache.save cache wisdom_file;
+  Printf.printf "saved %d plans; run me again to see instant loads\n"
+    (Plan_cache.size cache)

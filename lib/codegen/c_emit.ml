@@ -1,0 +1,393 @@
+open Spiral_util
+
+let max_n = 1 lsl 14
+
+let buf_add = Buffer.add_string
+
+(* ------------------------------------------------------------------ *)
+(* Codelet kernel bodies: contiguous local in/out of 2r doubles.       *)
+
+let kernel_decl name =
+  Printf.sprintf "static void %s_kernel(const double *in, double *out)" name
+
+let unrolled_kernels =
+  [
+    ( "dft1",
+      "{\n  out[0] = in[0]; out[1] = in[1];\n}" );
+    ( "dft2",
+      "{\n\
+      \  out[0] = in[0] + in[2]; out[1] = in[1] + in[3];\n\
+      \  out[2] = in[0] - in[2]; out[3] = in[1] - in[3];\n\
+       }" );
+    ( "dft3",
+      "{\n\
+      \  const double s3 = 0.86602540378443864676;\n\
+      \  double tr = in[2] + in[4], ti = in[3] + in[5];\n\
+      \  double ur = in[2] - in[4], ui = in[3] - in[5];\n\
+      \  double ar = in[0] - 0.5*tr, ai = in[1] - 0.5*ti;\n\
+      \  double br = s3*ur, bi = s3*ui;\n\
+      \  out[0] = in[0] + tr; out[1] = in[1] + ti;\n\
+      \  out[2] = ar + bi;    out[3] = ai - br;\n\
+      \  out[4] = ar - bi;    out[5] = ai + br;\n\
+       }" );
+    ( "dft4",
+      "{\n\
+      \  double t0r = in[0] + in[4], t0i = in[1] + in[5];\n\
+      \  double t1r = in[0] - in[4], t1i = in[1] - in[5];\n\
+      \  double t2r = in[2] + in[6], t2i = in[3] + in[7];\n\
+      \  double t3r = in[2] - in[6], t3i = in[3] - in[7];\n\
+      \  out[0] = t0r + t2r; out[1] = t0i + t2i;\n\
+      \  out[4] = t0r - t2r; out[5] = t0i - t2i;\n\
+      \  out[2] = t1r + t3i; out[3] = t1i - t3r;\n\
+      \  out[6] = t1r - t3i; out[7] = t1i + t3r;\n\
+       }" );
+    ( "dft8",
+      "{\n\
+      \  const double s = 0.70710678118654752440;\n\
+      \  double t0r = in[0] + in[8],  t0i = in[1] + in[9];\n\
+      \  double t1r = in[0] - in[8],  t1i = in[1] - in[9];\n\
+      \  double t2r = in[4] + in[12], t2i = in[5] + in[13];\n\
+      \  double t3r = in[4] - in[12], t3i = in[5] - in[13];\n\
+      \  double e0r = t0r + t2r, e0i = t0i + t2i;\n\
+      \  double e2r = t0r - t2r, e2i = t0i - t2i;\n\
+      \  double e1r = t1r + t3i, e1i = t1i - t3r;\n\
+      \  double e3r = t1r - t3i, e3i = t1i + t3r;\n\
+      \  double u0r = in[2] + in[10],  u0i = in[3] + in[11];\n\
+      \  double u1r = in[2] - in[10],  u1i = in[3] - in[11];\n\
+      \  double u2r = in[6] + in[14],  u2i = in[7] + in[15];\n\
+      \  double u3r = in[6] - in[14],  u3i = in[7] - in[15];\n\
+      \  double f0r = u0r + u2r, f0i = u0i + u2i;\n\
+      \  double f2r = u0r - u2r, f2i = u0i - u2i;\n\
+      \  double f1r = u1r + u3i, f1i = u1i - u3r;\n\
+      \  double f3r = u1r - u3i, f3i = u1i + u3r;\n\
+      \  out[0]  = e0r + f0r; out[1]  = e0i + f0i;\n\
+      \  out[8]  = e0r - f0r; out[9]  = e0i - f0i;\n\
+      \  double w1r = s*(f1r + f1i), w1i = s*(f1i - f1r);\n\
+      \  out[2]  = e1r + w1r; out[3]  = e1i + w1i;\n\
+      \  out[10] = e1r - w1r; out[11] = e1i - w1i;\n\
+      \  out[4]  = e2r + f2i; out[5]  = e2i - f2r;\n\
+      \  out[12] = e2r - f2i; out[13] = e2i + f2r;\n\
+      \  double w3r = s*(f3i - f3r), w3i = -s*(f3r + f3i);\n\
+      \  out[6]  = e3r + w3r; out[7]  = e3i + w3i;\n\
+      \  out[14] = e3r - w3r; out[15] = e3i - w3i;\n\
+       }" );
+  ]
+
+(* The dense matrix for generic codelets ("dftN_generic", "whtN"). *)
+let kernel_matrix name radix =
+  if String.length name >= 3 && String.sub name 0 3 = "wht" then
+    let rec wht n =
+      if n = 1 then [| [| Complex.one |] |]
+      else
+        let s = wht (n / 2) in
+        Cmatrix.kronecker
+          [| [| Complex.one; Complex.one |];
+             [| Complex.one; { Complex.re = -1.0; im = 0.0 } |] |]
+          s
+    in
+    Some (wht radix)
+  else if String.length name >= 4 && String.sub name 0 4 = "copy" then None
+  else
+    (* generic dft *)
+    Some (Cmatrix.init radix radix (fun k l -> Twiddle.omega_pow ~n:radix ~k ~l))
+
+let emit_generic_kernel b name radix =
+  match kernel_matrix name radix with
+  | None ->
+      buf_add b
+        (Printf.sprintf
+           "%s {\n  for (int l = 0; l < %d; ++l) { out[2*l] = in[2*l]; \
+            out[2*l+1] = in[2*l+1]; }\n}\n\n"
+           (kernel_decl name) radix)
+  | Some mat ->
+      buf_add b
+        (Printf.sprintf "static const double mat_%s[%d] = {\n" name
+           (2 * radix * radix));
+      for k = 0 to radix - 1 do
+        buf_add b "  ";
+        for l = 0 to radix - 1 do
+          let (z : Complex.t) = mat.(k).(l) in
+          buf_add b (Printf.sprintf "%.17g, %.17g, " z.re z.im)
+        done;
+        buf_add b "\n"
+      done;
+      buf_add b "};\n";
+      buf_add b
+        (Printf.sprintf
+           "%s {\n\
+           \  for (int k = 0; k < %d; ++k) {\n\
+           \    double ar = 0.0, ai = 0.0;\n\
+           \    for (int l = 0; l < %d; ++l) {\n\
+           \      double wr = mat_%s[2*(k*%d + l)], wi = mat_%s[2*(k*%d + l)+1];\n\
+           \      ar += wr*in[2*l] - wi*in[2*l+1];\n\
+           \      ai += wr*in[2*l+1] + wi*in[2*l];\n\
+           \    }\n\
+           \    out[2*k] = ar; out[2*k+1] = ai;\n\
+           \  }\n\
+            }\n\n"
+           (kernel_decl name) radix radix name radix name radix)
+
+let emit_kernel b name radix =
+  match List.assoc_opt name unrolled_kernels with
+  | Some body -> buf_add b (Printf.sprintf "%s %s\n\n" (kernel_decl name) body)
+  | None -> emit_generic_kernel b name radix
+
+(* ------------------------------------------------------------------ *)
+
+let emit_double_table b name (a : float array) =
+  buf_add b (Printf.sprintf "static const double %s[%d] = {\n" name (Array.length a));
+  Array.iteri
+    (fun i v ->
+      buf_add b (Printf.sprintf "%.17g,%s" v (if i mod 4 = 3 then "\n" else " ")))
+    a;
+  buf_add b "};\n"
+
+let emit_int_table b name (a : int array) =
+  buf_add b (Printf.sprintf "static const int %s[%d] = {\n" name (Array.length a));
+  Array.iteri
+    (fun i v ->
+      buf_add b (Printf.sprintf "%d,%s" v (if i mod 16 = 15 then "\n" else "")))
+    a;
+  buf_add b "};\n"
+
+(* Flattened pass function over iterations [lo, hi). *)
+let emit_pass b ~backend ~k (p : Plan.pass) =
+  let r = p.radix in
+  let kname = p.kernel.Codelet.name in
+  (match p.addr with
+  | Plan.Indexed { gidx; sidx } ->
+      emit_int_table b (Printf.sprintf "gidx_p%d" k) gidx;
+      emit_int_table b (Printf.sprintf "sidx_p%d" k) sidx
+  | Plan.Strided _ -> ());
+  (match p.tw with
+  | Some tw -> emit_double_table b (Printf.sprintf "tw_p%d" k) tw
+  | None -> ());
+  buf_add b
+    (Printf.sprintf
+       "static void pass%d(const double *restrict src, double *restrict dst, \
+        long lo, long hi)\n{\n"
+       k);
+  let omp_pragma =
+    match (backend, p.par) with
+    | `OpenMP, Some q ->
+        Printf.sprintf "#pragma omp parallel for num_threads(%d) schedule(static)\n" q
+    | _ -> ""
+  in
+  buf_add b omp_pragma;
+  buf_add b "  for (long it = lo; it < hi; ++it) {\n";
+  (* per-iteration bases *)
+  (match p.addr with
+  | Plan.Strided { exts; gstrs; sstrs; g0; s0; gl; sl = _ } ->
+      let kk = Array.length exts in
+      buf_add b
+        (Printf.sprintf "    long gb = %d, sb = %d, rem = it;\n" g0 s0);
+      for j = kk - 1 downto 0 do
+        buf_add b
+          (Printf.sprintf
+             "    { long d = rem %% %d; rem /= %d; gb += d*%dL; sb += d*%dL; }\n"
+             exts.(j) exts.(j) gstrs.(j) sstrs.(j));
+      done;
+      buf_add b (Printf.sprintf "    double bin[%d], bout[%d];\n" (2 * r) (2 * r));
+      buf_add b
+        (Printf.sprintf
+           "    for (int l = 0; l < %d; ++l) { long s = gb + (long)l*%d;\n\
+           \      bin[2*l] = src[2*s]; bin[2*l+1] = src[2*s+1]; }\n"
+           r gl)
+  | Plan.Indexed _ ->
+      buf_add b (Printf.sprintf "    double bin[%d], bout[%d];\n" (2 * r) (2 * r));
+      buf_add b
+        (Printf.sprintf
+           "    for (int l = 0; l < %d; ++l) { long s = gidx_p%d[it*%d + l];\n\
+           \      bin[2*l] = src[2*s]; bin[2*l+1] = src[2*s+1]; }\n"
+           r k r));
+  (match p.tw with
+  | Some _ ->
+      buf_add b
+        (Printf.sprintf
+           "    { const double *twp = tw_p%d + 2*it*%d;\n\
+           \      for (int l = 0; l < %d; ++l) { double xr = bin[2*l], xi = \
+            bin[2*l+1];\n\
+           \        bin[2*l] = twp[2*l]*xr - twp[2*l+1]*xi;\n\
+           \        bin[2*l+1] = twp[2*l]*xi + twp[2*l+1]*xr; } }\n"
+           k r r)
+  | None -> ());
+  buf_add b (Printf.sprintf "    %s_kernel(bin, bout);\n" kname);
+  (match p.addr with
+  | Plan.Strided { sl; _ } ->
+      buf_add b
+        (Printf.sprintf
+           "    for (int l = 0; l < %d; ++l) { long d = sb + (long)l*%d;\n\
+           \      dst[2*d] = bout[2*l]; dst[2*d+1] = bout[2*l+1]; }\n"
+           r sl)
+  | Plan.Indexed _ ->
+      buf_add b
+        (Printf.sprintf
+           "    for (int l = 0; l < %d; ++l) { long d = sidx_p%d[it*%d + l];\n\
+           \      dst[2*d] = bout[2*l]; dst[2*d+1] = bout[2*l+1]; }\n"
+           r k r));
+  buf_add b "  }\n}\n\n"
+
+let pass_buffers (plan : Plan.t) k =
+  let last = Array.length plan.passes - 1 in
+  let out j = if j = last then "y" else if j mod 2 = 0 then "ta" else "tb" in
+  ((if k = 0 then "x" else out (k - 1)), out k)
+
+let emit_transform_seq_omp b fname (plan : Plan.t) =
+  buf_add b
+    (Printf.sprintf
+       "void %s(const double *restrict x, double *restrict y, double \
+        *restrict ta, double *restrict tb)\n{\n"
+       fname);
+  Array.iteri
+    (fun k (p : Plan.pass) ->
+      let src, dst = pass_buffers plan k in
+      buf_add b (Printf.sprintf "  pass%d(%s, %s, 0, %d);\n" k src dst p.count))
+    plan.passes;
+  buf_add b "}\n\n"
+
+let emit_transform_pthreads b fname (plan : Plan.t) p =
+  buf_add b
+    (Printf.sprintf
+       "/* persistent worker pool with a sense-reversing spin barrier: the\n\
+       \   low-overhead backend of the paper */\n\
+        #define NWORKERS %d\n\
+        static const double *g_x; static double *g_y, *g_ta, *g_tb;\n\
+        static volatile int g_reps = 1;\n\
+        static volatile int bar_sense = 0;\n\
+        static volatile int bar_count = 0;\n\
+        static void barrier_wait(int *sense)\n\
+        {\n\
+       \  *sense = !*sense;\n\
+       \  if (__sync_fetch_and_add(&bar_count, 1) == NWORKERS - 1) {\n\
+       \    bar_count = 0;\n\
+       \    bar_sense = *sense;\n\
+       \  } else\n\
+       \    while (bar_sense != *sense) ;\n\
+        }\n\
+        static void range(long count, int w, long *lo, long *hi)\n\
+        {\n\
+       \  long c = count / NWORKERS, r = count %% NWORKERS;\n\
+       \  *lo = w*c + (w < r ? w : r);\n\
+       \  *hi = *lo + c + (w < r ? 1 : 0);\n\
+        }\n\n"
+       p);
+  buf_add b "static void run_worker(int w)\n{\n  int sense = 0;\n  long lo, hi;\n";
+  buf_add b "  for (int rep = 0; rep < g_reps; ++rep) {\n";
+  Array.iteri
+    (fun k (pass : Plan.pass) ->
+      let src, dst = pass_buffers plan k in
+      let src = if src = "x" then "g_x" else "g_" ^ src in
+      let dst = if dst = "y" then "g_y" else "g_" ^ dst in
+      (match pass.par with
+      | Some _ ->
+          buf_add b (Printf.sprintf "    range(%d, w, &lo, &hi);\n" pass.count);
+          buf_add b (Printf.sprintf "    pass%d(%s, %s, lo, hi);\n" k src dst)
+      | None ->
+          buf_add b
+            (Printf.sprintf "    if (w == 0) pass%d(%s, %s, 0, %d);\n" k src
+               dst pass.count));
+      buf_add b "    barrier_wait(&sense);\n")
+    plan.passes;
+  buf_add b "  }\n}\n\n";
+  buf_add b
+    (Printf.sprintf
+       "static void *worker_thread(void *arg) { run_worker((int)(long)arg); \
+        return 0; }\n\n\
+        void %s(const double *x, double *y, double *ta, double *tb)\n\
+        {\n\
+       \  pthread_t tid[NWORKERS];\n\
+       \  g_x = x; g_y = y; g_ta = ta; g_tb = tb;\n\
+       \  for (int w = 1; w < NWORKERS; ++w)\n\
+       \    pthread_create(&tid[w], 0, worker_thread, (void *)(long)w);\n\
+       \  run_worker(0);\n\
+       \  for (int w = 1; w < NWORKERS; ++w) pthread_join(tid[w], 0);\n\
+        }\n\n"
+       fname)
+
+let emit_main b fname n =
+  buf_add b
+    (Printf.sprintf
+       "/* self test against the O(n^2) definition, then a timing loop */\n\
+        int main(void)\n\
+        {\n\
+       \  enum { N = %d };\n\
+       \  static double x[2*N], y[2*N], ta[2*N], tb[2*N], ref[2*N];\n\
+       \  unsigned s = 123456789u;\n\
+       \  for (long i = 0; i < 2*N; ++i) {\n\
+       \    s = s*1664525u + 1013904223u;\n\
+       \    x[i] = (double)(s >> 8) / (double)(1u << 24) - 0.5;\n\
+       \  }\n\
+       \  for (long k = 0; k < N; ++k) {\n\
+       \    double ar = 0.0, ai = 0.0;\n\
+       \    for (long l = 0; l < N; ++l) {\n\
+       \      double ph = -2.0*M_PI*(double)((k*l) %% N)/(double)N;\n\
+       \      double wr = cos(ph), wi = sin(ph);\n\
+       \      ar += wr*x[2*l] - wi*x[2*l+1];\n\
+       \      ai += wr*x[2*l+1] + wi*x[2*l];\n\
+       \    }\n\
+       \    ref[2*k] = ar; ref[2*k+1] = ai;\n\
+       \  }\n\
+       \  %s(x, y, ta, tb);\n\
+       \  double err = 0.0;\n\
+       \  for (long i = 0; i < 2*N; ++i) {\n\
+       \    double d = fabs(y[i] - ref[i]);\n\
+       \    if (d > err) err = d;\n\
+       \  }\n\
+       \  printf(\"max_abs_err %%.3e\\n\", err);\n\
+       \  if (err > 1e-6 * (double)N) { printf(\"FAIL\\n\"); return 1; }\n\
+       \  printf(\"PASS\\n\");\n\
+       \  return 0;\n\
+        }\n"
+       n fname)
+
+let to_c ?backend ?fname (plan : Plan.t) =
+  if plan.n > max_n then
+    invalid_arg
+      (Printf.sprintf "C_emit.to_c: n=%d exceeds the emitter limit %d" plan.n
+         max_n);
+  let has_par = Array.exists (fun (p : Plan.pass) -> p.par <> None) plan.passes in
+  let backend =
+    match backend with
+    | Some x -> x
+    | None -> if has_par then `OpenMP else `None
+  in
+  let par_degree =
+    Array.fold_left
+      (fun acc (p : Plan.pass) ->
+        match p.par with Some q -> max acc q | None -> acc)
+      1 plan.passes
+  in
+  let fname = match fname with Some f -> f | None -> Printf.sprintf "dft_%d" plan.n in
+  let b = Buffer.create (1 lsl 16) in
+  buf_add b
+    (Printf.sprintf
+       "/* Generated by spiral-smp (OCaml reproduction of Franchetti et al.,\n\
+       \   \"FFT Program Generation for Shared Memory: SMP and Multicore\",\n\
+       \   SC 2006).  DFT of size %d, %d pass(es), backend: %s. */\n\
+        #include <stdio.h>\n\
+        #include <math.h>\n"
+       plan.n (Array.length plan.passes)
+       (match backend with
+       | `OpenMP -> "OpenMP"
+       | `Pthreads -> "pthreads"
+       | `None -> "sequential"));
+  (match backend with
+  | `Pthreads -> buf_add b "#include <pthread.h>\n"
+  | `OpenMP | `None -> ());
+  buf_add b "#ifndef M_PI\n#define M_PI 3.14159265358979323846\n#endif\n\n";
+  (* kernels, de-duplicated *)
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun (p : Plan.pass) ->
+      let name = p.kernel.Codelet.name in
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        emit_kernel b name p.radix
+      end)
+    plan.passes;
+  Array.iteri (fun k p -> emit_pass b ~backend ~k p) plan.passes;
+  (match backend with
+  | `Pthreads -> emit_transform_pthreads b fname plan par_degree
+  | `OpenMP | `None -> emit_transform_seq_omp b fname plan);
+  emit_main b fname plan.n;
+  Buffer.contents b

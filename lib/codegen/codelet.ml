@@ -1,0 +1,491 @@
+open Spiral_util
+
+type t = {
+  radix : int;
+  flops : int;
+  name : string;
+  strided : float array -> int -> int -> float array -> int -> int -> unit;
+  strided_tw :
+    float array -> int -> int -> float array -> int -> int ->
+    float array -> int -> unit;
+  indexed :
+    float array -> int array -> int -> float array -> int array -> int -> unit;
+  indexed_tw :
+    float array -> int array -> int -> float array -> int array -> int ->
+    float array -> int -> unit;
+}
+
+let max_radix = 32
+
+(* ------------------------------------------------------------------ *)
+(* Generic construction from a local contiguous kernel.  Allocates two
+   small scratch buffers per call, which keeps codelets re-entrant (the
+   same codelet value is invoked concurrently from several domains). *)
+
+let make ~radix ~flops ~name compute =
+  let r = radix in
+  let load_plain src f =
+    let inp = Array.make (2 * r) 0.0 in
+    for l = 0 to r - 1 do
+      let s = f l in
+      inp.(2 * l) <- src.(2 * s);
+      inp.((2 * l) + 1) <- src.((2 * s) + 1)
+    done;
+    inp
+  in
+  let load_tw src f tw t0 =
+    let inp = Array.make (2 * r) 0.0 in
+    for l = 0 to r - 1 do
+      let s = f l in
+      let xr = src.(2 * s) and xi = src.((2 * s) + 1) in
+      let wr = tw.(2 * (t0 + l)) and wi = tw.((2 * (t0 + l)) + 1) in
+      inp.(2 * l) <- (wr *. xr) -. (wi *. xi);
+      inp.((2 * l) + 1) <- (wr *. xi) +. (wi *. xr)
+    done;
+    inp
+  in
+  let store dst f out =
+    for l = 0 to r - 1 do
+      let d = f l in
+      dst.(2 * d) <- out.(2 * l);
+      dst.((2 * d) + 1) <- out.((2 * l) + 1)
+    done
+  in
+  let run inp dst f =
+    let out = Array.make (2 * r) 0.0 in
+    compute inp out;
+    store dst f out
+  in
+  {
+    radix;
+    flops;
+    name;
+    strided =
+      (fun src g0 gl dst s0 sl ->
+        run (load_plain src (fun l -> g0 + (l * gl))) dst (fun l -> s0 + (l * sl)));
+    strided_tw =
+      (fun src g0 gl dst s0 sl tw t0 ->
+        run (load_tw src (fun l -> g0 + (l * gl)) tw t0) dst
+          (fun l -> s0 + (l * sl)));
+    indexed =
+      (fun src gidx gb dst sidx sb ->
+        run (load_plain src (fun l -> gidx.(gb + l))) dst (fun l -> sidx.(sb + l)));
+    indexed_tw =
+      (fun src gidx gb dst sidx sb tw t0 ->
+        run (load_tw src (fun l -> gidx.(gb + l)) tw t0) dst
+          (fun l -> sidx.(sb + l)));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Unrolled DFT kernels.  Each body takes resolved complex-element
+   indices; the four entry points only differ in how those indices are
+   computed.  Bodies never alias src and dst (plans ping-pong buffers). *)
+
+let dft2_body src i0 i1 dst o0 o1 =
+  let x0r = src.(2 * i0) and x0i = src.((2 * i0) + 1) in
+  let x1r = src.(2 * i1) and x1i = src.((2 * i1) + 1) in
+  dst.(2 * o0) <- x0r +. x1r;
+  dst.((2 * o0) + 1) <- x0i +. x1i;
+  dst.(2 * o1) <- x0r -. x1r;
+  dst.((2 * o1) + 1) <- x0i -. x1i
+
+let dft2_body_tw src i0 i1 tw t0 dst o0 o1 =
+  let w0r = tw.(2 * t0) and w0i = tw.((2 * t0) + 1) in
+  let w1r = tw.(2 * (t0 + 1)) and w1i = tw.((2 * (t0 + 1)) + 1) in
+  let a0r = src.(2 * i0) and a0i = src.((2 * i0) + 1) in
+  let a1r = src.(2 * i1) and a1i = src.((2 * i1) + 1) in
+  let x0r = (w0r *. a0r) -. (w0i *. a0i) and x0i = (w0r *. a0i) +. (w0i *. a0r) in
+  let x1r = (w1r *. a1r) -. (w1i *. a1i) and x1i = (w1r *. a1i) +. (w1i *. a1r) in
+  dst.(2 * o0) <- x0r +. x1r;
+  dst.((2 * o0) + 1) <- x0i +. x1i;
+  dst.(2 * o1) <- x0r -. x1r;
+  dst.((2 * o1) + 1) <- x0i -. x1i
+
+let sqrt3_2 = sqrt 3.0 /. 2.0
+
+let dft3_body src i0 i1 i2 dst o0 o1 o2 =
+  let x0r = src.(2 * i0) and x0i = src.((2 * i0) + 1) in
+  let x1r = src.(2 * i1) and x1i = src.((2 * i1) + 1) in
+  let x2r = src.(2 * i2) and x2i = src.((2 * i2) + 1) in
+  let tr = x1r +. x2r and ti = x1i +. x2i in
+  let ur = x1r -. x2r and ui = x1i -. x2i in
+  let ar = x0r -. (0.5 *. tr) and ai = x0i -. (0.5 *. ti) in
+  let br = sqrt3_2 *. ur and bi = sqrt3_2 *. ui in
+  dst.(2 * o0) <- x0r +. tr;
+  dst.((2 * o0) + 1) <- x0i +. ti;
+  (* y1 = a - i*b, y2 = a + i*b *)
+  dst.(2 * o1) <- ar +. bi;
+  dst.((2 * o1) + 1) <- ai -. br;
+  dst.(2 * o2) <- ar -. bi;
+  dst.((2 * o2) + 1) <- ai +. br
+
+let dft4_body src i0 i1 i2 i3 dst o0 o1 o2 o3 =
+  let x0r = src.(2 * i0) and x0i = src.((2 * i0) + 1) in
+  let x1r = src.(2 * i1) and x1i = src.((2 * i1) + 1) in
+  let x2r = src.(2 * i2) and x2i = src.((2 * i2) + 1) in
+  let x3r = src.(2 * i3) and x3i = src.((2 * i3) + 1) in
+  let t0r = x0r +. x2r and t0i = x0i +. x2i in
+  let t1r = x0r -. x2r and t1i = x0i -. x2i in
+  let t2r = x1r +. x3r and t2i = x1i +. x3i in
+  let t3r = x1r -. x3r and t3i = x1i -. x3i in
+  dst.(2 * o0) <- t0r +. t2r;
+  dst.((2 * o0) + 1) <- t0i +. t2i;
+  dst.(2 * o2) <- t0r -. t2r;
+  dst.((2 * o2) + 1) <- t0i -. t2i;
+  (* y1 = t1 - i*t3, y3 = t1 + i*t3 *)
+  dst.(2 * o1) <- t1r +. t3i;
+  dst.((2 * o1) + 1) <- t1i -. t3r;
+  dst.(2 * o3) <- t1r -. t3i;
+  dst.((2 * o3) + 1) <- t1i +. t3r
+
+let sqrt1_2 = sqrt 0.5
+
+(* DFT_8 as decimation in time: two DFT_4 on even/odd inputs, then
+   twiddled butterflies with w8^k, k = 0..3. *)
+let dft8_body src i0 i1 i2 i3 i4 i5 i6 i7 dst o0 o1 o2 o3 o4 o5 o6 o7 =
+  (* DFT_4 over the even inputs (x0 x2 x4 x6) *)
+  let x0r = src.(2 * i0) and x0i = src.((2 * i0) + 1) in
+  let x2r = src.(2 * i2) and x2i = src.((2 * i2) + 1) in
+  let x4r = src.(2 * i4) and x4i = src.((2 * i4) + 1) in
+  let x6r = src.(2 * i6) and x6i = src.((2 * i6) + 1) in
+  let t0r = x0r +. x4r and t0i = x0i +. x4i in
+  let t1r = x0r -. x4r and t1i = x0i -. x4i in
+  let t2r = x2r +. x6r and t2i = x2i +. x6i in
+  let t3r = x2r -. x6r and t3i = x2i -. x6i in
+  let e0r = t0r +. t2r and e0i = t0i +. t2i in
+  let e2r = t0r -. t2r and e2i = t0i -. t2i in
+  let e1r = t1r +. t3i and e1i = t1i -. t3r in
+  let e3r = t1r -. t3i and e3i = t1i +. t3r in
+  (* DFT_4 over the odd inputs (x1 x3 x5 x7) *)
+  let x1r = src.(2 * i1) and x1i = src.((2 * i1) + 1) in
+  let x3r = src.(2 * i3) and x3i = src.((2 * i3) + 1) in
+  let x5r = src.(2 * i5) and x5i = src.((2 * i5) + 1) in
+  let x7r = src.(2 * i7) and x7i = src.((2 * i7) + 1) in
+  let u0r = x1r +. x5r and u0i = x1i +. x5i in
+  let u1r = x1r -. x5r and u1i = x1i -. x5i in
+  let u2r = x3r +. x7r and u2i = x3i +. x7i in
+  let u3r = x3r -. x7r and u3i = x3i -. x7i in
+  let f0r = u0r +. u2r and f0i = u0i +. u2i in
+  let f2r = u0r -. u2r and f2i = u0i -. u2i in
+  let f1r = u1r +. u3i and f1i = u1i -. u3r in
+  let f3r = u1r -. u3i and f3i = u1i +. u3r in
+  (* k = 0: w = 1 *)
+  dst.(2 * o0) <- e0r +. f0r;
+  dst.((2 * o0) + 1) <- e0i +. f0i;
+  dst.(2 * o4) <- e0r -. f0r;
+  dst.((2 * o4) + 1) <- e0i -. f0i;
+  (* k = 1: w = (1 - i)/sqrt 2;  w*f = s*((fr + fi) + i(fi - fr)) *)
+  let w1r = sqrt1_2 *. (f1r +. f1i) and w1i = sqrt1_2 *. (f1i -. f1r) in
+  dst.(2 * o1) <- e1r +. w1r;
+  dst.((2 * o1) + 1) <- e1i +. w1i;
+  dst.(2 * o5) <- e1r -. w1r;
+  dst.((2 * o5) + 1) <- e1i -. w1i;
+  (* k = 2: w = -i;  w*f = fi - i*fr *)
+  dst.(2 * o2) <- e2r +. f2i;
+  dst.((2 * o2) + 1) <- e2i -. f2r;
+  dst.(2 * o6) <- e2r -. f2i;
+  dst.((2 * o6) + 1) <- e2i +. f2r;
+  (* k = 3: w = (-1 - i)/sqrt 2;  w*f = s*((fi - fr) - i(fr + fi)) *)
+  let w3r = sqrt1_2 *. (f3i -. f3r) and w3i = -.sqrt1_2 *. (f3r +. f3i) in
+  dst.(2 * o3) <- e3r +. w3r;
+  dst.((2 * o3) + 1) <- e3i +. w3i;
+  dst.(2 * o7) <- e3r -. w3r;
+  dst.((2 * o7) + 1) <- e3i -. w3i
+
+(* DFT_16 as radix-2 DIT over two DFT_8: y[k] = E[k] + w16^k O[k],
+   y[k+8] = E[k] - w16^k O[k].  The two half-transforms run through
+   dft8_body into stack-local scratch buffers. *)
+let dft16_body src idx dst out =
+  let e = Array.make 16 0.0 and o = Array.make 16 0.0 in
+  dft8_body src (idx 0) (idx 2) (idx 4) (idx 6) (idx 8) (idx 10) (idx 12)
+    (idx 14) e 0 1 2 3 4 5 6 7;
+  dft8_body src (idx 1) (idx 3) (idx 5) (idx 7) (idx 9) (idx 11) (idx 13)
+    (idx 15) o 0 1 2 3 4 5 6 7;
+  (* w16^k for k = 0..7: cos/sin of -2 pi k / 16 *)
+  let c1 = 0.92387953251128675613 and s1 = -0.38268343236508977173 in
+  let c2 = sqrt1_2 and s2 = -.sqrt1_2 in
+  let c3 = 0.38268343236508977173 and s3 = -0.92387953251128675613 in
+  let butterfly k wr wi =
+    let er = e.(2 * k) and ei = e.((2 * k) + 1) in
+    let xr = o.(2 * k) and xi = o.((2 * k) + 1) in
+    let tr = (wr *. xr) -. (wi *. xi) and ti = (wr *. xi) +. (wi *. xr) in
+    let d0 = out k and d1 = out (k + 8) in
+    dst.(2 * d0) <- er +. tr;
+    dst.((2 * d0) + 1) <- ei +. ti;
+    dst.(2 * d1) <- er -. tr;
+    dst.((2 * d1) + 1) <- ei -. ti
+  in
+  butterfly 0 1.0 0.0;
+  butterfly 1 c1 s1;
+  butterfly 2 c2 s2;
+  butterfly 3 c3 s3;
+  butterfly 4 0.0 (-1.0);
+  butterfly 5 (-.c3) s3;
+  butterfly 6 (-.c2) s2;
+  butterfly 7 (-.c1) s1
+
+(* DFT_32 as radix-2 DIT over two DFT_16. *)
+let w32 =
+  Array.init 16 (fun k ->
+      let theta = -2.0 *. Float.pi *. float_of_int k /. 32.0 in
+      (cos theta, sin theta))
+
+let dft32_body src idx dst out =
+  let e = Array.make 32 0.0 and o = Array.make 32 0.0 in
+  dft16_body src (fun l -> idx (2 * l)) e (fun l -> l);
+  dft16_body src (fun l -> idx ((2 * l) + 1)) o (fun l -> l);
+  for k = 0 to 15 do
+    let wr, wi = w32.(k) in
+    let er = e.(2 * k) and ei = e.((2 * k) + 1) in
+    let xr = o.(2 * k) and xi = o.((2 * k) + 1) in
+    let tr = (wr *. xr) -. (wi *. xi) and ti = (wr *. xi) +. (wi *. xr) in
+    let d0 = out k and d1 = out (k + 16) in
+    dst.(2 * d0) <- er +. tr;
+    dst.((2 * d0) + 1) <- ei +. ti;
+    dst.(2 * d1) <- er -. tr;
+    dst.((2 * d1) + 1) <- ei -. ti
+  done
+
+(* Scale 8 complex inputs by twiddles into a scratch, then run the plain
+   body on the scratch. *)
+let scale_into src idx tw t0 scratch count =
+  for l = 0 to count - 1 do
+    let s = idx l in
+    let xr = src.(2 * s) and xi = src.((2 * s) + 1) in
+    let wr = tw.(2 * (t0 + l)) and wi = tw.((2 * (t0 + l)) + 1) in
+    scratch.(2 * l) <- (wr *. xr) -. (wi *. xi);
+    scratch.((2 * l) + 1) <- (wr *. xi) +. (wi *. xr)
+  done
+
+let dft2_codelet =
+  {
+    radix = 2;
+    flops = 4;
+    name = "dft2";
+    strided = (fun src g0 gl dst s0 sl -> dft2_body src g0 (g0 + gl) dst s0 (s0 + sl));
+    strided_tw =
+      (fun src g0 gl dst s0 sl tw t0 ->
+        dft2_body_tw src g0 (g0 + gl) tw t0 dst s0 (s0 + sl));
+    indexed =
+      (fun src gidx gb dst sidx sb ->
+        dft2_body src gidx.(gb) gidx.(gb + 1) dst sidx.(sb) sidx.(sb + 1));
+    indexed_tw =
+      (fun src gidx gb dst sidx sb tw t0 ->
+        dft2_body_tw src gidx.(gb) gidx.(gb + 1) tw t0 dst sidx.(sb)
+          sidx.(sb + 1));
+  }
+
+let dft3_codelet =
+  let tw_wrap body src idx tw t0 dst o0 o1 o2 =
+    let scratch = Array.make 6 0.0 in
+    scale_into src idx tw t0 scratch 3;
+    body scratch 0 1 2 dst o0 o1 o2
+  in
+  {
+    radix = 3;
+    flops = 16;
+    name = "dft3";
+    strided =
+      (fun src g0 gl dst s0 sl ->
+        dft3_body src g0 (g0 + gl) (g0 + (2 * gl)) dst s0 (s0 + sl) (s0 + (2 * sl)));
+    strided_tw =
+      (fun src g0 gl dst s0 sl tw t0 ->
+        tw_wrap dft3_body src (fun l -> g0 + (l * gl)) tw t0 dst s0 (s0 + sl)
+          (s0 + (2 * sl)));
+    indexed =
+      (fun src gidx gb dst sidx sb ->
+        dft3_body src gidx.(gb) gidx.(gb + 1) gidx.(gb + 2) dst sidx.(sb)
+          sidx.(sb + 1) sidx.(sb + 2));
+    indexed_tw =
+      (fun src gidx gb dst sidx sb tw t0 ->
+        tw_wrap dft3_body src (fun l -> gidx.(gb + l)) tw t0 dst sidx.(sb)
+          sidx.(sb + 1) sidx.(sb + 2));
+  }
+
+let dft4_codelet =
+  let tw_wrap src idx tw t0 dst o0 o1 o2 o3 =
+    let scratch = Array.make 8 0.0 in
+    scale_into src idx tw t0 scratch 4;
+    dft4_body scratch 0 1 2 3 dst o0 o1 o2 o3
+  in
+  {
+    radix = 4;
+    flops = 16;
+    name = "dft4";
+    strided =
+      (fun src g0 gl dst s0 sl ->
+        dft4_body src g0 (g0 + gl) (g0 + (2 * gl)) (g0 + (3 * gl)) dst s0
+          (s0 + sl) (s0 + (2 * sl)) (s0 + (3 * sl)));
+    strided_tw =
+      (fun src g0 gl dst s0 sl tw t0 ->
+        tw_wrap src (fun l -> g0 + (l * gl)) tw t0 dst s0 (s0 + sl)
+          (s0 + (2 * sl)) (s0 + (3 * sl)));
+    indexed =
+      (fun src gidx gb dst sidx sb ->
+        dft4_body src gidx.(gb) gidx.(gb + 1) gidx.(gb + 2) gidx.(gb + 3) dst
+          sidx.(sb) sidx.(sb + 1) sidx.(sb + 2) sidx.(sb + 3));
+    indexed_tw =
+      (fun src gidx gb dst sidx sb tw t0 ->
+        tw_wrap src (fun l -> gidx.(gb + l)) tw t0 dst sidx.(sb) sidx.(sb + 1)
+          sidx.(sb + 2) sidx.(sb + 3));
+  }
+
+let dft8_codelet =
+  let body8 src i dst o =
+    dft8_body src (i 0) (i 1) (i 2) (i 3) (i 4) (i 5) (i 6) (i 7) dst (o 0)
+      (o 1) (o 2) (o 3) (o 4) (o 5) (o 6) (o 7)
+  in
+  let tw_wrap src idx tw t0 dst o =
+    let scratch = Array.make 16 0.0 in
+    scale_into src idx tw t0 scratch 8;
+    body8 scratch (fun l -> l) dst o
+  in
+  {
+    radix = 8;
+    flops = 56;
+    name = "dft8";
+    strided =
+      (fun src g0 gl dst s0 sl ->
+        body8 src (fun l -> g0 + (l * gl)) dst (fun l -> s0 + (l * sl)));
+    strided_tw =
+      (fun src g0 gl dst s0 sl tw t0 ->
+        tw_wrap src (fun l -> g0 + (l * gl)) tw t0 dst (fun l -> s0 + (l * sl)));
+    indexed =
+      (fun src gidx gb dst sidx sb ->
+        body8 src (fun l -> gidx.(gb + l)) dst (fun l -> sidx.(sb + l)));
+    indexed_tw =
+      (fun src gidx gb dst sidx sb tw t0 ->
+        tw_wrap src (fun l -> gidx.(gb + l)) tw t0 dst (fun l -> sidx.(sb + l)));
+  }
+
+let dft16_codelet =
+  (* flops: 2 x dft8 (112) + 8 butterflies: 2 trivial (w = 1, -i: 4 each)
+     + 6 twiddled (10 each) = 112 + 8 + 60 = 180 *)
+  let tw_wrap src idx tw t0 dst out =
+    let scratch = Array.make 32 0.0 in
+    scale_into src idx tw t0 scratch 16;
+    dft16_body scratch (fun l -> l) dst out
+  in
+  {
+    radix = 16;
+    flops = 180;
+    name = "dft16";
+    strided =
+      (fun src g0 gl dst s0 sl ->
+        dft16_body src (fun l -> g0 + (l * gl)) dst (fun l -> s0 + (l * sl)));
+    strided_tw =
+      (fun src g0 gl dst s0 sl tw t0 ->
+        tw_wrap src (fun l -> g0 + (l * gl)) tw t0 dst (fun l -> s0 + (l * sl)));
+    indexed =
+      (fun src gidx gb dst sidx sb ->
+        dft16_body src (fun l -> gidx.(gb + l)) dst (fun l -> sidx.(sb + l)));
+    indexed_tw =
+      (fun src gidx gb dst sidx sb tw t0 ->
+        tw_wrap src (fun l -> gidx.(gb + l)) tw t0 dst (fun l -> sidx.(sb + l)));
+  }
+
+let dft32_codelet =
+  (* flops: 2 x dft16 (360) + 16 butterflies at <= 10 flops: ~508 *)
+  let tw_wrap src idx tw t0 dst out =
+    let scratch = Array.make 64 0.0 in
+    scale_into src idx tw t0 scratch 32;
+    dft32_body scratch (fun l -> l) dst out
+  in
+  {
+    radix = 32;
+    flops = 508;
+    name = "dft32";
+    strided =
+      (fun src g0 gl dst s0 sl ->
+        dft32_body src (fun l -> g0 + (l * gl)) dst (fun l -> s0 + (l * sl)));
+    strided_tw =
+      (fun src g0 gl dst s0 sl tw t0 ->
+        tw_wrap src (fun l -> g0 + (l * gl)) tw t0 dst (fun l -> s0 + (l * sl)));
+    indexed =
+      (fun src gidx gb dst sidx sb ->
+        dft32_body src (fun l -> gidx.(gb + l)) dst (fun l -> sidx.(sb + l)));
+    indexed_tw =
+      (fun src gidx gb dst sidx sb tw t0 ->
+        tw_wrap src (fun l -> gidx.(gb + l)) tw t0 dst (fun l -> sidx.(sb + l)));
+  }
+
+(* Direct matrix-vector product against the precomputed DFT matrix: the
+   fallback for radices without an unrolled kernel. *)
+let dft_generic r =
+  let mat =
+    Array.init (r * r) (fun idx ->
+        Twiddle.omega_pow ~n:r ~k:(idx / r) ~l:(idx mod r))
+  in
+  let compute inp out =
+    for k = 0 to r - 1 do
+      let accr = ref 0.0 and acci = ref 0.0 in
+      for l = 0 to r - 1 do
+        let w = mat.((k * r) + l) in
+        let xr = inp.(2 * l) and xi = inp.((2 * l) + 1) in
+        accr := !accr +. (w.re *. xr) -. (w.im *. xi);
+        acci := !acci +. (w.re *. xi) +. (w.im *. xr)
+      done;
+      out.(2 * k) <- !accr;
+      out.((2 * k) + 1) <- !acci
+    done
+  in
+  make ~radix:r
+    ~flops:((8 * r * r) - (2 * r))
+    ~name:(Printf.sprintf "dft%d_generic" r)
+    compute
+
+let dft_table : (int, t) Hashtbl.t = Hashtbl.create 16
+
+let dft r =
+  if r < 1 || r > max_radix then
+    invalid_arg (Printf.sprintf "Codelet.dft: radix %d outside [1, %d]" r max_radix);
+  match Hashtbl.find_opt dft_table r with
+  | Some c -> c
+  | None ->
+      let c =
+        match r with
+        | 1 ->
+            make ~radix:1 ~flops:0 ~name:"dft1" (fun inp out ->
+                out.(0) <- inp.(0);
+                out.(1) <- inp.(1))
+        | 2 -> dft2_codelet
+        | 3 -> dft3_codelet
+        | 4 -> dft4_codelet
+        | 8 -> dft8_codelet
+        | 16 -> dft16_codelet
+        | 32 -> dft32_codelet
+        | r -> dft_generic r
+      in
+      Hashtbl.add dft_table r c;
+      c
+
+let wht r =
+  if not (Int_util.is_pow2 r) then invalid_arg "Codelet.wht: radix must be 2^k";
+  if r > max_radix then invalid_arg "Codelet.wht: radix too large";
+  let k = Int_util.ilog2 r in
+  let compute inp out =
+    Array.blit inp 0 out 0 (2 * r);
+    (* k stages of in-place butterflies at doubling distance *)
+    let h = ref 1 in
+    while !h < r do
+      let step = 2 * !h in
+      let b = ref 0 in
+      while !b < r do
+        for j = !b to !b + !h - 1 do
+          let ar = out.(2 * j) and ai = out.((2 * j) + 1) in
+          let br = out.(2 * (j + !h)) and bi = out.((2 * (j + !h)) + 1) in
+          out.(2 * j) <- ar +. br;
+          out.((2 * j) + 1) <- ai +. bi;
+          out.(2 * (j + !h)) <- ar -. br;
+          out.((2 * (j + !h)) + 1) <- ai -. bi
+        done;
+        b := !b + step
+      done;
+      h := step
+    done
+  in
+  make ~radix:r ~flops:(2 * r * k) ~name:(Printf.sprintf "wht%d" r) compute
+
+let copy r =
+  make ~radix:r ~flops:0 ~name:(Printf.sprintf "copy%d" r) (fun inp out ->
+      Array.blit inp 0 out 0 (2 * r))

@@ -1,0 +1,53 @@
+(** Codelets: straight-line kernels for small transforms, the base cases of
+    compiled plans (the analogue of FFTW's codelets / Spiral's fully
+    unrolled basic blocks).
+
+    A codelet of radix [r] computes an [r]-point transform.  The four entry
+    points differ only in addressing: strided (affine index functions, the
+    fast path) or indexed (precomputed index tables), each optionally with a
+    twiddle table applied to the inputs on load ("load scale").  Complex
+    data is interleaved: element [k] occupies [x.(2k), x.(2k+1)]. *)
+
+type t = {
+  radix : int;
+  flops : int;  (** Real additions + multiplications per invocation. *)
+  name : string;
+  strided : float array -> int -> int -> float array -> int -> int -> unit;
+      (** [strided src g0 gl dst s0 sl]: reads element [l] at complex index
+          [g0 + l*gl] of [src], writes at [s0 + l*sl] of [dst]. *)
+  strided_tw :
+    float array -> int -> int -> float array -> int -> int ->
+    float array -> int -> unit;
+      (** As [strided] with inputs multiplied by twiddles: element [l] is
+          scaled by the complex number at [tw.(2*(t0+l)), tw.(2*(t0+l)+1)]. *)
+  indexed :
+    float array -> int array -> int -> float array -> int array -> int -> unit;
+      (** [indexed src gidx gb dst sidx sb]: element [l] read at complex
+          index [gidx.(gb + l)], written at [sidx.(sb + l)]. *)
+  indexed_tw :
+    float array -> int array -> int -> float array -> int array -> int ->
+    float array -> int -> unit;
+}
+
+val dft : int -> t
+(** [dft r] is the DFT codelet of size [r]: unrolled kernels for
+    r ∈ {1, 2, 3, 4, 5, 8, 16}, a precomputed dense matrix-vector kernel
+    otherwise.  Results are cached. *)
+
+val wht : int -> t
+(** Walsh-Hadamard codelet, [r] a power of two (in-register butterflies). *)
+
+val copy : int -> t
+(** Identity "codelet" of size [r] — used for explicit permutation or
+    scaling passes, where all the work is in the addressing. *)
+
+val max_radix : int
+(** Largest supported codelet size. *)
+
+val make :
+  radix:int -> flops:int -> name:string ->
+  (float array -> float array -> unit) -> t
+(** [make ~radix ~flops ~name compute] builds all four entry points from a
+    local kernel [compute inp out] on contiguous length-[2*radix] buffers.
+    Used for custom transforms; the DFT/WHT codelets use fused addressing
+    on the hot paths instead. *)

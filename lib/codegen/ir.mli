@@ -1,0 +1,61 @@
+(** Compilation of SPL formulas into merged loop nests (the analogue of
+    Spiral's Σ-SPL loop merging [11]).
+
+    A formula compiles to a sequence of {e passes} executed left to right;
+    pass [k] reads the output buffer of pass [k-1] (pass 0 reads the plan
+    input, the last pass writes the plan output).  Each pass is a single
+    loop of [count] iterations applying a codelet of size [radix], with
+    symbolic gather/scatter index functions and an optional load-scale
+    (twiddle) function.  Permutation- and diagonal-shaped factors never
+    become passes of their own (unless [explicit_data] is set): they are
+    folded into the index functions and twiddle tables of the adjacent
+    computation passes, exactly as in the paper.
+
+    Parallel constructs mark the passes they contain with their processor
+    count [par]; iterations of such a pass are split into [par] contiguous
+    chunks, one per processor (the schedule of rules (7)/(9)).
+
+    Limitation: [DirectSum]/[ParDirectSum] must be diagonal-shaped (the
+    only form the paper's rule set produces, via rule (11)); general direct
+    sums raise [Unsupported]. *)
+
+exception Unsupported of string
+
+type pass = {
+  count : int;  (** Loop iterations. *)
+  radix : int;  (** Codelet size. *)
+  par : int option;
+      (** [Some p]: iterations are split into [p] contiguous chunks. *)
+  kernel : Codelet.t;
+  gather : int -> int -> int;
+      (** [gather i l]: complex index read for element [l] of iteration
+          [i] from the pass input buffer. *)
+  scatter : int -> int -> int;
+  scale : (int -> int -> Complex.t) option;
+      (** Applied to element [l] of iteration [i] on load. *)
+  hint : int list;
+      (** Loop extents of the iteration space, outermost first; their
+          product is [count].  Materialization uses this to recover
+          per-level affine strides (nested loop nests) from the flattened
+          index functions. *)
+}
+
+type t = {
+  n : int;  (** Transform size (complex elements). *)
+  passes : pass list;  (** In execution order. *)
+}
+
+val of_formula : ?explicit_data:bool -> Spiral_spl.Formula.t -> t
+(** Compile a formula.  [explicit_data] (default [false]) disables loop
+    merging: every permutation and diagonal factor becomes an explicit
+    copy/scale pass — how the traditional six-step algorithm executes its
+    transpositions, and the ablation baseline for merging. *)
+
+val pass_flops : pass -> int
+(** Real flops executed by one full pass (codelet work + twiddle scaling). *)
+
+val total_flops : t -> int
+
+val validate : t -> unit
+(** Structural checks: index functions in range, no write overlap within a
+    pass.  O(n · radix); for tests. *)

@@ -1,0 +1,271 @@
+type addressing =
+  | Strided of {
+      exts : int array;  (** loop extents, outermost first *)
+      gstrs : int array;  (** gather stride per loop level *)
+      sstrs : int array;
+      g0 : int;
+      s0 : int;
+      gl : int;  (** gather stride per codelet element *)
+      sl : int;
+    }
+  | Indexed of { gidx : int array; sidx : int array }
+
+type pass = {
+  count : int;
+  radix : int;
+  par : int option;
+  kernel : Codelet.t;
+  addr : addressing;
+  tw : float array option;
+  flops : int;
+}
+
+type t = {
+  n : int;
+  passes : pass array;
+  tmp_a : float array;
+  tmp_b : float array;
+}
+
+let affine_check_threshold = 1 lsl 16
+
+(* Decompose a flat iteration index into digits along [exts]. *)
+let digits exts =
+  let k = Array.length exts in
+  let suffix = Array.make (k + 1) 1 in
+  for j = k - 1 downto 0 do
+    suffix.(j) <- suffix.(j + 1) * exts.(j)
+  done;
+  fun i j -> i / suffix.(j + 1) mod exts.(j)
+
+(* Test whether [f i l] equals [f00 + Σ_j digit_j(i)·strs_j + l·dl] for the
+   loop structure [exts], returning the strides when it does. *)
+let detect ~count ~radix ~exts f =
+  let k = Array.length exts in
+  let dig = digits exts in
+  let f00 = f 0 0 in
+  let dl = if radix > 1 then f 0 1 - f00 else 0 in
+  let suffix = Array.make (k + 1) 1 in
+  for j = k - 1 downto 0 do
+    suffix.(j) <- suffix.(j + 1) * exts.(j)
+  done;
+  let strs =
+    Array.init k (fun j ->
+        if exts.(j) > 1 then f suffix.(j + 1) 0 - f00 else 0)
+  in
+  let check i l =
+    let acc = ref (f00 + (l * dl)) in
+    for j = 0 to k - 1 do
+      acc := !acc + (dig i j * strs.(j))
+    done;
+    f i l = !acc
+  in
+  let ok = ref true in
+  (try
+     if count * radix <= affine_check_threshold then
+       for i = 0 to count - 1 do
+         for l = 0 to radix - 1 do
+           if not (check i l) then (
+             ok := false;
+             raise Exit)
+         done
+       done
+     else begin
+       (* Deterministic dense sample: boundaries, powers of two and an
+          even spread.  Our compiler only produces per-level affine maps;
+          this guards against compiler bugs, not adversarial input. *)
+       let samples = 1024 in
+       for s = 0 to samples - 1 do
+         let i = s * (count - 1) / (samples - 1) in
+         for l = 0 to radix - 1 do
+           if not (check i l) then (
+             ok := false;
+             raise Exit)
+         done
+       done;
+       let i = ref 1 in
+       while !i < count do
+         List.iter
+           (fun j ->
+             if j >= 0 && j < count && not (check j 0) then (
+               ok := false;
+               raise Exit))
+           [ !i - 1; !i; !i + 1 ];
+         i := !i * 2
+       done
+     end
+   with Exit -> ());
+  if !ok then Some (f00, strs, dl) else None
+
+let materialize_pass (p : Ir.pass) : pass =
+  let exts =
+    let h = List.filter (fun e -> e > 1) p.hint in
+    let h = if h = [] then [ p.count ] else h in
+    Array.of_list h
+  in
+  let exts =
+    if Array.fold_left ( * ) 1 exts = p.count then exts else [| p.count |]
+  in
+  let addr =
+    match
+      ( detect ~count:p.count ~radix:p.radix ~exts p.gather,
+        detect ~count:p.count ~radix:p.radix ~exts p.scatter )
+    with
+    | Some (g0, gstrs, gl), Some (s0, sstrs, sl) ->
+        Strided { exts; gstrs; sstrs; g0; s0; gl; sl }
+    | _ ->
+        let size = p.count * p.radix in
+        let gidx = Array.make size 0 and sidx = Array.make size 0 in
+        for i = 0 to p.count - 1 do
+          for l = 0 to p.radix - 1 do
+            gidx.((i * p.radix) + l) <- p.gather i l;
+            sidx.((i * p.radix) + l) <- p.scatter i l
+          done
+        done;
+        Indexed { gidx; sidx }
+  in
+  let tw =
+    Option.map
+      (fun s ->
+        let table = Array.make (2 * p.count * p.radix) 0.0 in
+        for i = 0 to p.count - 1 do
+          for l = 0 to p.radix - 1 do
+            let (z : Complex.t) = s i l in
+            table.(2 * ((i * p.radix) + l)) <- z.re;
+            table.((2 * ((i * p.radix) + l)) + 1) <- z.im
+          done
+        done;
+        table)
+      p.scale
+  in
+  {
+    count = p.count;
+    radix = p.radix;
+    par = p.par;
+    kernel = p.kernel;
+    addr;
+    tw;
+    flops = Ir.pass_flops p;
+  }
+
+let of_ir (ir : Ir.t) =
+  let passes = Array.of_list (List.map materialize_pass ir.passes) in
+  let need_tmp = Array.length passes > 1 in
+  let tmp_size = if need_tmp then 2 * ir.n else 0 in
+  {
+    n = ir.n;
+    passes;
+    tmp_a = Array.make tmp_size 0.0;
+    tmp_b = Array.make (if Array.length passes > 2 then tmp_size else 0) 0.0;
+  }
+
+let of_formula ?explicit_data f = of_ir (Ir.of_formula ?explicit_data f)
+
+let clone t =
+  {
+    t with
+    tmp_a = Array.make (Array.length t.tmp_a) 0.0;
+    tmp_b = Array.make (Array.length t.tmp_b) 0.0;
+  }
+
+(* Run iterations [lo, hi) of a strided pass with an odometer: per-level
+   bases are updated incrementally, so the inner loop is straight-line. *)
+let run_strided ~radix ~exts ~gstrs ~sstrs ~g0 ~s0 ~gl ~sl ~lo ~hi
+    (body : int -> int -> int -> unit) =
+  let k = Array.length exts in
+  let dig = Array.make k 0 in
+  (* initialize digits and bases for [lo] *)
+  let suffix = Array.make (k + 1) 1 in
+  for j = k - 1 downto 0 do
+    suffix.(j) <- suffix.(j + 1) * exts.(j)
+  done;
+  let bg = ref g0 and bs = ref s0 in
+  for j = 0 to k - 1 do
+    dig.(j) <- lo / suffix.(j + 1) mod exts.(j);
+    bg := !bg + (dig.(j) * gstrs.(j));
+    bs := !bs + (dig.(j) * sstrs.(j))
+  done;
+  ignore radix;
+  ignore gl;
+  ignore sl;
+  for i = lo to hi - 1 do
+    body i !bg !bs;
+    (* advance the odometer *)
+    let j = ref (k - 1) in
+    let continue = ref true in
+    while !continue do
+      dig.(!j) <- dig.(!j) + 1;
+      bg := !bg + gstrs.(!j);
+      bs := !bs + sstrs.(!j);
+      if dig.(!j) = exts.(!j) && !j > 0 then begin
+        dig.(!j) <- 0;
+        bg := !bg - (exts.(!j) * gstrs.(!j));
+        bs := !bs - (exts.(!j) * sstrs.(!j));
+        decr j
+      end
+      else continue := false
+    done
+  done
+
+let run_pass_range p ~src ~dst ~lo ~hi =
+  let r = p.radix in
+  match (p.addr, p.tw) with
+  | Strided { exts; gstrs; sstrs; g0; s0; gl; sl }, None ->
+      let k = p.kernel.Codelet.strided in
+      run_strided ~radix:r ~exts ~gstrs ~sstrs ~g0 ~s0 ~gl ~sl ~lo ~hi
+        (fun _i bg bs -> k src bg gl dst bs sl)
+  | Strided { exts; gstrs; sstrs; g0; s0; gl; sl }, Some tw ->
+      let k = p.kernel.Codelet.strided_tw in
+      run_strided ~radix:r ~exts ~gstrs ~sstrs ~g0 ~s0 ~gl ~sl ~lo ~hi
+        (fun i bg bs -> k src bg gl dst bs sl tw (i * r))
+  | Indexed { gidx; sidx }, None ->
+      let k = p.kernel.Codelet.indexed in
+      for i = lo to hi - 1 do
+        k src gidx (i * r) dst sidx (i * r)
+      done
+  | Indexed { gidx; sidx }, Some tw ->
+      let k = p.kernel.Codelet.indexed_tw in
+      for i = lo to hi - 1 do
+        k src gidx (i * r) dst sidx (i * r) tw (i * r)
+      done
+
+let src_dst_of_pass t ~x ~y k =
+  let last = Array.length t.passes - 1 in
+  let buf_out j =
+    if j = last then y else if j mod 2 = 0 then t.tmp_a else t.tmp_b
+  in
+  let src = if k = 0 then x else buf_out (k - 1) in
+  (src, buf_out k)
+
+let execute t x y =
+  if Array.length x <> 2 * t.n || Array.length y <> 2 * t.n then
+    invalid_arg "Plan.execute: wrong vector length";
+  Array.iteri
+    (fun k p ->
+      let src, dst = src_dst_of_pass t ~x ~y k in
+      run_pass_range p ~src ~dst ~lo:0 ~hi:p.count)
+    t.passes
+
+let total_flops t = Array.fold_left (fun acc p -> acc + p.flops) 0 t.passes
+
+let describe t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "plan n=%d, %d passes\n" t.n (Array.length t.passes));
+  Array.iteri
+    (fun k p ->
+      Buffer.add_string b
+        (Printf.sprintf "  pass %d: %-14s count=%-8d %s%s%s\n" k
+           p.kernel.Codelet.name p.count
+           (match p.addr with
+           | Strided { exts; _ } ->
+               Printf.sprintf "strided[%s]"
+                 (String.concat "x"
+                    (Array.to_list (Array.map string_of_int exts)))
+           | Indexed _ -> "indexed")
+           (match p.tw with Some _ -> " +twiddle" | None -> "")
+           (match p.par with
+           | Some q -> Printf.sprintf " parallel(%d)" q
+           | None -> "")))
+    t.passes;
+  Buffer.contents b

@@ -1,0 +1,77 @@
+(** Executable plans: materialized IR.
+
+    Materialization resolves each pass's symbolic index functions into
+    either affine strides (the common case — detected by probing, fully
+    verified for small sizes and densely sampled above
+    {!affine_check_threshold}) or precomputed index tables, and evaluates
+    scale functions into interleaved twiddle tables.  This is the moment
+    "program generation" happens: the result is straight-line addressing +
+    unrolled codelets, no formula interpretation remains on the hot path. *)
+
+type addressing =
+  | Strided of {
+      exts : int array;
+      gstrs : int array;
+      sstrs : int array;
+      g0 : int;
+      s0 : int;
+      gl : int;
+      sl : int;
+    }
+      (** A nested loop nest with extents [exts] (outermost first): the
+          iteration with digit vector [a] gathers element [l] at
+          [g0 + Σ_j a_j·gstrs_j + l·gl]; likewise scatter with [s…]. *)
+  | Indexed of { gidx : int array; sidx : int array }
+      (** Index tables of size [count * radix], iteration-major. *)
+
+type pass = {
+  count : int;
+  radix : int;
+  par : int option;
+  kernel : Codelet.t;
+  addr : addressing;
+  tw : float array option;
+      (** Interleaved load-scale table, indexed by [i*radix + l]. *)
+  flops : int;
+}
+
+type t = {
+  n : int;
+  passes : pass array;
+  tmp_a : float array;  (** Intermediate buffers (ping-pong). *)
+  tmp_b : float array;
+}
+
+val affine_check_threshold : int
+(** Below this many (iteration, element) points, affinity of index
+    functions is verified exhaustively; above, densely sampled. *)
+
+val of_ir : Ir.t -> t
+
+val of_formula : ?explicit_data:bool -> Spiral_spl.Formula.t -> t
+
+val run_pass_range :
+  pass -> src:float array -> dst:float array -> lo:int -> hi:int -> unit
+(** Execute iterations [lo, hi) of a pass.  The building block for both
+    sequential and multi-threaded execution. *)
+
+val src_dst_of_pass :
+  t -> x:float array -> y:float array -> int -> float array * float array
+(** [src_dst_of_pass plan ~x ~y k] is the (source, destination) buffer pair
+    of pass [k] under the plan's ping-pong schedule: pass 0 reads [x], the
+    last pass writes [y], intermediates alternate [tmp_a]/[tmp_b]. *)
+
+val clone : t -> t
+(** A plan sharing all immutable state (kernels, index tables, twiddles)
+    but with fresh intermediate buffers — for concurrent execution of the
+    same transform from several threads. *)
+
+val execute : t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t -> unit
+(** [execute plan x y] computes [y = A x] sequentially.  [x] and [y] must
+    be distinct vectors of length [n].  Not re-entrant: a plan owns its
+    intermediate buffers ({!clone} for concurrent use). *)
+
+val total_flops : t -> int
+
+val describe : t -> string
+(** One line per pass: radix, count, addressing kind, parallelism. *)

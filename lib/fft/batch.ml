@@ -1,0 +1,55 @@
+open Spiral_util
+open Spiral_spl
+open Spiral_rewrite
+open Spiral_codegen
+
+type t = {
+  count : int;
+  n : int;
+  plan : Plan.t;
+  formula : Formula.t;
+  pool : Spiral_smp.Pool.t option;
+  mutable alive : bool;
+}
+
+let plan ?(threads = 1) ?(mu = 4) ~count n =
+  if count < 1 || n < 1 then invalid_arg "Batch.plan: count and n >= 1";
+  let top = Formula.Tensor (Formula.I count, Formula.DFT n) in
+  let inner = Ruletree.expand (Ruletree.mixed_radix n) in
+  let formula, p =
+    if threads <= 1 then
+      (Derive.substitute_nonterminals top [ inner ], 1)
+    else
+      match Parallel_rules.parallelize ~p:threads ~mu top with
+      | Ok f when Props.fully_optimized ~p:threads ~mu f ->
+          (Derive.substitute_nonterminals f [ inner ], threads)
+      | Ok _ | Error _ -> (Derive.substitute_nonterminals top [ inner ], 1)
+  in
+  let plan = Plan.of_formula formula in
+  let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
+  { count; n; plan; formula; pool; alive = true }
+
+let count t = t.count
+let n t = t.n
+let parallel t = t.pool <> None
+let formula t = t.formula
+
+let execute t x =
+  if not t.alive then invalid_arg "Batch: plan was destroyed";
+  let total = t.count * t.n in
+  if Cvec.length x <> total then invalid_arg "Batch.execute: wrong length";
+  let y = Cvec.create total in
+  (match t.pool with
+  | Some pool -> Spiral_smp.Par_exec.execute pool t.plan x y
+  | None -> Plan.execute t.plan x y);
+  y
+
+let destroy t =
+  if t.alive then begin
+    t.alive <- false;
+    Option.iter Spiral_smp.Pool.shutdown t.pool
+  end
+
+let with_plan ?threads ?mu ~count n f =
+  let t = plan ?threads ?mu ~count n in
+  Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)

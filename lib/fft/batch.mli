@@ -1,0 +1,25 @@
+(** Batched transforms: many independent DFTs of the same size in one
+    call — the "apply an FFT to every row" workload.
+
+    A batch is the formula [I_b ⊗ DFT_n]; rule (9) of the paper
+    parallelizes it directly ([I_p ⊗∥ (I_{b/p} ⊗ DFT_n)]), giving each
+    processor a contiguous block of transforms: load-balanced,
+    false-sharing free, one barrier per pass. *)
+
+type t
+
+val plan : ?threads:int -> ?mu:int -> count:int -> int -> t
+(** [plan ~count n]: [count] transforms of size [n], stored back to back
+    (row-major [count × n]). *)
+
+val count : t -> int
+val n : t -> int
+val parallel : t -> bool
+val formula : t -> Spiral_spl.Formula.t
+
+val execute : t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t
+(** Input and output are [count * n] complex elements. *)
+
+val destroy : t -> unit
+
+val with_plan : ?threads:int -> ?mu:int -> count:int -> int -> (t -> 'a) -> 'a

@@ -1,0 +1,128 @@
+open Spiral_util
+open Spiral_rewrite
+open Spiral_codegen
+
+type t = {
+  n : int;
+  m : int;  (* convolution size: power of two >= 2n - 1 *)
+  chirp : float array;  (* c[j] = exp(-i pi j^2 / n), interleaved, n entries *)
+  kernel_spectrum : float array;  (* DFT_m of the padded conj-chirp *)
+  inner : Plan.t;  (* forward DFT_m *)
+  pool : Spiral_smp.Pool.t option;
+  (* work buffers (2m floats each) *)
+  buf_b : float array;
+  buf_fb : float array;
+  buf_conv : float array;
+  mutable alive : bool;
+}
+
+let supported_directly n =
+  n >= 1
+  && List.for_all (fun f -> f <= Ruletree.leaf_max) (Int_util.prime_factors n)
+
+let next_pow2 v =
+  let rec go m = if m >= v then m else go (2 * m) in
+  go 1
+
+(* c[j] = exp (-i pi (j^2 mod 2n) / n): j^2 reduced mod 2n keeps the
+   argument small (the chirp has period 2n in j). *)
+let chirp_table n =
+  let t = Array.make (2 * n) 0.0 in
+  for j = 0 to n - 1 do
+    let j2 = j * j mod (2 * n) in
+    let theta = -.Float.pi *. float_of_int j2 /. float_of_int n in
+    t.(2 * j) <- cos theta;
+    t.((2 * j) + 1) <- sin theta
+  done;
+  t
+
+let run_inner t src dst =
+  match t.pool with
+  | Some pool -> Spiral_smp.Par_exec.execute pool t.inner src dst
+  | None -> Plan.execute t.inner src dst
+
+let plan ?(threads = 1) ?(mu = 4) n =
+  if n < 1 then invalid_arg "Bluestein.plan: n >= 1";
+  let m = next_pow2 ((2 * n) - 1) in
+  let chirp = chirp_table n in
+  let formula, p =
+    Planner.derive_formula ~threads ~mu ~tree:(Ruletree.mixed_radix m) m
+  in
+  let inner = Plan.of_formula formula in
+  let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
+  let t =
+    {
+      n;
+      m;
+      chirp;
+      kernel_spectrum = Array.make (2 * m) 0.0;
+      inner;
+      pool;
+      buf_b = Array.make (2 * m) 0.0;
+      buf_fb = Array.make (2 * m) 0.0;
+      buf_conv = Array.make (2 * m) 0.0;
+      alive = true;
+    }
+  in
+  (* kernel h[j] = conj c[|j|] placed cyclically: h_m[j] = h[j] for
+     j < n, h_m[m - j] = h[j] for 0 < j < n, zero elsewhere *)
+  let h = Array.make (2 * m) 0.0 in
+  let put idx re im =
+    h.(2 * idx) <- re;
+    h.((2 * idx) + 1) <- im
+  in
+  for j = 0 to n - 1 do
+    let re = chirp.(2 * j) and im = -.chirp.((2 * j) + 1) in
+    put j re im;
+    if j > 0 then put (m - j) re im
+  done;
+  let spec = Array.make (2 * m) 0.0 in
+  (match t.pool with
+  | Some pool -> Spiral_smp.Par_exec.execute pool t.inner h spec
+  | None -> Plan.execute t.inner h spec);
+  Array.blit spec 0 t.kernel_spectrum 0 (2 * m);
+  t
+
+let inner_size t = t.m
+
+let execute_into t ~src ~dst =
+  if not t.alive then invalid_arg "Bluestein: plan was destroyed";
+  if Cvec.length src <> t.n || Cvec.length dst <> t.n then
+    invalid_arg "Bluestein.execute_into: wrong vector length";
+  let n = t.n and m = t.m in
+  let c = t.chirp in
+  (* b[j] = x[j] * c[j], zero-padded to m *)
+  Array.fill t.buf_b 0 (2 * m) 0.0;
+  for j = 0 to n - 1 do
+    let xr = src.(2 * j) and xi = src.((2 * j) + 1) in
+    let cr = c.(2 * j) and ci = c.((2 * j) + 1) in
+    t.buf_b.(2 * j) <- (xr *. cr) -. (xi *. ci);
+    t.buf_b.((2 * j) + 1) <- (xr *. ci) +. (xi *. cr)
+  done;
+  (* B = DFT_m b; pointwise multiply with the kernel spectrum *)
+  run_inner t t.buf_b t.buf_fb;
+  let fb = t.buf_fb and ks = t.kernel_spectrum in
+  for j = 0 to m - 1 do
+    let br = fb.(2 * j) and bi = fb.((2 * j) + 1) in
+    let hr = ks.(2 * j) and hi = ks.((2 * j) + 1) in
+    (* conj the product: first half of IDFT-via-conj *)
+    fb.(2 * j) <- (br *. hr) -. (bi *. hi);
+    fb.((2 * j) + 1) <- -.((br *. hi) +. (bi *. hr))
+  done;
+  (* IDFT_m via conj(DFT_m(conj z)) / m: fb already conjugated *)
+  run_inner t t.buf_fb t.buf_conv;
+  let inv_m = 1.0 /. float_of_int m in
+  (* y[k] = c[k] * conv[k] (conv needs the final conj + scaling) *)
+  for k = 0 to n - 1 do
+    let vr = t.buf_conv.(2 * k) *. inv_m
+    and vi = -.t.buf_conv.((2 * k) + 1) *. inv_m in
+    let cr = c.(2 * k) and ci = c.((2 * k) + 1) in
+    dst.(2 * k) <- (vr *. cr) -. (vi *. ci);
+    dst.((2 * k) + 1) <- (vr *. ci) +. (vi *. cr)
+  done
+
+let destroy t =
+  if t.alive then begin
+    t.alive <- false;
+    Option.iter Spiral_smp.Pool.shutdown t.pool
+  end

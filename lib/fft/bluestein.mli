@@ -1,0 +1,29 @@
+(** Bluestein's chirp-z algorithm: [DFT_n] for arbitrary [n] (including
+    large primes) as a cyclic convolution of a supported power-of-two size
+    [m >= 2n - 1].
+
+    The generated-FFT machinery only has codelets for prime factors up to
+    [Ruletree.leaf_max]; Bluestein closes the gap the way production FFT
+    libraries do, reusing the generator for the inner size-[m] transforms.
+    All chirp tables and the convolution kernel's spectrum are precomputed
+    at plan time.  A plan owns mutable work buffers and is therefore not
+    re-entrant: do not call {!execute_into} on the same plan from two
+    threads at once. *)
+
+type t
+
+val supported_directly : int -> bool
+(** [true] when the plain generator handles the size (all prime factors
+    within codelet range) — callers prefer the direct path. *)
+
+val plan : ?threads:int -> ?mu:int -> int -> t
+(** [plan n] prepares [DFT_n] for any [n >= 1].  [threads] parallelizes the
+    inner power-of-two transforms when the multicore derivation applies. *)
+
+val inner_size : t -> int
+(** The power-of-two convolution size [m]. *)
+
+val execute_into :
+  t -> src:Spiral_util.Cvec.t -> dst:Spiral_util.Cvec.t -> unit
+
+val destroy : t -> unit

@@ -1,0 +1,83 @@
+open Spiral_util
+
+type t = {
+  n : int;
+  fwd : Dft.t;
+  inv : Dft.t;
+  (* chirp[k] = exp (-i pi k / (2n)) *)
+  chirp : float array;
+}
+
+let plan ?threads ?mu n =
+  if n < 2 || n mod 2 <> 0 then
+    invalid_arg "Dct.plan: length must be even and >= 2";
+  let chirp = Array.make (2 * n) 0.0 in
+  for k = 0 to n - 1 do
+    let theta = -.Float.pi *. float_of_int k /. (2.0 *. float_of_int n) in
+    chirp.(2 * k) <- cos theta;
+    chirp.((2 * k) + 1) <- sin theta
+  done;
+  {
+    n;
+    fwd = Dft.plan ?threads ?mu n;
+    inv = Dft.plan ~direction:Dft.Inverse ?threads ?mu n;
+    chirp;
+  }
+
+let n t = t.n
+
+(* Makhoul reordering: v = [x0 x2 x4 … x5 x3 x1]. *)
+let reorder t x =
+  let n = t.n in
+  let v = Cvec.create n in
+  for j = 0 to (n / 2) - 1 do
+    v.(2 * j) <- x.(2 * j);
+    v.(2 * (n - 1 - j)) <- x.((2 * j) + 1)
+  done;
+  v
+
+let forward t x =
+  if Array.length x <> t.n then invalid_arg "Dct.forward: wrong length";
+  let n = t.n in
+  let f = Dft.execute t.fwd (reorder t x) in
+  (* C_k = Re (chirp_k · F_k) *)
+  let c = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    let fr = f.(2 * k) and fi = f.((2 * k) + 1) in
+    let wr = t.chirp.(2 * k) and wi = t.chirp.((2 * k) + 1) in
+    c.(k) <- (wr *. fr) -. (wi *. fi)
+  done;
+  c
+
+let inverse t c =
+  if Array.length c <> t.n then invalid_arg "Dct.inverse: wrong length";
+  let n = t.n in
+  (* rebuild the spectrum: with Z_k = chirp_k · F_k Hermitian symmetry
+     gives Z_{n-k} = -i · conj Z_k, hence C_k = Re Z_k and
+     C_{n-k} = -Im Z_k (k >= 1), so
+     F_k = conj(chirp_k) · (C_k - i C_{n-k}); F_0 = C_0. *)
+  let f = Cvec.create n in
+  f.(0) <- c.(0);
+  f.(1) <- 0.0;
+  for k = 1 to n - 1 do
+    let zr = c.(k) and zi = -.c.(n - k) in
+    let wr = t.chirp.(2 * k) and wi = -.t.chirp.((2 * k) + 1) in
+    f.(2 * k) <- (wr *. zr) -. (wi *. zi);
+    f.((2 * k) + 1) <- (wr *. zi) +. (wi *. zr)
+  done;
+  let v = Dft.execute t.inv f in
+  (* undo the even-odd reordering *)
+  let x = Array.make n 0.0 in
+  for j = 0 to (n / 2) - 1 do
+    x.(2 * j) <- v.(2 * j);
+    x.((2 * j) + 1) <- v.(2 * (n - 1 - j))
+  done;
+  x
+
+let destroy t =
+  Dft.destroy t.fwd;
+  Dft.destroy t.inv
+
+let with_plan ?threads ?mu n f =
+  let t = plan ?threads ?mu n in
+  Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)

@@ -1,0 +1,24 @@
+(** Type-II discrete cosine transforms via the FFT (Makhoul's even-odd
+    reordering): one complex [DFT_n] plus O(n) twiddling — the transform
+    behind JPEG/audio coding, demonstrating the generator on a transform
+    beyond the DFT/WHT.
+
+    Convention (unnormalized DCT-II):
+    [C_k = Σ_j x_j · cos(π k (2j + 1) / (2n))]. *)
+
+type t
+
+val plan : ?threads:int -> ?mu:int -> int -> t
+(** [plan n] for even [n >= 2]. *)
+
+val n : t -> int
+
+val forward : t -> float array -> float array
+(** Real input of length [n] to the [n] DCT-II coefficients. *)
+
+val inverse : t -> float array -> float array
+(** Exact inverse of {!forward} (the scaled DCT-III). *)
+
+val destroy : t -> unit
+
+val with_plan : ?threads:int -> ?mu:int -> int -> (t -> 'a) -> 'a

@@ -1,0 +1,118 @@
+open Spiral_util
+open Spiral_rewrite
+open Spiral_codegen
+
+type direction = Forward | Inverse
+
+type impl =
+  | Direct of {
+      plan : Plan.t;
+      formula : Spiral_spl.Formula.t;
+      pool : Spiral_smp.Pool.t option;
+    }
+  | Chirp of Bluestein.t
+      (** Sizes with prime factors beyond the codelet range. *)
+
+type t = {
+  n : int;
+  direction : direction;
+  impl : impl;
+  mutable alive : bool;
+}
+
+let plan ?(direction = Forward) ?(threads = 1) ?(mu = 4) ?tree n =
+  if n < 1 then invalid_arg "Dft.plan: n >= 1";
+  let impl =
+    if Bluestein.supported_directly n || tree <> None then begin
+      let tree =
+        match tree with
+        | Some t ->
+            if Ruletree.size t <> n then
+              invalid_arg "Dft.plan: ruletree size does not match n";
+            t
+        | None -> Ruletree.mixed_radix n
+      in
+      let formula, p = Planner.derive_formula ~threads ~mu ~tree n in
+      let plan =
+        try Plan.of_formula formula
+        with Ir.Unsupported msg -> invalid_arg ("Dft.plan: " ^ msg)
+      in
+      let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
+      Direct { plan; formula; pool }
+    end
+    else Chirp (Bluestein.plan ~threads ~mu n)
+  in
+  { n; direction; impl; alive = true }
+
+let n t = t.n
+
+let threads t =
+  match t.impl with
+  | Direct { pool = Some p; _ } -> Spiral_smp.Pool.size p
+  | Direct _ | Chirp _ -> 1
+
+let parallel t =
+  match t.impl with Direct { pool = Some _; _ } -> true | _ -> false
+
+let formula t =
+  match t.impl with
+  | Direct { formula; _ } -> formula
+  | Chirp _ -> Spiral_spl.Formula.DFT t.n
+
+let description t =
+  let dir = match t.direction with Forward -> "forward" | Inverse -> "inverse" in
+  match t.impl with
+  | Direct { plan; _ } ->
+      Printf.sprintf "DFT_%d %s threads=%d\n%s" t.n dir (threads t)
+        (Plan.describe plan)
+  | Chirp b ->
+      Printf.sprintf "DFT_%d %s via Bluestein (inner size %d)\n" t.n dir
+        (Bluestein.inner_size b)
+
+let forward_into t ~src ~dst =
+  match t.impl with
+  | Direct { plan; pool; _ } -> (
+      match pool with
+      | Some pool -> Spiral_smp.Par_exec.execute pool plan src dst
+      | None -> Plan.execute plan src dst)
+  | Chirp b -> Bluestein.execute_into b ~src ~dst
+
+let conjugate x =
+  let y = Cvec.copy x in
+  for i = 0 to Cvec.length x - 1 do
+    y.((2 * i) + 1) <- -.y.((2 * i) + 1)
+  done;
+  y
+
+let execute_into t ~src ~dst =
+  if not t.alive then invalid_arg "Dft: plan was destroyed";
+  if Cvec.length src <> t.n || Cvec.length dst <> t.n then
+    invalid_arg "Dft.execute: wrong vector length";
+  match t.direction with
+  | Forward -> forward_into t ~src ~dst
+  | Inverse ->
+      (* DFT⁻¹ = (1/n)·conj ∘ DFT ∘ conj *)
+      let tmp = conjugate src in
+      forward_into t ~src:tmp ~dst;
+      let scale = 1.0 /. float_of_int t.n in
+      for i = 0 to t.n - 1 do
+        dst.(2 * i) <- dst.(2 * i) *. scale;
+        dst.((2 * i) + 1) <- -.dst.((2 * i) + 1) *. scale
+      done
+
+let execute t x =
+  let y = Cvec.create t.n in
+  execute_into t ~src:x ~dst:y;
+  y
+
+let destroy t =
+  if t.alive then begin
+    t.alive <- false;
+    match t.impl with
+    | Direct { pool; _ } -> Option.iter Spiral_smp.Pool.shutdown pool
+    | Chirp b -> Bluestein.destroy b
+  end
+
+let with_plan ?direction ?threads ?mu ?tree n f =
+  let t = plan ?direction ?threads ?mu ?tree n in
+  Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)

@@ -1,0 +1,60 @@
+(** The user-facing DFT interface: plan once, execute many times.
+
+    A plan fixes the transform size, direction, the factorization
+    (ruletree), the machine parameters (threads [p], cache line length [µ])
+    and the execution backend.  When [threads > 1] and the size satisfies
+    the paper's divisibility condition ([(pµ)² | n] with a suitable top
+    split), planning derives the multicore Cooley-Tukey formula (14) and
+    executes on a persistent domain pool with spin barriers; otherwise it
+    falls back to the best sequential formula. *)
+
+type direction = Forward | Inverse
+
+type t
+
+val plan :
+  ?direction:direction ->
+  ?threads:int ->
+  ?mu:int ->
+  ?tree:Spiral_rewrite.Ruletree.t ->
+  int ->
+  t
+(** [plan n] creates a plan for [DFT_n], any [n >= 1].  Defaults:
+    [Forward], 1 thread, [mu = 4] (64-byte lines, complex doubles), the
+    standard mixed-radix ruletree.  Sizes with prime factors beyond the
+    codelet range transparently use Bluestein's chirp-z algorithm over a
+    generated power-of-two transform.  @raise Invalid_argument if [n < 1]
+    or the tree size does not match. *)
+
+val n : t -> int
+
+val threads : t -> int
+(** Number of worker domains actually used (1 when the multicore
+    derivation was not applicable). *)
+
+val parallel : t -> bool
+(** [true] when the plan executes the multicore Cooley-Tukey formula. *)
+
+val formula : t -> Spiral_spl.Formula.t
+
+val description : t -> string
+
+val execute : t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t
+(** [execute t x] returns the transform of [x] (length [n]). *)
+
+val execute_into : t -> src:Spiral_util.Cvec.t -> dst:Spiral_util.Cvec.t -> unit
+(** In-place-free variant; [src] and [dst] must be distinct. *)
+
+val destroy : t -> unit
+(** Shuts down the worker pool (no-op for sequential plans).  The plan must
+    not be used afterwards. *)
+
+val with_plan :
+  ?direction:direction ->
+  ?threads:int ->
+  ?mu:int ->
+  ?tree:Spiral_rewrite.Ruletree.t ->
+  int ->
+  (t -> 'a) ->
+  'a
+(** Scoped plan: always destroyed on exit. *)

@@ -1,0 +1,68 @@
+open Spiral_util
+open Spiral_spl
+open Spiral_rewrite
+open Spiral_codegen
+
+type t = {
+  rows : int;
+  cols : int;
+  plan : Plan.t;
+  formula : Formula.t;
+  pool : Spiral_smp.Pool.t option;
+  mutable alive : bool;
+}
+
+let expand_dim n = Ruletree.expand (Ruletree.mixed_radix n)
+
+let derive ~threads ~mu ~rows ~cols =
+  (* DFT_m ⊗ DFT_n = (DFT_m ⊗ I_n)(I_m ⊗ DFT_n): parallelize both stages
+     with the Table 1 rules, then expand the 1-D sub-transforms. *)
+  let top =
+    Formula.compose
+      [ Formula.Tensor (Formula.DFT rows, Formula.I cols);
+        Formula.Tensor (Formula.I rows, Formula.DFT cols) ]
+  in
+  if threads <= 1 then
+    (Derive.substitute_nonterminals top [ expand_dim rows; expand_dim cols ], 1)
+  else
+    match Parallel_rules.parallelize ~p:threads ~mu top with
+    | Ok f when Props.fully_optimized ~p:threads ~mu f ->
+        ( Derive.substitute_nonterminals f
+            [ expand_dim rows; expand_dim cols ],
+          threads )
+    | Ok _ | Error _ ->
+        ( Derive.substitute_nonterminals top
+            [ expand_dim rows; expand_dim cols ],
+          1 )
+
+let plan ?(threads = 1) ?(mu = 4) ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Dft2d.plan: dimensions >= 1";
+  let formula, p = derive ~threads ~mu ~rows ~cols in
+  let plan = Plan.of_formula formula in
+  let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
+  { rows; cols; plan; formula; pool; alive = true }
+
+let rows t = t.rows
+let cols t = t.cols
+let parallel t = t.pool <> None
+let formula t = t.formula
+
+let execute t x =
+  if not t.alive then invalid_arg "Dft2d: plan was destroyed";
+  let n = t.rows * t.cols in
+  if Cvec.length x <> n then invalid_arg "Dft2d.execute: wrong vector length";
+  let y = Cvec.create n in
+  (match t.pool with
+  | Some pool -> Spiral_smp.Par_exec.execute pool t.plan x y
+  | None -> Plan.execute t.plan x y);
+  y
+
+let destroy t =
+  if t.alive then begin
+    t.alive <- false;
+    Option.iter Spiral_smp.Pool.shutdown t.pool
+  end
+
+let with_plan ?threads ?mu ~rows ~cols f =
+  let t = plan ?threads ?mu ~rows ~cols () in
+  Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)

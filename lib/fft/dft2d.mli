@@ -1,0 +1,28 @@
+(** Two-dimensional DFTs.
+
+    As the paper notes (Section 2.2), multi-dimensional transforms are
+    tensor products of their one-dimensional counterparts:
+    [DFT_{m×n} = DFT_m ⊗ DFT_n] on row-major data.  The same Table 1
+    rewriting parallelizes the row and column stages, so 2-D plans get the
+    load-balancing and false-sharing guarantees for free. *)
+
+type t
+
+val plan : ?threads:int -> ?mu:int -> rows:int -> cols:int -> unit -> t
+(** Transform of a [rows × cols] complex image stored row-major.  Both
+    dimensions must have prime factors within codelet range. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val parallel : t -> bool
+
+val formula : t -> Spiral_spl.Formula.t
+
+val execute : t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t
+(** Input length [rows * cols], row-major. *)
+
+val destroy : t -> unit
+
+val with_plan :
+  ?threads:int -> ?mu:int -> rows:int -> cols:int -> (t -> 'a) -> 'a

@@ -1,0 +1,28 @@
+open Spiral_rewrite
+open Spiral_codegen
+
+let threshold = 1 lsl 13
+
+let sequential_plan n = Plan.of_formula (Ruletree.expand (Ruletree.mixed_radix n))
+
+let parallel_plan ~p n =
+  if n < threshold then None
+  else
+    let f = Derive.parallelize_loops ~p (Ruletree.expand (Ruletree.mixed_radix n)) in
+    if Spiral_spl.Formula.exists
+         (function Spiral_spl.Formula.ParTensor _ -> true | _ -> false)
+         f
+    then Some (Plan.of_formula f)
+    else None
+
+let schedule ~p ~count =
+  (* block-cyclic: each thread takes chunks of count/(4p) round-robin *)
+  Spiral_smp.Par_exec.Cyclic (max 1 (count / (4 * p)))
+
+let execute ~p x y n =
+  match parallel_plan ~p n with
+  | Some plan ->
+      Spiral_smp.Par_exec.execute_fork_join ~p
+        ~schedule:(schedule ~p ~count:(n / 8))
+        plan x y
+  | None -> Plan.execute (sequential_plan n) x y

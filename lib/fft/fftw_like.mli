@@ -1,0 +1,35 @@
+(** A reimplementation of FFTW 3.1's multithreaded execution strategy, the
+    comparison baseline of the paper's Section 4.
+
+    Sequential plans use the same high-quality factorizations as the rest
+    of this library (the paper found Spiral and FFTW sequential code within
+    10% of each other).  The parallel strategy differs from the multicore
+    Cooley-Tukey formula in exactly the ways the paper describes for
+    FFTW 3.1:
+
+    - loops inside the standard algorithm are parallelized directly,
+      without the µ-aware cache-line tiling of rules (7)–(10);
+    - loop iterations are scheduled block-cyclically;
+    - threads are started per parallel region (thread pooling in FFTW 3.1
+      was experimental and off by default);
+    - parallelism is only used above a size {!threshold} — the FFTW
+      authors' guidance that threads pay off "only for problem sizes
+      beyond several thousand data points". *)
+
+val threshold : int
+(** Minimum size for which threads are used ([2¹³], cf. the paper's
+    observation that FFTW parallelizes from [N >= 2¹³]). *)
+
+val sequential_plan : int -> Spiral_codegen.Plan.t
+
+val parallel_plan : p:int -> int -> Spiral_codegen.Plan.t option
+(** [None] below {!threshold} or when the naive loop parallelization does
+    not apply; the caller should fall back to {!sequential_plan}. *)
+
+val schedule : p:int -> count:int -> Spiral_smp.Par_exec.schedule
+(** The block-cyclic schedule FFTW-style generated loops use. *)
+
+val execute :
+  p:int -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t -> int -> unit
+(** [execute ~p x y n] runs the baseline end-to-end on the host (fork-join
+    domains above threshold, sequential below). *)

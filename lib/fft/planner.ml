@@ -1,0 +1,34 @@
+open Spiral_util
+open Spiral_rewrite
+
+let find_top_split ~p ~mu n =
+  let q = p * mu in
+  let candidates =
+    Int_util.divisors n
+    |> List.filter (fun m -> m mod q = 0 && (n / m) mod q = 0 && m <= n / m)
+  in
+  match List.rev candidates with m :: _ -> Some m | [] -> None
+
+let derive_formula ~threads ~mu ~tree n =
+  if threads <= 1 then (Ruletree.expand tree, 1)
+  else
+    let try_tree =
+      match tree with
+      | Ruletree.Ct (l, r)
+        when Ruletree.size l mod (threads * mu) = 0
+             && Ruletree.size r mod (threads * mu) = 0 ->
+          Some tree
+      | _ -> (
+          match find_top_split ~p:threads ~mu n with
+          | Some m ->
+              Some
+                (Ruletree.Ct
+                   (Ruletree.mixed_radix m, Ruletree.mixed_radix (n / m)))
+          | None -> None)
+    in
+    match try_tree with
+    | None -> (Ruletree.expand tree, 1)
+    | Some t -> (
+        match Derive.multicore_dft ~p:threads ~mu t with
+        | Ok f -> (f, threads)
+        | Error _ -> (Ruletree.expand tree, 1))

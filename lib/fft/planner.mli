@@ -1,0 +1,16 @@
+(** Internal planning policy shared by {!Dft} and {!Bluestein}: choose a
+    formula (multicore when the paper's divisibility condition allows,
+    sequential otherwise) for a given size and machine parameters. *)
+
+val find_top_split : p:int -> mu:int -> int -> int option
+(** A divisor [m] of [n] with [pµ | m] and [pµ | n/m] (most balanced),
+    the existence condition of the multicore Cooley-Tukey formula. *)
+
+val derive_formula :
+  threads:int ->
+  mu:int ->
+  tree:Spiral_rewrite.Ruletree.t ->
+  int ->
+  Spiral_spl.Formula.t * int
+(** [(formula, p)]: the formula to compile and the worker count actually
+    used ([1] when the multicore derivation is not applicable). *)

@@ -1,0 +1,98 @@
+open Spiral_util
+
+type t = {
+  n : int;  (* real length, even *)
+  half : Dft.t;  (* complex DFT of size n/2, forward *)
+  half_inv : Dft.t;
+  (* untangling twiddles: w[k] = exp (-2 pi i k / n), k = 0 .. n/2 - 1 *)
+  w : float array;
+}
+
+let plan ?threads ?mu n =
+  if n < 2 || n mod 2 <> 0 then
+    invalid_arg "Rfft.plan: length must be even and >= 2";
+  let h = n / 2 in
+  let w = Array.make (2 * h) 0.0 in
+  for k = 0 to h - 1 do
+    let z = Twiddle.omega n k in
+    w.(2 * k) <- z.re;
+    w.((2 * k) + 1) <- z.im
+  done;
+  {
+    n;
+    half = Dft.plan ?threads ?mu h;
+    half_inv = Dft.plan ~direction:Dft.Inverse ?threads ?mu h;
+    w;
+  }
+
+let n t = t.n
+
+let forward t x =
+  if Array.length x <> t.n then invalid_arg "Rfft.forward: wrong length";
+  let h = t.n / 2 in
+  (* pack neighbouring samples into complex z[j] = x[2j] + i x[2j+1] *)
+  let z = Cvec.create h in
+  for j = 0 to h - 1 do
+    z.(2 * j) <- x.(2 * j);
+    z.((2 * j) + 1) <- x.((2 * j) + 1)
+  done;
+  let f = Dft.execute t.half z in
+  (* untangle: X[k] = E[k] + w^k O[k] where
+     E[k] = (F[k] + conj F[h-k]) / 2,  O[k] = (F[k] - conj F[h-k]) / (2i) *)
+  let out = Cvec.create (h + 1) in
+  let get k =
+    let k = k mod h in
+    (f.(2 * k), f.((2 * k) + 1))
+  in
+  for k = 0 to h do
+    let fr, fi = get k in
+    let gr, gi = get ((h - k) mod h) in
+    (* conj F[h-k] *)
+    let gr = gr and gi = -.gi in
+    let er = 0.5 *. (fr +. gr) and ei = 0.5 *. (fi +. gi) in
+    (* O[k] = (F - conjF)/(2i) = (-i/2)(F - conjF) *)
+    let dr = fr -. gr and di = fi -. gi in
+    let or_ = 0.5 *. di and oi = -0.5 *. dr in
+    let wk_r, wk_i =
+      if k = h then (-1.0, 0.0) else (t.w.(2 * k), t.w.((2 * k) + 1))
+    in
+    out.(2 * k) <- er +. (wk_r *. or_) -. (wk_i *. oi);
+    out.((2 * k) + 1) <- ei +. (wk_r *. oi) +. (wk_i *. or_)
+  done;
+  out
+
+let inverse t s =
+  let h = t.n / 2 in
+  if Cvec.length s <> h + 1 then invalid_arg "Rfft.inverse: wrong length";
+  (* retangle: F[k] = E[k] + i w^{-k}-weighted odd part, where
+     E[k] = (X[k] + conj X[h-k]) / 2 and
+     O[k] = (X[k] - conj X[h-k]) / 2 * conj(w^k)  ... then
+     F[k] = E[k] + i O[k] *)
+  let f = Cvec.create h in
+  for k = 0 to h - 1 do
+    let xr = s.(2 * k) and xi = s.((2 * k) + 1) in
+    let yr = s.(2 * (h - k)) and yi = -.s.((2 * (h - k)) + 1) in
+    let er = 0.5 *. (xr +. yr) and ei = 0.5 *. (xi +. yi) in
+    let dr = 0.5 *. (xr -. yr) and di = 0.5 *. (xi -. yi) in
+    (* O[k] = conj(w^k) * (X[k] - conj X[h-k]) / 2 *)
+    let wr = t.w.(2 * k) and wi = -.t.w.((2 * k) + 1) in
+    let or_ = (wr *. dr) -. (wi *. di) and oi = (wr *. di) +. (wi *. dr) in
+    (* F[k] = E[k] + i O[k] *)
+    f.(2 * k) <- er -. oi;
+    f.((2 * k) + 1) <- ei +. or_
+  done;
+  let z = Dft.execute t.half_inv f in
+  let x = Array.make t.n 0.0 in
+  for j = 0 to h - 1 do
+    x.(2 * j) <- z.(2 * j);
+    x.((2 * j) + 1) <- z.((2 * j) + 1)
+  done;
+  x
+
+let destroy t =
+  Dft.destroy t.half;
+  Dft.destroy t.half_inv
+
+let with_plan ?threads ?mu n f =
+  let t = plan ?threads ?mu n in
+  Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)

@@ -1,0 +1,27 @@
+(** Real-input FFTs via the packing trick: a real transform of even length
+    [N] costs one complex [DFT_{N/2}] plus an O(N) untangling pass — half
+    the work of the complex transform, the standard technique production
+    FFT libraries use for real data. *)
+
+type t
+
+val plan : ?threads:int -> ?mu:int -> int -> t
+(** [plan n] prepares a real-to-complex transform of even length [n >= 2].
+    @raise Invalid_argument if [n] is odd or [< 2]. *)
+
+val n : t -> int
+
+val forward : t -> float array -> Spiral_util.Cvec.t
+(** [forward t x] with [x] of length [n] (real samples) returns the
+    non-redundant half-spectrum: [n/2 + 1] complex bins
+    [X_0 … X_{n/2}] (the remaining bins follow from Hermitian symmetry
+    [X_{n-k} = conj X_k]). *)
+
+val inverse : t -> Spiral_util.Cvec.t -> float array
+(** [inverse t s] with [s] of [n/2 + 1] bins reconstructs the [n] real
+    samples ([inverse t (forward t x) ≈ x]).  Bins 0 and [n/2] must be
+    (numerically) real. *)
+
+val destroy : t -> unit
+
+val with_plan : ?threads:int -> ?mu:int -> int -> (t -> 'a) -> 'a

@@ -1,0 +1,51 @@
+open Spiral_util
+
+let pointwise_mul x y =
+  let n = Cvec.length x in
+  if Cvec.length y <> n then invalid_arg "Signal.pointwise_mul: length mismatch";
+  let z = Cvec.create n in
+  for i = 0 to n - 1 do
+    let xr = x.(2 * i) and xi = x.((2 * i) + 1) in
+    let yr = y.(2 * i) and yi = y.((2 * i) + 1) in
+    z.(2 * i) <- (xr *. yr) -. (xi *. yi);
+    z.((2 * i) + 1) <- (xr *. yi) +. (xi *. yr)
+  done;
+  z
+
+let transform direction x =
+  Dft.with_plan ~direction (Cvec.length x) (fun t -> Dft.execute t x)
+
+let convolve x y =
+  let fx = transform Dft.Forward x and fy = transform Dft.Forward y in
+  transform Dft.Inverse (pointwise_mul fx fy)
+
+let correlate x y =
+  let fx = transform Dft.Forward x and fy = transform Dft.Forward y in
+  let n = Cvec.length x in
+  let cfx = Cvec.create n in
+  for i = 0 to n - 1 do
+    cfx.(2 * i) <- fx.(2 * i);
+    cfx.((2 * i) + 1) <- -.fx.((2 * i) + 1)
+  done;
+  transform Dft.Inverse (pointwise_mul cfx fy)
+
+let power_spectrum x =
+  let f = transform Dft.Forward x in
+  Array.init (Cvec.length x) (fun i ->
+      (f.(2 * i) *. f.(2 * i)) +. (f.((2 * i) + 1) *. f.((2 * i) + 1)))
+
+let sine_wave ~n ~freq ?(amplitude = 1.0) () =
+  let x = Cvec.create n in
+  for i = 0 to n - 1 do
+    x.(2 * i) <-
+      amplitude
+      *. sin (2.0 *. Float.pi *. float_of_int freq *. float_of_int i
+              /. float_of_int n)
+  done;
+  x
+
+let dominant_bins ?(count = 4) spectrum =
+  let half = max 1 (Array.length spectrum / 2) in
+  let bins = List.init half (fun i -> (i, spectrum.(i))) in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) bins in
+  List.filteri (fun i _ -> i < count) sorted

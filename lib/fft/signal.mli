@@ -1,0 +1,22 @@
+(** Signal-processing conveniences built on the DFT: the operations the
+    paper's introduction motivates FFT libraries with. *)
+
+val convolve : Spiral_util.Cvec.t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t
+(** Cyclic convolution of two equal-length signals via the convolution
+    theorem: [IDFT (DFT x · DFT y)]. *)
+
+val correlate : Spiral_util.Cvec.t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t
+(** Cyclic cross-correlation ([IDFT (conj (DFT x) · DFT y)]). *)
+
+val power_spectrum : Spiral_util.Cvec.t -> float array
+(** [|DFT x|²] per bin. *)
+
+val pointwise_mul :
+  Spiral_util.Cvec.t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t
+
+val sine_wave : n:int -> freq:int -> ?amplitude:float -> unit -> Spiral_util.Cvec.t
+(** Real sinusoid of [freq] cycles over [n] samples. *)
+
+val dominant_bins : ?count:int -> float array -> (int * float) list
+(** The [count] (default 4) largest-magnitude bins of a spectrum, sorted by
+    decreasing power, restricted to the first half (real-signal symmetry). *)

@@ -1,0 +1,59 @@
+open Spiral_util
+open Spiral_spl
+open Spiral_rewrite
+open Spiral_codegen
+
+type t = {
+  n : int;
+  plan : Plan.t;
+  pool : Spiral_smp.Pool.t option;
+  mutable alive : bool;
+}
+
+let seq_formula n =
+  let rec split n =
+    if n <= Ruletree.leaf_max then Formula.WHT n
+    else
+      Formula.compose
+        [ Formula.Tensor (Formula.WHT 2, Formula.I (n / 2));
+          Formula.Tensor (Formula.I 2, split (n / 2)) ]
+  in
+  split n
+
+let plan ?(threads = 1) ?(mu = 4) n =
+  if not (Int_util.is_pow2 n) then invalid_arg "Wht.plan: n must be 2^k";
+  let formula, p =
+    if threads <= 1 || n < Int_util.pow (threads * mu) 2 then (seq_formula n, 1)
+    else
+      (* most balanced power split with pµ | both halves *)
+      let rec half m = if m * m >= n then m else half (2 * m) in
+      let m = half (threads * mu) in
+      match Derive.multicore_wht ~p:threads ~mu ~m ~n:(n / m) with
+      | Ok f -> (f, threads)
+      | Error _ -> (seq_formula n, 1)
+  in
+  let plan = Plan.of_formula formula in
+  let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
+  { n; plan; pool; alive = true }
+
+let n t = t.n
+let parallel t = t.pool <> None
+
+let execute t x =
+  if not t.alive then invalid_arg "Wht: plan was destroyed";
+  if Cvec.length x <> t.n then invalid_arg "Wht.execute: wrong length";
+  let y = Cvec.create t.n in
+  (match t.pool with
+  | Some pool -> Spiral_smp.Par_exec.execute pool t.plan x y
+  | None -> Plan.execute t.plan x y);
+  y
+
+let destroy t =
+  if t.alive then begin
+    t.alive <- false;
+    Option.iter Spiral_smp.Pool.shutdown t.pool
+  end
+
+let with_plan ?threads ?mu n f =
+  let t = plan ?threads ?mu n in
+  Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)

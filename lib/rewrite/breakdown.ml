@@ -1,0 +1,38 @@
+open Spiral_spl
+open Formula
+
+let cooley_tukey ~m ~n =
+  if m < 2 || n < 2 then invalid_arg "Breakdown.cooley_tukey: factors >= 2";
+  compose
+    [ Tensor (DFT m, I n); twiddle m n; Tensor (I m, DFT n);
+      l_perm (m * n) m ]
+
+let six_step ~m ~n =
+  if m < 2 || n < 2 then invalid_arg "Breakdown.six_step: factors >= 2";
+  let mn = m * n in
+  compose
+    [ l_perm mn m; Tensor (I n, DFT m); l_perm mn n; twiddle m n;
+      Tensor (I m, DFT n); l_perm mn m ]
+
+let wht_split ~m ~n =
+  if not (Spiral_util.Int_util.is_pow2 m && Spiral_util.Int_util.is_pow2 n)
+  then invalid_arg "Breakdown.wht_split: factors must be powers of two";
+  compose [ Tensor (WHT m, I n); Tensor (I m, WHT n) ]
+
+let balanced_split n =
+  (* The divisor pair (m, n/m) with m closest to sqrt n from below. *)
+  let rec best m acc =
+    if m * m > n then acc
+    else if n mod m = 0 then best (m + 1) (Some m)
+    else best (m + 1) acc
+  in
+  best 2 None
+
+let ct_rule =
+  Rule.make "cooley-tukey" (fun f ->
+      match f with
+      | DFT n when n > 2 -> (
+          match balanced_split n with
+          | Some m -> Some (cooley_tukey ~m ~n:(n / m))
+          | None -> None (* prime: stays a codelet *))
+      | _ -> None)

@@ -1,0 +1,22 @@
+(** Breakdown rules: recursive factorizations of transforms.
+
+    These are the "→" rules of Section 2.2 of the paper; each function
+    returns the right-hand side formula for a given split. *)
+
+val cooley_tukey : m:int -> n:int -> Spiral_spl.Formula.t
+(** Rule (1): [DFT_{mn} → (DFT_m ⊗ I_n) D_{m,n} (I_m ⊗ DFT_n) L^{mn}_m].
+    The sub-DFTs remain nonterminals. *)
+
+val six_step : m:int -> n:int -> Spiral_spl.Formula.t
+(** Rule (3), the traditional shared-memory FFT:
+    [DFT_{mn} → L^{mn}_m (I_n ⊗ DFT_m) L^{mn}_n D_{m,n} (I_m ⊗ DFT_n) L^{mn}_m]
+    with the stride permutations executed as explicit passes. *)
+
+val wht_split : m:int -> n:int -> Spiral_spl.Formula.t
+(** [WHT_{mn} → (WHT_m ⊗ I_n)(I_m ⊗ WHT_n)] (no twiddles, no stride
+    permutation; both sizes powers of two). *)
+
+val ct_rule : Rule.t
+(** Nondeterministic Cooley-Tukey as a rewriting rule: splits [DFT_n] at
+    the balanced factorization (used by search strategies; ruletree
+    expansion is the precise mechanism). *)

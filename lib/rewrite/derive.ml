@@ -1,0 +1,164 @@
+open Spiral_spl
+open Formula
+
+type error =
+  | Bad_size of string
+  | Rewrite_failed of string
+  | Not_fully_optimized of string
+
+let error_to_string = function
+  | Bad_size s -> "bad size: " ^ s
+  | Rewrite_failed s -> "rewrite failed: " ^ s
+  | Not_fully_optimized s -> "not fully optimized: " ^ s
+
+(* Replace the [DFT]/[WHT] nonterminals of [f] in pre-order with the given
+   expansions (sizes are checked).  Substituted formulas are not themselves
+   traversed, so their own codelet-sized [DFT] leaves are preserved. *)
+let substitute_nonterminals f expansions =
+  let q = ref expansions in
+  let rec go f =
+    match f with
+    | DFT n | WHT n -> (
+        match !q with
+        | g :: rest when dim g = n ->
+            q := rest;
+            g
+        | g :: _ ->
+            failwith
+              (Printf.sprintf
+                 "Derive.substitute: expansion size %d for nonterminal %d"
+                 (dim g) n)
+        | [] -> failwith "Derive.substitute: not enough expansions")
+    | f -> map_children go f
+  in
+  let g = go f in
+  match !q with
+  | [] -> g
+  | _ -> failwith "Derive.substitute: unused expansions"
+
+let sequential_dft = Ruletree.expand
+
+let multicore_dft ~p ~mu (tree : Ruletree.t) =
+  match tree with
+  | Leaf n ->
+      Error
+        (Bad_size
+           (Printf.sprintf
+              "DFT_%d: multicore derivation needs a top Cooley-Tukey split" n))
+  | Ct (l, r) -> (
+      let m = Ruletree.size l and n = Ruletree.size r in
+      if m mod (p * mu) <> 0 || n mod (p * mu) <> 0 then
+        Error
+          (Bad_size
+             (Printf.sprintf
+                "top split %dx%d: the paper requires pµ | m and pµ | n \
+                 (p=%d, µ=%d)"
+                m n p mu))
+      else
+        let top = Breakdown.cooley_tukey ~m ~n in
+        match Parallel_rules.parallelize ~p ~mu top with
+        | Error e -> Error (Rewrite_failed e)
+        | Ok f ->
+            if not (Props.fully_optimized ~p ~mu f) then
+              Error (Not_fully_optimized (to_string f))
+            else
+              Ok
+                (substitute_nonterminals f
+                   [ Ruletree.expand l; Ruletree.expand r ]))
+
+let parallelize_stage ~p ~mu stage =
+  match Parallel_rules.parallelize ~p ~mu stage with
+  | Ok f -> f
+  | Error _ -> stage
+
+let six_step_dft ~p ~mu ~m ~n =
+  if m mod p <> 0 || n mod p <> 0 then
+    Error (Bad_size (Printf.sprintf "six-step %dx%d: p | m and p | n needed" m n))
+  else
+    let mn = m * n in
+    let par = parallelize_stage ~p ~mu in
+    let expand_sub k =
+      if k <= Ruletree.leaf_max then DFT k
+      else Ruletree.expand (Ruletree.balanced k)
+    in
+    let stages =
+      [ l_perm mn m;
+        par (Tensor (I n, DFT m));
+        l_perm mn n;
+        par (twiddle m n);
+        par (Tensor (I m, DFT n));
+        l_perm mn m ]
+    in
+    let f = compose stages in
+    Ok (substitute_nonterminals f [ expand_sub m; expand_sub n ])
+
+let rec parallelize_loops ~p f =
+  match f with
+  | Tensor (I m, a) when m mod p = 0 && m >= p ->
+      ParTensor (p, tensor (I (m / p)) a)
+  | Tensor (a, I n) when n mod p = 0 && n >= p && not (is_data a) ->
+      (* Transpose, run the now-contiguous loop in parallel, transpose
+         back: the traditional explicit-permutation approach. *)
+      let m = dim a in
+      let mn = m * n in
+      compose
+        [ l_perm mn m;
+          ParTensor (p, tensor (I (n / p)) a);
+          l_perm mn n ]
+  | Diag d when Diag.size d mod p = 0 ->
+      ParDirectSum (List.map (fun s -> Diag s) (Diag.split d p))
+  | Compose fs -> compose (List.map (parallelize_loops ~p) fs)
+  | f -> f
+
+and is_data = function Perm _ | Diag _ | I _ -> true | _ -> false
+
+let multicore_wht ~p ~mu ~m ~n =
+  if not Spiral_util.Int_util.(is_pow2 m && is_pow2 n) then
+    Error (Bad_size "WHT sizes must be powers of two")
+  else if m mod (p * mu) <> 0 || n mod (p * mu) <> 0 then
+    Error
+      (Bad_size
+         (Printf.sprintf "WHT %dx%d: pµ | m and pµ | n needed (p=%d, µ=%d)" m
+            n p mu))
+  else
+    let top = Breakdown.wht_split ~m ~n in
+    match Parallel_rules.parallelize ~p ~mu top with
+    | Error e -> Error (Rewrite_failed e)
+    | Ok f ->
+        if not (Props.fully_optimized ~p ~mu f) then
+          Error (Not_fully_optimized (to_string f))
+        else
+          let expand_wht k =
+            if k <= Ruletree.leaf_max then WHT k
+            else
+              (* fully split WHT_k = (WHT_2 ⊗ I)(I ⊗ WHT_{k/2}) … keep
+                 codelet-sized leaves. *)
+              let rec split k =
+                if k <= Ruletree.leaf_max then WHT k
+                else
+                  compose
+                    [ Tensor (WHT 2, I (k / 2)); Tensor (I 2, split (k / 2)) ]
+              in
+              split k
+          in
+          Ok (substitute_nonterminals f [ expand_wht m; expand_wht n ])
+
+let short_vector_dft ~nu tree =
+  let f = Ruletree.expand tree in
+  match Vector_rules.vectorize ~nu f with
+  | Error e -> Error (Rewrite_failed e)
+  | Ok g ->
+      if not (Props.vectorized ~nu g) then
+        Error (Not_fully_optimized (to_string g))
+      else Ok g
+
+let multicore_vector_dft ~p ~mu ~nu tree =
+  match multicore_dft ~p ~mu tree with
+  | Error e -> Error e
+  | Ok f -> (
+      match Vector_rules.vectorize ~nu f with
+      | Error e -> Error (Rewrite_failed e)
+      | Ok g ->
+          if not (Props.vectorized ~nu g && Props.fully_optimized ~p ~mu g)
+          then Error (Not_fully_optimized (to_string g))
+          else Ok g)

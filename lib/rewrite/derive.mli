@@ -1,0 +1,62 @@
+(** End-to-end derivation of the multicore Cooley-Tukey FFT (formula (14)
+    of the paper) and of the baseline algorithm formulas.
+
+    [multicore_dft] performs exactly the paper's Section 3.2 procedure:
+    apply the Cooley-Tukey rule (1) once at the top, tag with [smp(p, µ)],
+    rewrite with the Table 1 rules to a fully optimized formula, then
+    expand the sequential sub-DFTs with their ruletrees. *)
+
+type error =
+  | Bad_size of string  (** Divisibility requirements violated. *)
+  | Rewrite_failed of string  (** A tag could not be eliminated. *)
+  | Not_fully_optimized of string
+      (** Defensive check: rewriting finished but Definition 1 fails. *)
+
+val error_to_string : error -> string
+
+val multicore_dft :
+  p:int -> mu:int -> Ruletree.t -> (Spiral_spl.Formula.t, error) result
+(** [multicore_dft ~p ~mu tree] derives the multicore Cooley-Tukey FFT for
+    [DFT_N], [N = Ruletree.size tree].  The tree's top split [Ct (l, r)]
+    with [m = size l], [n = size r] must satisfy [pµ | m] and [pµ | n]
+    (the paper's condition, guaranteeing [(pµ)² | N]).  The result is
+    fully optimized per Definition 1 (verified). *)
+
+val sequential_dft : Ruletree.t -> Spiral_spl.Formula.t
+(** The sequential formula for the tree ([Ruletree.expand]). *)
+
+val six_step_dft :
+  p:int -> mu:int -> m:int -> n:int -> (Spiral_spl.Formula.t, error) result
+(** The traditional six-step algorithm (3) with each stage parallelized by
+    the same rule set (explicit stride-permutation passes remain), as a
+    baseline against the multicore Cooley-Tukey FFT. *)
+
+val parallelize_loops :
+  p:int -> Spiral_spl.Formula.t -> Spiral_spl.Formula.t
+(** Naive loop parallelization (what a parallelizing compiler or FFTW-style
+    loop scheduler does): wraps every [I_m ⊗ A] with [p | m] into
+    [I_p ⊗∥ (I_{m/p} ⊗ A)] and every [A ⊗ I_n] into the cyclic schedule
+    [I_p ⊗∥ …] obtained {e without} the µ-aware rules — used as the
+    false-sharing counterexample in tests and benchmarks. *)
+
+val substitute_nonterminals :
+  Spiral_spl.Formula.t -> Spiral_spl.Formula.t list -> Spiral_spl.Formula.t
+(** Replace the [DFT]/[WHT] nonterminals of a formula, in pre-order, with
+    the given expansions (sizes checked; substituted formulas are not
+    re-traversed).  @raise Failure on arity or size mismatch. *)
+
+val multicore_wht :
+  p:int -> mu:int -> m:int -> n:int -> (Spiral_spl.Formula.t, error) result
+(** Parallelized Walsh-Hadamard transform [WHT_{mn}] (framework
+    generality beyond the DFT). *)
+
+val short_vector_dft :
+  nu:int -> Ruletree.t -> (Spiral_spl.Formula.t, error) result
+(** Sequential short-vector FFT: expand the tree and rewrite with
+    {!Vector_rules} so every operation is ν-way ([Props.vectorized]). *)
+
+val multicore_vector_dft :
+  p:int -> mu:int -> nu:int -> Ruletree.t -> (Spiral_spl.Formula.t, error) result
+(** The tandem of Section 3.2: the multicore Cooley-Tukey formula (14)
+    with its blocks subsequently vectorized — simultaneously fully
+    optimized for [smp(p, µ)] (Definition 1) and ν-way vectorized. *)

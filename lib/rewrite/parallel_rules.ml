@@ -1,0 +1,100 @@
+open Spiral_spl
+open Formula
+
+let rule6_compose =
+  Rule.make "smp-compose(6)" (fun f ->
+      match f with
+      | Smp (p, mu, Compose fs) ->
+          Some (compose (List.map (fun g -> Smp (p, mu, g)) fs))
+      | _ -> None)
+
+(* A ⊗ I_n is "computational" when A is not itself a permutation, diagonal
+   or identity: those cases belong to rules (8)/(10)/(11) or need no work. *)
+let is_computational = function
+  | Perm _ | Diag _ | I _ | VShuffle _ -> false
+  | DFT _ | WHT _ | Compose _ | Tensor _ | DirectSum _ | Smp _ | ParTensor _
+  | ParDirectSum _ | CacheTensor _ | Vec _ | VTensor _ ->
+      true
+
+let rule7_tensor_ai =
+  Rule.make "smp-tensor-AI(7)" (fun f ->
+      match f with
+      | Smp (p, mu, Tensor (a, I n))
+        when is_computational a && n mod p = 0 && n >= p ->
+          let m = dim a in
+          let np = n / p in
+          Some
+            (compose
+               [ Smp (p, mu, tensor (l_perm (m * p) m) (I np));
+                 Smp (p, mu, tensor (I p) (tensor a (I np)));
+                 Smp (p, mu, tensor (l_perm (m * p) p) (I np)) ])
+      | _ -> None)
+
+let rule8_stride_perm =
+  Rule.make "smp-stride-perm(8)" (fun f ->
+      match f with
+      | Smp (p, mu, Perm (Perm.L (mn, m))) ->
+          let n = mn / m in
+          (* progress guards: with m = p (resp. n = p) a variant would
+             reproduce the original L^{pn}_p and loop forever *)
+          if m mod p = 0 && m > p then
+            (* variant 1: (I_p ⊗ L^{mn/p}_{m/p}) (L^{pn}_p ⊗ I_{m/p}) *)
+            Some
+              (compose
+                 [ Smp (p, mu, tensor (I p) (l_perm (mn / p) (m / p)));
+                   Smp (p, mu, tensor (l_perm (p * n) p) (I (m / p))) ])
+          else if n mod p = 0 && n > p then
+            (* variant 2: (L^{pm}_m ⊗ I_{n/p}) (I_p ⊗ L^{mn/p}_m) *)
+            Some
+              (compose
+                 [ Smp (p, mu, tensor (l_perm (p * m) m) (I (n / p)));
+                   Smp (p, mu, tensor (I p) (l_perm (mn / p) m)) ])
+          else None
+      | _ -> None)
+
+let rule9_tensor_ia =
+  Rule.make "smp-tensor-IA(9)" (fun f ->
+      match f with
+      | Smp (p, _, Tensor (I m, a)) when m mod p = 0 ->
+          Some (ParTensor (p, tensor (I (m / p)) a))
+      | _ -> None)
+
+let rule10_perm_cache =
+  Rule.make "smp-perm-cache(10)" (fun f ->
+      match f with
+      | Smp (_, mu, Tensor (Perm q, I n)) when n mod mu = 0 ->
+          Some (CacheTensor (tensor (Perm q) (I (n / mu)), mu))
+      | Smp (_, 1, Perm q) ->
+          (* µ = 1: every permutation moves whole (one-element) cache
+             lines, so a bare permutation is directly [P ⊗̄ I_1] *)
+          Some (CacheTensor (Perm q, 1))
+      | _ -> None)
+
+let rule11_diag_split =
+  Rule.make "smp-diag-split(11)" (fun f ->
+      match f with
+      | Smp (p, _, Diag d) when Diag.size d mod p = 0 ->
+          Some
+            (ParDirectSum (List.map (fun s -> Diag s) (Diag.split d p)))
+      | _ -> None)
+
+let rule_identity_untag =
+  Rule.make "smp-identity" (fun f ->
+      match f with Smp (_, _, (I _ as id)) -> Some id | _ -> None)
+
+(* Priority: decompositions of structured factors first; the generic loop
+   tiling rule (7) last so permutations are never treated as compute. *)
+let all =
+  [ rule6_compose; rule_identity_untag; rule10_perm_cache; rule8_stride_perm;
+    rule9_tensor_ia; rule11_diag_split; rule7_tensor_ai ]
+
+let parallelize ~p ~mu f =
+  if p <= 0 || mu <= 0 then invalid_arg "Parallel_rules.parallelize";
+  let g, _trace = Rule.fixpoint all (Smp (p, mu, f)) in
+  if has_tag g then
+    Error
+      (Format.asprintf
+         "parallelization incomplete (divisibility preconditions failed) \
+          for p=%d mu=%d: %a"
+         p mu pp g)
+  else Ok g

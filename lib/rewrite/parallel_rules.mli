@@ -1,0 +1,46 @@
+(** The shared memory parallelization rules of Table 1 of the paper.
+
+    Each rule rewrites an [Smp (p, µ, f)] tagged node.  Together they
+    transform any formula built from tensor products, stride permutations
+    and twiddle diagonals into a {e fully optimized} formula in the sense
+    of Definition 1: load-balanced for [p] processors and free of false
+    sharing for cache lines of [µ] complex elements.  An expression [n/p]
+    on a right-hand side implies the precondition [p | n]; rules do not
+    fire when preconditions fail, leaving the tag in place (callers detect
+    this with {!Spiral_spl.Formula.has_tag}). *)
+
+val rule6_compose : Rule.t
+(** [(A B)_smp → A_smp B_smp]. *)
+
+val rule7_tensor_ai : Rule.t
+(** [(A_m ⊗ I_n)_smp → (L^{mp}_m ⊗ I_{n/p})_smp (I_p ⊗ (A_m ⊗ I_{n/p}))_smp
+    (L^{mp}_p ⊗ I_{n/p})_smp] — loop tiling and scheduling so that [n/p]
+    consecutive iterations run on the same processor.  Requires [p | n];
+    [A] must be computational (not a permutation or diagonal). *)
+
+val rule8_stride_perm : Rule.t
+(** [(L^{mn}_m)_smp → (I_p ⊗ L^{mn/p}_{m/p})_smp (L^{pn}_p ⊗ I_{m/p})_smp]
+    when [p | m], else
+    [(L^{pm}_m ⊗ I_{n/p})_smp (I_p ⊗ L^{mn/p}_m)_smp] when [p | n]. *)
+
+val rule9_tensor_ia : Rule.t
+(** [(I_m ⊗ A_n)_smp → I_p ⊗∥ (I_{m/p} ⊗ A_n)].  Requires [p | m]. *)
+
+val rule10_perm_cache : Rule.t
+(** [(P ⊗ I_n)_smp → (P ⊗ I_{n/µ}) ⊗̄ I_µ].  Requires [µ | n]. *)
+
+val rule11_diag_split : Rule.t
+(** [D_smp → ⊕∥ D_i] with [p] equal contiguous segments.  Requires
+    [p | size D]. *)
+
+val rule_identity_untag : Rule.t
+(** [(I_n)_smp → I_n] (an identity needs no parallelization). *)
+
+val all : Rule.t list
+(** The rule set in application-priority order. *)
+
+val parallelize :
+  p:int -> mu:int -> Spiral_spl.Formula.t -> (Spiral_spl.Formula.t, string) result
+(** [parallelize ~p ~mu f] tags [f] and rewrites to fixpoint.  [Ok g] when
+    no tag remains; [Error msg] when some subformula could not be
+    parallelized (e.g. divisibility preconditions fail). *)

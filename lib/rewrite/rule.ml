@@ -1,0 +1,70 @@
+open Spiral_spl
+
+type t = {
+  name : string;
+  rewrite : Formula.t -> Formula.t option;
+}
+
+let make name rewrite = { name; rewrite }
+
+let apply_root rules f =
+  List.find_map
+    (fun r -> match r.rewrite f with Some g -> Some (r.name, g) | None -> None)
+    rules
+
+let apply_once rules f =
+  (* Leftmost-outermost: try the root first, then children left to right,
+     rebuilding the spine of the first successful rewrite. *)
+  let rec go f =
+    match apply_root rules f with
+    | Some _ as hit -> hit
+    | None -> go_children f
+  and go_children f =
+    let rebuild mk fs =
+      let rec loop prefix = function
+        | [] -> None
+        | g :: rest -> (
+            match go g with
+            | Some (name, g') ->
+                Some (name, mk (List.rev_append prefix (g' :: rest)))
+            | None -> loop (g :: prefix) rest)
+      in
+      loop [] fs
+    in
+    match (f : Formula.t) with
+    | I _ | DFT _ | WHT _ | Perm _ | Diag _ | VShuffle _ -> None
+    | Compose fs -> rebuild Formula.compose fs
+    | DirectSum fs -> rebuild (fun fs -> Formula.DirectSum fs) fs
+    | ParDirectSum fs -> rebuild (fun fs -> Formula.ParDirectSum fs) fs
+    | Tensor (a, b) -> (
+        match go a with
+        | Some (name, a') -> Some (name, Tensor (a', b))
+        | None -> (
+            match go b with
+            | Some (name, b') -> Some (name, Tensor (a, b'))
+            | None -> None))
+    | Smp (p, mu, g) ->
+        Option.map (fun (name, g') -> (name, Formula.Smp (p, mu, g'))) (go g)
+    | ParTensor (p, g) ->
+        Option.map (fun (name, g') -> (name, Formula.ParTensor (p, g'))) (go g)
+    | CacheTensor (g, mu) ->
+        Option.map
+          (fun (name, g') -> (name, Formula.CacheTensor (g', mu)))
+          (go g)
+    | Vec (nu, g) ->
+        Option.map (fun (name, g') -> (name, Formula.Vec (nu, g'))) (go g)
+    | VTensor (g, nu) ->
+        Option.map (fun (name, g') -> (name, Formula.VTensor (g', nu))) (go g)
+  in
+  go f
+
+let fixpoint ?(max_steps = 10_000) rules f =
+  let rec loop steps trace f =
+    if steps >= max_steps then
+      failwith "Rule.fixpoint: step limit exceeded (non-terminating rules?)"
+    else
+      match apply_once rules f with
+      | None -> (f, List.rev trace)
+      | Some (name, g) -> loop (steps + 1) (name :: trace) g
+  in
+  loop 0 [] f

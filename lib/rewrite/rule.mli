@@ -1,0 +1,31 @@
+(** A generic rewriting engine over SPL formulas.
+
+    Rules are partial functions tried at a node; strategies lift them over
+    whole formulas.  This mirrors Spiral's formula-level rewriting system:
+    the expensive dependence analysis of a parallelizing compiler is
+    replaced by cheap pattern matching on formula constructs. *)
+
+type t = {
+  name : string;  (** For traces and error messages. *)
+  rewrite : Spiral_spl.Formula.t -> Spiral_spl.Formula.t option;
+      (** [rewrite f] is [Some g] if the rule applies at the root of [f]. *)
+}
+
+val make :
+  string -> (Spiral_spl.Formula.t -> Spiral_spl.Formula.t option) -> t
+
+val apply_root : t list -> Spiral_spl.Formula.t -> (string * Spiral_spl.Formula.t) option
+(** First rule (in list order) applicable at the root. *)
+
+val apply_once :
+  t list -> Spiral_spl.Formula.t -> (string * Spiral_spl.Formula.t) option
+(** One leftmost-outermost rewriting step anywhere in the formula. *)
+
+val fixpoint :
+  ?max_steps:int ->
+  t list ->
+  Spiral_spl.Formula.t ->
+  Spiral_spl.Formula.t * string list
+(** Repeats {!apply_once} until no rule applies (or [max_steps], default
+    10_000, is reached — a safety net against non-terminating rule sets).
+    Returns the normal form and the trace of applied rule names. *)

@@ -1,0 +1,151 @@
+open Spiral_spl
+open Formula
+
+type t = Leaf of int | Ct of t * t
+
+let rec size = function Leaf n -> n | Ct (l, r) -> size l * size r
+
+let leaf_max = 32
+
+let rec validate = function
+  | Leaf n ->
+      if n < 2 || n > leaf_max then
+        invalid_arg
+          (Printf.sprintf "Ruletree: leaf size %d outside [2, %d]" n leaf_max)
+  | Ct (l, r) ->
+      validate l;
+      validate r
+
+let rec depth = function Leaf _ -> 1 | Ct (l, r) -> 1 + max (depth l) (depth r)
+
+let rec expand = function
+  | Leaf n -> DFT n
+  | Ct (l, r) ->
+      let m = size l and n = size r in
+      compose
+        [ Tensor (expand l, I n); twiddle m n; Tensor (I m, expand r);
+          l_perm (m * n) m ]
+
+let rec right_expanded ~radix n =
+  if n <= leaf_max && n <= radix then Leaf n
+  else if n mod radix = 0 && n / radix >= 2 then
+    Ct (Leaf radix, right_expanded ~radix (n / radix))
+  else Leaf n
+
+let rec left_expanded ~radix n =
+  if n <= leaf_max && n <= radix then Leaf n
+  else if n mod radix = 0 && n / radix >= 2 then
+    Ct (left_expanded ~radix (n / radix), Leaf radix)
+  else Leaf n
+
+(* Unrolled codelets exist up to size 8; larger leaves fall back to the
+   O(r²) generic kernel, so the standard trees split down to this size. *)
+let good_leaf_max = 8
+
+let balanced_split n =
+  let rec best m acc =
+    if m * m > n then acc
+    else if n mod m = 0 then best (m + 1) (Some m)
+    else best (m + 1) acc
+  in
+  best 2 None
+
+let mixed_radix n =
+  (* Greedy right-expanded decomposition preferring efficient codelets:
+     take radix 8 while possible (avoiding a trailing 2), then 4, then 2;
+     odd factors become a single leaf if small enough. *)
+  let rec go n =
+    if n <= good_leaf_max then Leaf n
+    else if n mod 8 = 0 && n / 8 <> 2 then Ct (Leaf 8, go (n / 8))
+    else if n mod 4 = 0 then Ct (Leaf 4, go (n / 4))
+    else if n mod 2 = 0 then Ct (Leaf 2, go (n / 2))
+    else if n <= leaf_max then Leaf n
+    else
+      match balanced_split n with
+      | Some m -> Ct (go m, go (n / m))
+      | None -> Leaf n
+  in
+  go n
+
+let rec balanced n =
+  if n <= good_leaf_max then Leaf n
+  else
+    match balanced_split n with
+    | Some m -> Ct (balanced m, balanced (n / m))
+    | None -> Leaf n (* prime: codelet leaf (must be <= leaf_max) *)
+
+let random ~seed n =
+  let st = Random.State.make [| seed; n |] in
+  let rec go n =
+    let splits = Spiral_util.Int_util.factor_pairs n in
+    if n <= leaf_max && (splits = [] || Random.State.bool st) then Leaf n
+    else
+      match splits with
+      | [] -> Leaf n
+      | _ ->
+          let m, k = List.nth splits (Random.State.int st (List.length splits)) in
+          Ct (go m, go k)
+  in
+  go n
+
+let all_trees ?(max_count = 2000) n =
+  let tbl = Hashtbl.create 64 in
+  let rec go n =
+    match Hashtbl.find_opt tbl n with
+    | Some ts -> ts
+    | None ->
+        let leaves = if n >= 2 && n <= leaf_max then [ Leaf n ] else [] in
+        let splits =
+          Spiral_util.Int_util.factor_pairs n
+          |> List.concat_map (fun (m, k) ->
+                 let ls = go m and rs = go k in
+                 List.concat_map (fun l -> List.map (fun r -> Ct (l, r)) rs) ls)
+        in
+        let ts =
+          let all = leaves @ splits in
+          if List.length all > max_count then
+            List.filteri (fun i _ -> i < max_count) all
+          else all
+        in
+        Hashtbl.add tbl n ts;
+        ts
+  in
+  go n
+
+let rec to_string = function
+  | Leaf n -> string_of_int n
+  | Ct (l, r) -> Printf.sprintf "(%s x %s)" (to_string l) (to_string r)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_string s =
+  (* grammar: tree ::= INT | '(' tree 'x' tree ')' *)
+  let n = String.length s in
+  let pos = ref 0 in
+  let skip_ws () = while !pos < n && s.[!pos] = ' ' do incr pos done in
+  let fail msg = invalid_arg (Printf.sprintf "Ruletree.of_string: %s at %d" msg !pos) in
+  let expect c =
+    skip_ws ();
+    if !pos < n && s.[!pos] = c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let rec tree () =
+    skip_ws ();
+    if !pos < n && s.[!pos] = '(' then begin
+      expect '(';
+      let l = tree () in
+      expect 'x';
+      let r = tree () in
+      expect ')';
+      Ct (l, r)
+    end
+    else begin
+      let start = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do incr pos done;
+      if !pos = start then fail "expected integer";
+      Leaf (int_of_string (String.sub s start (!pos - start)))
+    end
+  in
+  let t = tree () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  t

@@ -1,0 +1,60 @@
+(** Ruletrees: explicit recursive factorization plans for [DFT_n].
+
+    A ruletree records which breakdown rule (with which split) is applied
+    at every level — the objects Spiral's search module optimizes over. *)
+
+type t =
+  | Leaf of int  (** [DFT_n] computed directly by a codelet. *)
+  | Ct of t * t
+      (** [Ct (l, r)]: Cooley-Tukey rule (1) with [m = size l],
+          [n = size r]. *)
+
+val size : t -> int
+(** The transform size the tree computes. *)
+
+val leaf_max : int
+(** Largest size computed directly by a codelet (no further split). *)
+
+val good_leaf_max : int
+(** Largest leaf with an unrolled (efficient) codelet; the standard tree
+    constructors split down to this size. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on empty/undersized leaves. *)
+
+val depth : t -> int
+
+val expand : t -> Spiral_spl.Formula.t
+(** The fully expanded sequential SPL formula for the tree. *)
+
+(** {1 Standard tree shapes} *)
+
+val right_expanded : radix:int -> int -> t
+(** [right_expanded ~radix n]: iterative-FFT shape
+    [Ct (Leaf radix, Ct (Leaf radix, …))]; requires [n] to be a power of
+    [radix] (trailing factor may be smaller). *)
+
+val left_expanded : radix:int -> int -> t
+
+val mixed_radix : int -> t
+(** Right-expanded tree over radices 8/4/2 (best unrolled codelets),
+    avoiding a trailing radix-2 pass; the default high-quality tree. *)
+
+val balanced : int -> t
+(** Splits at the divisor closest to [√n] recursively, leaves of size
+    [<= leaf_max]. *)
+
+val random : seed:int -> int -> t
+(** A random valid tree (for search and property tests). *)
+
+val all_trees : ?max_count:int -> int -> t list
+(** All distinct ruletrees for size [n], capped at [max_count]
+    (default 2000) — the DP search space. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t
+(** Parses the {!to_string} format, e.g. ["(8 x (4 x 2))"].
+    @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,93 @@
+open Spiral_spl
+open Formula
+
+(* identity blocks need no vector op: fold them away so composes drop them *)
+let vtensor a nu =
+  match a with I k -> I (k * nu) | a -> VTensor (a, nu)
+
+let rule_compose =
+  Rule.make "vec-compose" (fun f ->
+      match f with
+      | Vec (nu, Compose fs) ->
+          Some (compose (List.map (fun g -> Vec (nu, g)) fs))
+      | _ -> None)
+
+let rule_tensor_ai =
+  Rule.make "vec-tensor-AI" (fun f ->
+      match f with
+      | Vec (nu, Tensor (a, I n)) when n mod nu = 0 ->
+          Some (vtensor (tensor a (I (n / nu))) nu)
+      | _ -> None)
+
+let rule_tensor_ia =
+  Rule.make "vec-tensor-IA" (fun f ->
+      match f with
+      | Vec (nu, Tensor (I m, a))
+        when m mod nu = 0 && Formula.dim a mod nu = 0 ->
+          (* I_m ⊗ A_k = L^{mk}_m (A_k ⊗ I_m) L^{mk}_k *)
+          let k = Formula.dim a in
+          Some
+            (compose
+               [ Vec (nu, l_perm (m * k) m);
+                 Vec (nu, tensor a (I m));
+                 Vec (nu, l_perm (m * k) k) ])
+      | _ -> None)
+
+let rule_stride_perm =
+  Rule.make "vec-stride-perm" (fun f ->
+      match f with
+      | Vec (nu, Perm (Perm.L (mn, m)))
+        when m mod nu = 0 && (mn / m) mod nu = 0 && nu > 1 ->
+          let n = mn / m in
+          Some
+            (compose
+               [ vtensor (l_perm (mn / nu) m) nu;
+                 VShuffle (mn / (nu * nu), nu);
+                 vtensor (tensor (I (n / nu)) (l_perm m (m / nu))) nu ])
+      | _ -> None)
+
+let rule_diag =
+  Rule.make "vec-diag" (fun f ->
+      match f with
+      | Vec (_, (Diag _ as d)) -> Some d
+      | Vec (_, ((DirectSum fs | ParDirectSum fs) as d))
+        when List.for_all (fun g -> Shape.diag_entry g <> None) fs ->
+          Some d
+      | _ -> None)
+
+let rule_partensor =
+  Rule.make "vec-par-tensor" (fun f ->
+      match f with
+      | Vec (nu, ParTensor (p, a)) -> Some (ParTensor (p, Vec (nu, a)))
+      | _ -> None)
+
+let rule_cachetensor =
+  Rule.make "vec-cache-tensor" (fun f ->
+      match f with
+      | Vec (nu, CacheTensor (a, mu)) when mu mod nu = 0 ->
+          Some
+            (if mu = nu then VTensor (a, nu)
+             else VTensor (CacheTensor (a, mu / nu), nu))
+      | _ -> None)
+
+let rule_identity =
+  Rule.make "vec-identity" (fun f ->
+      match f with
+      | Vec (_, (I _ as id)) -> Some id
+      | Vec (1, g) -> Some g (* ν = 1: scalar code is trivially "vector" *)
+      | _ -> None)
+
+let all =
+  [ rule_compose; rule_identity; rule_diag; rule_cachetensor;
+    rule_stride_perm; rule_partensor; rule_tensor_ai; rule_tensor_ia ]
+
+let vectorize ~nu f =
+  if nu <= 0 then invalid_arg "Vector_rules.vectorize";
+  let g, _ = Rule.fixpoint all (Vec (nu, f)) in
+  if has_tag g then
+    Error
+      (Format.asprintf
+         "vectorization incomplete for nu=%d (divisibility preconditions \
+          failed): %a"
+         nu pp g)
+  else Ok g

@@ -1,0 +1,49 @@
+(** Short-vector (SIMD) rewriting rules — the companion framework [10,13]
+    that Section 3.2 of the paper composes with the multicore Cooley-Tukey
+    FFT ("in tandem with the efficient short vector Cooley-Tukey FFT on
+    machines with SIMD extensions").
+
+    A [Vec (ν, f)] tag is rewritten until every operation is a ν-way
+    vector block: [A ⊗→ I_ν] ([VTensor]), an in-register shuffle stage
+    [I_k ⊗ L^{ν²}_ν] ([VShuffle]), or a pointwise diagonal.  The key
+    identity (verified against dense matrix semantics in the test suite)
+    decomposes the stride permutation for [ν | m], [ν | n]:
+
+    [L^{mn}_m = (L^{mn/ν}_m ⊗ I_ν) (I_{mn/ν²} ⊗ L^{ν²}_ν)
+                (I_{n/ν} ⊗ L^{m}_{m/ν} ⊗ I_ν)] *)
+
+val rule_compose : Rule.t
+(** [(A B)_vec → A_vec B_vec]. *)
+
+val rule_tensor_ai : Rule.t
+(** [(A ⊗ I_n)_vec → (A ⊗ I_{n/ν}) ⊗→ I_ν] for [ν | n] — covers compute
+    and permutation factors alike. *)
+
+val rule_tensor_ia : Rule.t
+(** [(I_m ⊗ A_k)_vec → (L^{mk}_m)_vec ((A ⊗ I_m)_vec) (L^{mk}_k)_vec] for
+    [ν | m], [ν | k]: commute to the vector-friendly form. *)
+
+val rule_stride_perm : Rule.t
+(** The three-factor decomposition above; emits final vector constructs
+    directly. *)
+
+val rule_diag : Rule.t
+(** Diagonals are pointwise and vectorize as they are (tag removed). *)
+
+val rule_partensor : Rule.t
+(** [(I_p ⊗∥ A)_vec → I_p ⊗∥ (A_vec)]: vectorize inside parallel blocks —
+    the smp × vec tandem. *)
+
+val rule_cachetensor : Rule.t
+(** [(A ⊗̄ I_µ)_vec → (A ⊗̄ I_{µ/ν}) ⊗→ I_ν] for [ν | µ]: cache-line
+    blocks subsume vector blocks when lines are at least a vector wide. *)
+
+val rule_identity : Rule.t
+
+val all : Rule.t list
+
+val vectorize :
+  nu:int -> Spiral_spl.Formula.t -> (Spiral_spl.Formula.t, string) result
+(** Tag with [vec(ν)] and rewrite to fixpoint; [Ok g] iff no tag remains
+    (then [Props.vectorized ~nu g] is expected to hold for formulas in the
+    Cooley-Tukey algebra). *)

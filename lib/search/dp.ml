@@ -1,0 +1,65 @@
+open Spiral_util
+open Spiral_rewrite
+
+type measure = Ruletree.t -> float
+
+let candidate_leaves n =
+  if n >= 2 && n <= Ruletree.leaf_max then [ Ruletree.Leaf n ] else []
+
+let search ?memo ~measure n =
+  let memo =
+    match memo with Some m -> m | None -> Hashtbl.create 64
+  in
+  let rec best n =
+    match Hashtbl.find_opt memo n with
+    | Some r -> r
+    | None ->
+        let splits =
+          Int_util.factor_pairs n
+          |> List.map (fun (m, k) ->
+                 let tl, _ = best m and tr, _ = best k in
+                 Ruletree.Ct (tl, tr))
+        in
+        let candidates = candidate_leaves n @ splits in
+        if candidates = [] then
+          invalid_arg
+            (Printf.sprintf "Dp.search: no factorization for %d (prime > %d)"
+               n Ruletree.leaf_max);
+        let scored =
+          List.map (fun t -> (t, measure t)) candidates
+        in
+        let best_t =
+          List.fold_left
+            (fun (bt, bc) (t, c) -> if c < bc then (t, c) else (bt, bc))
+            (List.hd scored) (List.tl scored)
+        in
+        Hashtbl.add memo n best_t;
+        best_t
+  in
+  best n
+
+let search_parallel ?memo ~p ~mu ~measure_formula ~measure n =
+  let memo = match memo with Some m -> m | None -> Hashtbl.create 64 in
+  let q = p * mu in
+  let splits =
+    Int_util.divisors n
+    |> List.filter (fun m -> m mod q = 0 && (n / m) mod q = 0)
+  in
+  let candidates =
+    List.filter_map
+      (fun m ->
+        let tl, _ = search ~memo ~measure m in
+        let tr, _ = search ~memo ~measure (n / m) in
+        let tree = Ruletree.Ct (tl, tr) in
+        match Derive.multicore_dft ~p ~mu tree with
+        | Ok f -> Some (tree, measure_formula f)
+        | Error _ -> None)
+      splits
+  in
+  match candidates with
+  | [] -> None
+  | hd :: tl ->
+      Some
+        (List.fold_left
+           (fun (bt, bc) (t, c) -> if c < bc then (t, c) else (bt, bc))
+           hd tl)

@@ -1,0 +1,29 @@
+(** Dynamic programming over ruletrees — Spiral's standard search strategy
+    (Section 2.3 of the paper): the best tree for size [n] is found by
+    trying every top split with the best known subtrees, measuring the
+    compiled result, and memoizing per size. *)
+
+type measure = Spiral_rewrite.Ruletree.t -> float
+(** Smaller is better (seconds or simulated cycles). *)
+
+val search :
+  ?memo:(int, Spiral_rewrite.Ruletree.t * float) Hashtbl.t ->
+  measure:measure ->
+  int ->
+  Spiral_rewrite.Ruletree.t * float
+(** [search ~measure n] returns the best tree found and its measure.
+    Reusing [memo] across calls amortizes the search over a size sweep
+    (smaller sizes are solved first and reused). *)
+
+val search_parallel :
+  ?memo:(int, Spiral_rewrite.Ruletree.t * float) Hashtbl.t ->
+  p:int ->
+  mu:int ->
+  measure_formula:(Spiral_spl.Formula.t -> float) ->
+  measure:measure ->
+  int ->
+  (Spiral_rewrite.Ruletree.t * float) option
+(** Best {e top split} for the multicore Cooley-Tukey formula (14): tries
+    every valid split [m·k = n] with [pµ | m, k], using DP-optimal
+    sequential subtrees, and measures the derived parallel formula with
+    [measure_formula].  [None] when no valid split exists. *)

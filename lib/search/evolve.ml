@@ -1,0 +1,89 @@
+open Spiral_rewrite
+
+type params = {
+  population : int;
+  generations : int;
+  mutation_rate : float;
+  seed : int;
+}
+
+let default_params =
+  { population = 16; generations = 8; mutation_rate = 0.3; seed = 1 }
+
+let random_tree st n =
+  let rec go n =
+    let splits = Spiral_util.Int_util.factor_pairs n in
+    if n <= Ruletree.leaf_max && (splits = [] || Random.State.bool st) then
+      Ruletree.Leaf n
+    else
+      match splits with
+      | [] -> Ruletree.Leaf n
+      | _ ->
+          let m, k =
+            List.nth splits (Random.State.int st (List.length splits))
+          in
+          Ruletree.Ct (go m, go k)
+  in
+  go n
+
+(* Mutation: independently resample subtrees with probability
+   [mutation_rate] (size-preserving). *)
+let rec mutate st rate tree =
+  if Random.State.float st 1.0 < rate then
+    random_tree st (Ruletree.size tree)
+  else
+    match tree with
+    | Ruletree.Leaf _ -> tree
+    | Ruletree.Ct (l, r) -> Ruletree.Ct (mutate st rate l, mutate st rate r)
+
+(* Crossover: replace a random subtree of [a] by a same-size subtree of
+   [b] when one exists. *)
+let crossover st a b =
+  let rec subtrees t =
+    t :: (match t with Ruletree.Leaf _ -> [] | Ct (l, r) -> subtrees l @ subtrees r)
+  in
+  let bs = subtrees b in
+  let rec replace t =
+    let same = List.filter (fun s -> Ruletree.size s = Ruletree.size t) bs in
+    if same <> [] && Random.State.float st 1.0 < 0.25 then
+      List.nth same (Random.State.int st (List.length same))
+    else
+      match t with
+      | Ruletree.Leaf _ -> t
+      | Ct (l, r) ->
+          if Random.State.bool st then Ruletree.Ct (replace l, r)
+          else Ruletree.Ct (l, replace r)
+  in
+  replace a
+
+let search ?(params = default_params) ~measure n =
+  let st = Random.State.make [| params.seed; n |] in
+  let score t = (t, measure t) in
+  let pop =
+    ref
+      (List.init params.population (fun i ->
+           score
+             (if i = 0 then Ruletree.mixed_radix n
+              else if i = 1 then Ruletree.balanced n
+              else random_tree st n)))
+  in
+  let best = ref (List.hd !pop) in
+  let update_best () =
+    List.iter (fun (t, c) -> if c < snd !best then best := (t, c)) !pop
+  in
+  update_best ();
+  for _gen = 1 to params.generations do
+    let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !pop in
+    let elite = List.filteri (fun i _ -> i < max 2 (params.population / 4)) sorted in
+    let children =
+      List.init
+        (params.population - List.length elite)
+        (fun _ ->
+          let pick l = fst (List.nth l (Random.State.int st (List.length l))) in
+          let a = pick elite and b = pick sorted in
+          score (mutate st params.mutation_rate (crossover st a b)))
+    in
+    pop := elite @ children;
+    update_best ()
+  done;
+  !best

@@ -1,0 +1,17 @@
+(** Stochastic (evolutionary) search over ruletrees, after the approach of
+    Singer & Veloso cited by the paper [24]: an alternative to DP that
+    explores tree shapes DP's bottom-up assumption can miss. *)
+
+type params = {
+  population : int;  (** Default 16. *)
+  generations : int;  (** Default 8. *)
+  mutation_rate : float;  (** Probability a node is resampled; default 0.3. *)
+  seed : int;
+}
+
+val default_params : params
+
+val search :
+  ?params:params -> measure:(Spiral_rewrite.Ruletree.t -> float) -> int ->
+  Spiral_rewrite.Ruletree.t * float
+(** Best tree found and its measure (smaller is better). *)

@@ -1,0 +1,63 @@
+open Spiral_rewrite
+
+type key = { n : int; p : int; mu : int; machine : string }
+
+type t = (key, Ruletree.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let escape s =
+  String.map (fun c -> if c = ' ' || c = '\t' then '_' else c) s
+
+let canonical key = { key with machine = escape key.machine }
+
+let find t key = Hashtbl.find_opt t (canonical key)
+
+let add t key tree = Hashtbl.replace t (canonical key) tree
+
+let size t = Hashtbl.length t
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Hashtbl.iter
+        (fun key tree ->
+          Printf.fprintf oc "%d %d %d %s %s\n" key.n key.p key.mu key.machine
+            (Ruletree.to_string tree))
+        t)
+
+let load path =
+  let ic = open_in path in
+  let t = create () in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match String.split_on_char ' ' (String.trim line) with
+             | n :: p :: mu :: machine :: rest ->
+                 let tree = Ruletree.of_string (String.concat " " rest) in
+                 add t
+                   {
+                     n = int_of_string n;
+                     p = int_of_string p;
+                     mu = int_of_string mu;
+                     machine;
+                   }
+                   tree
+             | _ -> invalid_arg ("Plan_cache.load: malformed line: " ^ line)
+         done
+       with End_of_file -> ());
+      t)
+
+let find_or_add t key make =
+  match find t key with
+  | Some tree -> tree
+  | None ->
+      let tree = make () in
+      add t key tree;
+      tree

@@ -1,0 +1,26 @@
+(** Persistent cache of tuned plans ("wisdom"): maps (size, threads, µ,
+    machine) keys to the best ruletree found by search, with a simple
+    line-oriented on-disk format. *)
+
+type key = { n : int; p : int; mu : int; machine : string }
+
+type t
+
+val create : unit -> t
+
+val find : t -> key -> Spiral_rewrite.Ruletree.t option
+
+val add : t -> key -> Spiral_rewrite.Ruletree.t -> unit
+
+val size : t -> int
+
+val save : t -> string -> unit
+(** Write to a file, one entry per line:
+    [n p mu machine <tree>] with machine whitespace-escaped. *)
+
+val load : string -> t
+(** @raise Sys_error if the file cannot be read;
+    @raise Invalid_argument on malformed entries. *)
+
+val find_or_add :
+  t -> key -> (unit -> Spiral_rewrite.Ruletree.t) -> Spiral_rewrite.Ruletree.t

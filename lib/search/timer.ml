@@ -1,0 +1,28 @@
+open Spiral_util
+open Spiral_rewrite
+open Spiral_codegen
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let time_min ?(repeats = 5) f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t = time_once f in
+    if t < !best then best := t
+  done;
+  !best
+
+let measure_host ?repeats tree =
+  let n = Ruletree.size tree in
+  let plan = Plan.of_formula (Ruletree.expand tree) in
+  let x = Cvec.random n and y = Cvec.create n in
+  Plan.execute plan x y;
+  (* warm *)
+  time_min ?repeats (fun () -> Plan.execute plan x y)
+
+let measure_sim machine backend tree =
+  let plan = Plan.of_formula (Ruletree.expand tree) in
+  (Spiral_sim.Simulate.run machine backend plan).Spiral_sim.Simulate.cycles

@@ -1,0 +1,23 @@
+(** Measurement functions for the search: how "fast" a candidate ruletree
+    is.  Spiral's feedback loop (Figure 1 of the paper) compiles each
+    candidate and measures it; here the measurement can be host wall-clock
+    time or simulated cycles on a modeled machine. *)
+
+val time_once : (unit -> unit) -> float
+(** Wall-clock seconds for one invocation. *)
+
+val time_min : ?repeats:int -> (unit -> unit) -> float
+(** Minimum over [repeats] (default 5) invocations — the standard
+    noise-robust estimator for short kernels. *)
+
+val measure_host : ?repeats:int -> Spiral_rewrite.Ruletree.t -> float
+(** Seconds for one [DFT] execution of the compiled sequential plan. *)
+
+val measure_sim :
+  Spiral_sim.Machine.t ->
+  Spiral_sim.Simulate.backend ->
+  Spiral_rewrite.Ruletree.t ->
+  float
+(** Simulated cycles of the compiled sequential plan on the machine
+    model.  Deterministic, fast, and machine-parameterized — the measure
+    used by the benchmark harness. *)

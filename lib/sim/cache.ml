@@ -1,0 +1,59 @@
+type t = {
+  sets : int;
+  assoc : int;
+  (* tags.(set * assoc + way): line address or -1; ways ordered by recency
+     (way 0 = most recently used). *)
+  tags : int array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create (p : Machine.cache_params) =
+  let lines = max 1 (p.size_bytes / p.line_bytes) in
+  let assoc = max 1 (min p.assoc lines) in
+  let sets = max 1 (lines / assoc) in
+  { sets; assoc; tags = Array.make (sets * assoc) (-1); hits = 0; misses = 0 }
+
+let find_way t base line =
+  let rec go w = if w = t.assoc then -1 else if t.tags.(base + w) = line then w else go (w + 1) in
+  go 0
+
+(* Move way [w] to the front of the recency order of its set. *)
+let touch t base w =
+  if w > 0 then begin
+    let line = t.tags.(base + w) in
+    Array.blit t.tags base t.tags (base + 1) w;
+    t.tags.(base) <- line
+  end
+
+let access t line =
+  let set = line mod t.sets in
+  let base = set * t.assoc in
+  match find_way t base line with
+  | -1 ->
+      t.misses <- t.misses + 1;
+      (* install as MRU, evicting the LRU way *)
+      Array.blit t.tags base t.tags (base + 1) (t.assoc - 1);
+      t.tags.(base) <- line;
+      false
+  | w ->
+      t.hits <- t.hits + 1;
+      touch t base w;
+      true
+
+let invalidate t line =
+  let set = line mod t.sets in
+  let base = set * t.assoc in
+  match find_way t base line with
+  | -1 -> ()
+  | w ->
+      (* shift the younger ways up, freeing the last slot *)
+      Array.blit t.tags (base + w + 1) t.tags (base + w) (t.assoc - 1 - w);
+      t.tags.((base + t.assoc) - 1) <- -1
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.hits <- 0;
+  t.misses <- 0
+
+let stats t = (t.hits, t.misses)

@@ -1,0 +1,20 @@
+(** Set-associative LRU cache model over line addresses.
+
+    Addresses are already line-granular (the simulator divides element
+    addresses by the line size before lookup). *)
+
+type t
+
+val create : Machine.cache_params -> t
+
+val access : t -> int -> bool
+(** [access c line] is [true] on a hit; on a miss the line is installed
+    (LRU replacement).  Always updates recency. *)
+
+val invalidate : t -> int -> unit
+(** Drop a line if present (coherence invalidation). *)
+
+val clear : t -> unit
+
+val stats : t -> int * int
+(** (hits, misses) since creation or [clear]. *)

@@ -1,0 +1,107 @@
+type cache_params = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  hit_cycles : int;
+}
+
+type t = {
+  name : string;
+  cores : int;
+  ghz : float;
+  l1 : cache_params;
+  l2 : cache_params;
+  l2_shared : bool;
+  mem_cycles : int;
+  bus_cycles : int;
+  coherence_cycles : int;
+  barrier_cycles : int;
+  thread_spawn_cycles : int;
+  flops_per_cycle : float;
+  loop_overhead_cycles : float;
+  elem_overhead_cycles : float;
+  pass_overhead_cycles : float;
+}
+
+let mu t = t.l1.line_bytes / 16
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let core_duo =
+  {
+    name = "2.0 GHz Core Duo (2 processors)";
+    cores = 2;
+    ghz = 2.0;
+    l1 = { size_bytes = kib 32; line_bytes = 64; assoc = 8; hit_cycles = 0 };
+    l2 = { size_bytes = mib 2; line_bytes = 64; assoc = 8; hit_cycles = 8 };
+    l2_shared = true;
+    mem_cycles = 14;  (* effective per-line cost: streaming with prefetch *)
+    bus_cycles = 13;
+    coherence_cycles = 30; (* via the shared L2 *)
+    barrier_cycles = 250;  (* spin barrier through the shared L2 *)
+    thread_spawn_cycles = 60_000;
+    flops_per_cycle = 2.8;
+    loop_overhead_cycles = 12.0;
+    elem_overhead_cycles = 0.7;
+    pass_overhead_cycles = 1_700.0;
+  }
+
+let pentium_d =
+  {
+    name = "3.6 GHz Pentium D (2 processors)";
+    cores = 2;
+    ghz = 3.6;
+    l1 = { size_bytes = kib 16; line_bytes = 64; assoc = 8; hit_cycles = 0 };
+    l2 = { size_bytes = mib 1; line_bytes = 64; assoc = 8; hit_cycles = 27 };
+    l2_shared = false;
+    mem_cycles = 24;  (* higher clock -> more cycles per memory access *)
+    bus_cycles = 20;
+    coherence_cycles = 450; (* over the front-side bus *)
+    barrier_cycles = 900;  (* synchronization crosses the FSB *)
+    thread_spawn_cycles = 110_000;
+    flops_per_cycle = 2.6;
+    loop_overhead_cycles = 14.0;
+    elem_overhead_cycles = 0.8;
+    pass_overhead_cycles = 2_600.0;
+  }
+
+let opteron =
+  {
+    name = "2.2 GHz Opteron Dual-core (4 processors)";
+    cores = 4;
+    ghz = 2.2;
+    l1 = { size_bytes = kib 64; line_bytes = 64; assoc = 2; hit_cycles = 0 };
+    l2 = { size_bytes = mib 1; line_bytes = 64; assoc = 16; hit_cycles = 12 };
+    l2_shared = false;
+    mem_cycles = 13;
+    bus_cycles = 6; (* two on-chip memory controllers: high aggregate BW *)
+    coherence_cycles = 110; (* fast on-chip protocol / HyperTransport *)
+    barrier_cycles = 450;
+    thread_spawn_cycles = 80_000;
+    flops_per_cycle = 2.6;
+    loop_overhead_cycles = 12.0;
+    elem_overhead_cycles = 0.7;
+    pass_overhead_cycles = 1_900.0;
+  }
+
+let xeon_mp =
+  {
+    name = "2.8 GHz Xeon MP (4 processors)";
+    cores = 4;
+    ghz = 2.8;
+    l1 = { size_bytes = kib 16; line_bytes = 64; assoc = 8; hit_cycles = 0 };
+    l2 = { size_bytes = kib 512; line_bytes = 64; assoc = 8; hit_cycles = 20 };
+    l2_shared = false;
+    mem_cycles = 20;
+    bus_cycles = 26; (* all four processors share one front-side bus *)
+    coherence_cycles = 500;
+    barrier_cycles = 1_400;
+    thread_spawn_cycles = 150_000;
+    flops_per_cycle = 2.2;
+    loop_overhead_cycles = 14.0;
+    elem_overhead_cycles = 0.8;
+    pass_overhead_cycles = 2_200.0;
+  }
+
+let all = [ core_duo; opteron; pentium_d; xeon_mp ]

@@ -1,0 +1,60 @@
+(** Descriptors of the shared-memory machines of the paper's evaluation
+    (Section 4).  The host of this reproduction has a single core, so the
+    performance experiments run on this trace-driven model instead; the
+    parameters below are set from the published microarchitectures, with
+    [flops_per_cycle] calibrated so absolute pseudo-Mflop/s land in the
+    paper's range (the claims under reproduction are about {e shapes}:
+    crossover points, relative series order, parallel speedup regions). *)
+
+type cache_params = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  hit_cycles : int;  (** Added latency of a hit at this level. *)
+}
+
+type t = {
+  name : string;
+  cores : int;
+  ghz : float;
+  l1 : cache_params;
+  l2 : cache_params;
+  l2_shared : bool;  (** One L2 for all cores (Core Duo) or per-core. *)
+  mem_cycles : int;  (** L2-miss penalty. *)
+  bus_cycles : int;
+      (** Shared-bus occupancy per L2 miss: serializes concurrent cores'
+          memory traffic (stage time >= misses * bus_cycles). *)
+  coherence_cycles : int;
+      (** Cache-to-cache transfer / invalidation: small for on-chip CMPs,
+          large for bus-based SMPs. *)
+  barrier_cycles : int;  (** Spin-barrier crossing (pooled backend). *)
+  thread_spawn_cycles : int;
+      (** Thread startup per parallel region (fork-join backend). *)
+  flops_per_cycle : float;
+  loop_overhead_cycles : float;  (** Per codelet invocation. *)
+  elem_overhead_cycles : float;  (** Per element load+store pair. *)
+  pass_overhead_cycles : float;
+      (** Fixed dispatch cost per pass (plan traversal, loop setup). *)
+}
+
+val mu : t -> int
+(** Cache line length in complex doubles: [line_bytes / 16] (the paper's µ;
+    µ=4 for 64-byte lines). *)
+
+val core_duo : t
+(** 2.0 GHz Intel Core Duo: 2 cores, shared 2 MB L2 — fast on-chip
+    communication. *)
+
+val pentium_d : t
+(** 3.6 GHz Intel Pentium D: 2 cores on one die, private L2, coherence
+    over the front-side bus. *)
+
+val opteron : t
+(** 2.2 GHz AMD Opteron dual-core x2: 4 cores, private L2, fast on-chip
+    coherence within a die. *)
+
+val xeon_mp : t
+(** 2.8 GHz Intel Xeon MP: 4 processors, traditional bus-based SMP. *)
+
+val all : t list
+(** The four evaluation machines, in the paper's figure order. *)

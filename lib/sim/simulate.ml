@@ -1,0 +1,320 @@
+open Spiral_codegen
+open Spiral_smp
+
+type backend = Seq | Pooled of int | ForkJoin of int
+
+type result = {
+  cycles : float;
+  seconds : float;
+  pseudo_mflops : float;
+  l1_misses : int;
+  l2_misses : int;
+  coherence_events : int;
+  false_sharing : int;
+  per_core_cycles : float array;
+}
+
+(* Line-granular ownership state: -2 = memory only, -1 = shared, c >= 0 =
+   modified by core c. *)
+let mem_only = -2
+let shared = -1
+
+type sys = {
+  m : Machine.t;
+  cores : int;
+  mu : int;  (* complex elements per line *)
+  l1 : Cache.t array;
+  l2 : Cache.t array;  (* length 1 if shared *)
+  owner : int array;  (* per line *)
+  last_writer : int array;  (* per line, epoch-tagged *)
+  writer_epoch : int array;
+  mutable epoch : int;
+  mutable counting : bool;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+  mutable coherence : int;
+  mutable false_sharing : int;
+  stage_cycles : float array;  (* per core, current stage *)
+  total_core_cycles : float array;
+  mutable stage_bus : float;  (* bus occupancy this stage *)
+}
+
+let l2_of sys c = if sys.m.Machine.l2_shared then sys.l2.(0) else sys.l2.(c)
+
+let hierarchy_cost sys c line =
+  if Cache.access sys.l1.(c) line then float_of_int sys.m.Machine.l1.hit_cycles
+  else begin
+    if sys.counting then sys.l1_misses <- sys.l1_misses + 1;
+    if Cache.access (l2_of sys c) line then
+      float_of_int sys.m.Machine.l2.hit_cycles
+    else begin
+      if sys.counting then begin
+        sys.l2_misses <- sys.l2_misses + 1;
+        sys.stage_bus <- sys.stage_bus +. float_of_int sys.m.Machine.bus_cycles
+      end;
+      float_of_int sys.m.Machine.mem_cycles
+    end
+  end
+
+let invalidate_others sys c line =
+  for c' = 0 to sys.cores - 1 do
+    if c' <> c then begin
+      Cache.invalidate sys.l1.(c') line;
+      if not sys.m.Machine.l2_shared then Cache.invalidate sys.l2.(c') line
+    end
+  done
+
+let read sys c line =
+  let o = sys.owner.(line) in
+  let cost =
+    if o >= 0 && o <> c then begin
+      (* dirty in another core's cache: cache-to-cache transfer *)
+      if sys.counting then sys.coherence <- sys.coherence + 1;
+      sys.owner.(line) <- shared;
+      ignore (Cache.access sys.l1.(c) line);
+      ignore (Cache.access (l2_of sys c) line);
+      float_of_int sys.m.Machine.coherence_cycles
+    end
+    else hierarchy_cost sys c line
+  in
+  sys.stage_cycles.(c) <- sys.stage_cycles.(c) +. cost
+
+let write sys c line =
+  (* false-sharing detection: another core wrote this line in this pass *)
+  if sys.writer_epoch.(line) = sys.epoch then begin
+    if sys.last_writer.(line) <> c && sys.counting then
+      sys.false_sharing <- sys.false_sharing + 1
+  end;
+  sys.writer_epoch.(line) <- sys.epoch;
+  sys.last_writer.(line) <- c;
+  let o = sys.owner.(line) in
+  let cost =
+    if o = c then hierarchy_cost sys c line
+    else if o = mem_only then hierarchy_cost sys c line (* write-allocate *)
+    else begin
+      (* invalidate other copies; upgrades (shared) are cheaper than
+         stealing a modified line *)
+      if sys.counting then sys.coherence <- sys.coherence + 1;
+      invalidate_others sys c line;
+      ignore (Cache.access sys.l1.(c) line);
+      ignore (Cache.access (l2_of sys c) line);
+      float_of_int
+        (if o = shared then sys.m.Machine.coherence_cycles / 2
+         else sys.m.Machine.coherence_cycles)
+    end
+  in
+  sys.owner.(line) <- c;
+  sys.stage_cycles.(c) <- sys.stage_cycles.(c) +. cost
+
+(* ---------------------------------------------------------------- *)
+(* Address layout: x, y, tmp_a, tmp_b, then one twiddle region per pass,
+   page-aligned, in units of complex elements. *)
+
+type layout = {
+  x_base : int;
+  y_base : int;
+  a_base : int;
+  b_base : int;
+  tw_base : int array;  (* per pass; -1 if none *)
+  total_lines : int;
+}
+
+let page_elems = 4096 / 16
+
+let make_layout (plan : Plan.t) mu =
+  let align v = (v + page_elems - 1) / page_elems * page_elems in
+  let cursor = ref 0 in
+  let alloc n =
+    let base = !cursor in
+    cursor := align (!cursor + n);
+    base
+  in
+  let x_base = alloc plan.n in
+  let y_base = alloc plan.n in
+  let a_base = alloc plan.n in
+  let b_base = alloc plan.n in
+  let tw_base =
+    Array.map
+      (fun (p : Plan.pass) ->
+        match p.tw with None -> -1 | Some _ -> alloc (p.count * p.radix))
+      plan.passes
+  in
+  { x_base; y_base; a_base; b_base; tw_base; total_lines = (!cursor / mu) + 2 }
+
+(* Per-iteration address computation for a pass. *)
+let iter_addresses (p : Plan.pass) =
+  match p.addr with
+  | Plan.Strided { exts; gstrs; sstrs; g0; s0; gl; sl } ->
+      let k = Array.length exts in
+      let suffix = Array.make (k + 1) 1 in
+      for j = k - 1 downto 0 do
+        suffix.(j) <- suffix.(j + 1) * exts.(j)
+      done;
+      fun i ->
+        let bg = ref g0 and bs = ref s0 in
+        for j = 0 to k - 1 do
+          let d = i / suffix.(j + 1) mod exts.(j) in
+          bg := !bg + (d * gstrs.(j));
+          bs := !bs + (d * sstrs.(j))
+        done;
+        ((fun l -> !bg + (l * gl)), fun l -> !bs + (l * sl))
+  | Plan.Indexed { gidx; sidx } ->
+      fun i ->
+        let base = i * p.radix in
+        ((fun l -> gidx.(base + l)), fun l -> sidx.(base + l))
+
+(* Per-worker iteration cursor over the schedule's (lo, hi) ranges,
+   without materializing the index list. *)
+type cursor = { mutable ranges : (int * int) list; mutable pos : int }
+
+let make_cursor schedule ~count ~workers w =
+  let ranges = Par_exec.worker_range schedule ~count ~workers w in
+  { ranges; pos = (match ranges with (lo, _) :: _ -> lo | [] -> 0) }
+
+let cursor_next c =
+  match c.ranges with
+  | [] -> None
+  | (_, hi) :: rest ->
+      let i = c.pos in
+      if i + 1 < hi then begin
+        c.pos <- i + 1;
+        Some i
+      end
+      else begin
+        c.ranges <- rest;
+        (match rest with (lo, _) :: _ -> c.pos <- lo | [] -> ());
+        Some i
+      end
+
+let simulate_stream sys (plan : Plan.t) layout backend schedule =
+  let m = sys.m in
+  let p_workers = match backend with Seq -> 1 | Pooled p | ForkJoin p -> p in
+  let mu = sys.mu in
+  let npasses = Array.length plan.passes in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun k (pass : Plan.pass) ->
+      sys.epoch <- sys.epoch + 1;
+      Array.fill sys.stage_cycles 0 sys.cores 0.0;
+      sys.stage_bus <- 0.0;
+      let src_base, dst_base =
+        let buf_out j =
+          if j = npasses - 1 then layout.y_base
+          else if j mod 2 = 0 then layout.a_base
+          else layout.b_base
+        in
+        ((if k = 0 then layout.x_base else buf_out (k - 1)), buf_out k)
+      in
+      let twb = layout.tw_base.(k) in
+      let addrs = iter_addresses pass in
+      let r = pass.radix in
+      let iter_cost =
+        (float_of_int (pass.kernel.Codelet.flops + if twb >= 0 then 6 * r else 0)
+         /. m.Machine.flops_per_cycle)
+        +. m.Machine.loop_overhead_cycles
+        +. (float_of_int r *. m.Machine.elem_overhead_cycles)
+      in
+      let do_iter c i =
+        let g, s = addrs i in
+        sys.stage_cycles.(c) <- sys.stage_cycles.(c) +. iter_cost;
+        for l = 0 to r - 1 do
+          read sys c ((src_base + g l) / mu)
+        done;
+        if twb >= 0 then begin
+          (* twiddle table reads are sequential in the table *)
+          let t0 = i * r in
+          for l = 0 to r - 1 do
+            read sys c ((twb + t0 + l) / mu)
+          done
+        end;
+        for l = 0 to r - 1 do
+          write sys c ((dst_base + s l) / mu)
+        done
+      in
+      let workers = match pass.par with Some _ -> p_workers | None -> 1 in
+      if workers = 1 then
+        for i = 0 to pass.count - 1 do
+          do_iter 0 i
+        done
+      else begin
+        (* interleave workers iteration-by-iteration so that intra-stage
+           coherence ping-pong (false sharing) is captured *)
+        let cursors =
+          Array.init workers (fun w ->
+              make_cursor schedule ~count:pass.count ~workers w)
+        in
+        let progressed = ref true in
+        while !progressed do
+          progressed := false;
+          for w = 0 to workers - 1 do
+            match cursor_next cursors.(w) with
+            | Some i ->
+                do_iter w i;
+                progressed := true
+            | None -> ()
+          done
+        done
+      end;
+      (* stage wall time: slowest core, bounded below by bus occupancy *)
+      let slowest = Array.fold_left max 0.0 sys.stage_cycles in
+      let stage_time = Float.max slowest sys.stage_bus in
+      let sync =
+        match backend with
+        | Seq -> 0.0
+        | Pooled _ -> float_of_int m.Machine.barrier_cycles
+        | ForkJoin p ->
+            if pass.par = None then 0.0
+            else float_of_int (m.Machine.thread_spawn_cycles * (p - 1) / p)
+      in
+      for c = 0 to sys.cores - 1 do
+        sys.total_core_cycles.(c) <-
+          sys.total_core_cycles.(c) +. sys.stage_cycles.(c)
+      done;
+      total := !total +. stage_time +. sync +. m.Machine.pass_overhead_cycles)
+    plan.passes;
+  !total
+
+let run ?(schedule = Par_exec.Block) ?(warm = true) m backend plan =
+  let mu = Machine.mu m in
+  let layout = make_layout plan mu in
+  let cores = m.Machine.cores in
+  let sys =
+    {
+      m;
+      cores;
+      mu;
+      l1 = Array.init cores (fun _ -> Cache.create m.Machine.l1);
+      l2 =
+        (if m.Machine.l2_shared then [| Cache.create m.Machine.l2 |]
+         else Array.init cores (fun _ -> Cache.create m.Machine.l2));
+      owner = Array.make layout.total_lines mem_only;
+      last_writer = Array.make layout.total_lines (-1);
+      writer_epoch = Array.make layout.total_lines (-1);
+      epoch = 0;
+      counting = false;
+      l1_misses = 0;
+      l2_misses = 0;
+      coherence = 0;
+      false_sharing = 0;
+      stage_cycles = Array.make cores 0.0;
+      total_core_cycles = Array.make cores 0.0;
+      stage_bus = 0.0;
+    }
+  in
+  if warm then ignore (simulate_stream sys plan layout backend schedule);
+  Array.fill sys.total_core_cycles 0 cores 0.0;
+  sys.counting <- true;
+  let cycles = simulate_stream sys plan layout backend schedule in
+  let seconds = cycles /. (m.Machine.ghz *. 1e9) in
+  let n = float_of_int plan.n in
+  let pseudo_flops = 5.0 *. n *. (log n /. log 2.0) in
+  {
+    cycles;
+    seconds;
+    pseudo_mflops = pseudo_flops /. seconds /. 1e6;
+    l1_misses = sys.l1_misses;
+    l2_misses = sys.l2_misses;
+    coherence_events = sys.coherence;
+    false_sharing = sys.false_sharing;
+    per_core_cycles = Array.copy sys.total_core_cycles;
+  }

@@ -1,0 +1,45 @@
+(** Trace-driven performance simulation of compiled plans on the modeled
+    shared-memory machines.
+
+    The simulator replays the exact memory-access stream of a plan (same
+    index functions, same per-worker schedule as {!Spiral_smp.Par_exec})
+    through per-core L1s, shared or private L2s and a MESI-like ownership
+    model with per-machine coherence costs.  Per-core compute cycles come
+    from the codelet flop counts and loop overheads; a stage's wall time is
+    the slowest core (plus barrier or thread-startup costs, depending on
+    backend), with a shared-bus serialization bound on memory traffic.
+
+    False sharing is counted exactly: a write to a cache line that a
+    {e different} core wrote earlier within the same pass.  Since the
+    scatter targets of a pass are element-disjoint by construction, any
+    such intra-pass write-write line conflict is false (not true) sharing. *)
+
+type backend =
+  | Seq  (** Single-core execution, no synchronization. *)
+  | Pooled of int  (** [p] pooled workers, spin barrier per pass. *)
+  | ForkJoin of int
+      (** [p] workers, threads started per parallel region (OpenMP-style,
+          no pooling). *)
+
+type result = {
+  cycles : float;  (** Simulated wall-clock cycles for one transform. *)
+  seconds : float;
+  pseudo_mflops : float;  (** [5 N log2 N / time_in_us] as in the paper. *)
+  l1_misses : int;
+  l2_misses : int;
+  coherence_events : int;
+  false_sharing : int;  (** Intra-pass write-write line conflicts. *)
+  per_core_cycles : float array;
+      (** Total busy cycles per core (load-balance diagnostics). *)
+}
+
+val run :
+  ?schedule:Spiral_smp.Par_exec.schedule ->
+  ?warm:bool ->
+  Machine.t ->
+  backend ->
+  Spiral_codegen.Plan.t ->
+  result
+(** Simulate one execution.  [warm] (default [true]) replays the stream
+    once beforehand so caches and ownership are in steady state, matching
+    how the paper measures repeated transforms. *)

@@ -1,0 +1,34 @@
+type t = { p : int; count : int Atomic.t; sense : bool Atomic.t }
+
+type ctx = { mutable my_sense : bool }
+
+let spin_limit = 10_000
+
+let create p =
+  if p <= 0 then invalid_arg "Barrier.create: need at least one participant";
+  { p; count = Atomic.make 0; sense = Atomic.make false }
+
+let parties t = t.p
+
+let make_ctx _t = { my_sense = true }
+
+let wait t ctx =
+  let s = ctx.my_sense in
+  if Atomic.fetch_and_add t.count 1 = t.p - 1 then begin
+    (* Last arrival: reset and release the others by flipping the sense. *)
+    Atomic.set t.count 0;
+    Atomic.set t.sense s
+  end
+  else begin
+    let spins = ref 0 in
+    while Atomic.get t.sense <> s do
+      incr spins;
+      if !spins < spin_limit then Domain.cpu_relax ()
+      else begin
+        (* Oversubscribed (more domains than cores): yield the timeslice. *)
+        spins := 0;
+        Unix.sleepf 50e-6
+      end
+    done
+  end;
+  ctx.my_sense <- not s

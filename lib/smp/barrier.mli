@@ -1,0 +1,27 @@
+(** Sense-reversing centralized barrier for a fixed set of domains.
+
+    This is the low-latency synchronization primitive behind the paper's
+    pthreads backend: workers spin (with [Domain.cpu_relax]) for a bounded
+    number of iterations and then back off by sleeping, so the barrier is
+    fast when cores are dedicated and still correct when domains are
+    oversubscribed on fewer cores. *)
+
+type t
+
+val create : int -> t
+(** [create p] is a barrier for [p] participants. *)
+
+val parties : t -> int
+
+type ctx
+(** Per-participant state (the participant's current sense). *)
+
+val make_ctx : t -> ctx
+
+val wait : t -> ctx -> unit
+(** Blocks until all [p] participants have called [wait] for the current
+    phase.  Each participant must use its own [ctx] and call [wait] the
+    same number of times. *)
+
+val spin_limit : int
+(** Number of spin iterations before falling back to sleeping. *)

@@ -1,0 +1,60 @@
+open Spiral_codegen
+
+type schedule = Block | Cyclic of int
+
+let worker_range sched ~count ~workers w =
+  match sched with
+  | Block ->
+      let chunk = count / workers and rem = count mod workers in
+      (* distribute the remainder one iteration at a time to the first
+         [rem] workers so the partition is exact *)
+      let lo = (w * chunk) + min w rem in
+      let hi = lo + chunk + if w < rem then 1 else 0 in
+      if hi > lo then [ (lo, hi) ] else []
+  | Cyclic c ->
+      let c = max 1 c in
+      let rec go start acc =
+        if start >= count then List.rev acc
+        else
+          let lo = start and hi = min count (start + c) in
+          go (start + (workers * c)) ((lo, hi) :: acc)
+      in
+      go (w * c) []
+
+let run_worker_pass sched p ~src ~dst ~workers w =
+  match p.Plan.par with
+  | Some _ ->
+      List.iter
+        (fun (lo, hi) -> Plan.run_pass_range p ~src ~dst ~lo ~hi)
+        (worker_range sched ~count:p.Plan.count ~workers w)
+  | None -> if w = 0 then Plan.run_pass_range p ~src ~dst ~lo:0 ~hi:p.Plan.count
+
+let execute pool ?(schedule = Block) plan x y =
+  let workers = Pool.size pool in
+  let barrier = Barrier.create workers in
+  Pool.run pool (fun w ->
+      let ctx = Barrier.make_ctx barrier in
+      Array.iteri
+        (fun k p ->
+          let src, dst = Plan.src_dst_of_pass plan ~x ~y k in
+          run_worker_pass schedule p ~src ~dst ~workers w;
+          Barrier.wait barrier ctx)
+        plan.Plan.passes)
+
+let execute_fork_join ~p ?(schedule = Block) plan x y =
+  if p < 1 then invalid_arg "Par_exec.execute_fork_join: p >= 1";
+  Array.iteri
+    (fun k pass ->
+      let src, dst = Plan.src_dst_of_pass plan ~x ~y k in
+      match pass.Plan.par with
+      | None -> Plan.run_pass_range pass ~src ~dst ~lo:0 ~hi:pass.Plan.count
+      | Some _ ->
+          (* OpenMP-style parallel region: spawn, work, join. *)
+          let domains =
+            Array.init (p - 1) (fun i ->
+                Domain.spawn (fun () ->
+                    run_worker_pass schedule pass ~src ~dst ~workers:p (i + 1)))
+          in
+          run_worker_pass schedule pass ~src ~dst ~workers:p 0;
+          Array.iter Domain.join domains)
+    plan.Plan.passes

@@ -1,0 +1,42 @@
+(** Multithreaded execution of compiled plans.
+
+    Two backends mirroring the paper's two generated-code variants:
+    - {!execute} — "pthreads" style: one job dispatched to a persistent
+      {!Pool}, stages separated by a low-latency spin {!Barrier};
+    - {!execute_fork_join} — "OpenMP" style: domains are spawned per call
+      and joined at every parallel stage (thread startup on the critical
+      path, as in OpenMP without pooling).
+
+    Iterations of a parallel pass are assigned to workers according to
+    [schedule]: [Block] is the paper's schedule (contiguous chunks, rule
+    (7)/(9), false-sharing free); [Cyclic c] hands out chunks of [c]
+    iterations round-robin (FFTW-style block-cyclic — the false-sharing
+    baseline). *)
+
+type schedule = Block | Cyclic of int
+
+val worker_range :
+  schedule -> count:int -> workers:int -> int -> (int * int) list
+(** [worker_range sched ~count ~workers w] is the list of [lo, hi) iteration
+    ranges executed by worker [w]; the ranges of all workers partition
+    [0, count).  Exposed for the machine simulator, which replays the exact
+    same schedule. *)
+
+val execute :
+  Pool.t ->
+  ?schedule:schedule ->
+  Spiral_codegen.Plan.t ->
+  Spiral_util.Cvec.t ->
+  Spiral_util.Cvec.t ->
+  unit
+(** Pooled execution with spin barriers between passes.  Sequential passes
+    (no [par] annotation) run on worker 0 while others wait. *)
+
+val execute_fork_join :
+  p:int ->
+  ?schedule:schedule ->
+  Spiral_codegen.Plan.t ->
+  Spiral_util.Cvec.t ->
+  Spiral_util.Cvec.t ->
+  unit
+(** Spawns [p - 1] fresh domains (joined before returning). *)

@@ -1,0 +1,99 @@
+type t = {
+  p : int;
+  mutable job : int -> unit;
+  mutable stop : bool;
+  gen : int Atomic.t;  (* job generation; incremented to dispatch *)
+  done_count : int Atomic.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable errors : exn list;
+  err_mutex : Mutex.t;
+  mutable domains : unit Domain.t array;
+}
+
+let worker_loop t w =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    (* Wait for a new job generation (or shutdown). *)
+    Mutex.lock t.mutex;
+    while Atomic.get t.gen = !seen && not t.stop do
+      Condition.wait t.cond t.mutex
+    done;
+    let stop = t.stop && Atomic.get t.gen = !seen in
+    let job = t.job in
+    Mutex.unlock t.mutex;
+    if stop then running := false
+    else begin
+      seen := Atomic.get t.gen;
+      (try job w
+       with e ->
+         Mutex.lock t.err_mutex;
+         t.errors <- e :: t.errors;
+         Mutex.unlock t.err_mutex);
+      Atomic.incr t.done_count
+    end
+  done
+
+let create p =
+  if p < 1 then invalid_arg "Pool.create: p >= 1";
+  let t =
+    {
+      p;
+      job = ignore;
+      stop = false;
+      gen = Atomic.make 0;
+      done_count = Atomic.make 0;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      errors = [];
+      err_mutex = Mutex.create ();
+      domains = [||];
+    }
+  in
+  t.domains <-
+    Array.init (p - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let size t = t.p
+
+let run t f =
+  if t.stop then invalid_arg "Pool.run: pool is shut down";
+  t.errors <- [];
+  Atomic.set t.done_count 0;
+  Mutex.lock t.mutex;
+  t.job <- f;
+  Atomic.incr t.gen;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  (* The caller is worker 0. *)
+  (try f 0
+   with e ->
+     Mutex.lock t.err_mutex;
+     t.errors <- e :: t.errors;
+     Mutex.unlock t.err_mutex);
+  (* Wait for the others: bounded spin, then yield. *)
+  let spins = ref 0 in
+  while Atomic.get t.done_count < t.p - 1 do
+    incr spins;
+    if !spins < Barrier.spin_limit then Domain.cpu_relax ()
+    else begin
+      spins := 0;
+      Unix.sleepf 50e-6
+    end
+  done;
+  match t.errors with [] -> () | e :: _ -> raise e
+
+let shutdown t =
+  if not t.stop then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+let with_pool p f =
+  let t = create p in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

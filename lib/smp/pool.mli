@@ -1,0 +1,26 @@
+(** A persistent pool of worker domains (thread pooling).
+
+    The paper attributes part of Spiral's small-size parallel speedup to
+    reusing threads across transform invocations instead of paying thread
+    startup per call (FFTW 3.1's pooling was experimental and off by
+    default).  [run] dispatches one job to all [p] workers — the calling
+    domain acts as worker 0 — and returns when every worker has finished. *)
+
+type t
+
+val create : int -> t
+(** [create p] starts [p - 1] background domains ([p >= 1]). *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run pool f] executes [f w] on worker [w] for [0 <= w < p]
+    concurrently; [f 0] runs on the calling domain.  Exceptions raised by
+    workers are re-raised in the caller after all workers finish.
+    Not re-entrant. *)
+
+val shutdown : t -> unit
+(** Joins all worker domains.  The pool must not be used afterwards. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool p f] creates a pool, applies [f], and always shuts down. *)

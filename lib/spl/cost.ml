@@ -1,0 +1,65 @@
+open Formula
+
+(* Exact counts for the unrolled codelets in Spiral_codegen.Codelet; the
+   naive fallback costs n complex mul-adds per output. *)
+let leaf_flops n =
+  match n with
+  | 1 -> 0
+  | 2 -> 4 (* 2 complex additions *)
+  | 3 -> 16
+  | 4 -> 16 (* 8 complex additions, rotations free *)
+  | 8 -> 56 (* 2x DFT_4 + 4 twiddled butterflies *)
+  | 16 -> 180 (* 2x DFT_8 + 8 twiddled butterflies *)
+  | 32 -> 508 (* 2x DFT_16 + 16 twiddled butterflies *)
+  | n -> (8 * n * n) - (2 * n) (* dense matrix-vector fallback *)
+
+let rec flops ?(leaf = leaf_flops) f =
+  match f with
+  | I _ | Perm _ -> 0
+  | DFT n -> leaf n
+  | WHT n ->
+      (* 2 complex adds per butterfly, n/2 * log2 n butterflies. *)
+      if n = 1 then 0 else 4 * (n / 2) * Spiral_util.Int_util.ilog2 n
+  | Diag d -> 6 * Diag.size d
+  | Compose fs -> List.fold_left (fun acc g -> acc + flops ~leaf g) 0 fs
+  | Tensor (a, b) ->
+      (* (A ⊗ B) = (A ⊗ I)(I ⊗ B): dim b copies of A + dim a copies of B. *)
+      (Formula.dim b * flops ~leaf a) + (Formula.dim a * flops ~leaf b)
+  | DirectSum fs | ParDirectSum fs ->
+      List.fold_left (fun acc g -> acc + flops ~leaf g) 0 fs
+  | Smp (_, _, g) -> flops ~leaf g
+  | ParTensor (p, g) -> p * flops ~leaf g
+  | CacheTensor (g, _) -> flops ~leaf g (* permutation-shaped: folded *)
+  | Vec (_, g) -> flops ~leaf g
+  | VTensor (g, nu) -> nu * flops ~leaf g
+  | VShuffle _ -> 0
+
+let per_processor ~p ?(leaf = leaf_flops) f =
+  let acc = Array.make p 0 in
+  let add i v = acc.(i) <- acc.(i) + v in
+  let rec go mult f =
+    match f with
+    | ParTensor (q, g) ->
+        let w = mult * flops ~leaf g in
+        if q = p then
+          for i = 0 to p - 1 do
+            add i w
+          done
+        else add 0 (q * w)
+    | ParDirectSum fs when List.length fs = p ->
+        List.iteri (fun i g -> add i (mult * flops ~leaf g)) fs
+    | Compose fs -> List.iter (go mult) fs
+    | Tensor (I m, g) -> go (mult * m) g
+    | Smp (_, _, g) -> go mult g
+    | CacheTensor _ | Perm _ | I _ | VShuffle _ -> ()
+    | Vec (_, g) -> go mult g
+    | VTensor (g, nu) -> go (mult * nu) g
+    | f -> add 0 (mult * flops ~leaf f)
+  in
+  go 1 f;
+  acc
+
+let imbalance ~p f =
+  let w = per_processor ~p f in
+  let mx = Array.fold_left max w.(0) w and mn = Array.fold_left min w.(0) w in
+  if mx = 0 then 0.0 else float_of_int (mx - mn) /. float_of_int mx

@@ -1,0 +1,24 @@
+(** Arithmetic cost model over formulas: counts real floating point
+    operations (a complex addition is 2 flops, a complex multiplication 6)
+    assuming permutations are folded into adjacent loops (0 flops), as
+    Spiral's loop merging guarantees.
+
+    [per_processor] reflects the static schedule implied by the parallel
+    constructs and is the basis of the load-balance experiment (T5). *)
+
+val leaf_flops : int -> int
+(** Cost of a directly computed [DFT_n] codelet.  Exact for the unrolled
+    codelet sizes (2, 3, 4, 8); the O(n²) direct count otherwise.  Kept in
+    sync with [Spiral_codegen.Codelet] (asserted by the test suite). *)
+
+val flops : ?leaf:(int -> int) -> Formula.t -> int
+(** Total real flops to compute [y = A x] once. *)
+
+val per_processor : p:int -> ?leaf:(int -> int) -> Formula.t -> int array
+(** [per_processor ~p f].(i) is the flops executed by processor [i]: work
+    inside [ParTensor]/[ParDirectSum] is split per the schedule, all other
+    work is accounted to processor 0 (sequential section). *)
+
+val imbalance : p:int -> Formula.t -> float
+(** [(max - min) / max] of the per-processor flop counts; [0.] means
+    perfectly load balanced. *)

@@ -1,0 +1,45 @@
+open Spiral_util
+
+type t =
+  | Twiddle of int * int
+  | Segment of t * int * int
+  | Explicit of Complex.t array
+
+let size = function
+  | Twiddle (m, n) -> m * n
+  | Segment (_, _, len) -> len
+  | Explicit a -> Array.length a
+
+let rec entry d i =
+  match d with
+  | Twiddle (m, n) ->
+      if i < 0 || i >= m * n then invalid_arg "Diag.entry: out of range";
+      Twiddle.omega_pow ~n:(m * n) ~k:(i / n) ~l:(i mod n)
+  | Segment (d, offset, len) ->
+      if i < 0 || i >= len then invalid_arg "Diag.entry: out of range";
+      entry d (offset + i)
+  | Explicit a -> a.(i)
+
+let to_array d = Array.init (size d) (entry d)
+
+let to_table d =
+  let n = size d in
+  let t = Array.make (2 * n) 0.0 in
+  for i = 0 to n - 1 do
+    let z = entry d i in
+    t.(2 * i) <- z.re;
+    t.((2 * i) + 1) <- z.im
+  done;
+  t
+
+let split d p =
+  let n = size d in
+  if p <= 0 || n mod p <> 0 then invalid_arg "Diag.split: p must divide size";
+  let len = n / p in
+  List.init p (fun i -> Segment (d, i * len, len))
+
+let rec pp ppf = function
+  | Twiddle (m, n) -> Format.fprintf ppf "D(%d,%d)" m n
+  | Segment (d, offset, len) ->
+      Format.fprintf ppf "%a[%d..%d]" pp d offset (offset + len - 1)
+  | Explicit a -> Format.fprintf ppf "diag(%d)" (Array.length a)

@@ -1,0 +1,30 @@
+(** Diagonal matrices occurring in SPL formulas, kept symbolic so that the
+    parallelization rule (11) of the paper — splitting a diagonal into a
+    direct sum of sub-diagonals — is exact and cheap. *)
+
+type t =
+  | Twiddle of int * int
+      (** [Twiddle (m, n)] is the twiddle diagonal [D_{m,n}] of the
+          Cooley-Tukey rule; size [m * n], entry [i*n + j] is
+          [ω_{mn}^{i·j}]. *)
+  | Segment of t * int * int
+      (** [Segment (d, offset, len)] is the contiguous slice
+          [d.(offset) … d.(offset + len - 1)] as a diagonal of size [len]. *)
+  | Explicit of Complex.t array  (** Arbitrary diagonal (for tests). *)
+
+val size : t -> int
+
+val entry : t -> int -> Complex.t
+(** [entry d i] is the [i]-th diagonal entry. *)
+
+val to_array : t -> Complex.t array
+
+val to_table : t -> float array
+(** Interleaved re/im table of the diagonal, for kernels. *)
+
+val split : t -> int -> t list
+(** [split d p] cuts [d] into [p] contiguous segments of equal length
+    (rule (11) of the paper).
+    @raise Invalid_argument if [p] does not divide [size d]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,144 @@
+type t =
+  | I of int
+  | DFT of int
+  | WHT of int
+  | Perm of Perm.t
+  | Diag of Diag.t
+  | Compose of t list
+  | Tensor of t * t
+  | DirectSum of t list
+  | Smp of int * int * t
+  | ParTensor of int * t
+  | ParDirectSum of t list
+  | CacheTensor of t * int
+  | Vec of int * t
+  | VTensor of t * int
+  | VShuffle of int * int
+
+let rec dim = function
+  | I n | DFT n | WHT n -> n
+  | Perm p -> Perm.size p
+  | Diag d -> Diag.size d
+  | Compose [] -> invalid_arg "Formula.dim: empty composition"
+  | Compose (f :: _) -> dim f
+  | Tensor (a, b) -> dim a * dim b
+  | DirectSum fs -> List.fold_left (fun acc f -> acc + dim f) 0 fs
+  | Smp (_, _, f) -> dim f
+  | ParTensor (p, f) -> p * dim f
+  | ParDirectSum fs -> List.fold_left (fun acc f -> acc + dim f) 0 fs
+  | CacheTensor (f, mu) -> dim f * mu
+  | Vec (_, f) -> dim f
+  | VTensor (f, nu) -> dim f * nu
+  | VShuffle (k, nu) -> k * nu * nu
+
+let equal (a : t) (b : t) = a = b
+
+let compose fs =
+  let rec flatten f =
+    match f with Compose gs -> List.concat_map flatten gs | _ -> [ f ]
+  in
+  let fs = List.concat_map flatten fs in
+  (match fs with
+  | [] -> invalid_arg "Formula.compose: empty"
+  | f0 :: rest ->
+      let d = dim f0 in
+      List.iter
+        (fun f ->
+          if dim f <> d then
+            invalid_arg
+              (Printf.sprintf "Formula.compose: dimension mismatch %d vs %d" d
+                 (dim f)))
+        rest);
+  let non_id = List.filter (function I _ -> false | _ -> true) fs in
+  match non_id with
+  | [] -> List.hd fs
+  | [ f ] -> f
+  | fs -> Compose fs
+
+let tensor a b =
+  match (a, b) with
+  | I 1, f | f, I 1 -> f
+  | I m, I n -> I (m * n)
+  | a, b -> Tensor (a, b)
+
+let l_perm mn m =
+  if mn mod m <> 0 then invalid_arg "Formula.l_perm: m must divide mn";
+  if m = 1 || m = mn then I mn else Perm (Perm.L (mn, m))
+
+let twiddle m n = Diag (Diag.Twiddle (m, n))
+
+let map_children fn = function
+  | (I _ | DFT _ | WHT _ | Perm _ | Diag _ | VShuffle _) as f -> f
+  | Compose fs -> Compose (List.map fn fs)
+  | Tensor (a, b) -> Tensor (fn a, fn b)
+  | DirectSum fs -> DirectSum (List.map fn fs)
+  | Smp (p, mu, f) -> Smp (p, mu, fn f)
+  | ParTensor (p, f) -> ParTensor (p, fn f)
+  | ParDirectSum fs -> ParDirectSum (List.map fn fs)
+  | CacheTensor (f, mu) -> CacheTensor (fn f, mu)
+  | Vec (nu, f) -> Vec (nu, fn f)
+  | VTensor (f, nu) -> VTensor (fn f, nu)
+
+let children = function
+  | I _ | DFT _ | WHT _ | Perm _ | Diag _ | VShuffle _ -> []
+  | Compose fs | DirectSum fs | ParDirectSum fs -> fs
+  | Tensor (a, b) -> [ a; b ]
+  | Smp (_, _, f) | ParTensor (_, f) | CacheTensor (f, _) | Vec (_, f)
+  | VTensor (f, _) ->
+      [ f ]
+
+let rec fold fn acc f =
+  let acc = fn acc f in
+  List.fold_left (fold fn) acc (children f)
+
+let exists pred f = fold (fun acc g -> acc || pred g) false f
+
+let count_nodes f = fold (fun acc _ -> acc + 1) 0 f
+
+let has_tag f = exists (function Smp _ | Vec _ -> true | _ -> false) f
+
+let has_nonterminal f =
+  exists (function DFT _ | WHT _ -> true | _ -> false) f
+
+let rec pp ppf f =
+  match f with
+  | I n -> Format.fprintf ppf "I_%d" n
+  | DFT n -> Format.fprintf ppf "DFT_%d" n
+  | WHT n -> Format.fprintf ppf "WHT_%d" n
+  | Perm p -> Perm.pp ppf p
+  | Diag d -> Diag.pp ppf d
+  | Compose fs ->
+      Format.fprintf ppf "@[<hov 1>";
+      List.iteri
+        (fun i g ->
+          if i > 0 then Format.fprintf ppf "@ ";
+          pp_factor ppf g)
+        fs;
+      Format.fprintf ppf "@]"
+  | Tensor (a, b) ->
+      Format.fprintf ppf "(%a (x) %a)" pp_factor a pp_factor b
+  | DirectSum fs ->
+      Format.fprintf ppf "(+)[@[%a@]]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           pp)
+        fs
+  | Smp (p, mu, f) -> Format.fprintf ppf "{%a}_smp(%d,%d)" pp f p mu
+  | ParTensor (p, f) -> Format.fprintf ppf "(I_%d (x)|| %a)" p pp_factor f
+  | ParDirectSum fs ->
+      Format.fprintf ppf "(+)||[@[%a@]]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           pp)
+        fs
+  | CacheTensor (f, mu) -> Format.fprintf ppf "(%a (x)- I_%d)" pp_factor f mu
+  | Vec (nu, f) -> Format.fprintf ppf "{%a}_vec(%d)" pp f nu
+  | VTensor (f, nu) -> Format.fprintf ppf "(%a (x)-> I_%d)" pp_factor f nu
+  | VShuffle (k, nu) -> Format.fprintf ppf "(I_%d (x) L(%d,%d))reg" k (nu * nu) nu
+
+and pp_factor ppf f =
+  match f with
+  | Compose _ -> Format.fprintf ppf "(%a)" pp f
+  | _ -> pp ppf f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,85 @@
+(** The SPL formula language (Section 2.2 of the paper) with the shared
+    memory extension of Section 3.1.
+
+    A formula denotes a square complex matrix; programs computing
+    [y = A x] are obtained by compiling formulas (see [Spiral_codegen]).
+    The parallel constructs [ParTensor], [ParDirectSum] and [CacheTensor]
+    are the tagged operators [I_p ⊗∥ A], [⊕∥ A_i] and [P ⊗̄ I_µ] of
+    equation (4): semantically identical to their untagged counterparts but
+    declared fully optimized for shared memory. *)
+
+type t =
+  | I of int  (** Identity matrix [I_n]. *)
+  | DFT of int
+      (** The transform [DFT_n] as a terminal/nonterminal: breakdown rules
+          expand it; sizes left unexpanded are computed by codelets. *)
+  | WHT of int
+      (** Walsh-Hadamard transform [WHT_{2^k}] (second transform exercising
+          the framework's generality). *)
+  | Perm of Perm.t  (** Permutation matrix, e.g. [L^{mn}_m]. *)
+  | Diag of Diag.t  (** Diagonal matrix, e.g. twiddle factors [D_{m,n}]. *)
+  | Compose of t list
+      (** [Compose [a; b; c]] is the matrix product [A·B·C] (so [c] is
+          applied to the input first). *)
+  | Tensor of t * t  (** Kronecker product [A ⊗ B]. *)
+  | DirectSum of t list  (** Block diagonal [⊕ A_i]. *)
+  | Smp of int * int * t
+      (** [Smp (p, µ, a)]: the tag [a]{_smp(p,µ)} marking a subformula for
+          parallelization by the rewriting system. *)
+  | ParTensor of int * t  (** [ParTensor (p, a)] is [I_p ⊗∥ A]. *)
+  | ParDirectSum of t list  (** [⊕∥ A_i]; one block per processor. *)
+  | CacheTensor of t * int  (** [CacheTensor (a, µ)] is [A ⊗̄ I_µ]. *)
+  | Vec of int * t
+      (** [Vec (ν, a)]: the vectorization tag [a]{_vec(ν)} marking a
+          subformula for ν-way SIMD rewriting (companion work [10,13] the
+          paper composes with). *)
+  | VTensor of t * int
+      (** [VTensor (a, ν)] is [A ⊗→ I_ν]: [A] executed on ν-way vectors
+          (semantically [A ⊗ I_ν]). *)
+  | VShuffle of int * int
+      (** [VShuffle (k, ν)] is [I_k ⊗ L^{ν²}_ν]: in-register ν×ν
+          transposes (SIMD shuffles). *)
+
+val dim : t -> int
+(** Dimension of the (square) matrix denoted by the formula. *)
+
+val equal : t -> t -> bool
+
+(** {1 Smart constructors} *)
+
+val compose : t list -> t
+(** Flattens nested compositions, drops size-preserving identities when the
+    product has other factors, and checks dimension compatibility. *)
+
+val tensor : t -> t -> t
+(** [tensor a b] is [A ⊗ B] with [I_1] absorbed and [I_m ⊗ I_n = I_{mn}]. *)
+
+val l_perm : int -> int -> t
+(** [l_perm mn m] is the stride permutation [L^{mn}_m] (identity folded). *)
+
+val twiddle : int -> int -> t
+(** [twiddle m n] is [D_{m,n}]. *)
+
+(** {1 Traversal} *)
+
+val map_children : (t -> t) -> t -> t
+(** Applies a function to the immediate subformulas. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all nodes. *)
+
+val exists : (t -> bool) -> t -> bool
+
+val count_nodes : t -> int
+
+val has_tag : t -> bool
+(** [true] iff an [Smp] tag remains anywhere in the formula. *)
+
+val has_nonterminal : t -> bool
+(** [true] iff a [DFT] or [WHT] node remains. *)
+
+val pp : Format.formatter -> t -> unit
+(** Notation close to the paper:
+    [(DFT_4 (x) I_2) D(4,2) (I_4 (x) DFT_2) L(8,4)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,49 @@
+type t = L of int * int | Explicit of int array
+
+let size = function L (mn, _) -> mn | Explicit a -> Array.length a
+
+let gather p k =
+  match p with
+  | L (mn, m) ->
+      (* x viewed as an (mn/m) × m row-major matrix is transposed, so output
+         position i*n + j takes input position j*m + i (n = mn/m):
+         σ(k) = (k mod n) * m + k / n. *)
+      let n = mn / m in
+      ((k mod n) * m) + (k / n)
+  | Explicit a -> a.(k)
+
+let to_array p = Array.init (size p) (gather p)
+
+let inverse p =
+  let a = to_array p in
+  let inv = Array.make (Array.length a) 0 in
+  Array.iteri (fun k src -> inv.(src) <- k) a;
+  Explicit inv
+
+let is_identity p =
+  match p with
+  | L (mn, m) -> m = 1 || m = mn
+  | Explicit a ->
+      let ok = ref true in
+      Array.iteri (fun k src -> if k <> src then ok := false) a;
+      !ok
+
+let validate = function
+  | L (mn, m) ->
+      if mn <= 0 || m <= 0 || mn mod m <> 0 then
+        invalid_arg "Perm.L: m must divide mn, both positive"
+  | Explicit a ->
+      let n = Array.length a in
+      let seen = Array.make n false in
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n || seen.(v) then
+            invalid_arg "Perm.Explicit: not a bijection";
+          seen.(v) <- true)
+        a
+
+let pp ppf = function
+  | L (mn, m) -> Format.fprintf ppf "L(%d,%d)" mn m
+  | Explicit a ->
+      Format.fprintf ppf "Perm[%s]"
+        (String.concat ";" (Array.to_list (Array.map string_of_int a)))

@@ -1,0 +1,36 @@
+(** Permutations occurring in SPL formulas.
+
+    The central one is the stride permutation [L^{mn}_m] of the paper
+    (Section 2.2): it permutes an input vector [x] of length [mn] by sending
+    element [i*n + j] to position [j*m + i] ([0 <= i < m], [0 <= j < n]);
+    viewed as an [n × m] row-major matrix, [x] is transposed.
+
+    Convention: a permutation [P] acts as [y = P x].  We represent it by its
+    {e gather} map [σ]: [y.(k) = x.(σ k)]. *)
+
+type t =
+  | L of int * int
+      (** [L (mn, m)] is the stride permutation [L^{mn}_m]; [m] must
+          divide [mn]. *)
+  | Explicit of int array
+      (** Arbitrary permutation given by its gather map (for tests). *)
+
+val size : t -> int
+(** Dimension of the (square) permutation matrix. *)
+
+val gather : t -> int -> int
+(** [gather p k] is [σ(k)]: the input index read for output position [k]. *)
+
+val to_array : t -> int array
+(** The full gather map as an array. *)
+
+val inverse : t -> t
+(** Inverse permutation (as [Explicit]). *)
+
+val is_identity : t -> bool
+
+val validate : t -> unit
+(** @raise Invalid_argument if the parameters are malformed (e.g. [m] does
+    not divide [mn], or the explicit map is not a bijection). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+open Formula
+
+let all_equal = function
+  | [] -> true
+  | x :: rest -> List.for_all (fun y -> y = x) rest
+
+(* total identity width of nested block wrappers: CacheTensor/VTensor of
+   CacheTensor/VTensor of ... *)
+let rec wrapped_width f acc =
+  match (f : Formula.t) with
+  | CacheTensor (a, w) | VTensor (a, w) -> wrapped_width a (acc * w)
+  | _ -> acc
+
+let rec load_balanced ~p f =
+  match f with
+  | ParTensor (q, _) -> q = p
+  | ParDirectSum fs ->
+      List.length fs = p && all_equal (List.map dim fs)
+  | (CacheTensor _ | VTensor _) when Shape.perm_sigma f <> None ->
+      (* block-tagged data movement: folded into adjacent loops *)
+      true
+  | Tensor (I _, a) -> load_balanced ~p a
+  | Compose fs -> List.for_all (load_balanced ~p) fs
+  | Vec (_, a) -> load_balanced ~p a
+  | VTensor (a, nu) -> load_balanced ~p (Tensor (a, I nu))
+  | I _ | DFT _ | WHT _ | Perm _ | Diag _ | Tensor _ | DirectSum _
+  | Smp _ | CacheTensor _ | VShuffle _ ->
+      false
+
+let rec avoids_false_sharing ~mu f =
+  match f with
+  | ParTensor (_, a) -> dim a mod mu = 0
+  | ParDirectSum fs ->
+      List.for_all (fun a -> dim a mod mu = 0) fs
+      && all_equal (List.map dim fs)
+  | CacheTensor _ | VTensor _ ->
+      (* data moves in blocks of the total wrapper width *)
+      wrapped_width f 1 mod mu = 0
+  | Tensor (I _, a) -> avoids_false_sharing ~mu a
+  | Compose fs -> List.for_all (avoids_false_sharing ~mu) fs
+  | Vec (_, a) -> avoids_false_sharing ~mu a
+  | I _ | DFT _ | WHT _ | Perm _ | Diag _ | Tensor _ | DirectSum _ | Smp _
+  | VShuffle _ ->
+      false
+
+let fully_optimized ~p ~mu f =
+  load_balanced ~p f && avoids_false_sharing ~mu f
+
+let parallel_degree f =
+  let degrees =
+    fold
+      (fun acc g ->
+        match g with
+        | ParTensor (p, _) -> p :: acc
+        | ParDirectSum fs -> List.length fs :: acc
+        | _ -> acc)
+      [] f
+  in
+  match degrees with
+  | [] -> None
+  | d :: rest -> if List.for_all (fun x -> x = d) rest then Some d else None
+
+let rec vectorized ~nu f =
+  (* scalar code is trivially 1-way vector code *)
+  if nu = 1 then true
+  else
+  match (f : Formula.t) with
+  | VTensor (_, v) | VShuffle (_, v) -> v = nu
+  | Diag _ | I _ -> true
+  | DirectSum fs | ParDirectSum fs ->
+      (* pointwise diagonal blocks vectorize trivially *)
+      List.for_all (fun g -> Shape.diag_entry g <> None) fs
+  | Compose fs -> List.for_all (vectorized ~nu) fs
+  | Tensor (I _, a) -> vectorized ~nu a
+  | ParTensor (_, a) -> vectorized ~nu a
+  | Vec _ | Smp _ | DFT _ | WHT _ | Perm _ | Tensor _ | CacheTensor _ ->
+      false

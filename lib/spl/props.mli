@@ -1,0 +1,26 @@
+(** The predicates of Definition 1 of the paper.
+
+    A formula is {e load-balanced} for [p] processors if it is one of the
+    tagged parallel constructs of equation (4) with matching [p], or
+    [I_m ⊗ A] / [A·B] built from load-balanced formulas.  It {e avoids
+    false sharing} for cache line length [µ] when the parallel blocks have
+    dimensions that are multiples of [µ] (so each cache line is owned by
+    exactly one processor) and data reshuffling only moves whole cache
+    lines ([P ⊗̄ I_µ]).  {e Fully optimized} = both. *)
+
+val load_balanced : p:int -> Formula.t -> bool
+
+val avoids_false_sharing : mu:int -> Formula.t -> bool
+
+val fully_optimized : p:int -> mu:int -> Formula.t -> bool
+
+val vectorized : nu:int -> Formula.t -> bool
+(** [vectorized ~nu f]: every operation in [f] is expressed on ν-way
+    vectors — compute and data movement appear only as [A ⊗→ I_ν]
+    ([VTensor]), in-register shuffles ([VShuffle]), pointwise diagonals,
+    or loops/parallel skeletons over such blocks (the target form of the
+    short-vector rewriting the paper composes with). *)
+
+val parallel_degree : Formula.t -> int option
+(** [Some p] when every parallel construct in the formula uses exactly [p]
+    processors, [None] if there are none or they disagree. *)

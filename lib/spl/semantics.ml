@@ -1,0 +1,122 @@
+open Spiral_util
+
+let dft_matrix n =
+  Cmatrix.init n n (fun k l -> Twiddle.omega_pow ~n ~k ~l)
+
+let rec wht_matrix n =
+  if n = 1 then Cmatrix.identity 1
+  else if n = 2 then dft_matrix 2
+  else begin
+    if n mod 2 <> 0 then invalid_arg "Semantics: WHT size must be 2^k";
+    Cmatrix.kronecker (dft_matrix 2) (wht_matrix (n / 2))
+  end
+
+let rec to_matrix (f : Formula.t) =
+  match f with
+  | I n -> Cmatrix.identity n
+  | DFT n -> dft_matrix n
+  | WHT n -> wht_matrix n
+  | Perm p -> Cmatrix.of_permutation (Perm.to_array p)
+  | Diag d -> Cmatrix.diag (Diag.to_array d)
+  | Compose fs ->
+      (* Product order: Compose [a; b] = A·B. *)
+      List.fold_left
+        (fun acc g ->
+          match acc with
+          | None -> Some (to_matrix g)
+          | Some m -> Some (Cmatrix.mul m (to_matrix g)))
+        None fs
+      |> Option.get
+  | Tensor (a, b) -> Cmatrix.kronecker (to_matrix a) (to_matrix b)
+  | DirectSum fs | ParDirectSum fs ->
+      Cmatrix.direct_sum (List.map to_matrix fs)
+  | Smp (_, _, f) -> to_matrix f
+  | ParTensor (p, f) ->
+      Cmatrix.kronecker (Cmatrix.identity p) (to_matrix f)
+  | CacheTensor (f, mu) | VTensor (f, mu) ->
+      Cmatrix.kronecker (to_matrix f) (Cmatrix.identity mu)
+  | Vec (_, f) -> to_matrix f
+  | VShuffle (k, nu) ->
+      Cmatrix.kronecker (Cmatrix.identity k)
+        (Cmatrix.of_permutation (Perm.to_array (Perm.L (nu * nu, nu))))
+
+let rec apply (f : Formula.t) (x : Cvec.t) =
+  match f with
+  | I _ -> Cvec.copy x
+  | DFT _ | WHT _ -> Cmatrix.apply (to_matrix f) x
+  | Perm p ->
+      let n = Perm.size p in
+      let y = Cvec.create n in
+      for k = 0 to n - 1 do
+        let s = Perm.gather p k in
+        y.(2 * k) <- x.(2 * s);
+        y.((2 * k) + 1) <- x.((2 * s) + 1)
+      done;
+      y
+  | Diag d ->
+      let n = Diag.size d in
+      let y = Cvec.create n in
+      for i = 0 to n - 1 do
+        let z = Diag.entry d i in
+        let xr = x.(2 * i) and xi = x.((2 * i) + 1) in
+        y.(2 * i) <- (z.re *. xr) -. (z.im *. xi);
+        y.((2 * i) + 1) <- (z.re *. xi) +. (z.im *. xr)
+      done;
+      y
+  | Compose fs -> List.fold_right apply fs x
+  | Tensor (a, b) -> apply_tensor (dim_of a) (dim_of b) a b x
+  | DirectSum fs | ParDirectSum fs ->
+      let y = Cvec.create (Formula.dim f) in
+      let _ =
+        List.fold_left
+          (fun off g ->
+            let n = dim_of g in
+            let slice = Cvec.create n in
+            Array.blit x (2 * off) slice 0 (2 * n);
+            let out = apply g slice in
+            Array.blit out 0 y (2 * off) (2 * n);
+            off + n)
+          0 fs
+      in
+      y
+  | Smp (_, _, g) | Vec (_, g) -> apply g x
+  | ParTensor (p, g) -> apply (Tensor (I p, g)) x
+  | CacheTensor (g, mu) | VTensor (g, mu) -> apply (Tensor (g, I mu)) x
+  | VShuffle (k, nu) -> apply (Tensor (I k, Perm (Perm.L (nu * nu, nu)))) x
+
+and dim_of f = Formula.dim f
+
+and apply_tensor m n a b x =
+  (* (A ⊗ B) x: view x as m blocks of n; apply B to each block, then apply
+     A across blocks (i.e. to each of the n "columns" at stride n). *)
+  let y = Cvec.create (m * n) in
+  (match b with
+  | Formula.I _ -> Cvec.blit x y
+  | _ ->
+      for i = 0 to m - 1 do
+        let blk = Cvec.create n in
+        Array.blit x (2 * i * n) blk 0 (2 * n);
+        let out = apply b blk in
+        Array.blit out 0 y (2 * i * n) (2 * n)
+      done);
+  match a with
+  | Formula.I _ -> y
+  | _ ->
+      let z = Cvec.create (m * n) in
+      let col = Cvec.create m in
+      for j = 0 to n - 1 do
+        for i = 0 to m - 1 do
+          col.(2 * i) <- y.(2 * ((i * n) + j));
+          col.((2 * i) + 1) <- y.((2 * ((i * n) + j)) + 1)
+        done;
+        let out = apply a col in
+        for i = 0 to m - 1 do
+          z.(2 * ((i * n) + j)) <- out.(2 * i);
+          z.((2 * ((i * n) + j)) + 1) <- out.((2 * i) + 1)
+        done
+      done;
+      z
+
+let equal_semantics ?(tol = 1e-8) f g =
+  Formula.dim f = Formula.dim g
+  && Cmatrix.equal_approx ~tol (to_matrix f) (to_matrix g)

@@ -1,0 +1,16 @@
+(** Exact dense-matrix semantics of SPL formulas.
+
+    This is the ground truth used by the test suite to prove that every
+    rewriting rule preserves the denoted matrix, and that compiled programs
+    compute the formula they were compiled from.  Cost is O(dim²)–O(dim³);
+    use only for small dimensions. *)
+
+val to_matrix : Formula.t -> Spiral_util.Cmatrix.t
+(** The matrix denoted by the formula. *)
+
+val apply : Formula.t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t
+(** [apply f x] is [A_f · x] evaluated structurally (without materializing
+    the matrix), usable for moderately larger dimensions. *)
+
+val equal_semantics : ?tol:float -> Formula.t -> Formula.t -> bool
+(** [true] when the two formulas denote the same matrix up to [tol]. *)

@@ -1,0 +1,95 @@
+type t = Complex.t array array
+
+let make r c = Array.make_matrix r c Complex.zero
+
+let init r c f = Array.init r (fun i -> Array.init c (fun j -> f i j))
+
+let rows m = Array.length m
+
+let cols m = if rows m = 0 then 0 else Array.length m.(0)
+
+let identity n = init n n (fun i j -> if i = j then Complex.one else Complex.zero)
+
+let mul a b =
+  let ra = rows a and ca = cols a and rb = rows b and cb = cols b in
+  if ca <> rb then invalid_arg "Cmatrix.mul: dimension mismatch";
+  init ra cb (fun i j ->
+      let acc = ref Complex.zero in
+      for k = 0 to ca - 1 do
+        acc := Complex.add !acc (Complex.mul a.(i).(k) b.(k).(j))
+      done;
+      !acc)
+
+let kronecker a b =
+  let ra = rows a and ca = cols a and rb = rows b and cb = cols b in
+  init (ra * rb) (ca * cb) (fun i j ->
+      Complex.mul a.(i / rb).(j / cb) b.(i mod rb).(j mod cb))
+
+let direct_sum blocks =
+  let r = List.fold_left (fun acc b -> acc + rows b) 0 blocks in
+  let c = List.fold_left (fun acc b -> acc + cols b) 0 blocks in
+  let m = make r c in
+  let _ =
+    List.fold_left
+      (fun (i0, j0) b ->
+        for i = 0 to rows b - 1 do
+          for j = 0 to cols b - 1 do
+            m.(i0 + i).(j0 + j) <- b.(i).(j)
+          done
+        done;
+        (i0 + rows b, j0 + cols b))
+      (0, 0) blocks
+  in
+  m
+
+let diag d =
+  let n = Array.length d in
+  init n n (fun i j -> if i = j then d.(i) else Complex.zero)
+
+let of_permutation sigma =
+  let n = Array.length sigma in
+  init n n (fun i j -> if sigma.(i) = j then Complex.one else Complex.zero)
+
+let apply m x =
+  let r = rows m and c = cols m in
+  if Cvec.length x <> c then invalid_arg "Cmatrix.apply: dimension mismatch";
+  let y = Cvec.create r in
+  for i = 0 to r - 1 do
+    let acc_re = ref 0.0 and acc_im = ref 0.0 in
+    for j = 0 to c - 1 do
+      let a : Complex.t = m.(i).(j) in
+      let xr = x.(2 * j) and xi = x.((2 * j) + 1) in
+      acc_re := !acc_re +. (a.re *. xr) -. (a.im *. xi);
+      acc_im := !acc_im +. (a.re *. xi) +. (a.im *. xr)
+    done;
+    y.(2 * i) <- !acc_re;
+    y.((2 * i) + 1) <- !acc_im
+  done;
+  y
+
+let max_abs_diff a b =
+  if rows a <> rows b || cols a <> cols b then
+    invalid_arg "Cmatrix.max_abs_diff: dimension mismatch";
+  let m = ref 0.0 in
+  for i = 0 to rows a - 1 do
+    for j = 0 to cols a - 1 do
+      let d = Complex.norm (Complex.sub a.(i).(j) b.(i).(j)) in
+      if d > !m then m := d
+    done
+  done;
+  !m
+
+let equal_approx ?(tol = 1e-9) a b =
+  rows a = rows b && cols a = cols b && max_abs_diff a b <= tol
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun row ->
+      Format.fprintf ppf "@[<h>";
+      Array.iter
+        (fun (z : Complex.t) -> Format.fprintf ppf "%6.2f%+6.2fi " z.re z.im)
+        row;
+      Format.fprintf ppf "@]@,")
+    m;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,41 @@
+(** Dense complex matrices, used only for the exact semantics of SPL
+    formulas in tests and verification (never on the fast path). *)
+
+type t = Complex.t array array
+(** Row-major: [m.(i).(j)] is the entry at row [i], column [j].
+    All rows have equal length. *)
+
+val make : int -> int -> t
+(** [make r c] is the [r × c] zero matrix. *)
+
+val init : int -> int -> (int -> int -> Complex.t) -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val identity : int -> t
+
+val mul : t -> t -> t
+(** Matrix product. @raise Invalid_argument on dimension mismatch. *)
+
+val kronecker : t -> t -> t
+(** Tensor (Kronecker) product [A ⊗ B]. *)
+
+val direct_sum : t list -> t
+(** Block-diagonal matrix with the given blocks. *)
+
+val diag : Complex.t array -> t
+
+val of_permutation : int array -> t
+(** [of_permutation sigma] is the matrix [P] with [P.(i).(sigma.(i)) = 1]:
+    applying [P] to a vector [x] yields [y.(i) = x.(sigma.(i))], i.e.
+    [sigma] maps output position to input position (gather convention). *)
+
+val apply : t -> Cvec.t -> Cvec.t
+(** Matrix-vector product on interleaved complex vectors. *)
+
+val equal_approx : ?tol:float -> t -> t -> bool
+
+val max_abs_diff : t -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+type t = float array
+
+let create n = Array.make (2 * n) 0.0
+
+let length x = Array.length x / 2
+
+let get x i = { Complex.re = x.(2 * i); im = x.((2 * i) + 1) }
+
+let set x i (z : Complex.t) =
+  x.(2 * i) <- z.re;
+  x.((2 * i) + 1) <- z.im
+
+let of_complex_array a =
+  let x = create (Array.length a) in
+  Array.iteri (fun i z -> set x i z) a;
+  x
+
+let to_complex_array x = Array.init (length x) (fun i -> get x i)
+
+let copy = Array.copy
+
+let blit src dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Cvec.blit: length mismatch";
+  Array.blit src 0 dst 0 (Array.length src)
+
+let fill_zero x = Array.fill x 0 (Array.length x) 0.0
+
+let of_real_list l =
+  let x = create (List.length l) in
+  List.iteri (fun i re -> x.(2 * i) <- re) l;
+  x
+
+let random ?(seed = 42) n =
+  let st = Random.State.make [| seed; n |] in
+  Array.init (2 * n) (fun _ -> Random.State.float st 2.0 -. 1.0)
+
+let basis n i =
+  let x = create n in
+  x.(2 * i) <- 1.0;
+  x
+
+let max_abs_diff x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Cvec.max_abs_diff: length mismatch";
+  let m = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let d = Float.abs (x.(i) -. y.(i)) in
+    if d > !m then m := d
+  done;
+  !m
+
+let l2_norm x =
+  let s = ref 0.0 in
+  Array.iter (fun v -> s := !s +. (v *. v)) x;
+  sqrt !s
+
+let scale a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let add x y =
+  if Array.length x <> Array.length y then invalid_arg "Cvec.add: length mismatch";
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let equal_approx ?tol x y =
+  let tol =
+    match tol with
+    | Some t -> t
+    | None -> Float.max 1e-9 (1e-9 *. Float.max (l2_norm x) (l2_norm y))
+  in
+  max_abs_diff x y <= tol
+
+let pp ppf x =
+  Format.fprintf ppf "[@[";
+  for i = 0 to length x - 1 do
+    if i > 0 then Format.fprintf ppf ";@ ";
+    Format.fprintf ppf "%.4g%+.4gi" x.(2 * i) x.((2 * i) + 1)
+  done;
+  Format.fprintf ppf "@]]"

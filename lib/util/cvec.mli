@@ -1,0 +1,59 @@
+(** Flat interleaved complex vectors.
+
+    A vector of [n] complex numbers is stored as a [float array] of length
+    [2 * n]: the real part of element [i] at index [2 * i], the imaginary
+    part at [2 * i + 1].  This is the layout the generated FFT kernels
+    operate on (the same layout FFTW and Spiral-generated C code use for
+    interleaved complex data). *)
+
+type t = float array
+(** Interleaved complex data; length is always even. *)
+
+val create : int -> t
+(** [create n] is a zero vector of [n] complex elements. *)
+
+val length : t -> int
+(** Number of complex elements. *)
+
+val get : t -> int -> Complex.t
+(** [get x i] is the [i]-th complex element. *)
+
+val set : t -> int -> Complex.t -> unit
+(** [set x i z] stores [z] as the [i]-th complex element. *)
+
+val of_complex_array : Complex.t array -> t
+val to_complex_array : t -> Complex.t array
+
+val copy : t -> t
+
+val blit : t -> t -> unit
+(** [blit src dst] copies all of [src] into [dst]; lengths must match. *)
+
+val fill_zero : t -> unit
+
+val of_real_list : float list -> t
+(** Build from real samples (imaginary parts zero). *)
+
+val random : ?seed:int -> int -> t
+(** [random n] is a vector of [n] complex elements with parts drawn
+    uniformly from [[-1, 1)], deterministic for a given [seed]. *)
+
+val basis : int -> int -> t
+(** [basis n i] is the [i]-th standard basis vector of length [n]. *)
+
+val max_abs_diff : t -> t -> float
+(** L∞ distance between two vectors of equal length. *)
+
+val l2_norm : t -> float
+
+val scale : float -> t -> unit
+(** In-place multiplication of every entry by a real scalar. *)
+
+val add : t -> t -> t
+(** Pointwise sum (fresh vector). *)
+
+val equal_approx : ?tol:float -> t -> t -> bool
+(** [equal_approx x y] is [true] when [max_abs_diff x y <= tol]
+    (default [tol] = [1e-9] scaled by the larger norm, min 1e-9). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let ilog2 n =
+  if not (is_pow2 n) then invalid_arg "Int_util.ilog2: not a power of two";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let pow b e =
+  if e < 0 then invalid_arg "Int_util.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e lsr 1)
+    else go acc (b * b) (e lsr 1)
+  in
+  go 1 b e
+
+let divides d n = d > 0 && n mod d = 0
+
+let divisors n =
+  if n <= 0 then invalid_arg "Int_util.divisors: non-positive";
+  let rec go d acc =
+    if d > n then List.rev acc
+    else if n mod d = 0 then go (d + 1) (d :: acc)
+    else go (d + 1) acc
+  in
+  go 1 []
+
+let factor_pairs n =
+  divisors n
+  |> List.filter (fun m -> m > 1 && m < n)
+  |> List.map (fun m -> (m, n / m))
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Int_util.ceil_div: non-positive divisor";
+  (a + b - 1) / b
+
+let range n = List.init n (fun i -> i)
+
+let prime_factors n =
+  if n <= 0 then invalid_arg "Int_util.prime_factors: non-positive";
+  let rec go n d acc =
+    if n = 1 then List.rev acc
+    else if d * d > n then List.rev (n :: acc)
+    else if n mod d = 0 then go (n / d) d (d :: acc)
+    else go n (d + 1) acc
+  in
+  go n 2 []

@@ -1,0 +1,35 @@
+(** Integer helpers used throughout the generator: powers of two, divisor
+    enumeration, exact logarithms.  All functions are total on the stated
+    domains and raise [Invalid_argument] outside them. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is [true] iff [n] is a positive power of two (1 included). *)
+
+val ilog2 : int -> int
+(** [ilog2 n] is the exact base-2 logarithm of [n].
+    @raise Invalid_argument if [n] is not a positive power of two. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b] raised to [e >= 0] using integer arithmetic. *)
+
+val divides : int -> int -> bool
+(** [divides d n] is [true] iff [d > 0] and [d] divides [n]. *)
+
+val divisors : int -> int list
+(** All positive divisors of [n > 0] in increasing order. *)
+
+val factor_pairs : int -> (int * int) list
+(** [factor_pairs n] lists all pairs [(m, k)] with [m * k = n] and
+    [m > 1 && k > 1], in increasing order of [m].  Empty for primes and 1. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor (non-negative result). *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [a / b] rounded towards positive infinity, [b > 0]. *)
+
+val range : int -> int list
+(** [range n] is [[0; 1; ...; n - 1]]. *)
+
+val prime_factors : int -> int list
+(** Prime factorization of [n > 0] in increasing order, with multiplicity. *)

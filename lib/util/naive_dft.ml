@@ -1,0 +1,25 @@
+let dft_gen ~sign ~norm x =
+  let n = Cvec.length x in
+  let y = Cvec.create n in
+  for k = 0 to n - 1 do
+    let acc_re = ref 0.0 and acc_im = ref 0.0 in
+    for l = 0 to n - 1 do
+      let w = Twiddle.omega_pow ~n ~k ~l in
+      let w_im = sign *. w.im in
+      let xr = x.(2 * l) and xi = x.((2 * l) + 1) in
+      acc_re := !acc_re +. (xr *. w.re) -. (xi *. w_im);
+      acc_im := !acc_im +. (xr *. w_im) +. (xi *. w.re)
+    done;
+    y.(2 * k) <- norm *. !acc_re;
+    y.((2 * k) + 1) <- norm *. !acc_im
+  done;
+  y
+
+let dft x = dft_gen ~sign:1.0 ~norm:1.0 x
+
+let idft x =
+  let n = Cvec.length x in
+  if n = 0 then Cvec.create 0
+  else dft_gen ~sign:(-1.0) ~norm:(1.0 /. float_of_int n) x
+
+let dft_complex a = Cvec.to_complex_array (dft (Cvec.of_complex_array a))

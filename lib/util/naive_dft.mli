@@ -1,0 +1,12 @@
+(** Reference O(n²) discrete Fourier transform, used as ground truth in
+    tests and benchmarks.  Forward transform uses [ω_n = exp (-2πi/n)]. *)
+
+val dft : Cvec.t -> Cvec.t
+(** [dft x] is [DFT_n x] computed by the definition (no scaling). *)
+
+val idft : Cvec.t -> Cvec.t
+(** Inverse transform including the [1/n] normalization, so
+    [idft (dft x) ≈ x]. *)
+
+val dft_complex : Complex.t array -> Complex.t array
+(** Same as {!dft} on boxed complex arrays. *)

@@ -1,0 +1,29 @@
+let two_pi = 2.0 *. Float.pi
+
+let omega n k =
+  if n <= 0 then invalid_arg "Twiddle.omega: non-positive order";
+  let k = ((k mod n) + n) mod n in
+  let theta = -.two_pi *. float_of_int k /. float_of_int n in
+  { Complex.re = cos theta; im = sin theta }
+
+let omega_pow ~n ~k ~l =
+  if n <= 0 then invalid_arg "Twiddle.omega_pow: non-positive order";
+  (* Reduce each factor first so k*l cannot overflow for the sizes we use. *)
+  let k = ((k mod n) + n) mod n and l = ((l mod n) + n) mod n in
+  omega n (k * l mod n)
+
+let twiddle_diag ~m ~n =
+  let mn = m * n in
+  Array.init mn (fun idx ->
+      let i = idx / n and j = idx mod n in
+      omega_pow ~n:mn ~k:i ~l:j)
+
+let twiddle_table ~m ~n =
+  let diag = twiddle_diag ~m ~n in
+  let t = Array.make (2 * m * n) 0.0 in
+  Array.iteri
+    (fun i (z : Complex.t) ->
+      t.(2 * i) <- z.re;
+      t.((2 * i) + 1) <- z.im)
+    diag;
+  t

@@ -1,0 +1,21 @@
+(** Roots of unity and twiddle factor tables.
+
+    The DFT convention is [ω_n = exp (-2πi / n)] (forward transform with
+    negative exponent), matching the paper's definition
+    [DFT_n = [ω_n^{kl}]]. *)
+
+val omega : int -> int -> Complex.t
+(** [omega n k] is [exp (-2πi k / n)], computed with argument reduction so
+    that [omega n k] is accurate for any [k] (including [k >= n]). *)
+
+val omega_pow : n:int -> k:int -> l:int -> Complex.t
+(** [omega_pow ~n ~k ~l] is [ω_n^{k·l}] with the product reduced mod [n]
+    before evaluation (avoids precision loss for large exponents). *)
+
+val twiddle_diag : m:int -> n:int -> Complex.t array
+(** The diagonal of the twiddle matrix [D_{m,n}] of the Cooley-Tukey rule
+    [DFT_{mn} = (DFT_m ⊗ I_n) D_{m,n} (I_m ⊗ DFT_n) L^{mn}_m]:
+    entry [i*n + j] is [ω_{mn}^{i·j}] for [0 <= i < m], [0 <= j < n]. *)
+
+val twiddle_table : m:int -> n:int -> float array
+(** Same as {!twiddle_diag} but interleaved re/im, ready for kernels. *)

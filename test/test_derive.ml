@@ -1,0 +1,245 @@
+open Spiral_spl
+open Spiral_rewrite
+open Ruletree
+open Formula
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let sem_equal = Semantics.equal_semantics ~tol:1e-8
+
+(* ------------------------------------------------------------------ *)
+(* Ruletrees                                                           *)
+
+let test_tree_size () =
+  check ci "leaf" 8 (Ruletree.size (Leaf 8));
+  check ci "ct" 32 (Ruletree.size (Ct (Leaf 4, Leaf 8)));
+  check ci "depth" 3
+    (Ruletree.depth (Ct (Ct (Leaf 2, Leaf 2), Leaf 2)))
+
+let test_tree_expand_semantics () =
+  List.iter
+    (fun tree ->
+      check cb (Ruletree.to_string tree) true
+        (sem_equal (DFT (Ruletree.size tree)) (Ruletree.expand tree)))
+    [ Ruletree.Leaf 6;
+      Ct (Leaf 2, Leaf 3);
+      Ct (Ct (Leaf 2, Leaf 2), Leaf 4);
+      Ct (Leaf 3, Ct (Leaf 2, Leaf 5));
+      Ruletree.mixed_radix 64;
+      Ruletree.balanced 48;
+      Ruletree.random ~seed:11 36 ]
+
+let test_tree_constructors () =
+  check ci "mixed 256" 256 (Ruletree.size (Ruletree.mixed_radix 256));
+  check ci "balanced 360" 360 (Ruletree.size (Ruletree.balanced 360));
+  check ci "right 64" 64 (Ruletree.size (Ruletree.right_expanded ~radix:4 64));
+  check ci "left 64" 64 (Ruletree.size (Ruletree.left_expanded ~radix:4 64));
+  Ruletree.validate (Ruletree.mixed_radix 4096);
+  Ruletree.validate (Ruletree.balanced 1000)
+
+let test_mixed_radix_avoids_trailing_2 () =
+  (* 2^10 should not end in a radix-2 leaf *)
+  let rec leaves = function
+    | Ruletree.Leaf n -> [ n ]
+    | Ct (l, r) -> leaves l @ leaves r
+  in
+  let ls = leaves (Ruletree.mixed_radix 1024) in
+  check cb "no radix 2" true (not (List.mem 2 ls));
+  check cb "all good leaves" true
+    (List.for_all (fun l -> l <= Ruletree.good_leaf_max) ls)
+
+let test_tree_validate_errors () =
+  (try
+     Ruletree.validate (Leaf 1);
+     Alcotest.fail "leaf 1 should be invalid"
+   with Invalid_argument _ -> ());
+  try
+    Ruletree.validate (Leaf 64);
+    Alcotest.fail "leaf 64 exceeds leaf_max"
+  with Invalid_argument _ -> ()
+
+let test_all_trees_16 () =
+  (* trees(2)=1, trees(4)=2, trees(8)=5,
+     trees(16) = 1 leaf + (2,8):5 + (4,4):4 + (8,2):5 = 15 *)
+  check ci "trees 16" 15 (List.length (Ruletree.all_trees 16));
+  check ci "trees 8" 5 (List.length (Ruletree.all_trees 8));
+  check ci "trees 7 (prime)" 1 (List.length (Ruletree.all_trees 7))
+
+let test_tree_string_roundtrip () =
+  List.iter
+    (fun t ->
+      check cb (Ruletree.to_string t) true
+        (Ruletree.of_string (Ruletree.to_string t) = t))
+    [ Ruletree.Leaf 8;
+      Ct (Leaf 4, Leaf 8);
+      Ct (Ct (Leaf 2, Leaf 3), Ct (Leaf 5, Leaf 7));
+      Ruletree.mixed_radix 512 ]
+
+let prop_tree_string_roundtrip =
+  QCheck.Test.make ~name:"ruletree to_string/of_string roundtrip" ~count:60
+    QCheck.(int_range 4 2048)
+    (fun n ->
+      let t = Ruletree.random ~seed:n n in
+      Ruletree.of_string (Ruletree.to_string t) = t)
+
+let test_tree_parse_errors () =
+  List.iter
+    (fun s ->
+      try
+        ignore (Ruletree.of_string s);
+        Alcotest.failf "parsed %S" s
+      with Invalid_argument _ -> ())
+    [ ""; "( 2 x 3"; "2 x 3"; "(2 y 3)"; "(2 x 3) junk"; "abc" ]
+
+(* ------------------------------------------------------------------ *)
+(* Multicore derivation (formula 14)                                   *)
+
+let test_multicore_structure () =
+  (* with leaf subtrees the result is literally the 7-factor formula (14) *)
+  match Derive.multicore_dft ~p:2 ~mu:2 (Ct (Leaf 8, Leaf 8)) with
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+  | Ok f -> (
+      match f with
+      | Compose
+          [ CacheTensor (Tensor (Perm _, I _), _);
+            ParTensor (_, Tensor (DFT _, I _));
+            CacheTensor (Tensor (Perm _, I _), _);
+            ParDirectSum _;
+            ParTensor (_, Tensor (I _, DFT _));
+            ParTensor (_, Perm _);
+            CacheTensor (Tensor (Perm _, I _), _) ] ->
+          ()
+      | _ -> Alcotest.failf "not the shape of formula (14): %s" (to_string f))
+
+let test_multicore_semantics_various () =
+  List.iter
+    (fun (p, mu, m, n) ->
+      let tree = Ct (Ruletree.mixed_radix m, Ruletree.mixed_radix n) in
+      match Derive.multicore_dft ~p ~mu tree with
+      | Error e -> Alcotest.failf "p%d mu%d: %s" p mu (Derive.error_to_string e)
+      | Ok f ->
+          check cb "fully optimized" true (Props.fully_optimized ~p ~mu f);
+          check cb "semantics" true (sem_equal f (DFT (m * n)));
+          check (Alcotest.float 0.0) "load balance" 0.0 (Cost.imbalance ~p f))
+    [ (2, 1, 4, 4); (2, 2, 8, 8); (2, 4, 8, 8); (4, 1, 8, 8); (4, 2, 16, 16);
+      (3, 1, 6, 12); (2, 2, 12, 20) ]
+
+let test_multicore_bad_sizes () =
+  (match Derive.multicore_dft ~p:2 ~mu:4 (Ct (Leaf 4, Leaf 8)) with
+  | Error (Derive.Bad_size _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Derive.error_to_string e)
+  | Ok _ -> Alcotest.fail "pµ=8 does not divide 4");
+  match Derive.multicore_dft ~p:2 ~mu:2 (Leaf 16) with
+  | Error (Derive.Bad_size _) -> ()
+  | _ -> Alcotest.fail "leaf has no top split"
+
+let test_multicore_mu_condition () =
+  (* formula exists iff pµ | m and pµ | n: µ=4, p=2 needs 8 | both *)
+  (match Derive.multicore_dft ~p:2 ~mu:4 (Ct (Leaf 8, Leaf 8)) with
+  | Ok f -> check cb "8x8 ok" true (Props.fully_optimized ~p:2 ~mu:4 f)
+  | Error e -> Alcotest.fail (Derive.error_to_string e));
+  match Derive.multicore_dft ~p:2 ~mu:4 (Ct (Leaf 8, Ct (Leaf 2, Leaf 6))) with
+  | Error (Derive.Bad_size _) -> ()
+  | _ -> Alcotest.fail "12 not divisible by 8"
+
+let test_sequential_dft () =
+  check cb "expand alias" true
+    (Derive.sequential_dft (Ct (Leaf 4, Leaf 4))
+    = Ruletree.expand (Ct (Leaf 4, Leaf 4)))
+
+(* ------------------------------------------------------------------ *)
+(* Six-step, WHT, naive parallelization                                *)
+
+let test_six_step () =
+  (match Derive.six_step_dft ~p:2 ~mu:2 ~m:8 ~n:8 with
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+  | Ok f ->
+      check cb "semantics" true (sem_equal f (DFT 64));
+      (* the six-step keeps explicit stride permutations: not fully
+         optimized in the sense of Definition 1 *)
+      check cb "not fully optimized" false (Props.fully_optimized ~p:2 ~mu:2 f));
+  match Derive.six_step_dft ~p:4 ~mu:1 ~m:6 ~n:8 with
+  | Error (Derive.Bad_size _) -> ()
+  | _ -> Alcotest.fail "p=4 does not divide 6"
+
+let test_six_step_large_subtransforms () =
+  match Derive.six_step_dft ~p:2 ~mu:2 ~m:64 ~n:64 with
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+  | Ok f ->
+      (* 64 > leaf_max forces recursive expansion of the sub-DFTs *)
+      check cb "no nonterminal > leaf_max" true
+        (not
+           (exists
+              (function DFT k -> k > Ruletree.leaf_max | _ -> false)
+              f))
+
+let test_multicore_wht () =
+  (match Derive.multicore_wht ~p:2 ~mu:2 ~m:8 ~n:8 with
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+  | Ok f ->
+      check cb "fully optimized" true (Props.fully_optimized ~p:2 ~mu:2 f);
+      check cb "semantics" true (sem_equal f (WHT 64)));
+  match Derive.multicore_wht ~p:2 ~mu:2 ~m:6 ~n:8 with
+  | Error (Derive.Bad_size _) -> ()
+  | _ -> Alcotest.fail "WHT size must be 2^k"
+
+let test_parallelize_loops () =
+  let f = Ruletree.expand (Ct (Leaf 8, Leaf 8)) in
+  let g = Derive.parallelize_loops ~p:2 f in
+  check cb "semantics preserved" true (sem_equal f g);
+  check cb "has parallel constructs" true
+    (exists (function ParTensor _ -> true | _ -> false) g);
+  check cb "not fully optimized (explicit perms)" false
+    (Props.fully_optimized ~p:2 ~mu:4 g)
+
+(* end-to-end property: for random valid (p, mu, tree), the full pipeline
+   (derive -> compile -> execute) is correct and optimized *)
+let prop_multicore_end_to_end =
+  QCheck.Test.make ~name:"multicore pipeline: derive/compile/execute" ~count:30
+    QCheck.(triple (int_range 1 200) (int_range 2 4) (int_range 1 4))
+    (fun (seed, p, mu) ->
+      let q = p * mu in
+      (* random multiples of pmu for the two halves, kept small *)
+      let st = Random.State.make [| seed |] in
+      let m = q * (1 + Random.State.int st 3) in
+      let n = q * (1 + Random.State.int st 3) in
+      QCheck.assume (m * n <= 1024);
+      let tree = Ct (Ruletree.random ~seed m, Ruletree.random ~seed:(seed + 1) n) in
+      (try Ruletree.validate tree with Invalid_argument _ -> QCheck.assume_fail ());
+      match Derive.multicore_dft ~p ~mu tree with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok f ->
+          let open Spiral_util in
+          Props.fully_optimized ~p ~mu f
+          && Cost.imbalance ~p f = 0.0
+          &&
+          let plan = Spiral_codegen.Plan.of_formula f in
+          let x = Cvec.random ~seed (m * n) in
+          let y = Cvec.create (m * n) in
+          Spiral_codegen.Plan.execute plan x y;
+          Cvec.max_abs_diff y (Naive_dft.dft x) < 1e-6 *. float_of_int (m * n))
+
+let suite =
+  [
+    Alcotest.test_case "tree size/depth" `Quick test_tree_size;
+    Alcotest.test_case "tree expansion semantics" `Quick test_tree_expand_semantics;
+    Alcotest.test_case "tree constructors" `Quick test_tree_constructors;
+    Alcotest.test_case "mixed radix avoids trailing 2" `Quick test_mixed_radix_avoids_trailing_2;
+    Alcotest.test_case "tree validation errors" `Quick test_tree_validate_errors;
+    Alcotest.test_case "all_trees counts" `Quick test_all_trees_16;
+    Alcotest.test_case "tree string roundtrip" `Quick test_tree_string_roundtrip;
+    QCheck_alcotest.to_alcotest prop_tree_string_roundtrip;
+    Alcotest.test_case "tree parse errors" `Quick test_tree_parse_errors;
+    Alcotest.test_case "formula (14) structure" `Quick test_multicore_structure;
+    Alcotest.test_case "multicore semantics (p, mu sweep)" `Quick test_multicore_semantics_various;
+    Alcotest.test_case "multicore bad sizes" `Quick test_multicore_bad_sizes;
+    Alcotest.test_case "multicore (pmu)^2 | N condition" `Quick test_multicore_mu_condition;
+    Alcotest.test_case "sequential derivation" `Quick test_sequential_dft;
+    Alcotest.test_case "six-step derivation" `Quick test_six_step;
+    Alcotest.test_case "six-step large subtransforms" `Quick test_six_step_large_subtransforms;
+    Alcotest.test_case "multicore WHT" `Quick test_multicore_wht;
+    Alcotest.test_case "naive loop parallelization" `Quick test_parallelize_loops;
+    QCheck_alcotest.to_alcotest prop_multicore_end_to_end;
+  ]

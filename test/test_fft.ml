@@ -1,0 +1,579 @@
+open Spiral_util
+open Spiral_fft
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Public DFT API                                                      *)
+
+let test_plan_forward () =
+  List.iter
+    (fun n ->
+      Dft.with_plan n (fun t ->
+          let x = Cvec.random ~seed:n n in
+          check cb
+            (Printf.sprintf "n=%d" n)
+            true
+            (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x)
+            < 1e-7 *. float_of_int n)))
+    [ 1; 2; 4; 8; 30; 64; 100; 256; 360; 1024 ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"inverse (forward x) = x" ~count:25
+    QCheck.(int_range 1 512)
+    (fun n ->
+      Dft.with_plan n (fun fwd ->
+          Dft.with_plan ~direction:Dft.Inverse n (fun inv ->
+              let x = Cvec.random ~seed:n n in
+              Cvec.max_abs_diff (Dft.execute inv (Dft.execute fwd x)) x < 1e-8)))
+
+let test_plan_threads () =
+  Dft.with_plan ~threads:2 ~mu:2 256 (fun t ->
+      check cb "parallel" true (Dft.parallel t);
+      check ci "threads" 2 (Dft.threads t);
+      let x = Cvec.random ~seed:1 256 in
+      check cb "matches naive" true
+        (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x) < 1e-7))
+
+let test_plan_threads_fallback () =
+  (* n = 20 cannot satisfy (pµ)² | n: silently falls back to sequential *)
+  Dft.with_plan ~threads:4 ~mu:4 20 (fun t ->
+      check cb "fell back" false (Dft.parallel t);
+      check ci "threads 1" 1 (Dft.threads t);
+      let x = Cvec.random ~seed:2 20 in
+      check cb "still correct" true
+        (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x) < 1e-8))
+
+let test_plan_parallel_equals_sequential () =
+  let x = Cvec.random ~seed:7 1024 in
+  let seq = Dft.with_plan 1024 (fun t -> Dft.execute t x) in
+  Dft.with_plan ~threads:4 ~mu:2 1024 (fun t ->
+      check cb "parallel used" true (Dft.parallel t);
+      check cb "bit-compatible result" true
+        (Cvec.max_abs_diff seq (Dft.execute t x) < 1e-10))
+
+let test_plan_inverse_parallel () =
+  Dft.with_plan ~direction:Dft.Inverse ~threads:2 ~mu:2 256 (fun t ->
+      let x = Cvec.random ~seed:4 256 in
+      check cb "parallel inverse" true
+        (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.idft x) < 1e-8))
+
+let test_plan_custom_tree () =
+  let tree = Spiral_rewrite.Ruletree.Ct (Leaf 8, Leaf 8) in
+  Dft.with_plan ~tree 64 (fun t ->
+      let x = Cvec.random ~seed:5 64 in
+      check cb "custom tree" true
+        (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x) < 1e-8));
+  try
+    Dft.with_plan ~tree 128 ignore;
+    Alcotest.fail "tree size mismatch accepted"
+  with Invalid_argument _ -> ()
+
+let test_plan_oversized_leaf_tree () =
+  (* regression: a user tree with an oversized leaf must surface as
+     Invalid_argument, not a raw internal exception *)
+  let tree = Spiral_rewrite.Ruletree.Ct (Leaf 2, Leaf 32) in
+  Dft.with_plan ~tree 64 (fun t -> ignore (Dft.execute t (Cvec.random 64)));
+  try
+    Dft.with_plan ~tree:(Spiral_rewrite.Ruletree.Leaf 37) 37 ignore;
+    Alcotest.fail "oversized leaf accepted"
+  with Invalid_argument _ -> ()
+
+let test_plan_validation () =
+  (try
+     Dft.with_plan 0 ignore;
+     Alcotest.fail "n = 0 accepted"
+   with Invalid_argument _ -> ());
+  Dft.with_plan 8 (fun t ->
+      try
+        ignore (Dft.execute t (Cvec.create 4));
+        Alcotest.fail "wrong length accepted"
+      with Invalid_argument _ -> ())
+
+let test_plan_destroy () =
+  let t = Dft.plan 16 in
+  Dft.destroy t;
+  Dft.destroy t;
+  (* idempotent *)
+  try
+    ignore (Dft.execute t (Cvec.create 16));
+    Alcotest.fail "use after destroy"
+  with Invalid_argument _ -> ()
+
+let test_description () =
+  Dft.with_plan ~threads:2 ~mu:2 64 (fun t ->
+      let d = Dft.description t in
+      check cb "mentions size" true (String.length d > 10);
+      check cb "formula available" true
+        (Spiral_spl.Formula.dim (Dft.formula t) = 64))
+
+let test_parseval () =
+  Dft.with_plan 256 (fun t ->
+      let x = Cvec.random ~seed:11 256 in
+      let y = Dft.execute t x in
+      let ex = Cvec.l2_norm x and ey = Cvec.l2_norm y in
+      check (Alcotest.float 1e-6) "parseval" (ex *. ex *. 256.0) (ey *. ey))
+
+let test_time_shift_phase () =
+  (* shifting a signal multiplies the spectrum by a phase: |bins| equal *)
+  let n = 64 in
+  let x = Cvec.random ~seed:13 n in
+  let shifted = Cvec.create n in
+  for i = 0 to n - 1 do
+    Cvec.set shifted i (Cvec.get x ((i + 1) mod n))
+  done;
+  Dft.with_plan n (fun t ->
+      let fx = Dft.execute t x and fs = Dft.execute t shifted in
+      for k = 0 to n - 1 do
+        let m1 = Complex.norm (Cvec.get fx k) and m2 = Complex.norm (Cvec.get fs k) in
+        if Float.abs (m1 -. m2) > 1e-8 then Alcotest.failf "bin %d" k
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Bluestein (arbitrary sizes, including large primes)                 *)
+
+let test_bluestein_primes () =
+  List.iter
+    (fun n ->
+      Dft.with_plan n (fun t ->
+          check cb (Printf.sprintf "parallel flag n=%d" n) false (Dft.parallel t);
+          let x = Cvec.random ~seed:n n in
+          check cb (Printf.sprintf "prime n=%d" n) true
+            (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x)
+            < 1e-6 *. float_of_int n)))
+    [ 37; 41; 97; 127; 211; 509 ]
+
+let test_bluestein_composite_large_factor () =
+  (* 2 * 61: the factor 61 exceeds the codelet range *)
+  List.iter
+    (fun n ->
+      Dft.with_plan n (fun t ->
+          let x = Cvec.random ~seed:n n in
+          check cb (Printf.sprintf "n=%d" n) true
+            (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x) < 1e-6)))
+    [ 122; 183; 37 * 4 ]
+
+let test_bluestein_direct_dispatch () =
+  check cb "1024 direct" true (Bluestein.supported_directly 1024);
+  check cb "360 direct" true (Bluestein.supported_directly 360);
+  check cb "37 not direct" false (Bluestein.supported_directly 37);
+  check cb "122 not direct" false (Bluestein.supported_directly 122)
+
+let test_bluestein_inner_size () =
+  let b = Bluestein.plan 100 in
+  (* smallest power of two >= 199 *)
+  check ci "inner size" 256 (Bluestein.inner_size b);
+  Bluestein.destroy b
+
+let test_bluestein_inverse () =
+  Dft.with_plan ~direction:Dft.Inverse 101 (fun inv ->
+      Dft.with_plan 101 (fun fwd ->
+          let x = Cvec.random ~seed:9 101 in
+          check cb "prime roundtrip" true
+            (Cvec.max_abs_diff (Dft.execute inv (Dft.execute fwd x)) x < 1e-8)))
+
+let test_bluestein_threaded_inner () =
+  (* the inner power-of-two transform may be parallelized *)
+  Dft.with_plan ~threads:2 ~mu:2 97 (fun t ->
+      let x = Cvec.random ~seed:12 97 in
+      check cb "threaded bluestein" true
+        (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x) < 1e-7))
+
+let prop_bluestein_matches_naive =
+  QCheck.Test.make ~name:"bluestein matches naive for any size" ~count:30
+    QCheck.(int_range 1 300)
+    (fun n ->
+      let b = Bluestein.plan n in
+      let x = Cvec.random ~seed:n n in
+      let y = Cvec.create n in
+      Bluestein.execute_into b ~src:x ~dst:y;
+      Bluestein.destroy b;
+      Cvec.max_abs_diff y (Naive_dft.dft x) < 1e-6 *. float_of_int (max 1 n))
+
+(* ------------------------------------------------------------------ *)
+(* Signal helpers                                                      *)
+
+let direct_cyclic_convolution x y =
+  let n = Cvec.length x in
+  let z = Cvec.create n in
+  for k = 0 to n - 1 do
+    let acc = ref Complex.zero in
+    for j = 0 to n - 1 do
+      acc :=
+        Complex.add !acc
+          (Complex.mul (Cvec.get x j) (Cvec.get y ((k - j + n) mod n)))
+    done;
+    Cvec.set z k !acc
+  done;
+  z
+
+let test_convolution_theorem () =
+  let n = 32 in
+  let x = Cvec.random ~seed:1 n and y = Cvec.random ~seed:2 n in
+  let fast = Signal.convolve x y in
+  let direct = direct_cyclic_convolution x y in
+  check cb "fast = direct" true (Cvec.max_abs_diff fast direct < 1e-8)
+
+let test_correlation_vs_convolution () =
+  (* correlate x y at lag 0 = sum conj(x_j) y_j *)
+  let n = 16 in
+  let x = Cvec.random ~seed:3 n and y = Cvec.random ~seed:4 n in
+  let c = Signal.correlate x y in
+  let want = ref Complex.zero in
+  for j = 0 to n - 1 do
+    want :=
+      Complex.add !want (Complex.mul (Complex.conj (Cvec.get x j)) (Cvec.get y j))
+  done;
+  check cb "lag 0" true (Complex.norm (Complex.sub (Cvec.get c 0) !want) < 1e-8)
+
+let test_spectrum_peak () =
+  let n = 128 and freq = 7 in
+  let s = Signal.power_spectrum (Signal.sine_wave ~n ~freq ()) in
+  match Signal.dominant_bins ~count:1 s with
+  | [ (bin, _) ] -> check ci "peak at freq" freq bin
+  | _ -> Alcotest.fail "no dominant bin"
+
+let test_spectrum_two_tones () =
+  let n = 256 in
+  let x =
+    Cvec.add (Signal.sine_wave ~n ~freq:10 ~amplitude:2.0 ())
+      (Signal.sine_wave ~n ~freq:40 ())
+  in
+  let bins = List.map fst (Signal.dominant_bins ~count:2 (Signal.power_spectrum x)) in
+  check cb "10 found" true (List.mem 10 bins);
+  check cb "40 found" true (List.mem 40 bins)
+
+let test_pointwise_mul () =
+  let x = Cvec.of_complex_array [| { Complex.re = 1.0; im = 2.0 } |] in
+  let y = Cvec.of_complex_array [| { Complex.re = 3.0; im = -1.0 } |] in
+  let z = Signal.pointwise_mul x y in
+  check cb "complex product" true
+    (Complex.norm (Complex.sub (Cvec.get z 0) { Complex.re = 5.0; im = 5.0 }) < 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Batched transforms                                                  *)
+
+let test_batch_matches_individual () =
+  Batch.with_plan ~count:5 64 (fun t ->
+      let x = Cvec.random ~seed:2 (5 * 64) in
+      let y = Batch.execute t x in
+      Dft.with_plan 64 (fun single ->
+          for b = 0 to 4 do
+            let slice = Cvec.create 64 in
+            Array.blit x (2 * b * 64) slice 0 (2 * 64);
+            let want = Dft.execute single slice in
+            let got = Cvec.create 64 in
+            Array.blit y (2 * b * 64) got 0 (2 * 64);
+            if Cvec.max_abs_diff got want > 1e-10 then
+              Alcotest.failf "batch element %d" b
+          done))
+
+let test_batch_parallel () =
+  (* rule (9) parallelizes the batch loop directly *)
+  Batch.with_plan ~threads:4 ~mu:4 ~count:8 256 (fun t ->
+      check cb "parallel" true (Batch.parallel t);
+      check cb "fully optimized" true
+        (Spiral_spl.Props.fully_optimized ~p:4 ~mu:4 (Batch.formula t));
+      let x = Cvec.random ~seed:9 (8 * 256) in
+      let y = Batch.execute t x in
+      Batch.with_plan ~count:8 256 (fun seq ->
+          check cb "same as sequential" true
+            (Cvec.max_abs_diff y (Batch.execute seq x) < 1e-10)))
+
+let test_batch_parallel_fallback () =
+  (* p does not divide the batch count and the divisibility fails *)
+  Batch.with_plan ~threads:4 ~mu:4 ~count:3 5 (fun t ->
+      check cb "fell back" false (Batch.parallel t);
+      let x = Cvec.random ~seed:4 15 in
+      ignore (Batch.execute t x))
+
+(* ------------------------------------------------------------------ *)
+(* Walsh-Hadamard transforms                                           *)
+
+let wht_reference n x =
+  Cmatrix.apply (Spiral_spl.Semantics.to_matrix (Spiral_spl.Formula.WHT n)) x
+
+let test_wht_sequential () =
+  List.iter
+    (fun n ->
+      Wht.with_plan n (fun t ->
+          let x = Cvec.random ~seed:n n in
+          check cb (Printf.sprintf "wht %d" n) true
+            (Cvec.max_abs_diff (Wht.execute t x) (wht_reference n x) < 1e-8)))
+    [ 1; 2; 8; 64; 256; 1024 ]
+
+let test_wht_parallel () =
+  Wht.with_plan ~threads:2 ~mu:2 256 (fun t ->
+      check cb "parallel" true (Wht.parallel t);
+      let x = Cvec.random ~seed:6 256 in
+      check cb "matches reference" true
+        (Cvec.max_abs_diff (Wht.execute t x) (wht_reference 256 x) < 1e-8))
+
+let test_wht_validation () =
+  try
+    Wht.with_plan 12 ignore;
+    Alcotest.fail "non power of two accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Real-input FFT                                                      *)
+
+let test_rfft_matches_complex () =
+  List.iter
+    (fun n ->
+      Rfft.with_plan n (fun t ->
+          let st = Random.State.make [| n |] in
+          let x = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+          let xc = Cvec.create n in
+          Array.iteri (fun i v -> xc.(2 * i) <- v) x;
+          let want = Naive_dft.dft xc in
+          let got = Rfft.forward t x in
+          for k = 0 to n / 2 do
+            if
+              Float.abs (got.(2 * k) -. want.(2 * k)) > 1e-8
+              || Float.abs (got.((2 * k) + 1) -. want.((2 * k) + 1)) > 1e-8
+            then Alcotest.failf "n=%d bin %d" n k
+          done))
+    [ 2; 4; 6; 16; 64; 100; 256 ]
+
+let test_rfft_roundtrip () =
+  List.iter
+    (fun n ->
+      Rfft.with_plan n (fun t ->
+          let st = Random.State.make [| n + 7 |] in
+          let x = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+          let back = Rfft.inverse t (Rfft.forward t x) in
+          Array.iteri
+            (fun i v ->
+              if Float.abs (v -. x.(i)) > 1e-9 then Alcotest.failf "n=%d i=%d" n i)
+            back))
+    [ 2; 4; 8; 30; 64; 256; 1024 ]
+
+let test_rfft_dc_nyquist_real () =
+  Rfft.with_plan 16 (fun t ->
+      let x = Array.init 16 (fun i -> float_of_int (i mod 5)) in
+      let s = Rfft.forward t x in
+      check cb "DC real" true (Float.abs s.(1) < 1e-12);
+      check cb "Nyquist real" true (Float.abs s.((2 * 8) + 1) < 1e-12))
+
+let test_rfft_validation () =
+  (try
+     Rfft.with_plan 7 ignore;
+     Alcotest.fail "odd length accepted"
+   with Invalid_argument _ -> ());
+  Rfft.with_plan 8 (fun t ->
+      try
+        ignore (Rfft.forward t (Array.make 6 0.0));
+        Alcotest.fail "wrong length accepted"
+      with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* 2-D DFT                                                             *)
+
+(* reference: 1-D naive DFT over every row, then every column *)
+let naive_dft2d ~rows ~cols x =
+  let row_done = Cvec.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    let slice = Cvec.create cols in
+    Array.blit x (2 * r * cols) slice 0 (2 * cols);
+    Array.blit (Naive_dft.dft slice) 0 row_done (2 * r * cols) (2 * cols)
+  done;
+  let out = Cvec.create (rows * cols) in
+  for c = 0 to cols - 1 do
+    let col = Cvec.create rows in
+    for r = 0 to rows - 1 do
+      Cvec.set col r (Cvec.get row_done ((r * cols) + c))
+    done;
+    let f = Naive_dft.dft col in
+    for r = 0 to rows - 1 do
+      Cvec.set out ((r * cols) + c) (Cvec.get f r)
+    done
+  done;
+  out
+
+let test_dft2d_matches_naive () =
+  List.iter
+    (fun (rows, cols) ->
+      Dft2d.with_plan ~rows ~cols (fun t ->
+          let x = Cvec.random ~seed:(rows + cols) (rows * cols) in
+          check cb
+            (Printf.sprintf "%dx%d" rows cols)
+            true
+            (Cvec.max_abs_diff (Dft2d.execute t x)
+               (naive_dft2d ~rows ~cols x)
+            < 1e-7)))
+    [ (4, 4); (8, 4); (4, 8); (16, 16); (8, 32); (6, 10) ]
+
+let test_dft2d_parallel () =
+  Dft2d.with_plan ~threads:2 ~mu:2 ~rows:16 ~cols:16 (fun t ->
+      check cb "parallel derivation applied" true (Dft2d.parallel t);
+      check cb "fully optimized" true
+        (Spiral_spl.Props.fully_optimized ~p:2 ~mu:2 (Dft2d.formula t));
+      let x = Cvec.random ~seed:3 256 in
+      check cb "matches naive" true
+        (Cvec.max_abs_diff (Dft2d.execute t x)
+           (naive_dft2d ~rows:16 ~cols:16 x)
+        < 1e-7))
+
+let test_dft2d_parallel_fallback () =
+  (* 6 x 10 with p=4, mu=4 cannot satisfy the divisibility conditions *)
+  Dft2d.with_plan ~threads:4 ~mu:4 ~rows:6 ~cols:10 (fun t ->
+      check cb "fell back to sequential" false (Dft2d.parallel t);
+      let x = Cvec.random ~seed:5 60 in
+      check cb "still correct" true
+        (Cvec.max_abs_diff (Dft2d.execute t x) (naive_dft2d ~rows:6 ~cols:10 x)
+        < 1e-8))
+
+let test_dft2d_impulse () =
+  (* the 2-D DFT of a unit impulse at the origin is all ones *)
+  Dft2d.with_plan ~rows:8 ~cols:8 (fun t ->
+      let y = Dft2d.execute t (Cvec.basis 64 0) in
+      for i = 0 to 63 do
+        if Float.abs (y.(2 * i) -. 1.0) > 1e-10 || Float.abs y.((2 * i) + 1) > 1e-10
+        then Alcotest.failf "entry %d" i
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* DCT-II                                                              *)
+
+let direct_dct2 x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref 0.0 in
+      for j = 0 to n - 1 do
+        acc :=
+          !acc
+          +. x.(j)
+             *. cos
+                  (Float.pi *. float_of_int k
+                   *. float_of_int ((2 * j) + 1)
+                   /. (2.0 *. float_of_int n))
+      done;
+      !acc)
+
+let test_dct_matches_definition () =
+  List.iter
+    (fun n ->
+      Dct.with_plan n (fun t ->
+          let st = Random.State.make [| n |] in
+          let x = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+          let got = Dct.forward t x in
+          let want = direct_dct2 x in
+          Array.iteri
+            (fun k v ->
+              if Float.abs (v -. want.(k)) > 1e-8 then
+                Alcotest.failf "n=%d k=%d: %g vs %g" n k v want.(k))
+            got))
+    [ 2; 4; 8; 16; 64; 100; 256 ]
+
+let test_dct_roundtrip () =
+  List.iter
+    (fun n ->
+      Dct.with_plan n (fun t ->
+          let st = Random.State.make [| n + 3 |] in
+          let x = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+          let back = Dct.inverse t (Dct.forward t x) in
+          Array.iteri
+            (fun j v ->
+              if Float.abs (v -. x.(j)) > 1e-9 then Alcotest.failf "n=%d j=%d" n j)
+            back))
+    [ 2; 4; 8; 30; 64; 256 ]
+
+let test_dct_constant () =
+  (* the DCT-II of a constant signal is an impulse at k = 0 of value n*c *)
+  Dct.with_plan 16 (fun t ->
+      let c = Dct.forward t (Array.make 16 2.5) in
+      check cb "dc" true (Float.abs (c.(0) -. 40.0) < 1e-10);
+      for k = 1 to 15 do
+        if Float.abs c.(k) > 1e-10 then Alcotest.failf "bin %d" k
+      done)
+
+let test_dct_validation () =
+  try
+    Dct.with_plan 9 ignore;
+    Alcotest.fail "odd length accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* FFTW-like baseline                                                  *)
+
+let test_fftw_like_sequential () =
+  let n = 512 in
+  let x = Cvec.random ~seed:6 n in
+  let y = Cvec.create n in
+  Spiral_codegen.Plan.execute (Fftw_like.sequential_plan n) x y;
+  check cb "seq correct" true (Cvec.max_abs_diff y (Naive_dft.dft x) < 1e-8)
+
+let test_fftw_like_threshold () =
+  check cb "below threshold" true (Fftw_like.parallel_plan ~p:2 4096 = None);
+  check ci "threshold is 2^13" 8192 Fftw_like.threshold;
+  match Fftw_like.parallel_plan ~p:2 8192 with
+  | None -> Alcotest.fail "parallel plan above threshold"
+  | Some plan ->
+      check cb "has parallel passes" true
+        (Array.exists
+           (fun (p : Spiral_codegen.Plan.pass) -> p.Spiral_codegen.Plan.par <> None)
+           plan.Spiral_codegen.Plan.passes)
+
+let test_fftw_like_execute () =
+  let n = 8192 in
+  let x = Cvec.random ~seed:8 n in
+  let y = Cvec.create n in
+  Fftw_like.execute ~p:2 x y n;
+  check cb "parallel baseline correct" true
+    (Cvec.max_abs_diff y (Naive_dft.dft x) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "plan: forward battery" `Quick test_plan_forward;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "plan: threads" `Quick test_plan_threads;
+    Alcotest.test_case "plan: thread fallback" `Quick test_plan_threads_fallback;
+    Alcotest.test_case "plan: parallel equals sequential" `Quick
+      test_plan_parallel_equals_sequential;
+    Alcotest.test_case "plan: parallel inverse" `Quick test_plan_inverse_parallel;
+    Alcotest.test_case "plan: custom ruletree" `Quick test_plan_custom_tree;
+    Alcotest.test_case "plan: oversized leaf tree" `Quick test_plan_oversized_leaf_tree;
+    Alcotest.test_case "plan: validation" `Quick test_plan_validation;
+    Alcotest.test_case "plan: destroy" `Quick test_plan_destroy;
+    Alcotest.test_case "plan: description" `Quick test_description;
+    Alcotest.test_case "bluestein: prime sizes" `Quick test_bluestein_primes;
+    Alcotest.test_case "bluestein: large prime factors" `Quick
+      test_bluestein_composite_large_factor;
+    Alcotest.test_case "bluestein: dispatch predicate" `Quick
+      test_bluestein_direct_dispatch;
+    Alcotest.test_case "bluestein: inner size" `Quick test_bluestein_inner_size;
+    Alcotest.test_case "bluestein: inverse roundtrip" `Quick test_bluestein_inverse;
+    Alcotest.test_case "bluestein: threaded inner" `Quick test_bluestein_threaded_inner;
+    QCheck_alcotest.to_alcotest prop_bluestein_matches_naive;
+    Alcotest.test_case "parseval" `Quick test_parseval;
+    Alcotest.test_case "time shift <-> phase" `Quick test_time_shift_phase;
+    Alcotest.test_case "convolution theorem" `Quick test_convolution_theorem;
+    Alcotest.test_case "correlation lag 0" `Quick test_correlation_vs_convolution;
+    Alcotest.test_case "spectrum: single tone" `Quick test_spectrum_peak;
+    Alcotest.test_case "spectrum: two tones" `Quick test_spectrum_two_tones;
+    Alcotest.test_case "pointwise multiplication" `Quick test_pointwise_mul;
+    Alcotest.test_case "batch: matches individual" `Quick test_batch_matches_individual;
+    Alcotest.test_case "batch: parallel via rule 9" `Quick test_batch_parallel;
+    Alcotest.test_case "batch: fallback" `Quick test_batch_parallel_fallback;
+    Alcotest.test_case "wht: sequential" `Quick test_wht_sequential;
+    Alcotest.test_case "wht: parallel" `Quick test_wht_parallel;
+    Alcotest.test_case "wht: validation" `Quick test_wht_validation;
+    Alcotest.test_case "dft2d: matches naive row-column" `Quick test_dft2d_matches_naive;
+    Alcotest.test_case "dft2d: parallel derivation" `Quick test_dft2d_parallel;
+    Alcotest.test_case "dft2d: parallel fallback" `Quick test_dft2d_parallel_fallback;
+    Alcotest.test_case "dft2d: impulse" `Quick test_dft2d_impulse;
+    Alcotest.test_case "dct: matches definition" `Quick test_dct_matches_definition;
+    Alcotest.test_case "dct: roundtrip" `Quick test_dct_roundtrip;
+    Alcotest.test_case "dct: constant signal" `Quick test_dct_constant;
+    Alcotest.test_case "dct: validation" `Quick test_dct_validation;
+    Alcotest.test_case "rfft: matches complex DFT" `Quick test_rfft_matches_complex;
+    Alcotest.test_case "rfft: roundtrip" `Quick test_rfft_roundtrip;
+    Alcotest.test_case "rfft: DC/Nyquist real" `Quick test_rfft_dc_nyquist_real;
+    Alcotest.test_case "rfft: validation" `Quick test_rfft_validation;
+    Alcotest.test_case "fftw-like: sequential" `Quick test_fftw_like_sequential;
+    Alcotest.test_case "fftw-like: threshold policy" `Quick test_fftw_like_threshold;
+    Alcotest.test_case "fftw-like: parallel execute" `Quick test_fftw_like_execute;
+  ]

@@ -1,0 +1,241 @@
+open Spiral_spl
+open Spiral_rewrite
+open Formula
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let sem_equal = Semantics.equal_semantics ~tol:1e-8
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting engine                                                    *)
+
+let double_rule =
+  Rule.make "double-I" (function I n when n < 8 -> Some (I (2 * n)) | _ -> None)
+
+let test_apply_root () =
+  (match Rule.apply_root [ double_rule ] (I 3) with
+  | Some ("double-I", I 6) -> ()
+  | _ -> Alcotest.fail "root application");
+  check cb "no match" true (Rule.apply_root [ double_rule ] (DFT 4) = None)
+
+let test_apply_once_leftmost () =
+  (* first applicable position in leftmost-outermost order; the rule must
+     preserve dimensions (as all real rules do) *)
+  let erase = Rule.make "erase" (function DFT n -> Some (I n) | _ -> None) in
+  let f = Compose [ Tensor (DFT 2, I 2); Tensor (I 2, DFT 2) ] in
+  match Rule.apply_once [ erase ] f with
+  | Some (_, Compose [ Tensor (I 2, I 2); Tensor (I 2, DFT 2) ]) -> ()
+  | Some (_, g) -> Alcotest.failf "wrong position: %s" (to_string g)
+  | None -> Alcotest.fail "no application"
+
+let test_fixpoint_terminates () =
+  let f, trace = Rule.fixpoint [ double_rule ] (I 3) in
+  check cb "fixpoint value" true (f = I 12);
+  check ci "trace length" 2 (List.length trace)
+
+let test_fixpoint_limit () =
+  let diverge = Rule.make "diverge" (function I n -> Some (I n) | _ -> None) in
+  try
+    ignore (Rule.fixpoint ~max_steps:10 [ diverge ] (I 1));
+    Alcotest.fail "should hit the step limit"
+  with Failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Breakdown rules preserve semantics                                  *)
+
+let test_ct_semantics () =
+  List.iter
+    (fun (m, n) ->
+      check cb
+        (Printf.sprintf "CT %dx%d" m n)
+        true
+        (sem_equal (DFT (m * n)) (Breakdown.cooley_tukey ~m ~n)))
+    [ (2, 2); (2, 4); (4, 2); (3, 5); (5, 3); (4, 4); (2, 3); (6, 6) ]
+
+let test_six_step_semantics () =
+  List.iter
+    (fun (m, n) ->
+      check cb
+        (Printf.sprintf "six-step %dx%d" m n)
+        true
+        (sem_equal (DFT (m * n)) (Breakdown.six_step ~m ~n)))
+    [ (2, 2); (4, 4); (2, 4); (3, 5); (4, 8) ]
+
+let test_wht_semantics () =
+  List.iter
+    (fun (m, n) ->
+      check cb
+        (Printf.sprintf "WHT %dx%d" m n)
+        true
+        (sem_equal (WHT (m * n)) (Breakdown.wht_split ~m ~n)))
+    [ (2, 2); (2, 4); (4, 4); (8, 2) ]
+
+let test_ct_rule_balanced () =
+  (match Breakdown.ct_rule.Rule.rewrite (DFT 16) with
+  | Some f -> check cb "16 -> 4x4 split semantics" true (sem_equal (DFT 16) f)
+  | None -> Alcotest.fail "should split 16");
+  check cb "prime stays" true (Breakdown.ct_rule.Rule.rewrite (DFT 7) = None);
+  check cb "dft2 stays" true (Breakdown.ct_rule.Rule.rewrite (DFT 2) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 rules: each preserves the matrix (qcheck over legal sizes)  *)
+
+let gen_pmu = QCheck.Gen.(pair (int_range 2 4) (int_range 1 4))
+
+let prop_rule7 =
+  QCheck.Test.make ~name:"rule (7) preserves semantics" ~count:40
+    QCheck.(make Gen.(triple (int_range 2 6) (int_range 1 4) gen_pmu))
+    (fun (m, nf, (p, mu)) ->
+      let n = p * nf in
+      let f = Smp (p, mu, Tensor (DFT m, I n)) in
+      match Parallel_rules.rule7_tensor_ai.Rule.rewrite f with
+      | None -> QCheck.assume_fail ()
+      | Some g -> sem_equal (Tensor (DFT m, I n)) g)
+
+let prop_rule8 =
+  QCheck.Test.make ~name:"rule (8) preserves semantics" ~count:40
+    QCheck.(make Gen.(triple (int_range 1 4) (int_range 1 4) gen_pmu))
+    (fun (mf, nf, (p, mu)) ->
+      let m = p * mf and n = p * nf in
+      let f = Smp (p, mu, Perm (Perm.L (m * n, m))) in
+      match Parallel_rules.rule8_stride_perm.Rule.rewrite f with
+      | None -> QCheck.assume_fail ()
+      | Some g -> sem_equal (Perm (Perm.L (m * n, m))) g)
+
+let prop_rule9 =
+  QCheck.Test.make ~name:"rule (9) preserves semantics" ~count:40
+    QCheck.(make Gen.(triple (int_range 1 4) (int_range 2 6) gen_pmu))
+    (fun (mf, n, (p, mu)) ->
+      let m = p * mf in
+      let f = Smp (p, mu, Tensor (I m, DFT n)) in
+      match Parallel_rules.rule9_tensor_ia.Rule.rewrite f with
+      | None -> QCheck.assume_fail ()
+      | Some g -> sem_equal (Tensor (I m, DFT n)) g)
+
+let prop_rule10 =
+  QCheck.Test.make ~name:"rule (10) preserves semantics" ~count:40
+    QCheck.(make Gen.(triple (int_range 1 4) (int_range 1 4) gen_pmu))
+    (fun (mf, nf, (p, mu)) ->
+      let m = 2 * mf in
+      let n = mu * nf in
+      let f = Smp (p, mu, Tensor (Perm (Perm.L (2 * m, 2)), I n)) in
+      match Parallel_rules.rule10_perm_cache.Rule.rewrite f with
+      | None -> QCheck.assume_fail ()
+      | Some g -> sem_equal (Tensor (Perm (Perm.L (2 * m, 2)), I n)) g)
+
+let prop_rule11 =
+  QCheck.Test.make ~name:"rule (11) preserves semantics" ~count:40
+    QCheck.(make Gen.(triple (int_range 1 4) (int_range 1 4) gen_pmu))
+    (fun (mf, nf, (p, mu)) ->
+      let m = p * mf and n = p * nf in
+      let f = Smp (p, mu, twiddle m n) in
+      match Parallel_rules.rule11_diag_split.Rule.rewrite f with
+      | None -> QCheck.assume_fail ()
+      | Some g -> sem_equal (twiddle m n) g)
+
+let test_rule6 () =
+  let f = Smp (2, 2, Compose [ DFT 4; DFT 4 ]) in
+  match Parallel_rules.rule6_compose.Rule.rewrite f with
+  | Some (Compose [ Smp (2, 2, DFT 4); Smp (2, 2, DFT 4) ]) -> ()
+  | Some g -> Alcotest.failf "unexpected: %s" (to_string g)
+  | None -> Alcotest.fail "rule 6 should apply"
+
+let test_rule_preconditions () =
+  (* rule 7 requires p | n *)
+  check cb "rule7 p∤n" true
+    (Parallel_rules.rule7_tensor_ai.Rule.rewrite (Smp (2, 1, Tensor (DFT 3, I 3))) = None);
+  (* rule 7 must not fire on permutations (rule 10 territory) *)
+  check cb "rule7 perm guard" true
+    (Parallel_rules.rule7_tensor_ai.Rule.rewrite
+       (Smp (2, 1, Tensor (Perm (Perm.L (4, 2)), I 4)))
+     = None);
+  (* rule 9 requires p | m *)
+  check cb "rule9 p∤m" true
+    (Parallel_rules.rule9_tensor_ia.Rule.rewrite (Smp (2, 1, Tensor (I 3, DFT 2))) = None);
+  (* rule 10 requires mu | n *)
+  check cb "rule10 mu∤n" true
+    (Parallel_rules.rule10_perm_cache.Rule.rewrite
+       (Smp (2, 4, Tensor (Perm (Perm.L (4, 2)), I 2)))
+     = None);
+  (* rule 11 requires p | size *)
+  check cb "rule11 p∤size" true
+    (Parallel_rules.rule11_diag_split.Rule.rewrite (Smp (3, 1, twiddle 2 2)) = None)
+
+let test_rule9_absorbs_i1 () =
+  (* m = p: the I_{m/p} factor disappears *)
+  match Parallel_rules.rule9_tensor_ia.Rule.rewrite (Smp (2, 1, Tensor (I 2, DFT 4))) with
+  | Some (ParTensor (2, DFT 4)) -> ()
+  | Some g -> Alcotest.failf "I_1 not absorbed: %s" (to_string g)
+  | None -> Alcotest.fail "should apply"
+
+let test_parallelize_end_to_end () =
+  List.iter
+    (fun (p, mu, m, n) ->
+      let f = Breakdown.cooley_tukey ~m ~n in
+      match Parallel_rules.parallelize ~p ~mu f with
+      | Error e -> Alcotest.failf "parallelize failed: %s" e
+      | Ok g ->
+          check cb "no tags" false (has_tag g);
+          check cb "fully optimized" true (Props.fully_optimized ~p ~mu g);
+          check cb "semantics" true (sem_equal f g))
+    [ (2, 1, 4, 4); (2, 2, 4, 4); (2, 2, 8, 8); (4, 2, 8, 8); (3, 1, 6, 6);
+      (2, 4, 8, 16) ]
+
+let test_parallelize_failure () =
+  (* p = 4 cannot split DFT_6 x-loops (4 does not divide 6) *)
+  match Parallel_rules.parallelize ~p:4 ~mu:1 (Breakdown.cooley_tukey ~m:6 ~n:6) with
+  | Error _ -> ()
+  | Ok g -> Alcotest.failf "expected failure, got %s" (to_string g)
+
+let test_parallelize_termination_m_eq_p () =
+  (* regression: with m = p the stride-permutation rule must not rewrite
+     L^{pn}_p to itself forever; µ = 1 handles the residue as P ⊗̄ I_1 *)
+  List.iter
+    (fun (p, m, n) ->
+      let f = Breakdown.cooley_tukey ~m ~n in
+      match Parallel_rules.parallelize ~p ~mu:1 f with
+      | Ok g ->
+          check cb "fully optimized" true (Props.fully_optimized ~p ~mu:1 g);
+          check cb "semantics" true (sem_equal f g)
+      | Error e -> Alcotest.failf "p=%d %dx%d: %s" p m n e)
+    [ (2, 2, 72); (2, 2, 4); (3, 3, 9); (4, 4, 16); (2, 4, 2) ]
+
+let test_parallelize_trace_rules () =
+  (* the derivation of (14) uses exactly the Table 1 rule set *)
+  let f = Smp (2, 2, Breakdown.cooley_tukey ~m:8 ~n:8) in
+  let _, trace = Rule.fixpoint Parallel_rules.all f in
+  check cb "trace nonempty" true (trace <> []);
+  List.iter
+    (fun name ->
+      check cb (name ^ " known") true
+        (List.exists
+           (fun (r : Rule.t) -> r.Rule.name = name)
+           Parallel_rules.all))
+    trace
+
+let suite =
+  [
+    Alcotest.test_case "engine: apply_root" `Quick test_apply_root;
+    Alcotest.test_case "engine: leftmost-outermost" `Quick test_apply_once_leftmost;
+    Alcotest.test_case "engine: fixpoint" `Quick test_fixpoint_terminates;
+    Alcotest.test_case "engine: step limit" `Quick test_fixpoint_limit;
+    Alcotest.test_case "Cooley-Tukey rule (1)" `Quick test_ct_semantics;
+    Alcotest.test_case "six-step rule (3)" `Quick test_six_step_semantics;
+    Alcotest.test_case "WHT split" `Quick test_wht_semantics;
+    Alcotest.test_case "nondeterministic CT rule" `Quick test_ct_rule_balanced;
+    QCheck_alcotest.to_alcotest prop_rule7;
+    QCheck_alcotest.to_alcotest prop_rule8;
+    QCheck_alcotest.to_alcotest prop_rule9;
+    QCheck_alcotest.to_alcotest prop_rule10;
+    QCheck_alcotest.to_alcotest prop_rule11;
+    Alcotest.test_case "rule (6) compose" `Quick test_rule6;
+    Alcotest.test_case "rule preconditions" `Quick test_rule_preconditions;
+    Alcotest.test_case "rule (9) absorbs I_1" `Quick test_rule9_absorbs_i1;
+    Alcotest.test_case "parallelize: end to end" `Quick test_parallelize_end_to_end;
+    Alcotest.test_case "parallelize: graceful failure" `Quick test_parallelize_failure;
+    Alcotest.test_case "parallelize: m = p termination" `Quick
+      test_parallelize_termination_m_eq_p;
+    Alcotest.test_case "parallelize: trace uses Table 1" `Quick test_parallelize_trace_rules;
+  ]

@@ -1,0 +1,138 @@
+open Spiral_rewrite
+open Spiral_search
+open Spiral_sim
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let sim_measure = Timer.measure_sim Machine.core_duo Simulate.Seq
+
+let test_dp_valid_tree () =
+  let tree, cost = Dp.search ~measure:sim_measure 256 in
+  check ci "size" 256 (Ruletree.size tree);
+  Ruletree.validate tree;
+  check cb "positive cost" true (cost > 0.0)
+
+let test_dp_beats_or_ties_standard_trees () =
+  let memo = Hashtbl.create 64 in
+  let _, best = Dp.search ~memo ~measure:sim_measure 1024 in
+  check cb "<= mixed radix" true (best <= sim_measure (Ruletree.mixed_radix 1024));
+  check cb "<= balanced" true (best <= sim_measure (Ruletree.balanced 1024));
+  check cb "<= right radix-2" true
+    (best <= sim_measure (Ruletree.right_expanded ~radix:2 1024))
+
+let test_dp_memo_reuse () =
+  let memo = Hashtbl.create 64 in
+  let _ = Dp.search ~memo ~measure:sim_measure 512 in
+  let before = Hashtbl.length memo in
+  (* all divisors of 512 solved already: searching 256 must be free *)
+  let calls = ref 0 in
+  let counting t = incr calls; sim_measure t in
+  let _ = Dp.search ~memo ~measure:counting 256 in
+  check ci "no new measurements" 0 !calls;
+  check ci "memo unchanged" before (Hashtbl.length memo)
+
+let test_dp_non_power_of_two () =
+  let tree, _ = Dp.search ~measure:sim_measure 360 in
+  check ci "size 360" 360 (Ruletree.size tree);
+  Ruletree.validate tree
+
+let test_dp_prime_rejected () =
+  try
+    ignore (Dp.search ~measure:sim_measure 37);
+    Alcotest.fail "prime beyond leaf_max must fail"
+  with Invalid_argument _ -> ()
+
+let test_dp_parallel () =
+  let measure_formula f =
+    (Simulate.run Machine.core_duo (Simulate.Pooled 2)
+       (Spiral_codegen.Plan.of_formula f))
+      .Simulate.cycles
+  in
+  match
+    Dp.search_parallel ~p:2 ~mu:4 ~measure_formula ~measure:sim_measure 4096
+  with
+  | None -> Alcotest.fail "split must exist for 2^12"
+  | Some (tree, cost) ->
+      check ci "tree size" 4096 (Ruletree.size tree);
+      check cb "cost positive" true (cost > 0.0);
+      (match tree with
+      | Ruletree.Ct (l, r) ->
+          check ci "pmu | m" 0 (Ruletree.size l mod 8);
+          check ci "pmu | n" 0 (Ruletree.size r mod 8)
+      | Leaf _ -> Alcotest.fail "must be a split")
+
+let test_dp_parallel_no_split () =
+  match
+    Dp.search_parallel ~p:4 ~mu:4 ~measure_formula:(fun _ -> 0.0)
+      ~measure:sim_measure 64
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "(pmu)^2 = 256 > 64: no valid split"
+
+let test_evolve () =
+  let t, c = Evolve.search ~measure:sim_measure 512 in
+  check ci "size" 512 (Ruletree.size t);
+  Ruletree.validate t;
+  (* never worse than the seeds it starts from *)
+  check cb "no worse than mixed radix" true
+    (c <= sim_measure (Ruletree.mixed_radix 512))
+
+let test_evolve_deterministic () =
+  let p = { Evolve.default_params with seed = 42 } in
+  let a = Evolve.search ~params:p ~measure:sim_measure 256 in
+  let b = Evolve.search ~params:p ~measure:sim_measure 256 in
+  check cb "same result" true (fst a = fst b)
+
+let test_plan_cache_roundtrip () =
+  let c = Plan_cache.create () in
+  let k1 = { Plan_cache.n = 1024; p = 2; mu = 4; machine = "core duo" } in
+  let k2 = { Plan_cache.n = 512; p = 1; mu = 4; machine = "host" } in
+  Plan_cache.add c k1 (Ruletree.mixed_radix 1024);
+  Plan_cache.add c k2 (Ruletree.balanced 512);
+  check ci "two entries" 2 (Plan_cache.size c);
+  let file = Filename.temp_file "spiral_cache" ".txt" in
+  Plan_cache.save c file;
+  let c' = Plan_cache.load file in
+  Sys.remove file;
+  check ci "loaded size" 2 (Plan_cache.size c');
+  (* keys are stored with escaped machine names *)
+  let k1' = { k1 with machine = "core_duo" } in
+  check cb "entry 1" true
+    (Plan_cache.find c' k1' = Some (Ruletree.mixed_radix 1024));
+  check cb "missing key" true
+    (Plan_cache.find c' { k1' with n = 2048 } = None)
+
+let test_plan_cache_unescaped_lookup () =
+  (* regression: find must canonicalize the machine name like add does *)
+  let c = Plan_cache.create () in
+  let k = { Plan_cache.n = 64; p = 2; mu = 4; machine = "core duo" } in
+  Plan_cache.add c k (Ruletree.mixed_radix 64);
+  check cb "raw key with spaces found" true
+    (Plan_cache.find c k = Some (Ruletree.mixed_radix 64))
+
+let test_plan_cache_find_or_add () =
+  let c = Plan_cache.create () in
+  let k = { Plan_cache.n = 64; p = 1; mu = 4; machine = "m" } in
+  let calls = ref 0 in
+  let make () = incr calls; Ruletree.mixed_radix 64 in
+  let _ = Plan_cache.find_or_add c k make in
+  let _ = Plan_cache.find_or_add c k make in
+  check ci "made once" 1 !calls
+
+let suite =
+  [
+    Alcotest.test_case "dp: returns valid tree" `Quick test_dp_valid_tree;
+    Alcotest.test_case "dp: beats standard trees" `Quick test_dp_beats_or_ties_standard_trees;
+    Alcotest.test_case "dp: memo reuse" `Quick test_dp_memo_reuse;
+    Alcotest.test_case "dp: non-power-of-two" `Quick test_dp_non_power_of_two;
+    Alcotest.test_case "dp: oversized prime rejected" `Quick test_dp_prime_rejected;
+    Alcotest.test_case "dp: parallel top split" `Quick test_dp_parallel;
+    Alcotest.test_case "dp: no valid parallel split" `Quick test_dp_parallel_no_split;
+    Alcotest.test_case "evolve: finds valid tree" `Quick test_evolve;
+    Alcotest.test_case "evolve: deterministic for a seed" `Quick test_evolve_deterministic;
+    Alcotest.test_case "plan cache: save/load roundtrip" `Quick test_plan_cache_roundtrip;
+    Alcotest.test_case "plan cache: unescaped lookup" `Quick test_plan_cache_unescaped_lookup;
+    Alcotest.test_case "plan cache: find_or_add" `Quick test_plan_cache_find_or_add;
+  ]

@@ -1,0 +1,231 @@
+open Spiral_rewrite
+open Spiral_codegen
+open Spiral_sim
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Cache model                                                         *)
+
+let tiny_cache =
+  { Machine.size_bytes = 4 * 64; line_bytes = 64; assoc = 2; hit_cycles = 1 }
+
+let test_cache_hit_after_access () =
+  let c = Cache.create tiny_cache in
+  check cb "cold miss" false (Cache.access c 5);
+  check cb "warm hit" true (Cache.access c 5)
+
+let test_cache_lru_eviction () =
+  (* 2 sets x 2 ways; lines 0,2,4 map to set 0: accessing all three evicts
+     the least recently used (0) *)
+  let c = Cache.create tiny_cache in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 2);
+  ignore (Cache.access c 4);
+  check cb "0 evicted" false (Cache.access c 0);
+  (* 2 was LRU after the miss on 0 installed it -> now 4 or 2 evicted;
+     after re-accessing 0, line 4 must still be resident (MRU before 0) *)
+  check cb "4 resident" true (Cache.access c 4)
+
+let test_cache_lru_touch () =
+  let c = Cache.create tiny_cache in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 2);
+  ignore (Cache.access c 0);
+  (* touch 0 *)
+  ignore (Cache.access c 4);
+  (* evicts 2, not 0 *)
+  check cb "0 survives (recently used)" true (Cache.access c 0);
+  check cb "2 evicted" false (Cache.access c 2)
+
+let test_cache_invalidate () =
+  let c = Cache.create tiny_cache in
+  ignore (Cache.access c 7);
+  Cache.invalidate c 7;
+  check cb "gone" false (Cache.access c 7);
+  (* invalidating an absent line is a no-op *)
+  Cache.invalidate c 1000
+
+let test_cache_sets_isolated () =
+  (* lines in different sets do not evict each other *)
+  let c = Cache.create tiny_cache in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 1);
+  ignore (Cache.access c 3);
+  ignore (Cache.access c 5);
+  check cb "set 0 untouched" true (Cache.access c 0)
+
+let test_cache_stats () =
+  let c = Cache.create tiny_cache in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 1);
+  let hits, misses = Cache.stats c in
+  check ci "hits" 1 hits;
+  check ci "misses" 2 misses;
+  Cache.clear c;
+  check cb "cleared" false (Cache.access c 0)
+
+(* ------------------------------------------------------------------ *)
+(* Machine descriptors                                                 *)
+
+let test_machines_mu () =
+  List.iter
+    (fun m -> check ci (m.Machine.name ^ " mu") 4 (Machine.mu m))
+    Machine.all;
+  check ci "four machines" 4 (List.length Machine.all)
+
+let test_machines_cores () =
+  check ci "core duo" 2 Machine.core_duo.Machine.cores;
+  check ci "pentium d" 2 Machine.pentium_d.Machine.cores;
+  check ci "opteron" 4 Machine.opteron.Machine.cores;
+  check ci "xeon" 4 Machine.xeon_mp.Machine.cores;
+  check cb "core duo shares L2" true Machine.core_duo.Machine.l2_shared;
+  check cb "opteron private L2" false Machine.opteron.Machine.l2_shared
+
+(* ------------------------------------------------------------------ *)
+(* Simulation                                                          *)
+
+let mc_plan p mu n =
+  let half =
+    (* balanced power-of-two split *)
+    let rec go m = if m * m >= n then m else go (2 * m) in
+    go (p * mu)
+  in
+  match
+    Derive.multicore_dft ~p ~mu
+      (Ruletree.Ct (Ruletree.mixed_radix half, Ruletree.mixed_radix (n / half)))
+  with
+  | Ok f -> Plan.of_formula f
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+
+let seq_plan n = Plan.of_formula (Ruletree.expand (Ruletree.mixed_radix n))
+
+let test_sim_deterministic () =
+  let m = Machine.core_duo in
+  let plan = mc_plan 2 4 1024 in
+  let a = Simulate.run m (Pooled 2) plan and b = Simulate.run m (Pooled 2) plan in
+  check (Alcotest.float 0.0) "same cycles" a.Simulate.cycles b.Simulate.cycles;
+  check ci "same misses" a.Simulate.l1_misses b.Simulate.l1_misses
+
+let test_sim_no_false_sharing_multicore () =
+  (* Definition 1, validated dynamically on every machine model *)
+  List.iter
+    (fun m ->
+      let p = m.Machine.cores and mu = Machine.mu m in
+      let plan = mc_plan p mu 4096 in
+      let r = Simulate.run m (Pooled p) plan in
+      check ci (m.Machine.name ^ " false sharing") 0 r.Simulate.false_sharing)
+    Machine.all
+
+let test_sim_cyclic_false_sharing () =
+  (* the cyclic-1 schedule writes neighbouring cache lines from different
+     cores: false sharing must be detected *)
+  let m = Machine.core_duo in
+  let plan = mc_plan 2 4 1024 in
+  let r =
+    Simulate.run m ~schedule:(Spiral_smp.Par_exec.Cyclic 1) (Pooled 2) plan
+  in
+  check cb "false sharing > 0" true (r.Simulate.false_sharing > 0);
+  check cb "coherence traffic > 0" true (r.Simulate.coherence_events > 0)
+
+let test_sim_parallel_speedup_midsize () =
+  let m = Machine.core_duo in
+  let rs = Simulate.run m Seq (seq_plan 4096) in
+  let rp = Simulate.run m (Pooled 2) (mc_plan 2 4 4096) in
+  check cb "pooled faster at 2^12" true
+    (rp.Simulate.pseudo_mflops > rs.Simulate.pseudo_mflops)
+
+let test_sim_forkjoin_overhead_small () =
+  (* thread startup dominates small transforms: fork-join must lose to
+     sequential at 2^6 (why FFTW does not thread small sizes) *)
+  let m = Machine.core_duo in
+  let rs = Simulate.run m Seq (seq_plan 64) in
+  let rf = Simulate.run m (ForkJoin 2) (mc_plan 2 2 64) in
+  check cb "fork-join slower at 2^6" true
+    (rf.Simulate.pseudo_mflops < rs.Simulate.pseudo_mflops)
+
+let test_sim_pooled_beats_forkjoin_small () =
+  let m = Machine.core_duo in
+  let plan = mc_plan 2 4 1024 in
+  let rp = Simulate.run m (Pooled 2) plan in
+  let rf = Simulate.run m (ForkJoin 2) plan in
+  check cb "pooling wins at small n" true
+    (rp.Simulate.pseudo_mflops > rf.Simulate.pseudo_mflops)
+
+let test_sim_load_balance () =
+  let m = Machine.opteron in
+  let plan = mc_plan 4 4 4096 in
+  let r = Simulate.run m (Pooled 4) plan in
+  let mx = Array.fold_left max 0.0 r.Simulate.per_core_cycles in
+  let mn = Array.fold_left min infinity r.Simulate.per_core_cycles in
+  check cb "cores within 15%" true ((mx -. mn) /. mx < 0.15)
+
+let test_sim_seq_uses_one_core () =
+  let m = Machine.opteron in
+  let r = Simulate.run m Seq (seq_plan 1024) in
+  check cb "only core 0 busy" true
+    (r.Simulate.per_core_cycles.(1) = 0.0
+     && r.Simulate.per_core_cycles.(0) > 0.0)
+
+let test_sim_cache_size_effect () =
+  (* an out-of-cache transform must have more L2 misses per point than an
+     in-cache one *)
+  let m = Machine.core_duo in
+  let small = Simulate.run m Seq (seq_plan 1024) in
+  let large = Simulate.run m Seq (seq_plan (1 lsl 18)) in
+  let rate r n = float_of_int r.Simulate.l2_misses /. float_of_int n in
+  check cb "miss rate grows" true (rate large (1 lsl 18) > rate small 1024);
+  check cb "pmflops drop" true
+    (large.Simulate.pseudo_mflops < small.Simulate.pseudo_mflops)
+
+let test_sim_warm_vs_cold () =
+  let m = Machine.core_duo in
+  let plan = seq_plan 1024 in
+  let warm = Simulate.run ~warm:true m Seq plan in
+  let cold = Simulate.run ~warm:false m Seq plan in
+  (* 1024 complex fit in L2: warm run must be faster *)
+  check cb "warm faster" true (warm.Simulate.cycles < cold.Simulate.cycles)
+
+let test_sim_explicit_perms_slower () =
+  (* the six-step with explicit transpositions pays extra memory sweeps *)
+  match Derive.six_step_dft ~p:2 ~mu:4 ~m:64 ~n:64 with
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+  | Ok f ->
+      let m = Machine.core_duo in
+      let merged = Simulate.run m (Pooled 2) (Plan.of_formula f) in
+      let explicit =
+        Simulate.run m (Pooled 2) (Plan.of_formula ~explicit_data:true f)
+      in
+      check cb "merging wins" true (merged.Simulate.cycles < explicit.Simulate.cycles)
+
+let suite =
+  [
+    Alcotest.test_case "cache: hit after install" `Quick test_cache_hit_after_access;
+    Alcotest.test_case "cache: LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache: LRU touch order" `Quick test_cache_lru_touch;
+    Alcotest.test_case "cache: invalidate" `Quick test_cache_invalidate;
+    Alcotest.test_case "cache: set isolation" `Quick test_cache_sets_isolated;
+    Alcotest.test_case "cache: stats/clear" `Quick test_cache_stats;
+    Alcotest.test_case "machines: mu = 4" `Quick test_machines_mu;
+    Alcotest.test_case "machines: topology" `Quick test_machines_cores;
+    Alcotest.test_case "sim: deterministic" `Quick test_sim_deterministic;
+    Alcotest.test_case "sim: multicore CT has zero false sharing" `Quick
+      test_sim_no_false_sharing_multicore;
+    Alcotest.test_case "sim: cyclic schedule false-shares" `Quick
+      test_sim_cyclic_false_sharing;
+    Alcotest.test_case "sim: parallel speedup at midsize" `Quick
+      test_sim_parallel_speedup_midsize;
+    Alcotest.test_case "sim: fork-join overhead at small n" `Quick
+      test_sim_forkjoin_overhead_small;
+    Alcotest.test_case "sim: pooling beats fork-join" `Quick
+      test_sim_pooled_beats_forkjoin_small;
+    Alcotest.test_case "sim: load balance across cores" `Quick test_sim_load_balance;
+    Alcotest.test_case "sim: sequential uses one core" `Quick test_sim_seq_uses_one_core;
+    Alcotest.test_case "sim: cache size effect" `Quick test_sim_cache_size_effect;
+    Alcotest.test_case "sim: warm vs cold" `Quick test_sim_warm_vs_cold;
+    Alcotest.test_case "sim: explicit transposes cost more" `Quick
+      test_sim_explicit_perms_slower;
+  ]

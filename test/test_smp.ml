@@ -1,0 +1,210 @@
+open Spiral_util
+open Spiral_rewrite
+open Spiral_codegen
+open Spiral_smp
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Barrier                                                             *)
+
+let test_barrier_phases () =
+  (* every participant increments a counter once per phase; after the
+     barrier each must observe all p increments of that phase *)
+  let p = 3 and phases = 50 in
+  let b = Barrier.create p in
+  let errors = Atomic.make 0 in
+  let counter = Atomic.make 0 in
+  let domains =
+    Array.init (p - 1) (fun i ->
+        Domain.spawn (fun () ->
+            let ctx = Barrier.make_ctx b in
+            for ph = 0 to phases - 1 do
+              Atomic.incr counter;
+              Barrier.wait b ctx;
+              (* after the barrier everyone must see p*(ph+1) *)
+              if Atomic.get counter < p * (ph + 1) then Atomic.incr errors;
+              Barrier.wait b ctx
+            done;
+            ignore i))
+  in
+  let ctx = Barrier.make_ctx b in
+  for ph = 0 to phases - 1 do
+    Atomic.incr counter;
+    Barrier.wait b ctx;
+    if Atomic.get counter <> p * (ph + 1) then Atomic.incr errors;
+    Barrier.wait b ctx
+  done;
+  Array.iter Domain.join domains;
+  check ci "phase errors" 0 (Atomic.get errors);
+  check ci "final count" (p * phases) (Atomic.get counter)
+
+let test_barrier_single () =
+  let b = Barrier.create 1 in
+  let ctx = Barrier.make_ctx b in
+  Barrier.wait b ctx;
+  Barrier.wait b ctx;
+  check ci "parties" 1 (Barrier.parties b)
+
+let test_barrier_invalid () =
+  Alcotest.check_raises "zero"
+    (Invalid_argument "Barrier.create: need at least one participant")
+    (fun () -> ignore (Barrier.create 0))
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let test_pool_sum () =
+  Pool.with_pool 4 (fun pool ->
+      let acc = Atomic.make 0 in
+      Pool.run pool (fun w -> ignore (Atomic.fetch_and_add acc (w + 1)));
+      check ci "sum of ids + 1" 10 (Atomic.get acc))
+
+let test_pool_reuse () =
+  Pool.with_pool 3 (fun pool ->
+      let acc = Atomic.make 0 in
+      for _ = 1 to 100 do
+        Pool.run pool (fun _ -> Atomic.incr acc)
+      done;
+      check ci "300 increments" 300 (Atomic.get acc))
+
+let test_pool_exception () =
+  Pool.with_pool 2 (fun pool ->
+      (try
+         Pool.run pool (fun w -> if w = 1 then failwith "boom");
+         Alcotest.fail "exception not propagated"
+       with Failure m -> check Alcotest.string "message" "boom" m);
+      (* pool still usable afterwards *)
+      let acc = Atomic.make 0 in
+      Pool.run pool (fun _ -> Atomic.incr acc);
+      check ci "recovered" 2 (Atomic.get acc))
+
+let test_pool_size_one () =
+  Pool.with_pool 1 (fun pool ->
+      let hit = ref false in
+      Pool.run pool (fun w -> if w = 0 then hit := true);
+      check cb "runs on caller" true !hit)
+
+let test_pool_shutdown_rejects () =
+  let pool = Pool.create 2 in
+  Pool.shutdown pool;
+  try
+    Pool.run pool ignore;
+    Alcotest.fail "run after shutdown"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Parallel execution                                                  *)
+
+let test_worker_range_block_partition () =
+  (* exact disjoint cover for awkward counts *)
+  List.iter
+    (fun (count, workers) ->
+      let all =
+        List.concat_map
+          (fun w -> Par_exec.worker_range Par_exec.Block ~count ~workers w)
+          (List.init workers (fun w -> w))
+      in
+      let total = List.fold_left (fun a (lo, hi) -> a + hi - lo) 0 all in
+      check ci (Printf.sprintf "cover %d/%d" count workers) count total)
+    [ (13, 4); (4, 4); (3, 4); (1000, 7); (8, 2) ]
+
+let prop_worker_range_disjoint =
+  QCheck.Test.make ~name:"worker ranges partition [0, count)" ~count:100
+    QCheck.(triple (int_range 1 200) (int_range 1 8) (int_range 1 16))
+    (fun (count, workers, chunk) ->
+      let mark sched =
+        let seen = Array.make count 0 in
+        List.iter
+          (fun w ->
+            List.iter
+              (fun (lo, hi) ->
+                for i = lo to hi - 1 do
+                  seen.(i) <- seen.(i) + 1
+                done)
+              (Par_exec.worker_range sched ~count ~workers w))
+          (List.init workers (fun w -> w));
+        Array.for_all (fun c -> c = 1) seen
+      in
+      mark Par_exec.Block && mark (Par_exec.Cyclic chunk))
+
+let mc_plan () =
+  match
+    Derive.multicore_dft ~p:4 ~mu:2
+      (Ruletree.Ct (Ruletree.mixed_radix 16, Ruletree.mixed_radix 16))
+  with
+  | Ok f -> Plan.of_formula f
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+
+let test_par_exec_matches_seq () =
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:77 256 in
+  let want = Cvec.create 256 in
+  Plan.execute plan x want;
+  Pool.with_pool 4 (fun pool ->
+      let y = Cvec.create 256 in
+      Par_exec.execute pool plan x y;
+      check cb "pooled block" true (Cvec.max_abs_diff y want = 0.0);
+      Cvec.fill_zero y;
+      Par_exec.execute pool ~schedule:(Par_exec.Cyclic 1) plan x y;
+      check cb "pooled cyclic" true (Cvec.max_abs_diff y want = 0.0));
+  let y = Cvec.create 256 in
+  Par_exec.execute_fork_join ~p:4 plan x y;
+  check cb "fork-join" true (Cvec.max_abs_diff y want = 0.0)
+
+let test_par_exec_more_workers_than_par () =
+  (* pool larger than the plan's parallel degree still computes correctly *)
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:5 256 in
+  let want = Cvec.create 256 in
+  Plan.execute plan x want;
+  Pool.with_pool 2 (fun pool ->
+      let y = Cvec.create 256 in
+      Par_exec.execute pool plan x y;
+      check cb "p=2 pool on p=4 plan" true (Cvec.max_abs_diff y want = 0.0))
+
+let test_par_exec_sequential_plan () =
+  (* a plan with no parallel passes runs on worker 0 only *)
+  let plan = Plan.of_formula (Ruletree.expand (Ruletree.mixed_radix 64)) in
+  let x = Cvec.random ~seed:3 64 in
+  let want = Cvec.create 64 in
+  Plan.execute plan x want;
+  Pool.with_pool 3 (fun pool ->
+      let y = Cvec.create 64 in
+      Par_exec.execute pool plan x y;
+      check cb "seq plan via pool" true (Cvec.max_abs_diff y want = 0.0))
+
+let test_par_exec_repeated () =
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:9 256 in
+  let want = Cvec.create 256 in
+  Plan.execute plan x want;
+  Pool.with_pool 4 (fun pool ->
+      let y = Cvec.create 256 in
+      for _ = 1 to 30 do
+        Cvec.fill_zero y;
+        Par_exec.execute pool plan x y;
+        if Cvec.max_abs_diff y want <> 0.0 then Alcotest.fail "nondeterminism"
+      done)
+
+let suite =
+  [
+    Alcotest.test_case "barrier: multi-phase visibility" `Quick test_barrier_phases;
+    Alcotest.test_case "barrier: single participant" `Quick test_barrier_single;
+    Alcotest.test_case "barrier: invalid size" `Quick test_barrier_invalid;
+    Alcotest.test_case "pool: job runs on all workers" `Quick test_pool_sum;
+    Alcotest.test_case "pool: reuse across 100 jobs" `Quick test_pool_reuse;
+    Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "pool: size one" `Quick test_pool_size_one;
+    Alcotest.test_case "pool: shutdown rejects jobs" `Quick test_pool_shutdown_rejects;
+    Alcotest.test_case "schedule: block partition" `Quick test_worker_range_block_partition;
+    QCheck_alcotest.to_alcotest prop_worker_range_disjoint;
+    Alcotest.test_case "par exec: equals sequential" `Quick test_par_exec_matches_seq;
+    Alcotest.test_case "par exec: pool smaller than plan degree" `Quick
+      test_par_exec_more_workers_than_par;
+    Alcotest.test_case "par exec: sequential plan on pool" `Quick
+      test_par_exec_sequential_plan;
+    Alcotest.test_case "par exec: repeated determinism" `Quick test_par_exec_repeated;
+  ]

@@ -1,0 +1,366 @@
+open Spiral_util
+open Spiral_spl
+open Formula
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let sem_equal ?(tol = 1e-9) f g =
+  Cmatrix.equal_approx ~tol (Semantics.to_matrix f) (Semantics.to_matrix g)
+
+(* ------------------------------------------------------------------ *)
+(* Perm                                                                *)
+
+let test_l_definition () =
+  (* L^{mn}_m: output position i*n + j takes input position j*m + i
+     (0 <= i < m, 0 <= j < n) — the convention verified against the
+     Cooley-Tukey rule and the matrix-transposition reading. *)
+  let m = 2 and n = 3 in
+  let p = Perm.L (m * n, m) in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let out = (i * n) + j and inp = (j * m) + i in
+      check ci (Printf.sprintf "gather(%d)" out) inp (Perm.gather p out)
+    done
+  done
+
+let test_l_transpose () =
+  (* viewing x as n x m row-major, L^{mn}_m transposes *)
+  let m = 4 and n = 2 in
+  let p = Perm.L (m * n, m) in
+  let x = Array.init (m * n) (fun i -> i) in
+  let y = Array.map (fun s -> x.(s)) (Perm.to_array p) in
+  (* y as m x n row-major must satisfy y[b][a] = x[a][b] *)
+  for a = 0 to n - 1 do
+    for b = 0 to m - 1 do
+      check ci "transpose" x.((a * m) + b) y.((b * n) + a)
+    done
+  done
+
+let test_l_inverse () =
+  (* (L^{mn}_m)^{-1} = L^{mn}_n *)
+  let m = 4 and n = 6 in
+  let inv = Perm.inverse (Perm.L (m * n, m)) in
+  check cb "inverse is L mn n" true
+    (Perm.to_array inv = Perm.to_array (Perm.L (m * n, n)))
+
+let test_l_identity_cases () =
+  check cb "L(n,1)" true (Perm.is_identity (Perm.L (6, 1)));
+  check cb "L(n,n)" true (Perm.is_identity (Perm.L (6, 6)));
+  check cb "L(6,2) not id" false (Perm.is_identity (Perm.L (6, 2)))
+
+let test_perm_validate () =
+  Perm.validate (Perm.L (12, 4));
+  Alcotest.check_raises "L bad" (Invalid_argument "Perm.L: m must divide mn, both positive")
+    (fun () -> Perm.validate (Perm.L (12, 5)));
+  Alcotest.check_raises "explicit bad" (Invalid_argument "Perm.Explicit: not a bijection")
+    (fun () -> Perm.validate (Perm.Explicit [| 0; 0; 1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Diag                                                                *)
+
+let test_diag_twiddle () =
+  let d = Diag.Twiddle (2, 4) in
+  check ci "size" 8 (Diag.size d);
+  let a = Diag.to_array d in
+  check cb "matches util table" true
+    (Array.for_all2
+       (fun (x : Complex.t) (y : Complex.t) -> Complex.norm (Complex.sub x y) < 1e-12)
+       a
+       (Twiddle.twiddle_diag ~m:2 ~n:4))
+
+let test_diag_split () =
+  let d = Diag.Twiddle (4, 4) in
+  let parts = Diag.split d 4 in
+  check ci "parts" 4 (List.length parts);
+  let reassembled = Array.concat (List.map Diag.to_array parts) in
+  check cb "concat = original" true (reassembled = Diag.to_array d);
+  Alcotest.check_raises "bad split" (Invalid_argument "Diag.split: p must divide size")
+    (fun () -> ignore (Diag.split d 3))
+
+let test_diag_segment_nested () =
+  let d = Diag.Segment (Diag.Segment (Diag.Twiddle (4, 4), 4, 8), 2, 4) in
+  check ci "size" 4 (Diag.size d);
+  check cb "entry" true
+    (Complex.norm (Complex.sub (Diag.entry d 0) (Diag.entry (Diag.Twiddle (4, 4)) 6))
+     < 1e-12)
+
+let test_diag_to_table () =
+  let d = Diag.Explicit [| { Complex.re = 1.0; im = 2.0 }; { re = 3.0; im = 4.0 } |] in
+  check cb "interleave" true (Diag.to_table d = [| 1.0; 2.0; 3.0; 4.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Formula: dimensions and smart constructors                          *)
+
+let test_dims () =
+  check ci "dft" 8 (dim (DFT 8));
+  check ci "tensor" 12 (dim (Tensor (DFT 4, I 3)));
+  check ci "compose" 6 (dim (Compose [ I 6; DFT 6 ]));
+  check ci "dirsum" 7 (dim (DirectSum [ I 3; DFT 4 ]));
+  check ci "smp" 4 (dim (Smp (2, 2, DFT 4)));
+  check ci "partensor" 8 (dim (ParTensor (2, DFT 4)));
+  check ci "cachetensor" 8 (dim (CacheTensor (DFT 4, 2)))
+
+let test_compose_smart () =
+  (match compose [ Compose [ DFT 4; I 4 ]; Compose [ I 4; DFT 4 ] ] with
+  | Compose [ DFT 4; DFT 4 ] -> ()
+  | f -> Alcotest.failf "unexpected: %s" (to_string f));
+  check cb "single" true (compose [ I 3; DFT 3 ] = DFT 3);
+  check cb "all ids" true (compose [ I 3; I 3 ] = I 3);
+  Alcotest.check_raises "empty" (Invalid_argument "Formula.compose: empty")
+    (fun () -> ignore (compose []));
+  (try
+     ignore (compose [ DFT 3; DFT 4 ]);
+     Alcotest.fail "dimension mismatch accepted"
+   with Invalid_argument _ -> ())
+
+let test_tensor_smart () =
+  check cb "I1 left" true (tensor (I 1) (DFT 4) = DFT 4);
+  check cb "I1 right" true (tensor (DFT 4) (I 1) = DFT 4);
+  check cb "I merge" true (tensor (I 2) (I 3) = I 6);
+  check cb "real" true (tensor (DFT 2) (I 2) = Tensor (DFT 2, I 2))
+
+let test_l_perm_smart () =
+  check cb "id low" true (l_perm 8 1 = I 8);
+  check cb "id high" true (l_perm 8 8 = I 8);
+  check cb "perm" true (l_perm 8 2 = Perm (Perm.L (8, 2)))
+
+let test_traversal () =
+  let f = Compose [ Tensor (DFT 2, I 2); Smp (2, 1, Tensor (I 2, DFT 2)) ] in
+  check ci "count_nodes" 8 (count_nodes f);
+  check cb "has_tag" true (has_tag f);
+  check cb "has_nonterminal" true (has_nonterminal f);
+  check cb "no tag" false (has_tag (DFT 4))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_pp' () =
+  let s = to_string (Compose [ Tensor (DFT 4, I 2); Perm (Perm.L (8, 4)) ]) in
+  check cb "DFT_4" true (contains s "DFT_4");
+  check cb "L(8,4)" true (contains s "L(8,4)");
+  let s2 = to_string (ParTensor (2, DFT 4)) in
+  check cb "par marker" true (contains s2 "(x)||")
+
+(* ------------------------------------------------------------------ *)
+(* Semantics                                                           *)
+
+let test_sem_dft_vs_naive () =
+  List.iter
+    (fun n ->
+      let x = Cvec.random ~seed:n n in
+      let y = Semantics.apply (DFT n) x in
+      check cb (Printf.sprintf "dft%d" n) true
+        (Cvec.max_abs_diff y (Naive_dft.dft x) < 1e-9))
+    [ 1; 2; 3; 4; 5; 8; 12 ]
+
+let test_sem_tensor_id () =
+  (* I_m (x) A applies A blockwise *)
+  let f = Tensor (I 2, DFT 2) in
+  let x = Cvec.of_real_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  let y = Semantics.apply f x in
+  check cb "blockwise" true
+    (Cvec.max_abs_diff y (Cvec.of_real_list [ 3.0; -1.0; 7.0; -1.0 ]) < 1e-12)
+
+let test_sem_tensor_strided () =
+  (* A (x) I_n: strided application; compare against matrix semantics *)
+  let f = Tensor (DFT 3, I 2) in
+  let x = Cvec.random ~seed:7 6 in
+  check cb "strided" true
+    (Cvec.max_abs_diff (Semantics.apply f x)
+       (Cmatrix.apply (Semantics.to_matrix f) x) < 1e-9)
+
+let test_sem_tagged_transparent () =
+  let f = Tensor (I 2, DFT 4) in
+  check cb "partensor" true (sem_equal (ParTensor (2, DFT 4)) f);
+  check cb "cachetensor" true (sem_equal (CacheTensor (DFT 4, 2)) (Tensor (DFT 4, I 2)));
+  check cb "smp tag" true (sem_equal (Smp (4, 2, f)) f);
+  check cb "pardirsum" true
+    (sem_equal (ParDirectSum [ DFT 2; DFT 2 ]) (DirectSum [ DFT 2; DFT 2 ]))
+
+let test_sem_wht () =
+  (* WHT_2 = DFT_2; WHT_4 = DFT_2 (x) DFT_2 *)
+  check cb "wht2" true (sem_equal (WHT 2) (DFT 2));
+  check cb "wht4" true (sem_equal (WHT 4) (Tensor (DFT 2, DFT 2)))
+
+(* random small formulas: apply and to_matrix agree *)
+let gen_formula =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun n -> DFT (n + 1)) (int_bound 5);
+        map (fun n -> I (n + 1)) (int_bound 4);
+        map (fun m -> Perm (Perm.L (2 * m, 2))) (int_range 1 4);
+        map (fun m -> Diag (Diag.Twiddle (2, m + 1))) (int_bound 3) ]
+  in
+  let rec f depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [ (2, leaf);
+          (2, map2 (fun a b -> Tensor (a, b)) (f (depth - 1)) (f (depth - 1)));
+          (1, map (fun a -> Compose [ a; I (dim a) ]) (f (depth - 1)));
+          (1, map2 (fun a b -> DirectSum [ a; b ]) (f (depth - 1)) (f (depth - 1)))
+        ]
+  in
+  f 2
+
+let prop_apply_matches_matrix =
+  QCheck.Test.make ~name:"apply f x = (matrix f) x" ~count:60
+    (QCheck.make gen_formula ~print:to_string)
+    (fun f ->
+      let n = dim f in
+      QCheck.assume (n <= 64);
+      let x = Cvec.random ~seed:n n in
+      Cvec.max_abs_diff (Semantics.apply f x)
+        (Cmatrix.apply (Semantics.to_matrix f) x)
+      < 1e-8)
+
+(* ------------------------------------------------------------------ *)
+(* Shape analysis                                                      *)
+
+let test_shape_perm () =
+  let f = Compose [ Tensor (I 2, Perm (Perm.L (4, 2))); Tensor (Perm (Perm.L (4, 2)), I 2) ] in
+  (match Shape.perm_sigma f with
+  | None -> Alcotest.fail "should be a permutation"
+  | Some sigma ->
+      let want = Semantics.to_matrix f in
+      let got = Cmatrix.of_permutation (Array.init 8 sigma) in
+      check cb "sigma matches matrix" true (Cmatrix.equal_approx want got));
+  check cb "dft is not perm" true (Shape.perm_sigma (DFT 4) = None);
+  check cb "diag is not perm" true (Shape.perm_sigma (twiddle 2 2) = None)
+
+let test_shape_partensor_perm () =
+  let f = ParTensor (2, Perm (Perm.L (4, 2))) in
+  match Shape.perm_sigma f with
+  | None -> Alcotest.fail "partensor of perm is a perm"
+  | Some sigma ->
+      check cb "matches" true
+        (Cmatrix.equal_approx (Semantics.to_matrix f)
+           (Cmatrix.of_permutation (Array.init 8 sigma)))
+
+let test_shape_diag () =
+  let parts = List.map (fun s -> Diag s) (Diag.split (Diag.Twiddle (4, 2)) 2) in
+  let f = ParDirectSum parts in
+  (match Shape.diag_entry f with
+  | None -> Alcotest.fail "pardirsum of diags is a diag"
+  | Some e ->
+      let want = Diag.to_array (Diag.Twiddle (4, 2)) in
+      Array.iteri
+        (fun i w ->
+          if Complex.norm (Complex.sub (e i) w) > 1e-12 then
+            Alcotest.failf "entry %d" i)
+        want);
+  check cb "perm is not diag" true (Shape.diag_entry (Perm (Perm.L (4, 2))) = None)
+
+let test_shape_is_data () =
+  check cb "perm" true (Shape.is_data (Perm (Perm.L (6, 2))));
+  check cb "diag" true (Shape.is_data (twiddle 2 3));
+  check cb "dft" false (Shape.is_data (DFT 4));
+  check cb "tensor with dft" false (Shape.is_data (Tensor (DFT 2, I 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Props (Definition 1)                                                *)
+
+let test_props_positive () =
+  let f =
+    Compose
+      [ CacheTensor (Tensor (Perm (Perm.L (4, 2)), I 2), 2);
+        ParTensor (2, DFT 8);
+        ParDirectSum [ twiddle 2 4; twiddle 2 4 ] ]
+  in
+  check cb "load balanced" true (Props.load_balanced ~p:2 f);
+  check cb "no false sharing" true (Props.avoids_false_sharing ~mu:2 f);
+  check cb "fully optimized" true (Props.fully_optimized ~p:2 ~mu:2 f)
+
+let test_props_negative () =
+  (* bare permutation: sequential pass, not load balanced *)
+  check cb "bare perm" false (Props.load_balanced ~p:2 (Perm (Perm.L (8, 2))));
+  (* wrong processor count *)
+  check cb "wrong p" false (Props.load_balanced ~p:4 (ParTensor (2, DFT 4)));
+  (* block not a multiple of mu *)
+  check cb "mu violation" false
+    (Props.avoids_false_sharing ~mu:4 (ParTensor (2, DFT 6)));
+  (* unequal direct sum blocks *)
+  check cb "unbalanced sum" false
+    (Props.load_balanced ~p:2 (ParDirectSum [ DFT 2; DFT 4 ]))
+
+let test_props_nested () =
+  let f = Tensor (I 4, ParTensor (2, DFT 4)) in
+  check cb "I_m (x) lb" true (Props.load_balanced ~p:2 f)
+
+let test_parallel_degree () =
+  check cb "none" true (Props.parallel_degree (DFT 8) = None);
+  check cb "two" true (Props.parallel_degree (ParTensor (2, DFT 4)) = Some 2);
+  check cb "mixed" true
+    (Props.parallel_degree
+       (Compose [ ParTensor (2, DFT 4); ParTensor (4, DFT 2) ])
+     = None)
+
+(* ------------------------------------------------------------------ *)
+(* Cost                                                                *)
+
+let test_cost_compose () =
+  let f = Compose [ DFT 2; DFT 2 ] in
+  check ci "sum" 8 (Cost.flops f)
+
+let test_cost_tensor () =
+  (* I_4 (x) DFT_2: 4 copies *)
+  check ci "tensor right" 16 (Cost.flops (Tensor (I 4, DFT 2)));
+  check ci "tensor left" 16 (Cost.flops (Tensor (DFT 2, I 4)));
+  check ci "perm free" 0 (Cost.flops (Perm (Perm.L (16, 4))));
+  check ci "diag 6n" 48 (Cost.flops (twiddle 2 4))
+
+let test_cost_per_processor () =
+  let f = ParTensor (2, DFT 8) in
+  let w = Cost.per_processor ~p:2 f in
+  check ci "p0" (Cost.leaf_flops 8) w.(0);
+  check ci "p1" (Cost.leaf_flops 8) w.(1);
+  check (Alcotest.float 0.0) "imbalance 0" 0.0 (Cost.imbalance ~p:2 f)
+
+let test_cost_sequential_to_p0 () =
+  let f = DFT 8 in
+  let w = Cost.per_processor ~p:4 f in
+  check ci "all on p0" (Cost.leaf_flops 8) w.(0);
+  check ci "p1 idle" 0 w.(1);
+  check (Alcotest.float 0.01) "imbalance 1" 1.0 (Cost.imbalance ~p:4 f)
+
+let suite =
+  [
+    Alcotest.test_case "L definition (in+j -> jm+i)" `Quick test_l_definition;
+    Alcotest.test_case "L transposes row-major matrix" `Quick test_l_transpose;
+    Alcotest.test_case "L inverse" `Quick test_l_inverse;
+    Alcotest.test_case "L identity cases" `Quick test_l_identity_cases;
+    Alcotest.test_case "perm validation" `Quick test_perm_validate;
+    Alcotest.test_case "twiddle diag" `Quick test_diag_twiddle;
+    Alcotest.test_case "diag split (rule 11)" `Quick test_diag_split;
+    Alcotest.test_case "nested segments" `Quick test_diag_segment_nested;
+    Alcotest.test_case "diag to_table" `Quick test_diag_to_table;
+    Alcotest.test_case "formula dims" `Quick test_dims;
+    Alcotest.test_case "compose smart constructor" `Quick test_compose_smart;
+    Alcotest.test_case "tensor smart constructor" `Quick test_tensor_smart;
+    Alcotest.test_case "l_perm smart constructor" `Quick test_l_perm_smart;
+    Alcotest.test_case "traversal" `Quick test_traversal;
+    Alcotest.test_case "pretty printing" `Quick test_pp';
+    Alcotest.test_case "semantics: DFT vs naive" `Quick test_sem_dft_vs_naive;
+    Alcotest.test_case "semantics: I (x) A" `Quick test_sem_tensor_id;
+    Alcotest.test_case "semantics: A (x) I" `Quick test_sem_tensor_strided;
+    Alcotest.test_case "semantics: tags transparent" `Quick test_sem_tagged_transparent;
+    Alcotest.test_case "semantics: WHT" `Quick test_sem_wht;
+    QCheck_alcotest.to_alcotest prop_apply_matches_matrix;
+    Alcotest.test_case "shape: perm extraction" `Quick test_shape_perm;
+    Alcotest.test_case "shape: parallel perm" `Quick test_shape_partensor_perm;
+    Alcotest.test_case "shape: diag extraction" `Quick test_shape_diag;
+    Alcotest.test_case "shape: is_data" `Quick test_shape_is_data;
+    Alcotest.test_case "Definition 1: positive" `Quick test_props_positive;
+    Alcotest.test_case "Definition 1: negative" `Quick test_props_negative;
+    Alcotest.test_case "Definition 1: nested" `Quick test_props_nested;
+    Alcotest.test_case "parallel degree" `Quick test_parallel_degree;
+    Alcotest.test_case "cost: compose" `Quick test_cost_compose;
+    Alcotest.test_case "cost: tensor/perm/diag" `Quick test_cost_tensor;
+    Alcotest.test_case "cost: per-processor split" `Quick test_cost_per_processor;
+    Alcotest.test_case "cost: sequential to p0" `Quick test_cost_sequential_to_p0;
+  ]

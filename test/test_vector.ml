@@ -1,0 +1,195 @@
+open Spiral_util
+open Spiral_spl
+open Spiral_rewrite
+open Formula
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+
+let sem_equal = Semantics.equal_semantics ~tol:1e-8
+
+(* ------------------------------------------------------------------ *)
+(* New constructs: semantics                                           *)
+
+let test_vtensor_semantics () =
+  check cb "vtensor = tensor" true
+    (sem_equal (VTensor (DFT 4, 2)) (Tensor (DFT 4, I 2)));
+  check cb "vec transparent" true (sem_equal (Vec (4, DFT 8)) (DFT 8));
+  check cb "vshuffle" true
+    (sem_equal (VShuffle (3, 2)) (Tensor (I 3, Perm (Perm.L (4, 2)))))
+
+let test_vector_constructs_in_plans () =
+  let f =
+    Formula.compose
+      [ VTensor (DFT 4, 2); VShuffle (2, 2); VTensor (Perm (Perm.L (4, 2)), 2) ]
+  in
+  let plan = Spiral_codegen.Plan.of_formula f in
+  let x = Cvec.random ~seed:3 8 in
+  let y = Cvec.create 8 in
+  Spiral_codegen.Plan.execute plan x y;
+  check cb "compiled vector formula" true
+    (Cvec.max_abs_diff y (Cmatrix.apply (Semantics.to_matrix f) x) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* The verified vector identity for stride permutations                *)
+
+let test_vector_l_identity () =
+  List.iter
+    (fun (m, n, nu) ->
+      let mn = m * n in
+      let lhs = l_perm mn m in
+      let rhs =
+        compose
+          [ Tensor (l_perm (mn / nu) m, I nu);
+            Tensor (I (mn / (nu * nu)), l_perm (nu * nu) nu);
+            Tensor (I (n / nu), Tensor (l_perm m (m / nu), I nu)) ]
+      in
+      check cb (Printf.sprintf "m=%d n=%d nu=%d" m n nu) true
+        (sem_equal lhs rhs))
+    [ (4, 4, 2); (8, 4, 2); (4, 8, 2); (8, 8, 4); (16, 8, 4); (6, 4, 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+
+let prop_vec_rules_preserve_semantics =
+  QCheck.Test.make ~name:"each vector rule preserves semantics" ~count:40
+    QCheck.(pair (int_range 1 4) (int_range 1 3))
+    (fun (block, nuf) ->
+      let nu = 2 * nuf in
+      let candidates =
+        [ Vec (nu, Tensor (DFT 3, I (block * nu)));
+          Vec (nu, Tensor (I (block * nu), DFT (2 * nu)));
+          Vec (nu, Perm (Perm.L (2 * nu * nu * block, nu * block * 2 / 2)));
+          Vec (nu, twiddle (2 * nu) (block * nu));
+          Vec (nu, CacheTensor (DFT 2, nu * block)) ]
+      in
+      List.for_all
+        (fun f ->
+          match Rule.apply_root Vector_rules.all f with
+          | None -> true (* preconditions failed: fine *)
+          | Some (_, g) ->
+              let orig = match f with Vec (_, h) -> h | h -> h in
+              Formula.dim g = Formula.dim orig)
+        candidates)
+
+let test_vectorize_ct () =
+  List.iter
+    (fun (m, n, nu) ->
+      let tree = Ruletree.Ct (Ruletree.mixed_radix m, Ruletree.mixed_radix n) in
+      match Derive.short_vector_dft ~nu tree with
+      | Error e -> Alcotest.failf "nu=%d %dx%d: %s" nu m n (Derive.error_to_string e)
+      | Ok f ->
+          check cb "vectorized" true (Props.vectorized ~nu f);
+          check cb "no tags" false (Formula.has_tag f);
+          check cb "semantics" true (sem_equal f (DFT (m * n))))
+    [ (4, 4, 2); (8, 8, 2); (8, 8, 4); (16, 8, 4); (16, 16, 2) ]
+
+let test_vectorize_executes () =
+  match Derive.short_vector_dft ~nu:4 (Ruletree.Ct (Ruletree.mixed_radix 16, Ruletree.mixed_radix 16)) with
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+  | Ok f ->
+      let plan = Spiral_codegen.Plan.of_formula f in
+      let x = Cvec.random ~seed:8 256 in
+      let y = Cvec.create 256 in
+      Spiral_codegen.Plan.execute plan x y;
+      check cb "runs" true (Cvec.max_abs_diff y (Naive_dft.dft x) < 1e-7)
+
+let test_vectorize_failure () =
+  (* DFT_6 with nu = 4: 4 does not divide the loop bounds *)
+  match Derive.short_vector_dft ~nu:4 (Ruletree.Ct (Ruletree.Leaf 2, Ruletree.Leaf 3)) with
+  | Error (Derive.Rewrite_failed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Derive.error_to_string e)
+  | Ok f -> Alcotest.failf "expected failure: %s" (to_string f)
+
+let test_vectorize_nu1_trivial () =
+  match Derive.short_vector_dft ~nu:1 (Ruletree.Ct (Ruletree.Leaf 4, Ruletree.Leaf 4)) with
+  | Ok f -> check cb "nu=1 scalar ok" true (sem_equal f (DFT 16))
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+
+let test_vectorized_predicate () =
+  check cb "vtensor ok" true (Props.vectorized ~nu:2 (VTensor (DFT 5, 2)));
+  check cb "wrong nu" false (Props.vectorized ~nu:4 (VTensor (DFT 5, 2)));
+  check cb "bare compute" false (Props.vectorized ~nu:2 (DFT 8));
+  check cb "bare perm" false (Props.vectorized ~nu:2 (Perm (Perm.L (8, 2))));
+  check cb "diag ok" true (Props.vectorized ~nu:2 (twiddle 2 4));
+  check cb "loop skeleton" true
+    (Props.vectorized ~nu:2 (Tensor (I 4, VTensor (DFT 2, 2))));
+  check cb "parallel skeleton" true
+    (Props.vectorized ~nu:2 (ParTensor (2, VTensor (DFT 2, 2))))
+
+(* ------------------------------------------------------------------ *)
+(* The tandem: smp(p,µ) x vec(ν) of Section 3.2                        *)
+
+let test_tandem () =
+  List.iter
+    (fun (p, mu, nu, m, n) ->
+      let tree = Ruletree.Ct (Ruletree.mixed_radix m, Ruletree.mixed_radix n) in
+      match Derive.multicore_vector_dft ~p ~mu ~nu tree with
+      | Error e ->
+          Alcotest.failf "p%d mu%d nu%d: %s" p mu nu (Derive.error_to_string e)
+      | Ok f ->
+          check cb "vectorized" true (Props.vectorized ~nu f);
+          check cb "fully optimized" true (Props.fully_optimized ~p ~mu f);
+          check (Alcotest.float 0.0) "balanced" 0.0 (Cost.imbalance ~p f);
+          (* exact dense semantics for small sizes; compiled execution
+             (O(n log n)) for the larger ones *)
+          if m * n <= 256 then
+            check cb "semantics" true (sem_equal f (DFT (m * n)))
+          else begin
+            let plan = Spiral_codegen.Plan.of_formula f in
+            let x = Cvec.random ~seed:m (m * n) in
+            let y = Cvec.create (m * n) in
+            Spiral_codegen.Plan.execute plan x y;
+            check cb "executes correctly" true
+              (Cvec.max_abs_diff y (Naive_dft.dft x)
+              < 1e-6 *. float_of_int (m * n))
+          end)
+    [ (2, 4, 2, 16, 16); (2, 2, 2, 8, 8); (4, 4, 4, 32, 32); (2, 4, 4, 16, 16) ]
+
+let test_tandem_executes_parallel () =
+  match
+    Derive.multicore_vector_dft ~p:2 ~mu:4 ~nu:2
+      (Ruletree.Ct (Ruletree.mixed_radix 16, Ruletree.mixed_radix 16))
+  with
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+  | Ok f ->
+      let plan = Spiral_codegen.Plan.of_formula f in
+      let x = Cvec.random ~seed:4 256 in
+      let want = Cvec.create 256 in
+      Spiral_codegen.Plan.execute plan x want;
+      check cb "sequential correct" true
+        (Cvec.max_abs_diff want (Naive_dft.dft x) < 1e-7);
+      Spiral_smp.Pool.with_pool 2 (fun pool ->
+          let y = Cvec.create 256 in
+          Spiral_smp.Par_exec.execute pool plan x y;
+          check cb "parallel identical" true (Cvec.max_abs_diff y want = 0.0))
+
+let test_tandem_no_false_sharing () =
+  match
+    Derive.multicore_vector_dft ~p:2 ~mu:4 ~nu:2
+      (Ruletree.Ct (Ruletree.mixed_radix 32, Ruletree.mixed_radix 32))
+  with
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+  | Ok f ->
+      let plan = Spiral_codegen.Plan.of_formula f in
+      let r =
+        Spiral_sim.Simulate.run Spiral_sim.Machine.core_duo
+          (Spiral_sim.Simulate.Pooled 2) plan
+      in
+      check Alcotest.int "zero false sharing" 0 r.Spiral_sim.Simulate.false_sharing
+
+let suite =
+  [
+    Alcotest.test_case "constructs: semantics" `Quick test_vtensor_semantics;
+    Alcotest.test_case "constructs: compile and run" `Quick test_vector_constructs_in_plans;
+    Alcotest.test_case "vector stride-perm identity" `Quick test_vector_l_identity;
+    QCheck_alcotest.to_alcotest prop_vec_rules_preserve_semantics;
+    Alcotest.test_case "vectorize Cooley-Tukey" `Quick test_vectorize_ct;
+    Alcotest.test_case "vectorized plan executes" `Quick test_vectorize_executes;
+    Alcotest.test_case "vectorize: graceful failure" `Quick test_vectorize_failure;
+    Alcotest.test_case "vectorize: nu = 1" `Quick test_vectorize_nu1_trivial;
+    Alcotest.test_case "vectorized predicate" `Quick test_vectorized_predicate;
+    Alcotest.test_case "tandem smp x vec" `Quick test_tandem;
+    Alcotest.test_case "tandem executes in parallel" `Quick test_tandem_executes_parallel;
+    Alcotest.test_case "tandem: no false sharing" `Quick test_tandem_no_false_sharing;
+  ]
