@@ -175,6 +175,15 @@ let cmd_run =
           if Float.is_nan err then print_newline ()
           else Printf.printf ", max err vs naive %.2e\n" err;
           print_string (Spiral_fft.Dft.description t);
+          (* surface degradations: a run that survived worker failures by
+             retrying or falling back sequentially is correct but not the
+             performance the plan promises *)
+          (match Counters.snapshot () with
+          | [] -> ()
+          | cs ->
+              Printf.printf "degradations:";
+              List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) cs;
+              print_newline ());
           0)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute on this host and verify")

@@ -16,8 +16,16 @@ let () =
   let machine = Machine.core_duo in
   let cache =
     if Sys.file_exists wisdom_file then begin
-      let c = Plan_cache.load wisdom_file in
+      (* tolerant load: a corrupted or truncated wisdom file (crash,
+         concurrent writer, manual edit) costs only the bad lines, not
+         the whole cache *)
+      let c, report = Plan_cache.load_tolerant wisdom_file in
       Printf.printf "loaded %d tuned plans from %s\n" (Plan_cache.size c) wisdom_file;
+      if report.Plan_cache.skipped > 0 then begin
+        Printf.printf "salvaged around %d corrupt line(s):\n"
+          report.Plan_cache.skipped;
+        List.iter (Printf.printf "  %s\n") report.Plan_cache.complaints
+      end;
       c
     end
     else begin

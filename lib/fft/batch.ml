@@ -40,7 +40,7 @@ let execute t x =
   if Cvec.length x <> total then invalid_arg "Batch.execute: wrong length";
   let y = Cvec.create total in
   (match t.pool with
-  | Some pool -> Spiral_smp.Par_exec.execute pool t.plan x y
+  | Some pool -> Spiral_smp.Par_exec.execute_safe pool t.plan x y
   | None -> Plan.execute t.plan x y);
   y
 

@@ -38,7 +38,7 @@ let chirp_table n =
 
 let run_inner t src dst =
   match t.pool with
-  | Some pool -> Spiral_smp.Par_exec.execute pool t.inner src dst
+  | Some pool -> Spiral_smp.Par_exec.execute_safe pool t.inner src dst
   | None -> Plan.execute t.inner src dst
 
 let plan ?(threads = 1) ?(mu = 4) n =
@@ -78,7 +78,7 @@ let plan ?(threads = 1) ?(mu = 4) n =
   done;
   let spec = Array.make (2 * m) 0.0 in
   (match t.pool with
-  | Some pool -> Spiral_smp.Par_exec.execute pool t.inner h spec
+  | Some pool -> Spiral_smp.Par_exec.execute_safe pool t.inner h spec
   | None -> Plan.execute t.inner h spec);
   Array.blit spec 0 t.kernel_spectrum 0 (2 * m);
   t

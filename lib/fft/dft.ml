@@ -73,7 +73,7 @@ let forward_into t ~src ~dst =
   match t.impl with
   | Direct { plan; pool; _ } -> (
       match pool with
-      | Some pool -> Spiral_smp.Par_exec.execute pool plan src dst
+      | Some pool -> Spiral_smp.Par_exec.execute_safe pool plan src dst
       | None -> Plan.execute plan src dst)
   | Chirp b -> Bluestein.execute_into b ~src ~dst
 

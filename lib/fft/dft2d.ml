@@ -53,7 +53,7 @@ let execute t x =
   if Cvec.length x <> n then invalid_arg "Dft2d.execute: wrong vector length";
   let y = Cvec.create n in
   (match t.pool with
-  | Some pool -> Spiral_smp.Par_exec.execute pool t.plan x y
+  | Some pool -> Spiral_smp.Par_exec.execute_safe pool t.plan x y
   | None -> Plan.execute t.plan x y);
   y
 

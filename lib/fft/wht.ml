@@ -44,7 +44,7 @@ let execute t x =
   if Cvec.length x <> t.n then invalid_arg "Wht.execute: wrong length";
   let y = Cvec.create t.n in
   (match t.pool with
-  | Some pool -> Spiral_smp.Par_exec.execute pool t.plan x y
+  | Some pool -> Spiral_smp.Par_exec.execute_safe pool t.plan x y
   | None -> Plan.execute t.plan x y);
   y
 

@@ -1,8 +1,11 @@
+open Spiral_util
 open Spiral_rewrite
 
 type key = { n : int; p : int; mu : int; machine : string }
 
 type t = (key, Ruletree.t) Hashtbl.t
+
+type report = { loaded : int; skipped : int; complaints : string list }
 
 let create () : t = Hashtbl.create 32
 
@@ -17,47 +20,133 @@ let add t key tree = Hashtbl.replace t (canonical key) tree
 
 let size t = Hashtbl.length t
 
-let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Hashtbl.iter
-        (fun key tree ->
-          Printf.fprintf oc "%d %d %d %s %s\n" key.n key.p key.mu key.machine
-            (Ruletree.to_string tree))
-        t)
+(* On-disk format v2: a header line, then one entry per line prefixed
+   with an 8-hex-digit FNV-1a checksum of the payload:
 
-let load path =
+     # spiral-wisdom v2
+     <cksum> <n> <p> <mu> <machine> <tree>
+
+   v1 files (no header, no checksum) are still read.  Writes go through
+   a temp file + atomic rename so a crash mid-save can never corrupt
+   existing wisdom. *)
+
+let header = "# spiral-wisdom v2"
+
+let checksum payload =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    payload;
+  Printf.sprintf "%08x" !h
+
+let payload_of_entry key tree =
+  Printf.sprintf "%d %d %d %s %s" key.n key.p key.mu key.machine
+    (Ruletree.to_string tree)
+
+let save t path =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  let oc = open_out tmp in
+  match
+    output_string oc (header ^ "\n");
+    Hashtbl.iter
+      (fun key tree ->
+        (* Simulated crash mid-write: the rename below never happens, so
+           whatever lived at [path] before stays intact. *)
+        Fault.check "plan_cache.save";
+        let payload = payload_of_entry key tree in
+        Printf.fprintf oc "%s %s\n" (checksum payload) payload)
+      t;
+    close_out oc
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+(* [parse_payload s] parses "<n> <p> <mu> <machine> <tree>" (a v1 line,
+   or a v2 line with the checksum stripped). *)
+let parse_payload payload =
+  match String.split_on_char ' ' payload with
+  | n :: p :: mu :: machine :: (_ :: _ as rest) -> (
+      match
+        ( int_of_string_opt n,
+          int_of_string_opt p,
+          int_of_string_opt mu,
+          try Ok (Ruletree.of_string (String.concat " " rest))
+          with Invalid_argument m | Failure m -> Error m )
+      with
+      | Some n, Some p, Some mu, Ok tree -> Ok ({ n; p; mu; machine }, tree)
+      | None, _, _, _ | _, None, _, _ | _, _, None, _ ->
+          Error "non-numeric key field"
+      | _, _, _, Error m -> Error ("bad ruletree: " ^ m))
+  | _ -> Error "too few fields"
+
+let parse_line ~v2 line =
+  if not v2 then parse_payload line
+  else
+    match String.index_opt line ' ' with
+    | None -> Error "missing checksum"
+    | Some i ->
+        let cksum = String.sub line 0 i in
+        let payload = String.sub line (i + 1) (String.length line - i - 1) in
+        if checksum payload <> cksum then Error "checksum mismatch"
+        else parse_payload payload
+
+let load_gen ~strict path =
   let ic = open_in path in
   let t = create () in
+  let loaded = ref 0 and skipped = ref 0 and complaints = ref [] in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
+      let v2 = ref false in
+      let lineno = ref 0 in
       (try
          while true do
-           let line = input_line ic in
-           if String.trim line <> "" then
-             match String.split_on_char ' ' (String.trim line) with
-             | n :: p :: mu :: machine :: rest ->
-                 let tree = Ruletree.of_string (String.concat " " rest) in
-                 add t
-                   {
-                     n = int_of_string n;
-                     p = int_of_string p;
-                     mu = int_of_string mu;
-                     machine;
-                   }
-                   tree
-             | _ -> invalid_arg ("Plan_cache.load: malformed line: " ^ line)
+           let line = String.trim (input_line ic) in
+           incr lineno;
+           if line = "" then () (* blank lines and trailing newlines ok *)
+           else if String.length line > 0 && line.[0] = '#' then begin
+             if !lineno = 1 && line = header then v2 := true
+             (* other comment lines are ignored in both formats *)
+           end
+           else
+             match parse_line ~v2:!v2 line with
+             | Ok (key, tree) ->
+                 add t key tree;
+                 incr loaded
+             | Error reason ->
+                 let msg =
+                   Printf.sprintf "line %d: %s: %s" !lineno reason line
+                 in
+                 if strict then
+                   invalid_arg ("Plan_cache.load: malformed entry, " ^ msg)
+                 else begin
+                   incr skipped;
+                   complaints := msg :: !complaints
+                 end
          done
        with End_of_file -> ());
-      t)
+      if !skipped > 0 then Counters.incr ~by:!skipped "plan_cache.skipped";
+      ( t,
+        {
+          loaded = !loaded;
+          skipped = !skipped;
+          complaints = List.rev !complaints;
+        } ))
+
+let load path = fst (load_gen ~strict:true path)
+
+let load_tolerant path = load_gen ~strict:false path
 
 let find_or_add t key make =
   match find t key with
   | Some tree -> tree
   | None ->
+      (* [make] runs before [add]: a generator that raises caches
+         nothing, so a later retry can still populate the entry. *)
       let tree = make () in
       add t key tree;
       tree

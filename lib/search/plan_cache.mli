@@ -1,10 +1,20 @@
 (** Persistent cache of tuned plans ("wisdom"): maps (size, threads, µ,
     machine) keys to the best ruletree found by search, with a simple
-    line-oriented on-disk format. *)
+    line-oriented on-disk format.
+
+    Persistence is crash-safe: {!save} writes a versioned, per-line
+    checksummed file through a temp file + atomic rename, so an
+    interrupted save leaves the previous wisdom intact, and
+    {!load_tolerant} salvages the valid entries of a corrupted file
+    instead of discarding all wisdom over one bad line. *)
 
 type key = { n : int; p : int; mu : int; machine : string }
 
 type t
+
+type report = { loaded : int; skipped : int; complaints : string list }
+(** Result of a tolerant load: [skipped] lines were dropped, each with a
+    human-readable entry in [complaints] ("line N: reason: content"). *)
 
 val create : unit -> t
 
@@ -15,12 +25,29 @@ val add : t -> key -> Spiral_rewrite.Ruletree.t -> unit
 val size : t -> int
 
 val save : t -> string -> unit
-(** Write to a file, one entry per line:
-    [n p mu machine <tree>] with machine whitespace-escaped. *)
+(** Write the cache to [path] atomically (temp file in the same
+    directory, then rename).  Format v2: a ["# spiral-wisdom v2"] header,
+    then one entry per line — [cksum n p mu machine <tree>] with machine
+    whitespace-escaped and an FNV-1a checksum of the rest of the line.
+    A crash (or injected fault at site ["plan_cache.save"]) before the
+    rename leaves any existing file at [path] untouched. *)
 
 val load : string -> t
-(** @raise Sys_error if the file cannot be read;
-    @raise Invalid_argument on malformed entries. *)
+(** Strict load.  Accepts both v2 and headerless v1 (no checksum) files;
+    blank lines, trailing newlines and [#] comment lines are ignored, and
+    an empty file yields an empty cache.
+    @raise Sys_error if the file cannot be read;
+    @raise Invalid_argument on the first malformed or checksum-failing
+    entry. *)
+
+val load_tolerant : string -> t * report
+(** Like {!load} but salvages: malformed lines, checksum mismatches and
+    truncated tails are skipped (counted under the
+    ["plan_cache.skipped"] counter) and reported instead of raised.
+    @raise Sys_error if the file cannot be read. *)
 
 val find_or_add :
   t -> key -> (unit -> Spiral_rewrite.Ruletree.t) -> Spiral_rewrite.Ruletree.t
+(** [find_or_add t key make] returns the cached tree or evaluates
+    [make ()] and caches its result.  If [make] raises, nothing is
+    cached and the exception propagates. *)

@@ -1,18 +1,43 @@
-type t = { p : int; count : int Atomic.t; sense : bool Atomic.t }
+open Spiral_util
+
+type t = {
+  p : int;
+  count : int Atomic.t;
+  sense : bool Atomic.t;
+  timeout : float;
+}
 
 type ctx = { mutable my_sense : bool }
 
+exception Timeout of { parties : int; arrived : int; waited : float }
+
+let () =
+  Printexc.register_printer (function
+    | Timeout { parties; arrived; waited } ->
+        Some
+          (Printf.sprintf
+             "Barrier.Timeout (%d of %d participants arrived after %.3gs)"
+             arrived parties waited)
+    | _ -> None)
+
 let spin_limit = 10_000
 
-let create p =
+let default_timeout = ref 30.0
+
+let create ?timeout p =
   if p <= 0 then invalid_arg "Barrier.create: need at least one participant";
-  { p; count = Atomic.make 0; sense = Atomic.make false }
+  let timeout = match timeout with Some s -> s | None -> !default_timeout in
+  if not (timeout > 0.0) then invalid_arg "Barrier.create: timeout > 0";
+  { p; count = Atomic.make 0; sense = Atomic.make false; timeout }
 
 let parties t = t.p
+
+let timeout t = t.timeout
 
 let make_ctx _t = { my_sense = true }
 
 let wait t ctx =
+  Fault.check "barrier.wait";
   let s = ctx.my_sense in
   if Atomic.fetch_and_add t.count 1 = t.p - 1 then begin
     (* Last arrival: reset and release the others by flipping the sense. *)
@@ -21,12 +46,27 @@ let wait t ctx =
   end
   else begin
     let spins = ref 0 in
+    let start = ref neg_infinity in
     while Atomic.get t.sense <> s do
       incr spins;
       if !spins < spin_limit then Domain.cpu_relax ()
       else begin
-        (* Oversubscribed (more domains than cores): yield the timeslice. *)
+        (* Oversubscribed (more domains than cores): yield the timeslice.
+           The clock only starts once spinning has failed, so the fast
+           path stays free of syscalls. *)
         spins := 0;
+        let now = Unix.gettimeofday () in
+        if !start = neg_infinity then start := now
+        else if now -. !start > t.timeout then begin
+          Counters.incr "barrier.timeout";
+          raise
+            (Timeout
+               {
+                 parties = t.p;
+                 arrived = Atomic.get t.count;
+                 waited = now -. !start;
+               })
+        end;
         Unix.sleepf 50e-6
       end
     done

@@ -4,14 +4,32 @@
     pthreads backend: workers spin (with [Domain.cpu_relax]) for a bounded
     number of iterations and then back off by sleeping, so the barrier is
     fast when cores are dedicated and still correct when domains are
-    oversubscribed on fewer cores. *)
+    oversubscribed on fewer cores.
+
+    Every wait is bounded: a participant that spins longer than the
+    barrier's timeout raises {!Timeout} instead of hanging forever on a
+    peer that died.  A timed-out barrier is {e broken} — the arrival
+    count no longer matches reality — and must be discarded; the
+    supervised executor ({!Par_exec.execute_safe}) rebuilds the pool and
+    the barrier after any timeout. *)
 
 type t
 
-val create : int -> t
-(** [create p] is a barrier for [p] participants. *)
+exception Timeout of { parties : int; arrived : int; waited : float }
+(** Raised by {!wait} when the remaining participants did not arrive
+    within the timeout: [arrived] of [parties] had arrived when the
+    waiter gave up after [waited] seconds. *)
+
+val create : ?timeout:float -> int -> t
+(** [create p] is a barrier for [p] participants.  [timeout] (seconds,
+    default {!default_timeout}) bounds every {!wait}. *)
 
 val parties : t -> int
+
+val timeout : t -> float
+
+val default_timeout : float ref
+(** Timeout applied by {!create} when none is given (30 s). *)
 
 type ctx
 (** Per-participant state (the participant's current sense). *)
@@ -21,7 +39,12 @@ val make_ctx : t -> ctx
 val wait : t -> ctx -> unit
 (** Blocks until all [p] participants have called [wait] for the current
     phase.  Each participant must use its own [ctx] and call [wait] the
-    same number of times. *)
+    same number of times.
+
+    Declares the fault-injection site ["barrier.wait"]
+    ({!Spiral_util.Fault}) and raises {!Timeout} after the barrier's
+    timeout; either way the barrier must not be reused afterwards.
+    @raise Timeout when peers fail to arrive in time. *)
 
 val spin_limit : int
 (** Number of spin iterations before falling back to sleeping. *)

@@ -1,3 +1,4 @@
+open Spiral_util
 open Spiral_codegen
 
 type schedule = Block | Cyclic of int
@@ -29,17 +30,43 @@ let run_worker_pass sched p ~src ~dst ~workers w =
         (worker_range sched ~count:p.Plan.count ~workers w)
   | None -> if w = 0 then Plan.run_pass_range p ~src ~dst ~lo:0 ~hi:p.Plan.count
 
-let execute pool ?(schedule = Block) plan x y =
+let execute pool ?(schedule = Block) ?timeout plan x y =
   let workers = Pool.size pool in
-  let barrier = Barrier.create workers in
+  let barrier = Barrier.create ?timeout workers in
   Pool.run pool (fun w ->
       let ctx = Barrier.make_ctx barrier in
       Array.iteri
         (fun k p ->
+          Fault.check "par_exec.pass";
           let src, dst = Plan.src_dst_of_pass plan ~x ~y k in
           run_worker_pass schedule p ~src ~dst ~workers w;
           Barrier.wait barrier ctx)
         plan.Plan.passes)
+
+(* Failures the supervised executor can recover from: worker exceptions
+   (including injected faults and barrier timeouts recorded per worker)
+   and pool-level deadlocks from dead or stalled domains.  Anything else
+   — Out_of_memory, programming errors in [execute] itself — propagates. *)
+let recoverable = function
+  | Pool.Worker_errors _ | Pool.Deadlock _ | Barrier.Timeout _ -> true
+  | _ -> false
+
+let execute_safe pool ?schedule ?timeout plan x y =
+  let heal_if_needed () =
+    if not (Pool.healthy pool) then try Pool.heal pool with _ -> ()
+  in
+  try execute pool ?schedule ?timeout plan x y
+  with e when recoverable e -> (
+    Counters.incr "par_exec.retry";
+    heal_if_needed ();
+    try execute pool ?schedule ?timeout plan x y
+    with e when recoverable e ->
+      heal_if_needed ();
+      (* Sequential execution recomputes every pass over its full range
+         from the original input, so partial writes by the failed
+         parallel attempts cannot leak into the result. *)
+      Counters.incr "par_exec.sequential_fallback";
+      Plan.execute plan x y)
 
 let execute_fork_join ~p ?(schedule = Block) plan x y =
   if p < 1 then invalid_arg "Par_exec.execute_fork_join: p >= 1";

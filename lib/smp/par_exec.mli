@@ -7,6 +7,11 @@
       and joined at every parallel stage (thread startup on the critical
       path, as in OpenMP without pooling).
 
+    {!execute_safe} wraps {!execute} in a supervisor: any recoverable
+    pool failure (worker death, barrier timeout, aggregated worker
+    exceptions) is retried once on a healed pool, and a second failure
+    degrades to a correct sequential execution of the same plan.
+
     Iterations of a parallel pass are assigned to workers according to
     [schedule]: [Block] is the paper's schedule (contiguous chunks, rule
     (7)/(9), false-sharing free); [Cyclic c] hands out chunks of [c]
@@ -25,12 +30,33 @@ val worker_range :
 val execute :
   Pool.t ->
   ?schedule:schedule ->
+  ?timeout:float ->
   Spiral_codegen.Plan.t ->
   Spiral_util.Cvec.t ->
   Spiral_util.Cvec.t ->
   unit
 (** Pooled execution with spin barriers between passes.  Sequential passes
-    (no [par] annotation) run on worker 0 while others wait. *)
+    (no [par] annotation) run on worker 0 while others wait.  [timeout]
+    bounds every inter-pass barrier wait (default
+    {!Barrier.default_timeout}); each pass boundary declares the
+    fault-injection site ["par_exec.pass"] ({!Spiral_util.Fault}).
+    @raise Pool.Worker_errors, Pool.Deadlock on worker failure. *)
+
+val execute_safe :
+  Pool.t ->
+  ?schedule:schedule ->
+  ?timeout:float ->
+  Spiral_codegen.Plan.t ->
+  Spiral_util.Cvec.t ->
+  Spiral_util.Cvec.t ->
+  unit
+(** Supervised {!execute}: on a recoverable failure, heals the pool
+    ({!Pool.heal}) and retries once; on a second failure, heals again and
+    falls back to sequential execution of the same plan, which always
+    produces the correct transform.  Degradations are recorded in
+    {!Spiral_util.Counters} under ["par_exec.retry"] and
+    ["par_exec.sequential_fallback"].  Never hangs: all waits are bounded
+    by the pool and barrier timeouts. *)
 
 val execute_fork_join :
   p:int ->

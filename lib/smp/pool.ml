@@ -1,66 +1,158 @@
+open Spiral_util
+
+exception Worker_errors of exn list
+
+exception Deadlock of string
+
+let () =
+  Printexc.register_printer (function
+    | Worker_errors errs ->
+        Some
+          (Printf.sprintf "Pool.Worker_errors [%s]"
+             (String.concat "; " (List.map Printexc.to_string errs)))
+    | Deadlock msg -> Some ("Pool.Deadlock: " ^ msg)
+    | _ -> None)
+
+(* Per-worker supervision state for workers 1 .. p-1 (worker 0 is the
+   caller).  [finished] is the per-job completion flag; [alive] goes
+   false when the worker's domain terminates for any reason, which is
+   how the supervisor distinguishes a dead worker (will never finish)
+   from a slow one. *)
+type worker_state = { finished : bool Atomic.t; alive : bool Atomic.t }
+
 type t = {
   p : int;
   mutable job : int -> unit;
   mutable stop : bool;
   gen : int Atomic.t;  (* job generation; incremented to dispatch *)
-  done_count : int Atomic.t;
+  workers : worker_state array;
   mutex : Mutex.t;
   cond : Condition.t;
   mutable errors : exn list;
   err_mutex : Mutex.t;
   mutable domains : unit Domain.t array;
+  mutable busy : bool;
+  mutable poisoned : bool;
+  mutable timeout : float;
+  mutable rebuilds : int;
 }
 
-let worker_loop t w =
-  let seen = ref 0 in
-  let running = ref true in
-  while !running do
-    (* Wait for a new job generation (or shutdown). *)
-    Mutex.lock t.mutex;
-    while Atomic.get t.gen = !seen && not t.stop do
-      Condition.wait t.cond t.mutex
-    done;
-    let stop = t.stop && Atomic.get t.gen = !seen in
-    let job = t.job in
-    Mutex.unlock t.mutex;
-    if stop then running := false
-    else begin
-      seen := Atomic.get t.gen;
-      (try job w
-       with e ->
-         Mutex.lock t.err_mutex;
-         t.errors <- e :: t.errors;
-         Mutex.unlock t.err_mutex);
-      Atomic.incr t.done_count
-    end
-  done
+let record t e =
+  Mutex.lock t.err_mutex;
+  t.errors <- e :: t.errors;
+  Mutex.unlock t.err_mutex
 
-let create p =
+let worker_loop t w ~seen0 =
+  let st = t.workers.(w - 1) in
+  let seen = ref seen0 in
+  let running = ref true in
+  (try
+     while !running do
+       (* Wait for a new job generation (or shutdown). *)
+       Mutex.lock t.mutex;
+       while Atomic.get t.gen = !seen && not t.stop do
+         Condition.wait t.cond t.mutex
+       done;
+       let stop = t.stop && Atomic.get t.gen = !seen in
+       let job = t.job in
+       Mutex.unlock t.mutex;
+       if stop then running := false
+       else begin
+         seen := Atomic.get t.gen;
+         (* Simulated domain death: an injection here escapes the job
+            try-block below, so the whole worker loop unwinds. *)
+         Fault.check "pool.worker";
+         (try job w
+          with e -> record t e);
+         Atomic.set st.finished true
+       end
+     done
+   with e ->
+     (* The domain is dying without completing its job; leave the cause
+        in the error list for the supervisor's Deadlock report. *)
+     record t e);
+  Atomic.set st.alive false
+
+let default_timeout = ref 30.0
+
+let spawn_workers t =
+  Array.iter
+    (fun st ->
+      Atomic.set st.finished false;
+      Atomic.set st.alive true)
+    t.workers;
+  (* Capture the generation before spawning so a job dispatched right
+     after this function returns is never mistaken for already-seen. *)
+  let seen0 = Atomic.get t.gen in
+  t.domains <-
+    Array.init (t.p - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1) ~seen0))
+
+let create ?timeout p =
   if p < 1 then invalid_arg "Pool.create: p >= 1";
+  let timeout = match timeout with Some s -> s | None -> !default_timeout in
+  if not (timeout > 0.0) then invalid_arg "Pool.create: timeout > 0";
   let t =
     {
       p;
       job = ignore;
       stop = false;
       gen = Atomic.make 0;
-      done_count = Atomic.make 0;
+      workers =
+        Array.init (p - 1) (fun _ ->
+            { finished = Atomic.make false; alive = Atomic.make true });
       mutex = Mutex.create ();
       cond = Condition.create ();
       errors = [];
       err_mutex = Mutex.create ();
       domains = [||];
+      busy = false;
+      poisoned = false;
+      timeout;
+      rebuilds = 0;
     }
   in
-  t.domains <-
-    Array.init (p - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  spawn_workers t;
   t
 
 let size t = t.p
 
+let timeout t = t.timeout
+
+let set_timeout t s =
+  if not (s > 0.0) then invalid_arg "Pool.set_timeout: timeout > 0";
+  t.timeout <- s
+
+let rebuilds t = t.rebuilds
+
+let healthy t =
+  (not t.stop) && (not t.poisoned)
+  && Array.for_all (fun st -> Atomic.get st.alive) t.workers
+
+let missing_report t =
+  let dead = ref [] and stuck = ref [] in
+  Array.iteri
+    (fun i st ->
+      if not (Atomic.get st.finished) then
+        if Atomic.get st.alive then stuck := (i + 1) :: !stuck
+        else dead := (i + 1) :: !dead)
+    t.workers;
+  let ids l = String.concat "," (List.rev_map string_of_int l) in
+  Printf.sprintf "dead workers [%s], unresponsive workers [%s]" (ids !dead)
+    (ids !stuck)
+
 let run t f =
   if t.stop then invalid_arg "Pool.run: pool is shut down";
+  if t.busy then
+    invalid_arg "Pool.run: pool is busy (re-entrant run from a worker?)";
+  if t.poisoned then
+    invalid_arg "Pool.run: pool is poisoned after a deadlock; Pool.heal it";
+  t.busy <- true;
+  Fun.protect ~finally:(fun () -> t.busy <- false) @@ fun () ->
+  Mutex.lock t.err_mutex;
   t.errors <- [];
-  Atomic.set t.done_count 0;
+  Mutex.unlock t.err_mutex;
+  Array.iter (fun st -> Atomic.set st.finished false) t.workers;
   Mutex.lock t.mutex;
   t.job <- f;
   Atomic.incr t.gen;
@@ -68,21 +160,76 @@ let run t f =
   Mutex.unlock t.mutex;
   (* The caller is worker 0. *)
   (try f 0
-   with e ->
-     Mutex.lock t.err_mutex;
-     t.errors <- e :: t.errors;
-     Mutex.unlock t.err_mutex);
-  (* Wait for the others: bounded spin, then yield. *)
+   with e -> record t e);
+  (* Supervise the others: bounded spin, then yield.  A worker whose
+     domain died can never finish, so fail fast on it; otherwise give up
+     after the pool timeout instead of spinning forever. *)
+  let all_done () =
+    Array.for_all (fun st -> Atomic.get st.finished) t.workers
+  in
+  let some_worker_dead () =
+    Array.exists
+      (fun st -> (not (Atomic.get st.finished)) && not (Atomic.get st.alive))
+      t.workers
+  in
   let spins = ref 0 in
-  while Atomic.get t.done_count < t.p - 1 do
-    incr spins;
-    if !spins < Barrier.spin_limit then Domain.cpu_relax ()
+  let deadline = ref neg_infinity in
+  let gave_up = ref false in
+  while (not (all_done ())) && not !gave_up do
+    if some_worker_dead () then gave_up := true
     else begin
-      spins := 0;
-      Unix.sleepf 50e-6
+      incr spins;
+      if !spins < Barrier.spin_limit then Domain.cpu_relax ()
+      else begin
+        spins := 0;
+        let now = Unix.gettimeofday () in
+        if !deadline = neg_infinity then deadline := now +. t.timeout
+        else if now > !deadline then gave_up := true
+        else Unix.sleepf 50e-6
+      end
     end
   done;
-  match t.errors with [] -> () | e :: _ -> raise e
+  if !gave_up then begin
+    (* Completion flags are now meaningless (a straggler may still set
+       its flag during a later job): poison the pool until healed. *)
+    t.poisoned <- true;
+    Counters.incr "pool.deadlock";
+    Mutex.lock t.err_mutex;
+    let nerrs = List.length t.errors in
+    Mutex.unlock t.err_mutex;
+    raise
+      (Deadlock
+         (Printf.sprintf "gave up after %.3gs: %s (%d error(s) recorded)"
+            t.timeout (missing_report t) nerrs))
+  end;
+  Mutex.lock t.err_mutex;
+  let errs = List.rev t.errors in
+  Mutex.unlock t.err_mutex;
+  match errs with [] -> () | errs -> raise (Worker_errors errs)
+
+let join_all t =
+  Array.iter (fun d -> try Domain.join d with _ -> ()) t.domains;
+  t.domains <- [||]
+
+let heal t =
+  if t.stop then invalid_arg "Pool.heal: pool is shut down";
+  if t.busy then invalid_arg "Pool.heal: pool is busy";
+  (* Ask survivors to exit, join everyone (the dead join immediately;
+     stragglers unwind once their bounded barrier/pool waits fire), and
+     restart from a clean slate. *)
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  join_all t;
+  t.stop <- false;
+  Mutex.lock t.err_mutex;
+  t.errors <- [];
+  Mutex.unlock t.err_mutex;
+  t.poisoned <- false;
+  t.rebuilds <- t.rebuilds + 1;
+  Counters.incr "pool.rebuild";
+  spawn_workers t
 
 let shutdown t =
   if not t.stop then begin
@@ -90,10 +237,9 @@ let shutdown t =
     t.stop <- true;
     Condition.broadcast t.cond;
     Mutex.unlock t.mutex;
-    Array.iter Domain.join t.domains;
-    t.domains <- [||]
+    join_all t
   end
 
-let with_pool p f =
-  let t = create p in
+let with_pool ?timeout p f =
+  let t = create ?timeout p in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

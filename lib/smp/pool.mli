@@ -1,26 +1,82 @@
-(** A persistent pool of worker domains (thread pooling).
+(** A supervised, persistent pool of worker domains (thread pooling).
 
     The paper attributes part of Spiral's small-size parallel speedup to
     reusing threads across transform invocations instead of paying thread
     startup per call (FFTW 3.1's pooling was experimental and off by
     default).  [run] dispatches one job to all [p] workers — the calling
-    domain acts as worker 0 — and returns when every worker has finished. *)
+    domain acts as worker 0 — and returns when every worker has finished.
+
+    On top of the seed pool this adds a failure model:
+
+    - every completion wait is bounded by a per-pool timeout; when it
+      expires, {!run} raises {!Deadlock} naming the workers that never
+      checked in instead of spinning forever;
+    - a worker domain that dies (its exception escapes the job) is
+      detected by liveness flags and reported immediately, without
+      waiting out the full timeout;
+    - all worker exceptions of a job are aggregated into
+      {!Worker_errors}, not just the first one;
+    - after a {!Deadlock} the pool is {e poisoned} — {!heal} joins the
+      survivors and respawns a fresh set of worker domains. *)
 
 type t
 
-val create : int -> t
-(** [create p] starts [p - 1] background domains ([p >= 1]). *)
+exception Worker_errors of exn list
+(** All exceptions recorded during one {!run}, in the order they were
+    raised.  The job itself completed on every worker. *)
+
+exception Deadlock of string
+(** One or more workers never completed the job: the message names which
+    worker ids were dead (domain terminated) and which were unresponsive
+    when the pool gave up.  The pool is poisoned afterwards; {!heal} it
+    before the next {!run}. *)
+
+val create : ?timeout:float -> int -> t
+(** [create p] starts [p - 1] background domains ([p >= 1]).  [timeout]
+    (seconds, default {!default_timeout}) bounds every {!run}'s
+    completion wait. *)
 
 val size : t -> int
 
+val timeout : t -> float
+
+val set_timeout : t -> float -> unit
+
+val default_timeout : float ref
+(** Timeout applied by {!create} when none is given (30 s). *)
+
 val run : t -> (int -> unit) -> unit
 (** [run pool f] executes [f w] on worker [w] for [0 <= w < p]
-    concurrently; [f 0] runs on the calling domain.  Exceptions raised by
-    workers are re-raised in the caller after all workers finish.
-    Not re-entrant. *)
+    concurrently; [f 0] runs on the calling domain.
+
+    Exceptions raised by workers are collected (lock-disciplined) and
+    re-raised in the caller as [Worker_errors] after all workers finish.
+    Declares the fault-injection site ["pool.worker"]
+    ({!Spiral_util.Fault}): an injection there kills the worker's domain.
+
+    Not re-entrant: a nested call (e.g. from inside a job) raises
+    [Invalid_argument] instead of silently corrupting the completion
+    count.
+    @raise Worker_errors when the job failed on some workers;
+    @raise Deadlock when some workers died or stalled past the timeout;
+    @raise Invalid_argument on a shut-down, busy, or poisoned pool. *)
+
+val healthy : t -> bool
+(** [true] when the pool is not poisoned and all worker domains are
+    alive, i.e. the next {!run} can be dispatched normally. *)
+
+val heal : t -> unit
+(** Rebuild the pool's worker domains: stops survivors, joins every
+    domain (bounded, since all waits time out), respawns [p - 1] fresh
+    workers and clears the poisoned flag.  Increments the
+    ["pool.rebuild"] counter.  @raise Invalid_argument if the pool is
+    shut down or busy. *)
+
+val rebuilds : t -> int
+(** Number of times this pool has been healed. *)
 
 val shutdown : t -> unit
 (** Joins all worker domains.  The pool must not be used afterwards. *)
 
-val with_pool : int -> (t -> 'a) -> 'a
+val with_pool : ?timeout:float -> int -> (t -> 'a) -> 'a
 (** [with_pool p f] creates a pool, applies [f], and always shuts down. *)

@@ -1,0 +1,23 @@
+let table : (string, int ref) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let incr ?(by = 1) name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add table name (ref by))
+
+let get name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with Some r -> !r | None -> 0)
+
+let snapshot () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc) table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () = with_lock (fun () -> Hashtbl.reset table)

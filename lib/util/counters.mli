@@ -1,0 +1,22 @@
+(** Global named event counters for degradation and robustness telemetry.
+
+    The runtime bumps counters when it survives something that should not
+    happen in a healthy run — a barrier timeout, a pool rebuild, a
+    sequential fallback, a salvaged wisdom line — so callers and
+    operators can distinguish "fast because everything worked" from
+    "correct because we degraded".  Counting is mutex-protected and safe
+    from any domain; it only happens on failure paths, never in the
+    per-sample hot loop. *)
+
+val incr : ?by:int -> string -> unit
+(** [incr name] adds [by] (default 1) to the named counter, creating it
+    at 0 first if needed. *)
+
+val get : string -> int
+(** Current value (0 for counters never incremented). *)
+
+val snapshot : unit -> (string * int) list
+(** All nonzero counters, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every counter (test isolation). *)

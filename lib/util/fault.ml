@@ -1,0 +1,89 @@
+exception Injected of string
+
+type site = {
+  mutable after : int;
+  mutable times : int;
+  prob : float option;
+  rng : Random.State.t;
+  mutable hits : int;
+  mutable fired : int;
+}
+
+let registry : (string, site) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+
+(* Fast-path flag: number of armed sites.  [check] is called from hot
+   loops on every transform, so it must cost one atomic load when the
+   registry is empty. *)
+let armed = Atomic.make 0
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let arm ~site ?(after = 0) ?(times = 1) ?prob ?(seed = 0) () =
+  if after < 0 then invalid_arg "Fault.arm: after >= 0";
+  if times < 0 then invalid_arg "Fault.arm: times >= 0";
+  (match prob with
+  | Some p when not (p >= 0.0 && p <= 1.0) ->
+      invalid_arg "Fault.arm: prob in [0, 1]"
+  | _ -> ());
+  with_lock (fun () ->
+      Hashtbl.replace registry site
+        {
+          after;
+          times;
+          prob;
+          rng = Random.State.make [| seed; Hashtbl.hash site |];
+          hits = 0;
+          fired = 0;
+        };
+      Atomic.set armed (Hashtbl.length registry))
+
+let disarm site =
+  with_lock (fun () ->
+      Hashtbl.remove registry site;
+      Atomic.set armed (Hashtbl.length registry))
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.reset registry;
+      Atomic.set armed 0)
+
+let check name =
+  if Atomic.get armed > 0 then begin
+    let fire =
+      with_lock (fun () ->
+          match Hashtbl.find_opt registry name with
+          | None -> false
+          | Some s ->
+              s.hits <- s.hits + 1;
+              if s.times <= 0 then false
+              else if s.after > 0 then begin
+                s.after <- s.after - 1;
+                false
+              end
+              else
+                let f =
+                  match s.prob with
+                  | None -> true
+                  | Some p -> Random.State.float s.rng 1.0 < p
+                in
+                if f then begin
+                  s.fired <- s.fired + 1;
+                  s.times <- s.times - 1
+                end;
+                f)
+    in
+    if fire then raise (Injected name)
+  end
+
+let hits name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with None -> 0 | Some s -> s.hits)
+
+let fired name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with None -> 0 | Some s -> s.fired)
+
+let active () = Atomic.get armed > 0

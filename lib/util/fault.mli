@@ -1,0 +1,56 @@
+(** Deterministic fault-injection registry.
+
+    Production code declares named injection sites by calling {!check}
+    at the places where a fault can strike (worker loop entry, barrier
+    entry, pass boundaries, mid-save, ...).  Tests and the stress harness
+    arm sites with a failure count and/or probability; an armed site makes
+    {!check} raise {!Injected}.  Draws come from a per-site
+    [Random.State] so a given [(site, seed)] pair replays the same fault
+    schedule, which keeps stress failures reproducible.
+
+    When nothing is armed, {!check} is a single atomic load — cheap
+    enough to leave in hot paths permanently. *)
+
+exception Injected of string
+(** Raised by {!check} at an armed site; the payload is the site name. *)
+
+val arm :
+  site:string ->
+  ?after:int ->
+  ?times:int ->
+  ?prob:float ->
+  ?seed:int ->
+  unit ->
+  unit
+(** [arm ~site ()] arms an injection site.  Re-arming replaces any
+    previous configuration for the same site.
+
+    - [after] (default 0): number of {!check} hits that pass through
+      unharmed before the site becomes eligible to fire;
+    - [times] (default 1): maximum number of times the site fires before
+      going quiet (use [max_int] for "every eligible hit");
+    - [prob] (default [None], i.e. certainty): when given, each eligible
+      hit fires with probability [prob], drawn from a PRNG seeded with
+      [seed];
+    - [seed] (default 0): seed of the per-site PRNG (only meaningful with
+      [prob]). *)
+
+val disarm : string -> unit
+(** Disarm a single site (no-op if not armed). *)
+
+val reset : unit -> unit
+(** Disarm every site. *)
+
+val check : string -> unit
+(** Injection point.  Raises {!Injected} if the named site is armed and
+    elects to fire; otherwise returns.  Safe to call from any domain. *)
+
+val hits : string -> int
+(** Number of times {!check} reached this site since it was armed
+    (0 for unarmed sites). *)
+
+val fired : string -> int
+(** Number of faults this site has injected since it was armed. *)
+
+val active : unit -> bool
+(** [true] when at least one site is armed. *)

@@ -1,0 +1,126 @@
+(* Fault-injection stress harness (dune aliases @stress and the smoke
+   subset run by @runtest).
+
+   For each seed, arms every declared injection site in turn with a
+   probabilistic fault schedule and drives the supervised executor
+   (Par_exec.execute_safe) on a multicore Cooley-Tukey plan, checking
+   every result against the O(n²) reference DFT: faults may cost a
+   retry or a sequential fallback, never a wrong answer or a hang.
+   Also exercises wisdom crash safety: an interrupted Plan_cache.save
+   must leave the previous file intact, and a corrupted file must load
+   tolerantly with the valid entries salvaged.
+
+   Usage: stress_main.exe [--seeds 1,2,3] [--iters N] [--smoke] *)
+
+open Spiral_util
+open Spiral_rewrite
+open Spiral_codegen
+open Spiral_smp
+open Spiral_search
+
+let failures = ref 0
+
+let checkf name ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "stress FAIL: %s\n%!" name
+  end
+
+let timeout = 0.4
+
+let mc_plan () =
+  match
+    Derive.multicore_dft ~p:4 ~mu:2
+      (Ruletree.Ct (Ruletree.mixed_radix 16, Ruletree.mixed_radix 16))
+  with
+  | Ok f -> Plan.of_formula f
+  | Error e -> failwith (Derive.error_to_string e)
+
+(* Repeatedly execute under a per-iteration fault schedule at [site];
+   roughly half the iterations inject a fault somewhere in the parallel
+   run.  The pool is reused across iterations, so healed state must keep
+   working. *)
+let site_scenario ~seed ~iters site =
+  Fault.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed 256 in
+  let want = Naive_dft.dft x in
+  Pool.with_pool ~timeout 4 (fun pool ->
+      for i = 1 to iters do
+        Fault.arm ~site ~prob:0.5 ~times:1 ~seed:((seed * 1000003) + i) ();
+        let y = Cvec.create 256 in
+        Par_exec.execute_safe pool ~timeout plan x y;
+        Fault.disarm site;
+        checkf
+          (Printf.sprintf "site=%s seed=%d iter=%d: result matches naive DFT"
+             site seed i)
+          (Cvec.max_abs_diff y want < 1e-9)
+      done);
+  Fault.reset ()
+
+let wisdom_scenario ~seed =
+  Fault.reset ();
+  let file = Filename.temp_file "spiral_stress_wisdom" ".txt" in
+  let entry n = { Plan_cache.n; p = 1; mu = 4; machine = "stress" } in
+  let cache_of sizes =
+    let c = Plan_cache.create () in
+    List.iter (fun n -> Plan_cache.add c (entry n) (Ruletree.mixed_radix n)) sizes;
+    c
+  in
+  Plan_cache.save (cache_of [ 64 ]) file;
+  (* crash at a seed-dependent point of the rewrite *)
+  Fault.arm ~site:"plan_cache.save" ~after:(1 + (seed mod 3)) ~times:1 ();
+  (match Plan_cache.save (cache_of [ 128; 256; 512; 1024 ]) file with
+  | () -> checkf (Printf.sprintf "seed=%d: interrupted save raised" seed) false
+  | exception Fault.Injected _ -> ());
+  Fault.reset ();
+  let c = Plan_cache.load file in
+  checkf
+    (Printf.sprintf "seed=%d: previous wisdom intact after crashed save" seed)
+    (Plan_cache.size c = 1
+    && Plan_cache.find c (entry 64) = Some (Ruletree.mixed_radix 64));
+  (* corruption: garbage appended to a good file is salvaged around *)
+  Plan_cache.save (cache_of [ 128; 256; 512 ]) file;
+  let oc = open_out_gen [ Open_append ] 0o644 file in
+  output_string oc "garbage line that is not wisdom\n";
+  close_out oc;
+  let _, r = Plan_cache.load_tolerant file in
+  checkf
+    (Printf.sprintf "seed=%d: tolerant load salvages 3, skips 1" seed)
+    (r.Plan_cache.loaded = 3 && r.Plan_cache.skipped = 1);
+  Sys.remove file
+
+let run_seed ~iters seed =
+  List.iter
+    (site_scenario ~seed ~iters)
+    [ "pool.worker"; "barrier.wait"; "par_exec.pass" ];
+  wisdom_scenario ~seed
+
+let () =
+  let seeds = ref [ 1; 2; 3 ] and iters = ref 6 in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        seeds := [ 1 ];
+        iters := 2;
+        parse rest
+    | "--seeds" :: s :: rest ->
+        seeds := List.map int_of_string (String.split_on_char ',' s);
+        parse rest
+    | "--iters" :: n :: rest ->
+        iters := int_of_string n;
+        parse rest
+    | arg :: _ -> failwith ("stress_main: unknown argument " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  Counters.reset ();
+  List.iter (run_seed ~iters:!iters) !seeds;
+  let counters =
+    Counters.snapshot ()
+    |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+    |> String.concat " "
+  in
+  Printf.printf "stress: %d seed(s) x %d iter(s)/site, %d failure(s); %s\n%!"
+    (List.length !seeds) !iters !failures
+    (if counters = "" then "no degradations" else counters);
+  if !failures > 0 then exit 1

@@ -1,3 +1,4 @@
+open Spiral_util
 open Spiral_rewrite
 open Spiral_search
 open Spiral_sim
@@ -121,6 +122,132 @@ let test_plan_cache_find_or_add () =
   let _ = Plan_cache.find_or_add c k make in
   check ci "made once" 1 !calls
 
+let test_plan_cache_find_or_add_raising_generator () =
+  (* a generator that raises must cache nothing, so a later retry works *)
+  let c = Plan_cache.create () in
+  let k = { Plan_cache.n = 64; p = 1; mu = 4; machine = "m" } in
+  (try
+     ignore (Plan_cache.find_or_add c k (fun () -> failwith "search blew up"));
+     Alcotest.fail "generator exception swallowed"
+   with Failure _ -> ());
+  check ci "nothing cached after raise" 0 (Plan_cache.size c);
+  let calls = ref 0 in
+  let t =
+    Plan_cache.find_or_add c k (fun () -> incr calls; Ruletree.mixed_radix 64)
+  in
+  check cb "retry populates the entry" true (t = Ruletree.mixed_radix 64);
+  check ci "generator re-ran" 1 !calls
+
+(* -- wisdom persistence: crash safety and corruption tolerance -------- *)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = go [] in
+  close_in ic;
+  lines
+
+let entry n = { Plan_cache.n; p = 1; mu = 4; machine = "test" }
+
+let cache_of sizes =
+  let c = Plan_cache.create () in
+  List.iter (fun n -> Plan_cache.add c (entry n) (Ruletree.mixed_radix n)) sizes;
+  c
+
+let test_plan_cache_empty_and_blank () =
+  let file = Filename.temp_file "spiral_cache" ".txt" in
+  write_file file "";
+  check ci "empty file, strict" 0 (Plan_cache.size (Plan_cache.load file));
+  write_file file "\n\n  \n";
+  let c, r = Plan_cache.load_tolerant file in
+  check ci "blank lines ignored" 0 (Plan_cache.size c);
+  check ci "nothing skipped" 0 r.Plan_cache.skipped;
+  Sys.remove file
+
+let test_plan_cache_trailing_newlines () =
+  let file = Filename.temp_file "spiral_cache" ".txt" in
+  Plan_cache.save (cache_of [ 64; 128 ]) file;
+  (* extra trailing newlines must not produce phantom or failed entries *)
+  let oc = open_out_gen [ Open_append ] 0o644 file in
+  output_string oc "\n\n";
+  close_out oc;
+  check ci "strict load" 2 (Plan_cache.size (Plan_cache.load file));
+  let c, r = Plan_cache.load_tolerant file in
+  check ci "tolerant load" 2 (Plan_cache.size c);
+  check ci "no skips" 0 r.Plan_cache.skipped;
+  Sys.remove file
+
+let test_plan_cache_v1_compat () =
+  (* headerless, checksum-free v1 files still load *)
+  let file = Filename.temp_file "spiral_cache" ".txt" in
+  write_file file
+    (Printf.sprintf "64 1 4 host %s\n"
+       (Ruletree.to_string (Ruletree.mixed_radix 64)));
+  let c = Plan_cache.load file in
+  check ci "one v1 entry" 1 (Plan_cache.size c);
+  check cb "entry found" true
+    (Plan_cache.find c { n = 64; p = 1; mu = 4; machine = "host" }
+    = Some (Ruletree.mixed_radix 64));
+  Sys.remove file
+
+let test_plan_cache_salvage_corrupted () =
+  let file = Filename.temp_file "spiral_cache" ".txt" in
+  Plan_cache.save (cache_of [ 64; 128; 256 ]) file;
+  (match read_lines file with
+  | hdr :: e1 :: e2 :: e3 :: _ ->
+      (* e1 stays valid; inject a garbage line; flip a payload byte of e2
+         (checksum mismatch); truncate e3 mid-line *)
+      let tampered = e2 ^ "x" in
+      let truncated = String.sub e3 0 (String.length e3 / 2) in
+      write_file file
+        (String.concat "\n"
+           [ hdr; e1; "total garbage, not an entry"; tampered; truncated ])
+  | _ -> Alcotest.fail "expected header + 3 entries");
+  (* strict load refuses *)
+  (try
+     ignore (Plan_cache.load file);
+     Alcotest.fail "strict load accepted corruption"
+   with Invalid_argument _ -> ());
+  (* tolerant load salvages the valid entry and reports the rest *)
+  let c, r = Plan_cache.load_tolerant file in
+  check ci "salvaged" 1 (Plan_cache.size c);
+  check ci "loaded" 1 r.Plan_cache.loaded;
+  check ci "skipped" 3 r.Plan_cache.skipped;
+  check ci "complaints" 3 (List.length r.Plan_cache.complaints);
+  check cb "surviving entry intact" true
+    (Plan_cache.find c (entry 64) = Some (Ruletree.mixed_radix 64));
+  Sys.remove file
+
+let test_plan_cache_interrupted_save_atomic () =
+  Fault.reset ();
+  let file = Filename.temp_file "spiral_cache" ".txt" in
+  Plan_cache.save (cache_of [ 64 ]) file;
+  (* crash after writing one entry of the new wisdom *)
+  Fault.arm ~site:"plan_cache.save" ~after:1 ~times:1 ();
+  (try
+     Plan_cache.save (cache_of [ 128; 256 ]) file;
+     Alcotest.fail "injected crash did not fire"
+   with Fault.Injected _ -> ());
+  Fault.reset ();
+  (* the previous wisdom file is fully intact *)
+  let c = Plan_cache.load file in
+  check ci "old wisdom intact" 1 (Plan_cache.size c);
+  check cb "old entry readable" true
+    (Plan_cache.find c (entry 64) = Some (Ruletree.mixed_radix 64));
+  (* and a clean retry replaces it atomically *)
+  Plan_cache.save (cache_of [ 128; 256 ]) file;
+  check ci "new wisdom after retry" 2 (Plan_cache.size (Plan_cache.load file));
+  Sys.remove file
+
 let suite =
   [
     Alcotest.test_case "dp: returns valid tree" `Quick test_dp_valid_tree;
@@ -135,4 +262,16 @@ let suite =
     Alcotest.test_case "plan cache: save/load roundtrip" `Quick test_plan_cache_roundtrip;
     Alcotest.test_case "plan cache: unescaped lookup" `Quick test_plan_cache_unescaped_lookup;
     Alcotest.test_case "plan cache: find_or_add" `Quick test_plan_cache_find_or_add;
+    Alcotest.test_case "plan cache: raising generator caches nothing" `Quick
+      test_plan_cache_find_or_add_raising_generator;
+    Alcotest.test_case "plan cache: empty and blank files" `Quick
+      test_plan_cache_empty_and_blank;
+    Alcotest.test_case "plan cache: trailing newlines" `Quick
+      test_plan_cache_trailing_newlines;
+    Alcotest.test_case "plan cache: v1 format compatibility" `Quick
+      test_plan_cache_v1_compat;
+    Alcotest.test_case "plan cache: salvages corrupted file" `Quick
+      test_plan_cache_salvage_corrupted;
+    Alcotest.test_case "plan cache: interrupted save is atomic" `Quick
+      test_plan_cache_interrupted_save_atomic;
   ]

@@ -7,6 +7,11 @@ let check = Alcotest.check
 let cb = Alcotest.bool
 let ci = Alcotest.int
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 (* ------------------------------------------------------------------ *)
 (* Barrier                                                             *)
 
@@ -53,6 +58,34 @@ let test_barrier_invalid () =
     (Invalid_argument "Barrier.create: need at least one participant")
     (fun () -> ignore (Barrier.create 0))
 
+let test_barrier_timeout () =
+  (* one participant of a 2-barrier: the wait must give up, not hang *)
+  let b = Barrier.create ~timeout:0.1 2 in
+  let ctx = Barrier.make_ctx b in
+  let t0 = Unix.gettimeofday () in
+  (try
+     Barrier.wait b ctx;
+     Alcotest.fail "barrier wait did not time out"
+   with Barrier.Timeout { parties; arrived; waited } ->
+     check ci "parties" 2 parties;
+     check ci "arrived" 1 arrived;
+     check cb "waited at least the timeout" true (waited >= 0.1));
+  check cb "returned promptly" true (Unix.gettimeofday () -. t0 < 5.0);
+  check cb "timeout counted" true (Counters.get "barrier.timeout" >= 1)
+
+let test_barrier_fault_site () =
+  Fault.reset ();
+  Fault.arm ~site:"barrier.wait" ();
+  let b = Barrier.create 1 in
+  let ctx = Barrier.make_ctx b in
+  (try
+     Barrier.wait b ctx;
+     Alcotest.fail "injection did not fire"
+   with Fault.Injected site -> check Alcotest.string "site" "barrier.wait" site);
+  Fault.reset ();
+  (* disarmed: the same barrier context proceeds normally *)
+  Barrier.wait b ctx
+
 (* ------------------------------------------------------------------ *)
 (* Pool                                                                *)
 
@@ -75,11 +108,54 @@ let test_pool_exception () =
       (try
          Pool.run pool (fun w -> if w = 1 then failwith "boom");
          Alcotest.fail "exception not propagated"
-       with Failure m -> check Alcotest.string "message" "boom" m);
+       with Pool.Worker_errors [ Failure m ] ->
+         check Alcotest.string "message" "boom" m);
       (* pool still usable afterwards *)
       let acc = Atomic.make 0 in
       Pool.run pool (fun _ -> Atomic.incr acc);
       check ci "recovered" 2 (Atomic.get acc))
+
+let test_pool_errors_aggregated () =
+  (* every worker fails: all failures must be reported, not just one *)
+  Pool.with_pool 4 (fun pool ->
+      try
+        Pool.run pool (fun w -> failwith (string_of_int w));
+        Alcotest.fail "exceptions not propagated"
+      with Pool.Worker_errors errs ->
+        check ci "all four failures collected" 4 (List.length errs))
+
+let test_pool_reentrant_rejected () =
+  Pool.with_pool 2 (fun pool ->
+      let rejected = Atomic.make false in
+      Pool.run pool (fun w ->
+          if w = 0 then
+            try Pool.run pool ignore
+            with Invalid_argument _ -> Atomic.set rejected true);
+      check cb "nested run rejected" true (Atomic.get rejected))
+
+let test_pool_worker_death_supervised () =
+  Fault.reset ();
+  Pool.with_pool ~timeout:2.0 3 (fun pool ->
+      Fault.arm ~site:"pool.worker" ~times:1 ();
+      (try
+         Pool.run pool ignore;
+         Alcotest.fail "dead worker not detected"
+       with Pool.Deadlock msg ->
+         check cb "names the dead worker" true (contains msg "dead workers ["));
+      Fault.disarm "pool.worker";
+      check cb "pool unhealthy after death" false (Pool.healthy pool);
+      (* poisoned: further runs are rejected until healed *)
+      (try
+         Pool.run pool ignore;
+         Alcotest.fail "poisoned pool accepted a run"
+       with Invalid_argument _ -> ());
+      Pool.heal pool;
+      check cb "healthy after heal" true (Pool.healthy pool);
+      check ci "one rebuild" 1 (Pool.rebuilds pool);
+      let acc = Atomic.make 0 in
+      Pool.run pool (fun _ -> Atomic.incr acc);
+      check ci "full strength after heal" 3 (Atomic.get acc));
+  Fault.reset ()
 
 let test_pool_size_one () =
   Pool.with_pool 1 (fun pool ->
@@ -189,14 +265,98 @@ let test_par_exec_repeated () =
         if Cvec.max_abs_diff y want <> 0.0 then Alcotest.fail "nondeterminism"
       done)
 
+(* ------------------------------------------------------------------ *)
+(* Supervised execution under injected faults                          *)
+
+let close_enough y want = Cvec.max_abs_diff y want < 1e-9
+
+let test_execute_safe_no_fault () =
+  (* without faults, execute_safe is exactly execute *)
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:21 256 in
+  let want = Cvec.create 256 in
+  Plan.execute plan x want;
+  Pool.with_pool 4 (fun pool ->
+      let y = Cvec.create 256 in
+      Par_exec.execute_safe pool plan x y;
+      check cb "identical to sequential" true (Cvec.max_abs_diff y want = 0.0))
+
+let test_execute_safe_worker_death () =
+  Fault.reset ();
+  Counters.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:22 256 in
+  let want = Naive_dft.dft x in
+  Pool.with_pool ~timeout:0.5 4 (fun pool ->
+      Fault.arm ~site:"pool.worker" ~times:1 ();
+      let y = Cvec.create 256 in
+      Par_exec.execute_safe pool ~timeout:0.5 plan x y;
+      check cb "correct despite worker death" true (close_enough y want);
+      check cb "retry recorded" true (Counters.get "par_exec.retry" >= 1);
+      check cb "pool was rebuilt" true (Pool.rebuilds pool >= 1));
+  Fault.reset ()
+
+let test_execute_safe_mid_pass_raise () =
+  Fault.reset ();
+  Counters.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:23 256 in
+  let want = Naive_dft.dft x in
+  Pool.with_pool ~timeout:0.5 4 (fun pool ->
+      (* one worker aborts at a pass boundary; its peers observe the
+         barrier timeout instead of hanging *)
+      Fault.arm ~site:"par_exec.pass" ~after:2 ~times:1 ();
+      let y = Cvec.create 256 in
+      Par_exec.execute_safe pool ~timeout:0.5 plan x y;
+      check cb "correct despite mid-pass fault" true (close_enough y want));
+  Fault.reset ()
+
+let test_execute_safe_sequential_fallback () =
+  Fault.reset ();
+  Counters.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:24 256 in
+  let want = Naive_dft.dft x in
+  Pool.with_pool ~timeout:0.5 4 (fun pool ->
+      (* every parallel attempt faults at the first pass boundary, on
+         every worker: execute_safe must degrade to sequential *)
+      Fault.arm ~site:"par_exec.pass" ~times:max_int ();
+      let y = Cvec.create 256 in
+      Par_exec.execute_safe pool ~timeout:0.5 plan x y;
+      Fault.reset ();
+      check cb "sequential fallback is correct" true (close_enough y want);
+      check cb "fallback recorded" true
+        (Counters.get "par_exec.sequential_fallback" >= 1))
+
+let test_execute_safe_barrier_fault () =
+  Fault.reset ();
+  Counters.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:25 256 in
+  let want = Naive_dft.dft x in
+  Pool.with_pool ~timeout:0.5 4 (fun pool ->
+      Fault.arm ~site:"barrier.wait" ~times:1 ();
+      let y = Cvec.create 256 in
+      Par_exec.execute_safe pool ~timeout:0.5 plan x y;
+      check cb "correct despite barrier fault" true (close_enough y want));
+  Fault.reset ()
+
 let suite =
   [
     Alcotest.test_case "barrier: multi-phase visibility" `Quick test_barrier_phases;
     Alcotest.test_case "barrier: single participant" `Quick test_barrier_single;
     Alcotest.test_case "barrier: invalid size" `Quick test_barrier_invalid;
+    Alcotest.test_case "barrier: wait times out" `Quick test_barrier_timeout;
+    Alcotest.test_case "barrier: fault-injection site" `Quick test_barrier_fault_site;
     Alcotest.test_case "pool: job runs on all workers" `Quick test_pool_sum;
     Alcotest.test_case "pool: reuse across 100 jobs" `Quick test_pool_reuse;
     Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "pool: all worker errors aggregated" `Quick
+      test_pool_errors_aggregated;
+    Alcotest.test_case "pool: re-entrant run rejected" `Quick
+      test_pool_reentrant_rejected;
+    Alcotest.test_case "pool: worker death detected and healed" `Quick
+      test_pool_worker_death_supervised;
     Alcotest.test_case "pool: size one" `Quick test_pool_size_one;
     Alcotest.test_case "pool: shutdown rejects jobs" `Quick test_pool_shutdown_rejects;
     Alcotest.test_case "schedule: block partition" `Quick test_worker_range_block_partition;
@@ -207,4 +367,13 @@ let suite =
     Alcotest.test_case "par exec: sequential plan on pool" `Quick
       test_par_exec_sequential_plan;
     Alcotest.test_case "par exec: repeated determinism" `Quick test_par_exec_repeated;
+    Alcotest.test_case "execute_safe: no fault" `Quick test_execute_safe_no_fault;
+    Alcotest.test_case "execute_safe: worker death" `Quick
+      test_execute_safe_worker_death;
+    Alcotest.test_case "execute_safe: mid-pass raise" `Quick
+      test_execute_safe_mid_pass_raise;
+    Alcotest.test_case "execute_safe: sequential fallback" `Quick
+      test_execute_safe_sequential_fallback;
+    Alcotest.test_case "execute_safe: barrier fault" `Quick
+      test_execute_safe_barrier_fault;
   ]
