@@ -6,14 +6,21 @@
      dune exec bench/main.exe                 (full run, logn <= 18)
      dune exec bench/main.exe -- --fast       (logn <= 12)
      dune exec bench/main.exe -- --max-logn 20
-     dune exec bench/main.exe -- --only fig3a,crossover *)
+     dune exec bench/main.exe -- --only fig3a,crossover
+
+   Real wall-clock mode (not the machine simulator):
+     dune exec bench/main.exe -- --json       (writes BENCH_wallclock.json)
+     dune exec bench/main.exe -- --json --min-logn 8 --max-logn 10 --reps 50 *)
 
 open Spiral_rewrite
 open Spiral_codegen
 open Spiral_sim
 
 let max_logn = ref 18
+let min_logn = ref 10
 let only : string list ref = ref []
+let json_out : string option ref = ref None
+let reps_override : int option ref = ref None
 
 let () =
   let rec parse = function
@@ -24,8 +31,20 @@ let () =
     | "--max-logn" :: v :: rest ->
         max_logn := int_of_string v;
         parse rest
+    | "--min-logn" :: v :: rest ->
+        min_logn := int_of_string v;
+        parse rest
     | "--only" :: v :: rest ->
         only := String.split_on_char ',' v;
+        parse rest
+    | "--json" :: rest ->
+        if !json_out = None then json_out := Some "BENCH_wallclock.json";
+        parse rest
+    | "--json-out" :: v :: rest ->
+        json_out := Some v;
+        parse rest
+    | "--reps" :: v :: rest ->
+        reps_override := Some (int_of_string v);
         parse rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
@@ -530,8 +549,138 @@ let run_host_seq () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* W: real wall-clock benchmark (--json).  Unlike the simulator sections
+   above, this measures this machine, this process: Unix.gettimeofday
+   around repeated transforms.  Series per size:
+     - seq_baseline   pre-optimization hot path (legacy codelets with
+                      per-call scratch, closure addressing, no fusion)
+     - seq            current sequential executor
+     - sixstep_explicit / sixstep_fused   permutation-pass fusion
+                      ablation on the explicit six-step plan (even logN)
+     - par2 / par2_noelide   pooled p=2 executor with and without
+                      barrier elision, plus elisions per transform  *)
+
+let wallclock_us ?(warmup_frac = 10) reps call =
+  for _ = 1 to max 3 (reps / warmup_frac) do
+    call ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    call ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6
+
+let pmflops n us = 5.0 *. n *. (log n /. log 2.0) /. us
+
+let reps_for logn =
+  match !reps_override with
+  | Some r -> max 1 r
+  | None -> max 20 (1 lsl max 0 (21 - logn))
+
+let mc2_plan n logn =
+  (* p=2, mu=2 multicore Cooley-Tukey with a balanced power-of-two split;
+     both factors are divisible by pµ = 4 for every logn >= 4 *)
+  let m = 1 lsl (logn / 2) in
+  let tree = Ruletree.Ct (Ruletree.mixed_radix m, Ruletree.mixed_radix (n / m)) in
+  match Derive.multicore_dft ~p:2 ~mu:2 tree with
+  | Ok f -> Some (Plan.of_formula f)
+  | Error _ -> None
+
+let run_json file =
+  let open Spiral_util in
+  let buf = Buffer.create 4096 in
+  let field name us n =
+    Printf.sprintf "\"%s\": {\"us_per_call\": %.3f, \"pseudo_mflops\": %.1f}"
+      name us (pmflops n us)
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    "  \"benchmark\": \"spiral-smp wall-clock (host machine, not simulated)\",\n";
+  Buffer.add_string buf
+    "  \"pseudo_mflops\": \"5 N log2(N) / microseconds per transform\",\n";
+  Buffer.add_string buf "  \"sizes\": [\n";
+  let pool = Spiral_smp.Pool.create 2 in
+  let logns =
+    let rec go l = if l > !max_logn then [] else l :: go (l + 1) in
+    go !min_logn
+  in
+  List.iteri
+    (fun i logn ->
+      let n = 1 lsl logn in
+      let fn = float_of_int n in
+      let reps = reps_for logn in
+      let x = Cvec.random ~seed:logn n and y = Cvec.create n in
+      let tree = Ruletree.expand (Ruletree.mixed_radix n) in
+      let seq = Plan.of_formula tree in
+      let baseline = Plan.of_formula ~baseline:true ~fuse:false tree in
+      let t_seq = wallclock_us reps (fun () -> Plan.execute seq x y) in
+      let t_base = wallclock_us reps (fun () -> Plan.execute baseline x y) in
+      let fields =
+        ref
+          [
+            Printf.sprintf "\"seq_speedup_vs_baseline\": %.2f" (t_base /. t_seq);
+            field "seq_baseline" t_base fn;
+            field "seq" t_seq fn;
+          ]
+      in
+      (if logn mod 2 = 0 then
+         let half = 1 lsl (logn / 2) in
+         match Derive.six_step_dft ~p:2 ~mu:4 ~m:half ~n:half with
+         | Error _ -> ()
+         | Ok f ->
+             let explicit = Plan.of_formula ~explicit_data:true f in
+             let fused = Plan.of_formula ~explicit_data:true ~fuse:true f in
+             let t_e = wallclock_us reps (fun () -> Plan.execute explicit x y) in
+             let t_f = wallclock_us reps (fun () -> Plan.execute fused x y) in
+             fields :=
+               Printf.sprintf "\"fusion_speedup\": %.2f" (t_e /. t_f)
+               :: field "sixstep_fused" t_f fn
+               :: field "sixstep_explicit" t_e fn
+               :: !fields);
+      (match mc2_plan n logn with
+       | None -> ()
+       | Some mc ->
+           let t_par =
+             wallclock_us reps (fun () -> Spiral_smp.Par_exec.execute pool mc x y)
+           in
+           let t_noe =
+             wallclock_us reps (fun () ->
+                 Spiral_smp.Par_exec.execute pool ~elide:false mc x y)
+           in
+           Counters.reset ();
+           Spiral_smp.Par_exec.execute pool mc x y;
+           let elisions = Counters.get "par_exec.barrier_elided" in
+           fields :=
+             Printf.sprintf "\"barrier_elisions_per_transform\": %d" elisions
+             :: field "par2_noelide" t_noe fn
+             :: field "par2" t_par fn
+             :: !fields);
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"logn\": %d, \"n\": %d, \"reps\": %d,\n      %s}%s\n"
+           logn n reps
+           (String.concat ",\n      " (List.rev !fields))
+           (if i = List.length logns - 1 then "" else ","));
+      Printf.printf "  2^%-2d  seq %8.1f pMflop/s   baseline %8.1f   (%.2fx)\n"
+        logn (pmflops fn t_seq) (pmflops fn t_base) (t_base /. t_seq);
+      flush stdout)
+    logns;
+  Spiral_smp.Pool.shutdown pool;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  match !json_out with
+  | Some file ->
+      Printf.printf
+        "spiral-smp wall-clock benchmark, logN in [%d, %d]\n" !min_logn
+        !max_logn;
+      run_json file
+  | None ->
   Printf.printf
     "spiral-smp benchmark harness (paper: Franchetti et al., SC 2006)\n";
   Printf.printf "max logN = %d%s\n" !max_logn

@@ -177,8 +177,19 @@ let cmd_run =
           print_string (Spiral_fft.Dft.description t);
           (* surface degradations: a run that survived worker failures by
              retrying or falling back sequentially is correct but not the
-             performance the plan promises *)
-          (match Counters.snapshot () with
+             performance the plan promises.  Informational counters
+             (barrier elisions, fused passes, wisdom skips) are not
+             degradations and stay silent here. *)
+          let degradation k =
+            List.mem k
+              [
+                "barrier.timeout"; "par_exec.retry";
+                "par_exec.sequential_fallback"; "pool.deadlock"; "pool.rebuild";
+              ]
+          in
+          (match
+             List.filter (fun (k, _) -> degradation k) (Counters.snapshot ())
+           with
           | [] -> ()
           | cs ->
               Printf.printf "degradations:";

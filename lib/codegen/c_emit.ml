@@ -177,7 +177,7 @@ let emit_pass b ~backend ~k (p : Plan.pass) =
   buf_add b "  for (long it = lo; it < hi; ++it) {\n";
   (* per-iteration bases *)
   (match p.addr with
-  | Plan.Strided { exts; gstrs; sstrs; g0; s0; gl; sl = _ } ->
+  | Plan.Strided { exts; gstrs; sstrs; g0; s0; gl; _ } ->
       let kk = Array.length exts in
       buf_add b
         (Printf.sprintf "    long gb = %d, sb = %d, rem = it;\n" g0 s0);

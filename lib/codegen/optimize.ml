@@ -1,0 +1,190 @@
+open Spiral_util
+
+(* Fusion of pure data-movement passes (stride permutations, identity
+   copies, standalone diagonals — the radix-1 passes [explicit_data]
+   compilation emits) into the addressing of an adjacent computation
+   pass.  A run of data passes is accumulated into a single pending
+   permutation + diagonal; a following pass absorbs it into its gather
+   (and load-scale), the chain's last pass can absorb a trailing pure
+   permutation into its scatter.  Every absorption halves the memory
+   traffic the data pass would have caused and removes one pass (and, in
+   parallel execution, one barrier).
+
+   Legality (see DESIGN.md):
+   - a data pass is fusable only if it covers the whole vector
+     ([count = n]) and its scatter is a bijection of [0, n) — then
+     "output q = scale(q) · input(perm q)" is well defined;
+   - forward fusion rewrites the next pass's gather [g] to [perm ∘ g] and
+     multiplies the pending diagonal into its load-scale — always legal;
+   - backward fusion rewrites the previous pass's scatter [s] to
+     [perm⁻¹ ∘ s]; it requires the pending permutation to be bijective
+     and carries no diagonal (codelets have no store-scale hook).
+
+   Anything that fails a check is emitted as a residual explicit pass, so
+   the transform is preserved even for exotic hand-built IR. *)
+
+let counter_fused = "optimize.fused_passes"
+
+(* [perm]: output position q of the pending data chain reads input
+   position [perm.(q)], scaled by [scale.(q)] when present. *)
+type pending = {
+  perm : int array;
+  scale : Complex.t array option;
+  par : int option;
+  hint : int list;
+}
+
+let is_data_pass (p : Ir.pass) =
+  p.radix = 1
+  && (p.kernel == Codelet.dft 1 || p.kernel.Codelet.name = "copy1")
+
+(* Compose data pass [d] onto the pending chain: returns [None] if [d] is
+   not a full-size pass with bijective scatter and in-range gather. *)
+let compose n (prev : pending option) (d : Ir.pass) =
+  if d.count <> n then None
+  else begin
+    let inv = Array.make n (-1) in
+    let ok = ref true in
+    (try
+       for i = 0 to n - 1 do
+         let s = d.scatter i 0 in
+         if s < 0 || s >= n || inv.(s) >= 0 then begin
+           ok := false;
+           raise Exit
+         end;
+         inv.(s) <- i
+       done
+     with Exit -> ());
+    if not !ok then None
+    else begin
+      let pperm, pscale =
+        match prev with
+        | None -> (None, None)
+        | Some p -> (Some p.perm, p.scale)
+      in
+      let perm = Array.make n 0 in
+      let scale =
+        if d.scale <> None || pscale <> None then
+          Some (Array.make n Complex.one)
+        else None
+      in
+      (try
+         for q = 0 to n - 1 do
+           let i = inv.(q) in
+           let g = d.gather i 0 in
+           if g < 0 || g >= n then begin
+             ok := false;
+             raise Exit
+           end;
+           perm.(q) <- (match pperm with None -> g | Some pp -> pp.(g));
+           match scale with
+           | None -> ()
+           | Some sc ->
+               let s1 =
+                 match d.scale with Some s -> s i 0 | None -> Complex.one
+               in
+               let s0 =
+                 match pscale with Some ps -> ps.(g) | None -> Complex.one
+               in
+               sc.(q) <- Complex.mul s1 s0
+         done
+       with Exit -> ());
+      if not !ok then None
+      else Some { perm; scale; par = d.par; hint = d.hint }
+    end
+  end
+
+(* Forward fusion: pending chain feeds compute pass [c]. *)
+let fuse_forward (c : Ir.pass) (p : pending) : Ir.pass =
+  let cg = c.gather in
+  let gather i l = p.perm.(cg i l) in
+  let scale =
+    match p.scale with
+    | None -> c.scale
+    | Some sc ->
+        Some
+          (fun i l ->
+            let s0 = sc.(cg i l) in
+            match c.scale with
+            | None -> s0
+            | Some s -> Complex.mul (s i l) s0)
+  in
+  { c with gather; scale }
+
+(* Backward fusion: pending pure permutation follows the chain's last
+   pass [c]; rewrite its scatter through the inverse permutation. *)
+let fuse_backward n (c : Ir.pass) (p : pending) : Ir.pass option =
+  match p.scale with
+  | Some _ -> None
+  | None ->
+      let pinv = Array.make n (-1) in
+      let ok = ref true in
+      (try
+         for q = 0 to n - 1 do
+           let s = p.perm.(q) in
+           if pinv.(s) >= 0 then begin
+             ok := false;
+             raise Exit
+           end;
+           pinv.(s) <- q
+         done
+       with Exit -> ());
+      if not !ok then None
+      else begin
+        let cs = c.scatter in
+        Some { c with scatter = (fun i l -> pinv.(cs i l)) }
+      end
+
+let residual n (p : pending) : Ir.pass =
+  let perm = p.perm in
+  {
+    Ir.count = n;
+    radix = 1;
+    par = p.par;
+    kernel = Codelet.dft 1;
+    gather = (fun i _l -> perm.(i));
+    scatter = (fun i _l -> i);
+    scale = Option.map (fun sc i (_l : int) -> sc.(i)) p.scale;
+    hint = p.hint;
+  }
+
+let fuse_data (ir : Ir.t) : Ir.t =
+  let n = ir.n in
+  let out = ref [] in
+  let pending = ref None in
+  let flush () =
+    match !pending with
+    | None -> ()
+    | Some p ->
+        out := residual n p :: !out;
+        pending := None
+  in
+  List.iter
+    (fun (p : Ir.pass) ->
+      if is_data_pass p then
+        match compose n !pending p with
+        | Some pd -> pending := Some pd
+        | None ->
+            flush ();
+            out := p :: !out
+      else begin
+        (match !pending with
+        | Some pd ->
+            out := fuse_forward p pd :: !out;
+            pending := None
+        | None -> out := p :: !out)
+      end)
+    ir.passes;
+  (match (!pending, !out) with
+  | None, _ -> ()
+  | Some pd, last :: rest -> (
+      match fuse_backward n last pd with
+      | Some last' ->
+          out := last' :: rest;
+          pending := None
+      | None -> flush ())
+  | Some _, [] -> flush ());
+  let passes = List.rev !out in
+  let fused = List.length ir.passes - List.length passes in
+  if fused > 0 then Counters.incr ~by:fused counter_fused;
+  { ir with passes }

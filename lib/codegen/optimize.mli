@@ -1,0 +1,25 @@
+(** IR post-pass: permutation-pass fusion.
+
+    Folds pure data-movement passes (stride permutations, identity-kernel
+    copies, standalone diagonals — radix-1 passes with an identity
+    kernel) into the gather addressing and load-scale of the following
+    computation pass, or — for a trailing pure permutation — into the
+    scatter of the preceding pass.  This reproduces at plan level the
+    Σ-SPL loop merging the compiler already performs at formula level,
+    but works on any pass list, including [explicit_data] compilations
+    and hand-built IR.
+
+    Legality conditions are specified in DESIGN.md ("Pass fusion").  A
+    data pass that fails them (not full-size, non-bijective scatter,
+    out-of-range gather, or a trailing chain carrying a diagonal) is
+    emitted as a residual explicit pass: [fuse_data] never changes the
+    computed transform. *)
+
+val fuse_data : Ir.t -> Ir.t
+(** Fuse away data-movement passes.  The number of eliminated passes is
+    added to the {!Spiral_util.Counters} counter
+    ["optimize.fused_passes"]. *)
+
+val is_data_pass : Ir.pass -> bool
+(** True for radix-1 passes whose kernel is the identity (the passes
+    {!fuse_data} targets). *)

@@ -1,6 +1,9 @@
 type addressing =
   | Strided of {
       exts : int array;  (** loop extents, outermost first *)
+      suffix : int array;
+          (** suffix products of [exts]: [suffix.(j)] = Π extents from
+              level [j]; length [Array.length exts + 1], innermost 1 *)
       gstrs : int array;  (** gather stride per loop level *)
       sstrs : int array;
       g0 : int;
@@ -20,12 +23,47 @@ type pass = {
   flops : int;
 }
 
+(* Per-worker execution context: codelet scratch plus the odometer digit
+   buffer, preallocated so the pass loops allocate nothing. *)
+type ctx = { cscratch : Codelet.scratch; dig : int array }
+
 type t = {
   n : int;
   passes : pass array;
   tmp_a : float array;
   tmp_b : float array;
+  ctx : ctx;  (** Scratch of the sequential executor (worker 0). *)
+  mutable wctx : ctx array;
+      (** Per-worker scratch, grown by [ensure_worker_ctxs]. *)
+  mutable elision : (int * bool array) list;
+      (** Cache of barrier-elision masks, keyed by worker count
+          (maintained by [Par_exec.elision_mask]). *)
 }
+
+let max_depth passes =
+  Array.fold_left
+    (fun acc p ->
+      match p.addr with
+      | Strided { exts; _ } -> max acc (Array.length exts)
+      | Indexed _ -> acc)
+    1 passes
+
+let make_ctx_for passes =
+  { cscratch = Codelet.make_scratch (); dig = Array.make (max_depth passes) 0 }
+
+let make_ctx t = make_ctx_for t.passes
+let context t = t.ctx
+
+let ensure_worker_ctxs t workers =
+  let len = Array.length t.wctx in
+  if len < workers then
+    t.wctx <-
+      Array.init workers (fun i ->
+          if i < len then t.wctx.(i) else make_ctx_for t.passes)
+
+let worker_ctx t w =
+  ensure_worker_ctxs t (w + 1);
+  t.wctx.(w)
 
 let affine_check_threshold = 1 lsl 16
 
@@ -112,7 +150,12 @@ let materialize_pass (p : Ir.pass) : pass =
         detect ~count:p.count ~radix:p.radix ~exts p.scatter )
     with
     | Some (g0, gstrs, gl), Some (s0, sstrs, sl) ->
-        Strided { exts; gstrs; sstrs; g0; s0; gl; sl }
+        let k = Array.length exts in
+        let suffix = Array.make (k + 1) 1 in
+        for j = k - 1 downto 0 do
+          suffix.(j) <- suffix.(j + 1) * exts.(j)
+        done;
+        Strided { exts; suffix; gstrs; sstrs; g0; s0; gl; sl }
     | _ ->
         let size = p.count * p.radix in
         let gidx = Array.make size 0 and sidx = Array.make size 0 in
@@ -148,8 +191,14 @@ let materialize_pass (p : Ir.pass) : pass =
     flops = Ir.pass_flops p;
   }
 
-let of_ir (ir : Ir.t) =
+let of_ir ?(fuse = true) ?(baseline = false) (ir : Ir.t) =
+  let ir = if fuse then Optimize.fuse_data ir else ir in
   let passes = Array.of_list (List.map materialize_pass ir.passes) in
+  let passes =
+    if baseline then
+      Array.map (fun p -> { p with kernel = Codelet.legacy p.kernel }) passes
+    else passes
+  in
   let need_tmp = Array.length passes > 1 in
   let tmp_size = if need_tmp then 2 * ir.n else 0 in
   {
@@ -157,94 +206,188 @@ let of_ir (ir : Ir.t) =
     passes;
     tmp_a = Array.make tmp_size 0.0;
     tmp_b = Array.make (if Array.length passes > 2 then tmp_size else 0) 0.0;
+    ctx = make_ctx_for passes;
+    wctx = [||];
+    elision = [];
   }
 
-let of_formula ?explicit_data f = of_ir (Ir.of_formula ?explicit_data f)
+let of_formula ?fuse ?baseline ?(explicit_data = false) f =
+  (* [explicit_data] plans exist to show the unmerged execution; fusing
+     them back would defeat the point, so fusion defaults off for them. *)
+  let fuse = match fuse with Some b -> b | None -> not explicit_data in
+  of_ir ~fuse ?baseline (Ir.of_formula ~explicit_data f)
 
 let clone t =
   {
     t with
     tmp_a = Array.make (Array.length t.tmp_a) 0.0;
     tmp_b = Array.make (Array.length t.tmp_b) 0.0;
+    ctx = make_ctx_for t.passes;
+    wctx = [||];
   }
 
-(* Run iterations [lo, hi) of a strided pass with an odometer: per-level
-   bases are updated incrementally, so the inner loop is straight-line. *)
-let run_strided ~radix ~exts ~gstrs ~sstrs ~g0 ~s0 ~gl ~sl ~lo ~hi
-    (body : int -> int -> int -> unit) =
-  let k = Array.length exts in
-  let dig = Array.make k 0 in
-  (* initialize digits and bases for [lo] *)
-  let suffix = Array.make (k + 1) 1 in
-  for j = k - 1 downto 0 do
-    suffix.(j) <- suffix.(j + 1) * exts.(j)
-  done;
-  let bg = ref g0 and bs = ref s0 in
-  for j = 0 to k - 1 do
-    dig.(j) <- lo / suffix.(j + 1) mod exts.(j);
-    bg := !bg + (dig.(j) * gstrs.(j));
-    bs := !bs + (dig.(j) * sstrs.(j))
-  done;
-  ignore radix;
-  ignore gl;
-  ignore sl;
-  for i = lo to hi - 1 do
-    body i !bg !bs;
-    (* advance the odometer *)
-    let j = ref (k - 1) in
-    let continue = ref true in
-    while !continue do
-      dig.(!j) <- dig.(!j) + 1;
-      bg := !bg + gstrs.(!j);
-      bs := !bs + sstrs.(!j);
-      if dig.(!j) = exts.(!j) && !j > 0 then begin
-        dig.(!j) <- 0;
-        bg := !bg - (exts.(!j) * gstrs.(!j));
-        bs := !bs - (exts.(!j) * sstrs.(!j));
-        decr j
-      end
-      else continue := false
-    done
-  done
+(* ------------------------------------------------------------------ *)
+(* Pass execution.  Strided passes run an odometer: per-level bases are
+   updated incrementally so the inner loop is straight-line integer
+   arithmetic plus one kernel call — no closures, no allocation.  The
+   four (twiddle × unit-stride) variants are monomorphized by hand; the
+   odometer block is intentionally duplicated in each, because hoisting
+   it into a local function would box the running state.  This subsumes
+   the old [run_strided] helper (whose [radix]/[gl]/[sl] parameters were
+   dead). *)
 
-let run_pass_range p ~src ~dst ~lo ~hi =
+let run_pass_range ctx p ~src ~dst ~lo ~hi =
   let r = p.radix in
-  match (p.addr, p.tw) with
-  | Strided { exts; gstrs; sstrs; g0; s0; gl; sl }, None ->
-      let k = p.kernel.Codelet.strided in
-      run_strided ~radix:r ~exts ~gstrs ~sstrs ~g0 ~s0 ~gl ~sl ~lo ~hi
-        (fun _i bg bs -> k src bg gl dst bs sl)
-  | Strided { exts; gstrs; sstrs; g0; s0; gl; sl }, Some tw ->
-      let k = p.kernel.Codelet.strided_tw in
-      run_strided ~radix:r ~exts ~gstrs ~sstrs ~g0 ~s0 ~gl ~sl ~lo ~hi
-        (fun i bg bs -> k src bg gl dst bs sl tw (i * r))
-  | Indexed { gidx; sidx }, None ->
-      let k = p.kernel.Codelet.indexed in
-      for i = lo to hi - 1 do
-        k src gidx (i * r) dst sidx (i * r)
-      done
-  | Indexed { gidx; sidx }, Some tw ->
-      let k = p.kernel.Codelet.indexed_tw in
-      for i = lo to hi - 1 do
-        k src gidx (i * r) dst sidx (i * r) tw (i * r)
-      done
+  let cs = ctx.cscratch in
+  match p.addr with
+  | Strided { exts; suffix; gstrs; sstrs; g0; s0; gl; sl } -> (
+      let k = Array.length exts in
+      let dig = ctx.dig in
+      let bg = ref g0 and bs = ref s0 in
+      for j = 0 to k - 1 do
+        let d = lo / suffix.(j + 1) mod exts.(j) in
+        dig.(j) <- d;
+        bg := !bg + (d * gstrs.(j));
+        bs := !bs + (d * sstrs.(j))
+      done;
+      match p.tw with
+      | None ->
+          if gl = 1 && sl = 1 then begin
+            let kern = p.kernel.Codelet.strided_u in
+            for _i = lo to hi - 1 do
+              kern cs src !bg dst !bs;
+              let j = ref (k - 1) in
+              let moving = ref true in
+              while !moving do
+                dig.(!j) <- dig.(!j) + 1;
+                bg := !bg + gstrs.(!j);
+                bs := !bs + sstrs.(!j);
+                if dig.(!j) = exts.(!j) && !j > 0 then begin
+                  dig.(!j) <- 0;
+                  bg := !bg - (exts.(!j) * gstrs.(!j));
+                  bs := !bs - (exts.(!j) * sstrs.(!j));
+                  decr j
+                end
+                else moving := false
+              done
+            done
+          end
+          else begin
+            let kern = p.kernel.Codelet.strided in
+            for _i = lo to hi - 1 do
+              kern cs src !bg gl dst !bs sl;
+              let j = ref (k - 1) in
+              let moving = ref true in
+              while !moving do
+                dig.(!j) <- dig.(!j) + 1;
+                bg := !bg + gstrs.(!j);
+                bs := !bs + sstrs.(!j);
+                if dig.(!j) = exts.(!j) && !j > 0 then begin
+                  dig.(!j) <- 0;
+                  bg := !bg - (exts.(!j) * gstrs.(!j));
+                  bs := !bs - (exts.(!j) * sstrs.(!j));
+                  decr j
+                end
+                else moving := false
+              done
+            done
+          end
+      | Some tw ->
+          if gl = 1 && sl = 1 then begin
+            let kern = p.kernel.Codelet.strided_u_tw in
+            for i = lo to hi - 1 do
+              kern cs src !bg dst !bs tw (i * r);
+              let j = ref (k - 1) in
+              let moving = ref true in
+              while !moving do
+                dig.(!j) <- dig.(!j) + 1;
+                bg := !bg + gstrs.(!j);
+                bs := !bs + sstrs.(!j);
+                if dig.(!j) = exts.(!j) && !j > 0 then begin
+                  dig.(!j) <- 0;
+                  bg := !bg - (exts.(!j) * gstrs.(!j));
+                  bs := !bs - (exts.(!j) * sstrs.(!j));
+                  decr j
+                end
+                else moving := false
+              done
+            done
+          end
+          else begin
+            let kern = p.kernel.Codelet.strided_tw in
+            for i = lo to hi - 1 do
+              kern cs src !bg gl dst !bs sl tw (i * r);
+              let j = ref (k - 1) in
+              let moving = ref true in
+              while !moving do
+                dig.(!j) <- dig.(!j) + 1;
+                bg := !bg + gstrs.(!j);
+                bs := !bs + sstrs.(!j);
+                if dig.(!j) = exts.(!j) && !j > 0 then begin
+                  dig.(!j) <- 0;
+                  bg := !bg - (exts.(!j) * gstrs.(!j));
+                  bs := !bs - (exts.(!j) * sstrs.(!j));
+                  decr j
+                end
+                else moving := false
+              done
+            done
+          end)
+  | Indexed { gidx; sidx } -> (
+      match p.tw with
+      | None ->
+          let kern = p.kernel.Codelet.indexed in
+          for i = lo to hi - 1 do
+            kern cs src gidx (i * r) dst sidx (i * r)
+          done
+      | Some tw ->
+          let kern = p.kernel.Codelet.indexed_tw in
+          for i = lo to hi - 1 do
+            kern cs src gidx (i * r) dst sidx (i * r) tw (i * r)
+          done)
 
-let src_dst_of_pass t ~x ~y k =
-  let last = Array.length t.passes - 1 in
-  let buf_out j =
-    if j = last then y else if j mod 2 = 0 then t.tmp_a else t.tmp_b
-  in
-  let src = if k = 0 then x else buf_out (k - 1) in
-  (src, buf_out k)
+(* Ping-pong buffer schedule: pass 0 reads [x], the last pass writes [y],
+   intermediates alternate tmp_a/tmp_b.  Split accessors so the executors
+   can resolve buffers without allocating a tuple. *)
+let pass_src t ~x k =
+  if k = 0 then x else if (k - 1) land 1 = 0 then t.tmp_a else t.tmp_b
+
+let pass_dst t ~y k =
+  if k = Array.length t.passes - 1 then y
+  else if k land 1 = 0 then t.tmp_a
+  else t.tmp_b
+
+let src_dst_of_pass t ~x ~y k = (pass_src t ~x k, pass_dst t ~y k)
 
 let execute t x y =
   if Array.length x <> 2 * t.n || Array.length y <> 2 * t.n then
     invalid_arg "Plan.execute: wrong vector length";
-  Array.iteri
-    (fun k p ->
-      let src, dst = src_dst_of_pass t ~x ~y k in
-      run_pass_range p ~src ~dst ~lo:0 ~hi:p.count)
-    t.passes
+  let last = Array.length t.passes - 1 in
+  for k = 0 to last do
+    let p = t.passes.(k) in
+    let src = if k = 0 then x else if (k - 1) land 1 = 0 then t.tmp_a else t.tmp_b in
+    let dst = if k = last then y else if k land 1 = 0 then t.tmp_a else t.tmp_b in
+    run_pass_range t.ctx p ~src ~dst ~lo:0 ~hi:p.count
+  done
+
+(* Per-iteration address computation (analysis/simulation path — this
+   allocates closures and is not used by the executors). *)
+let iter_addresses (p : pass) =
+  match p.addr with
+  | Strided { suffix; exts; gstrs; sstrs; g0; s0; gl; sl } ->
+      let k = Array.length exts in
+      fun i ->
+        let bg = ref g0 and bs = ref s0 in
+        for j = 0 to k - 1 do
+          let d = i / suffix.(j + 1) mod exts.(j) in
+          bg := !bg + (d * gstrs.(j));
+          bs := !bs + (d * sstrs.(j))
+        done;
+        ((fun l -> !bg + (l * gl)), fun l -> !bs + (l * sl))
+  | Indexed { gidx; sidx } ->
+      fun i ->
+        let base = i * p.radix in
+        ((fun l -> gidx.(base + l)), fun l -> sidx.(base + l))
 
 let total_flops t = Array.fold_left (fun acc p -> acc + p.flops) 0 t.passes
 

@@ -6,11 +6,19 @@
     {!affine_check_threshold}) or precomputed index tables, and evaluates
     scale functions into interleaved twiddle tables.  This is the moment
     "program generation" happens: the result is straight-line addressing +
-    unrolled codelets, no formula interpretation remains on the hot path. *)
+    unrolled codelets, no formula interpretation remains on the hot path.
+
+    Execution is allocation-free in steady state: every worker runs with
+    a preallocated {!ctx} (codelet scratch + odometer digits), and the
+    strided pass loops are monomorphized over (twiddle × unit-stride) so
+    the inner loop is integer arithmetic plus one kernel call. *)
 
 type addressing =
   | Strided of {
       exts : int array;
+      suffix : int array;
+          (** Suffix products of [exts] (length [Array.length exts + 1],
+              [suffix.(j)] = product of extents from level [j]). *)
       gstrs : int array;
       sstrs : int array;
       g0 : int;
@@ -35,41 +43,87 @@ type pass = {
   flops : int;
 }
 
+type ctx
+(** Per-worker execution context (codelet scratch + odometer digit
+    buffer).  A ctx must not be shared by concurrently running domains. *)
+
 type t = {
   n : int;
   passes : pass array;
   tmp_a : float array;  (** Intermediate buffers (ping-pong). *)
   tmp_b : float array;
+  ctx : ctx;  (** Context of the sequential executor. *)
+  mutable wctx : ctx array;
+      (** Per-worker contexts; use {!ensure_worker_ctxs} / {!worker_ctx}. *)
+  mutable elision : (int * bool array) list;
+      (** Barrier-elision mask cache, keyed by worker count; owned by
+          [Par_exec.elision_mask]. *)
 }
 
 val affine_check_threshold : int
 (** Below this many (iteration, element) points, affinity of index
     functions is verified exhaustively; above, densely sampled. *)
 
-val of_ir : Ir.t -> t
+val of_ir : ?fuse:bool -> ?baseline:bool -> Ir.t -> t
+(** [fuse] (default [true]) runs {!Optimize.fuse_data} before
+    materializing.  [baseline] (default [false]) swaps every kernel for
+    its {!Codelet.legacy} implementation — the pre-optimization hot path,
+    for benchmark ablations only. *)
 
-val of_formula : ?explicit_data:bool -> Spiral_spl.Formula.t -> t
+val of_formula :
+  ?fuse:bool -> ?baseline:bool -> ?explicit_data:bool ->
+  Spiral_spl.Formula.t -> t
+(** As {!of_ir} ∘ {!Ir.of_formula}.  [fuse] defaults to [true] except
+    when [explicit_data] is set (an explicit plan exists to show the
+    unmerged execution; pass [~fuse:true] explicitly to measure fusion
+    against it). *)
+
+val context : t -> ctx
+(** The plan's own (sequential-execution) context. *)
+
+val make_ctx : t -> ctx
+(** A fresh context for this plan — one per concurrent worker. *)
+
+val ensure_worker_ctxs : t -> int -> unit
+(** [ensure_worker_ctxs t p] grows [t.wctx] to at least [p] contexts.
+    Call before handing the plan to [p] workers; not itself thread-safe. *)
+
+val worker_ctx : t -> int -> ctx
+(** [worker_ctx t w] is the context of worker [w], growing the cache if
+    needed (call {!ensure_worker_ctxs} first when used concurrently). *)
 
 val run_pass_range :
-  pass -> src:float array -> dst:float array -> lo:int -> hi:int -> unit
+  ctx -> pass -> src:float array -> dst:float array -> lo:int -> hi:int ->
+  unit
 (** Execute iterations [lo, hi) of a pass.  The building block for both
-    sequential and multi-threaded execution. *)
+    sequential and multi-threaded execution; allocation-free for strided
+    passes. *)
+
+val pass_src : t -> x:float array -> int -> float array
+(** Source buffer of pass [k] under the ping-pong schedule (pass 0 reads
+    [x], intermediates alternate [tmp_a]/[tmp_b]). *)
+
+val pass_dst : t -> y:float array -> int -> float array
+(** Destination buffer of pass [k] (the last pass writes [y]). *)
 
 val src_dst_of_pass :
   t -> x:float array -> y:float array -> int -> float array * float array
-(** [src_dst_of_pass plan ~x ~y k] is the (source, destination) buffer pair
-    of pass [k] under the plan's ping-pong schedule: pass 0 reads [x], the
-    last pass writes [y], intermediates alternate [tmp_a]/[tmp_b]. *)
+(** [pass_src] and [pass_dst] as a pair (allocates; analysis use). *)
+
+val iter_addresses : pass -> int -> (int -> int) * (int -> int)
+(** [iter_addresses p i] is the (gather, scatter) element-index functions
+    of iteration [i] — the simulator's and the elision analysis's view of
+    a pass's memory footprint.  Allocates closures; not an executor path. *)
 
 val clone : t -> t
 (** A plan sharing all immutable state (kernels, index tables, twiddles)
-    but with fresh intermediate buffers — for concurrent execution of the
-    same transform from several threads. *)
+    but with fresh intermediate buffers and contexts — for concurrent
+    execution of the same transform from several threads. *)
 
 val execute : t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t -> unit
 (** [execute plan x y] computes [y = A x] sequentially.  [x] and [y] must
     be distinct vectors of length [n].  Not re-entrant: a plan owns its
-    intermediate buffers ({!clone} for concurrent use). *)
+    intermediate buffers and context ({!clone} for concurrent use). *)
 
 val total_flops : t -> int
 

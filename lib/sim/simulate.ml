@@ -141,28 +141,6 @@ let make_layout (plan : Plan.t) mu =
   in
   { x_base; y_base; a_base; b_base; tw_base; total_lines = (!cursor / mu) + 2 }
 
-(* Per-iteration address computation for a pass. *)
-let iter_addresses (p : Plan.pass) =
-  match p.addr with
-  | Plan.Strided { exts; gstrs; sstrs; g0; s0; gl; sl } ->
-      let k = Array.length exts in
-      let suffix = Array.make (k + 1) 1 in
-      for j = k - 1 downto 0 do
-        suffix.(j) <- suffix.(j + 1) * exts.(j)
-      done;
-      fun i ->
-        let bg = ref g0 and bs = ref s0 in
-        for j = 0 to k - 1 do
-          let d = i / suffix.(j + 1) mod exts.(j) in
-          bg := !bg + (d * gstrs.(j));
-          bs := !bs + (d * sstrs.(j))
-        done;
-        ((fun l -> !bg + (l * gl)), fun l -> !bs + (l * sl))
-  | Plan.Indexed { gidx; sidx } ->
-      fun i ->
-        let base = i * p.radix in
-        ((fun l -> gidx.(base + l)), fun l -> sidx.(base + l))
-
 (* Per-worker iteration cursor over the schedule's (lo, hi) ranges,
    without materializing the index list. *)
 type cursor = { mutable ranges : (int * int) list; mutable pos : int }
@@ -186,7 +164,7 @@ let cursor_next c =
         Some i
       end
 
-let simulate_stream sys (plan : Plan.t) layout backend schedule =
+let simulate_stream sys (plan : Plan.t) layout backend schedule mask =
   let m = sys.m in
   let p_workers = match backend with Seq -> 1 | Pooled p | ForkJoin p -> p in
   let mu = sys.mu in
@@ -206,7 +184,7 @@ let simulate_stream sys (plan : Plan.t) layout backend schedule =
         ((if k = 0 then layout.x_base else buf_out (k - 1)), buf_out k)
       in
       let twb = layout.tw_base.(k) in
-      let addrs = iter_addresses pass in
+      let addrs = Plan.iter_addresses pass in
       let r = pass.radix in
       let iter_cost =
         (float_of_int (pass.kernel.Codelet.flops + if twb >= 0 then 6 * r else 0)
@@ -261,9 +239,16 @@ let simulate_stream sys (plan : Plan.t) layout backend schedule =
       let sync =
         match backend with
         | Seq -> 0.0
-        | Pooled _ -> float_of_int m.Machine.barrier_cycles
+        | Pooled _ ->
+            (* an elided boundary costs nothing; the final barrier after
+               the last pass is never elided *)
+            if k < Array.length mask && mask.(k) then 0.0
+            else float_of_int m.Machine.barrier_cycles
         | ForkJoin p ->
             if pass.par = None then 0.0
+            else if k > 0 && k - 1 < Array.length mask && mask.(k - 1) then
+              (* continues the previous pass's spawn/join region *)
+              0.0
             else float_of_int (m.Machine.thread_spawn_cycles * (p - 1) / p)
       in
       for c = 0 to sys.cores - 1 do
@@ -274,8 +259,16 @@ let simulate_stream sys (plan : Plan.t) layout backend schedule =
     plan.passes;
   !total
 
-let run ?(schedule = Par_exec.Block) ?(warm = true) m backend plan =
+let run ?(schedule = Par_exec.Block) ?(warm = true) ?(elide = true) m backend
+    plan =
   let mu = Machine.mu m in
+  let mask =
+    match backend with
+    | Seq -> [||]
+    | Pooled p | ForkJoin p ->
+        if elide then Par_exec.elision_mask ~schedule ~workers:p plan
+        else [||]
+  in
   let layout = make_layout plan mu in
   let cores = m.Machine.cores in
   let sys =
@@ -301,10 +294,10 @@ let run ?(schedule = Par_exec.Block) ?(warm = true) m backend plan =
       stage_bus = 0.0;
     }
   in
-  if warm then ignore (simulate_stream sys plan layout backend schedule);
+  if warm then ignore (simulate_stream sys plan layout backend schedule mask);
   Array.fill sys.total_core_cycles 0 cores 0.0;
   sys.counting <- true;
-  let cycles = simulate_stream sys plan layout backend schedule in
+  let cycles = simulate_stream sys plan layout backend schedule mask in
   let seconds = cycles /. (m.Machine.ghz *. 1e9) in
   let n = float_of_int plan.n in
   let pseudo_flops = 5.0 *. n *. (log n /. log 2.0) in

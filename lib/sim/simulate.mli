@@ -36,10 +36,15 @@ type result = {
 val run :
   ?schedule:Spiral_smp.Par_exec.schedule ->
   ?warm:bool ->
+  ?elide:bool ->
   Machine.t ->
   backend ->
   Spiral_codegen.Plan.t ->
   result
 (** Simulate one execution.  [warm] (default [true]) replays the stream
     once beforehand so caches and ownership are in steady state, matching
-    how the paper measures repeated transforms. *)
+    how the paper measures repeated transforms.  [elide] (default [true])
+    mirrors the executors' barrier elision
+    ({!Spiral_smp.Par_exec.elision_mask}): elided boundaries charge no
+    barrier cycles under [Pooled] and extend the current spawn/join
+    region under [ForkJoin]. *)

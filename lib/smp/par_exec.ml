@@ -22,26 +22,139 @@ let worker_range sched ~count ~workers w =
       in
       go (w * c) []
 
-let run_worker_pass sched p ~src ~dst ~workers w =
+(* ---------------------------------------------------------------- *)
+(* Barrier elision.  The barrier between passes k and k+1 can be skipped
+   when the passes are partition-compatible under the Block schedule
+   (legality conditions in DESIGN.md):
+
+   A. every position pass k+1 gathers for worker w was scattered by the
+      same worker w in pass k (each worker reads only its own writes);
+   B. when pass k's input buffer is also pass k+1's output buffer (the
+      ping-pong schedule aliases them whenever both are intermediates),
+      every position pass k+1 scatters for worker w is gathered in pass k
+      by no worker other than w (no write-before-read of another
+      worker's pending input);
+   and never two boundaries in a row (an elided barrier lets workers skew
+   by one pass; chaining would allow a skew of two, and conditions A/B
+   are only pairwise).  With a single worker there is no concurrency and
+   every boundary is elidable.
+
+   The analysis walks the exact Block partition and the materialized
+   addressing, so it is conservative only where it refuses. *)
+
+let compute_elision ~workers (plan : Plan.t) =
+  let np = Array.length plan.Plan.passes in
+  let nb = max 0 (np - 1) in
+  let mask = Array.make nb false in
+  if workers = 1 then Array.fill mask 0 nb true
+  else begin
+    let n = plan.Plan.n in
+    let writer = Array.make n (-1) in
+    let reader = Array.make n (-1) in
+    for b = 0 to nb - 1 do
+      let pk = plan.Plan.passes.(b) and pk1 = plan.Plan.passes.(b + 1) in
+      if pk.Plan.par <> None && pk1.Plan.par <> None then begin
+        Array.fill writer 0 n (-1);
+        Array.fill reader 0 n (-1);
+        let addrs_k = Plan.iter_addresses pk in
+        let addrs_k1 = Plan.iter_addresses pk1 in
+        (* footprint of pass k per worker *)
+        for w = 0 to workers - 1 do
+          List.iter
+            (fun (lo, hi) ->
+              for i = lo to hi - 1 do
+                let g, s = addrs_k i in
+                for l = 0 to pk.Plan.radix - 1 do
+                  writer.(s l) <- w;
+                  let gp = g l in
+                  if reader.(gp) = -1 then reader.(gp) <- w
+                  else if reader.(gp) <> w then reader.(gp) <- -2
+                done
+              done)
+            (worker_range Block ~count:pk.Plan.count ~workers w)
+        done;
+        (* in(k) and out(k+1) alias iff both are ping-pong intermediates *)
+        let aliasing = b > 0 && b + 1 < np - 1 in
+        let ok = ref true in
+        (try
+           for w = 0 to workers - 1 do
+             List.iter
+               (fun (lo, hi) ->
+                 for i = lo to hi - 1 do
+                   let g, s = addrs_k1 i in
+                   for l = 0 to pk1.Plan.radix - 1 do
+                     if writer.(g l) <> w then begin
+                       ok := false;
+                       raise Exit
+                     end;
+                     if aliasing then begin
+                       let rd = reader.(s l) in
+                       if rd <> -1 && rd <> w then begin
+                         ok := false;
+                         raise Exit
+                       end
+                     end
+                   done
+                 done)
+               (worker_range Block ~count:pk1.Plan.count ~workers w)
+           done
+         with Exit -> ());
+        mask.(b) <- !ok
+      end
+    done;
+    (* no chained elisions: a skipped barrier must be followed by a real
+       one, keeping worker skew bounded by a single pass *)
+    for b = 1 to nb - 1 do
+      if mask.(b) && mask.(b - 1) then mask.(b) <- false
+    done
+  end;
+  mask
+
+let empty_mask = [||]
+
+let elision_mask ?(schedule = Block) ~workers (plan : Plan.t) =
+  match schedule with
+  | Cyclic _ -> empty_mask
+  | Block -> (
+      match List.assoc_opt workers plan.Plan.elision with
+      | Some m -> m
+      | None ->
+          let m = compute_elision ~workers plan in
+          plan.Plan.elision <- (workers, m) :: plan.Plan.elision;
+          m)
+
+let run_worker_pass ctx sched p ~src ~dst ~workers w =
   match p.Plan.par with
   | Some _ ->
       List.iter
-        (fun (lo, hi) -> Plan.run_pass_range p ~src ~dst ~lo ~hi)
+        (fun (lo, hi) -> Plan.run_pass_range ctx p ~src ~dst ~lo ~hi)
         (worker_range sched ~count:p.Plan.count ~workers w)
-  | None -> if w = 0 then Plan.run_pass_range p ~src ~dst ~lo:0 ~hi:p.Plan.count
+  | None ->
+      if w = 0 then Plan.run_pass_range ctx p ~src ~dst ~lo:0 ~hi:p.Plan.count
 
-let execute pool ?(schedule = Block) ?timeout plan x y =
+let execute pool ?(schedule = Block) ?(elide = true) ?timeout plan x y =
   let workers = Pool.size pool in
+  let mask =
+    if elide then elision_mask ~schedule ~workers plan else empty_mask
+  in
+  let nb = Array.length mask in
+  let elided = ref 0 in
+  for b = 0 to nb - 1 do
+    if mask.(b) then incr elided
+  done;
+  if !elided > 0 then Counters.incr ~by:!elided "par_exec.barrier_elided";
+  Plan.ensure_worker_ctxs plan workers;
   let barrier = Barrier.create ?timeout workers in
+  let np = Array.length plan.Plan.passes in
   Pool.run pool (fun w ->
-      let ctx = Barrier.make_ctx barrier in
-      Array.iteri
-        (fun k p ->
-          Fault.check "par_exec.pass";
-          let src, dst = Plan.src_dst_of_pass plan ~x ~y k in
-          run_worker_pass schedule p ~src ~dst ~workers w;
-          Barrier.wait barrier ctx)
-        plan.Plan.passes)
+      let bctx = Barrier.make_ctx barrier in
+      let ctx = Plan.worker_ctx plan w in
+      for k = 0 to np - 1 do
+        Fault.check "par_exec.pass";
+        let src = Plan.pass_src plan ~x k and dst = Plan.pass_dst plan ~y k in
+        run_worker_pass ctx schedule plan.Plan.passes.(k) ~src ~dst ~workers w;
+        if k >= nb || not mask.(k) then Barrier.wait barrier bctx
+      done)
 
 (* Failures the supervised executor can recover from: worker exceptions
    (including injected faults and barrier timeouts recorded per worker)
@@ -51,15 +164,15 @@ let recoverable = function
   | Pool.Worker_errors _ | Pool.Deadlock _ | Barrier.Timeout _ -> true
   | _ -> false
 
-let execute_safe pool ?schedule ?timeout plan x y =
+let execute_safe pool ?schedule ?elide ?timeout plan x y =
   let heal_if_needed () =
     if not (Pool.healthy pool) then try Pool.heal pool with _ -> ()
   in
-  try execute pool ?schedule ?timeout plan x y
+  try execute pool ?schedule ?elide ?timeout plan x y
   with e when recoverable e -> (
     Counters.incr "par_exec.retry";
     heal_if_needed ();
-    try execute pool ?schedule ?timeout plan x y
+    try execute pool ?schedule ?elide ?timeout plan x y
     with e when recoverable e ->
       heal_if_needed ();
       (* Sequential execution recomputes every pass over its full range
@@ -68,20 +181,53 @@ let execute_safe pool ?schedule ?timeout plan x y =
       Counters.incr "par_exec.sequential_fallback";
       Plan.execute plan x y)
 
-let execute_fork_join ~p ?(schedule = Block) plan x y =
+let execute_fork_join ~p ?(schedule = Block) ?(elide = true) plan x y =
   if p < 1 then invalid_arg "Par_exec.execute_fork_join: p >= 1";
-  Array.iteri
-    (fun k pass ->
-      let src, dst = Plan.src_dst_of_pass plan ~x ~y k in
-      match pass.Plan.par with
-      | None -> Plan.run_pass_range pass ~src ~dst ~lo:0 ~hi:pass.Plan.count
-      | Some _ ->
-          (* OpenMP-style parallel region: spawn, work, join. *)
-          let domains =
-            Array.init (p - 1) (fun i ->
-                Domain.spawn (fun () ->
-                    run_worker_pass schedule pass ~src ~dst ~workers:p (i + 1)))
-          in
-          run_worker_pass schedule pass ~src ~dst ~workers:p 0;
-          Array.iter Domain.join domains)
-    plan.Plan.passes
+  let mask =
+    if elide then elision_mask ~schedule ~workers:p plan else empty_mask
+  in
+  let np = Array.length plan.Plan.passes in
+  Plan.ensure_worker_ctxs plan p;
+  let k = ref 0 in
+  while !k < np do
+    let pass = plan.Plan.passes.(!k) in
+    match pass.Plan.par with
+    | None ->
+        let src = Plan.pass_src plan ~x !k
+        and dst = Plan.pass_dst plan ~y !k in
+        Plan.run_pass_range (Plan.worker_ctx plan 0) pass ~src ~dst ~lo:0
+          ~hi:pass.Plan.count;
+        incr k
+    | Some _ ->
+        (* OpenMP-style parallel region: spawn, work, join.  Consecutive
+           parallel passes joined by an elidable boundary share one
+           region, saving a spawn/join cycle per elision. *)
+        let k0 = !k in
+        let last = ref k0 in
+        while
+          !last + 1 < np
+          && (match plan.Plan.passes.(!last + 1).Plan.par with
+             | Some _ -> true
+             | None -> false)
+          && !last < Array.length mask
+          && mask.(!last)
+        do
+          incr last
+        done;
+        let k1 = !last in
+        let work w =
+          let ctx = Plan.worker_ctx plan w in
+          for j = k0 to k1 do
+            let src = Plan.pass_src plan ~x j
+            and dst = Plan.pass_dst plan ~y j in
+            run_worker_pass ctx schedule plan.Plan.passes.(j) ~src ~dst
+              ~workers:p w
+          done
+        in
+        let domains =
+          Array.init (p - 1) (fun i -> Domain.spawn (fun () -> work (i + 1)))
+        in
+        work 0;
+        Array.iter Domain.join domains;
+        k := k1 + 1
+  done

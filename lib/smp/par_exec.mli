@@ -16,7 +16,13 @@
     [schedule]: [Block] is the paper's schedule (contiguous chunks, rule
     (7)/(9), false-sharing free); [Cyclic c] hands out chunks of [c]
     iterations round-robin (FFTW-style block-cyclic — the false-sharing
-    baseline). *)
+    baseline).
+
+    Both executors elide the inter-pass barrier where a static analysis
+    proves the neighbouring passes partition-compatible under the Block
+    schedule ({!elision_mask}; legality conditions in DESIGN.md,
+    "Barrier elision").  The pooled executor skips the {!Barrier.wait};
+    the fork-join executor merges the passes into one spawn/join region. *)
 
 type schedule = Block | Cyclic of int
 
@@ -27,24 +33,41 @@ val worker_range :
     [0, count).  Exposed for the machine simulator, which replays the exact
     same schedule. *)
 
+val elision_mask :
+  ?schedule:schedule -> workers:int -> Spiral_codegen.Plan.t -> bool array
+(** [elision_mask ~workers plan] has one entry per pass boundary;
+    [mask.(k)] is true when the barrier between passes [k] and [k+1] is
+    provably unnecessary: both passes are parallel, under the Block
+    schedule every worker's pass-[k+1] gathers land in its own pass-[k]
+    scatters, writes into an aliased ping-pong buffer touch no other
+    worker's pending reads, and the previous boundary was not itself
+    elided (worker skew stays bounded by one pass).  [Cyclic] schedules
+    get an empty mask (no elision).  Results are cached on the plan per
+    worker count. *)
+
 val execute :
   Pool.t ->
   ?schedule:schedule ->
+  ?elide:bool ->
   ?timeout:float ->
   Spiral_codegen.Plan.t ->
   Spiral_util.Cvec.t ->
   Spiral_util.Cvec.t ->
   unit
 (** Pooled execution with spin barriers between passes.  Sequential passes
-    (no [par] annotation) run on worker 0 while others wait.  [timeout]
-    bounds every inter-pass barrier wait (default
-    {!Barrier.default_timeout}); each pass boundary declares the
-    fault-injection site ["par_exec.pass"] ({!Spiral_util.Fault}).
+    (no [par] annotation) run on worker 0 while others wait.  [elide]
+    (default [true]) skips the barriers licensed by {!elision_mask},
+    counting them into {!Spiral_util.Counters} under
+    ["par_exec.barrier_elided"].  [timeout] bounds every inter-pass
+    barrier wait (default {!Barrier.default_timeout}); each pass boundary
+    declares the fault-injection site ["par_exec.pass"]
+    ({!Spiral_util.Fault}).
     @raise Pool.Worker_errors, Pool.Deadlock on worker failure. *)
 
 val execute_safe :
   Pool.t ->
   ?schedule:schedule ->
+  ?elide:bool ->
   ?timeout:float ->
   Spiral_codegen.Plan.t ->
   Spiral_util.Cvec.t ->
@@ -61,8 +84,12 @@ val execute_safe :
 val execute_fork_join :
   p:int ->
   ?schedule:schedule ->
+  ?elide:bool ->
   Spiral_codegen.Plan.t ->
   Spiral_util.Cvec.t ->
   Spiral_util.Cvec.t ->
   unit
-(** Spawns [p - 1] fresh domains (joined before returning). *)
+(** Spawns [p - 1] fresh domains per parallel region (joined before
+    returning).  [elide] (default [true]) lets consecutive parallel
+    passes whose boundary {!elision_mask} licenses share one spawn/join
+    region. *)

@@ -11,30 +11,44 @@ let ci = Alcotest.int
 (* ------------------------------------------------------------------ *)
 (* Codelets: every addressing path against the naive DFT.              *)
 
+let cs = Codelet.make_scratch ()
+
 let run_strided (c : Codelet.t) x =
   let r = c.radix in
   let y = Cvec.create r in
-  c.strided x 0 1 y 0 1;
+  c.strided cs x 0 1 y 0 1;
   y
 
 let run_strided_rev (c : Codelet.t) x =
   (* feed the input reversed via stride -1, then un-reverse *)
   let r = c.radix in
   let y = Cvec.create r in
-  c.strided x (r - 1) (-1) y (r - 1) (-1);
+  c.strided cs x (r - 1) (-1) y (r - 1) (-1);
+  y
+
+let run_strided_u (c : Codelet.t) x =
+  let r = c.radix in
+  let y = Cvec.create r in
+  c.strided_u cs x 0 y 0;
   y
 
 let run_indexed (c : Codelet.t) x =
   let r = c.radix in
   let y = Cvec.create r in
   let idx = Array.init r (fun l -> l) in
-  c.indexed x idx 0 y idx 0;
+  c.indexed cs x idx 0 y idx 0;
   y
 
 let run_tw (c : Codelet.t) x tw =
   let r = c.radix in
   let y = Cvec.create r in
-  c.strided_tw x 0 1 y 0 1 tw 0;
+  c.strided_tw cs x 0 1 y 0 1 tw 0;
+  y
+
+let run_tw_u (c : Codelet.t) x tw =
+  let r = c.radix in
+  let y = Cvec.create r in
+  c.strided_u_tw cs x 0 y 0 tw 0;
   y
 
 let scale_vec x (d : Complex.t array) =
@@ -53,8 +67,14 @@ let test_codelet_strided () =
     (fun r ->
       let c = Codelet.dft r in
       let x = Cvec.random ~seed:r r in
+      let want = Naive_dft.dft x in
       check cb (Printf.sprintf "dft%d" r) true
-        (Cvec.max_abs_diff (run_strided c x) (Naive_dft.dft x) < 1e-9))
+        (Cvec.max_abs_diff (run_strided c x) want < 1e-9);
+      (* the monomorphized unit-stride fast path must agree exactly *)
+      check cb
+        (Printf.sprintf "dft%d unit" r)
+        true
+        (Cvec.max_abs_diff (run_strided_u c x) (run_strided c x) = 0.0))
     codelet_sizes
 
 let test_codelet_negative_stride () =
@@ -97,7 +117,7 @@ let test_codelet_indexed_scattered () =
   let perm = [| 2; 0; 3; 1 |] in
   let y = Cvec.create r in
   let id = Array.init r (fun l -> l) in
-  c.indexed x perm 0 y id 0;
+  c.indexed cs x perm 0 y id 0;
   let gathered = Cvec.create r in
   for l = 0 to r - 1 do
     Cvec.set gathered l (Cvec.get x perm.(l))
@@ -119,7 +139,11 @@ let test_codelet_twiddled () =
         d;
       let want = Naive_dft.dft (scale_vec x d) in
       check cb (Printf.sprintf "dft%d tw" r) true
-        (Cvec.max_abs_diff (run_tw c x tw) want < 1e-9))
+        (Cvec.max_abs_diff (run_tw c x tw) want < 1e-9);
+      check cb
+        (Printf.sprintf "dft%d tw unit" r)
+        true
+        (Cvec.max_abs_diff (run_tw_u c x tw) (run_tw c x tw) = 0.0))
     codelet_sizes
 
 let test_codelet_flops_sync () =

@@ -8,6 +8,7 @@ let () =
       ("rules", Test_rules.suite);
       ("derive", Test_derive.suite);
       ("codegen", Test_codegen.suite);
+      ("optimize", Test_optimize.suite);
       ("smp", Test_smp.suite);
       ("sim", Test_sim.suite);
       ("search", Test_search.suite);

@@ -1,0 +1,185 @@
+(* Permutation-pass fusion (Optimize) and its interaction with the
+   zero-allocation executor and barrier elision: the optimized plans must
+   be bit-for-bit the unoptimized ones, across sizes, worker counts, both
+   schedules, and under injected faults. *)
+
+open Spiral_util
+open Spiral_rewrite
+open Spiral_codegen
+open Spiral_smp
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let sixstep m n =
+  match Derive.six_step_dft ~p:2 ~mu:4 ~m ~n with
+  | Ok f -> f
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+
+let exec plan n x =
+  let y = Cvec.create n in
+  Plan.execute plan x y;
+  y
+
+(* ------------------------------------------------------------------ *)
+(* Fusion: pass-count shrink, counter, exactness                       *)
+
+let test_fusion_shrinks () =
+  Counters.reset ();
+  let ir = Ir.of_formula ~explicit_data:true (sixstep 16 16) in
+  check cb "explicit IR has data passes" true
+    (List.exists Optimize.is_data_pass ir.Ir.passes);
+  let fused = Optimize.fuse_data ir in
+  check cb "no data passes left" false
+    (List.exists Optimize.is_data_pass fused.Ir.passes);
+  check cb "fewer passes" true
+    (List.length fused.Ir.passes < List.length ir.Ir.passes);
+  check ci "eliminations counted"
+    (List.length ir.Ir.passes - List.length fused.Ir.passes)
+    (Counters.get "optimize.fused_passes");
+  Ir.validate fused
+
+let test_fusion_idempotent () =
+  let ir = Optimize.fuse_data (Ir.of_formula ~explicit_data:true (sixstep 16 16)) in
+  check ci "second fuse is a no-op"
+    (List.length ir.Ir.passes)
+    (List.length (Optimize.fuse_data ir).Ir.passes)
+
+let test_fused_exact () =
+  List.iter
+    (fun (m, n2) ->
+      let n = m * n2 in
+      let f = sixstep m n2 in
+      let unfused = Plan.of_formula ~explicit_data:true f in
+      let fused = Plan.of_formula ~explicit_data:true ~fuse:true f in
+      check cb
+        (Printf.sprintf "n=%d shrinks" n)
+        true
+        (Array.length fused.Plan.passes < Array.length unfused.Plan.passes);
+      let x = Cvec.random ~seed:n n in
+      let yu = exec unfused n x and yf = exec fused n x in
+      check cb
+        (Printf.sprintf "n=%d bit-for-bit vs unfused" n)
+        true
+        (Cvec.max_abs_diff yu yf = 0.0);
+      if n <= 1024 then
+        check cb
+          (Printf.sprintf "n=%d matches naive" n)
+          true
+          (Cvec.max_abs_diff yf (Naive_dft.dft x) < 1e-9))
+    [ (16, 16); (16, 32); (32, 32); (64, 64) ]
+
+(* ------------------------------------------------------------------ *)
+(* Legacy-kernel baseline plans compute the same transform              *)
+
+let test_baseline_exact () =
+  List.iter
+    (fun logn ->
+      let n = 1 lsl logn in
+      let tree = Ruletree.expand (Ruletree.mixed_radix n) in
+      let cur = Plan.of_formula tree in
+      let base = Plan.of_formula ~baseline:true ~fuse:false tree in
+      let x = Cvec.random ~seed:logn n in
+      check cb
+        (Printf.sprintf "legacy kernels bit-identical, n=%d" n)
+        true
+        (Cvec.max_abs_diff (exec cur n x) (exec base n x) = 0.0))
+    [ 6; 8; 10; 12 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fused plans under every executor configuration                      *)
+
+let test_fused_parallel_all_workers () =
+  let plan = Plan.of_formula ~explicit_data:true ~fuse:true (sixstep 16 16) in
+  let x = Cvec.random ~seed:99 256 in
+  let want = exec plan 256 x in
+  check cb "sanity vs naive" true
+    (Cvec.max_abs_diff want (Naive_dft.dft x) < 1e-9);
+  List.iter
+    (fun p ->
+      Pool.with_pool p (fun pool ->
+          let y = Cvec.create 256 in
+          Par_exec.execute pool plan x y;
+          check cb (Printf.sprintf "block p=%d" p) true
+            (Cvec.max_abs_diff y want = 0.0);
+          Cvec.fill_zero y;
+          Par_exec.execute pool ~schedule:(Par_exec.Cyclic 2) plan x y;
+          check cb (Printf.sprintf "cyclic p=%d" p) true
+            (Cvec.max_abs_diff y want = 0.0);
+          Cvec.fill_zero y;
+          Par_exec.execute pool ~elide:false plan x y;
+          check cb (Printf.sprintf "no-elide p=%d" p) true
+            (Cvec.max_abs_diff y want = 0.0));
+      let y = Cvec.create 256 in
+      Par_exec.execute_fork_join ~p plan x y;
+      check cb (Printf.sprintf "fork-join p=%d" p) true
+        (Cvec.max_abs_diff y want = 0.0))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_fused_safe_under_fault () =
+  Fault.reset ();
+  Counters.reset ();
+  let plan = Plan.of_formula ~explicit_data:true ~fuse:true (sixstep 16 16) in
+  let x = Cvec.random ~seed:5 256 in
+  let want = Naive_dft.dft x in
+  Pool.with_pool ~timeout:0.5 4 (fun pool ->
+      Fault.arm ~site:"par_exec.pass" ~after:3 ~times:1 ();
+      let y = Cvec.create 256 in
+      Par_exec.execute_safe pool ~timeout:0.5 plan x y;
+      check cb "fused plan exact under fault" true
+        (Cvec.max_abs_diff y want < 1e-9));
+  Fault.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Zero allocation in the steady-state hot path                        *)
+
+(* Total minor-heap words allocated by [iters] warm executions.  A few
+   words of slack cover the boxing of the Gc counter samples themselves;
+   anything per-iteration would show up as >= iters words. *)
+let alloc_words iters call =
+  call ();
+  call ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    call ()
+  done;
+  Gc.minor_words () -. w0
+
+let test_zero_alloc () =
+  let n = 1024 in
+  let plan = Plan.of_formula (Ruletree.expand (Ruletree.mixed_radix n)) in
+  let x = Cvec.random ~seed:1 n and y = Cvec.create n in
+  check cb "Plan.execute steady state allocation-free" true
+    (alloc_words 50 (fun () -> Plan.execute plan x y) < 8.0);
+  (match
+     Derive.multicore_dft ~p:4 ~mu:2
+       (Ruletree.Ct (Ruletree.mixed_radix 16, Ruletree.mixed_radix 16))
+   with
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+  | Ok f ->
+      let mc = Plan.of_formula f in
+      let x = Cvec.random ~seed:2 256 and y = Cvec.create 256 in
+      check cb "twiddled multicore plan allocation-free" true
+        (alloc_words 50 (fun () -> Plan.execute mc x y) < 8.0));
+  let base =
+    Plan.of_formula ~baseline:true ~fuse:false
+      (Ruletree.expand (Ruletree.mixed_radix n))
+  in
+  check cb "legacy baseline allocates (the ablation is real)" true
+    (alloc_words 50 (fun () -> Plan.execute base x y) > 1000.0)
+
+let suite =
+  [
+    Alcotest.test_case "fusion: shrinks explicit six-step" `Quick
+      test_fusion_shrinks;
+    Alcotest.test_case "fusion: idempotent" `Quick test_fusion_idempotent;
+    Alcotest.test_case "fusion: bit-for-bit" `Quick test_fused_exact;
+    Alcotest.test_case "baseline: legacy kernels bit-identical" `Quick
+      test_baseline_exact;
+    Alcotest.test_case "fused: all workers and schedules" `Quick
+      test_fused_parallel_all_workers;
+    Alcotest.test_case "fused: supervised under fault" `Quick
+      test_fused_safe_under_fault;
+    Alcotest.test_case "hot path: zero allocation" `Quick test_zero_alloc;
+  ]

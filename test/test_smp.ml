@@ -341,6 +341,97 @@ let test_execute_safe_barrier_fault () =
       check cb "correct despite barrier fault" true (close_enough y want));
   Fault.reset ()
 
+(* ------------------------------------------------------------------ *)
+(* Schedule edge cases; barrier elision                                *)
+
+let test_worker_range_edges () =
+  (* more workers than iterations: exact cover, trailing workers empty *)
+  List.iter
+    (fun sched ->
+      let rs =
+        List.init 8 (fun w -> Par_exec.worker_range sched ~count:3 ~workers:8 w)
+      in
+      let seen = Array.make 3 0 in
+      List.iter
+        (List.iter (fun (lo, hi) ->
+             check cb "bounds" true (0 <= lo && lo < hi && hi <= 3);
+             for i = lo to hi - 1 do
+               seen.(i) <- seen.(i) + 1
+             done))
+        rs;
+      check cb "cover" true (Array.for_all (fun c -> c = 1) seen);
+      check cb "some empty" true (List.exists (( = ) []) rs))
+    [ Par_exec.Block; Par_exec.Cyclic 1; Par_exec.Cyclic 2 ];
+  (* non-positive cyclic chunk clamps to 1 *)
+  check cb "chunk 0 = chunk 1" true
+    (Par_exec.worker_range (Par_exec.Cyclic 0) ~count:4 ~workers:2 0
+    = Par_exec.worker_range (Par_exec.Cyclic 1) ~count:4 ~workers:2 0);
+  check cb "negative chunk" true
+    (Par_exec.worker_range (Par_exec.Cyclic (-3)) ~count:4 ~workers:2 1
+    = [ (1, 2); (3, 4) ]);
+  (* chunk larger than count: worker 0 takes everything *)
+  check cb "oversized chunk, w0" true
+    (Par_exec.worker_range (Par_exec.Cyclic 99) ~count:5 ~workers:3 0
+    = [ (0, 5) ]);
+  check cb "oversized chunk, w1" true
+    (Par_exec.worker_range (Par_exec.Cyclic 99) ~count:5 ~workers:3 1 = []);
+  check cb "zero count" true
+    (Par_exec.worker_range Par_exec.Block ~count:0 ~workers:4 2 = [])
+
+let test_elision_mask () =
+  (* the multicore formula-14 plan: 4 parallel passes; under a dividing
+     worker count boundaries 0 and 2 are partition-compatible and the
+     no-chain rule blocks boundary 1 *)
+  let plan = mc_plan () in
+  let mask w = Par_exec.elision_mask ~workers:w plan in
+  check cb "p=1 all elided" true (mask 1 = [| true; true; true |]);
+  check cb "p=2" true (mask 2 = [| true; false; true |]);
+  check cb "p=4" true (mask 4 = [| true; false; true |]);
+  check cb "p=3 incompatible" true (mask 3 = [| false; false; false |]);
+  check cb "cyclic never elides" true
+    (Par_exec.elision_mask ~schedule:(Par_exec.Cyclic 1) ~workers:4 plan = [||]);
+  check cb "mask cached per worker count" true (mask 4 == mask 4)
+
+let test_elision_matches_and_counted () =
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:31 256 in
+  let want = Cvec.create 256 in
+  Plan.execute plan x want;
+  Counters.reset ();
+  Pool.with_pool 4 (fun pool ->
+      let y = Cvec.create 256 in
+      Par_exec.execute pool plan x y;
+      check cb "elided equals sequential" true (Cvec.max_abs_diff y want = 0.0);
+      check ci "elisions counted" 2 (Counters.get "par_exec.barrier_elided");
+      Cvec.fill_zero y;
+      Par_exec.execute pool ~elide:false plan x y;
+      check cb "elide:false identical" true (Cvec.max_abs_diff y want = 0.0);
+      check ci "elide:false adds none" 2
+        (Counters.get "par_exec.barrier_elided"));
+  let y = Cvec.create 256 in
+  Par_exec.execute_fork_join ~p:4 plan x y;
+  check cb "fork-join merged regions" true (Cvec.max_abs_diff y want = 0.0);
+  Cvec.fill_zero y;
+  Par_exec.execute_fork_join ~p:4 ~elide:false plan x y;
+  check cb "fork-join unmerged" true (Cvec.max_abs_diff y want = 0.0)
+
+let test_elision_under_fault () =
+  (* supervision and elision compose: a mid-transform fault on an elided
+     plan still ends in the exact transform *)
+  Fault.reset ();
+  Counters.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:32 256 in
+  let want = Naive_dft.dft x in
+  Pool.with_pool ~timeout:0.5 4 (fun pool ->
+      Fault.arm ~site:"par_exec.pass" ~after:1 ~times:1 ();
+      let y = Cvec.create 256 in
+      Par_exec.execute_safe pool ~timeout:0.5 plan x y;
+      check cb "elided plan correct under fault" true (close_enough y want);
+      check cb "elisions recorded" true
+        (Counters.get "par_exec.barrier_elided" > 0));
+  Fault.reset ()
+
 let suite =
   [
     Alcotest.test_case "barrier: multi-phase visibility" `Quick test_barrier_phases;
@@ -361,6 +452,12 @@ let suite =
     Alcotest.test_case "pool: shutdown rejects jobs" `Quick test_pool_shutdown_rejects;
     Alcotest.test_case "schedule: block partition" `Quick test_worker_range_block_partition;
     QCheck_alcotest.to_alcotest prop_worker_range_disjoint;
+    Alcotest.test_case "schedule: edge cases" `Quick test_worker_range_edges;
+    Alcotest.test_case "elision: mask legality" `Quick test_elision_mask;
+    Alcotest.test_case "elision: exact and counted" `Quick
+      test_elision_matches_and_counted;
+    Alcotest.test_case "elision: under injected fault" `Quick
+      test_elision_under_fault;
     Alcotest.test_case "par exec: equals sequential" `Quick test_par_exec_matches_seq;
     Alcotest.test_case "par exec: pool smaller than plan degree" `Quick
       test_par_exec_more_workers_than_par;
