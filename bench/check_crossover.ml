@@ -1,0 +1,95 @@
+(* CI guard for the parallel runtime: compares the par2 wall-clock of a
+   fresh smoke sweep (bench_smoke.json, 2 sizes) against the committed
+   BENCH_wallclock.json and fails if the largest smoke size regressed by
+   more than the tolerance factor.  Hand-rolled JSON scanning — the bench
+   emitter writes one series per line, so substring search suffices and
+   the repo needs no JSON dependency.
+
+   Usage: check_crossover SMOKE.json COMMITTED.json *)
+
+let tolerance = 2.0
+
+let read_file f = In_channel.with_open_text f In_channel.input_all
+
+(* index just past the first occurrence of [sub] at or after [i] *)
+let after s i sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some (i + m)
+    else go (i + 1)
+  in
+  go i
+
+let parse_number s i =
+  let n = String.length s in
+  let j = ref i in
+  while
+    !j < n
+    && match s.[!j] with '0' .. '9' | '.' | '-' | '+' | 'e' -> true | _ -> false
+  do
+    incr j
+  done;
+  float_of_string (String.sub s i (!j - i))
+
+(* (logn, par2 us_per_call option) for every size block of a bench JSON *)
+let sizes content =
+  let rec go i acc =
+    match after content i "\"logn\": " with
+    | None -> List.rev acc
+    | Some j ->
+        let logn = int_of_float (parse_number content j) in
+        let stop =
+          match after content j "\"logn\": " with
+          | Some k -> k
+          | None -> String.length content
+        in
+        let par2 =
+          match after content j "\"par2\": {\"us_per_call\": " with
+          | Some k when k < stop -> Some (parse_number content k)
+          | _ -> None
+        in
+        go j ((logn, par2) :: acc)
+  in
+  go 0 []
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: check_crossover SMOKE.json COMMITTED.json";
+    exit 2
+  end;
+  let smoke = sizes (read_file Sys.argv.(1)) in
+  let committed = sizes (read_file Sys.argv.(2)) in
+  let largest =
+    List.fold_left
+      (fun acc (logn, par2) ->
+        match (par2, acc) with
+        | Some t, Some (bl, _) when logn > bl -> Some (logn, t)
+        | Some t, None -> Some (logn, t)
+        | _ -> acc)
+      None smoke
+  in
+  match largest with
+  | None ->
+      Printf.eprintf "check-crossover: no par2 series in %s\n" Sys.argv.(1);
+      exit 1
+  | Some (logn, t_smoke) -> (
+      match List.assoc_opt logn committed with
+      | Some (Some t_committed) ->
+          Printf.printf
+            "check-crossover: par2 at 2^%d: %.1f us (committed %.1f us, \
+             tolerance %.0fx)\n"
+            logn t_smoke t_committed tolerance;
+          if t_smoke > tolerance *. t_committed then begin
+            Printf.eprintf
+              "check-crossover: FAIL — par2 at 2^%d regressed: %.1f us > \
+               %.0fx committed %.1f us\n"
+              logn t_smoke tolerance t_committed;
+            exit 1
+          end
+          else print_endline "check-crossover: OK"
+      | _ ->
+          Printf.eprintf
+            "check-crossover: committed %s has no par2 series at 2^%d\n"
+            Sys.argv.(2) logn;
+          exit 1)

@@ -557,18 +557,29 @@ let run_host_seq () =
      - seq            current sequential executor
      - sixstep_explicit / sixstep_fused   permutation-pass fusion
                       ablation on the explicit six-step plan (even logN)
-     - par2 / par2_noelide   pooled p=2 executor with and without
-                      barrier elision, plus elisions per transform  *)
+     - par1 / par2 / par4   worker sweep: prepared pooled executor on an
+                      autotuned multicore plan for p workers
+     - par2_batch     execute_many over 8 transforms in one parallel region
+     - par2_noelide   barrier-elision ablation, plus elisions per transform
+   Each size also records which worker counts beat seq ("beats_seq") and
+   the file ends with the measured "crossover_logn" per worker count.  *)
 
-let wallclock_us ?(warmup_frac = 10) reps call =
+let wallclock_us ?(warmup_frac = 10) ?(best_of = 3) reps call =
   for _ = 1 to max 3 (reps / warmup_frac) do
     call ()
   done;
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to reps do
-    call ()
+  (* min over a few timed loops: scheduler noise only ever inflates a
+     wall-clock measurement, so the minimum is the least-biased estimate *)
+  let best = ref infinity in
+  for _ = 1 to best_of do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      call ()
+    done;
+    let t = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6 in
+    if t < !best then best := t
   done;
-  (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6
+  !best
 
 let pmflops n us = 5.0 *. n *. (log n /. log 2.0) /. us
 
@@ -577,14 +588,87 @@ let reps_for logn =
   | Some r -> max 1 r
   | None -> max 20 (1 lsl max 0 (21 - logn))
 
-let mc2_plan n logn =
-  (* p=2, mu=2 multicore Cooley-Tukey with a balanced power-of-two split;
-     both factors are divisible by pµ = 4 for every logn >= 4 *)
-  let m = 1 lsl (logn / 2) in
-  let tree = Ruletree.Ct (Ruletree.mixed_radix m, Ruletree.mixed_radix (n / m)) in
-  match Derive.multicore_dft ~p:2 ~mu:2 tree with
-  | Ok f -> Some (Plan.of_formula f)
-  | Error _ -> None
+let worker_counts = [ 1; 2; 4 ]
+
+(* Autotuned multicore plan per (n, p): power-of-two top splits within a
+   factor 4 of sqrt(n), µ in {4, 2}; a quick measured sweep over the
+   candidates (prepared executor, a handful of reps) picks the fastest —
+   the paper's search step, collapsed to the wall clock of this machine. *)
+let mc_candidates p n =
+  (* the rewrite system needs p >= 2; par1 runs the p=2 plan on one worker *)
+  let p = max p 2 in
+  let sqrt_n =
+    let rec go m = if m * m >= n then m else go (2 * m) in
+    go 1
+  in
+  List.concat_map
+    (fun mu ->
+      let q = p * mu in
+      let rec splits m acc =
+        if m > n / q then acc
+        else
+          let acc =
+            if n mod m = 0 && m mod q = 0 && (n / m) mod q = 0
+               && m >= sqrt_n / 4 && m <= sqrt_n * 4
+            then m :: acc
+            else acc
+          in
+          splits (m * 2) acc
+      in
+      splits q []
+      |> List.concat_map (fun m ->
+             let shapes k =
+               [ Ruletree.mixed_radix k; Ruletree.right_expanded ~radix:8 k ]
+             in
+             List.concat_map
+               (fun a ->
+                 List.filter_map
+                   (fun b ->
+                     match Derive.multicore_dft ~p ~mu (Ruletree.Ct (a, b)) with
+                     | Ok f -> Some (Plan.of_formula f)
+                     | Error _ -> None)
+                   (shapes (n / m)))
+               (shapes m)))
+    [ 4; 2 ]
+
+let mc_tuned_cache : (int * int, Plan.t option) Hashtbl.t = Hashtbl.create 32
+
+(* Two-stage search, as in the paper: a coarse timing pass shortlists the
+   3 fastest candidates, a careful pass (longer loops, more rounds) picks
+   the winner — one noisy 8-rep shootout is not enough to trust a plan
+   with a whole benchmark series. *)
+let mc_tuned pool p n =
+  match Hashtbl.find_opt mc_tuned_cache (n, p) with
+  | Some r -> r
+  | None ->
+      let open Spiral_util in
+      let x = Cvec.random ~seed:(n + p) n and y = Cvec.create n in
+      let time ~best_of reps plan =
+        let prep = Spiral_smp.Par_exec.prepare pool plan in
+        wallclock_us ~warmup_frac:2 ~best_of reps (fun () ->
+            Spiral_smp.Par_exec.execute_prepared prep x y)
+      in
+      let logn =
+        let rec go l m = if m >= n then l else go (l + 1) (2 * m) in
+        go 0 1
+      in
+      let shortlist =
+        List.map (fun plan -> (time ~best_of:2 4 plan, plan)) (mc_candidates p n)
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.filteri (fun i _ -> i < 3)
+      in
+      let best =
+        List.fold_left
+          (fun acc (_, plan) ->
+            let t = time ~best_of:3 (max 8 (reps_for logn / 8)) plan in
+            match acc with
+            | Some (_, bt) when bt <= t -> acc
+            | _ -> Some (plan, t))
+          None shortlist
+      in
+      let r = Option.map fst best in
+      Hashtbl.add mc_tuned_cache (n, p) r;
+      r
 
 let run_json file =
   let open Spiral_util in
@@ -599,7 +683,9 @@ let run_json file =
   Buffer.add_string buf
     "  \"pseudo_mflops\": \"5 N log2(N) / microseconds per transform\",\n";
   Buffer.add_string buf "  \"sizes\": [\n";
-  let pool = Spiral_smp.Pool.create 2 in
+  let pools = List.map (fun p -> (p, Spiral_smp.Pool.create p)) worker_counts in
+  (* (logn, t_seq, (p, t_par) list), for the final crossover summary *)
+  let sweep : (int * float * (int * float) list) list ref = ref [] in
   let logns =
     let rec go l = if l > !max_logn then [] else l :: go (l + 1) in
     go !min_logn
@@ -613,16 +699,14 @@ let run_json file =
       let tree = Ruletree.expand (Ruletree.mixed_radix n) in
       let seq = Plan.of_formula tree in
       let baseline = Plan.of_formula ~baseline:true ~fuse:false tree in
-      let t_seq = wallclock_us reps (fun () -> Plan.execute seq x y) in
-      let t_base = wallclock_us reps (fun () -> Plan.execute baseline x y) in
-      let fields =
-        ref
-          [
-            Printf.sprintf "\"seq_speedup_vs_baseline\": %.2f" (t_base /. t_seq);
-            field "seq_baseline" t_base fn;
-            field "seq" t_seq fn;
-          ]
-      in
+      (* gather every series as a named thunk first, then time them in
+         interleaved rounds: all series of a size share the same noise
+         window, and the minimum over rounds drops scheduler inflation —
+         the seq/par ratios stay fair even when the host load shifts *)
+      let items : (string * int * (unit -> unit)) list ref = ref [] in
+      let add name reps call = items := (name, reps, call) :: !items in
+      add "seq" reps (fun () -> Plan.execute seq x y);
+      add "seq_baseline" reps (fun () -> Plan.execute baseline x y);
       (if logn mod 2 = 0 then
          let half = 1 lsl (logn / 2) in
          match Derive.six_step_dft ~p:2 ~mu:4 ~m:half ~n:half with
@@ -630,42 +714,136 @@ let run_json file =
          | Ok f ->
              let explicit = Plan.of_formula ~explicit_data:true f in
              let fused = Plan.of_formula ~explicit_data:true ~fuse:true f in
-             let t_e = wallclock_us reps (fun () -> Plan.execute explicit x y) in
-             let t_f = wallclock_us reps (fun () -> Plan.execute fused x y) in
-             fields :=
-               Printf.sprintf "\"fusion_speedup\": %.2f" (t_e /. t_f)
-               :: field "sixstep_fused" t_f fn
-               :: field "sixstep_explicit" t_e fn
-               :: !fields);
-      (match mc2_plan n logn with
-       | None -> ()
-       | Some mc ->
-           let t_par =
-             wallclock_us reps (fun () -> Spiral_smp.Par_exec.execute pool mc x y)
-           in
-           let t_noe =
-             wallclock_us reps (fun () ->
-                 Spiral_smp.Par_exec.execute pool ~elide:false mc x y)
-           in
-           Counters.reset ();
-           Spiral_smp.Par_exec.execute pool mc x y;
-           let elisions = Counters.get "par_exec.barrier_elided" in
-           fields :=
-             Printf.sprintf "\"barrier_elisions_per_transform\": %d" elisions
-             :: field "par2_noelide" t_noe fn
-             :: field "par2" t_par fn
-             :: !fields);
+             add "sixstep_explicit" reps (fun () -> Plan.execute explicit x y);
+             add "sixstep_fused" reps (fun () -> Plan.execute fused x y));
+      let elisions = ref 0 in
+      let par_ps =
+        List.filter_map
+          (fun (p, pool) ->
+            match mc_tuned pool p n with
+            | None -> None
+            | Some mc ->
+                let prep = Spiral_smp.Par_exec.prepare pool mc in
+                add
+                  (Printf.sprintf "par%d" p)
+                  reps
+                  (fun () -> Spiral_smp.Par_exec.execute_prepared prep x y);
+                if p = 2 then begin
+                  add "par2_noelide" reps (fun () ->
+                      Spiral_smp.Par_exec.execute pool ~elide:false mc x y);
+                  let jobs = Array.make 8 (x, y) in
+                  add "par2_batch8"
+                    (max 1 (reps / 8))
+                    (fun () -> Spiral_smp.Par_exec.execute_many prep jobs);
+                  Counters.reset ();
+                  Spiral_smp.Par_exec.execute_prepared prep x y;
+                  elisions := Counters.get "par_exec.barrier_elided"
+                end;
+                Some p)
+          pools
+      in
+      let items = List.rev !items in
+      let best : (string, float) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (name, reps, call) ->
+          Hashtbl.replace best name infinity;
+          for _ = 1 to max 3 (reps / 10) do
+            call ()
+          done)
+        items;
+      for _ = 1 to 3 do
+        List.iter
+          (fun (name, reps, call) ->
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to reps do
+              call ()
+            done;
+            let t = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6 in
+            if t < Hashtbl.find best name then Hashtbl.replace best name t)
+          items
+      done;
+      let time name = Hashtbl.find best name in
+      let has name = Hashtbl.mem best name in
+      let t_seq = time "seq" and t_base = time "seq_baseline" in
+      let fields = ref [] in
+      let addf f = fields := f :: !fields in
+      addf (field "seq" t_seq fn);
+      addf (field "seq_baseline" t_base fn);
+      addf
+        (Printf.sprintf "\"seq_speedup_vs_baseline\": %.2f" (t_base /. t_seq));
+      if has "sixstep_explicit" then begin
+        addf (field "sixstep_explicit" (time "sixstep_explicit") fn);
+        addf (field "sixstep_fused" (time "sixstep_fused") fn);
+        addf
+          (Printf.sprintf "\"fusion_speedup\": %.2f"
+             (time "sixstep_explicit" /. time "sixstep_fused"))
+      end;
+      let pars =
+        List.map (fun p -> (p, time (Printf.sprintf "par%d" p))) par_ps
+      in
+      List.iter
+        (fun (p, t) -> addf (field (Printf.sprintf "par%d" p) t fn))
+        pars;
+      if has "par2_noelide" then begin
+        addf (field "par2_batch" (time "par2_batch8" /. 8.0) fn);
+        addf (field "par2_noelide" (time "par2_noelide") fn);
+        addf
+          (Printf.sprintf "\"par2_speedup_vs_seq\": %.2f"
+             (t_seq /. List.assoc 2 pars));
+        addf
+          (Printf.sprintf "\"barrier_elisions_per_transform\": %d" !elisions)
+      end;
+      sweep := (logn, t_seq, pars) :: !sweep;
+      let beats = List.filter (fun (_, t) -> t < t_seq) pars in
+      addf
+        (Printf.sprintf "\"beats_seq\": [%s]"
+           (String.concat ", "
+              (List.map (fun (p, _) -> string_of_int p) beats)));
       Buffer.add_string buf
         (Printf.sprintf "    {\"logn\": %d, \"n\": %d, \"reps\": %d,\n      %s}%s\n"
            logn n reps
            (String.concat ",\n      " (List.rev !fields))
            (if i = List.length logns - 1 then "" else ","));
-      Printf.printf "  2^%-2d  seq %8.1f pMflop/s   baseline %8.1f   (%.2fx)\n"
-        logn (pmflops fn t_seq) (pmflops fn t_base) (t_base /. t_seq);
+      Printf.printf "  2^%-2d  seq %8.1f pMflop/s   baseline %8.1f   (%.2fx)%s\n"
+        logn (pmflops fn t_seq) (pmflops fn t_base) (t_base /. t_seq)
+        (String.concat ""
+           (List.map
+              (fun (p, t) ->
+                Printf.sprintf "   par%d %8.1f%s" p (pmflops fn t)
+                  (if t < t_seq then " <" else ""))
+              pars));
       flush stdout)
     logns;
-  Spiral_smp.Pool.shutdown pool;
-  Buffer.add_string buf "  ]\n}\n";
+  List.iter (fun (_, pool) -> Spiral_smp.Pool.shutdown pool) pools;
+  Buffer.add_string buf "  ],\n";
+  (* smallest measured logn at which p workers beat the sequential plan *)
+  let crossover p =
+    List.fold_left
+      (fun acc (logn, t_seq, pars) ->
+        match List.assoc_opt p pars with
+        | Some t when t < t_seq -> (
+            match acc with Some l when l <= logn -> acc | _ -> Some logn)
+        | _ -> acc)
+      None !sweep
+  in
+  Buffer.add_string buf "  \"crossover_logn\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun p ->
+            Printf.sprintf "\"par%d\": %s" p
+              (match crossover p with
+              | Some l -> string_of_int l
+              | None -> "null"))
+          worker_counts));
+  Buffer.add_string buf "}\n}\n";
+  List.iter
+    (fun p ->
+      Printf.printf "crossover par%d: %s\n" p
+        (match crossover p with
+        | Some l -> Printf.sprintf "2^%d" l
+        | None -> "none"))
+    worker_counts;
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
   close_out oc;

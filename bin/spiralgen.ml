@@ -146,11 +146,66 @@ let cmd_run =
   let reps_arg =
     Arg.(value & opt int 100 & info [ "reps" ] ~docv:"R" ~doc:"Timing repetitions.")
   in
-  let run n p mu reps =
-    if n < 1 then begin
-      Printf.eprintf "error: N must be >= 1\n";
+  let batch_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Plan $(docv) same-size DFTs as one batch (rule (9)) and time \
+             both per-call execution and Batch.execute_many, which runs a \
+             whole sequence of batches inside a single parallel region.")
+  in
+  let run_batch n p mu reps batch =
+    Spiral_fft.Batch.with_plan ~threads:p ~mu ~count:batch n (fun bt ->
+        let x = Cvec.random (batch * n) in
+        let y = Spiral_fft.Batch.execute bt x in
+        (* verify row 0 against the O(n^2) definition when affordable *)
+        let err =
+          if n > 4096 then nan
+          else begin
+            let row = Cvec.create n in
+            for i = 0 to n - 1 do
+              Cvec.set row i (Cvec.get x i)
+            done;
+            let want = Naive_dft.dft row in
+            let d = ref 0.0 in
+            for i = 0 to n - 1 do
+              let a = Cvec.get y i and b = Cvec.get want i in
+              d := Float.max !d (Complex.norm (Complex.sub a b))
+            done;
+            !d
+          end
+        in
+        let time call =
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            call ()
+          done;
+          (Unix.gettimeofday () -. t0) /. float_of_int reps
+        in
+        let t_each = time (fun () -> ignore (Spiral_fft.Batch.execute bt x)) in
+        let jobs = Array.init 4 (fun i -> Cvec.random ~seed:i (batch * n)) in
+        let t_many =
+          time (fun () -> ignore (Spiral_fft.Batch.execute_many bt jobs))
+          /. 4.0
+        in
+        let nf = float_of_int n and bf = float_of_int batch in
+        let pmf dt = 5.0 *. nf *. (log nf /. log 2.0) /. (dt /. bf) /. 1e6 in
+        Printf.printf
+          "DFT_%d x %d threads=%d: %.3f us/batch (%.0f pseudo-Mflop/s), \
+           execute_many %.3f us/batch (%.0f pseudo-Mflop/s)"
+          n batch p (t_each *. 1e6) (pmf t_each) (t_many *. 1e6) (pmf t_many);
+        if Float.is_nan err then print_newline ()
+        else Printf.printf ", max err vs naive %.2e\n" err;
+        Printf.printf "parallel: %b\n" (Spiral_fft.Batch.parallel bt);
+        0)
+  in
+  let run n p mu reps batch =
+    if n < 1 || batch < 1 then begin
+      Printf.eprintf "error: N and B must be >= 1\n";
       1
     end
+    else if batch > 1 then run_batch n p mu reps batch
     else
       (* the library API dispatches to Bluestein for sizes with large
          prime factors, so `run` works for any N *)
@@ -198,7 +253,7 @@ let cmd_run =
           0)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute on this host and verify")
-    Term.(const run $ n_arg $ p_arg $ mu_arg $ reps_arg)
+    Term.(const run $ n_arg $ p_arg $ mu_arg $ reps_arg $ batch_arg)
 
 let cmd_search =
   let run n machine =

@@ -6,6 +6,7 @@ type pass = {
   count : int;
   radix : int;
   par : int option;
+  mu : int option;
   kernel : Codelet.t;
   gather : int -> int -> int;
   scatter : int -> int -> int;
@@ -27,6 +28,7 @@ type embed = {
   out_of : int -> int -> int;
   scale : (int -> int -> Complex.t) option;
   par : int option;
+  mu : int option;  (* cache-line granularity from smp(p,µ) / CacheTensor *)
   hint : int list;  (* loop extents, outermost first; product = count *)
 }
 
@@ -58,6 +60,25 @@ let merge_decors decors =
           | None -> assert false))
     ((fun k -> k), None)
     decors
+
+let merge_mu a b =
+  match (a, b) with
+  | None, m | m, None -> m
+  | Some x, Some y -> Some (max x y)
+
+(* Largest smp(p, µ)/CacheTensor tag anywhere inside a formula.  Data
+   factors never become passes of their own under loop merging, so the
+   µ tag of a [CacheTensor]-wrapped permutation must be attributed to
+   the computation pass that absorbs it. *)
+let rec formula_mu (f : Formula.t) =
+  match f with
+  | CacheTensor (a, mu) -> merge_mu (Some mu) (formula_mu a)
+  | Smp (_, mu, a) -> merge_mu (Some mu) (formula_mu a)
+  | Tensor (a, b) -> merge_mu (formula_mu a) (formula_mu b)
+  | ParTensor (_, a) | Vec (_, a) | VTensor (a, _) -> formula_mu a
+  | Compose fs | DirectSum fs | ParDirectSum fs ->
+      List.fold_left (fun acc g -> merge_mu acc (formula_mu g)) None fs
+  | DFT _ | WHT _ | I _ | Perm _ | Diag _ | VShuffle _ -> None
 
 let invert_local dim sigma =
   let inv = Array.make dim 0 in
@@ -97,6 +118,7 @@ let rec compile ~explicit ~emit embed (f : Formula.t) =
               (fun s it k -> s (it / m) ((it mod m * da) + k))
               embed.scale;
           par = embed.par;
+          mu = embed.mu;
           hint = embed.hint @ [ m ];
         }
         a
@@ -112,6 +134,7 @@ let rec compile ~explicit ~emit embed (f : Formula.t) =
               (fun s it k -> s (it / q) ((k * q) + (it mod q)))
               embed.scale;
           par = embed.par;
+          mu = embed.mu;
           hint = embed.hint @ [ q ];
         }
         a
@@ -133,10 +156,16 @@ let rec compile ~explicit ~emit embed (f : Formula.t) =
               (fun s it k -> s (it / p) ((it mod p * da) + k))
               embed.scale;
           par = (match embed.par with None -> Some p | some -> some);
+          mu = embed.mu;
           hint = embed.hint @ [ p ];
         }
         a
-  | CacheTensor (a, mu) -> compile ~explicit ~emit embed (Tensor (a, I mu))
+  | CacheTensor (a, mu) ->
+      (* Outermost cache-line tag wins, like [par]. *)
+      let embed =
+        { embed with mu = (match embed.mu with None -> Some mu | s -> s) }
+      in
+      compile ~explicit ~emit embed (Tensor (a, I mu))
   | Compose fs -> compile_chain ~explicit ~emit embed fs
   | (DirectSum _ | ParDirectSum _) as f -> (
       match Shape.diag_entry f with
@@ -146,7 +175,12 @@ let rec compile ~explicit ~emit embed (f : Formula.t) =
             (Unsupported
                "general (non-diagonal) direct sums are outside the paper's \
                 rule space"))
-  | Smp (_, _, a) | Vec (_, a) -> compile ~explicit ~emit embed a
+  | Smp (_, mu, a) ->
+      let embed =
+        { embed with mu = (match embed.mu with None -> Some mu | s -> s) }
+      in
+      compile ~explicit ~emit embed a
+  | Vec (_, a) -> compile ~explicit ~emit embed a
   | VTensor (a, nu) -> compile ~explicit ~emit embed (Tensor (a, I nu))
   | VShuffle (k, nu) ->
       compile ~explicit ~emit embed
@@ -158,6 +192,7 @@ and emit_leaf ~emit embed kernel =
       count = embed.count;
       radix = kernel.Codelet.radix;
       par = embed.par;
+      mu = embed.mu;
       kernel;
       gather = embed.in_of;
       scatter = embed.out_of;
@@ -188,6 +223,7 @@ and emit_data ~emit embed sigma scale_local =
       count = embed.count * d;
       radix = 1;
       par = embed.par;
+      mu = embed.mu;
       kernel = Codelet.dft 1;
       gather = (fun it _l -> embed.in_of (it / d) (sigma (it mod d)));
       scatter = (fun it _l -> embed.out_of (it / d) (it mod d));
@@ -210,11 +246,16 @@ and compile_chain ~explicit ~emit embed factors =
     in
     go [] [] exec_order
   in
+  let decors_mu fs =
+    List.fold_left (fun acc g -> merge_mu acc (formula_mu g)) None fs
+  in
   match segs with
   | [] ->
       (* Pure data chain: one merged explicit pass. *)
       let loc, scale = merge_decors leading in
-      emit_data ~emit embed loc scale
+      emit_data ~emit
+        { embed with mu = merge_mu embed.mu (decors_mu leading) }
+        loc scale
   | _ ->
       let nsegs = List.length segs in
       let trail_loc, trail_scale = merge_decors leading in
@@ -257,6 +298,14 @@ and compile_chain ~explicit ~emit embed factors =
               scale)
             else scale
           in
+          let mu =
+            (* a µ-tagged data factor executes as part of the pass that
+               absorbs it: its decors' tags for every segment, plus the
+               chain's trailing factors for the last one *)
+            merge_mu
+              (merge_mu embed.mu (decors_mu decors))
+              (if last then decors_mu leading else None)
+          in
           compile ~explicit ~emit
             {
               count = embed.count;
@@ -265,6 +314,7 @@ and compile_chain ~explicit ~emit embed factors =
               out_of;
               scale;
               par = embed.par;
+              mu;
               hint = embed.hint;
             }
             comp)
@@ -282,6 +332,7 @@ let of_formula ?(explicit_data = false) f =
       out_of = (fun _ k -> k);
       scale = None;
       par = None;
+      mu = None;
       hint = [];
     }
   in

@@ -26,6 +26,12 @@ type pass = {
   radix : int;  (** Codelet size. *)
   par : int option;
       (** [Some p]: iterations are split into [p] contiguous chunks. *)
+  mu : int option;
+      (** Cache-line granularity (complex elements) this pass was tagged
+          with by the enclosing [smp(p, µ)] / [CacheTensor] construct.
+          The parallel executor aligns Block-partition boundaries to
+          multiples of [µ] so no cache line is shared between processors
+          (Definition 1's false-sharing freedom). *)
   kernel : Codelet.t;
   gather : int -> int -> int;
       (** [gather i l]: complex index read for element [l] of iteration

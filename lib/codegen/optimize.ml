@@ -31,8 +31,16 @@ type pending = {
   perm : int array;
   scale : Complex.t array option;
   par : int option;
+  mu : int option;
   hint : int list;
 }
+
+(* A fused pass inherits the strictest (largest) cache-line tag of its
+   constituents, so alignment decisions stay conservative. *)
+let merge_mu a b =
+  match (a, b) with
+  | None, m | m, None -> m
+  | Some x, Some y -> Some (max x y)
 
 let is_data_pass (p : Ir.pass) =
   p.radix = 1
@@ -57,10 +65,10 @@ let compose n (prev : pending option) (d : Ir.pass) =
      with Exit -> ());
     if not !ok then None
     else begin
-      let pperm, pscale =
+      let pperm, pscale, pmu =
         match prev with
-        | None -> (None, None)
-        | Some p -> (Some p.perm, p.scale)
+        | None -> (None, None, None)
+        | Some p -> (Some p.perm, p.scale, p.mu)
       in
       let perm = Array.make n 0 in
       let scale =
@@ -90,7 +98,8 @@ let compose n (prev : pending option) (d : Ir.pass) =
          done
        with Exit -> ());
       if not !ok then None
-      else Some { perm; scale; par = d.par; hint = d.hint }
+      else
+        Some { perm; scale; par = d.par; mu = merge_mu pmu d.mu; hint = d.hint }
     end
   end
 
@@ -109,7 +118,7 @@ let fuse_forward (c : Ir.pass) (p : pending) : Ir.pass =
             | None -> s0
             | Some s -> Complex.mul (s i l) s0)
   in
-  { c with gather; scale }
+  { c with gather; scale; mu = merge_mu c.mu p.mu }
 
 (* Backward fusion: pending pure permutation follows the chain's last
    pass [c]; rewrite its scatter through the inverse permutation. *)
@@ -132,7 +141,7 @@ let fuse_backward n (c : Ir.pass) (p : pending) : Ir.pass option =
       if not !ok then None
       else begin
         let cs = c.scatter in
-        Some { c with scatter = (fun i l -> pinv.(cs i l)) }
+        Some { c with scatter = (fun i l -> pinv.(cs i l)); mu = merge_mu c.mu p.mu }
       end
 
 let residual n (p : pending) : Ir.pass =
@@ -141,6 +150,7 @@ let residual n (p : pending) : Ir.pass =
     Ir.count = n;
     radix = 1;
     par = p.par;
+    mu = p.mu;
     kernel = Codelet.dft 1;
     gather = (fun i _l -> perm.(i));
     scatter = (fun i _l -> i);

@@ -17,6 +17,7 @@ type pass = {
   count : int;
   radix : int;
   par : int option;
+  mu : int option;
   kernel : Codelet.t;
   addr : addressing;
   tw : float array option;
@@ -38,6 +39,10 @@ type t = {
   mutable elision : (int * bool array) list;
       (** Cache of barrier-elision masks, keyed by worker count
           (maintained by [Par_exec.elision_mask]). *)
+  mutable misaligned : (int * int) list;
+      (** Cache of the false-sharing check: worker count -> number of
+          cache lines written by more than one worker under the aligned
+          Block partition (maintained by [Par_exec]). *)
 }
 
 let max_depth passes =
@@ -185,6 +190,7 @@ let materialize_pass (p : Ir.pass) : pass =
     count = p.count;
     radix = p.radix;
     par = p.par;
+    mu = p.mu;
     kernel = p.kernel;
     addr;
     tw;
@@ -209,6 +215,7 @@ let of_ir ?(fuse = true) ?(baseline = false) (ir : Ir.t) =
     ctx = make_ctx_for passes;
     wctx = [||];
     elision = [];
+    misaligned = [];
   }
 
 let of_formula ?fuse ?baseline ?(explicit_data = false) f =

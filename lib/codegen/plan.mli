@@ -36,6 +36,12 @@ type pass = {
   count : int;
   radix : int;
   par : int option;
+  mu : int option;
+      (** Cache-line granularity (complex elements) from the formula's
+          [smp(p, µ)]/[CacheTensor] tags; carried from {!Ir.pass}
+          (fusion keeps the largest tag).  [Par_exec] aligns Block
+          boundaries of µ-tagged parallel passes so no cache line is
+          shared between workers (Definition 1). *)
   kernel : Codelet.t;
   addr : addressing;
   tw : float array option;
@@ -58,6 +64,10 @@ type t = {
   mutable elision : (int * bool array) list;
       (** Barrier-elision mask cache, keyed by worker count; owned by
           [Par_exec.elision_mask]. *)
+  mutable misaligned : (int * int) list;
+      (** False-sharing-check cache, keyed by worker count: number of
+          µ-lines written by two or more workers under the aligned Block
+          partition.  Owned by [Par_exec.misaligned_lines]. *)
 }
 
 val affine_check_threshold : int

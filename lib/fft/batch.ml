@@ -9,6 +9,7 @@ type t = {
   plan : Plan.t;
   formula : Formula.t;
   pool : Spiral_smp.Pool.t option;
+  prep : Spiral_smp.Par_exec.prepared option;
   mutable alive : bool;
 }
 
@@ -27,7 +28,8 @@ let plan ?(threads = 1) ?(mu = 4) ~count n =
   in
   let plan = Plan.of_formula formula in
   let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
-  { count; n; plan; formula; pool; alive = true }
+  let prep = Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl plan) pool in
+  { count; n; plan; formula; pool; prep; alive = true }
 
 let count t = t.count
 let n t = t.n
@@ -39,10 +41,26 @@ let execute t x =
   let total = t.count * t.n in
   if Cvec.length x <> total then invalid_arg "Batch.execute: wrong length";
   let y = Cvec.create total in
-  (match t.pool with
-  | Some pool -> Spiral_smp.Par_exec.execute_safe pool t.plan x y
+  (match t.prep with
+  | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep x y
   | None -> Plan.execute t.plan x y);
   y
+
+let execute_many t xs =
+  if not t.alive then invalid_arg "Batch: plan was destroyed";
+  let total = t.count * t.n in
+  Array.iter
+    (fun x ->
+      if Cvec.length x <> total then
+        invalid_arg "Batch.execute_many: wrong length")
+    xs;
+  let ys = Array.map (fun _ -> Cvec.create total) xs in
+  (match t.prep with
+  | Some prep ->
+      Spiral_smp.Par_exec.execute_many_safe prep
+        (Array.mapi (fun i x -> (x, ys.(i))) xs)
+  | None -> Array.iteri (fun i x -> Plan.execute t.plan x ys.(i)) xs);
+  ys
 
 let destroy t =
   if t.alive then begin

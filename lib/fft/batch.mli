@@ -20,6 +20,12 @@ val formula : t -> Spiral_spl.Formula.t
 val execute : t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t
 (** Input and output are [count * n] complex elements. *)
 
+val execute_many : t -> Spiral_util.Cvec.t array -> Spiral_util.Cvec.t array
+(** Transform a whole sequence of inputs inside a single parallel region
+    ({!Spiral_smp.Par_exec.execute_many}): one pool dispatch and one
+    join for the entire batch instead of one per input.  Bit-identical
+    to mapping {!execute}. *)
+
 val destroy : t -> unit
 
 val with_plan : ?threads:int -> ?mu:int -> count:int -> int -> (t -> 'a) -> 'a

@@ -9,6 +9,7 @@ type t = {
   kernel_spectrum : float array;  (* DFT_m of the padded conj-chirp *)
   inner : Plan.t;  (* forward DFT_m *)
   pool : Spiral_smp.Pool.t option;
+  prep : Spiral_smp.Par_exec.prepared option;
   (* work buffers (2m floats each) *)
   buf_b : float array;
   buf_fb : float array;
@@ -37,8 +38,8 @@ let chirp_table n =
   t
 
 let run_inner t src dst =
-  match t.pool with
-  | Some pool -> Spiral_smp.Par_exec.execute_safe pool t.inner src dst
+  match t.prep with
+  | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep src dst
   | None -> Plan.execute t.inner src dst
 
 let plan ?(threads = 1) ?(mu = 4) n =
@@ -50,6 +51,9 @@ let plan ?(threads = 1) ?(mu = 4) n =
   in
   let inner = Plan.of_formula formula in
   let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
+  let prep =
+    Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl inner) pool
+  in
   let t =
     {
       n;
@@ -58,6 +62,7 @@ let plan ?(threads = 1) ?(mu = 4) n =
       kernel_spectrum = Array.make (2 * m) 0.0;
       inner;
       pool;
+      prep;
       buf_b = Array.make (2 * m) 0.0;
       buf_fb = Array.make (2 * m) 0.0;
       buf_conv = Array.make (2 * m) 0.0;
@@ -77,9 +82,7 @@ let plan ?(threads = 1) ?(mu = 4) n =
     if j > 0 then put (m - j) re im
   done;
   let spec = Array.make (2 * m) 0.0 in
-  (match t.pool with
-  | Some pool -> Spiral_smp.Par_exec.execute_safe pool t.inner h spec
-  | None -> Plan.execute t.inner h spec);
+  run_inner t h spec;
   Array.blit spec 0 t.kernel_spectrum 0 (2 * m);
   t
 

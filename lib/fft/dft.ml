@@ -9,6 +9,8 @@ type impl =
       plan : Plan.t;
       formula : Spiral_spl.Formula.t;
       pool : Spiral_smp.Pool.t option;
+      prep : Spiral_smp.Par_exec.prepared option;
+          (* schedule baked at plan time; Some iff pool is Some *)
     }
   | Chirp of Bluestein.t
       (** Sizes with prime factors beyond the codelet range. *)
@@ -38,7 +40,10 @@ let plan ?(direction = Forward) ?(threads = 1) ?(mu = 4) ?tree n =
         with Ir.Unsupported msg -> invalid_arg ("Dft.plan: " ^ msg)
       in
       let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
-      Direct { plan; formula; pool }
+      let prep =
+        Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl plan) pool
+      in
+      Direct { plan; formula; pool; prep }
     end
     else Chirp (Bluestein.plan ~threads ~mu n)
   in
@@ -71,9 +76,9 @@ let description t =
 
 let forward_into t ~src ~dst =
   match t.impl with
-  | Direct { plan; pool; _ } -> (
-      match pool with
-      | Some pool -> Spiral_smp.Par_exec.execute_safe pool plan src dst
+  | Direct { plan; prep; _ } -> (
+      match prep with
+      | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep src dst
       | None -> Plan.execute plan src dst)
   | Chirp b -> Bluestein.execute_into b ~src ~dst
 

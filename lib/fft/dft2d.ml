@@ -9,6 +9,7 @@ type t = {
   plan : Plan.t;
   formula : Formula.t;
   pool : Spiral_smp.Pool.t option;
+  prep : Spiral_smp.Par_exec.prepared option;
   mutable alive : bool;
 }
 
@@ -40,7 +41,8 @@ let plan ?(threads = 1) ?(mu = 4) ~rows ~cols () =
   let formula, p = derive ~threads ~mu ~rows ~cols in
   let plan = Plan.of_formula formula in
   let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
-  { rows; cols; plan; formula; pool; alive = true }
+  let prep = Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl plan) pool in
+  { rows; cols; plan; formula; pool; prep; alive = true }
 
 let rows t = t.rows
 let cols t = t.cols
@@ -52,8 +54,8 @@ let execute t x =
   let n = t.rows * t.cols in
   if Cvec.length x <> n then invalid_arg "Dft2d.execute: wrong vector length";
   let y = Cvec.create n in
-  (match t.pool with
-  | Some pool -> Spiral_smp.Par_exec.execute_safe pool t.plan x y
+  (match t.prep with
+  | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep x y
   | None -> Plan.execute t.plan x y);
   y
 

@@ -7,6 +7,7 @@ type t = {
   n : int;
   plan : Plan.t;
   pool : Spiral_smp.Pool.t option;
+  prep : Spiral_smp.Par_exec.prepared option;
   mutable alive : bool;
 }
 
@@ -34,7 +35,8 @@ let plan ?(threads = 1) ?(mu = 4) n =
   in
   let plan = Plan.of_formula formula in
   let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
-  { n; plan; pool; alive = true }
+  let prep = Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl plan) pool in
+  { n; plan; pool; prep; alive = true }
 
 let n t = t.n
 let parallel t = t.pool <> None
@@ -43,8 +45,8 @@ let execute t x =
   if not t.alive then invalid_arg "Wht: plan was destroyed";
   if Cvec.length x <> t.n then invalid_arg "Wht.execute: wrong length";
   let y = Cvec.create t.n in
-  (match t.pool with
-  | Some pool -> Spiral_smp.Par_exec.execute_safe pool t.plan x y
+  (match t.prep with
+  | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep x y
   | None -> Plan.execute t.plan x y);
   y
 

@@ -145,8 +145,8 @@ let make_layout (plan : Plan.t) mu =
    without materializing the index list. *)
 type cursor = { mutable ranges : (int * int) list; mutable pos : int }
 
-let make_cursor schedule ~count ~workers w =
-  let ranges = Par_exec.worker_range schedule ~count ~workers w in
+let make_cursor ?align schedule ~count ~workers w =
+  let ranges = Par_exec.worker_range ?align schedule ~count ~workers w in
   { ranges; pos = (match ranges with (lo, _) :: _ -> lo | [] -> 0) }
 
 let cursor_next c =
@@ -219,7 +219,8 @@ let simulate_stream sys (plan : Plan.t) layout backend schedule mask =
            coherence ping-pong (false sharing) is captured *)
         let cursors =
           Array.init workers (fun w ->
-              make_cursor schedule ~count:pass.count ~workers w)
+              make_cursor ~align:(Par_exec.pass_align pass) schedule
+                ~count:pass.count ~workers w)
         in
         let progressed = ref true in
         while !progressed do

@@ -5,6 +5,8 @@ type t = {
   count : int Atomic.t;
   sense : bool Atomic.t;
   timeout : float;
+  spin_limit : int;
+  ec : Spinwait.eventcount;  (* waiters of this barrier only *)
 }
 
 type ctx = { mutable my_sense : bool }
@@ -20,15 +22,27 @@ let () =
              arrived parties waited)
     | _ -> None)
 
-let spin_limit = 10_000
+let spin_limit = Spinwait.default_spin_limit
 
 let default_timeout = ref 30.0
 
-let create ?timeout p =
+let create ?timeout ?spin_limit p =
   if p <= 0 then invalid_arg "Barrier.create: need at least one participant";
   let timeout = match timeout with Some s -> s | None -> !default_timeout in
   if not (timeout > 0.0) then invalid_arg "Barrier.create: timeout > 0";
-  { p; count = Atomic.make 0; sense = Atomic.make false; timeout }
+  let spin_limit =
+    match spin_limit with
+    | Some s -> max 0 s
+    | None -> Spinwait.spin_limit_for ~parties:p
+  in
+  {
+    p;
+    count = Atomic.make 0;
+    sense = Atomic.make false;
+    timeout;
+    spin_limit;
+    ec = Spinwait.eventcount ();
+  }
 
 let parties t = t.p
 
@@ -42,33 +56,19 @@ let wait t ctx =
   if Atomic.fetch_and_add t.count 1 = t.p - 1 then begin
     (* Last arrival: reset and release the others by flipping the sense. *)
     Atomic.set t.count 0;
-    Atomic.set t.sense s
+    Atomic.set t.sense s;
+    Spinwait.wake_all ~ec:t.ec ()
   end
   else begin
-    let spins = ref 0 in
-    let start = ref neg_infinity in
-    while Atomic.get t.sense <> s do
-      incr spins;
-      if !spins < spin_limit then Domain.cpu_relax ()
-      else begin
-        (* Oversubscribed (more domains than cores): yield the timeslice.
-           The clock only starts once spinning has failed, so the fast
-           path stays free of syscalls. *)
-        spins := 0;
-        let now = Unix.gettimeofday () in
-        if !start = neg_infinity then start := now
-        else if now -. !start > t.timeout then begin
-          Counters.incr "barrier.timeout";
-          raise
-            (Timeout
-               {
-                 parties = t.p;
-                 arrived = Atomic.get t.count;
-                 waited = now -. !start;
-               })
-        end;
-        Unix.sleepf 50e-6
-      end
-    done
+    match
+      Spinwait.wait ~spin_limit:t.spin_limit ~ec:t.ec ~timeout:t.timeout
+        (fun () -> Atomic.get t.sense = s)
+    with
+    | Spinwait.Ready -> ()
+    | Spinwait.Aborted -> assert false (* no abort condition given *)
+    | Spinwait.TimedOut waited ->
+        Counters.incr "barrier.timeout";
+        raise
+          (Timeout { parties = t.p; arrived = Atomic.get t.count; waited })
   end;
   ctx.my_sense <- not s

@@ -1,17 +1,21 @@
 (** Sense-reversing centralized barrier for a fixed set of domains.
 
     This is the low-latency synchronization primitive behind the paper's
-    pthreads backend: workers spin (with [Domain.cpu_relax]) for a bounded
-    number of iterations and then back off by sleeping, so the barrier is
-    fast when cores are dedicated and still correct when domains are
-    oversubscribed on fewer cores.
+    pthreads backend.  A waiter escalates through {!Spinwait}'s phases:
+    it spins (with [Domain.cpu_relax]) for a bounded number of
+    iterations, then parks on the shared eventcount — so the barrier is
+    fast when cores are dedicated and still costs only microseconds (not
+    a scheduler timeslice) when domains are oversubscribed on fewer
+    cores.  The last arrival flips the sense and wakes any parked peers.
 
-    Every wait is bounded: a participant that spins longer than the
+    Every wait is bounded: a participant that waits longer than the
     barrier's timeout raises {!Timeout} instead of hanging forever on a
-    peer that died.  A timed-out barrier is {e broken} — the arrival
-    count no longer matches reality — and must be discarded; the
-    supervised executor ({!Par_exec.execute_safe}) rebuilds the pool and
-    the barrier after any timeout. *)
+    peer that died (parked waiters are woken periodically by the
+    {!Spinwait} watchdog to re-check their deadline).  A timed-out
+    barrier is {e broken} — the arrival count no longer matches
+    reality — and must be discarded; the supervised executor
+    ({!Par_exec.execute_safe}) rebuilds the pool and the barrier after
+    any timeout. *)
 
 type t
 
@@ -20,9 +24,11 @@ exception Timeout of { parties : int; arrived : int; waited : float }
     within the timeout: [arrived] of [parties] had arrived when the
     waiter gave up after [waited] seconds. *)
 
-val create : ?timeout:float -> int -> t
+val create : ?timeout:float -> ?spin_limit:int -> int -> t
 (** [create p] is a barrier for [p] participants.  [timeout] (seconds,
-    default {!default_timeout}) bounds every {!wait}. *)
+    default {!default_timeout}) bounds every {!wait}.  [spin_limit]
+    overrides the spin budget before parking (default
+    {!Spinwait.spin_limit_for}[ ~parties:p]). *)
 
 val parties : t -> int
 
@@ -47,4 +53,5 @@ val wait : t -> ctx -> unit
     @raise Timeout when peers fail to arrive in time. *)
 
 val spin_limit : int
-(** Number of spin iterations before falling back to sleeping. *)
+(** Default spin iterations before parking (alias of
+    {!Spinwait.default_spin_limit}; kept for compatibility). *)

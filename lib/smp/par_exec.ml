@@ -3,15 +3,42 @@ open Spiral_codegen
 
 type schedule = Block | Cyclic of int
 
-let worker_range sched ~count ~workers w =
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Alignment of a pass's Block-partition boundaries, in iterations: a
+   boundary at iteration [b] starts a fresh cache line whenever
+   [b * radix] is a multiple of the pass's µ tag, i.e. when [b] is a
+   multiple of µ/gcd(µ, radix).  Untagged passes need no alignment. *)
+let pass_align (p : Plan.pass) =
+  match p.Plan.mu with
+  | None -> 1
+  | Some mu when mu <= 1 -> 1
+  | Some mu ->
+      let r = max 1 p.Plan.radix in
+      max 1 (mu / gcd mu r)
+
+let worker_range ?(align = 1) sched ~count ~workers w =
   match sched with
   | Block ->
       let chunk = count / workers and rem = count mod workers in
       (* distribute the remainder one iteration at a time to the first
          [rem] workers so the partition is exact *)
-      let lo = (w * chunk) + min w rem in
-      let hi = lo + chunk + if w < rem then 1 else 0 in
-      if hi > lo then [ (lo, hi) ] else []
+      let raw v = (v * chunk) + min v rem in
+      if align <= 1 then begin
+        let lo = raw w in
+        let hi = lo + chunk + if w < rem then 1 else 0 in
+        if hi > lo then [ (lo, hi) ] else []
+      end
+      else begin
+        (* µ-aligned variant: floor every internal boundary to a multiple
+           of [align] (the first and last boundaries are 0 and [count]
+           and need no adjustment).  Flooring a monotone sequence keeps
+           it monotone, so the ranges still partition [0, count). *)
+        let bound v = if v >= count then count else v / align * align in
+        let lo = if w = 0 then 0 else bound (raw w) in
+        let hi = if w >= workers - 1 then count else bound (raw (w + 1)) in
+        if hi > lo then [ (lo, hi) ] else []
+      end
   | Cyclic c ->
       let c = max 1 c in
       let rec go start acc =
@@ -39,8 +66,9 @@ let worker_range sched ~count ~workers w =
    are only pairwise).  With a single worker there is no concurrency and
    every boundary is elidable.
 
-   The analysis walks the exact Block partition and the materialized
-   addressing, so it is conservative only where it refuses. *)
+   The analysis walks the exact (µ-aligned) Block partition and the
+   materialized addressing, so it is conservative only where it
+   refuses. *)
 
 let compute_elision ~workers (plan : Plan.t) =
   let np = Array.length plan.Plan.passes in
@@ -71,7 +99,8 @@ let compute_elision ~workers (plan : Plan.t) =
                   else if reader.(gp) <> w then reader.(gp) <- -2
                 done
               done)
-            (worker_range Block ~count:pk.Plan.count ~workers w)
+            (worker_range ~align:(pass_align pk) Block ~count:pk.Plan.count
+               ~workers w)
         done;
         (* in(k) and out(k+1) alias iff both are ping-pong intermediates *)
         let aliasing = b > 0 && b + 1 < np - 1 in
@@ -96,7 +125,8 @@ let compute_elision ~workers (plan : Plan.t) =
                      end
                    done
                  done)
-               (worker_range Block ~count:pk1.Plan.count ~workers w)
+               (worker_range ~align:(pass_align pk1) Block
+                  ~count:pk1.Plan.count ~workers w)
            done
          with Exit -> ());
         mask.(b) <- !ok
@@ -123,38 +153,294 @@ let elision_mask ?(schedule = Block) ~workers (plan : Plan.t) =
           plan.Plan.elision <- (workers, m) :: plan.Plan.elision;
           m)
 
+(* ---------------------------------------------------------------- *)
+(* False-sharing check (Definition 1).  A µ-tagged parallel pass is
+   false-sharing free when no µ-line of its output is written by two
+   different workers.  The aligned Block partition guarantees this for
+   the paper's smp(p, µ)-conform plans at their native worker count; the
+   check walks the materialized scatters and counts the lines that are
+   nevertheless shared — e.g. when a plan generated for p processors is
+   run with a different worker count. *)
+
+let misaligned_counter = "par_exec.misaligned_split"
+
+let count_misaligned ~workers (plan : Plan.t) =
+  let shared = ref 0 in
+  if workers > 1 then
+    Array.iter
+      (fun (p : Plan.pass) ->
+        match (p.Plan.par, p.Plan.mu) with
+        | Some _, Some mu when mu > 1 ->
+            let nlines = ((plan.Plan.n - 1) / mu) + 1 in
+            let owner = Array.make nlines (-1) in
+            let addrs = Plan.iter_addresses p in
+            let align = pass_align p in
+            for w = 0 to workers - 1 do
+              List.iter
+                (fun (lo, hi) ->
+                  for i = lo to hi - 1 do
+                    let _, s = addrs i in
+                    for l = 0 to p.Plan.radix - 1 do
+                      let line = s l / mu in
+                      if owner.(line) = -1 then owner.(line) <- w
+                      else if owner.(line) >= 0 && owner.(line) <> w then begin
+                        owner.(line) <- -2;
+                        incr shared
+                      end
+                    done
+                  done)
+                (worker_range ~align Block ~count:p.Plan.count ~workers w)
+            done
+        | _ -> ())
+      plan.Plan.passes;
+  !shared
+
+let misaligned_lines ~workers (plan : Plan.t) =
+  match List.assoc_opt workers plan.Plan.misaligned with
+  | Some m -> m
+  | None ->
+      let m = count_misaligned ~workers plan in
+      plan.Plan.misaligned <- (workers, m) :: plan.Plan.misaligned;
+      if m > 0 then Counters.incr ~by:m misaligned_counter;
+      m
+
+(* ---------------------------------------------------------------- *)
+
 let run_worker_pass ctx sched p ~src ~dst ~workers w =
   match p.Plan.par with
   | Some _ ->
       List.iter
         (fun (lo, hi) -> Plan.run_pass_range ctx p ~src ~dst ~lo ~hi)
-        (worker_range sched ~count:p.Plan.count ~workers w)
+        (worker_range ~align:(pass_align p) sched ~count:p.Plan.count
+           ~workers w)
   | None ->
       if w = 0 then Plan.run_pass_range ctx p ~src ~dst ~lo:0 ~hi:p.Plan.count
 
-let execute pool ?(schedule = Block) ?(elide = true) ?timeout plan x y =
+(* ---------------------------------------------------------------- *)
+(* Prepared parallel schedules.  [prepare] bakes, once per (plan, pool),
+   everything [execute] used to recompute per call: the per-worker
+   iteration ranges of every pass, the elision mask and its popcount,
+   the barrier and one reusable per-worker barrier context, and the
+   per-worker codelet scratch.  A steady-state [execute_prepared] is
+   then exactly one pool dispatch, the interior barriers, and one join
+   (the barrier after the final pass is subsumed by the join). *)
+
+type prepared = {
+  plan : Plan.t;
+  pool : Pool.t;
+  workers : int;
+  schedule : schedule;
+  ranges : (int * int) array array array;
+      (* ranges.(k).(w): iteration ranges of worker w in pass k
+         (sequential passes run wholly on worker 0). *)
+  mask : bool array;
+  elided : int;  (* interior barriers skipped per execution *)
+  wrap_elidable : bool;
+      (* static legality of eliding the barrier between consecutive
+         transforms of [execute_many]; see [compute_wrap_elidable] *)
+  timeout : float option;
+  mutable barrier : Barrier.t;
+  mutable bctxs : Barrier.ctx array;
+      (* persistent senses: reused across calls, refreshed (with the
+         barrier) after any failed execution, since an abandoned wait
+         leaves the arrival count and senses inconsistent *)
+}
+
+(* Wrap boundary, condition B analogue: with an even number of passes,
+   job j+1's first pass scatters into tmp_a while a straggler of job j
+   may still be gathering tmp_a in its last pass.  Legal without a
+   barrier only if every position worker w scatters in pass 0 is
+   gathered in the last pass by no worker other than w. *)
+let wrap_cond_b ~workers (plan : Plan.t) =
+  let np = Array.length plan.Plan.passes in
+  let pk = plan.Plan.passes.(np - 1) and pk1 = plan.Plan.passes.(0) in
+  let n = plan.Plan.n in
+  let reader = Array.make n (-1) in
+  let addrs_k = Plan.iter_addresses pk in
+  let addrs_k1 = Plan.iter_addresses pk1 in
+  for w = 0 to workers - 1 do
+    List.iter
+      (fun (lo, hi) ->
+        for i = lo to hi - 1 do
+          let g, _ = addrs_k i in
+          for l = 0 to pk.Plan.radix - 1 do
+            let gp = g l in
+            if reader.(gp) = -1 then reader.(gp) <- w
+            else if reader.(gp) <> w then reader.(gp) <- -2
+          done
+        done)
+      (worker_range ~align:(pass_align pk) Block ~count:pk.Plan.count
+         ~workers w)
+  done;
+  let ok = ref true in
+  (try
+     for w = 0 to workers - 1 do
+       List.iter
+         (fun (lo, hi) ->
+           for i = lo to hi - 1 do
+             let _, s = addrs_k1 i in
+             for l = 0 to pk1.Plan.radix - 1 do
+               let rd = reader.(s l) in
+               if rd <> -1 && rd <> w then begin
+                 ok := false;
+                 raise Exit
+               end
+             done
+           done)
+         (worker_range ~align:(pass_align pk1) Block ~count:pk1.Plan.count
+            ~workers w)
+     done
+   with Exit -> ());
+  !ok
+
+let compute_wrap_elidable ~schedule ~workers mask (plan : Plan.t) =
+  if workers = 1 then true
+  else
+    match schedule with
+    | Cyclic _ -> false
+    | Block ->
+        let np = Array.length plan.Plan.passes in
+        let first = plan.Plan.passes.(0)
+        and last = plan.Plan.passes.(np - 1) in
+        let nb = Array.length mask in
+        first.Plan.par <> None
+        && last.Plan.par <> None
+        (* a single-pass plan has no interior barrier left to bound the
+           skew of a fast worker racing several jobs ahead *)
+        && np >= 2
+        (* no chained skew across the wrap boundary *)
+        && (nb = 0 || ((not mask.(0)) && not mask.(nb - 1)))
+        (* tmp_a is both out(pass 0) and in(pass np-1) iff np is even *)
+        && (np mod 2 = 1 || wrap_cond_b ~workers plan)
+
+let pass_ranges schedule ~workers (p : Plan.pass) =
+  match p.Plan.par with
+  | Some _ ->
+      Array.init workers (fun w ->
+          Array.of_list
+            (worker_range ~align:(pass_align p) schedule ~count:p.Plan.count
+               ~workers w))
+  | None ->
+      Array.init workers (fun w ->
+          if w = 0 then [| (0, p.Plan.count) |] else [||])
+
+let prepare pool ?(schedule = Block) ?(elide = true) ?timeout plan =
   let workers = Pool.size pool in
   let mask =
     if elide then elision_mask ~schedule ~workers plan else empty_mask
   in
-  let nb = Array.length mask in
-  let elided = ref 0 in
-  for b = 0 to nb - 1 do
-    if mask.(b) then incr elided
-  done;
-  if !elided > 0 then Counters.incr ~by:!elided "par_exec.barrier_elided";
+  let elided = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask in
+  ignore (misaligned_lines ~workers plan);
   Plan.ensure_worker_ctxs plan workers;
   let barrier = Barrier.create ?timeout workers in
+  {
+    plan;
+    pool;
+    workers;
+    schedule;
+    ranges =
+      Array.map (pass_ranges schedule ~workers) plan.Plan.passes;
+    mask;
+    elided;
+    wrap_elidable = compute_wrap_elidable ~schedule ~workers mask plan;
+    timeout;
+    barrier;
+    bctxs = Array.init workers (fun _ -> Barrier.make_ctx barrier);
+  }
+
+let refresh t =
+  t.barrier <- Barrier.create ?timeout:t.timeout t.workers;
+  t.bctxs <- Array.init t.workers (fun _ -> Barrier.make_ctx t.barrier)
+
+let check_vec name plan v =
+  if Array.length v <> 2 * plan.Plan.n then
+    invalid_arg (name ^ ": wrong vector length")
+
+let run_ranges ctx p ranges ~src ~dst =
+  for r = 0 to Array.length ranges - 1 do
+    let lo, hi = ranges.(r) in
+    Plan.run_pass_range ctx p ~src ~dst ~lo ~hi
+  done
+
+let execute_prepared t x y =
+  let plan = t.plan in
+  check_vec "Par_exec.execute" plan x;
+  check_vec "Par_exec.execute" plan y;
+  if t.elided > 0 then Counters.incr ~by:t.elided "par_exec.barrier_elided";
   let np = Array.length plan.Plan.passes in
-  Pool.run pool (fun w ->
-      let bctx = Barrier.make_ctx barrier in
-      let ctx = Plan.worker_ctx plan w in
-      for k = 0 to np - 1 do
-        Fault.check "par_exec.pass";
-        let src = Plan.pass_src plan ~x k and dst = Plan.pass_dst plan ~y k in
-        run_worker_pass ctx schedule plan.Plan.passes.(k) ~src ~dst ~workers w;
-        if k >= nb || not mask.(k) then Barrier.wait barrier bctx
-      done)
+  let nb = Array.length t.mask in
+  try
+    Pool.run t.pool (fun w ->
+        let bctx = t.bctxs.(w) in
+        let ctx = Plan.worker_ctx plan w in
+        for k = 0 to np - 1 do
+          Fault.check "par_exec.pass";
+          let src = Plan.pass_src plan ~x k
+          and dst = Plan.pass_dst plan ~y k in
+          run_ranges ctx plan.Plan.passes.(k) t.ranges.(k).(w) ~src ~dst;
+          (* no barrier after the final pass: the pool join is the
+             rendezvous that releases the caller *)
+          if k < np - 1 && (k >= nb || not t.mask.(k)) then
+            Barrier.wait t.barrier bctx
+        done)
+  with e ->
+    (* any failure strands arrival counts and senses mid-phase *)
+    refresh t;
+    raise e
+
+let execute_many t jobs =
+  let njobs = Array.length jobs in
+  if njobs > 0 then begin
+    let plan = t.plan in
+    Array.iter
+      (fun (x, y) ->
+        check_vec "Par_exec.execute_many" plan x;
+        check_vec "Par_exec.execute_many" plan y)
+      jobs;
+    (* Decide each wrap boundary up front (all workers must agree): the
+       static analysis covers the plan's internal buffers; chained user
+       buffers (job j's output feeding job j+1, or re-used inputs) are
+       caught by physical equality. *)
+    let wrap_elide =
+      Array.init (njobs - 1) (fun j ->
+          let x0, y0 = jobs.(j) and x1, y1 = jobs.(j + 1) in
+          ignore x0;
+          (* chained user buffers (job j's output feeding j+1's input, or
+             the reverse) reintroduce cross-job dependences the static
+             analysis cannot see; re-using the same (x, y) pair across
+             jobs is fine — same pass, same partition, so cross-worker
+             write sets stay disjoint *)
+          t.wrap_elidable && x1 != y0 && y1 != x0)
+    in
+    let wraps =
+      Array.fold_left (fun a b -> if b then a + 1 else a) 0 wrap_elide
+    in
+    let elided = (t.elided * njobs) + wraps in
+    if elided > 0 then Counters.incr ~by:elided "par_exec.barrier_elided";
+    let np = Array.length plan.Plan.passes in
+    let nb = Array.length t.mask in
+    try
+      Pool.run t.pool (fun w ->
+          let bctx = t.bctxs.(w) in
+          let ctx = Plan.worker_ctx plan w in
+          for j = 0 to njobs - 1 do
+            let x, y = jobs.(j) in
+            for k = 0 to np - 1 do
+              Fault.check "par_exec.pass";
+              let src = Plan.pass_src plan ~x k
+              and dst = Plan.pass_dst plan ~y k in
+              run_ranges ctx plan.Plan.passes.(k) t.ranges.(k).(w) ~src ~dst;
+              if k < np - 1 then begin
+                if k >= nb || not t.mask.(k) then Barrier.wait t.barrier bctx
+              end
+              else if j < njobs - 1 && not wrap_elide.(j) then
+                Barrier.wait t.barrier bctx
+            done
+          done)
+    with e ->
+      refresh t;
+      raise e
+  end
 
 (* Failures the supervised executor can recover from: worker exceptions
    (including injected faults and barrier timeouts recorded per worker)
@@ -164,22 +450,42 @@ let recoverable = function
   | Pool.Worker_errors _ | Pool.Deadlock _ | Barrier.Timeout _ -> true
   | _ -> false
 
-let execute_safe pool ?schedule ?elide ?timeout plan x y =
-  let heal_if_needed () =
-    if not (Pool.healthy pool) then try Pool.heal pool with _ -> ()
-  in
-  try execute pool ?schedule ?elide ?timeout plan x y
+let heal_if_needed pool =
+  if not (Pool.healthy pool) then try Pool.heal pool with _ -> ()
+
+let execute_safe_prepared t x y =
+  try execute_prepared t x y
   with e when recoverable e -> (
     Counters.incr "par_exec.retry";
-    heal_if_needed ();
-    try execute pool ?schedule ?elide ?timeout plan x y
+    heal_if_needed t.pool;
+    try execute_prepared t x y
     with e when recoverable e ->
-      heal_if_needed ();
+      heal_if_needed t.pool;
       (* Sequential execution recomputes every pass over its full range
          from the original input, so partial writes by the failed
          parallel attempts cannot leak into the result. *)
       Counters.incr "par_exec.sequential_fallback";
-      Plan.execute plan x y)
+      Plan.execute t.plan x y)
+
+let execute_many_safe t jobs =
+  try execute_many t jobs
+  with e when recoverable e -> (
+    Counters.incr "par_exec.retry";
+    heal_if_needed t.pool;
+    try execute_many t jobs
+    with e when recoverable e ->
+      heal_if_needed t.pool;
+      Counters.incr "par_exec.sequential_fallback";
+      Array.iter (fun (x, y) -> Plan.execute t.plan x y) jobs)
+
+(* Compatibility entry points: prepare per call (the schedule pieces are
+   cached on the plan, so this costs one barrier and a few arrays). *)
+
+let execute pool ?schedule ?elide ?timeout plan x y =
+  execute_prepared (prepare pool ?schedule ?elide ?timeout plan) x y
+
+let execute_safe pool ?schedule ?elide ?timeout plan x y =
+  execute_safe_prepared (prepare pool ?schedule ?elide ?timeout plan) x y
 
 let execute_fork_join ~p ?(schedule = Block) ?(elide = true) plan x y =
   if p < 1 then invalid_arg "Par_exec.execute_fork_join: p >= 1";

@@ -1,11 +1,21 @@
 (** Multithreaded execution of compiled plans.
 
     Two backends mirroring the paper's two generated-code variants:
-    - {!execute} — "pthreads" style: one job dispatched to a persistent
-      {!Pool}, stages separated by a low-latency spin {!Barrier};
+    - {!execute} / {!execute_prepared} — "pthreads" style: one job
+      dispatched to a persistent {!Pool}, stages separated by a
+      low-latency spin {!Barrier};
     - {!execute_fork_join} — "OpenMP" style: domains are spawned per call
       and joined at every parallel stage (thread startup on the critical
       path, as in OpenMP without pooling).
+
+    {!prepare} bakes the parallel schedule of a (plan, pool) pair once:
+    per-worker iteration ranges of every pass, the barrier-elision mask,
+    the barrier and its per-worker senses, and the per-worker codelet
+    scratch.  A steady-state {!execute_prepared} is one pool dispatch,
+    the interior barriers, and one join — no allocation, no sleeping, no
+    per-call analysis.  {!execute_many} amortizes even the dispatch and
+    join across a whole batch of transforms, keeping the workers inside
+    a single parallel region.
 
     {!execute_safe} wraps {!execute} in a supervisor: any recoverable
     pool failure (worker death, barrier timeout, aggregated worker
@@ -14,9 +24,13 @@
 
     Iterations of a parallel pass are assigned to workers according to
     [schedule]: [Block] is the paper's schedule (contiguous chunks, rule
-    (7)/(9), false-sharing free); [Cyclic c] hands out chunks of [c]
-    iterations round-robin (FFTW-style block-cyclic — the false-sharing
-    baseline).
+    (7)/(9)); [Cyclic c] hands out chunks of [c] iterations round-robin
+    (FFTW-style block-cyclic — the false-sharing baseline).  Block
+    boundaries of µ-tagged passes are aligned to cache-line multiples
+    ({!pass_align}), realizing Definition 1's false-sharing freedom; the
+    ["par_exec.misaligned_split"] counter records µ-lines the partition
+    nevertheless shares between workers (e.g. when a plan generated for
+    [p] processors runs with a different worker count).
 
     Both executors elide the inter-pass barrier where a static analysis
     proves the neighbouring passes partition-compatible under the Block
@@ -27,23 +41,91 @@
 type schedule = Block | Cyclic of int
 
 val worker_range :
-  schedule -> count:int -> workers:int -> int -> (int * int) list
+  ?align:int -> schedule -> count:int -> workers:int -> int ->
+  (int * int) list
 (** [worker_range sched ~count ~workers w] is the list of [lo, hi) iteration
     ranges executed by worker [w]; the ranges of all workers partition
-    [0, count).  Exposed for the machine simulator, which replays the exact
-    same schedule. *)
+    [0, count).  [align] (default 1; Block only) floors every internal
+    boundary to a multiple of [align] iterations.  Exposed for the machine
+    simulator, which replays the exact same schedule. *)
+
+val pass_align : Spiral_codegen.Plan.pass -> int
+(** Boundary alignment (iterations) that makes the pass's Block
+    partition start each worker on a fresh µ-line: µ/gcd(µ, radix) for a
+    µ-tagged pass, 1 otherwise. *)
 
 val elision_mask :
   ?schedule:schedule -> workers:int -> Spiral_codegen.Plan.t -> bool array
 (** [elision_mask ~workers plan] has one entry per pass boundary;
     [mask.(k)] is true when the barrier between passes [k] and [k+1] is
-    provably unnecessary: both passes are parallel, under the Block
-    schedule every worker's pass-[k+1] gathers land in its own pass-[k]
-    scatters, writes into an aliased ping-pong buffer touch no other
-    worker's pending reads, and the previous boundary was not itself
-    elided (worker skew stays bounded by one pass).  [Cyclic] schedules
-    get an empty mask (no elision).  Results are cached on the plan per
-    worker count. *)
+    provably unnecessary: both passes are parallel, under the (aligned)
+    Block schedule every worker's pass-[k+1] gathers land in its own
+    pass-[k] scatters, writes into an aliased ping-pong buffer touch no
+    other worker's pending reads, and the previous boundary was not
+    itself elided (worker skew stays bounded by one pass).  [Cyclic]
+    schedules get an empty mask (no elision).  Results are cached on the
+    plan per worker count. *)
+
+val misaligned_lines : workers:int -> Spiral_codegen.Plan.t -> int
+(** Number of µ-lines written by two or more workers across the plan's
+    µ-tagged parallel passes under the aligned Block partition — the
+    false-sharing residue Definition 1 promises to be zero for
+    [smp(p, µ)]-conform plans at their native worker count.  Cached on
+    the plan per worker count; a non-zero result increments
+    ["par_exec.misaligned_split"] (once, on first computation). *)
+
+type prepared
+(** A plan-baked parallel schedule bound to a pool: iteration ranges,
+    elision mask, barrier and per-worker senses, worker scratch. *)
+
+val prepare :
+  Pool.t ->
+  ?schedule:schedule ->
+  ?elide:bool ->
+  ?timeout:float ->
+  Spiral_codegen.Plan.t ->
+  prepared
+(** Bake the parallel schedule of [plan] on this pool.  [elide] (default
+    [true]) enables barrier elision; [timeout] bounds every inter-pass
+    barrier wait (default {!Barrier.default_timeout}).  The prepared
+    schedule assumes the pool keeps its size; it may be reused for any
+    number of executions, including after failures (the barrier state is
+    refreshed internally when an execution raises). *)
+
+val execute_prepared :
+  prepared -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t -> unit
+(** Pooled execution with spin barriers between passes.  Sequential passes
+    (no [par] annotation) run on worker 0 while others wait.  Elided
+    barriers are counted into {!Spiral_util.Counters} under
+    ["par_exec.barrier_elided"]; each pass declares the fault-injection
+    site ["par_exec.pass"] ({!Spiral_util.Fault}).  The barrier after the
+    final pass is subsumed by the pool join.
+    @raise Pool.Worker_errors, Pool.Deadlock on worker failure. *)
+
+val execute_safe_prepared :
+  prepared -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t -> unit
+(** Supervised {!execute_prepared}: on a recoverable failure, heals the
+    pool ({!Pool.heal}) and retries once; on a second failure, heals
+    again and falls back to sequential execution of the same plan, which
+    always produces the correct transform.  Degradations are recorded in
+    {!Spiral_util.Counters} under ["par_exec.retry"] and
+    ["par_exec.sequential_fallback"].  Never hangs: all waits are bounded
+    by the pool and barrier timeouts. *)
+
+val execute_many :
+  prepared -> (Spiral_util.Cvec.t * Spiral_util.Cvec.t) array -> unit
+(** [execute_many t jobs] runs the plan once per [(x, y)] pair in [jobs],
+    inside a {e single} parallel region: one pool dispatch, one join, for
+    the whole batch.  Where the schedule proves it safe, even the barrier
+    between consecutive transforms is elided (never across chained user
+    buffers — a job whose input is physically the previous job's output,
+    or vice versa, always gets a barrier).  Bit-identical to calling
+    {!execute_prepared} per pair. *)
+
+val execute_many_safe :
+  prepared -> (Spiral_util.Cvec.t * Spiral_util.Cvec.t) array -> unit
+(** Supervised {!execute_many} (retry once on a healed pool, then
+    sequential fallback per job). *)
 
 val execute :
   Pool.t ->
@@ -54,15 +136,9 @@ val execute :
   Spiral_util.Cvec.t ->
   Spiral_util.Cvec.t ->
   unit
-(** Pooled execution with spin barriers between passes.  Sequential passes
-    (no [par] annotation) run on worker 0 while others wait.  [elide]
-    (default [true]) skips the barriers licensed by {!elision_mask},
-    counting them into {!Spiral_util.Counters} under
-    ["par_exec.barrier_elided"].  [timeout] bounds every inter-pass
-    barrier wait (default {!Barrier.default_timeout}); each pass boundary
-    declares the fault-injection site ["par_exec.pass"]
-    ({!Spiral_util.Fault}).
-    @raise Pool.Worker_errors, Pool.Deadlock on worker failure. *)
+(** [prepare] + {!execute_prepared} in one call (the analysis pieces are
+    cached on the plan, so repeated calls stay cheap; hold a [prepared]
+    to also reuse the barrier and skip the per-call setup). *)
 
 val execute_safe :
   Pool.t ->
@@ -73,13 +149,7 @@ val execute_safe :
   Spiral_util.Cvec.t ->
   Spiral_util.Cvec.t ->
   unit
-(** Supervised {!execute}: on a recoverable failure, heals the pool
-    ({!Pool.heal}) and retries once; on a second failure, heals again and
-    falls back to sequential execution of the same plan, which always
-    produces the correct transform.  Degradations are recorded in
-    {!Spiral_util.Counters} under ["par_exec.retry"] and
-    ["par_exec.sequential_fallback"].  Never hangs: all waits are bounded
-    by the pool and barrier timeouts. *)
+(** [prepare] + {!execute_safe_prepared} in one call. *)
 
 val execute_fork_join :
   p:int ->

@@ -23,11 +23,12 @@ type worker_state = { finished : bool Atomic.t; alive : bool Atomic.t }
 type t = {
   p : int;
   mutable job : int -> unit;
-  mutable stop : bool;
+      (* Written by [run] strictly before the [gen] increment that
+         publishes it; workers read it only after observing the new
+         generation, so the plain field is never accessed concurrently. *)
+  stop : bool Atomic.t;
   gen : int Atomic.t;  (* job generation; incremented to dispatch *)
   workers : worker_state array;
-  mutex : Mutex.t;
-  cond : Condition.t;
   mutable errors : exn list;
   err_mutex : Mutex.t;
   mutable domains : unit Domain.t array;
@@ -35,6 +36,13 @@ type t = {
   mutable poisoned : bool;
   mutable timeout : float;
   mutable rebuilds : int;
+  spin_limit : int;
+  dispatch_ec : Spinwait.eventcount;  (* idle workers park here *)
+  join_ec : Spinwait.eventcount;  (* the joining caller parks here *)
+  remaining : int Atomic.t;
+      (* workers yet to finish the current job; the worker that brings it
+         to zero wakes the joiner, so intermediate finishes never cause a
+         spurious context switch of the caller *)
 }
 
 let record t e =
@@ -48,30 +56,42 @@ let worker_loop t w ~seen0 =
   let running = ref true in
   (try
      while !running do
-       (* Wait for a new job generation (or shutdown). *)
-       Mutex.lock t.mutex;
-       while Atomic.get t.gen = !seen && not t.stop do
-         Condition.wait t.cond t.mutex
-       done;
-       let stop = t.stop && Atomic.get t.gen = !seen in
-       let job = t.job in
-       Mutex.unlock t.mutex;
-       if stop then running := false
+       (* Wait for a new job generation (or shutdown): spin briefly, then
+          park on the pool's dispatch eventcount.  Idle workers use an
+          infinite timeout — they are legitimately parked, not
+          deadlocked — and are woken by the dispatch or shutdown
+          [wake_all]. *)
+       (match
+          Spinwait.wait ~spin_limit:t.spin_limit ~ec:t.dispatch_ec
+            ~timeout:infinity
+            (fun () -> Atomic.get t.gen <> !seen || Atomic.get t.stop)
+        with
+       | Spinwait.Ready -> ()
+       | Spinwait.Aborted | Spinwait.TimedOut _ -> ());
+       if Atomic.get t.gen = !seen then running := false (* stop, no job *)
        else begin
          seen := Atomic.get t.gen;
+         let job = t.job in
          (* Simulated domain death: an injection here escapes the job
             try-block below, so the whole worker loop unwinds. *)
          Fault.check "pool.worker";
-         (try job w
-          with e -> record t e);
-         Atomic.set st.finished true
+         (try job w with e -> record t e);
+         Atomic.set st.finished true;
+         (* Only the last finisher wakes the joiner; if this protocol is
+            ever wrong the joiner still makes progress from the watchdog
+            ticks of its timed park. *)
+         if Atomic.fetch_and_add t.remaining (-1) = 1 then
+           Spinwait.wake_all ~ec:t.join_ec ()
        end
      done
    with e ->
      (* The domain is dying without completing its job; leave the cause
         in the error list for the supervisor's Deadlock report. *)
      record t e);
-  Atomic.set st.alive false
+  Atomic.set st.alive false;
+  (* Wake a parked joiner so it notices the death now, not at a
+     watchdog tick. *)
+  Spinwait.wake_all ~ec:t.join_ec ()
 
 let default_timeout = ref 30.0
 
@@ -88,21 +108,24 @@ let spawn_workers t =
     Array.init (t.p - 1) (fun i ->
         Domain.spawn (fun () -> worker_loop t (i + 1) ~seen0))
 
-let create ?timeout p =
+let create ?timeout ?spin_limit p =
   if p < 1 then invalid_arg "Pool.create: p >= 1";
   let timeout = match timeout with Some s -> s | None -> !default_timeout in
   if not (timeout > 0.0) then invalid_arg "Pool.create: timeout > 0";
+  let spin_limit =
+    match spin_limit with
+    | Some s -> max 0 s
+    | None -> Spinwait.spin_limit_for ~parties:p
+  in
   let t =
     {
       p;
       job = ignore;
-      stop = false;
+      stop = Atomic.make false;
       gen = Atomic.make 0;
       workers =
         Array.init (p - 1) (fun _ ->
             { finished = Atomic.make false; alive = Atomic.make true });
-      mutex = Mutex.create ();
-      cond = Condition.create ();
       errors = [];
       err_mutex = Mutex.create ();
       domains = [||];
@@ -110,6 +133,10 @@ let create ?timeout p =
       poisoned = false;
       timeout;
       rebuilds = 0;
+      spin_limit;
+      dispatch_ec = Spinwait.eventcount ();
+      join_ec = Spinwait.eventcount ();
+      remaining = Atomic.make 0;
     }
   in
   spawn_workers t;
@@ -126,7 +153,8 @@ let set_timeout t s =
 let rebuilds t = t.rebuilds
 
 let healthy t =
-  (not t.stop) && (not t.poisoned)
+  (not (Atomic.get t.stop))
+  && (not t.poisoned)
   && Array.for_all (fun st -> Atomic.get st.alive) t.workers
 
 let missing_report t =
@@ -142,7 +170,7 @@ let missing_report t =
     (ids !stuck)
 
 let run t f =
-  if t.stop then invalid_arg "Pool.run: pool is shut down";
+  if Atomic.get t.stop then invalid_arg "Pool.run: pool is shut down";
   if t.busy then
     invalid_arg "Pool.run: pool is busy (re-entrant run from a worker?)";
   if t.poisoned then
@@ -153,17 +181,19 @@ let run t f =
   t.errors <- [];
   Mutex.unlock t.err_mutex;
   Array.iter (fun st -> Atomic.set st.finished false) t.workers;
-  Mutex.lock t.mutex;
+  Atomic.set t.remaining (t.p - 1);
+  (* Dispatch: publish the job, bump the generation, wake parked
+     workers.  The atomic increment orders the [job] write before any
+     worker's read of the new generation. *)
   t.job <- f;
   Atomic.incr t.gen;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.mutex;
+  Spinwait.wake_all ~ec:t.dispatch_ec ();
   (* The caller is worker 0. *)
-  (try f 0
-   with e -> record t e);
-  (* Supervise the others: bounded spin, then yield.  A worker whose
-     domain died can never finish, so fail fast on it; otherwise give up
-     after the pool timeout instead of spinning forever. *)
+  (try f 0 with e -> record t e);
+  (* Join: same spin-then-park rendezvous as the workers.  A worker
+     whose domain died can never finish, so abort on that immediately;
+     otherwise give up after the pool timeout instead of waiting
+     forever. *)
   let all_done () =
     Array.for_all (fun st -> Atomic.get st.finished) t.workers
   in
@@ -172,24 +202,15 @@ let run t f =
       (fun st -> (not (Atomic.get st.finished)) && not (Atomic.get st.alive))
       t.workers
   in
-  let spins = ref 0 in
-  let deadline = ref neg_infinity in
-  let gave_up = ref false in
-  while (not (all_done ())) && not !gave_up do
-    if some_worker_dead () then gave_up := true
-    else begin
-      incr spins;
-      if !spins < Barrier.spin_limit then Domain.cpu_relax ()
-      else begin
-        spins := 0;
-        let now = Unix.gettimeofday () in
-        if !deadline = neg_infinity then deadline := now +. t.timeout
-        else if now > !deadline then gave_up := true
-        else Unix.sleepf 50e-6
-      end
-    end
-  done;
-  if !gave_up then begin
+  let gave_up =
+    match
+      Spinwait.wait ~spin_limit:t.spin_limit ~ec:t.join_ec ~timeout:t.timeout
+        ~abort:some_worker_dead all_done
+    with
+    | Spinwait.Ready -> false
+    | Spinwait.Aborted | Spinwait.TimedOut _ -> true
+  in
+  if gave_up then begin
     (* Completion flags are now meaningless (a straggler may still set
        its flag during a later job): poison the pool until healed. *)
     t.poisoned <- true;
@@ -212,17 +233,15 @@ let join_all t =
   t.domains <- [||]
 
 let heal t =
-  if t.stop then invalid_arg "Pool.heal: pool is shut down";
+  if Atomic.get t.stop then invalid_arg "Pool.heal: pool is shut down";
   if t.busy then invalid_arg "Pool.heal: pool is busy";
   (* Ask survivors to exit, join everyone (the dead join immediately;
      stragglers unwind once their bounded barrier/pool waits fire), and
      restart from a clean slate. *)
-  Mutex.lock t.mutex;
-  t.stop <- true;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.mutex;
+  Atomic.set t.stop true;
+  Spinwait.wake_all ~ec:t.dispatch_ec ();
   join_all t;
-  t.stop <- false;
+  Atomic.set t.stop false;
   Mutex.lock t.err_mutex;
   t.errors <- [];
   Mutex.unlock t.err_mutex;
@@ -232,14 +251,12 @@ let heal t =
   spawn_workers t
 
 let shutdown t =
-  if not t.stop then begin
-    Mutex.lock t.mutex;
-    t.stop <- true;
-    Condition.broadcast t.cond;
-    Mutex.unlock t.mutex;
+  if not (Atomic.get t.stop) then begin
+    Atomic.set t.stop true;
+    Spinwait.wake_all ~ec:t.dispatch_ec ();
     join_all t
   end
 
-let with_pool ?timeout p f =
-  let t = create ?timeout p in
+let with_pool ?timeout ?spin_limit p f =
+  let t = create ?timeout ?spin_limit p in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -31,10 +31,14 @@ exception Deadlock of string
     when the pool gave up.  The pool is poisoned afterwards; {!heal} it
     before the next {!run}. *)
 
-val create : ?timeout:float -> int -> t
+val create : ?timeout:float -> ?spin_limit:int -> int -> t
 (** [create p] starts [p - 1] background domains ([p >= 1]).  [timeout]
     (seconds, default {!default_timeout}) bounds every {!run}'s
-    completion wait. *)
+    completion wait.  [spin_limit] overrides the spin budget of the
+    dispatch/join rendezvous before waiters park (default
+    {!Spinwait.spin_limit_for}[ ~parties:p]); idle workers and the
+    joining caller never sleep-poll — they spin briefly, then park on
+    the {!Spinwait} eventcount until woken. *)
 
 val size : t -> int
 
@@ -78,5 +82,5 @@ val rebuilds : t -> int
 val shutdown : t -> unit
 (** Joins all worker domains.  The pool must not be used afterwards. *)
 
-val with_pool : ?timeout:float -> int -> (t -> 'a) -> 'a
+val with_pool : ?timeout:float -> ?spin_limit:int -> int -> (t -> 'a) -> 'a
 (** [with_pool p f] creates a pool, applies [f], and always shuts down. *)

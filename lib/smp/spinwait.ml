@@ -1,0 +1,238 @@
+open Spiral_util
+
+(* Low-latency waiting shared by Pool (dispatch/join) and Barrier.
+
+   A wait escalates through three phases:
+
+   1. spin  — re-check the predicate between [Domain.cpu_relax] hints.
+              Free of syscalls and of clock reads; right when the poster
+              is running on another core and is at most a few hundred
+              nanoseconds away.
+   2. park  — block on an eventcount (mutex + condvar, a futex wait on
+              Linux).  This is the oversubscription path: with more
+              domains than cores, spinning only burns the poster's
+              timeslice, while a futex round-trip costs single-digit
+              microseconds.  Timeouts are detected by a watchdog domain
+              that periodically broadcasts the eventcounts so parked
+              waiters can re-check their own deadline; OCaml's
+              [Condition] has no timed wait.
+   3. timed sleep — only when the watchdog domain cannot be spawned:
+              poll the predicate with [Unix.sleepf sleep_interval].
+              Every such sleep is counted under ["smp.timed_sleep"], so
+              tests can assert that the steady state never reaches this
+              phase (on Linux each sleep costs ~100µs of timer slack,
+              which is exactly the latency this module exists to avoid).
+
+   Waiters park on a specific {!eventcount} (each pool and barrier owns
+   its own), so a post wakes only the threads that can actually make
+   progress from it: a barrier release does not wake a joiner, and one
+   pool's dispatch does not wake another pool's idle workers.  The
+   clock starts only when spinning has failed, mirroring the original
+   barrier: the fast path performs no syscalls at all. *)
+
+(* ---- named thresholds (one place; Pool and Barrier take ?spin_limit
+   overrides but default to these) ---- *)
+
+let cores = Domain.recommended_domain_count ()
+
+let dedicated_spin_limit = 10_000
+
+let oversubscribed_spin_limit = 256
+
+let default_spin_limit =
+  if cores <= 1 then oversubscribed_spin_limit else dedicated_spin_limit
+
+let spin_limit_for ~parties =
+  if parties > cores then oversubscribed_spin_limit else default_spin_limit
+
+let sleep_interval = 50e-6
+
+let watchdog_interval = 2e-3
+
+let watchdog_idle_exit = 1.0
+
+let timed_sleep_counter = "smp.timed_sleep"
+
+type outcome = Ready | Aborted | TimedOut of float
+
+(* ---- eventcounts ---- *)
+
+type eventcount = {
+  ec_mutex : Mutex.t;
+  ec_cond : Condition.t;
+  ec_parked : int Atomic.t;
+      (* waiters inside the parked phase; posters skip the mutex (and the
+         broadcast syscall) entirely while this is 0 *)
+  ec_timed : int Atomic.t;
+      (* parked waiters with a finite deadline: only these need watchdog
+         ticks *)
+}
+
+(* Every eventcount ever created, for the watchdog scan.  Eventcounts are
+   owned by pools and barriers, so the list stays small and append-only
+   (a few dozen words each; a process that created millions of pools
+   would notice, nothing realistic does). *)
+let registry : eventcount list Atomic.t = Atomic.make []
+
+let eventcount () =
+  let ec =
+    {
+      ec_mutex = Mutex.create ();
+      ec_cond = Condition.create ();
+      ec_parked = Atomic.make 0;
+      ec_timed = Atomic.make 0;
+    }
+  in
+  let rec push () =
+    let old = Atomic.get registry in
+    if not (Atomic.compare_and_set registry old (ec :: old)) then push ()
+  in
+  push ();
+  ec
+
+let default_eventcount = eventcount ()
+
+let wake_all ?(ec = default_eventcount) () =
+  if Atomic.get ec.ec_parked > 0 then begin
+    Mutex.lock ec.ec_mutex;
+    Condition.broadcast ec.ec_cond;
+    Mutex.unlock ec.ec_mutex
+  end
+
+(* ---- watchdog ---- *)
+
+let watchdog_live = Atomic.make false
+
+(* Goes false permanently if Domain.spawn fails; waits then fall back to
+   timed-sleep polling. *)
+let watchdog_ok = Atomic.make true
+
+let any_timed () =
+  List.exists (fun ec -> Atomic.get ec.ec_timed > 0) (Atomic.get registry)
+
+let tick_timed () =
+  List.iter
+    (fun ec ->
+      if Atomic.get ec.ec_timed > 0 then begin
+        Mutex.lock ec.ec_mutex;
+        Condition.broadcast ec.ec_cond;
+        Mutex.unlock ec.ec_mutex
+      end)
+    (Atomic.get registry)
+
+let rec watchdog_loop idle_since =
+  Unix.sleepf watchdog_interval;
+  if any_timed () then begin
+    tick_timed ();
+    watchdog_loop (Unix.gettimeofday ())
+  end
+  else begin
+    let now = Unix.gettimeofday () in
+    if now -. idle_since < watchdog_idle_exit then watchdog_loop idle_since
+    else begin
+      Atomic.set watchdog_live false;
+      (* A waiter may have registered between our last [any_timed] check
+         and the flag store above; it would then observe
+         [watchdog_live = true] and not spawn a replacement.  Re-check
+         and take the duty back rather than leave it uncovered.  (The
+         waiter increments its eventcount's timed counter before reading
+         the flag, so one of the two always notices.) *)
+      if any_timed () && Atomic.compare_and_set watchdog_live false true then
+        watchdog_loop now
+    end
+  end
+
+let ensure_watchdog () =
+  if
+    Atomic.get watchdog_ok
+    && (not (Atomic.get watchdog_live))
+    && Atomic.compare_and_set watchdog_live false true
+  then
+    match Domain.spawn (fun () -> watchdog_loop (Unix.gettimeofday ())) with
+    | (_ : unit Domain.t) -> ()
+    | exception _ ->
+        Atomic.set watchdog_live false;
+        Atomic.set watchdog_ok false
+
+(* ---- phases 2 and 3 ---- *)
+
+let sleep_poll ~start ~deadline ~abort pred =
+  let rec loop () =
+    if pred () then Ready
+    else if abort () then Aborted
+    else
+      let now = Unix.gettimeofday () in
+      if now > deadline then TimedOut (now -. start)
+      else begin
+        Counters.incr timed_sleep_counter;
+        Unix.sleepf sleep_interval;
+        loop ()
+      end
+  in
+  loop ()
+
+let park ~ec ~start ~deadline ~abort pred =
+  let finite = deadline < infinity in
+  Atomic.incr ec.ec_parked;
+  if finite then begin
+    (* Order matters: register in the timed counter before ensure_watchdog
+       reads [watchdog_live] (see the exit race in watchdog_loop). *)
+    Atomic.incr ec.ec_timed;
+    ensure_watchdog ()
+  end;
+  let unpark () =
+    Atomic.decr ec.ec_parked;
+    if finite then Atomic.decr ec.ec_timed
+  in
+  if finite && not (Atomic.get watchdog_ok) then begin
+    (* No watchdog to wake us at the deadline: fall back to counted
+       timed-sleep polling (the only phase that ever calls sleepf). *)
+    unpark ();
+    sleep_poll ~start ~deadline ~abort pred
+  end
+  else begin
+    Mutex.lock ec.ec_mutex;
+    let rec loop () =
+      (* The final predicate check happens under the eventcount mutex, and
+         posters broadcast under the same mutex after their state change,
+         so a post between our check and [Condition.wait] cannot be
+         lost. *)
+      if pred () then Ready
+      else if abort () then Aborted
+      else
+        let now = Unix.gettimeofday () in
+        if now > deadline then TimedOut (now -. start)
+        else begin
+          Condition.wait ec.ec_cond ec.ec_mutex;
+          loop ()
+        end
+    in
+    let r = loop () in
+    Mutex.unlock ec.ec_mutex;
+    unpark ();
+    r
+  end
+
+let no_abort () = false
+
+let wait ?(spin_limit = default_spin_limit) ?(ec = default_eventcount) ~timeout
+    ?(abort = no_abort) pred =
+  if pred () then Ready
+  else if abort () then Aborted
+  else begin
+    let spins = ref 0 in
+    let result = ref None in
+    while !result = None && !spins < spin_limit do
+      if pred () then result := Some Ready
+      else if !spins land 255 = 255 && abort () then result := Some Aborted
+      else begin
+        incr spins;
+        Domain.cpu_relax ()
+      end
+    done;
+    match !result with
+    | Some r -> r
+    | None ->
+        let start = Unix.gettimeofday () in
+        park ~ec ~start ~deadline:(start +. timeout) ~abort pred
+  end

@@ -1,0 +1,99 @@
+(** Shared low-latency wait/wake machinery for {!Pool} and {!Barrier}.
+
+    A {!wait} escalates spin → park → timed sleep:
+
+    - {e spin}: bounded [Domain.cpu_relax] polling of the predicate — no
+      syscalls, no clock reads;
+    - {e park}: block on an {!eventcount} (mutex + condvar;
+      single-digit-microsecond wake-up on Linux).  Each pool and barrier
+      owns its own eventcount, so a post wakes only threads that can
+      make progress from it — a barrier release never wakes a joiner,
+      one pool's dispatch never wakes another pool's idle workers.
+      Posters call {!wake_all} after their state change; when nobody is
+      parked this is one atomic load and nothing else.  Deadlines of
+      parked waiters are enforced by a lazily-spawned watchdog domain
+      that broadcasts every eventcount with timed waiters every
+      {!watchdog_interval} seconds (OCaml's [Condition] has no timed
+      wait); the watchdog exits after {!watchdog_idle_exit} seconds
+      without timed waiters;
+    - {e timed sleep}: only if the watchdog domain cannot be spawned,
+      poll with [Unix.sleepf] {!sleep_interval} — every sleep is counted
+      under ["smp.timed_sleep"] ({!Spiral_util.Counters}), which is how
+      tests assert the steady state performs no sleeps at all.
+
+    The timeout clock starts only once spinning has failed, so the fast
+    path performs no syscalls (same contract as the original barrier). *)
+
+type outcome =
+  | Ready  (** The predicate became true. *)
+  | Aborted  (** The abort condition became true first. *)
+  | TimedOut of float
+      (** Neither happened within [timeout] seconds of the end of the
+          spin phase; payload is the measured wait. *)
+
+type eventcount
+(** A parking lot: waiters park on one, posters wake it.  Allocate one
+    per rendezvous object (pool, barrier) so wake-ups stay targeted. *)
+
+val eventcount : unit -> eventcount
+(** Fresh eventcount, registered with the watchdog for deadline ticks.
+    Eventcounts are never unregistered — own them from long-lived
+    objects, not per operation. *)
+
+val wait :
+  ?spin_limit:int ->
+  ?ec:eventcount ->
+  timeout:float ->
+  ?abort:(unit -> bool) ->
+  (unit -> bool) ->
+  outcome
+(** [wait ~ec ~timeout pred] blocks until [pred ()] ([Ready]), [abort ()]
+    ([Aborted], checked at a coarser cadence than [pred]), or [timeout]
+    seconds after spinning failed ([TimedOut]).  [timeout] may be
+    [infinity] (park until woken; such waiters never engage the
+    watchdog).  Both callbacks must be cheap and must not raise.  [ec]
+    defaults to a process-wide eventcount; pass the poster's eventcount
+    so its {!wake_all} reaches this waiter. *)
+
+val wake_all : ?ec:eventcount -> unit -> unit
+(** Wake every waiter parked on [ec] (default: the process-wide
+    eventcount) so it re-checks its predicate.  Call after any state
+    change a waiter might be blocked on.  Cheap when nobody is parked
+    (one atomic load). *)
+
+(** {2 Named thresholds}
+
+    The single home of the spin/sleep constants both {!Pool} and
+    {!Barrier} use (hoisted here from their former per-module copies). *)
+
+val default_spin_limit : int
+(** Spin iterations before parking: {!dedicated_spin_limit} when the
+    machine has more than one core, else {!oversubscribed_spin_limit}. *)
+
+val dedicated_spin_limit : int
+(** Spin budget when waiters can expect to own a core (10_000). *)
+
+val oversubscribed_spin_limit : int
+(** Spin budget when domains outnumber cores — spinning only delays the
+    poster, so park almost immediately (256). *)
+
+val spin_limit_for : parties:int -> int
+(** Recommended spin limit for a rendezvous of [parties] domains on this
+    machine: {!oversubscribed_spin_limit} when [parties] exceeds the
+    available cores, {!default_spin_limit} otherwise. *)
+
+val sleep_interval : float
+(** Poll period of the timed-sleep fallback phase, seconds (50µs — the
+    constant formerly hardcoded in both [Pool.run] and [Barrier.wait]). *)
+
+val watchdog_interval : float
+(** Period of the watchdog's deadline broadcasts, seconds.  Bounds how
+    late a parked waiter notices its timeout expired. *)
+
+val watchdog_idle_exit : float
+(** Seconds without any timed parked waiter before the watchdog domain
+    exits (it is respawned on demand). *)
+
+val timed_sleep_counter : string
+(** Name of the {!Spiral_util.Counters} site ("smp.timed_sleep") bumped
+    once per fallback [Unix.sleepf].  Zero in any healthy steady state. *)

@@ -432,6 +432,191 @@ let test_elision_under_fault () =
         (Counters.get "par_exec.barrier_elided" > 0));
   Fault.reset ()
 
+(* ------------------------------------------------------------------ *)
+(* Low-latency rendezvous; prepared schedules; batched execution       *)
+
+let test_dispatch_no_sleep () =
+  (* the steady-state dispatch/join/barrier path must never reach the
+     timed-sleep fallback: spin and park only *)
+  Counters.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:41 256 in
+  let want = Cvec.create 256 in
+  Plan.execute plan x want;
+  Pool.with_pool 4 (fun pool ->
+      let prep = Par_exec.prepare pool plan in
+      let y = Cvec.create 256 in
+      for _ = 1 to 50 do
+        Par_exec.execute_prepared prep x y
+      done;
+      check cb "prepared correct" true (Cvec.max_abs_diff y want = 0.0));
+  check ci "no timed sleeps in steady state" 0
+    (Counters.get Spinwait.timed_sleep_counter)
+
+let test_execute_many_bit_identical () =
+  let plan = mc_plan () in
+  let jobs = 6 in
+  let xs = Array.init jobs (fun j -> Cvec.random ~seed:(50 + j) 256) in
+  let wants =
+    Array.map
+      (fun x ->
+        let y = Cvec.create 256 in
+        Plan.execute plan x y;
+        y)
+      xs
+  in
+  Pool.with_pool 4 (fun pool ->
+      let prep = Par_exec.prepare pool plan in
+      let ys = Array.map (fun _ -> Cvec.create 256) xs in
+      Par_exec.execute_many prep (Array.init jobs (fun j -> (xs.(j), ys.(j))));
+      Array.iteri
+        (fun j y ->
+          check cb
+            (Printf.sprintf "job %d bit-identical" j)
+            true
+            (Cvec.max_abs_diff y wants.(j) = 0.0))
+        ys)
+
+let test_execute_many_chained () =
+  (* job j+1 reads job j's output: the wrap barrier must not be elided *)
+  let plan = mc_plan () in
+  let x0 = Cvec.random ~seed:60 256 in
+  let b1 = Cvec.create 256
+  and b2 = Cvec.create 256
+  and b3 = Cvec.create 256 in
+  let w1 = Cvec.create 256
+  and w2 = Cvec.create 256
+  and w3 = Cvec.create 256 in
+  Plan.execute plan x0 w1;
+  Plan.execute plan w1 w2;
+  Plan.execute plan w2 w3;
+  Pool.with_pool 4 (fun pool ->
+      let prep = Par_exec.prepare pool plan in
+      Par_exec.execute_many prep [| (x0, b1); (b1, b2); (b2, b3) |];
+      check cb "chain 1" true (Cvec.max_abs_diff b1 w1 = 0.0);
+      check cb "chain 2" true (Cvec.max_abs_diff b2 w2 = 0.0);
+      check cb "chain 3" true (Cvec.max_abs_diff b3 w3 = 0.0))
+
+let test_execute_many_same_buffers () =
+  (* re-using one (x, y) pair across the batch — the benchmark loop —
+     keeps wrap elision legal and the result identical to execute *)
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:61 256 in
+  let want = Cvec.create 256 in
+  Plan.execute plan x want;
+  Pool.with_pool 4 (fun pool ->
+      let prep = Par_exec.prepare pool plan in
+      let y = Cvec.create 256 in
+      Par_exec.execute_many prep (Array.make 10 (x, y));
+      check cb "identical after batch" true (Cvec.max_abs_diff y want = 0.0))
+
+let test_prepared_reuse_after_fault () =
+  Fault.reset ();
+  Counters.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:62 256 in
+  let want = Naive_dft.dft x in
+  Pool.with_pool ~timeout:0.5 4 (fun pool ->
+      let prep = Par_exec.prepare pool ~timeout:0.5 plan in
+      let y = Cvec.create 256 in
+      Par_exec.execute_safe_prepared prep x y;
+      check cb "before fault" true (close_enough y want);
+      Fault.arm ~site:"par_exec.pass" ~after:2 ~times:1 ();
+      Cvec.fill_zero y;
+      Par_exec.execute_safe_prepared prep x y;
+      check cb "correct despite fault" true (close_enough y want);
+      Fault.reset ();
+      Cvec.fill_zero y;
+      for _ = 1 to 10 do
+        Par_exec.execute_safe_prepared prep x y
+      done;
+      check cb "prepared reusable after fault" true (close_enough y want));
+  Fault.reset ()
+
+let test_mu_alignment_property () =
+  (* Definition 1: whenever (pµ)² | N, every aligned Block boundary of a
+     µ-tagged pass falls on a multiple of µ complex elements, and the
+     false-sharing residue is zero *)
+  List.iter
+    (fun (p, mu, m, n) ->
+      match
+        Derive.multicore_dft ~p ~mu
+          (Ruletree.Ct (Ruletree.mixed_radix m, Ruletree.mixed_radix (n / m)))
+      with
+      | Error e -> Alcotest.fail (Derive.error_to_string e)
+      | Ok f ->
+          let plan = Plan.of_formula f in
+          Array.iter
+            (fun (pass : Plan.pass) ->
+              match (pass.Plan.par, pass.Plan.mu) with
+              | Some _, Some pmu ->
+                  for w = 0 to p - 1 do
+                    List.iter
+                      (fun (lo, hi) ->
+                        check ci
+                          (Printf.sprintf "lo µ-aligned (p=%d µ=%d w=%d)" p mu
+                             w)
+                          0
+                          (lo * pass.Plan.radix mod pmu);
+                        if hi <> pass.Plan.count then
+                          check ci "hi µ-aligned" 0
+                            (hi * pass.Plan.radix mod pmu))
+                      (Par_exec.worker_range
+                         ~align:(Par_exec.pass_align pass) Par_exec.Block
+                         ~count:pass.Plan.count ~workers:p w)
+                  done
+              | _ -> ())
+            plan.Plan.passes;
+          check ci
+            (Printf.sprintf "no shared µ-lines at native p (p=%d µ=%d)" p mu)
+            0
+            (Par_exec.misaligned_lines ~workers:p plan))
+    [
+      (2, 2, 16, 256);
+      (2, 4, 16, 256);
+      (4, 2, 16, 256);
+      (2, 2, 64, 4096);
+      (4, 4, 64, 4096);
+    ]
+
+let test_misaligned_counter_fires () =
+  (* a plan generated for p=4 processors but partitioned for 3 workers
+     shares µ-lines between workers; the check must see them *)
+  let plan = mc_plan () in
+  check ci "native worker count is clean" 0
+    (Par_exec.misaligned_lines ~workers:4 plan);
+  check cb "mismatched worker count shares lines" true
+    (Par_exec.misaligned_lines ~workers:3 plan > 0)
+
+let test_worker_range_aligned () =
+  let ranges align =
+    List.init 3 (fun w ->
+        Par_exec.worker_range ~align Par_exec.Block ~count:64 ~workers:3 w)
+  in
+  check cb "align=1 keeps remainder boundaries" true
+    (ranges 1 = [ [ (0, 22) ]; [ (22, 43) ]; [ (43, 64) ] ]);
+  check cb "align=8 floors internal boundaries" true
+    (ranges 8 = [ [ (0, 16) ]; [ (16, 40) ]; [ (40, 64) ] ]);
+  check cb "oversized align collapses onto one worker" true
+    (ranges 64 = [ []; []; [ (0, 64) ] ])
+
+let prop_worker_range_aligned_partition =
+  QCheck.Test.make ~name:"aligned worker ranges partition [0, count)"
+    ~count:200
+    QCheck.(triple (int_range 1 300) (int_range 1 8) (int_range 1 32))
+    (fun (count, workers, align) ->
+      let seen = Array.make count 0 in
+      List.iter
+        (fun w ->
+          List.iter
+            (fun (lo, hi) ->
+              for i = lo to hi - 1 do
+                seen.(i) <- seen.(i) + 1
+              done)
+            (Par_exec.worker_range ~align Par_exec.Block ~count ~workers w))
+        (List.init workers (fun w -> w));
+      Array.for_all (fun c -> c = 1) seen)
+
 let suite =
   [
     Alcotest.test_case "barrier: multi-phase visibility" `Quick test_barrier_phases;
@@ -473,4 +658,21 @@ let suite =
       test_execute_safe_sequential_fallback;
     Alcotest.test_case "execute_safe: barrier fault" `Quick
       test_execute_safe_barrier_fault;
+    Alcotest.test_case "dispatch: zero timed sleeps in steady state" `Quick
+      test_dispatch_no_sleep;
+    Alcotest.test_case "execute_many: bit-identical to execute" `Quick
+      test_execute_many_bit_identical;
+    Alcotest.test_case "execute_many: chained buffers keep wrap barrier"
+      `Quick test_execute_many_chained;
+    Alcotest.test_case "execute_many: same buffers reused across batch"
+      `Quick test_execute_many_same_buffers;
+    Alcotest.test_case "prepared: reusable after injected fault" `Quick
+      test_prepared_reuse_after_fault;
+    Alcotest.test_case "µ-alignment: boundaries on µ-lines, zero residue"
+      `Quick test_mu_alignment_property;
+    Alcotest.test_case "µ-alignment: misaligned counter fires off-p" `Quick
+      test_misaligned_counter_fires;
+    Alcotest.test_case "schedule: aligned boundaries" `Quick
+      test_worker_range_aligned;
+    QCheck_alcotest.to_alcotest prop_worker_range_aligned_partition;
   ]
