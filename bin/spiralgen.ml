@@ -242,6 +242,12 @@ let cmd_run =
                 "par_exec.sequential_fallback"; "pool.deadlock"; "pool.rebuild";
               ]
           in
+          let fb = Counters.get "engine.seq_fallback" in
+          if fb > 0 then
+            Printf.printf
+              "note: %d plan(s) fell back to the sequential formula (size \
+               or divisibility ruled out the requested thread count)\n"
+              fb;
           (match
              List.filter (fun (k, _) -> degradation k) (Counters.snapshot ())
            with

@@ -1,72 +1,44 @@
 open Spiral_util
 open Spiral_spl
 open Spiral_rewrite
-open Spiral_codegen
 
-type t = {
-  count : int;
-  n : int;
-  plan : Plan.t;
-  formula : Formula.t;
-  pool : Spiral_smp.Pool.t option;
-  prep : Spiral_smp.Par_exec.prepared option;
-  mutable alive : bool;
-}
+type t = { count : int; n : int; engine : Engine.t }
+
+let derive ~count ~n ~threads ~mu =
+  let top = Formula.Tensor (Formula.I count, Formula.DFT n) in
+  let inner = Ruletree.expand (Ruletree.mixed_radix n) in
+  if threads <= 1 then (Derive.substitute_nonterminals top [ inner ], 1)
+  else
+    match Parallel_rules.parallelize ~p:threads ~mu top with
+    | Ok f when Props.fully_optimized ~p:threads ~mu f ->
+        (Derive.substitute_nonterminals f [ inner ], threads)
+    | Ok _ | Error _ -> (Derive.substitute_nonterminals top [ inner ], 1)
 
 let plan ?(threads = 1) ?(mu = 4) ~count n =
   if count < 1 || n < 1 then invalid_arg "Batch.plan: count and n >= 1";
-  let top = Formula.Tensor (Formula.I count, Formula.DFT n) in
-  let inner = Ruletree.expand (Ruletree.mixed_radix n) in
-  let formula, p =
-    if threads <= 1 then
-      (Derive.substitute_nonterminals top [ inner ], 1)
-    else
-      match Parallel_rules.parallelize ~p:threads ~mu top with
-      | Ok f when Props.fully_optimized ~p:threads ~mu f ->
-          (Derive.substitute_nonterminals f [ inner ], threads)
-      | Ok _ | Error _ -> (Derive.substitute_nonterminals top [ inner ], 1)
+  let engine =
+    Engine.plan ~threads ~mu ~derive:(derive ~count ~n)
+      (Problem.make ~batch:count Problem.Dft [ n ])
   in
-  let plan = Plan.of_formula formula in
-  let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
-  let prep = Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl plan) pool in
-  { count; n; plan; formula; pool; prep; alive = true }
+  { count; n; engine }
 
 let count t = t.count
 let n t = t.n
-let parallel t = t.pool <> None
-let formula t = t.formula
+let parallel t = Engine.parallel t.engine
+let formula t = Engine.formula t.engine
 
 let execute t x =
-  if not t.alive then invalid_arg "Batch: plan was destroyed";
-  let total = t.count * t.n in
-  if Cvec.length x <> total then invalid_arg "Batch.execute: wrong length";
-  let y = Cvec.create total in
-  (match t.prep with
-  | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep x y
-  | None -> Plan.execute t.plan x y);
+  let y = Cvec.create (Engine.size t.engine) in
+  Engine.execute_into t.engine ~src:x ~dst:y;
   y
 
 let execute_many t xs =
-  if not t.alive then invalid_arg "Batch: plan was destroyed";
-  let total = t.count * t.n in
-  Array.iter
-    (fun x ->
-      if Cvec.length x <> total then
-        invalid_arg "Batch.execute_many: wrong length")
-    xs;
+  let total = Engine.size t.engine in
   let ys = Array.map (fun _ -> Cvec.create total) xs in
-  (match t.prep with
-  | Some prep ->
-      Spiral_smp.Par_exec.execute_many_safe prep
-        (Array.mapi (fun i x -> (x, ys.(i))) xs)
-  | None -> Array.iteri (fun i x -> Plan.execute t.plan x ys.(i)) xs);
+  Engine.execute_many t.engine (Array.mapi (fun i x -> (x, ys.(i))) xs);
   ys
 
-let destroy t =
-  if t.alive then begin
-    t.alive <- false;
-    Option.iter Spiral_smp.Pool.shutdown t.pool
-  end
+let destroy t = Engine.destroy t.engine
 
 let with_plan ?threads ?mu ~count n f =
   let t = plan ?threads ?mu ~count n in

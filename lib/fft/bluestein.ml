@@ -1,15 +1,12 @@
 open Spiral_util
 open Spiral_rewrite
-open Spiral_codegen
 
 type t = {
   n : int;
   m : int;  (* convolution size: power of two >= 2n - 1 *)
   chirp : float array;  (* c[j] = exp(-i pi j^2 / n), interleaved, n entries *)
   kernel_spectrum : float array;  (* DFT_m of the padded conj-chirp *)
-  inner : Plan.t;  (* forward DFT_m *)
-  pool : Spiral_smp.Pool.t option;
-  prep : Spiral_smp.Par_exec.prepared option;
+  inner : Engine.t;  (* forward DFT_m through the unified engine *)
   (* work buffers (2m floats each) *)
   buf_b : float array;
   buf_fb : float array;
@@ -37,22 +34,19 @@ let chirp_table n =
   done;
   t
 
-let run_inner t src dst =
-  match t.prep with
-  | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep src dst
-  | None -> Plan.execute t.inner src dst
+let run_inner t src dst = Engine.execute_into t.inner ~src ~dst
 
 let plan ?(threads = 1) ?(mu = 4) n =
   if n < 1 then invalid_arg "Bluestein.plan: n >= 1";
   let m = next_pow2 ((2 * n) - 1) in
   let chirp = chirp_table n in
-  let formula, p =
-    Planner.derive_formula ~threads ~mu ~tree:(Ruletree.mixed_radix m) m
-  in
-  let inner = Plan.of_formula formula in
-  let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
-  let prep =
-    Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl inner) pool
+  (* the inner problem is a plain forward DFT_m: it shares the plan
+     registry entry (and the pool) with any other size-m transform *)
+  let inner =
+    Engine.plan ~threads ~mu
+      ~derive:(fun ~threads ~mu ->
+        Planner.derive_formula ~threads ~mu ~tree:(Ruletree.mixed_radix m) m)
+      (Problem.make Problem.Dft [ m ])
   in
   let t =
     {
@@ -61,8 +55,6 @@ let plan ?(threads = 1) ?(mu = 4) n =
       chirp;
       kernel_spectrum = Array.make (2 * m) 0.0;
       inner;
-      pool;
-      prep;
       buf_b = Array.make (2 * m) 0.0;
       buf_fb = Array.make (2 * m) 0.0;
       buf_conv = Array.make (2 * m) 0.0;
@@ -127,5 +119,5 @@ let execute_into t ~src ~dst =
 let destroy t =
   if t.alive then begin
     t.alive <- false;
-    Option.iter Spiral_smp.Pool.shutdown t.pool
+    Engine.destroy t.inner
   end

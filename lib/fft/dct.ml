@@ -6,6 +6,10 @@ type t = {
   inv : Dft.t;
   (* chirp[k] = exp (-i pi k / (2n)) *)
   chirp : float array;
+  (* plan-time work buffers (n complex elements each): the reordered /
+     rebuilt spectrum and the inner transform's output *)
+  v : Cvec.t;
+  f : Cvec.t;
 }
 
 let plan ?threads ?mu n =
@@ -22,41 +26,49 @@ let plan ?threads ?mu n =
     fwd = Dft.plan ?threads ?mu n;
     inv = Dft.plan ~direction:Dft.Inverse ?threads ?mu n;
     chirp;
+    v = Cvec.create n;
+    f = Cvec.create n;
   }
 
 let n t = t.n
 
-(* Makhoul reordering: v = [x0 x2 x4 … x5 x3 x1]. *)
-let reorder t x =
+let parallel t = Dft.parallel t.fwd
+
+let forward_into t ~src ~dst =
+  if Array.length src <> t.n then invalid_arg "Dct.forward: wrong length";
+  if Array.length dst <> t.n then
+    invalid_arg "Dct.forward: output needs n coefficients";
   let n = t.n in
-  let v = Cvec.create n in
+  (* Makhoul reordering: v = [x0 x2 x4 … x5 x3 x1]. *)
+  Cvec.fill_zero t.v;
   for j = 0 to (n / 2) - 1 do
-    v.(2 * j) <- x.(2 * j);
-    v.(2 * (n - 1 - j)) <- x.((2 * j) + 1)
+    t.v.(2 * j) <- src.(2 * j);
+    t.v.(2 * (n - 1 - j)) <- src.((2 * j) + 1)
   done;
-  v
+  Dft.execute_into t.fwd ~src:t.v ~dst:t.f;
+  (* C_k = Re (chirp_k · F_k) *)
+  for k = 0 to n - 1 do
+    let fr = t.f.(2 * k) and fi = t.f.((2 * k) + 1) in
+    let wr = t.chirp.(2 * k) and wi = t.chirp.((2 * k) + 1) in
+    dst.(k) <- (wr *. fr) -. (wi *. fi)
+  done
 
 let forward t x =
-  if Array.length x <> t.n then invalid_arg "Dct.forward: wrong length";
-  let n = t.n in
-  let f = Dft.execute t.fwd (reorder t x) in
-  (* C_k = Re (chirp_k · F_k) *)
-  let c = Array.make n 0.0 in
-  for k = 0 to n - 1 do
-    let fr = f.(2 * k) and fi = f.((2 * k) + 1) in
-    let wr = t.chirp.(2 * k) and wi = t.chirp.((2 * k) + 1) in
-    c.(k) <- (wr *. fr) -. (wi *. fi)
-  done;
+  let c = Array.make t.n 0.0 in
+  forward_into t ~src:x ~dst:c;
   c
 
-let inverse t c =
-  if Array.length c <> t.n then invalid_arg "Dct.inverse: wrong length";
+let inverse_into t ~src ~dst =
+  if Array.length src <> t.n then invalid_arg "Dct.inverse: wrong length";
+  if Array.length dst <> t.n then
+    invalid_arg "Dct.inverse: output needs n samples";
   let n = t.n in
+  let c = src in
   (* rebuild the spectrum: with Z_k = chirp_k · F_k Hermitian symmetry
      gives Z_{n-k} = -i · conj Z_k, hence C_k = Re Z_k and
      C_{n-k} = -Im Z_k (k >= 1), so
      F_k = conj(chirp_k) · (C_k - i C_{n-k}); F_0 = C_0. *)
-  let f = Cvec.create n in
+  let f = t.f in
   f.(0) <- c.(0);
   f.(1) <- 0.0;
   for k = 1 to n - 1 do
@@ -65,13 +77,16 @@ let inverse t c =
     f.(2 * k) <- (wr *. zr) -. (wi *. zi);
     f.((2 * k) + 1) <- (wr *. zi) +. (wi *. zr)
   done;
-  let v = Dft.execute t.inv f in
+  Dft.execute_into t.inv ~src:t.f ~dst:t.v;
   (* undo the even-odd reordering *)
-  let x = Array.make n 0.0 in
   for j = 0 to (n / 2) - 1 do
-    x.(2 * j) <- v.(2 * j);
-    x.((2 * j) + 1) <- v.(2 * (n - 1 - j))
-  done;
+    dst.(2 * j) <- t.v.(2 * j);
+    dst.((2 * j) + 1) <- t.v.(2 * (n - 1 - j))
+  done
+
+let inverse t c =
+  let x = Array.make t.n 0.0 in
+  inverse_into t ~src:c ~dst:x;
   x
 
 let destroy t =

@@ -4,7 +4,12 @@
     beyond the DFT/WHT.
 
     Convention (unnormalized DCT-II):
-    [C_k = Σ_j x_j · cos(π k (2j + 1) / (2n))]. *)
+    [C_k = Σ_j x_j · cos(π k (2j + 1) / (2n))].
+
+    The inner complex transforms run through the unified {!Engine}
+    (supervised prepared parallel execution when [threads > 1]); all work
+    buffers live in the plan, so the {!forward_into}/{!inverse_into}
+    steady state allocates nothing. *)
 
 type t
 
@@ -13,11 +18,23 @@ val plan : ?threads:int -> ?mu:int -> int -> t
 
 val n : t -> int
 
+val parallel : t -> bool
+(** [true] when the inner DFT executes the multicore formula. *)
+
 val forward : t -> float array -> float array
 (** Real input of length [n] to the [n] DCT-II coefficients. *)
 
+val forward_into : t -> src:float array -> dst:float array -> unit
+(** As {!forward} into a caller-provided length-[n] array;
+    allocation-free in steady state.  Not re-entrant: the plan owns the
+    reorder buffers. *)
+
 val inverse : t -> float array -> float array
 (** Exact inverse of {!forward} (the scaled DCT-III). *)
+
+val inverse_into : t -> src:float array -> dst:float array -> unit
+(** As {!inverse} into a caller-provided length-[n] array;
+    allocation-free in steady state. *)
 
 val destroy : t -> unit
 

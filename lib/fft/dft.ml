@@ -1,17 +1,10 @@
 open Spiral_util
 open Spiral_rewrite
-open Spiral_codegen
 
 type direction = Forward | Inverse
 
 type impl =
-  | Direct of {
-      plan : Plan.t;
-      formula : Spiral_spl.Formula.t;
-      pool : Spiral_smp.Pool.t option;
-      prep : Spiral_smp.Par_exec.prepared option;
-          (* schedule baked at plan time; Some iff pool is Some *)
-    }
+  | Direct of Engine.t
   | Chirp of Bluestein.t
       (** Sizes with prime factors beyond the codelet range. *)
 
@@ -19,6 +12,8 @@ type t = {
   n : int;
   direction : direction;
   impl : impl;
+  conj_buf : Cvec.t option;
+      (* plan-time conjugation scratch; Some iff direction = Inverse *)
   mutable alive : bool;
 }
 
@@ -26,6 +21,7 @@ let plan ?(direction = Forward) ?(threads = 1) ?(mu = 4) ?tree n =
   if n < 1 then invalid_arg "Dft.plan: n >= 1";
   let impl =
     if Bluestein.supported_directly n || tree <> None then begin
+      let custom = tree <> None in
       let tree =
         match tree with
         | Some t ->
@@ -34,60 +30,50 @@ let plan ?(direction = Forward) ?(threads = 1) ?(mu = 4) ?tree n =
             t
         | None -> Ruletree.mixed_radix n
       in
-      let formula, p = Planner.derive_formula ~threads ~mu ~tree n in
-      let plan =
-        try Plan.of_formula formula
-        with Ir.Unsupported msg -> invalid_arg ("Dft.plan: " ^ msg)
+      (* the inverse is the conjugated forward transform, so both
+         directions share one engine (and one plan-registry entry) *)
+      let eng =
+        try
+          Engine.plan ~threads ~mu ~cache:(not custom)
+            ~derive:(fun ~threads ~mu ->
+              Planner.derive_formula ~threads ~mu ~tree n)
+            (Problem.make Problem.Dft [ n ])
+        with Invalid_argument msg -> invalid_arg ("Dft.plan: " ^ msg)
       in
-      let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
-      let prep =
-        Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl plan) pool
-      in
-      Direct { plan; formula; pool; prep }
+      Direct eng
     end
     else Chirp (Bluestein.plan ~threads ~mu n)
   in
-  { n; direction; impl; alive = true }
+  let conj_buf = if direction = Inverse then Some (Cvec.create n) else None in
+  { n; direction; impl; conj_buf; alive = true }
 
 let n t = t.n
 
 let threads t =
-  match t.impl with
-  | Direct { pool = Some p; _ } -> Spiral_smp.Pool.size p
-  | Direct _ | Chirp _ -> 1
+  match t.impl with Direct eng -> Engine.threads eng | Chirp _ -> 1
 
 let parallel t =
-  match t.impl with Direct { pool = Some _; _ } -> true | _ -> false
+  match t.impl with Direct eng -> Engine.parallel eng | Chirp _ -> false
 
 let formula t =
   match t.impl with
-  | Direct { formula; _ } -> formula
+  | Direct eng -> Engine.formula eng
   | Chirp _ -> Spiral_spl.Formula.DFT t.n
 
 let description t =
   let dir = match t.direction with Forward -> "forward" | Inverse -> "inverse" in
   match t.impl with
-  | Direct { plan; _ } ->
+  | Direct eng ->
       Printf.sprintf "DFT_%d %s threads=%d\n%s" t.n dir (threads t)
-        (Plan.describe plan)
+        (Engine.describe eng)
   | Chirp b ->
       Printf.sprintf "DFT_%d %s via Bluestein (inner size %d)\n" t.n dir
         (Bluestein.inner_size b)
 
 let forward_into t ~src ~dst =
   match t.impl with
-  | Direct { plan; prep; _ } -> (
-      match prep with
-      | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep src dst
-      | None -> Plan.execute plan src dst)
+  | Direct eng -> Engine.execute_into eng ~src ~dst
   | Chirp b -> Bluestein.execute_into b ~src ~dst
-
-let conjugate x =
-  let y = Cvec.copy x in
-  for i = 0 to Cvec.length x - 1 do
-    y.((2 * i) + 1) <- -.y.((2 * i) + 1)
-  done;
-  y
 
 let execute_into t ~src ~dst =
   if not t.alive then invalid_arg "Dft: plan was destroyed";
@@ -96,8 +82,13 @@ let execute_into t ~src ~dst =
   match t.direction with
   | Forward -> forward_into t ~src ~dst
   | Inverse ->
-      (* DFT⁻¹ = (1/n)·conj ∘ DFT ∘ conj *)
-      let tmp = conjugate src in
+      (* DFT⁻¹ = (1/n)·conj ∘ DFT ∘ conj, conjugating through the
+         plan-owned scratch so the steady state allocates nothing *)
+      let tmp = match t.conj_buf with Some b -> b | None -> assert false in
+      for i = 0 to t.n - 1 do
+        tmp.(2 * i) <- src.(2 * i);
+        tmp.((2 * i) + 1) <- -.src.((2 * i) + 1)
+      done;
       forward_into t ~src:tmp ~dst;
       let scale = 1.0 /. float_of_int t.n in
       for i = 0 to t.n - 1 do
@@ -114,7 +105,7 @@ let destroy t =
   if t.alive then begin
     t.alive <- false;
     match t.impl with
-    | Direct { pool; _ } -> Option.iter Spiral_smp.Pool.shutdown pool
+    | Direct eng -> Engine.destroy eng
     | Chirp b -> Bluestein.destroy b
   end
 

@@ -1,21 +1,12 @@
 open Spiral_util
 open Spiral_spl
 open Spiral_rewrite
-open Spiral_codegen
 
-type t = {
-  rows : int;
-  cols : int;
-  plan : Plan.t;
-  formula : Formula.t;
-  pool : Spiral_smp.Pool.t option;
-  prep : Spiral_smp.Par_exec.prepared option;
-  mutable alive : bool;
-}
+type t = { rows : int; cols : int; engine : Engine.t }
 
 let expand_dim n = Ruletree.expand (Ruletree.mixed_radix n)
 
-let derive ~threads ~mu ~rows ~cols =
+let derive ~rows ~cols ~threads ~mu =
   (* DFT_m ⊗ DFT_n = (DFT_m ⊗ I_n)(I_m ⊗ DFT_n): parallelize both stages
      with the Table 1 rules, then expand the 1-D sub-transforms. *)
   let top =
@@ -38,32 +29,23 @@ let derive ~threads ~mu ~rows ~cols =
 
 let plan ?(threads = 1) ?(mu = 4) ~rows ~cols () =
   if rows < 1 || cols < 1 then invalid_arg "Dft2d.plan: dimensions >= 1";
-  let formula, p = derive ~threads ~mu ~rows ~cols in
-  let plan = Plan.of_formula formula in
-  let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
-  let prep = Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl plan) pool in
-  { rows; cols; plan; formula; pool; prep; alive = true }
+  let engine =
+    Engine.plan ~threads ~mu ~derive:(derive ~rows ~cols)
+      (Problem.make Problem.Dft2d [ rows; cols ])
+  in
+  { rows; cols; engine }
 
 let rows t = t.rows
 let cols t = t.cols
-let parallel t = t.pool <> None
-let formula t = t.formula
+let parallel t = Engine.parallel t.engine
+let formula t = Engine.formula t.engine
 
 let execute t x =
-  if not t.alive then invalid_arg "Dft2d: plan was destroyed";
-  let n = t.rows * t.cols in
-  if Cvec.length x <> n then invalid_arg "Dft2d.execute: wrong vector length";
-  let y = Cvec.create n in
-  (match t.prep with
-  | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep x y
-  | None -> Plan.execute t.plan x y);
+  let y = Cvec.create (Engine.size t.engine) in
+  Engine.execute_into t.engine ~src:x ~dst:y;
   y
 
-let destroy t =
-  if t.alive then begin
-    t.alive <- false;
-    Option.iter Spiral_smp.Pool.shutdown t.pool
-  end
+let destroy t = Engine.destroy t.engine
 
 let with_plan ?threads ?mu ~rows ~cols f =
   let t = plan ?threads ?mu ~rows ~cols () in

@@ -1,0 +1,141 @@
+open Spiral_util
+open Spiral_codegen
+
+(* --------------------------------------------------------------- *)
+(* Descriptor-keyed plan registry: one compiled plan per (problem,
+   threads, mu).  Hits hand out Plan.clone — immutable state (kernels,
+   index tables, twiddles) is shared, buffers and contexts are fresh —
+   so repeated planning of the same problem skips derivation and
+   materialization entirely. *)
+
+type registry_entry = {
+  formula : Spiral_spl.Formula.t;
+  p : int;
+  master : Plan.t;
+}
+
+let registry : (string, registry_entry) Hashtbl.t = Hashtbl.create 32
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let registry_key problem ~threads ~mu =
+  Printf.sprintf "%s p%d mu%d" (Problem.to_string problem) threads mu
+
+let registry_size () = with_registry (fun () -> Hashtbl.length registry)
+
+let reset_registry () = with_registry (fun () -> Hashtbl.reset registry)
+
+(* --------------------------------------------------------------- *)
+
+type t = {
+  problem : Problem.t;
+  formula : Spiral_spl.Formula.t;
+  plan : Plan.t;
+  p : int;
+  pool : Spiral_smp.Pool.t option;
+  prep : Spiral_smp.Par_exec.prepared option;
+      (* the one prepared-schedule ownership site of the library:
+         Some iff pool is Some *)
+  mutable scratch : Cvec.t option;  (* lazily allocated, [total] elements *)
+  mutable alive : bool;
+}
+
+let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ~derive problem =
+  if threads < 1 then invalid_arg "Engine.plan: threads >= 1";
+  if mu < 1 then invalid_arg "Engine.plan: mu >= 1";
+  let compile () =
+    let formula, p = derive ~threads ~mu in
+    let plan =
+      try Plan.of_formula formula
+      with Ir.Unsupported msg -> invalid_arg ("Engine.plan: " ^ msg)
+    in
+    { formula; p; master = plan }
+  in
+  let formula, p, plan =
+    if not cache then
+      let e = compile () in
+      (e.formula, e.p, e.master)
+    else
+      let key = registry_key problem ~threads ~mu in
+      match with_registry (fun () -> Hashtbl.find_opt registry key) with
+      | Some e ->
+          Counters.incr "engine.plan_reuse";
+          (e.formula, e.p, Plan.clone e.master)
+      | None ->
+          (* compile outside the lock (derivation can be slow); a racing
+             second planner at worst compiles a duplicate and the first
+             stored entry wins *)
+          let e = compile () in
+          let e =
+            with_registry (fun () ->
+                match Hashtbl.find_opt registry key with
+                | Some prior -> prior
+                | None ->
+                    Hashtbl.replace registry key e;
+                    e)
+          in
+          (e.formula, e.p, Plan.clone e.master)
+  in
+  if threads > 1 && p <= 1 then Counters.incr "engine.seq_fallback";
+  let pool = if p > 1 then Some (Spiral_smp.Pool_registry.acquire p) else None in
+  let prep =
+    Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl plan) pool
+  in
+  { problem; formula; plan; p; pool; prep; scratch = None; alive = true }
+
+let problem t = t.problem
+let formula t = t.formula
+let size t = Problem.total t.problem
+let threads t = t.p
+let parallel t = t.pool <> None
+let alive t = t.alive
+
+let describe t =
+  Printf.sprintf "%s threads=%d\n%s" (Problem.to_string t.problem) t.p
+    (Plan.describe t.plan)
+
+let check_alive t = if not t.alive then invalid_arg "Engine: plan was destroyed"
+
+let execute_into t ~src ~dst =
+  check_alive t;
+  let n = Problem.total t.problem in
+  if Cvec.length src <> n || Cvec.length dst <> n then
+    invalid_arg "Engine.execute_into: wrong vector length";
+  match t.prep with
+  | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep src dst
+  | None -> Plan.execute t.plan src dst
+
+let execute t x =
+  let y = Cvec.create (Problem.total t.problem) in
+  execute_into t ~src:x ~dst:y;
+  y
+
+let execute_many t jobs =
+  check_alive t;
+  let n = Problem.total t.problem in
+  Array.iter
+    (fun (x, y) ->
+      if Cvec.length x <> n || Cvec.length y <> n then
+        invalid_arg "Engine.execute_many: wrong vector length")
+    jobs;
+  match t.prep with
+  | Some prep -> Spiral_smp.Par_exec.execute_many_safe prep jobs
+  | None -> Array.iter (fun (x, y) -> Plan.execute t.plan x y) jobs
+
+let scratch t =
+  check_alive t;
+  match t.scratch with
+  | Some s -> s
+  | None ->
+      let s = Cvec.create (Problem.total t.problem) in
+      t.scratch <- Some s;
+      s
+
+let destroy t =
+  if t.alive then begin
+    t.alive <- false;
+    Option.iter Spiral_smp.Pool_registry.release t.pool
+  end

@@ -1,0 +1,100 @@
+(** The unified problem planner: one engine behind every transform.
+
+    The paper's pipeline is one chain — tagged formula → rewriting →
+    multithreaded backend — so the library runs every transform through
+    one engine instead of giving each front-end its own copy of the
+    plan/pool/prepare/execute lifecycle.  An engine is planned from a
+    {!Problem} descriptor plus a kind-specific derivation callback and
+    owns, exactly once for the whole library:
+
+    - the descriptor-keyed {e plan registry}: planning the same
+      (problem, threads, µ) twice reuses the compiled plan via
+      {!Spiral_codegen.Plan.clone} (shared kernels/tables, fresh
+      buffers), counted under ["engine.plan_reuse"];
+    - the shared {!Spiral_smp.Pool_registry} pool (refcounted, one pool
+      per worker count process-wide);
+    - the baked parallel schedule ({!Spiral_smp.Par_exec.prepare}) and
+      the supervised execution path
+      ({!Spiral_smp.Par_exec.execute_safe_prepared}: retry on a healed
+      pool, then sequential fallback);
+    - plan-lifetime scratch ({!scratch}) so front-ends that post-process
+      (Rfft, Dct, inverse DFT) allocate nothing per call.
+
+    Front-ends ({!Dft}, {!Wht}, {!Dft2d}, {!Bluestein}, {!Batch},
+    {!Rfft}, {!Dct}) are thin adapters: they validate arguments, derive
+    their formula, and delegate everything else here.  A new transform
+    kind needs only a descriptor and a derivation. *)
+
+type t
+
+val plan :
+  ?threads:int ->
+  ?mu:int ->
+  ?cache:bool ->
+  derive:
+    (threads:int -> mu:int -> Spiral_spl.Formula.t * int) ->
+  Problem.t ->
+  t
+(** [plan ~derive problem] compiles the problem.  [derive ~threads ~mu]
+    must return the formula to compile and the worker count it is
+    parallelized for ([1] = sequential); it runs only on a plan-registry
+    miss.  [cache] (default [true]) keys the compiled plan by
+    (problem, threads, µ) in the process-wide registry — pass [false]
+    when the derivation depends on state outside the descriptor (e.g. a
+    user-supplied ruletree).  When the derived worker count is [> 1]
+    the engine acquires the shared pool and bakes the parallel schedule;
+    a derivation that falls back to sequential despite [threads > 1] is
+    counted under ["engine.seq_fallback"].
+    @raise Invalid_argument if [threads < 1], [mu < 1], or the formula
+    does not compile. *)
+
+val problem : t -> Problem.t
+val formula : t -> Spiral_spl.Formula.t
+
+val size : t -> int
+(** Vector length of one execution ({!Problem.total}). *)
+
+val threads : t -> int
+(** Worker count actually used (1 when sequential). *)
+
+val parallel : t -> bool
+
+val alive : t -> bool
+
+val describe : t -> string
+(** Canonical problem string, worker count, and the pass-by-pass plan. *)
+
+val execute_into : t -> src:Spiral_util.Cvec.t -> dst:Spiral_util.Cvec.t -> unit
+(** Run the plan: supervised prepared parallel execution when the engine
+    is parallel, plain sequential execution otherwise.  Allocation-free
+    in steady state.  [src] and [dst] must be distinct vectors of length
+    {!size}.  @raise Invalid_argument after {!destroy} or on a length
+    mismatch. *)
+
+val execute : t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t
+(** Allocating convenience: fresh output vector per call. *)
+
+val execute_many : t -> (Spiral_util.Cvec.t * Spiral_util.Cvec.t) array -> unit
+(** Batch of executions in one parallel region
+    ({!Spiral_smp.Par_exec.execute_many_safe}); sequential engines just
+    loop.  Bit-identical to repeated {!execute_into}. *)
+
+val scratch : t -> Spiral_util.Cvec.t
+(** A {!size}-element work buffer owned by the engine, allocated on
+    first use and reused for the plan's lifetime — for front-ends that
+    need a temporary per execution (conjugation, reordering) without
+    per-call allocation.  Not valid across concurrent executions of the
+    same engine. *)
+
+val destroy : t -> unit
+(** Release the pool reference (the shared pool itself stays warm in the
+    registry).  Idempotent; the engine must not be used afterwards. *)
+
+(** {2 Plan registry introspection} *)
+
+val registry_size : unit -> int
+(** Number of distinct (problem, threads, µ) plans compiled so far. *)
+
+val reset_registry : unit -> unit
+(** Drop every registry entry (test isolation).  Live engines are
+    unaffected — they hold their own plan clones. *)

@@ -1,0 +1,100 @@
+type direction = Forward | Inverse
+
+type kind = Dft | Wht | Dft2d | Rfft | Dct
+
+type t = {
+  kind : kind;
+  dims : int array;
+  direction : direction;
+  batch : int;
+}
+
+let kind_to_string = function
+  | Dft -> "dft"
+  | Wht -> "wht"
+  | Dft2d -> "dft2d"
+  | Rfft -> "rfft"
+  | Dct -> "dct"
+
+let kind_of_string = function
+  | "dft" -> Some Dft
+  | "wht" -> Some Wht
+  | "dft2d" -> Some Dft2d
+  | "rfft" -> Some Rfft
+  | "dct" -> Some Dct
+  | _ -> None
+
+let rank = function Dft | Wht | Rfft | Dct -> 1 | Dft2d -> 2
+
+let make ?(direction = Forward) ?(batch = 1) kind dims =
+  let dims = Array.of_list dims in
+  if Array.length dims <> rank kind then
+    invalid_arg
+      (Printf.sprintf "Problem.make: %s expects %d dimension(s)"
+         (kind_to_string kind) (rank kind));
+  Array.iter (fun d -> if d < 1 then invalid_arg "Problem.make: dims >= 1") dims;
+  if batch < 1 then invalid_arg "Problem.make: batch >= 1";
+  { kind; dims; direction; batch }
+
+let kind t = t.kind
+let dims t = Array.copy t.dims
+let direction t = t.direction
+let batch t = t.batch
+
+let size t = Array.fold_left ( * ) 1 t.dims
+
+let total t = t.batch * size t
+
+(* Canonical form, e.g. "dft[1024]f", "dft2d[16x16]f", "dft[256]ix8".
+   The string is the registry key: equal problems must render equal
+   strings, distinct problems distinct strings. *)
+let to_string t =
+  let dims =
+    String.concat "x" (Array.to_list (Array.map string_of_int t.dims))
+  in
+  let dir = match t.direction with Forward -> "f" | Inverse -> "i" in
+  let batch = if t.batch = 1 then "" else Printf.sprintf "x%d" t.batch in
+  Printf.sprintf "%s[%s]%s%s" (kind_to_string t.kind) dims dir batch
+
+let of_string s =
+  match (String.index_opt s '[', String.index_opt s ']') with
+  | Some i, Some j when i < j -> (
+      let kind_s = String.sub s 0 i in
+      let dims_s = String.sub s (i + 1) (j - i - 1) in
+      let rest = String.sub s (j + 1) (String.length s - j - 1) in
+      let dir, batch_s =
+        if String.length rest = 0 then (None, "")
+        else
+          ( (match rest.[0] with
+            | 'f' -> Some Forward
+            | 'i' -> Some Inverse
+            | _ -> None),
+            String.sub rest 1 (String.length rest - 1) )
+      in
+      let batch =
+        if batch_s = "" then Some 1
+        else if String.length batch_s > 1 && batch_s.[0] = 'x' then
+          int_of_string_opt (String.sub batch_s 1 (String.length batch_s - 1))
+        else None
+      in
+      let dims =
+        let fields = String.split_on_char 'x' dims_s in
+        let parsed = List.filter_map int_of_string_opt fields in
+        if List.length parsed = List.length fields && parsed <> [] then
+          Some parsed
+        else None
+      in
+      match (kind_of_string kind_s, dims, dir, batch) with
+      | Some kind, Some dims, Some direction, Some batch -> (
+          try Some (make ~direction ~batch kind dims)
+          with Invalid_argument _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let equal a b =
+  a.kind = b.kind && a.direction = b.direction && a.batch = b.batch
+  && a.dims = b.dims
+
+let compare a b = compare (to_string a) (to_string b)
+
+let hash t = Hashtbl.hash (to_string t)

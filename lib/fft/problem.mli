@@ -1,0 +1,49 @@
+(** Transform problem descriptors — the FFTW-style "problem" half of the
+    planner split.
+
+    A problem says {e what} to compute (transform kind, dimensions,
+    direction, batch count) without saying how; the {!Engine} maps a
+    problem to a compiled plan and an execution backend.  Descriptors
+    have a canonical string form that doubles as the plan-registry key
+    and (via {!kind_to_string}) the wisdom key's kind field. *)
+
+type direction = Forward | Inverse
+
+type kind = Dft | Wht | Dft2d | Rfft | Dct
+
+type t
+
+val make : ?direction:direction -> ?batch:int -> kind -> int list -> t
+(** [make kind dims] with [dims] the transform dimensions — one entry
+    for 1-D kinds, [rows; cols] for {!Dft2d}.  Defaults: [Forward],
+    [batch = 1].  @raise Invalid_argument on a dimension-count mismatch,
+    a non-positive dimension, or [batch < 1]. *)
+
+val kind : t -> kind
+val dims : t -> int array
+val direction : t -> direction
+val batch : t -> int
+
+val size : t -> int
+(** Elements of one transform (product of [dims]). *)
+
+val total : t -> int
+(** Elements of one execution: [batch * size]. *)
+
+val kind_to_string : kind -> string
+(** Lower-case tag ("dft", "wht", "dft2d", "rfft", "dct") — the wisdom
+    key's kind field ({!Spiral_search.Plan_cache}). *)
+
+val kind_of_string : string -> kind option
+
+val to_string : t -> string
+(** Canonical form, e.g. ["dft[1024]f"], ["dft2d[16x16]f"],
+    ["dft[256]ix8"] (batch of 8 inverse transforms).  Injective: equal
+    strings iff {!equal} problems. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] on anything it did not produce. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int

@@ -6,6 +6,10 @@ type t = {
   half_inv : Dft.t;
   (* untangling twiddles: w[k] = exp (-2 pi i k / n), k = 0 .. n/2 - 1 *)
   w : float array;
+  (* plan-time work buffers (n/2 complex elements each): packed input /
+     retangled spectrum, and the inner transform's output *)
+  z : Cvec.t;
+  zf : Cvec.t;
 }
 
 let plan ?threads ?mu n =
@@ -23,52 +27,61 @@ let plan ?threads ?mu n =
     half = Dft.plan ?threads ?mu h;
     half_inv = Dft.plan ~direction:Dft.Inverse ?threads ?mu h;
     w;
+    z = Cvec.create h;
+    zf = Cvec.create h;
   }
 
 let n t = t.n
 
-let forward t x =
-  if Array.length x <> t.n then invalid_arg "Rfft.forward: wrong length";
+let parallel t = Dft.parallel t.half
+
+let forward_into t ~src ~dst =
+  if Array.length src <> t.n then invalid_arg "Rfft.forward: wrong length";
   let h = t.n / 2 in
+  if Cvec.length dst <> h + 1 then
+    invalid_arg "Rfft.forward: output needs n/2 + 1 bins";
   (* pack neighbouring samples into complex z[j] = x[2j] + i x[2j+1] *)
-  let z = Cvec.create h in
   for j = 0 to h - 1 do
-    z.(2 * j) <- x.(2 * j);
-    z.((2 * j) + 1) <- x.((2 * j) + 1)
+    t.z.(2 * j) <- src.(2 * j);
+    t.z.((2 * j) + 1) <- src.((2 * j) + 1)
   done;
-  let f = Dft.execute t.half z in
+  Dft.execute_into t.half ~src:t.z ~dst:t.zf;
   (* untangle: X[k] = E[k] + w^k O[k] where
      E[k] = (F[k] + conj F[h-k]) / 2,  O[k] = (F[k] - conj F[h-k]) / (2i) *)
-  let out = Cvec.create (h + 1) in
-  let get k =
-    let k = k mod h in
-    (f.(2 * k), f.((2 * k) + 1))
-  in
+  let f = t.zf in
   for k = 0 to h do
-    let fr, fi = get k in
-    let gr, gi = get ((h - k) mod h) in
+    let k1 = k mod h in
+    let k2 = (h - k) mod h in
+    let fr = f.(2 * k1) and fi = f.((2 * k1) + 1) in
     (* conj F[h-k] *)
-    let gr = gr and gi = -.gi in
+    let gr = f.(2 * k2) and gi = -.f.((2 * k2) + 1) in
     let er = 0.5 *. (fr +. gr) and ei = 0.5 *. (fi +. gi) in
     (* O[k] = (F - conjF)/(2i) = (-i/2)(F - conjF) *)
     let dr = fr -. gr and di = fi -. gi in
     let or_ = 0.5 *. di and oi = -0.5 *. dr in
-    let wk_r, wk_i =
-      if k = h then (-1.0, 0.0) else (t.w.(2 * k), t.w.((2 * k) + 1))
-    in
-    out.(2 * k) <- er +. (wk_r *. or_) -. (wk_i *. oi);
-    out.((2 * k) + 1) <- ei +. (wk_r *. oi) +. (wk_i *. or_)
-  done;
+    (* no tuple here: the untangle loop must not allocate *)
+    let wk_r = if k = h then -1.0 else t.w.(2 * k) in
+    let wk_i = if k = h then 0.0 else t.w.((2 * k) + 1) in
+    dst.(2 * k) <- er +. (wk_r *. or_) -. (wk_i *. oi);
+    dst.((2 * k) + 1) <- ei +. (wk_r *. oi) +. (wk_i *. or_)
+  done
+
+let forward t x =
+  let out = Cvec.create ((t.n / 2) + 1) in
+  forward_into t ~src:x ~dst:out;
   out
 
-let inverse t s =
+let inverse_into t ~src ~dst =
   let h = t.n / 2 in
-  if Cvec.length s <> h + 1 then invalid_arg "Rfft.inverse: wrong length";
+  if Cvec.length src <> h + 1 then invalid_arg "Rfft.inverse: wrong length";
+  if Array.length dst <> t.n then
+    invalid_arg "Rfft.inverse: output needs n samples";
+  let s = src in
   (* retangle: F[k] = E[k] + i w^{-k}-weighted odd part, where
      E[k] = (X[k] + conj X[h-k]) / 2 and
      O[k] = (X[k] - conj X[h-k]) / 2 * conj(w^k)  ... then
      F[k] = E[k] + i O[k] *)
-  let f = Cvec.create h in
+  let f = t.z in
   for k = 0 to h - 1 do
     let xr = s.(2 * k) and xi = s.((2 * k) + 1) in
     let yr = s.(2 * (h - k)) and yi = -.s.((2 * (h - k)) + 1) in
@@ -81,12 +94,15 @@ let inverse t s =
     f.(2 * k) <- er -. oi;
     f.((2 * k) + 1) <- ei +. or_
   done;
-  let z = Dft.execute t.half_inv f in
-  let x = Array.make t.n 0.0 in
+  Dft.execute_into t.half_inv ~src:t.z ~dst:t.zf;
   for j = 0 to h - 1 do
-    x.(2 * j) <- z.(2 * j);
-    x.((2 * j) + 1) <- z.((2 * j) + 1)
-  done;
+    dst.(2 * j) <- t.zf.(2 * j);
+    dst.((2 * j) + 1) <- t.zf.((2 * j) + 1)
+  done
+
+let inverse t s =
+  let x = Array.make t.n 0.0 in
+  inverse_into t ~src:s ~dst:x;
   x
 
 let destroy t =

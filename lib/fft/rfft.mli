@@ -1,7 +1,12 @@
 (** Real-input FFTs via the packing trick: a real transform of even length
     [N] costs one complex [DFT_{N/2}] plus an O(N) untangling pass — half
     the work of the complex transform, the standard technique production
-    FFT libraries use for real data. *)
+    FFT libraries use for real data.
+
+    The inner half-size transforms run through the unified {!Engine}
+    (supervised prepared parallel execution when [threads > 1]); all work
+    buffers live in the plan, so the {!forward_into}/{!inverse_into}
+    steady state allocates nothing. *)
 
 type t
 
@@ -11,16 +16,30 @@ val plan : ?threads:int -> ?mu:int -> int -> t
 
 val n : t -> int
 
+val parallel : t -> bool
+(** [true] when the inner half-size DFT executes the multicore formula. *)
+
 val forward : t -> float array -> Spiral_util.Cvec.t
 (** [forward t x] with [x] of length [n] (real samples) returns the
     non-redundant half-spectrum: [n/2 + 1] complex bins
     [X_0 … X_{n/2}] (the remaining bins follow from Hermitian symmetry
     [X_{n-k} = conj X_k]). *)
 
+val forward_into :
+  t -> src:float array -> dst:Spiral_util.Cvec.t -> unit
+(** As {!forward} into a caller-provided [n/2 + 1]-bin vector;
+    allocation-free in steady state.  Not re-entrant: the plan owns the
+    packing buffers. *)
+
 val inverse : t -> Spiral_util.Cvec.t -> float array
 (** [inverse t s] with [s] of [n/2 + 1] bins reconstructs the [n] real
     samples ([inverse t (forward t x) ≈ x]).  Bins 0 and [n/2] must be
     (numerically) real. *)
+
+val inverse_into :
+  t -> src:Spiral_util.Cvec.t -> dst:float array -> unit
+(** As {!inverse} into a caller-provided length-[n] array;
+    allocation-free in steady state. *)
 
 val destroy : t -> unit
 

@@ -1,15 +1,8 @@
 open Spiral_util
 open Spiral_spl
 open Spiral_rewrite
-open Spiral_codegen
 
-type t = {
-  n : int;
-  plan : Plan.t;
-  pool : Spiral_smp.Pool.t option;
-  prep : Spiral_smp.Par_exec.prepared option;
-  mutable alive : bool;
-}
+type t = { engine : Engine.t }
 
 let seq_formula n =
   let rec split n =
@@ -21,40 +14,29 @@ let seq_formula n =
   in
   split n
 
+let derive n ~threads ~mu =
+  if threads <= 1 || n < Int_util.pow (threads * mu) 2 then (seq_formula n, 1)
+  else
+    (* most balanced power split with pµ | both halves *)
+    let rec half m = if m * m >= n then m else half (2 * m) in
+    let m = half (threads * mu) in
+    match Derive.multicore_wht ~p:threads ~mu ~m ~n:(n / m) with
+    | Ok f -> (f, threads)
+    | Error _ -> (seq_formula n, 1)
+
 let plan ?(threads = 1) ?(mu = 4) n =
   if not (Int_util.is_pow2 n) then invalid_arg "Wht.plan: n must be 2^k";
-  let formula, p =
-    if threads <= 1 || n < Int_util.pow (threads * mu) 2 then (seq_formula n, 1)
-    else
-      (* most balanced power split with pµ | both halves *)
-      let rec half m = if m * m >= n then m else half (2 * m) in
-      let m = half (threads * mu) in
-      match Derive.multicore_wht ~p:threads ~mu ~m ~n:(n / m) with
-      | Ok f -> (f, threads)
-      | Error _ -> (seq_formula n, 1)
-  in
-  let plan = Plan.of_formula formula in
-  let pool = if p > 1 then Some (Spiral_smp.Pool.create p) else None in
-  let prep = Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl plan) pool in
-  { n; plan; pool; prep; alive = true }
+  { engine = Engine.plan ~threads ~mu ~derive:(derive n) (Problem.make Problem.Wht [ n ]) }
 
-let n t = t.n
-let parallel t = t.pool <> None
+let n t = Engine.size t.engine
+let parallel t = Engine.parallel t.engine
 
 let execute t x =
-  if not t.alive then invalid_arg "Wht: plan was destroyed";
-  if Cvec.length x <> t.n then invalid_arg "Wht.execute: wrong length";
-  let y = Cvec.create t.n in
-  (match t.prep with
-  | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep x y
-  | None -> Plan.execute t.plan x y);
+  let y = Cvec.create (Engine.size t.engine) in
+  Engine.execute_into t.engine ~src:x ~dst:y;
   y
 
-let destroy t =
-  if t.alive then begin
-    t.alive <- false;
-    Option.iter Spiral_smp.Pool.shutdown t.pool
-  end
+let destroy t = Engine.destroy t.engine
 
 let with_plan ?threads ?mu n f =
   let t = plan ?threads ?mu n in

@@ -1,7 +1,7 @@
 open Spiral_util
 open Spiral_rewrite
 
-type key = { n : int; p : int; mu : int; machine : string }
+type key = { kind : string; n : int; p : int; mu : int; machine : string }
 
 type t = (key, Ruletree.t) Hashtbl.t
 
@@ -12,7 +12,8 @@ let create () : t = Hashtbl.create 32
 let escape s =
   String.map (fun c -> if c = ' ' || c = '\t' then '_' else c) s
 
-let canonical key = { key with machine = escape key.machine }
+let canonical key =
+  { key with machine = escape key.machine; kind = escape key.kind }
 
 let find t key = Hashtbl.find_opt t (canonical key)
 
@@ -20,17 +21,22 @@ let add t key tree = Hashtbl.replace t (canonical key) tree
 
 let size t = Hashtbl.length t
 
-(* On-disk format v2: a header line, then one entry per line prefixed
+(* On-disk format v3: a header line, then one entry per line prefixed
    with an 8-hex-digit FNV-1a checksum of the payload:
 
-     # spiral-wisdom v2
-     <cksum> <n> <p> <mu> <machine> <tree>
+     # spiral-wisdom v3
+     <cksum> <kind> <n> <p> <mu> <machine> <tree>
 
-   v1 files (no header, no checksum) are still read.  Writes go through
-   a temp file + atomic rename so a crash mid-save can never corrupt
-   existing wisdom. *)
+   The kind field (e.g. "dft", "wht", "rfft") lets every front-end share
+   one wisdom file.  v2 files (same shape, no kind field) and v1 files
+   (no header, no checksum, no kind) are still read; a payload whose
+   first field is numeric is a kind-less v1/v2 entry and defaults to
+   kind "dft".  Writes go through a temp file + atomic rename so a
+   crash mid-save can never corrupt existing wisdom. *)
 
-let header = "# spiral-wisdom v2"
+let header = "# spiral-wisdom v3"
+
+let header_v2 = "# spiral-wisdom v2"
 
 let checksum payload =
   let h = ref 0x811c9dc5 in
@@ -40,7 +46,7 @@ let checksum payload =
   Printf.sprintf "%08x" !h
 
 let payload_of_entry key tree =
-  Printf.sprintf "%d %d %d %s %s" key.n key.p key.mu key.machine
+  Printf.sprintf "%s %d %d %d %s %s" key.kind key.n key.p key.mu key.machine
     (Ruletree.to_string tree)
 
 let save t path =
@@ -65,10 +71,19 @@ let save t path =
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e
 
-(* [parse_payload s] parses "<n> <p> <mu> <machine> <tree>" (a v1 line,
-   or a v2 line with the checksum stripped). *)
+(* [parse_payload s] parses "<kind> <n> <p> <mu> <machine> <tree>", or
+   the kind-less "<n> <p> <mu> <machine> <tree>" of v1/v2 entries
+   (detected by a numeric first field; kinds are never numeric),
+   defaulting the kind to "dft". *)
 let parse_payload payload =
-  match String.split_on_char ' ' payload with
+  let fields = String.split_on_char ' ' payload in
+  let kind, fields =
+    match fields with
+    | first :: rest when int_of_string_opt first = None && rest <> [] ->
+        (first, rest)
+    | _ -> ("dft", fields)
+  in
+  match fields with
   | n :: p :: mu :: machine :: (_ :: _ as rest) -> (
       match
         ( int_of_string_opt n,
@@ -77,14 +92,15 @@ let parse_payload payload =
           try Ok (Ruletree.of_string (String.concat " " rest))
           with Invalid_argument m | Failure m -> Error m )
       with
-      | Some n, Some p, Some mu, Ok tree -> Ok ({ n; p; mu; machine }, tree)
+      | Some n, Some p, Some mu, Ok tree ->
+          Ok ({ kind; n; p; mu; machine }, tree)
       | None, _, _, _ | _, None, _, _ | _, _, None, _ ->
           Error "non-numeric key field"
       | _, _, _, Error m -> Error ("bad ruletree: " ^ m))
   | _ -> Error "too few fields"
 
-let parse_line ~v2 line =
-  if not v2 then parse_payload line
+let parse_line ~checksummed line =
+  if not checksummed then parse_payload line
   else
     match String.index_opt line ' ' with
     | None -> Error "missing checksum"
@@ -101,7 +117,7 @@ let load_gen ~strict path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let v2 = ref false in
+      let checksummed = ref false in
       let lineno = ref 0 in
       (try
          while true do
@@ -109,11 +125,12 @@ let load_gen ~strict path =
            incr lineno;
            if line = "" then () (* blank lines and trailing newlines ok *)
            else if String.length line > 0 && line.[0] = '#' then begin
-             if !lineno = 1 && line = header then v2 := true
-             (* other comment lines are ignored in both formats *)
+             if !lineno = 1 && (line = header || line = header_v2) then
+               checksummed := true
+             (* other comment lines are ignored in all formats *)
            end
            else
-             match parse_line ~v2:!v2 line with
+             match parse_line ~checksummed:!checksummed line with
              | Ok (key, tree) ->
                  add t key tree;
                  incr loaded

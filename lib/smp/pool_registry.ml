@@ -1,0 +1,55 @@
+open Spiral_util
+
+type entry = { pool : Pool.t; mutable refs : int }
+
+(* worker count -> live pool.  Pools with zero references stay in the
+   table (workers park on the eventcount, so an idle pool costs no CPU)
+   and are handed back to the next acquirer — the whole point of the
+   registry is that successive plans reuse domains instead of paying
+   spawn latency per plan. *)
+let table : (int, entry) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let acquire ?timeout p =
+  if p < 1 then invalid_arg "Pool_registry.acquire: p >= 1";
+  with_lock (fun () ->
+      match Hashtbl.find_opt table p with
+      | Some e ->
+          e.refs <- e.refs + 1;
+          Counters.incr "pool_registry.reuse";
+          Option.iter (Pool.set_timeout e.pool) timeout;
+          e.pool
+      | None ->
+          let pool = Pool.create ?timeout p in
+          Hashtbl.replace table p { pool; refs = 1 };
+          Counters.incr "pool_registry.create";
+          pool)
+
+let release pool =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table (Pool.size pool) with
+      | Some e when e.pool == pool ->
+          if e.refs > 0 then e.refs <- e.refs - 1
+      | Some _ | None -> ())
+
+let stats () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun p e acc -> (p, e.refs) :: acc) table []
+      |> List.sort compare)
+
+let clear () =
+  with_lock (fun () ->
+      let idle =
+        Hashtbl.fold
+          (fun p e acc -> if e.refs = 0 then (p, e) :: acc else acc)
+          table []
+      in
+      List.iter
+        (fun (p, e) ->
+          Hashtbl.remove table p;
+          Pool.shutdown e.pool)
+        idle)

@@ -1,0 +1,31 @@
+(** Process-wide refcounted registry of worker pools: one pool per
+    worker count, shared by every plan that needs [p] workers.
+
+    Before the registry each plan owned a private pool, so planning ten
+    transforms spawned ten pools' worth of domains and destroyed them
+    again.  Acquiring through the registry pays domain spawn once per
+    worker count for the whole process; released pools stay parked (idle
+    workers wait on the {!Spinwait} eventcount, no CPU) and are revived
+    by the next acquire.  Reuses and creations are counted under
+    ["pool_registry.reuse"] and ["pool_registry.create"]
+    ({!Spiral_util.Counters}). *)
+
+val acquire : ?timeout:float -> int -> Pool.t
+(** [acquire p] returns the shared pool with [p] workers, creating it on
+    first use and bumping its reference count.  [timeout] (seconds)
+    overrides the pool's run timeout when given — the pool is shared, so
+    the last setting wins.  @raise Invalid_argument if [p < 1]. *)
+
+val release : Pool.t -> unit
+(** Drop one reference.  The pool is {e not} shut down when the count
+    reaches zero — it idles in the registry for the next {!acquire}.
+    Releasing a pool that was not acquired from the registry is a
+    no-op. *)
+
+val stats : unit -> (int * int) list
+(** Live registry entries as [(workers, refs)] pairs, sorted by worker
+    count — zero-ref entries are idle pools kept warm for reuse. *)
+
+val clear : unit -> unit
+(** Shut down and remove every idle (zero-reference) pool.  Pools still
+    referenced by live plans are left untouched. *)

@@ -1,0 +1,341 @@
+(* The unified problem planner: descriptor round-trips, every transform
+   kind through the one Engine at several worker counts, the shared
+   refcounted pool registry, and the engine telemetry counters. *)
+
+open Spiral_util
+open Spiral_fft
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Problem descriptors                                                 *)
+
+let test_problem_canonical () =
+  let p = Problem.make Problem.Dft [ 1024 ] in
+  check cs "dft" "dft[1024]f" (Problem.to_string p);
+  check cs "dft2d" "dft2d[16x8]f"
+    (Problem.to_string (Problem.make Problem.Dft2d [ 16; 8 ]));
+  check cs "inverse batch" "dft[256]ix8"
+    (Problem.to_string
+       (Problem.make ~direction:Problem.Inverse ~batch:8 Problem.Dft [ 256 ]));
+  check ci "size" 128 (Problem.size (Problem.make Problem.Dft2d [ 16; 8 ]));
+  check ci "total includes batch" 2048
+    (Problem.total (Problem.make ~batch:8 Problem.Dft [ 256 ]))
+
+let test_problem_roundtrip () =
+  List.iter
+    (fun p ->
+      match Problem.of_string (Problem.to_string p) with
+      | Some p' ->
+          check cb (Problem.to_string p) true (Problem.equal p p');
+          check ci "hash agrees" (Problem.hash p) (Problem.hash p')
+      | None -> Alcotest.failf "no parse: %s" (Problem.to_string p))
+    [
+      Problem.make Problem.Dft [ 64 ];
+      Problem.make ~direction:Problem.Inverse Problem.Dft [ 100 ];
+      Problem.make Problem.Dft2d [ 8; 32 ];
+      Problem.make ~batch:5 Problem.Dft [ 16 ];
+      Problem.make Problem.Wht [ 256 ];
+      Problem.make Problem.Rfft [ 128 ];
+      Problem.make Problem.Dct [ 64 ];
+    ];
+  check cb "garbage rejected" true (Problem.of_string "nope[12]f" = None);
+  check cb "rank mismatch rejected" true (Problem.of_string "dft[4x4]f" = None)
+
+let test_problem_validation () =
+  (try
+     ignore (Problem.make Problem.Dft2d [ 8 ]);
+     Alcotest.fail "rank mismatch accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Problem.make ~batch:0 Problem.Dft [ 8 ]);
+    Alcotest.fail "batch 0 accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cross-transform property suite: every kind through the unified
+   engine matches its naive reference at p ∈ {1, 2, 4}.               *)
+
+let wht_reference n x =
+  Cmatrix.apply (Spiral_spl.Semantics.to_matrix (Spiral_spl.Formula.WHT n)) x
+
+let naive_dft2d ~rows ~cols x =
+  let row_done = Cvec.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    let slice = Cvec.create cols in
+    Array.blit x (2 * r * cols) slice 0 (2 * cols);
+    Array.blit (Naive_dft.dft slice) 0 row_done (2 * r * cols) (2 * cols)
+  done;
+  let out = Cvec.create (rows * cols) in
+  for c = 0 to cols - 1 do
+    let col = Cvec.create rows in
+    for r = 0 to rows - 1 do
+      Cvec.set col r (Cvec.get row_done ((r * cols) + c))
+    done;
+    let f = Naive_dft.dft col in
+    for r = 0 to rows - 1 do
+      Cvec.set out ((r * cols) + c) (Cvec.get f r)
+    done
+  done;
+  out
+
+let direct_dct2 x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref 0.0 in
+      for j = 0 to n - 1 do
+        acc :=
+          !acc
+          +. x.(j)
+             *. cos
+                  (Float.pi *. float_of_int k
+                   *. float_of_int ((2 * j) + 1)
+                   /. (2.0 *. float_of_int n))
+      done;
+      !acc)
+
+let workers = [ 1; 2; 4 ]
+
+let test_cross_dft () =
+  List.iter
+    (fun p ->
+      Dft.with_plan ~threads:p ~mu:2 256 (fun t ->
+          let x = Cvec.random ~seed:p 256 in
+          check cb
+            (Printf.sprintf "dft p=%d" p)
+            true
+            (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x) < 1e-7));
+      Dft.with_plan ~direction:Dft.Inverse ~threads:p ~mu:2 256 (fun t ->
+          let x = Cvec.random ~seed:(p + 10) 256 in
+          check cb
+            (Printf.sprintf "idft p=%d" p)
+            true
+            (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.idft x) < 1e-8)))
+    workers
+
+let test_cross_bluestein () =
+  List.iter
+    (fun p ->
+      Dft.with_plan ~threads:p ~mu:2 97 (fun t ->
+          let x = Cvec.random ~seed:p 97 in
+          check cb
+            (Printf.sprintf "bluestein p=%d" p)
+            true
+            (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x) < 1e-7)))
+    workers
+
+let test_cross_wht () =
+  List.iter
+    (fun p ->
+      Wht.with_plan ~threads:p ~mu:2 256 (fun t ->
+          let x = Cvec.random ~seed:p 256 in
+          check cb
+            (Printf.sprintf "wht p=%d" p)
+            true
+            (Cvec.max_abs_diff (Wht.execute t x) (wht_reference 256 x) < 1e-8)))
+    workers
+
+let test_cross_dft2d () =
+  List.iter
+    (fun p ->
+      Dft2d.with_plan ~threads:p ~mu:2 ~rows:16 ~cols:16 (fun t ->
+          let x = Cvec.random ~seed:p 256 in
+          check cb
+            (Printf.sprintf "dft2d p=%d" p)
+            true
+            (Cvec.max_abs_diff (Dft2d.execute t x)
+               (naive_dft2d ~rows:16 ~cols:16 x)
+            < 1e-7)))
+    workers
+
+let test_cross_batch () =
+  List.iter
+    (fun p ->
+      Batch.with_plan ~threads:p ~mu:2 ~count:8 64 (fun t ->
+          let x = Cvec.random ~seed:p (8 * 64) in
+          let y = Batch.execute t x in
+          for b = 0 to 7 do
+            let slice = Cvec.create 64 in
+            Array.blit x (2 * b * 64) slice 0 (2 * 64);
+            let want = Naive_dft.dft slice in
+            let got = Cvec.create 64 in
+            Array.blit y (2 * b * 64) got 0 (2 * 64);
+            if Cvec.max_abs_diff got want > 1e-8 then
+              Alcotest.failf "batch p=%d element %d" p b
+          done))
+    workers
+
+let test_cross_rfft () =
+  List.iter
+    (fun p ->
+      Rfft.with_plan ~threads:p ~mu:2 256 (fun t ->
+          let st = Random.State.make [| p |] in
+          let x = Array.init 256 (fun _ -> Random.State.float st 2.0 -. 1.0) in
+          let xc = Cvec.create 256 in
+          Array.iteri (fun i v -> xc.(2 * i) <- v) x;
+          let want = Naive_dft.dft xc in
+          let got = Rfft.forward t x in
+          for k = 0 to 128 do
+            if
+              Float.abs (got.(2 * k) -. want.(2 * k)) > 1e-8
+              || Float.abs (got.((2 * k) + 1) -. want.((2 * k) + 1)) > 1e-8
+            then Alcotest.failf "rfft p=%d bin %d" p k
+          done;
+          let back = Rfft.inverse t got in
+          Array.iteri
+            (fun i v ->
+              if Float.abs (v -. x.(i)) > 1e-9 then
+                Alcotest.failf "rfft roundtrip p=%d i=%d" p i)
+            back))
+    workers
+
+let test_cross_dct () =
+  List.iter
+    (fun p ->
+      Dct.with_plan ~threads:p ~mu:2 256 (fun t ->
+          let st = Random.State.make [| p + 5 |] in
+          let x = Array.init 256 (fun _ -> Random.State.float st 2.0 -. 1.0) in
+          let got = Dct.forward t x in
+          let want = direct_dct2 x in
+          Array.iteri
+            (fun k v ->
+              if Float.abs (v -. want.(k)) > 1e-7 then
+                Alcotest.failf "dct p=%d k=%d" p k)
+            got;
+          let back = Dct.inverse t got in
+          Array.iteri
+            (fun j v ->
+              if Float.abs (v -. x.(j)) > 1e-9 then
+                Alcotest.failf "dct roundtrip p=%d j=%d" p j)
+            back))
+    workers
+
+let test_rfft_dct_supervised_parallel () =
+  (* the inner transforms of the real front-ends run the multicore
+     formula through the engine's prepared path *)
+  Rfft.with_plan ~threads:2 ~mu:2 1024 (fun t ->
+      check cb "rfft parallel" true (Rfft.parallel t));
+  Dct.with_plan ~threads:2 ~mu:2 1024 (fun t ->
+      check cb "dct parallel" true (Dct.parallel t))
+
+(* ------------------------------------------------------------------ *)
+(* Shared pool registry                                                *)
+
+let test_pool_registry_identity () =
+  let a = Spiral_smp.Pool_registry.acquire 3 in
+  let before = Counters.get "pool_registry.create" in
+  Spiral_smp.Pool_registry.release a;
+  (* released pools idle in the registry; the next acquire revives the
+     same domains instead of respawning *)
+  let b = Spiral_smp.Pool_registry.acquire 3 in
+  check cb "same pool object" true (a == b);
+  check ci "no new pool created" before (Counters.get "pool_registry.create");
+  check cb "registry lists it" true
+    (List.mem_assoc 3 (Spiral_smp.Pool_registry.stats ()));
+  Spiral_smp.Pool_registry.release b
+
+let test_pool_registry_across_plans () =
+  (* successive parallel plans at the same worker count share domains *)
+  let created0 = Counters.get "pool_registry.create" in
+  Dft.with_plan ~threads:2 ~mu:2 256 (fun _ -> ());
+  let created1 = Counters.get "pool_registry.create" in
+  let reused1 = Counters.get "pool_registry.reuse" in
+  Wht.with_plan ~threads:2 ~mu:2 256 (fun _ -> ());
+  Dft.with_plan ~threads:2 ~mu:2 1024 (fun _ -> ());
+  check ci "no extra pools after the first"
+    created1
+    (Counters.get "pool_registry.create");
+  check cb "pool reused across plans" true
+    (Counters.get "pool_registry.reuse" >= reused1 + 2);
+  check cb "at most one creation for p=2" true (created1 - created0 <= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Engine telemetry counters                                           *)
+
+let test_engine_counters_consistency () =
+  (* a problem no other test plans with these exact parameters *)
+  let plan_once () = Dft.plan ~threads:2 ~mu:2 1600 in
+  let reuse0 = Counters.get "engine.plan_reuse" in
+  let create0 = Counters.get "pool_registry.create" in
+  let t1 = plan_once () in
+  let reuse1 = Counters.get "engine.plan_reuse" in
+  let t2 = plan_once () in
+  let reuse2 = Counters.get "engine.plan_reuse" in
+  check ci "second identical plan hits the registry" (reuse1 + 1) reuse2;
+  check cb "first plan may only miss" true (reuse1 - reuse0 <= 1);
+  check ci "plan reuse spawned no pools" create0
+    (Counters.get "pool_registry.create");
+  (* both plans execute correctly despite sharing compiled state *)
+  let x = Cvec.random ~seed:3 1600 in
+  let want = Naive_dft.dft x in
+  check cb "first instance correct" true
+    (Cvec.max_abs_diff (Dft.execute t1 x) want < 1e-6);
+  check cb "second instance correct" true
+    (Cvec.max_abs_diff (Dft.execute t2 x) want < 1e-6);
+  Dft.destroy t1;
+  Dft.destroy t2;
+  (* sequential fallback is counted when the derivation degrades *)
+  let fb0 = Counters.get "engine.seq_fallback" in
+  Dft.with_plan ~threads:4 ~mu:4 20 (fun t ->
+      check cb "fell back" false (Dft.parallel t));
+  check ci "fallback counted" (fb0 + 1) (Counters.get "engine.seq_fallback");
+  check cb "registry has compiled plans" true (Engine.registry_size () > 0)
+
+let test_engine_destroy_semantics () =
+  let t = Dft.plan ~threads:2 ~mu:2 256 in
+  Dft.destroy t;
+  Dft.destroy t;
+  (* idempotent *)
+  (try
+     ignore (Dft.execute t (Cvec.create 256));
+     Alcotest.fail "use after destroy"
+   with Invalid_argument _ -> ());
+  (* destroying one engine must not break another instance of the same
+     problem (plan clones share only immutable state) *)
+  let a = Dft.plan ~threads:2 ~mu:2 256 in
+  let b = Dft.plan ~threads:2 ~mu:2 256 in
+  Dft.destroy a;
+  let x = Cvec.random ~seed:9 256 in
+  check cb "sibling still works" true
+    (Cvec.max_abs_diff (Dft.execute b x) (Naive_dft.dft x) < 1e-7);
+  Dft.destroy b
+
+let test_engine_execute_many () =
+  Batch.with_plan ~threads:2 ~mu:2 ~count:4 64 (fun t ->
+      let xs = Array.init 3 (fun i -> Cvec.random ~seed:i (4 * 64)) in
+      let ys = Batch.execute_many t xs in
+      Array.iteri
+        (fun i x ->
+          check cb
+            (Printf.sprintf "job %d bit-identical to execute" i)
+            true
+            (Cvec.max_abs_diff ys.(i) (Batch.execute t x) = 0.0))
+        xs)
+
+let suite =
+  [
+    Alcotest.test_case "problem: canonical strings" `Quick test_problem_canonical;
+    Alcotest.test_case "problem: string roundtrip" `Quick test_problem_roundtrip;
+    Alcotest.test_case "problem: validation" `Quick test_problem_validation;
+    Alcotest.test_case "cross: dft fwd/inv at p=1,2,4" `Quick test_cross_dft;
+    Alcotest.test_case "cross: bluestein at p=1,2,4" `Quick test_cross_bluestein;
+    Alcotest.test_case "cross: wht at p=1,2,4" `Quick test_cross_wht;
+    Alcotest.test_case "cross: dft2d at p=1,2,4" `Quick test_cross_dft2d;
+    Alcotest.test_case "cross: batch at p=1,2,4" `Quick test_cross_batch;
+    Alcotest.test_case "cross: rfft at p=1,2,4" `Quick test_cross_rfft;
+    Alcotest.test_case "cross: dct at p=1,2,4" `Quick test_cross_dct;
+    Alcotest.test_case "rfft/dct: supervised parallel inner" `Quick
+      test_rfft_dct_supervised_parallel;
+    Alcotest.test_case "pool registry: reuses, not respawns" `Quick
+      test_pool_registry_identity;
+    Alcotest.test_case "pool registry: shared across plans" `Quick
+      test_pool_registry_across_plans;
+    Alcotest.test_case "engine: counters consistency" `Quick
+      test_engine_counters_consistency;
+    Alcotest.test_case "engine: destroy semantics" `Quick
+      test_engine_destroy_semantics;
+    Alcotest.test_case "engine: execute_many" `Quick test_engine_execute_many;
+  ]

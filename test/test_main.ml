@@ -14,4 +14,5 @@ let () =
       ("search", Test_search.suite);
       ("vector", Test_vector.suite);
       ("fft", Test_fft.suite);
+      ("engine", Test_engine.suite);
     ]

@@ -169,6 +169,41 @@ let test_zero_alloc () =
   check cb "legacy baseline allocates (the ablation is real)" true
     (alloc_words 50 (fun () -> Plan.execute base x y) > 1000.0)
 
+(* The real-input front-ends keep their packing/reorder buffers in the
+   plan, so the _into variants must be as allocation-free as the raw
+   Plan.execute hot path they wrap. *)
+let test_zero_alloc_frontends () =
+  let n = 512 in
+  Spiral_fft.Rfft.with_plan n (fun t ->
+      let st = Random.State.make [| 7 |] in
+      let x = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let spec = Cvec.create ((n / 2) + 1) in
+      check cb "Rfft.forward_into allocation-free" true
+        (alloc_words 50 (fun () -> Spiral_fft.Rfft.forward_into t ~src:x ~dst:spec)
+        < 8.0);
+      let back = Array.make n 0.0 in
+      check cb "Rfft.inverse_into allocation-free" true
+        (alloc_words 50 (fun () ->
+             Spiral_fft.Rfft.inverse_into t ~src:spec ~dst:back)
+        < 8.0));
+  Spiral_fft.Dct.with_plan n (fun t ->
+      let st = Random.State.make [| 8 |] in
+      let x = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let c = Array.make n 0.0 in
+      check cb "Dct.forward_into allocation-free" true
+        (alloc_words 50 (fun () -> Spiral_fft.Dct.forward_into t ~src:x ~dst:c)
+        < 8.0);
+      let back = Array.make n 0.0 in
+      check cb "Dct.inverse_into allocation-free" true
+        (alloc_words 50 (fun () -> Spiral_fft.Dct.inverse_into t ~src:c ~dst:back)
+        < 8.0));
+  (* the inverse DFT's conjugate pass uses plan scratch, not fresh vectors *)
+  Spiral_fft.Dft.with_plan ~direction:Spiral_fft.Dft.Inverse n (fun t ->
+      let x = Cvec.random ~seed:9 n and y = Cvec.create n in
+      check cb "inverse Dft.execute_into allocation-free" true
+        (alloc_words 50 (fun () -> Spiral_fft.Dft.execute_into t ~src:x ~dst:y)
+        < 8.0))
+
 let suite =
   [
     Alcotest.test_case "fusion: shrinks explicit six-step" `Quick
@@ -182,4 +217,6 @@ let suite =
     Alcotest.test_case "fused: supervised under fault" `Quick
       test_fused_safe_under_fault;
     Alcotest.test_case "hot path: zero allocation" `Quick test_zero_alloc;
+    Alcotest.test_case "hot path: rfft/dct/inverse allocation-free" `Quick
+      test_zero_alloc_frontends;
   ]

@@ -88,8 +88,8 @@ let test_evolve_deterministic () =
 
 let test_plan_cache_roundtrip () =
   let c = Plan_cache.create () in
-  let k1 = { Plan_cache.n = 1024; p = 2; mu = 4; machine = "core duo" } in
-  let k2 = { Plan_cache.n = 512; p = 1; mu = 4; machine = "host" } in
+  let k1 = { Plan_cache.kind = "dft"; n = 1024; p = 2; mu = 4; machine = "core duo" } in
+  let k2 = { Plan_cache.kind = "dft"; n = 512; p = 1; mu = 4; machine = "host" } in
   Plan_cache.add c k1 (Ruletree.mixed_radix 1024);
   Plan_cache.add c k2 (Ruletree.balanced 512);
   check ci "two entries" 2 (Plan_cache.size c);
@@ -108,14 +108,14 @@ let test_plan_cache_roundtrip () =
 let test_plan_cache_unescaped_lookup () =
   (* regression: find must canonicalize the machine name like add does *)
   let c = Plan_cache.create () in
-  let k = { Plan_cache.n = 64; p = 2; mu = 4; machine = "core duo" } in
+  let k = { Plan_cache.kind = "dft"; n = 64; p = 2; mu = 4; machine = "core duo" } in
   Plan_cache.add c k (Ruletree.mixed_radix 64);
   check cb "raw key with spaces found" true
     (Plan_cache.find c k = Some (Ruletree.mixed_radix 64))
 
 let test_plan_cache_find_or_add () =
   let c = Plan_cache.create () in
-  let k = { Plan_cache.n = 64; p = 1; mu = 4; machine = "m" } in
+  let k = { Plan_cache.kind = "dft"; n = 64; p = 1; mu = 4; machine = "m" } in
   let calls = ref 0 in
   let make () = incr calls; Ruletree.mixed_radix 64 in
   let _ = Plan_cache.find_or_add c k make in
@@ -125,7 +125,7 @@ let test_plan_cache_find_or_add () =
 let test_plan_cache_find_or_add_raising_generator () =
   (* a generator that raises must cache nothing, so a later retry works *)
   let c = Plan_cache.create () in
-  let k = { Plan_cache.n = 64; p = 1; mu = 4; machine = "m" } in
+  let k = { Plan_cache.kind = "dft"; n = 64; p = 1; mu = 4; machine = "m" } in
   (try
      ignore (Plan_cache.find_or_add c k (fun () -> failwith "search blew up"));
      Alcotest.fail "generator exception swallowed"
@@ -156,7 +156,7 @@ let read_lines path =
   close_in ic;
   lines
 
-let entry n = { Plan_cache.n; p = 1; mu = 4; machine = "test" }
+let entry n = { Plan_cache.kind = "dft"; n; p = 1; mu = 4; machine = "test" }
 
 let cache_of sizes =
   let c = Plan_cache.create () in
@@ -195,8 +195,50 @@ let test_plan_cache_v1_compat () =
   let c = Plan_cache.load file in
   check ci "one v1 entry" 1 (Plan_cache.size c);
   check cb "entry found" true
-    (Plan_cache.find c { n = 64; p = 1; mu = 4; machine = "host" }
+    (Plan_cache.find c { kind = "dft"; n = 64; p = 1; mu = 4; machine = "host" }
     = Some (Ruletree.mixed_radix 64));
+  Sys.remove file
+
+(* FNV-1a, duplicated from the implementation to forge legacy v2 lines *)
+let fnv payload =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    payload;
+  Printf.sprintf "%08x" !h
+
+let test_plan_cache_v2_migration_roundtrip () =
+  (* a v2-era file: checksummed lines without the kind field *)
+  let file = Filename.temp_file "spiral_cache" ".txt" in
+  let payload n =
+    Printf.sprintf "%d 2 4 host %s" n (Ruletree.to_string (Ruletree.mixed_radix n))
+  in
+  write_file file
+    (String.concat "\n"
+       [ "# spiral-wisdom v2";
+         fnv (payload 64) ^ " " ^ payload 64;
+         fnv (payload 256) ^ " " ^ payload 256; "" ]);
+  let c, r = Plan_cache.load_tolerant file in
+  check ci "v2 entries load" 2 (Plan_cache.size c);
+  check ci "none skipped" 0 r.Plan_cache.skipped;
+  (* kind-less legacy keys default to dft *)
+  let key kind n = { Plan_cache.kind; n; p = 2; mu = 4; machine = "host" } in
+  check cb "defaults to dft kind" true
+    (Plan_cache.find c (key "dft" 64) = Some (Ruletree.mixed_radix 64));
+  check cb "not under another kind" true
+    (Plan_cache.find c (key "wht" 64) = None);
+  (* add a kinded entry and round-trip through the v3 format *)
+  Plan_cache.add c (key "wht" 128) (Ruletree.mixed_radix 128);
+  Plan_cache.save c file;
+  (match read_lines file with
+  | hdr :: _ -> check Alcotest.string "v3 header" "# spiral-wisdom v3" hdr
+  | [] -> Alcotest.fail "empty saved file");
+  let c' = Plan_cache.load file in
+  check ci "all entries survive the rewrite" 3 (Plan_cache.size c');
+  check cb "migrated dft entry" true
+    (Plan_cache.find c' (key "dft" 256) = Some (Ruletree.mixed_radix 256));
+  check cb "kinded entry roundtrips" true
+    (Plan_cache.find c' (key "wht" 128) = Some (Ruletree.mixed_radix 128));
   Sys.remove file
 
 let test_plan_cache_salvage_corrupted () =
@@ -223,8 +265,12 @@ let test_plan_cache_salvage_corrupted () =
   check ci "loaded" 1 r.Plan_cache.loaded;
   check ci "skipped" 3 r.Plan_cache.skipped;
   check ci "complaints" 3 (List.length r.Plan_cache.complaints);
+  (* which entry survives depends on save order; whichever it is, it must
+     be bit-intact *)
   check cb "surviving entry intact" true
-    (Plan_cache.find c (entry 64) = Some (Ruletree.mixed_radix 64));
+    (List.exists
+       (fun n -> Plan_cache.find c (entry n) = Some (Ruletree.mixed_radix n))
+       [ 64; 128; 256 ]);
   Sys.remove file
 
 let test_plan_cache_interrupted_save_atomic () =
@@ -270,6 +316,8 @@ let suite =
       test_plan_cache_trailing_newlines;
     Alcotest.test_case "plan cache: v1 format compatibility" `Quick
       test_plan_cache_v1_compat;
+    Alcotest.test_case "plan cache: v2 migration roundtrip" `Quick
+      test_plan_cache_v2_migration_roundtrip;
     Alcotest.test_case "plan cache: salvages corrupted file" `Quick
       test_plan_cache_salvage_corrupted;
     Alcotest.test_case "plan cache: interrupted save is atomic" `Quick
