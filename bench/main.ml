@@ -21,6 +21,7 @@ let min_logn = ref 10
 let only : string list ref = ref []
 let json_out : string option ref = ref None
 let reps_override : int option ref = ref None
+let trace_out : string option ref = ref None
 
 let () =
   let rec parse = function
@@ -45,6 +46,9 @@ let () =
         parse rest
     | "--reps" :: v :: rest ->
         reps_override := Some (int_of_string v);
+        parse rest
+    | "--trace" :: v :: rest ->
+        trace_out := Some v;
         parse rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
@@ -686,6 +690,9 @@ let run_json file =
   let pools = List.map (fun p -> (p, Spiral_smp.Pool.create p)) worker_counts in
   (* (logn, t_seq, (p, t_par) list), for the final crossover summary *)
   let sweep : (int * float * (int * float) list) list ref = ref [] in
+  (* Chrome trace_event JSON of the latest (largest) size's traced par2
+     execution, exported at the end when --trace FILE was given *)
+  let last_trace : (int * string) option ref = ref None in
   let logns =
     let rec go l = if l > !max_logn then [] else l :: go (l + 1) in
     go !min_logn
@@ -717,6 +724,7 @@ let run_json file =
              add "sixstep_explicit" reps (fun () -> Plan.execute explicit x y);
              add "sixstep_fused" reps (fun () -> Plan.execute fused x y));
       let elisions = ref 0 in
+      let par2_prep = ref None in
       let par_ps =
         List.filter_map
           (fun (p, pool) ->
@@ -729,6 +737,7 @@ let run_json file =
                   reps
                   (fun () -> Spiral_smp.Par_exec.execute_prepared prep x y);
                 if p = 2 then begin
+                  par2_prep := Some prep;
                   add "par2_noelide" reps (fun () ->
                       Spiral_smp.Par_exec.execute pool ~elide:false mc x y);
                   let jobs = Array.make 8 (x, y) in
@@ -791,7 +800,24 @@ let run_json file =
           (Printf.sprintf "\"par2_speedup_vs_seq\": %.2f"
              (t_seq /. List.assoc 2 pars));
         addf
-          (Printf.sprintf "\"barrier_elisions_per_transform\": %d" !elisions)
+          (Printf.sprintf "\"barrier_elisions_per_transform\": %d" !elisions);
+        (* one traced execution, strictly after every timed round of this
+           size, so tracing never contaminates the reported series *)
+        Option.iter
+          (fun prep ->
+            Trace.enable ~workers:2 ();
+            Spiral_smp.Par_exec.execute_prepared prep x y;
+            Trace.disable ();
+            let r = Trace.report () in
+            addf
+              (Printf.sprintf
+                 "\"par2_observability\": {\"barrier_wait_frac\": %.4f, \
+                  \"load_imbalance\": %.3f, \"dispatch_latency_us\": %.3f}"
+                 r.Trace.barrier_wait_frac r.Trace.load_imbalance
+                 (r.Trace.dispatch_latency_ns /. 1000.0));
+            last_trace := Some (logn, Trace.to_chrome_json ());
+            Trace.clear ())
+          !par2_prep
       end;
       sweep := (logn, t_seq, pars) :: !sweep;
       let beats = List.filter (fun (_, t) -> t < t_seq) pars in
@@ -847,7 +873,17 @@ let run_json file =
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "wrote %s\n" file
+  Printf.printf "wrote %s\n" file;
+  Option.iter
+    (fun tf ->
+      match !last_trace with
+      | None -> Printf.printf "no par2 series ran; %s not written\n" tf
+      | Some (logn, json) ->
+          let oc = open_out tf in
+          output_string oc json;
+          close_out oc;
+          Printf.printf "wrote %s (par2 trace of 2^%d)\n" tf logn)
+    !trace_out
 
 (* ------------------------------------------------------------------ *)
 

@@ -146,6 +146,48 @@ let cmd_run =
   let reps_arg =
     Arg.(value & opt int 100 & info [ "reps" ] ~docv:"R" ~doc:"Timing repetitions.")
   in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "After the timed runs, record one traced execution and write it \
+             as Chrome trace_event JSON to $(docv) (load in Perfetto or \
+             chrome://tracing); also prints a per-pass summary.  Tracing \
+             never overlaps the timed repetitions.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "On exit, write the runtime counters as a Prometheus-style text \
+             dump to $(docv).")
+  in
+  (* one traced execution, exported after the run has joined *)
+  let with_trace trace workers run_once =
+    Option.iter
+      (fun file ->
+        Trace.enable ~workers:(max workers 1) ();
+        run_once ();
+        Trace.disable ();
+        let oc = open_out file in
+        output_string oc (Trace.to_chrome_json ());
+        close_out oc;
+        print_string (Trace.summary ());
+        Printf.printf "wrote trace to %s\n" file;
+        Trace.clear ())
+      trace
+  in
+  let write_metrics metrics =
+    Option.iter
+      (fun file ->
+        let oc = open_out file in
+        output_string oc (Counters.to_prometheus ());
+        close_out oc;
+        Printf.printf "wrote metrics to %s\n" file)
+      metrics
+  in
   let batch_arg =
     Arg.(
       value & opt int 1
@@ -155,7 +197,7 @@ let cmd_run =
              both per-call execution and Batch.execute_many, which runs a \
              whole sequence of batches inside a single parallel region.")
   in
-  let run_batch n p mu reps batch =
+  let run_batch n p mu reps batch trace metrics =
     Spiral_fft.Batch.with_plan ~threads:p ~mu ~count:batch n (fun bt ->
         let x = Cvec.random (batch * n) in
         let y = Spiral_fft.Batch.execute bt x in
@@ -198,14 +240,16 @@ let cmd_run =
         if Float.is_nan err then print_newline ()
         else Printf.printf ", max err vs naive %.2e\n" err;
         Printf.printf "parallel: %b\n" (Spiral_fft.Batch.parallel bt);
+        with_trace trace p (fun () -> ignore (Spiral_fft.Batch.execute bt x));
+        write_metrics metrics;
         0)
   in
-  let run n p mu reps batch =
+  let run n p mu reps batch trace metrics =
     if n < 1 || batch < 1 then begin
       Printf.eprintf "error: N and B must be >= 1\n";
       1
     end
-    else if batch > 1 then run_batch n p mu reps batch
+    else if batch > 1 then run_batch n p mu reps batch trace metrics
     else
       (* the library API dispatches to Bluestein for sizes with large
          prime factors, so `run` works for any N *)
@@ -256,10 +300,16 @@ let cmd_run =
               Printf.printf "degradations:";
               List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) cs;
               print_newline ());
+          with_trace trace
+            (Spiral_fft.Dft.threads t)
+            (fun () -> Spiral_fft.Dft.execute_into t ~src:x ~dst:y);
+          write_metrics metrics;
           0)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute on this host and verify")
-    Term.(const run $ n_arg $ p_arg $ mu_arg $ reps_arg $ batch_arg)
+    Term.(
+      const run $ n_arg $ p_arg $ mu_arg $ reps_arg $ batch_arg $ trace_arg
+      $ metrics_arg)
 
 let cmd_search =
   let run n machine =

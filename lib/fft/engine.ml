@@ -46,12 +46,15 @@ type t = {
 let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ~derive problem =
   if threads < 1 then invalid_arg "Engine.plan: threads >= 1";
   if mu < 1 then invalid_arg "Engine.plan: mu >= 1";
+  let total = Problem.total problem in
   let compile () =
+    Trace.begin_span 0 Trace.cat_plan total;
     let formula, p = derive ~threads ~mu in
     let plan =
       try Plan.of_formula formula
       with Ir.Unsupported msg -> invalid_arg ("Engine.plan: " ^ msg)
     in
+    Trace.end_span 0 Trace.cat_plan total;
     { formula; p; master = plan }
   in
   let formula, p, plan =
@@ -79,10 +82,19 @@ let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ~derive problem =
           in
           (e.formula, e.p, Plan.clone e.master)
   in
-  if threads > 1 && p <= 1 then Counters.incr "engine.seq_fallback";
+  if threads > 1 && p <= 1 then begin
+    Counters.incr "engine.seq_fallback";
+    Trace.mark 0 Trace.cat_fallback total
+  end;
   let pool = if p > 1 then Some (Spiral_smp.Pool_registry.acquire p) else None in
   let prep =
-    Option.map (fun pl -> Spiral_smp.Par_exec.prepare pl plan) pool
+    Option.map
+      (fun pl ->
+        Trace.begin_span 0 Trace.cat_prepare total;
+        let prep = Spiral_smp.Par_exec.prepare pl plan in
+        Trace.end_span 0 Trace.cat_prepare total;
+        prep)
+      pool
   in
   { problem; formula; plan; p; pool; prep; scratch = None; alive = true }
 
@@ -104,9 +116,11 @@ let execute_into t ~src ~dst =
   let n = Problem.total t.problem in
   if Cvec.length src <> n || Cvec.length dst <> n then
     invalid_arg "Engine.execute_into: wrong vector length";
-  match t.prep with
+  Trace.begin_span 0 Trace.cat_execute n;
+  (match t.prep with
   | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep src dst
-  | None -> Plan.execute t.plan src dst
+  | None -> Plan.execute t.plan src dst);
+  Trace.end_span 0 Trace.cat_execute n
 
 let execute t x =
   let y = Cvec.create (Problem.total t.problem) in
@@ -121,9 +135,11 @@ let execute_many t jobs =
       if Cvec.length x <> n || Cvec.length y <> n then
         invalid_arg "Engine.execute_many: wrong vector length")
     jobs;
-  match t.prep with
+  Trace.begin_span 0 Trace.cat_execute n;
+  (match t.prep with
   | Some prep -> Spiral_smp.Par_exec.execute_many_safe prep jobs
-  | None -> Array.iter (fun (x, y) -> Plan.execute t.plan x y) jobs
+  | None -> Array.iter (fun (x, y) -> Plan.execute t.plan x y) jobs);
+  Trace.end_span 0 Trace.cat_execute n
 
 let scratch t =
   check_alive t;

@@ -9,7 +9,9 @@ type t = {
   ec : Spinwait.eventcount;  (* waiters of this barrier only *)
 }
 
-type ctx = { mutable my_sense : bool }
+type ctx = { mutable my_sense : bool; mutable worker : int }
+(* [worker] only attributes trace events to a ring; it has no effect on
+   the rendezvous itself. *)
 
 exception Timeout of { parties : int; arrived : int; waited : float }
 
@@ -48,10 +50,13 @@ let parties t = t.p
 
 let timeout t = t.timeout
 
-let make_ctx _t = { my_sense = true }
+let make_ctx _t = { my_sense = true; worker = 0 }
+
+let set_worker ctx w = ctx.worker <- w
 
 let wait t ctx =
   Fault.check "barrier.wait";
+  Trace.begin_span ctx.worker Trace.cat_barrier 0;
   let s = ctx.my_sense in
   if Atomic.fetch_and_add t.count 1 = t.p - 1 then begin
     (* Last arrival: reset and release the others by flipping the sense. *)
@@ -71,4 +76,5 @@ let wait t ctx =
         raise
           (Timeout { parties = t.p; arrived = Atomic.get t.count; waited })
   end;
+  Trace.end_span ctx.worker Trace.cat_barrier 0;
   ctx.my_sense <- not s

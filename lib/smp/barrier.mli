@@ -42,6 +42,11 @@ type ctx
 
 val make_ctx : t -> ctx
 
+val set_worker : ctx -> int -> unit
+(** Tag this participant's trace events ({!Spiral_util.Trace}) with the
+    given worker index (default 0).  Attribution only — it does not
+    change the rendezvous. *)
+
 val wait : t -> ctx -> unit
 (** Blocks until all [p] participants have called [wait] for the current
     phase.  Each participant must use its own [ctx] and call [wait] the

@@ -345,12 +345,20 @@ let prepare pool ?(schedule = Block) ?(elide = true) ?timeout plan =
     wrap_elidable = compute_wrap_elidable ~schedule ~workers mask plan;
     timeout;
     barrier;
-    bctxs = Array.init workers (fun _ -> Barrier.make_ctx barrier);
+    bctxs =
+      Array.init workers (fun w ->
+          let c = Barrier.make_ctx barrier in
+          Barrier.set_worker c w;
+          c);
   }
 
 let refresh t =
   t.barrier <- Barrier.create ?timeout:t.timeout t.workers;
-  t.bctxs <- Array.init t.workers (fun _ -> Barrier.make_ctx t.barrier)
+  t.bctxs <-
+    Array.init t.workers (fun w ->
+        let c = Barrier.make_ctx t.barrier in
+        Barrier.set_worker c w;
+        c)
 
 let check_vec name plan v =
   if Array.length v <> 2 * plan.Plan.n then
@@ -377,11 +385,14 @@ let execute_prepared t x y =
           Fault.check "par_exec.pass";
           let src = Plan.pass_src plan ~x k
           and dst = Plan.pass_dst plan ~y k in
+          Trace.begin_span w Trace.cat_pass k;
           run_ranges ctx plan.Plan.passes.(k) t.ranges.(k).(w) ~src ~dst;
+          Trace.end_span w Trace.cat_pass k;
           (* no barrier after the final pass: the pool join is the
              rendezvous that releases the caller *)
-          if k < np - 1 && (k >= nb || not t.mask.(k)) then
-            Barrier.wait t.barrier bctx
+          if k < np - 1 then
+            if k >= nb || not t.mask.(k) then Barrier.wait t.barrier bctx
+            else Trace.mark w Trace.cat_elided k
         done)
   with e ->
     (* any failure strands arrival counts and senses mid-phase *)
@@ -429,12 +440,16 @@ let execute_many t jobs =
               Fault.check "par_exec.pass";
               let src = Plan.pass_src plan ~x k
               and dst = Plan.pass_dst plan ~y k in
+              Trace.begin_span w Trace.cat_pass k;
               run_ranges ctx plan.Plan.passes.(k) t.ranges.(k).(w) ~src ~dst;
+              Trace.end_span w Trace.cat_pass k;
               if k < np - 1 then begin
                 if k >= nb || not t.mask.(k) then Barrier.wait t.barrier bctx
+                else Trace.mark w Trace.cat_elided k
               end
-              else if j < njobs - 1 && not wrap_elide.(j) then
-                Barrier.wait t.barrier bctx
+              else if j < njobs - 1 then
+                if wrap_elide.(j) then Trace.mark w Trace.cat_elided k
+                else Barrier.wait t.barrier bctx
             done
           done)
     with e ->
@@ -465,6 +480,7 @@ let execute_safe_prepared t x y =
          from the original input, so partial writes by the failed
          parallel attempts cannot leak into the result. *)
       Counters.incr "par_exec.sequential_fallback";
+      Trace.mark 0 Trace.cat_fallback 0;
       Plan.execute t.plan x y)
 
 let execute_many_safe t jobs =
@@ -476,6 +492,7 @@ let execute_many_safe t jobs =
     with e when recoverable e ->
       heal_if_needed t.pool;
       Counters.incr "par_exec.sequential_fallback";
+      Trace.mark 0 Trace.cat_fallback 0;
       Array.iter (fun (x, y) -> Plan.execute t.plan x y) jobs)
 
 (* Compatibility entry points: prepare per call (the schedule pieces are

@@ -61,6 +61,7 @@ let worker_loop t w ~seen0 =
           infinite timeout — they are legitimately parked, not
           deadlocked — and are woken by the dispatch or shutdown
           [wake_all]. *)
+       Trace.begin_span w Trace.cat_park 0;
        (match
           Spinwait.wait ~spin_limit:t.spin_limit ~ec:t.dispatch_ec
             ~timeout:infinity
@@ -68,14 +69,17 @@ let worker_loop t w ~seen0 =
         with
        | Spinwait.Ready -> ()
        | Spinwait.Aborted | Spinwait.TimedOut _ -> ());
+       Trace.end_span w Trace.cat_park 0;
        if Atomic.get t.gen = !seen then running := false (* stop, no job *)
        else begin
          seen := Atomic.get t.gen;
          let job = t.job in
+         Trace.begin_span w Trace.cat_job !seen;
          (* Simulated domain death: an injection here escapes the job
             try-block below, so the whole worker loop unwinds. *)
          Fault.check "pool.worker";
          (try job w with e -> record t e);
+         Trace.end_span w Trace.cat_job !seen;
          Atomic.set st.finished true;
          (* Only the last finisher wakes the joiner; if this protocol is
             ever wrong the joiner still makes progress from the watchdog
@@ -186,10 +190,13 @@ let run t f =
      workers.  The atomic increment orders the [job] write before any
      worker's read of the new generation. *)
   t.job <- f;
-  Atomic.incr t.gen;
+  let g = 1 + Atomic.fetch_and_add t.gen 1 in
+  Trace.mark 0 Trace.cat_dispatch g;
   Spinwait.wake_all ~ec:t.dispatch_ec ();
   (* The caller is worker 0. *)
+  Trace.begin_span 0 Trace.cat_job g;
   (try f 0 with e -> record t e);
+  Trace.end_span 0 Trace.cat_job g;
   (* Join: same spin-then-park rendezvous as the workers.  A worker
      whose domain died can never finish, so abort on that immediately;
      otherwise give up after the pool timeout instead of waiting
@@ -202,6 +209,7 @@ let run t f =
       (fun st -> (not (Atomic.get st.finished)) && not (Atomic.get st.alive))
       t.workers
   in
+  Trace.begin_span 0 Trace.cat_join g;
   let gave_up =
     match
       Spinwait.wait ~spin_limit:t.spin_limit ~ec:t.join_ec ~timeout:t.timeout
@@ -210,6 +218,7 @@ let run t f =
     | Spinwait.Ready -> false
     | Spinwait.Aborted | Spinwait.TimedOut _ -> true
   in
+  Trace.end_span 0 Trace.cat_join g;
   if gave_up then begin
     (* Completion flags are now meaningless (a straggler may still set
        its flag during a later job): poison the pool until healed. *)

@@ -21,3 +21,19 @@ let snapshot () =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset () = with_lock (fun () -> Hashtbl.reset table)
+
+(* Prometheus text exposition format: every counter as one sample of a
+   single metric family, the counter name as a label (counter names
+   contain dots, which are not legal in Prometheus metric names). *)
+let to_prometheus () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "# HELP spiral_events_total Runtime event counters \
+     (Spiral_util.Counters).\n";
+  Buffer.add_string b "# TYPE spiral_events_total counter\n";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "spiral_events_total{name=\"%s\"} %d\n" k v))
+    (snapshot ());
+  Buffer.contents b

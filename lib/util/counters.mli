@@ -20,3 +20,8 @@ val snapshot : unit -> (string * int) list
 
 val reset : unit -> unit
 (** Zero every counter (test isolation). *)
+
+val to_prometheus : unit -> string
+(** Every nonzero counter in the Prometheus text exposition format, as
+    samples of one metric family [spiral_events_total] with the counter
+    name as a [name] label. *)

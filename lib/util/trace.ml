@@ -1,0 +1,380 @@
+external now_ns : unit -> int = "spiral_trace_now_ns" [@@noalloc]
+
+(* ---- categories ---- *)
+
+let cat_pass = 0
+let cat_barrier = 1
+let cat_dispatch = 2
+let cat_job = 3
+let cat_join = 4
+let cat_park = 5
+let cat_plan = 6
+let cat_prepare = 7
+let cat_execute = 8
+let cat_fallback = 9
+let cat_elided = 10
+
+let cat_names =
+  [|
+    "pass"; "barrier"; "dispatch"; "job"; "join"; "park"; "plan"; "prepare";
+    "execute"; "fallback"; "barrier_elided";
+  |]
+
+let cat_name c =
+  if c >= 0 && c < Array.length cat_names then cat_names.(c)
+  else "cat" ^ string_of_int c
+
+(* ---- rings ---- *)
+
+(* 3 ints per event: tag = (phase lsl 8) lor cat, arg, timestamp.  Only
+   immediate values are ever stored, so recording allocates nothing; the
+   ring is owned by exactly one worker, so there is no synchronization
+   beyond the global enabled flag. *)
+type ring = {
+  data : int array;
+  capacity : int;  (* in events *)
+  mutable pos : int;  (* next slot *)
+  mutable total : int;  (* events ever emitted *)
+}
+
+let default_capacity = 8192
+let default_workers = 8
+let enabled_flag = Atomic.make false
+let rings : ring array ref = ref [||]
+
+let enabled () = Atomic.get enabled_flag
+
+let enable ?(capacity = default_capacity) ?(workers = default_workers) () =
+  if capacity < 2 then invalid_arg "Trace.enable: capacity >= 2";
+  if workers < 1 then invalid_arg "Trace.enable: workers >= 1";
+  rings :=
+    Array.init workers (fun _ ->
+        { data = Array.make (3 * capacity) 0; capacity; pos = 0; total = 0 });
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let clear () =
+  Array.iter
+    (fun r ->
+      r.pos <- 0;
+      r.total <- 0)
+    !rings
+
+(* ---- recording ---- *)
+
+let phase_begin = 0
+let phase_end = 1
+let phase_mark = 2
+
+let emit w ph cat arg =
+  if Atomic.get enabled_flag then begin
+    let rs = !rings in
+    if w >= 0 && w < Array.length rs then begin
+      let r = rs.(w) in
+      let i = r.pos * 3 in
+      r.data.(i) <- (ph lsl 8) lor (cat land 0xff);
+      r.data.(i + 1) <- arg;
+      r.data.(i + 2) <- now_ns ();
+      r.pos <- (if r.pos + 1 = r.capacity then 0 else r.pos + 1);
+      r.total <- r.total + 1
+    end
+  end
+
+let begin_span w cat arg = emit w phase_begin cat arg
+let end_span w cat arg = emit w phase_end cat arg
+let mark w cat arg = emit w phase_mark cat arg
+
+(* ---- decoding ---- *)
+
+type phase = Begin | End | Mark
+
+type event = { worker : int; phase : phase; cat : int; arg : int; ts_ns : int }
+
+let ring_events w r =
+  let nev = min r.total r.capacity in
+  let start = if r.total <= r.capacity then 0 else r.pos in
+  List.init nev (fun j ->
+      let i = (start + j) mod r.capacity * 3 in
+      let tag = r.data.(i) in
+      {
+        worker = w;
+        phase =
+          (match tag lsr 8 with 0 -> Begin | 1 -> End | _ -> Mark);
+        cat = tag land 0xff;
+        arg = r.data.(i + 1);
+        ts_ns = r.data.(i + 2);
+      })
+
+(* After wraparound a ring can start with End events whose Begin was
+   overwritten; drop them so exporters always see balanced nesting. *)
+let scrubbed w r =
+  let depth = ref 0 in
+  List.filter
+    (fun e ->
+      match e.phase with
+      | Begin ->
+          incr depth;
+          true
+      | End ->
+          if !depth > 0 then begin
+            decr depth;
+            true
+          end
+          else false
+      | Mark -> true)
+    (ring_events w r)
+
+let per_worker_events () = Array.to_list (Array.mapi scrubbed !rings)
+
+let events () = List.concat (per_worker_events ())
+
+let dropped () =
+  Array.fold_left (fun a r -> a + max 0 (r.total - r.capacity)) 0 !rings
+
+(* ---- span pairing ---- *)
+
+type span = { worker : int; cat : int; arg : int; ts_ns : int; dur_ns : int }
+
+let worker_spans evs =
+  let stack = ref [] in
+  let out = ref [] in
+  List.iter
+    (fun e ->
+      match e.phase with
+      | Begin -> stack := e :: !stack
+      | End -> (
+          match !stack with
+          | b :: rest ->
+              stack := rest;
+              out :=
+                {
+                  worker = e.worker;
+                  cat = b.cat;
+                  arg = b.arg;
+                  ts_ns = b.ts_ns;
+                  dur_ns = e.ts_ns - b.ts_ns;
+                }
+                :: !out
+          | [] -> ())
+      | Mark -> ())
+    evs;
+  List.rev !out
+
+let spans () = List.concat_map worker_spans (per_worker_events ())
+
+(* ---- Chrome trace_event export ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_name (e : event) =
+  match e.cat with
+  | c when c = cat_pass -> Printf.sprintf "pass %d" e.arg
+  | c when c = cat_elided -> Printf.sprintf "barrier elided after pass %d" e.arg
+  | c -> cat_name c
+
+let to_chrome_json () =
+  let per_worker = per_worker_events () in
+  let t0 =
+    List.fold_left
+      (fun acc evs ->
+        List.fold_left (fun acc (e : event) -> min acc e.ts_ns) acc evs)
+      max_int per_worker
+  in
+  let t0 = if t0 = max_int then 0 else t0 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\": [";
+  let first = ref true in
+  let add_obj s =
+    if not !first then Buffer.add_string b ",\n ";
+    first := false;
+    Buffer.add_string b s
+  in
+  List.iter
+    (fun evs ->
+      match evs with
+      | [] -> ()
+      | (e : event) :: _ ->
+          add_obj
+            (Printf.sprintf
+               "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \
+                \"tid\": %d, \"args\": {\"name\": \"worker %d\"}}"
+               e.worker e.worker))
+    per_worker;
+  List.iter
+    (List.iter (fun (e : event) ->
+         let ts = float_of_int (e.ts_ns - t0) /. 1e3 in
+         let common =
+           Printf.sprintf
+             "\"name\": \"%s\", \"cat\": \"%s\", \"ts\": %.3f, \"pid\": 1, \
+              \"tid\": %d"
+             (json_escape (event_name e))
+             (json_escape (cat_name e.cat))
+             ts e.worker
+         in
+         match e.phase with
+         | Begin ->
+             add_obj
+               (Printf.sprintf "{%s, \"ph\": \"B\", \"args\": {\"arg\": %d}}"
+                  common e.arg)
+         | End -> add_obj (Printf.sprintf "{%s, \"ph\": \"E\"}" common)
+         | Mark ->
+             add_obj
+               (Printf.sprintf
+                  "{%s, \"ph\": \"i\", \"s\": \"t\", \"args\": {\"arg\": \
+                   %d}}"
+                  common e.arg)))
+    per_worker;
+  Buffer.add_string b "],\n\"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents b
+
+(* ---- derived metrics ---- *)
+
+type report = {
+  event_count : int;
+  dropped_count : int;
+  wall_ns : int;
+  busy_ns : int array;
+  barrier_ns : int array;
+  barrier_wait_frac : float;
+  load_imbalance : float;
+  dispatch_latency_ns : float;
+}
+
+let report () =
+  let per_worker = per_worker_events () in
+  let workers = List.length per_worker in
+  let busy = Array.make (max 1 workers) 0 in
+  let barrier = Array.make (max 1 workers) 0 in
+  let count = ref 0 in
+  let tmin = ref max_int and tmax = ref min_int in
+  List.iter
+    (List.iter (fun (e : event) ->
+         incr count;
+         if e.ts_ns < !tmin then tmin := e.ts_ns;
+         if e.ts_ns > !tmax then tmax := e.ts_ns))
+    per_worker;
+  List.iter
+    (fun evs ->
+      List.iter
+        (fun (s : span) ->
+          if s.cat = cat_pass then busy.(s.worker) <- busy.(s.worker) + s.dur_ns
+          else if s.cat = cat_barrier then
+            barrier.(s.worker) <- barrier.(s.worker) + s.dur_ns)
+        (worker_spans evs))
+    per_worker;
+  let total_busy = Array.fold_left ( + ) 0 busy in
+  let total_barrier = Array.fold_left ( + ) 0 barrier in
+  let frac =
+    if total_busy + total_barrier = 0 then 0.0
+    else float_of_int total_barrier /. float_of_int (total_busy + total_barrier)
+  in
+  let active = Array.fold_left (fun a b -> if b > 0 then a + 1 else a) 0 busy in
+  let imbalance =
+    if active = 0 then 1.0
+    else
+      let mx = Array.fold_left max 0 busy in
+      let mean = float_of_int total_busy /. float_of_int active in
+      if mean <= 0.0 then 1.0 else float_of_int mx /. mean
+  in
+  (* dispatch latency: match each dispatch mark (worker 0, arg = pool
+     generation) with the job Begin events carrying the same generation
+     on workers other than the caller *)
+  let dispatches = Hashtbl.create 8 in
+  let latencies = ref [] in
+  List.iter
+    (List.iter (fun (e : event) ->
+         if e.phase = Mark && e.cat = cat_dispatch then
+           Hashtbl.replace dispatches e.arg e.ts_ns))
+    per_worker;
+  List.iter
+    (List.iter (fun (e : event) ->
+         if e.phase = Begin && e.cat = cat_job && e.worker > 0 then
+           match Hashtbl.find_opt dispatches e.arg with
+           | Some t -> latencies := (e.ts_ns - t) :: !latencies
+           | None -> ()))
+    per_worker;
+  let dispatch_latency =
+    match !latencies with
+    | [] -> 0.0
+    | l ->
+        float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+  in
+  {
+    event_count = !count;
+    dropped_count = dropped ();
+    wall_ns = (if !tmax >= !tmin then !tmax - !tmin else 0);
+    busy_ns = busy;
+    barrier_ns = barrier;
+    barrier_wait_frac = frac;
+    load_imbalance = imbalance;
+    dispatch_latency_ns = dispatch_latency;
+  }
+
+let summary () =
+  let all = spans () in
+  let r = report () in
+  let workers = Array.length r.busy_ns in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "trace: %d worker ring(s), %d event(s), %d dropped\n"
+    workers r.event_count r.dropped_count;
+  Printf.bprintf b "wall clock: %.1f us\n" (float_of_int r.wall_ns /. 1e3);
+  (* per-pass table: one row per pass index, one column per worker *)
+  let pass_ids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (s : span) -> if s.cat = cat_pass then Some s.arg else None)
+         all)
+  in
+  if pass_ids <> [] then begin
+    Printf.bprintf b "%-10s" "pass";
+    for w = 0 to workers - 1 do
+      Printf.bprintf b "%12s" (Printf.sprintf "w%d (us)" w)
+    done;
+    Printf.bprintf b "%12s\n" "max/mean";
+    List.iter
+      (fun k ->
+        let per_w = Array.make workers 0 in
+        List.iter
+          (fun (s : span) ->
+            if s.cat = cat_pass && s.arg = k then
+              per_w.(s.worker) <- per_w.(s.worker) + s.dur_ns)
+          all;
+        Printf.bprintf b "%-10d" k;
+        Array.iter
+          (fun ns -> Printf.bprintf b "%12.1f" (float_of_int ns /. 1e3))
+          per_w;
+        let total = Array.fold_left ( + ) 0 per_w in
+        let active =
+          Array.fold_left (fun a v -> if v > 0 then a + 1 else a) 0 per_w
+        in
+        let ratio =
+          if active = 0 || total = 0 then 1.0
+          else
+            float_of_int (Array.fold_left max 0 per_w)
+            /. (float_of_int total /. float_of_int active)
+        in
+        Printf.bprintf b "%12.2f\n" ratio)
+      pass_ids
+  end;
+  Printf.bprintf b "barrier wait:";
+  Array.iteri
+    (fun w ns ->
+      Printf.bprintf b "  w%d %.1fus" w (float_of_int ns /. 1e3))
+    r.barrier_ns;
+  Printf.bprintf b "   (fraction %.1f%%)\n" (100.0 *. r.barrier_wait_frac);
+  Printf.bprintf b "load imbalance (max/mean busy): %.2f\n" r.load_imbalance;
+  Printf.bprintf b "dispatch latency: %.2f us\n" (r.dispatch_latency_ns /. 1e3);
+  Buffer.contents b

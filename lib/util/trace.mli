@@ -1,0 +1,126 @@
+(** Per-worker, fixed-capacity, allocation-free tracing of the parallel
+    runtime.
+
+    Each worker owns a preallocated ring of events (3 immediate ints per
+    event: tag, argument, monotonic-clock nanoseconds), so recording a
+    span boundary costs three array stores and one [clock_gettime] — no
+    allocation, no locks, no contention between workers.  When tracing
+    is disabled ({!enabled} [= false], the default) every hook is a
+    single atomic load and branch, cheap enough to leave compiled into
+    the per-pass hot path permanently.
+
+    The runtime emits spans at pass granularity: {!Pool} dispatch, job
+    and join spans plus idle parking, {!Barrier} arrive→release waits,
+    per-pass compute in [Par_exec] (with instant markers for elided
+    barriers), and plan/prepare/execute/fallback spans in the engine.
+    Exporters turn the rings into a Chrome [trace_event] JSON file
+    (loadable in [chrome://tracing] or Perfetto), a per-pass text
+    summary, and a derived {!report} (barrier-wait fraction, load
+    imbalance, dispatch latency).
+
+    Rings are single-writer (worker [w] writes only ring [w]) and the
+    exporters are meant to run after the traced execution has joined;
+    enable tracing while the runtime is idle, run the workload, then
+    export.  When a ring wraps, the oldest events are overwritten and
+    counted in {!dropped}. *)
+
+val now_ns : unit -> int
+(** Monotonic clock, nanoseconds since an arbitrary origin.  Immediate
+    (never allocates). *)
+
+(** {1 Lifecycle} *)
+
+val enable : ?capacity:int -> ?workers:int -> unit -> unit
+(** [enable ()] preallocates [workers] rings of [capacity] events each
+    (defaults: 8 workers, 8192 events) and turns the hooks on.  Calling
+    it again reallocates fresh, empty rings. *)
+
+val disable : unit -> unit
+(** Stop recording.  The rings keep their contents for the exporters. *)
+
+val enabled : unit -> bool
+
+val clear : unit -> unit
+(** Empty every ring without reallocating (keeps tracing on if on). *)
+
+(** {1 Event categories} *)
+
+val cat_pass : int  (** per-worker compute of one pass; arg = pass index *)
+
+val cat_barrier : int  (** a barrier wait, arrive to release *)
+
+val cat_dispatch : int  (** instant: pool publishes a job; arg = generation *)
+
+val cat_job : int  (** a worker executing one pool job; arg = generation *)
+
+val cat_join : int  (** the caller waiting for workers to finish *)
+
+val cat_park : int  (** an idle worker waiting for the next dispatch *)
+
+val cat_plan : int  (** engine: derivation + compilation; arg = n *)
+
+val cat_prepare : int  (** engine: baking the parallel schedule; arg = n *)
+
+val cat_execute : int  (** engine: one transform execution; arg = n *)
+
+val cat_fallback : int  (** instant: degraded to sequential execution *)
+
+val cat_elided : int  (** instant: a barrier statically elided; arg = pass *)
+
+val cat_name : int -> string
+
+(** {1 Recording (the hot path)} *)
+
+val begin_span : int -> int -> int -> unit
+(** [begin_span worker cat arg].  No-op when disabled or [worker] has no
+    ring; never allocates. *)
+
+val end_span : int -> int -> int -> unit
+
+val mark : int -> int -> int -> unit
+(** An instant event. *)
+
+(** {1 Inspection and export} *)
+
+type phase = Begin | End | Mark
+
+type event = { worker : int; phase : phase; cat : int; arg : int; ts_ns : int }
+
+val events : unit -> event list
+(** Every recorded event, oldest first within each worker.  [End] events
+    whose [Begin] was overwritten by ring wraparound are scrubbed. *)
+
+val dropped : unit -> int
+(** Events lost to ring wraparound, summed over workers. *)
+
+type span = { worker : int; cat : int; arg : int; ts_ns : int; dur_ns : int }
+
+val spans : unit -> span list
+(** Begin/End pairs matched per worker (LIFO), oldest first. *)
+
+val to_chrome_json : unit -> string
+(** The rings as a Chrome [trace_event] JSON object: one [pid], one
+    [tid] per worker (with thread-name metadata), ["B"]/["E"] span
+    events and ["i"] instants, timestamps in microseconds relative to
+    the first recorded event. *)
+
+val summary : unit -> string
+(** Human-readable per-pass timing table: per-worker compute time and
+    imbalance for every pass, barrier-wait totals, dispatch latency. *)
+
+type report = {
+  event_count : int;
+  dropped_count : int;
+  wall_ns : int;  (** first to last event timestamp *)
+  busy_ns : int array;  (** per worker, total pass compute *)
+  barrier_ns : int array;  (** per worker, total barrier wait *)
+  barrier_wait_frac : float;
+      (** total barrier wait / (total compute + total barrier wait) *)
+  load_imbalance : float;
+      (** max/mean of per-worker compute over workers that computed *)
+  dispatch_latency_ns : float;
+      (** mean delay from a pool dispatch to a worker starting the job *)
+}
+
+val report : unit -> report
+(** Derived per-transform metrics (zeros when nothing was recorded). *)

@@ -1,0 +1,17 @@
+/* Monotonic clock for Spiral_util.Trace.
+
+   Returns CLOCK_MONOTONIC nanoseconds as a tagged OCaml int: 63 bits
+   hold ~146 years of nanoseconds, and an immediate return means the
+   tracing hot path performs no allocation at all (a float- or
+   int64-returning external would box its result). */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value spiral_trace_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -15,4 +15,5 @@ let () =
       ("vector", Test_vector.suite);
       ("fft", Test_fft.suite);
       ("engine", Test_engine.suite);
+      ("trace", Test_trace.suite);
     ]

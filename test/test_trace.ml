@@ -1,0 +1,474 @@
+(* The observability layer: ring-buffer wraparound, allocation-free
+   recording, span nesting across workers on a real parallel transform,
+   Chrome trace_event JSON validity (parsed back with a self-contained
+   JSON reader), the Prometheus counters dump round-trip, and the
+   derived per-transform report. *)
+
+open Spiral_util
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON parser (the repo has no JSON dependency): enough to
+   validate that the Chrome exporter emits well-formed JSON and to read
+   back the fields the trace viewers rely on. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let m = String.length lit in
+    if !pos + m <= n && String.sub s !pos m = lit then begin
+      pos := !pos + m;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "bad escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "bad \\u";
+              (* decode only to validate; non-ASCII folded to '?' *)
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              Buffer.add_char b (if code < 128 then Char.chr code else '?');
+              pos := !pos + 4
+          | c -> fail (Printf.sprintf "bad escape '%c'" c));
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ((k, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elems (v :: acc)
+            | Some ']' ->
+                incr pos;
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elems []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+
+let test_wraparound () =
+  Trace.enable ~capacity:8 ~workers:1 ();
+  for k = 0 to 19 do
+    Trace.begin_span 0 Trace.cat_pass k;
+    Trace.end_span 0 Trace.cat_pass k
+  done;
+  Trace.disable ();
+  let evs = Trace.events () in
+  check cb "ring keeps at most capacity events" true (List.length evs <= 8);
+  check ci "dropped counts the overwritten events" 32 (Trace.dropped ());
+  (* timestamps are monotone within the ring, and the scrubber leaves no
+     orphan End at the start after wraparound *)
+  let rec monotone = function
+    | (a : Trace.event) :: (b :: _ as rest) ->
+        a.Trace.ts_ns <= b.Trace.ts_ns && monotone rest
+    | _ -> true
+  in
+  check cb "ring order is chronological" true (monotone evs);
+  let depth = ref 0 in
+  let balanced =
+    List.for_all
+      (fun (e : Trace.event) ->
+        match e.Trace.phase with
+        | Trace.Begin ->
+            incr depth;
+            true
+        | Trace.End ->
+            decr depth;
+            !depth >= 0
+        | Trace.Mark -> true)
+      evs
+  in
+  check cb "no orphan End after wraparound" true balanced;
+  (* the newest event survived *)
+  match List.rev evs with
+  | last :: _ -> check ci "latest event retained" 19 last.Trace.arg
+  | [] -> Alcotest.fail "ring empty after 20 emits"
+
+let test_clear_and_reenable () =
+  Trace.enable ~capacity:16 ~workers:2 ();
+  Trace.begin_span 1 Trace.cat_pass 0;
+  Trace.end_span 1 Trace.cat_pass 0;
+  check ci "events recorded" 2 (List.length (Trace.events ()));
+  Trace.clear ();
+  check ci "clear empties the rings" 0 (List.length (Trace.events ()));
+  check cb "clear keeps tracing on" true (Trace.enabled ());
+  (* out-of-range workers are ignored, not an error *)
+  Trace.begin_span 99 Trace.cat_pass 0;
+  check ci "no ring for worker 99" 0 (List.length (Trace.events ()));
+  Trace.disable ();
+  check cb "disabled" false (Trace.enabled ())
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-freedom of the recording hot path                        *)
+
+let alloc_words iters call =
+  call ();
+  call ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    call ()
+  done;
+  Gc.minor_words () -. w0
+
+let test_emit_allocation_free () =
+  Trace.enable ~capacity:64 ~workers:2 ();
+  let words =
+    alloc_words 1000 (fun () ->
+        Trace.begin_span 0 Trace.cat_pass 3;
+        Trace.mark 1 Trace.cat_elided 3;
+        Trace.end_span 0 Trace.cat_pass 3)
+  in
+  Trace.disable ();
+  check cb "recording allocates nothing (ring is preallocated)" true
+    (words < 8.0);
+  let words_off =
+    alloc_words 1000 (fun () ->
+        Trace.begin_span 0 Trace.cat_pass 3;
+        Trace.end_span 0 Trace.cat_pass 3)
+  in
+  check cb "disabled hooks allocate nothing" true (words_off < 8.0)
+
+(* The PR-2 zero-allocation guarantee must hold with tracing enabled as
+   well as disabled: the sequential hot path emits nothing, and the
+   engine/barrier/pool hooks it does pass through only store immediate
+   ints into preallocated rings. *)
+let test_zero_alloc_with_tracing () =
+  let open Spiral_rewrite in
+  let open Spiral_codegen in
+  let n = 1024 in
+  let plan = Plan.of_formula (Ruletree.expand (Ruletree.mixed_radix n)) in
+  let x = Cvec.random ~seed:1 n and y = Cvec.create n in
+  check cb "Plan.execute allocation-free with tracing disabled" true
+    (alloc_words 50 (fun () -> Plan.execute plan x y) < 8.0);
+  Trace.enable ();
+  check cb "Plan.execute allocation-free with tracing enabled" true
+    (alloc_words 50 (fun () -> Plan.execute plan x y) < 8.0);
+  Trace.disable ()
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting across workers on a real parallel transform            *)
+
+let traced_dft ~threads ~capacity n =
+  Spiral_fft.Dft.with_plan ~threads n (fun t ->
+      let x = Cvec.random ~seed:7 n in
+      let y = Cvec.create n in
+      (* warm up untraced so plan caches and pools exist *)
+      Spiral_fft.Dft.execute_into t ~src:x ~dst:y;
+      Trace.enable ~capacity ~workers:threads ();
+      Spiral_fft.Dft.execute_into t ~src:x ~dst:y;
+      Trace.disable ();
+      Spiral_fft.Dft.threads t)
+
+let test_span_nesting_across_workers () =
+  let threads = traced_dft ~threads:2 ~capacity:4096 256 in
+  check ci "plan is parallel" 2 threads;
+  let evs = Trace.events () in
+  check cb "events recorded" true (evs <> []);
+  (* per worker: Begin/End strictly balanced, depth never negative *)
+  List.iter
+    (fun w ->
+      let depth = ref 0 in
+      let open_cats = ref [] in
+      let ok =
+        List.for_all
+          (fun (e : Trace.event) ->
+            if e.Trace.worker <> w then true
+            else
+              match e.Trace.phase with
+              | Trace.Begin ->
+                  incr depth;
+                  open_cats := e.Trace.cat :: !open_cats;
+                  true
+              | Trace.End ->
+                  decr depth;
+                  (match !open_cats with _ :: r -> open_cats := r | [] -> ());
+                  !depth >= 0
+              | Trace.Mark -> true)
+          evs
+      in
+      check cb (Printf.sprintf "worker %d nesting balanced" w) true ok;
+      (* an idle worker legitimately ends the trace parked in its
+         dispatch wait; anything else must be closed *)
+      check cb
+        (Printf.sprintf "worker %d leaves at most an open park span" w)
+        true
+        (match !open_cats with
+        | [] -> true
+        | [ c ] -> c = Trace.cat_park
+        | _ -> false);
+      (* pass spans specifically are strictly balanced *)
+      let count ph =
+        List.length
+          (List.filter
+             (fun (e : Trace.event) ->
+               e.Trace.worker = w
+               && e.Trace.cat = Trace.cat_pass
+               && e.Trace.phase = ph)
+             evs)
+      in
+      check ci
+        (Printf.sprintf "worker %d pass begin/end balanced" w)
+        (count Trace.Begin) (count Trace.End))
+    [ 0; 1 ];
+  let spans = Trace.spans () in
+  let has_pass w =
+    List.exists
+      (fun (s : Trace.span) ->
+        s.Trace.worker = w && s.Trace.cat = Trace.cat_pass)
+      spans
+  in
+  check cb "worker 0 has pass spans" true (has_pass 0);
+  check cb "worker 1 has pass spans" true (has_pass 1);
+  check cb "durations are non-negative" true
+    (List.for_all (fun (s : Trace.span) -> s.Trace.dur_ns >= 0) spans)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export — the acceptance-criteria scenario:
+   dft[4096]f at p=2 must yield a JSON file with per-worker pass spans
+   and barrier-wait spans. *)
+
+let test_chrome_json_dft4096 () =
+  let threads = traced_dft ~threads:2 ~capacity:8192 4096 in
+  check ci "dft[4096]f plans parallel at p=2" 2 threads;
+  let js = Trace.to_chrome_json () in
+  let j =
+    match parse_json js with
+    | j -> j
+    | exception Bad_json m -> Alcotest.fail ("invalid JSON: " ^ m)
+  in
+  let events =
+    match member "traceEvents" j with
+    | Some (Arr l) -> l
+    | _ -> Alcotest.fail "traceEvents array missing"
+  in
+  check cb "has events" true (events <> []);
+  (* every event is an object with the trace_event required fields *)
+  List.iter
+    (fun e ->
+      let has k =
+        match member k e with Some _ -> true | None -> false
+      in
+      check cb "event has name/ph/pid/tid" true
+        (has "name" && has "ph" && has "pid" && has "tid");
+      match member "ph" e with
+      | Some (Str ("B" | "E" | "i" | "M")) -> ()
+      | _ -> Alcotest.fail "unexpected ph")
+    events;
+  let span_on ~cat ~tid =
+    List.exists
+      (fun e ->
+        member "ph" e = Some (Str "B")
+        && member "cat" e = Some (Str cat)
+        && member "tid" e = Some (Num (float_of_int tid)))
+      events
+  in
+  check cb "worker 0 pass spans" true (span_on ~cat:"pass" ~tid:0);
+  check cb "worker 1 pass spans" true (span_on ~cat:"pass" ~tid:1);
+  check cb "barrier-wait spans present" true
+    (span_on ~cat:"barrier" ~tid:0 || span_on ~cat:"barrier" ~tid:1);
+  (* instants carry the scope field Perfetto expects *)
+  List.iter
+    (fun e ->
+      if member "ph" e = Some (Str "i") then
+        check cb "instant has scope" true (member "s" e = Some (Str "t")))
+    events
+
+(* ------------------------------------------------------------------ *)
+(* Derived report                                                      *)
+
+let test_report () =
+  ignore (traced_dft ~threads:2 ~capacity:8192 4096);
+  let r = Trace.report () in
+  check cb "events counted" true (r.Trace.event_count > 0);
+  check cb "wall clock positive" true (r.Trace.wall_ns > 0);
+  check cb "both workers computed" true
+    (r.Trace.busy_ns.(0) > 0 && r.Trace.busy_ns.(1) > 0);
+  check cb "barrier-wait fraction in [0,1)" true
+    (r.Trace.barrier_wait_frac >= 0.0 && r.Trace.barrier_wait_frac < 1.0);
+  check cb "load imbalance >= 1" true (r.Trace.load_imbalance >= 1.0);
+  check cb "dispatch latency measured" true (r.Trace.dispatch_latency_ns > 0.0);
+  let s = Trace.summary () in
+  let contains ~sub str =
+    let n = String.length str and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub str i m = sub || go (i + 1)) in
+    go 0
+  in
+  check cb "summary names passes" true (contains ~sub:"pass" s);
+  check cb "summary reports barrier waits" true (contains ~sub:"barrier" s)
+
+let test_report_empty () =
+  Trace.enable ~capacity:16 ~workers:1 ();
+  Trace.disable ();
+  let r = Trace.report () in
+  check ci "no events" 0 r.Trace.event_count;
+  check cb "fraction 0" true (r.Trace.barrier_wait_frac = 0.0);
+  check cb "imbalance 1" true (r.Trace.load_imbalance = 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Counters dump round-trip                                            *)
+
+let test_counters_prometheus_roundtrip () =
+  Counters.reset ();
+  Counters.incr ~by:3 "trace_test.alpha";
+  Counters.incr "trace_test.beta";
+  Counters.incr ~by:41 "trace_test.beta";
+  let dump = Counters.to_prometheus () in
+  let parsed =
+    String.split_on_char '\n' dump
+    |> List.filter_map (fun line ->
+           if line = "" || line.[0] = '#' then None
+           else
+             try
+               Scanf.sscanf line "spiral_events_total{name=%S} %d" (fun k v ->
+                   Some (k, v))
+             with Scanf.Scan_failure _ | End_of_file ->
+               Some (("unparsable: " ^ line), -1))
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "every sample parses back to the snapshot" (Counters.snapshot ()) parsed;
+  Counters.reset ()
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "ring wraparound" `Quick test_wraparound;
+    Alcotest.test_case "clear / re-enable / bounds" `Quick
+      test_clear_and_reenable;
+    Alcotest.test_case "emit is allocation-free" `Quick
+      test_emit_allocation_free;
+    Alcotest.test_case "zero-alloc hot path with tracing on" `Quick
+      test_zero_alloc_with_tracing;
+    Alcotest.test_case "span nesting across workers" `Quick
+      test_span_nesting_across_workers;
+    Alcotest.test_case "chrome JSON for dft[4096]f p=2" `Quick
+      test_chrome_json_dft4096;
+    Alcotest.test_case "derived report" `Quick test_report;
+    Alcotest.test_case "empty report" `Quick test_report_empty;
+    Alcotest.test_case "counters prometheus round-trip" `Quick
+      test_counters_prometheus_roundtrip;
+  ]
