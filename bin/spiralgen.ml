@@ -5,7 +5,9 @@
      generate  — emit C code (sequential / OpenMP / pthreads)
      run       — execute a transform on this host and verify it
      search    — autotune a ruletree (DP over the machine model)
-     simulate  — performance-simulate a plan on a modeled machine *)
+     simulate  — performance-simulate a plan on a modeled machine
+     serve     — resident FFT daemon on a Unix-domain socket
+     client    — talk to a running daemon (exec/ping/info/stats) *)
 
 open Cmdliner
 open Spiral_util
@@ -350,6 +352,176 @@ let cmd_simulate =
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate on a modeled machine")
     Term.(const run $ n_arg $ p_arg $ mu_arg $ machine_arg)
 
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let cmd_serve =
+  let run socket threads mu max_pending max_per_client max_plans pool_timeout =
+    let cfg = Spiral_service.Server.default_config ~socket_path:socket () in
+    let cfg =
+      {
+        cfg with
+        Spiral_service.Server.threads;
+        mu;
+        max_pending;
+        max_per_client;
+        max_plans;
+        pool_timeout;
+      }
+    in
+    match Spiral_service.Server.start cfg with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot bind %s: %s\n" socket (Unix.error_message e);
+        1
+    | server ->
+        let stop = Atomic.make false in
+        let request_stop _ = Atomic.set stop true in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+        Printf.printf "spiralgen: serving on %s (threads=%d, mu=%d)\n%!" socket
+          threads mu;
+        while not (Atomic.get stop) do
+          Unix.sleepf 0.2
+        done;
+        Printf.printf "spiralgen: draining...\n%!";
+        Spiral_service.Server.stop server;
+        Printf.printf "spiralgen: stopped\n%!";
+        0
+  in
+  let threads =
+    Arg.(value & opt int 2 & info [ "p"; "threads" ] ~docv:"P"
+         ~doc:"Worker count requests are planned for.")
+  in
+  let max_pending =
+    Arg.(value & opt int 256 & info [ "max-pending" ] ~docv:"N"
+         ~doc:"Admission queue bound; excess load is shed.")
+  in
+  let max_per_client =
+    Arg.(value & opt int 32 & info [ "max-per-client" ] ~docv:"N"
+         ~doc:"Per-client pending bound.")
+  in
+  let max_plans =
+    Arg.(value & opt int 64 & info [ "max-plans" ] ~docv:"N"
+         ~doc:"Resident compiled plans before LRU eviction.")
+  in
+  let pool_timeout =
+    Arg.(value & opt float 5.0 & info [ "pool-timeout" ] ~docv:"SECONDS"
+         ~doc:"Bound on every parallel wait.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the resident FFT daemon on a Unix-domain socket")
+    Term.(
+      const run $ socket_arg $ threads $ mu_arg $ max_pending $ max_per_client
+      $ max_plans $ pool_timeout)
+
+let cmd_client =
+  let run socket op descriptor deadline_ms count tenant seed =
+    let open Spiral_service in
+    match Client.connect socket with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot connect to %s: %s\n" socket
+          (Unix.error_message e);
+        1
+    | c -> (
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        try
+          if tenant <> "" then ignore (Client.hello c tenant);
+          match op with
+          | "ping" ->
+              let t0 = Unix.gettimeofday () in
+              let r = Client.ping c in
+              Printf.printf "%s (%.1f us)\n" r.Protocol.message
+                ((Unix.gettimeofday () -. t0) *. 1e6);
+              0
+          | "stats" ->
+              print_string (Client.stats c);
+              0
+          | "info" ->
+              let r = Client.info c descriptor in
+              if r.Protocol.status = Protocol.Ok then begin
+                Printf.printf "%s: %s\n" descriptor r.Protocol.message;
+                0
+              end
+              else begin
+                Printf.eprintf "error: %s: %s\n"
+                  (Protocol.status_to_string r.Protocol.status)
+                  r.Protocol.message;
+                1
+              end
+          | "exec" ->
+              let r = Client.info c descriptor in
+              if r.Protocol.status <> Protocol.Ok then begin
+                Printf.eprintf "error: %s: %s\n"
+                  (Protocol.status_to_string r.Protocol.status)
+                  r.Protocol.message;
+                1
+              end
+              else begin
+                let in_floats = Scanf.sscanf r.Protocol.message "in=%d out=%d"
+                    (fun i _ -> i)
+                in
+                let rng = Random.State.make [| seed |] in
+                let failures = ref 0 in
+                for i = 1 to count do
+                  let x =
+                    Array.init in_floats (fun _ ->
+                        Random.State.float rng 2.0 -. 1.0)
+                  in
+                  let t0 = Unix.gettimeofday () in
+                  let reply = Client.exec c ~deadline_ms ~descriptor x in
+                  let us = (Unix.gettimeofday () -. t0) *. 1e6 in
+                  match reply.Protocol.status with
+                  | Protocol.Ok ->
+                      Printf.printf "%d: ok, %d float64s out, %.1f us\n" i
+                        (Array.length reply.Protocol.payload) us
+                  | s ->
+                      incr failures;
+                      Printf.printf "%d: %s: %s (%.1f us)\n" i
+                        (Protocol.status_to_string s) reply.Protocol.message us
+                done;
+                if !failures = 0 then 0 else 1
+              end
+          | s ->
+              Printf.eprintf "error: unknown op %s (exec|ping|info|stats)\n" s;
+              1
+        with Client.Disconnected ->
+          Printf.eprintf "error: server closed the connection\n";
+          1)
+  in
+  let op_arg =
+    Arg.(value & opt string "exec" & info [ "op" ] ~docv:"OP"
+         ~doc:"Operation: exec, ping, info, or stats.")
+  in
+  let desc_arg =
+    Arg.(value & pos 0 string "dft[1024]f" & info [] ~docv:"DESC"
+         ~doc:"Problem descriptor, e.g. dft[1024]f or dft2d[16x16]f.")
+  in
+  let deadline_arg =
+    Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Per-request deadline in milliseconds (0 = none).")
+  in
+  let count_arg =
+    Arg.(value & opt int 1 & info [ "count" ] ~docv:"N"
+         ~doc:"Number of exec requests to send.")
+  in
+  let tenant_arg =
+    Arg.(value & opt string "" & info [ "tenant" ] ~docv:"NAME"
+         ~doc:"Identify as this tenant before sending requests.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Payload PRNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Talk to a running daemon")
+    Term.(
+      const run $ socket_arg $ op_arg $ desc_arg $ deadline_arg $ count_arg
+      $ tenant_arg $ seed_arg)
+
 let () =
   let info =
     Cmd.info "spiralgen" ~version:"1.0"
@@ -357,4 +529,8 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ cmd_formula; cmd_generate; cmd_run; cmd_search; cmd_simulate ]))
+       (Cmd.group info
+          [
+            cmd_formula; cmd_generate; cmd_run; cmd_search; cmd_simulate;
+            cmd_serve; cmd_client;
+          ]))

@@ -155,3 +155,52 @@ let destroy t =
     t.alive <- false;
     Option.iter Spiral_smp.Pool_registry.release t.pool
   end
+
+(* --------------------------------------------------------------- *)
+(* Structured errors: the service boundary of the engine.  A resident
+   daemon answering untrusted descriptors must turn every failure mode
+   into a value it can put in an error reply — an exception escaping to
+   the server loop is a crash, and a crash takes every tenant down. *)
+
+type error =
+  | Bad_descriptor of string
+  | Too_large of { total : int; limit : int }
+  | Unsupported of string
+  | Destroyed
+  | Bad_length of { expected : int; got : int }
+  | Failed of string
+
+let error_to_string = function
+  | Bad_descriptor s -> Printf.sprintf "unparseable problem descriptor %S" s
+  | Too_large { total; limit } ->
+      Printf.sprintf
+        "problem too large: %d elements exceeds the admission limit %d" total
+        limit
+  | Unsupported msg -> "unsupported problem: " ^ msg
+  | Destroyed -> "plan was destroyed"
+  | Bad_length { expected; got } ->
+      Printf.sprintf "payload length mismatch: expected %d complex elements, \
+                      got %d" expected got
+  | Failed msg -> "execution failed: " ^ msg
+
+let default_total_limit = 1 lsl 22
+
+let parse_problem ?(limit = default_total_limit) s =
+  match Problem.of_string s with
+  | None -> Error (Bad_descriptor s)
+  | Some p ->
+      let total = Problem.total p in
+      if total > limit then Error (Too_large { total; limit }) else Ok p
+
+let execute_into_checked t ~src ~dst =
+  if not t.alive then Error Destroyed
+  else begin
+    let n = Problem.total t.problem in
+    let ls = Cvec.length src and ld = Cvec.length dst in
+    if ls <> n then Error (Bad_length { expected = n; got = ls })
+    else if ld <> n then Error (Bad_length { expected = n; got = ld })
+    else
+      match execute_into t ~src ~dst with
+      | () -> Ok ()
+      | exception e -> Error (Failed (Printexc.to_string e))
+  end

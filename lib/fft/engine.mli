@@ -90,6 +90,44 @@ val destroy : t -> unit
 (** Release the pool reference (the shared pool itself stays warm in the
     registry).  Idempotent; the engine must not be used afterwards. *)
 
+(** {2 Structured errors (the service boundary)}
+
+    A resident daemon answering untrusted descriptor strings must turn
+    every failure mode into a value for an error reply; an exception
+    escaping the server loop would take every tenant down.  These
+    helpers never raise. *)
+
+type error =
+  | Bad_descriptor of string  (** descriptor string did not parse *)
+  | Too_large of { total : int; limit : int }
+      (** admission limit: total elements (batch × size) over the cap *)
+  | Unsupported of string  (** parsed, but this build cannot serve it *)
+  | Destroyed  (** execute after {!destroy} *)
+  | Bad_length of { expected : int; got : int }
+      (** payload length mismatch (complex elements) *)
+  | Failed of string  (** execution raised; the plan may need replanning *)
+
+val error_to_string : error -> string
+
+val default_total_limit : int
+(** Default admission cap on {!Problem.total} for {!parse_problem}
+    (2²² elements — a 64 MiB complex payload). *)
+
+val parse_problem : ?limit:int -> string -> (Problem.t, error) result
+(** Parse and admission-check a descriptor string: [Bad_descriptor] on a
+    parse failure, [Too_large] when batch × size exceeds [limit]
+    (default {!default_total_limit}).  Never raises. *)
+
+val execute_into_checked :
+  t ->
+  src:Spiral_util.Cvec.t ->
+  dst:Spiral_util.Cvec.t ->
+  (unit, error) result
+(** {!execute_into} with every failure as a value: [Destroyed] after
+    {!destroy}, [Bad_length] on a length mismatch, [Failed] if the
+    execution itself raised (e.g. an injected fault that escaped the
+    supervised path).  Never raises. *)
+
 (** {2 Plan registry introspection} *)
 
 val registry_size : unit -> int

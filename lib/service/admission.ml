@@ -1,0 +1,110 @@
+(* Bounded, client-fair admission queue.
+
+   Two limits protect the executor: a global cap on pending requests
+   (memory bound, keeps the shed decision O(1) at submit time) and a
+   per-client cap (one chatty tenant cannot fill the global budget).
+   Service order is round-robin across clients — each client has a FIFO
+   of its own, and [take] rotates over clients with work — so a client
+   pipelining hundreds of requests adds latency to itself, not to the
+   tenant sending one request per second. *)
+
+type 'a t = {
+  max_pending : int;
+  max_per_client : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queues : (int, 'a Queue.t) Hashtbl.t;
+  rotation : int Queue.t;
+      (* client ids with a nonempty queue, in service order; ids of
+         drained or dropped clients are skipped lazily by [take] *)
+  mutable pending : int;
+  mutable closed : bool;
+}
+
+type verdict = Accepted | Queue_full | Client_full | Closed
+
+let create ?(max_pending = 256) ?(max_per_client = 32) () =
+  if max_pending < 1 then invalid_arg "Admission.create: max_pending >= 1";
+  if max_per_client < 1 then invalid_arg "Admission.create: max_per_client >= 1";
+  {
+    max_pending;
+    max_per_client;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    queues = Hashtbl.create 16;
+    rotation = Queue.create ();
+    pending = 0;
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let submit t ~client x =
+  with_lock t (fun () ->
+      if t.closed then Closed
+      else if t.pending >= t.max_pending then Queue_full
+      else
+        let q =
+          match Hashtbl.find_opt t.queues client with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.replace t.queues client q;
+              q
+        in
+        if Queue.length q >= t.max_per_client then Client_full
+        else begin
+          if Queue.is_empty q then Queue.push client t.rotation;
+          Queue.push x q;
+          t.pending <- t.pending + 1;
+          Condition.signal t.nonempty;
+          Accepted
+        end)
+
+(* next pending item in round-robin order, skipping rotation entries
+   whose queue has been drained or dropped; caller holds the lock *)
+let rec pop_locked t =
+  match Queue.take_opt t.rotation with
+  | None -> None
+  | Some client -> (
+      match Hashtbl.find_opt t.queues client with
+      | None -> pop_locked t
+      | Some q when Queue.is_empty q -> pop_locked t
+      | Some q ->
+          let x = Queue.pop q in
+          t.pending <- t.pending - 1;
+          if not (Queue.is_empty q) then Queue.push client t.rotation;
+          Some x)
+
+let take t =
+  with_lock t (fun () ->
+      let rec wait () =
+        match pop_locked t with
+        | Some x -> Some x
+        | None ->
+            if t.closed then None
+            else begin
+              Condition.wait t.nonempty t.lock;
+              wait ()
+            end
+      in
+      wait ())
+
+let drop_client t client =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.queues client with
+      | None -> []
+      | Some q ->
+          Hashtbl.remove t.queues client;
+          let items = List.of_seq (Queue.to_seq q) in
+          t.pending <- t.pending - List.length items;
+          items)
+
+let pending t = with_lock t (fun () -> t.pending)
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)

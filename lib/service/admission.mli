@@ -1,0 +1,42 @@
+(** Bounded, client-fair admission queue for the FFT service.
+
+    Admission control is the first robustness layer: the queue is
+    bounded globally (memory bound; excess load is shed with an
+    [Overloaded] reply instead of growing without limit) and per client
+    (one chatty tenant cannot consume the whole global budget).  Service
+    order is round-robin across clients with pending work, FIFO within a
+    client, so pipelining hundreds of requests delays the pipeliner, not
+    the other tenants.
+
+    [submit] is called from connection reader threads, [take] from the
+    executor; all operations are thread- and domain-safe. *)
+
+type 'a t
+
+type verdict =
+  | Accepted
+  | Queue_full  (** global [max_pending] reached — shed *)
+  | Client_full  (** this client's [max_per_client] reached — shed *)
+  | Closed  (** the queue was {!close}d (server shutting down) *)
+
+val create : ?max_pending:int -> ?max_per_client:int -> unit -> 'a t
+(** Defaults: 256 pending total, 32 per client.
+    @raise Invalid_argument unless both are [>= 1]. *)
+
+val submit : 'a t -> client:int -> 'a -> verdict
+(** Non-blocking; never waits for space (an overloaded server must say
+    so {e now}, not stall the reader thread). *)
+
+val take : 'a t -> 'a option
+(** Next item in client-round-robin order; blocks while the queue is
+    empty and open.  [None] once the queue is closed {e and} drained —
+    a graceful shutdown finishes accepted work first. *)
+
+val drop_client : 'a t -> int -> 'a list
+(** Remove and return every pending item of a client (it disconnected);
+    its future {!submit}s start a fresh queue. *)
+
+val pending : 'a t -> int
+
+val close : 'a t -> unit
+(** Refuse new submissions and wake blocked {!take}s. *)

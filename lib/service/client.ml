@@ -1,0 +1,64 @@
+(* Blocking client for the FFT daemon.  Supports pipelining: several
+   requests may be posted before any reply is read, and replies are
+   matched by id (the server may answer out of order — a shed reply
+   comes from the reader thread while earlier work is still queued), so
+   the client stashes whatever it reads until the id it is waiting for
+   shows up. *)
+
+exception Disconnected
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  stash : (int, Protocol.reply) Hashtbl.t;
+}
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; next_id = 1; stash = Hashtbl.create 8 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let post t op ?(deadline_ms = 0) ?(descriptor = "") ?(payload = [||]) () =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let req : Protocol.request = { op; id; deadline_ms; descriptor; payload } in
+  (try Protocol.write_frame t.fd (Protocol.encode_request req)
+   with Unix.Unix_error _ | Sys_error _ -> raise Disconnected);
+  id
+
+let rec wait t id =
+  match Hashtbl.find_opt t.stash id with
+  | Some reply ->
+      Hashtbl.remove t.stash id;
+      reply
+  | None -> (
+      match Protocol.read_frame t.fd with
+      | Protocol.Eof | Protocol.Oversized _ -> raise Disconnected
+      | Protocol.Frame body -> (
+          match Protocol.decode_reply body with
+          | Error _ -> raise Disconnected
+          | Ok reply ->
+              if reply.id = id then reply
+              else begin
+                Hashtbl.replace t.stash reply.id reply;
+                wait t id
+              end))
+
+let exec_async t ?deadline_ms ~descriptor payload =
+  post t Protocol.Exec ?deadline_ms ~descriptor ~payload ()
+
+let exec t ?deadline_ms ~descriptor payload =
+  wait t (exec_async t ?deadline_ms ~descriptor payload)
+
+let ping t = wait t (post t Protocol.Ping ())
+
+let hello t name = wait t (post t Protocol.Hello ~descriptor:name ())
+
+let stats t = (wait t (post t Protocol.Stats ())).message
+
+let info t descriptor = wait t (post t Protocol.Info ~descriptor ())

@@ -1,0 +1,41 @@
+(** Blocking client for the FFT daemon.
+
+    Supports pipelining: {!exec_async} posts without reading, {!wait}
+    blocks for a specific reply id, stashing any other replies read in
+    the meantime (the server may answer out of order — e.g. an
+    [Overloaded] shed arrives before earlier accepted work completes).
+
+    All calls raise {!Disconnected} when the server goes away. *)
+
+exception Disconnected
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's Unix-domain socket.
+    @raise Unix.Unix_error if the socket is absent or refuses. *)
+
+val close : t -> unit
+
+val exec :
+  t -> ?deadline_ms:int -> descriptor:string -> float array -> Protocol.reply
+(** Run one transform and wait for its reply.  [deadline_ms = 0] (the
+    default) means no deadline. *)
+
+val exec_async :
+  t -> ?deadline_ms:int -> descriptor:string -> float array -> int
+(** Post without waiting; returns the request id for {!wait}. *)
+
+val wait : t -> int -> Protocol.reply
+(** Block until the reply with this id arrives. *)
+
+val ping : t -> Protocol.reply
+val hello : t -> string -> Protocol.reply
+(** Identify this connection as the named tenant (the fault scope). *)
+
+val stats : t -> string
+(** The server's counters, Prometheus text format. *)
+
+val info : t -> string -> Protocol.reply
+(** Payload geometry for a descriptor without planning it; the message
+    is ["in=<n> out=<m>"]. *)

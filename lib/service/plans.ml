@@ -1,0 +1,219 @@
+open Spiral_fft
+
+(* Descriptor-keyed table of executable plans, the service's view of the
+   library: one resident process serves mixed descriptor kinds (1-D,
+   2-D, batched, real-input) by dispatching each parsed Problem to its
+   front-end.  Entries are planned on first use, cached, and evicted
+   LRU beyond [max_plans]; a "seq" variant of every descriptor (planned
+   at [threads = 1]) backs the degraded path when the parallel runtime
+   is sick. *)
+
+type entry = {
+  descriptor : string;
+  in_floats : int;  (* request payload length, in float64s *)
+  out_floats : int;  (* reply payload length *)
+  parallel : bool;
+  exec : float array -> float array;
+  destroy : unit -> unit;
+  mutable last_used : float;
+}
+
+type t = {
+  threads : int;
+  mu : int;
+  max_total : int;
+  max_plans : int;
+  table : (string, entry) Hashtbl.t;  (* key carries the seq flag *)
+  lock : Mutex.t;
+}
+
+let create ?(threads = 1) ?(mu = 4) ?(max_total = Engine.default_total_limit)
+    ?(max_plans = 64) () =
+  if threads < 1 then invalid_arg "Plans.create: threads >= 1";
+  if max_plans < 1 then invalid_arg "Plans.create: max_plans >= 1";
+  {
+    threads;
+    mu;
+    max_total;
+    max_plans;
+    table = Hashtbl.create 32;
+    lock = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Payload float counts are a pure function of the problem, so Info
+   requests can be answered without planning (or paying a compile on the
+   reader thread). *)
+let io_floats problem =
+  let total = Problem.total problem in
+  let n = Problem.size problem in
+  match (Problem.kind problem, Problem.direction problem, Problem.batch problem)
+  with
+  | Problem.Dft, _, _ -> Ok (2 * total, 2 * total)
+  | Problem.Dft2d, Problem.Forward, 1 -> Ok (2 * total, 2 * total)
+  | Problem.Wht, Problem.Forward, 1 -> Ok (2 * total, 2 * total)
+  | Problem.Rfft, Problem.Forward, 1 -> Ok (n, 2 * ((n / 2) + 1))
+  | Problem.Rfft, Problem.Inverse, 1 -> Ok (2 * ((n / 2) + 1), n)
+  | Problem.Dct, _, 1 -> Ok (n, n)
+  | Problem.Dft2d, _, _ | Problem.Wht, _, _ ->
+      Error
+        (Engine.Unsupported
+           "only forward, unbatched transforms are served for this kind")
+  | (Problem.Rfft | Problem.Dct), _, _ ->
+      Error (Engine.Unsupported "real-input transforms are served unbatched")
+
+(* Build the executable closure for a parsed problem.  Front-end plan
+   constructors raise Invalid_argument on sizes they cannot serve (odd
+   real lengths, non-power-of-two WHT, …) — surfaced as [Unsupported],
+   never as an exception out of the service. *)
+let build t ~seq problem descriptor =
+  let threads = if seq then 1 else t.threads in
+  let mu = t.mu in
+  match io_floats problem with
+  | Error e -> Error e
+  | Ok (in_floats, out_floats) -> (
+      let n = Problem.size problem in
+      let mk () =
+        match
+          ( Problem.kind problem,
+            Problem.direction problem,
+            Problem.batch problem )
+        with
+        | Problem.Dft, dir, 1 ->
+            let dir =
+              match dir with
+              | Problem.Forward -> Dft.Forward
+              | Problem.Inverse -> Dft.Inverse
+            in
+            let p = Dft.plan ~direction:dir ~threads ~mu n in
+            ( (fun x -> Dft.execute p x),
+              (fun () -> Dft.destroy p),
+              Dft.parallel p )
+        | Problem.Dft, Problem.Forward, count ->
+            let p = Batch.plan ~threads ~mu ~count n in
+            ( (fun x -> Batch.execute p x),
+              (fun () -> Batch.destroy p),
+              Batch.parallel p )
+        | Problem.Dft, Problem.Inverse, _ ->
+            invalid_arg "batched transforms are served forward-only"
+        | Problem.Dft2d, _, _ ->
+            let dims = Problem.dims problem in
+            let p = Dft2d.plan ~threads ~mu ~rows:dims.(0) ~cols:dims.(1) () in
+            ( (fun x -> Dft2d.execute p x),
+              (fun () -> Dft2d.destroy p),
+              Dft2d.parallel p )
+        | Problem.Wht, _, _ ->
+            let p = Wht.plan ~threads ~mu n in
+            ( (fun x -> Wht.execute p x),
+              (fun () -> Wht.destroy p),
+              Wht.parallel p )
+        | Problem.Rfft, Problem.Forward, _ ->
+            let p = Rfft.plan ~threads ~mu n in
+            ((fun x -> Rfft.forward p x), (fun () -> Rfft.destroy p), Rfft.parallel p)
+        | Problem.Rfft, Problem.Inverse, _ ->
+            let p = Rfft.plan ~threads ~mu n in
+            ((fun x -> Rfft.inverse p x), (fun () -> Rfft.destroy p), Rfft.parallel p)
+        | Problem.Dct, Problem.Forward, _ ->
+            let p = Dct.plan ~threads ~mu n in
+            ((fun x -> Dct.forward p x), (fun () -> Dct.destroy p), Dct.parallel p)
+        | Problem.Dct, Problem.Inverse, _ ->
+            let p = Dct.plan ~threads ~mu n in
+            ((fun x -> Dct.inverse p x), (fun () -> Dct.destroy p), Dct.parallel p)
+      in
+      match mk () with
+      | exec, destroy, parallel ->
+          Ok
+            {
+              descriptor;
+              in_floats;
+              out_floats;
+              parallel;
+              exec;
+              destroy;
+              last_used = Unix.gettimeofday ();
+            }
+      | exception Invalid_argument msg -> Error (Engine.Unsupported msg))
+
+let key ~seq descriptor = if seq then "seq!" ^ descriptor else descriptor
+
+(* caller holds the lock *)
+let evict_lru_locked t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= e.last_used -> acc
+        | _ -> Some (k, e))
+      t.table None
+  in
+  Option.iter
+    (fun (k, e) ->
+      Hashtbl.remove t.table k;
+      e.destroy ();
+      Spiral_util.Counters.incr "service.plan_evicted_lru")
+    victim
+
+let lookup ?(seq = false) t descriptor =
+  match Engine.parse_problem ~limit:t.max_total descriptor with
+  | Error e -> Error e
+  | Ok problem -> (
+      let k = key ~seq descriptor in
+      match
+        with_lock t (fun () ->
+            match Hashtbl.find_opt t.table k with
+            | Some e ->
+                e.last_used <- Unix.gettimeofday ();
+                Some e
+            | None -> None)
+      with
+      | Some e -> Ok e
+      | None -> (
+          (* plan outside the lock: compilation can take milliseconds and
+             Info/stat readers must not stall behind it *)
+          match build t ~seq problem descriptor with
+          | Error e -> Error e
+          | Ok entry ->
+              Ok
+                (with_lock t (fun () ->
+                     match Hashtbl.find_opt t.table k with
+                     | Some prior ->
+                         (* racing planner lost; drop ours *)
+                         entry.destroy ();
+                         prior
+                     | None ->
+                         while Hashtbl.length t.table >= t.max_plans do
+                           evict_lru_locked t
+                         done;
+                         Hashtbl.replace t.table k entry;
+                         entry))))
+
+let evict t descriptor =
+  List.iter
+    (fun k ->
+      match
+        with_lock t (fun () ->
+            match Hashtbl.find_opt t.table k with
+            | Some e ->
+                Hashtbl.remove t.table k;
+                Some e
+            | None -> None)
+      with
+      | Some e ->
+          e.destroy ();
+          Spiral_util.Counters.incr "service.plan_evicted"
+      | None -> ())
+    [ key ~seq:false descriptor; key ~seq:true descriptor ]
+
+let size t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let destroy_all t =
+  let entries =
+    with_lock t (fun () ->
+        let es = Hashtbl.fold (fun _ e acc -> e :: acc) t.table [] in
+        Hashtbl.reset t.table;
+        es)
+  in
+  List.iter (fun e -> e.destroy ()) entries

@@ -1,0 +1,208 @@
+(* Length-prefixed binary wire protocol of the FFT service.
+
+   Every message is one frame: a 4-byte big-endian body length followed
+   by the body.  Integers are big-endian ("network order"); float
+   payloads are IEEE-754 doubles transported as big-endian int64 bit
+   patterns.  The format is deliberately dumb — fixed header, one
+   variable-length string, raw floats — so a client in any language is a
+   page of code, and a malformed frame can always be rejected without
+   desynchronizing the stream (the frame boundary is known before the
+   body is parsed). *)
+
+type op = Exec | Ping | Stats | Hello | Info
+
+type status =
+  | Ok
+  | Bad_request
+  | Bad_descriptor
+  | Unsupported
+  | Bad_payload
+  | Overloaded
+  | Deadline
+  | Internal
+  | Shutting_down
+
+type request = {
+  op : op;
+  id : int;  (* client-chosen, echoed verbatim in the reply *)
+  deadline_ms : int;  (* 0 = no deadline *)
+  descriptor : string;  (* Exec/Info: problem descriptor; Hello: tenant name *)
+  payload : float array;
+}
+
+type reply = {
+  id : int;
+  status : status;
+  message : string;  (* human-readable detail; "" on success *)
+  payload : float array;
+}
+
+let op_code = function Exec -> 1 | Ping -> 2 | Stats -> 3 | Hello -> 4 | Info -> 5
+
+let op_of_code = function
+  | 1 -> Some Exec
+  | 2 -> Some Ping
+  | 3 -> Some Stats
+  | 4 -> Some Hello
+  | 5 -> Some Info
+  | _ -> None
+
+let status_code = function
+  | Ok -> 0
+  | Bad_request -> 1
+  | Bad_descriptor -> 2
+  | Unsupported -> 3
+  | Bad_payload -> 4
+  | Overloaded -> 5
+  | Deadline -> 6
+  | Internal -> 7
+  | Shutting_down -> 8
+
+let status_of_code = function
+  | 0 -> Some Ok
+  | 1 -> Some Bad_request
+  | 2 -> Some Bad_descriptor
+  | 3 -> Some Unsupported
+  | 4 -> Some Bad_payload
+  | 5 -> Some Overloaded
+  | 6 -> Some Deadline
+  | 7 -> Some Internal
+  | 8 -> Some Shutting_down
+  | _ -> None
+
+let status_to_string = function
+  | Ok -> "ok"
+  | Bad_request -> "bad-request"
+  | Bad_descriptor -> "bad-descriptor"
+  | Unsupported -> "unsupported"
+  | Bad_payload -> "bad-payload"
+  | Overloaded -> "overloaded"
+  | Deadline -> "deadline-exceeded"
+  | Internal -> "internal-error"
+  | Shutting_down -> "shutting-down"
+
+(* Frames over this size are rejected before the body is read, so a
+   hostile length prefix cannot make the server allocate gigabytes. *)
+let max_frame = ref (128 * 1024 * 1024)
+
+(* ---- body encoding ---- *)
+
+let put_floats b off xs =
+  Array.iteri
+    (fun i v -> Bytes.set_int64_be b (off + (8 * i)) (Int64.bits_of_float v))
+    xs
+
+let get_floats b off =
+  let n = (Bytes.length b - off) / 8 in
+  Array.init n (fun i -> Int64.float_of_bits (Bytes.get_int64_be b (off + (8 * i))))
+
+(* request body: u8 op | u32 id | u32 deadline_ms | u16 desc_len | desc
+   | float64s *)
+let encode_request r =
+  let dlen = String.length r.descriptor in
+  if dlen > 0xffff then invalid_arg "Protocol.encode_request: descriptor too long";
+  let b = Bytes.create (1 + 4 + 4 + 2 + dlen + (8 * Array.length r.payload)) in
+  Bytes.set_uint8 b 0 (op_code r.op);
+  Bytes.set_int32_be b 1 (Int32.of_int r.id);
+  Bytes.set_int32_be b 5 (Int32.of_int r.deadline_ms);
+  Bytes.set_uint16_be b 9 dlen;
+  Bytes.blit_string r.descriptor 0 b 11 dlen;
+  put_floats b (11 + dlen) r.payload;
+  b
+
+let decode_request b =
+  let len = Bytes.length b in
+  if len < 11 then Error "request body shorter than the fixed header"
+  else
+    match op_of_code (Bytes.get_uint8 b 0) with
+    | None -> Error (Printf.sprintf "unknown opcode %d" (Bytes.get_uint8 b 0))
+    | Some op ->
+        let id = Int32.to_int (Bytes.get_int32_be b 1) land 0xffffffff in
+        let deadline_ms =
+          Int32.to_int (Bytes.get_int32_be b 5) land 0xffffffff
+        in
+        let dlen = Bytes.get_uint16_be b 9 in
+        if len < 11 + dlen then Error "descriptor length exceeds the frame"
+        else if (len - 11 - dlen) mod 8 <> 0 then
+          Error "payload is not a whole number of float64s"
+        else
+          let descriptor = Bytes.sub_string b 11 dlen in
+          Stdlib.Ok
+            { op; id; deadline_ms; descriptor; payload = get_floats b (11 + dlen) }
+
+(* reply body: u8 status | u32 id | u32 msg_len | msg | float64s *)
+let encode_reply r =
+  let mlen = String.length r.message in
+  let b = Bytes.create (1 + 4 + 4 + mlen + (8 * Array.length r.payload)) in
+  Bytes.set_uint8 b 0 (status_code r.status);
+  Bytes.set_int32_be b 1 (Int32.of_int r.id);
+  Bytes.set_int32_be b 5 (Int32.of_int mlen);
+  Bytes.blit_string r.message 0 b 9 mlen;
+  put_floats b (9 + mlen) r.payload;
+  b
+
+let decode_reply b =
+  let len = Bytes.length b in
+  if len < 9 then Error "reply body shorter than the fixed header"
+  else
+    match status_of_code (Bytes.get_uint8 b 0) with
+    | None -> Error (Printf.sprintf "unknown status %d" (Bytes.get_uint8 b 0))
+    | Some status ->
+        let id = Int32.to_int (Bytes.get_int32_be b 1) land 0xffffffff in
+        let mlen = Int32.to_int (Bytes.get_int32_be b 5) in
+        if mlen < 0 || len < 9 + mlen then
+          Error "message length exceeds the frame"
+        else if (len - 9 - mlen) mod 8 <> 0 then
+          Error "payload is not a whole number of float64s"
+        else
+          let message = Bytes.sub_string b 9 mlen in
+          Stdlib.Ok { id; status; message; payload = get_floats b (9 + mlen) }
+
+(* ---- framing over a file descriptor ---- *)
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + n) (len - n)
+  end
+
+let write_frame fd body =
+  let len = Bytes.length body in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int len);
+  (* one write for header+body keeps small frames in one segment *)
+  let all = Bytes.create (4 + len) in
+  Bytes.blit hdr 0 all 0 4;
+  Bytes.blit body 0 all 4 len;
+  write_all fd all 0 (4 + len)
+
+type read_result = Frame of bytes | Eof | Oversized of int
+
+(* [read_exact] returns false on a clean or mid-read EOF: a peer that
+   died (or was killed -9) mid-frame must register as a disconnect, not
+   an exception. *)
+let read_exact fd b off len =
+  let off = ref off and len = ref len in
+  let ok = ref true in
+  while !ok && !len > 0 do
+    match Unix.read fd b !off !len with
+    | 0 -> ok := false
+    | n ->
+        off := !off + n;
+        len := !len - n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  !ok
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  if not (read_exact fd hdr 0 4) then Eof
+  else
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > !max_frame then Oversized len
+    else
+      let body = Bytes.create len in
+      if read_exact fd body 0 len then Frame body else Eof

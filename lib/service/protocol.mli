@@ -1,0 +1,72 @@
+(** Length-prefixed binary wire protocol of the FFT service.
+
+    Every message is one frame: a 4-byte big-endian body length, then the
+    body.  Integers are big-endian; float payloads are IEEE-754 doubles
+    as big-endian int64 bit patterns.
+
+    Request body: [u8 op | u32 id | u32 deadline_ms | u16 desc_len |
+    descriptor | float64 payload…]; reply body: [u8 status | u32 id |
+    u32 msg_len | message | float64 payload…].  The frame boundary is
+    known before the body is parsed, so a malformed body never
+    desynchronizes the stream. *)
+
+type op =
+  | Exec  (** run the transform named by [descriptor] on [payload] *)
+  | Ping  (** liveness probe; empty reply *)
+  | Stats  (** server counters as Prometheus text in the reply message *)
+  | Hello  (** register [descriptor] as this connection's tenant name *)
+  | Info  (** payload float counts for [descriptor]: "in=… out=…" *)
+
+type status =
+  | Ok
+  | Bad_request  (** frame decoded but malformed (bad opcode, sizes…) *)
+  | Bad_descriptor  (** descriptor string did not parse *)
+  | Unsupported  (** parsed, but the server cannot serve it *)
+  | Bad_payload  (** wrong float count, or non-finite samples *)
+  | Overloaded  (** load shed: admission queue or per-client cap hit *)
+  | Deadline  (** the request's deadline expired before completion *)
+  | Internal  (** execution failed; the daemon survived and healed *)
+  | Shutting_down
+
+type request = {
+  op : op;
+  id : int;  (** client-chosen, echoed verbatim in the reply *)
+  deadline_ms : int;  (** total budget from admission, 0 = none *)
+  descriptor : string;
+  payload : float array;
+}
+
+type reply = {
+  id : int;
+  status : status;
+  message : string;  (** human-readable detail; [""] on success *)
+  payload : float array;
+}
+
+val status_to_string : status -> string
+val status_code : status -> int
+val status_of_code : int -> status option
+
+val max_frame : int ref
+(** Reject frames whose announced body exceeds this many bytes (default
+    128 MiB) before allocating — a hostile length prefix must not OOM the
+    daemon. *)
+
+val encode_request : request -> bytes
+val decode_request : bytes -> (request, string) result
+val encode_reply : reply -> bytes
+val decode_reply : bytes -> (reply, string) result
+
+val write_frame : Unix.file_descr -> bytes -> unit
+(** Write one frame (header + body), restarting on [EINTR].
+    @raise Unix.Unix_error when the peer is gone ([EPIPE], …). *)
+
+type read_result =
+  | Frame of bytes
+  | Eof  (** clean close, or the peer died mid-frame *)
+  | Oversized of int  (** announced length; nothing was consumed after it *)
+
+val read_frame : Unix.file_descr -> read_result
+(** Read one frame, restarting on [EINTR].  A peer that disappears
+    mid-frame is an [Eof], not an exception.
+    @raise Unix.Unix_error on hard socket errors. *)

@@ -1,0 +1,66 @@
+(** The resident FFT daemon behind [spiralgen serve].
+
+    One process, one Unix-domain socket, many tenants.  The server is
+    engineered to stay up under hostile load; the robustness layers,
+    outermost first:
+
+    - {b framing} — every read is bounded by a 4-byte length prefix;
+      malformed or oversized frames get an error reply, never a crash;
+    - {b admission} — a bounded client-fair queue ({!Admission}); excess
+      load is shed immediately with [Overloaded];
+    - {b deadlines} — a request's [deadline_ms] budget is enforced at
+      dequeue and after execution ([Deadline] replies); executions can
+      never hang because every pool/barrier wait in the runtime is
+      bounded and surfaces as a structured reply;
+    - {b supervised execution with backoff} — the safe execution path
+      retries once on a healed pool then falls back to sequential; a
+      circuit breaker turns consecutive degraded executions into an
+      exponentially growing window during which requests run on cached
+      sequential plans, then probes the parallel path again;
+    - {b tenant isolation} — faults are scoped per client; a request
+      that trips injection or produces corrupt output gets an [Internal]
+      reply, sick pools are healed and the suspect plan evicted, without
+      touching other tenants' plans or queued requests;
+    - {b connection supervision} — a client killed mid-request is
+      reaped; its pending work is purged and replies to it are dropped,
+      never wedging the executor.
+
+    Threading: accept loop and per-connection readers are systhreads;
+    a single executor domain is the only thread that runs plans (the
+    worker pool's one-dispatcher discipline holds by construction). *)
+
+type config = {
+  socket_path : string;
+  threads : int;  (** worker count requests are planned for *)
+  mu : int;
+  max_pending : int;  (** admission: global queue bound *)
+  max_per_client : int;  (** admission: per-client pending bound *)
+  max_total : int;  (** largest problem (complex elements) served *)
+  max_plans : int;  (** resident plans before LRU eviction *)
+  pool_timeout : float;  (** bound on every parallel wait (seconds) *)
+  breaker_threshold : int;  (** consecutive sick executions to open *)
+  backoff_base : float;  (** first backoff window (seconds) *)
+  backoff_max : float;  (** backoff growth cap (seconds) *)
+}
+
+val default_config : socket_path:string -> unit -> config
+(** threads = 2, mu = 4, 256 pending (32 per client), 4M-element cap,
+    64 plans, 5 s pool timeout, breaker at 3 with 50 ms base / 2 s max
+    backoff. *)
+
+type t
+
+val start : config -> t
+(** Bind the socket (unlinking any stale one), pre-warm the shared pool
+    with the service's bounded timeout, and spawn the accept thread and
+    the executor domain.  Ignores [SIGPIPE] process-wide (a dead client
+    must surface as [EPIPE], not kill the daemon).
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, drain accepted requests, join the
+    executor and all readers, destroy plans, unlink the socket.
+    Idempotent. *)
+
+val plan_count : t -> int
+val pending : t -> int

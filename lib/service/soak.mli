@@ -1,0 +1,48 @@
+(** Chaos soak harness for the daemon.
+
+    Spawns concurrent client domains against one in-process server:
+    [clients] honest tenants running checked traffic (every Ok reply is
+    verified against a sequential reference plan), one chaos tenant
+    whose requests trip scoped fault injection at the execution and
+    delay sites (plus a tight deadline), and one rogue client that posts
+    work and slams the connection shut without reading — the in-process
+    stand-in for a client killed with SIGKILL mid-request.  Meanwhile
+    the whole runtime sees occasional ["pool.worker"] faults, absorbed
+    by the supervised execution path.
+
+    The report lets a test assert the service invariants: zero wrong
+    answers, the server survives (answers a ping and a fresh exec after
+    the storm), error replies stay fast, honest tenants are isolated
+    from the chaos tenant's faults. *)
+
+type report = {
+  total : int;  (** checked requests sent (honest + chaos) *)
+  ok : int;
+  wrong : int;  (** Ok replies that failed verification — must be 0 *)
+  shed : int;  (** [Overloaded] replies *)
+  deadline : int;  (** [Deadline] replies *)
+  internal : int;  (** [Internal] replies (injected faults, …) *)
+  other_err : int;
+  honest_internal : int;
+      (** [Internal] replies seen by honest tenants — isolation gauge *)
+  rogue_connects : int;
+  server_survived : bool;
+  max_error_reply_us : float;
+  pool_rebuilds : int;
+  seq_fallbacks : int;
+  breaker_opens : int;
+}
+
+val run :
+  ?seed:int ->
+  ?clients:int ->
+  ?requests:int ->
+  ?socket_path:string ->
+  unit ->
+  report
+(** Defaults: seed 42, 3 honest clients (plus chaos and rogue — five
+    concurrent client domains), 200 requests per checked client, a
+    fresh socket under the system temp directory.  Arms fault sites for
+    the duration and resets them on exit. *)
+
+val pp_report : Format.formatter -> report -> unit

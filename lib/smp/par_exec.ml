@@ -332,6 +332,13 @@ let prepare pool ?(schedule = Block) ?(elide = true) ?timeout plan =
   let elided = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask in
   ignore (misaligned_lines ~workers plan);
   Plan.ensure_worker_ctxs plan workers;
+  (* the barrier inherits the pool's wait bound unless overridden: a
+     pool configured for short timeouts (the service) must not have its
+     workers stall for the 30 s barrier default when one of them dies
+     mid-pass *)
+  let timeout =
+    match timeout with Some t -> Some t | None -> Some (Pool.timeout pool)
+  in
   let barrier = Barrier.create ?timeout workers in
   {
     plan;

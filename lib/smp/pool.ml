@@ -161,6 +161,8 @@ let healthy t =
   && (not t.poisoned)
   && Array.for_all (fun st -> Atomic.get st.alive) t.workers
 
+let stopped t = Atomic.get t.stop
+
 let missing_report t =
   let dead = ref [] and stuck = ref [] in
   Array.iteri

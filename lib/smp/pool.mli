@@ -69,6 +69,11 @@ val healthy : t -> bool
 (** [true] when the pool is not poisoned and all worker domains are
     alive, i.e. the next {!run} can be dispatched normally. *)
 
+val stopped : t -> bool
+(** [true] once {!shutdown} has been called (or a {!heal} is mid-flight
+    on another thread): every {!run} will raise.  {!Pool_registry} uses
+    this to revalidate cached pools on acquire. *)
+
 val heal : t -> unit
 (** Rebuild the pool's worker domains: stops survivors, joins every
     domain (bounded, since all waits time out), respawns [p - 1] fresh

@@ -6,7 +6,22 @@ type entry = { pool : Pool.t; mutable refs : int }
    table (workers park on the eventcount, so an idle pool costs no CPU)
    and are handed back to the next acquirer — the whole point of the
    registry is that successive plans reuse domains instead of paying
-   spawn latency per plan. *)
+   spawn latency per plan.
+
+   Concurrency discipline (all of it under [lock]):
+   - [acquire] bumps [refs] before the pool leaves the critical section,
+     so a pool handed out always has [refs > 0] when any concurrent
+     [clear] inspects it — [clear] only ever shuts down entries whose
+     refcount is zero {e inside} the same critical section, which makes
+     acquire-while-clearing safe: either the acquirer got the entry
+     first (refs > 0, clear skips it) or clear removed it first (the
+     acquirer misses the table and creates a fresh pool).
+   - [release] never drops below zero and never shuts anything down, so
+     a double release cannot free a pool another plan still uses.
+   - [acquire] revalidates the cached pool: a pool somebody shut down
+     behind the registry's back (or that is mid-heal) is replaced with a
+     fresh one instead of being handed out stopped — handing out a
+     stopped pool would make every subsequent [run] raise. *)
 let table : (int, entry) Hashtbl.t = Hashtbl.create 8
 let lock = Mutex.create ()
 
@@ -17,17 +32,24 @@ let with_lock f =
 let acquire ?timeout p =
   if p < 1 then invalid_arg "Pool_registry.acquire: p >= 1";
   with_lock (fun () ->
+      let fresh () =
+        let pool = Pool.create ?timeout p in
+        Hashtbl.replace table p { pool; refs = 1 };
+        Counters.incr "pool_registry.create";
+        pool
+      in
       match Hashtbl.find_opt table p with
-      | Some e ->
+      | Some e when not (Pool.stopped e.pool) ->
           e.refs <- e.refs + 1;
           Counters.incr "pool_registry.reuse";
           Option.iter (Pool.set_timeout e.pool) timeout;
           e.pool
-      | None ->
-          let pool = Pool.create ?timeout p in
-          Hashtbl.replace table p { pool; refs = 1 };
-          Counters.incr "pool_registry.create";
-          pool)
+      | Some _ ->
+          (* stale entry: the pool was shut down externally; never hand
+             out a stopped pool *)
+          Counters.incr "pool_registry.replaced";
+          fresh ()
+      | None -> fresh ())
 
 let release pool =
   with_lock (fun () ->
@@ -40,6 +62,28 @@ let stats () =
   with_lock (fun () ->
       Hashtbl.fold (fun p e acc -> (p, e.refs) :: acc) table []
       |> List.sort compare)
+
+let heal_sick () =
+  (* Collect under the lock, heal outside it: Pool.heal joins and
+     respawns domains, which can take milliseconds — holding the
+     registry lock that long would stall concurrent acquires.  A pool
+     that got busy between the check and the heal makes heal raise
+     Invalid_argument; skip it, its own supervisor will deal with it. *)
+  let sick =
+    with_lock (fun () ->
+        Hashtbl.fold
+          (fun _ e acc ->
+            if (not (Pool.stopped e.pool)) && not (Pool.healthy e.pool) then
+              e.pool :: acc
+            else acc)
+          table [])
+  in
+  List.fold_left
+    (fun n pool ->
+      match Pool.heal pool with
+      | () -> n + 1
+      | exception Invalid_argument _ -> n)
+    0 sick
 
 let clear () =
   with_lock (fun () ->

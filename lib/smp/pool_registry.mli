@@ -14,7 +14,15 @@ val acquire : ?timeout:float -> int -> Pool.t
 (** [acquire p] returns the shared pool with [p] workers, creating it on
     first use and bumping its reference count.  [timeout] (seconds)
     overrides the pool's run timeout when given — the pool is shared, so
-    the last setting wins.  @raise Invalid_argument if [p < 1]. *)
+    the last setting wins.
+
+    Never hands out a stopped pool: the refcount is bumped inside the
+    same critical section that {!clear} shuts idle pools down in, so an
+    acquire racing a clear either wins the entry (then clear skips it —
+    refs > 0) or misses the table and creates a fresh pool; and a cached
+    pool that was shut down behind the registry's back is replaced with
+    a fresh one (counted under ["pool_registry.replaced"]).
+    @raise Invalid_argument if [p < 1]. *)
 
 val release : Pool.t -> unit
 (** Drop one reference.  The pool is {e not} shut down when the count
@@ -26,6 +34,14 @@ val stats : unit -> (int * int) list
 (** Live registry entries as [(workers, refs)] pairs, sorted by worker
     count — zero-ref entries are idle pools kept warm for reuse. *)
 
+val heal_sick : unit -> int
+(** Heal every registered pool that is unhealthy (poisoned or with dead
+    workers) and not shut down; returns the number healed.  Pools that
+    are busy mid-run are skipped (their own supervisor recovers them).
+    The service calls this after a faulted request so one tenant's crash
+    cannot leave a poisoned pool behind for the others. *)
+
 val clear : unit -> unit
 (** Shut down and remove every idle (zero-reference) pool.  Pools still
-    referenced by live plans are left untouched. *)
+    referenced by live plans are left untouched.  Safe against concurrent
+    {!acquire} (see there). *)

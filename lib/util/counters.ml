@@ -20,7 +20,35 @@ let snapshot () =
       Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc) table [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let reset () = with_lock (fun () -> Hashtbl.reset table)
+(* Observations: bounded-memory summaries (count/sum/max) of a measured
+   quantity, e.g. reply latencies.  Like counters they are only touched
+   on service/failure paths, never in the per-sample hot loop. *)
+
+type obs = { count : int; sum : float; max : float }
+
+let obs_table : (string, obs ref) Hashtbl.t = Hashtbl.create 16
+
+let observe name v =
+  with_lock (fun () ->
+      match Hashtbl.find_opt obs_table name with
+      | Some r ->
+          let o = !r in
+          r := { count = o.count + 1; sum = o.sum +. v; max = Float.max o.max v }
+      | None -> Hashtbl.add obs_table name (ref { count = 1; sum = v; max = v }))
+
+let observation name =
+  with_lock (fun () ->
+      Option.map (fun r -> !r) (Hashtbl.find_opt obs_table name))
+
+let observations () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) obs_table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.reset table;
+      Hashtbl.reset obs_table)
 
 (* Prometheus text exposition format: every counter as one sample of a
    single metric family, the counter name as a label (counter names
@@ -36,4 +64,20 @@ let to_prometheus () =
       Buffer.add_string b
         (Printf.sprintf "spiral_events_total{name=\"%s\"} %d\n" k v))
     (snapshot ());
+  (match observations () with
+  | [] -> ()
+  | obs ->
+      Buffer.add_string b
+        "# HELP spiral_observed Observation summaries \
+         (Spiral_util.Counters.observe).\n";
+      Buffer.add_string b "# TYPE spiral_observed gauge\n";
+      List.iter
+        (fun (k, o) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "spiral_observed{name=\"%s\",stat=\"count\"} %d\n\
+                spiral_observed{name=\"%s\",stat=\"sum\"} %.6g\n\
+                spiral_observed{name=\"%s\",stat=\"max\"} %.6g\n"
+               k o.count k o.sum k o.max))
+        obs);
   Buffer.contents b

@@ -19,9 +19,29 @@ val snapshot : unit -> (string * int) list
 (** All nonzero counters, sorted by name. *)
 
 val reset : unit -> unit
-(** Zero every counter (test isolation). *)
+(** Zero every counter and observation (test isolation). *)
+
+(** {2 Observations}
+
+    Bounded-memory summaries of a measured quantity (count, sum, max) —
+    enough to assert "every error reply left within [t] µs" without
+    storing per-request samples.  Same locking discipline as the
+    counters. *)
+
+type obs = { count : int; sum : float; max : float }
+
+val observe : string -> float -> unit
+(** [observe name v] folds [v] into the named summary, creating it on
+    first use. *)
+
+val observation : string -> obs option
+(** Current summary, [None] if nothing was ever observed. *)
+
+val observations : unit -> (string * obs) list
+(** All summaries, sorted by name. *)
 
 val to_prometheus : unit -> string
 (** Every nonzero counter in the Prometheus text exposition format, as
     samples of one metric family [spiral_events_total] with the counter
-    name as a [name] label. *)
+    name as a [name] label; observation summaries follow as
+    [spiral_observed{name, stat="count"|"sum"|"max"}] samples. *)

@@ -4,6 +4,11 @@ type site = {
   mutable after : int;
   mutable times : int;
   prob : float option;
+  scope : string option;
+      (* [None] = global: the site fires for every caller.  [Some tag] =
+         tenant-scoped: only [check_scoped ~scope:tag] can trip it, so a
+         service can arm chaos for one client without touching the
+         others. *)
   rng : Random.State.t;
   mutable hits : int;
   mutable fired : int;
@@ -21,7 +26,7 @@ let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let arm ~site ?(after = 0) ?(times = 1) ?prob ?(seed = 0) () =
+let arm ~site ?(after = 0) ?(times = 1) ?prob ?scope ?(seed = 0) () =
   if after < 0 then invalid_arg "Fault.arm: after >= 0";
   if times < 0 then invalid_arg "Fault.arm: times >= 0";
   (match prob with
@@ -34,6 +39,7 @@ let arm ~site ?(after = 0) ?(times = 1) ?prob ?(seed = 0) () =
           after;
           times;
           prob;
+          scope;
           rng = Random.State.make [| seed; Hashtbl.hash site |];
           hits = 0;
           fired = 0;
@@ -50,12 +56,18 @@ let reset () =
       Hashtbl.reset registry;
       Atomic.set armed 0)
 
-let check name =
+(* Scope matching: a global site ([scope = None]) is eligible for every
+   caller; a scoped site only for callers presenting the same tag.
+   Hit/after/times accounting only advances on eligible hits, so a
+   scoped site's deterministic schedule is unaffected by other tenants'
+   traffic. *)
+let check_gen ~scope name =
   if Atomic.get armed > 0 then begin
     let fire =
       with_lock (fun () ->
           match Hashtbl.find_opt registry name with
           | None -> false
+          | Some s when s.scope <> None && s.scope <> scope -> false
           | Some s ->
               s.hits <- s.hits + 1;
               if s.times <= 0 then false
@@ -77,6 +89,10 @@ let check name =
     in
     if fire then raise (Injected name)
   end
+
+let check name = check_gen ~scope:None name
+
+let check_scoped ~scope name = check_gen ~scope:(Some scope) name
 
 let hits name =
   with_lock (fun () ->

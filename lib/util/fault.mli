@@ -19,6 +19,7 @@ val arm :
   ?after:int ->
   ?times:int ->
   ?prob:float ->
+  ?scope:string ->
   ?seed:int ->
   unit ->
   unit
@@ -32,6 +33,11 @@ val arm :
     - [prob] (default [None], i.e. certainty): when given, each eligible
       hit fires with probability [prob], drawn from a PRNG seeded with
       [seed];
+    - [scope] (default [None] = global): when given, the site only fires
+      for {!check_scoped} calls presenting the same scope tag — the
+      service uses this to aim chaos at a single client (tenant) while
+      other tenants' requests pass the same site unharmed.  A global
+      site fires for scoped and unscoped callers alike;
     - [seed] (default 0): seed of the per-site PRNG (only meaningful with
       [prob]). *)
 
@@ -43,11 +49,21 @@ val reset : unit -> unit
 
 val check : string -> unit
 (** Injection point.  Raises {!Injected} if the named site is armed and
-    elects to fire; otherwise returns.  Safe to call from any domain. *)
+    elects to fire; otherwise returns.  A site armed with a [scope] never
+    fires here — only via {!check_scoped} with the matching tag.  Safe to
+    call from any domain. *)
+
+val check_scoped : scope:string -> string -> unit
+(** [check_scoped ~scope name] is {!check} for a caller acting on behalf
+    of tenant [scope]: the site fires when armed globally {e or} armed
+    with this exact scope.  Eligibility accounting ([after]/[times]/
+    {!hits}) of a scoped site only advances on matching calls, so one
+    tenant's fault schedule is independent of the others' traffic. *)
 
 val hits : string -> int
 (** Number of times {!check} reached this site since it was armed
-    (0 for unarmed sites). *)
+    (0 for unarmed sites; for scoped sites, only scope-matching hits
+    count). *)
 
 val fired : string -> int
 (** Number of faults this site has injected since it was armed. *)

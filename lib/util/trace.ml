@@ -13,11 +13,12 @@ let cat_prepare = 7
 let cat_execute = 8
 let cat_fallback = 9
 let cat_elided = 10
+let cat_request = 11
 
 let cat_names =
   [|
     "pass"; "barrier"; "dispatch"; "job"; "join"; "park"; "plan"; "prepare";
-    "execute"; "fallback"; "barrier_elided";
+    "execute"; "fallback"; "barrier_elided"; "request";
   |]
 
 let cat_name c =

@@ -67,6 +67,9 @@ val cat_fallback : int  (** instant: degraded to sequential execution *)
 
 val cat_elided : int  (** instant: a barrier statically elided; arg = pass *)
 
+val cat_request : int
+(** one service request, admission to reply; arg = request id *)
+
 val cat_name : int -> string
 
 (** {1 Recording (the hot path)} *)

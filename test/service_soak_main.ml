@@ -1,0 +1,67 @@
+(* Standalone chaos soak driver for the FFT service — the long-form
+   companion to the single-seed soak inside the Alcotest suite.  Run via
+   the dune alias:
+
+     dune build @service-soak
+
+   or directly with a seed sweep:
+
+     ./service_soak_main.exe --seeds 1,2,3 --requests 500
+
+   Exit status is non-zero if any seed violates a service invariant
+   (wrong answer, daemon death, unbounded error latency, isolation
+   breach). *)
+
+let parse_seeds s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun x ->
+         match int_of_string_opt (String.trim x) with
+         | Some n -> Some n
+         | None ->
+             Printf.eprintf "service_soak: ignoring bad seed %S\n" x;
+             None)
+
+let () =
+  let seeds = ref [ 1; 2 ] in
+  let requests = ref 300 in
+  let clients = ref 3 in
+  let args =
+    [
+      ("--seeds", Arg.String (fun s -> seeds := parse_seeds s),
+       "LIST  comma-separated fault seeds (default 1,2)");
+      ("--requests", Arg.Set_int requests,
+       "N  requests per checked client (default 300)");
+      ("--clients", Arg.Set_int clients,
+       "N  honest client domains (default 3; chaos and rogue ride along)");
+    ]
+  in
+  Arg.parse args
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "service_soak_main [--seeds LIST] [--requests N] [--clients N]";
+  let failures = ref 0 in
+  List.iter
+    (fun seed ->
+      Printf.printf "=== seed %d ===\n%!" seed;
+      let r =
+        Spiral_service.Soak.run ~seed ~clients:!clients ~requests:!requests ()
+      in
+      Format.printf "%a@." Spiral_service.Soak.pp_report r;
+      let fail msg =
+        incr failures;
+        Printf.printf "FAIL(seed %d): %s\n%!" seed msg
+      in
+      if r.wrong > 0 then fail (Printf.sprintf "%d wrong answers" r.wrong);
+      if not r.server_survived then fail "server did not survive";
+      if r.honest_internal > 0 then
+        fail
+          (Printf.sprintf "isolation breach: %d honest internal errors"
+             r.honest_internal);
+      if r.max_error_reply_us >= 15e6 then
+        fail
+          (Printf.sprintf "error reply took %.0f us" r.max_error_reply_us))
+    !seeds;
+  if !failures = 0 then print_endline "service soak: all invariants held"
+  else begin
+    Printf.printf "service soak: %d invariant violation(s)\n" !failures;
+    exit 1
+  end

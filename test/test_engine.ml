@@ -315,6 +315,68 @@ let test_engine_execute_many () =
             (Cvec.max_abs_diff ys.(i) (Batch.execute t x) = 0.0))
         xs)
 
+(* ------------------------------------------------------------------ *)
+(* Structured errors (the service boundary)                            *)
+
+let test_parse_problem_errors () =
+  (match Engine.parse_problem "dft[1024]f" with
+  | Ok p -> check cs "roundtrip" "dft[1024]f" (Problem.to_string p)
+  | Error e -> Alcotest.failf "valid descriptor rejected: %s" (Engine.error_to_string e));
+  (* parse failures name the offending descriptor *)
+  List.iter
+    (fun s ->
+      match Engine.parse_problem s with
+      | Error (Engine.Bad_descriptor d) -> check cs "offender echoed" s d
+      | Error e ->
+          Alcotest.failf "%S: wrong error %s" s (Engine.error_to_string e)
+      | Ok _ -> Alcotest.failf "%S parsed" s)
+    [ "garbage"; ""; "dft[]f"; "dft[0]f"; "dft[-4]f"; "dft[8]"; "fft[8]f" ];
+  (* the admission limit bounds total elements, batch included *)
+  (match Engine.parse_problem ~limit:512 "dft[1024]f" with
+  | Error (Engine.Too_large { total; limit }) ->
+      check ci "total" 1024 total;
+      check ci "limit" 512 limit
+  | _ -> Alcotest.fail "over-limit size accepted");
+  (match Engine.parse_problem "dft[4096]fx4096" with
+  | Error (Engine.Too_large { total; _ }) ->
+      check ci "batch multiplies into total" (4096 * 4096) total
+  | _ -> Alcotest.fail "oversized batch accepted");
+  (* exactly at the limit is fine *)
+  match Engine.parse_problem ~limit:1024 "dft[1024]f" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "at-limit rejected: %s" (Engine.error_to_string e)
+
+let test_execute_checked_errors () =
+  let derive ~threads:_ ~mu:_ =
+    (Spiral_rewrite.Ruletree.expand (Spiral_rewrite.Ruletree.mixed_radix 16), 1)
+  in
+  let eng =
+    Engine.plan ~threads:1 ~mu:4 ~cache:false ~derive
+      (Problem.make Problem.Dft [ 16 ])
+  in
+  let x = Cvec.random ~seed:5 16 in
+  let y = Cvec.create 16 in
+  (match Engine.execute_into_checked eng ~src:x ~dst:y with
+  | Ok () ->
+      check cb "checked path computes the transform" true
+        (Cvec.max_abs_diff y (Naive_dft.dft x) < 1e-7)
+  | Error e -> Alcotest.failf "healthy execute: %s" (Engine.error_to_string e));
+  (* wrong vector lengths are structured, with both sizes reported *)
+  (match Engine.execute_into_checked eng ~src:(Cvec.create 8) ~dst:y with
+  | Error (Engine.Bad_length { expected; got }) ->
+      check ci "expected" 16 expected;
+      check ci "got" 8 got
+  | _ -> Alcotest.fail "short src accepted");
+  (match Engine.execute_into_checked eng ~src:x ~dst:(Cvec.create 32) with
+  | Error (Engine.Bad_length { got; _ }) -> check ci "dst got" 32 got
+  | _ -> Alcotest.fail "long dst accepted");
+  (* execute-after-destroy is an error value, not an exception *)
+  Engine.destroy eng;
+  match Engine.execute_into_checked eng ~src:x ~dst:y with
+  | Error Engine.Destroyed -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Engine.error_to_string e)
+  | Ok () -> Alcotest.fail "executed after destroy"
+
 let suite =
   [
     Alcotest.test_case "problem: canonical strings" `Quick test_problem_canonical;
@@ -338,4 +400,8 @@ let suite =
     Alcotest.test_case "engine: destroy semantics" `Quick
       test_engine_destroy_semantics;
     Alcotest.test_case "engine: execute_many" `Quick test_engine_execute_many;
+    Alcotest.test_case "errors: parse_problem is structured" `Quick
+      test_parse_problem_errors;
+    Alcotest.test_case "errors: checked execution" `Quick
+      test_execute_checked_errors;
   ]

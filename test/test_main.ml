@@ -15,5 +15,6 @@ let () =
       ("vector", Test_vector.suite);
       ("fft", Test_fft.suite);
       ("engine", Test_engine.suite);
+      ("service", Test_service.suite);
       ("trace", Test_trace.suite);
     ]

@@ -294,6 +294,61 @@ let test_plan_cache_interrupted_save_atomic () =
   check ci "new wisdom after retry" 2 (Plan_cache.size (Plan_cache.load file));
   Sys.remove file
 
+let test_plan_cache_concurrent_writers () =
+  (* several domains rewrite the same wisdom file while a reader loads
+     it continuously.  The save path is write-temp-then-rename, so every
+     load must observe some writer's complete file — never a torn or
+     half-written one.  (Each writer uses a distinct temp name: the
+     temp-file draw is per-call, so concurrent savers cannot clobber
+     each other's scratch.) *)
+  let file = Filename.temp_file "spiral_cache" ".txt" in
+  let writers = 4 and rounds = 30 in
+  (* writer w saves sizes [64 * 2^w .. +3 entries]: each writer's file
+     content has a distinct, recognizable entry set *)
+  let sizes_of w = List.init 4 (fun i -> 64 * (1 lsl w) * (i + 1)) in
+  let caches = Array.init writers (fun w -> cache_of (sizes_of w)) in
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        let reads = ref 0 in
+        while not (Atomic.get stop) do
+          incr reads;
+          match Plan_cache.load file with
+          | c ->
+              (* a complete file from any single writer has exactly 4
+                 entries (or 0 before the first save lands) *)
+              let n = Plan_cache.size c in
+              if n <> 0 && n <> 4 then Atomic.incr torn
+          | exception _ -> Atomic.incr torn
+        done;
+        !reads)
+  in
+  let ds =
+    Array.init writers (fun w ->
+        Domain.spawn (fun () ->
+            for _ = 1 to rounds do
+              Plan_cache.save caches.(w) file
+            done))
+  in
+  Array.iter Domain.join ds;
+  Atomic.set stop true;
+  let reads = Domain.join reader in
+  check cb "reader made progress" true (reads > 0);
+  check ci "no torn or unloadable file observed" 0 (Atomic.get torn);
+  (* the survivor is one complete writer's wisdom, checksums intact *)
+  let c = Plan_cache.load file in
+  check ci "final file complete" 4 (Plan_cache.size c);
+  let owner =
+    List.init writers (fun w ->
+        List.for_all
+          (fun n -> Plan_cache.find c (entry n) <> None)
+          (sizes_of w))
+  in
+  check cb "final file belongs to exactly one writer" true
+    (List.exists (fun x -> x) owner);
+  Sys.remove file
+
 let suite =
   [
     Alcotest.test_case "dp: returns valid tree" `Quick test_dp_valid_tree;
@@ -322,4 +377,6 @@ let suite =
       test_plan_cache_salvage_corrupted;
     Alcotest.test_case "plan cache: interrupted save is atomic" `Quick
       test_plan_cache_interrupted_save_atomic;
+    Alcotest.test_case "plan cache: concurrent writers never tear" `Quick
+      test_plan_cache_concurrent_writers;
   ]

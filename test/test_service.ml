@@ -1,0 +1,369 @@
+(* Service layer: wire protocol, admission queue, and end-to-end daemon
+   behavior — correctness per descriptor kind, structured error replies,
+   deadlines, load shedding, tenant isolation, abrupt disconnects, and
+   the in-process chaos soak. *)
+
+open Spiral_util
+open Spiral_service
+
+let sock_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spiral-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?(threads = 2) ?(tweak = fun c -> c) f =
+  let path = sock_path () in
+  let cfg = Server.default_config ~socket_path:path () in
+  let cfg = tweak { cfg with Server.threads } in
+  let server = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.reset ();
+      Server.stop server)
+    (fun () -> f path server)
+
+let with_client path f =
+  let c = Client.connect path in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let check_status msg expected got = Alcotest.(check string) msg expected got
+
+let status_name (r : Protocol.reply) = Protocol.status_to_string r.status
+
+(* ---- protocol ---- *)
+
+let test_protocol_roundtrip () =
+  let req : Protocol.request =
+    {
+      op = Protocol.Exec;
+      id = 0xDEAD;
+      deadline_ms = 1500;
+      descriptor = "dft2d[16x16]f";
+      payload = [| 1.5; -0.0; Float.min_float; 1e300; -3.25 |];
+    }
+  in
+  (match Protocol.decode_request (Protocol.encode_request req) with
+  | Error e -> Alcotest.failf "decode_request: %s" e
+  | Ok got ->
+      Alcotest.(check int) "id" req.id got.id;
+      Alcotest.(check int) "deadline" req.deadline_ms got.deadline_ms;
+      Alcotest.(check string) "descriptor" req.descriptor got.descriptor;
+      Alcotest.(check bool) "op" true (got.op = Protocol.Exec);
+      Alcotest.(check int) "payload length" 5 (Array.length got.payload);
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check bool)
+            (Printf.sprintf "float bit-exact at %d" i)
+            true
+            (Int64.equal (Int64.bits_of_float x)
+               (Int64.bits_of_float got.payload.(i))))
+        req.payload);
+  let reply : Protocol.reply =
+    { id = 7; status = Protocol.Overloaded; message = "queue full"; payload = [||] }
+  in
+  match Protocol.decode_reply (Protocol.encode_reply reply) with
+  | Error e -> Alcotest.failf "decode_reply: %s" e
+  | Ok got ->
+      Alcotest.(check int) "reply id" 7 got.id;
+      Alcotest.(check bool) "reply status" true (got.status = Protocol.Overloaded);
+      Alcotest.(check string) "reply message" "queue full" got.message
+
+let test_protocol_garbage () =
+  (match Protocol.decode_request (Bytes.of_string "xx") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated request decoded");
+  (* a valid header with a descriptor length pointing past the body *)
+  let b = Bytes.make 12 '\000' in
+  Bytes.set b 0 '\001';
+  Bytes.set b 10 '\255';
+  (match Protocol.decode_request b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overlong descriptor decoded");
+  match Protocol.decode_reply (Bytes.of_string "") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty reply decoded"
+
+(* ---- admission ---- *)
+
+let test_admission_fairness () =
+  let q = Admission.create ~max_pending:16 ~max_per_client:8 () in
+  (* client 1 floods three deep, client 2 submits one item: round-robin
+     serves client 2 after a single item of the flood, not after the
+     whole backlog *)
+  for i = 1 to 3 do
+    Alcotest.(check bool)
+      "accepted" true
+      (Admission.submit q ~client:1 (1000 + i) = Admission.Accepted)
+  done;
+  Alcotest.(check bool)
+    "accepted" true
+    (Admission.submit q ~client:2 2001 = Admission.Accepted);
+  Alcotest.(check (option int)) "flood head" (Some 1001) (Admission.take q);
+  Alcotest.(check (option int)) "client 2 next" (Some 2001) (Admission.take q);
+  Alcotest.(check (option int)) "back to flood" (Some 1002) (Admission.take q);
+  Alcotest.(check (option int)) "flood tail" (Some 1003) (Admission.take q)
+
+let test_admission_bounds () =
+  let q = Admission.create ~max_pending:4 ~max_per_client:2 () in
+  Alcotest.(check bool) "a1" true (Admission.submit q ~client:1 1 = Admission.Accepted);
+  Alcotest.(check bool) "a2" true (Admission.submit q ~client:1 2 = Admission.Accepted);
+  Alcotest.(check bool)
+    "client bound" true
+    (Admission.submit q ~client:1 3 = Admission.Client_full);
+  Alcotest.(check bool) "b1" true (Admission.submit q ~client:2 4 = Admission.Accepted);
+  Alcotest.(check bool) "c1" true (Admission.submit q ~client:3 5 = Admission.Accepted);
+  Alcotest.(check bool)
+    "global bound" true
+    (Admission.submit q ~client:4 6 = Admission.Queue_full);
+  Alcotest.(check int) "pending" 4 (Admission.pending q)
+
+let test_admission_drop_and_close () =
+  let q = Admission.create () in
+  ignore (Admission.submit q ~client:1 1);
+  ignore (Admission.submit q ~client:1 2);
+  ignore (Admission.submit q ~client:2 3);
+  Alcotest.(check (list int)) "purged" [ 1; 2 ] (Admission.drop_client q 1);
+  Alcotest.(check int) "left" 1 (Admission.pending q);
+  Admission.close q;
+  Alcotest.(check bool)
+    "closed" true
+    (Admission.submit q ~client:2 4 = Admission.Closed);
+  (* graceful: accepted work still drains, then None *)
+  Alcotest.(check (option int)) "drains" (Some 3) (Admission.take q);
+  Alcotest.(check (option int)) "then closed" None (Admission.take q)
+
+(* ---- end-to-end ---- *)
+
+let reference = lazy (Plans.create ~threads:1 ())
+
+let checked_exec c descriptor =
+  match Plans.lookup (Lazy.force reference) descriptor with
+  | Error e -> Alcotest.failf "reference plan: %s" (Spiral_fft.Engine.error_to_string e)
+  | Ok entry ->
+      let rng = Random.State.make [| Hashtbl.hash descriptor |] in
+      let x = Array.init entry.in_floats (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+      let reply = Client.exec c ~descriptor x in
+      check_status (descriptor ^ " status") "ok" (status_name reply);
+      let expected = entry.exec (Array.copy x) in
+      let err = ref 0.0 in
+      Array.iteri
+        (fun i v -> err := Float.max !err (Float.abs (v -. reply.payload.(i))))
+        expected;
+      Alcotest.(check bool)
+        (descriptor ^ " matches sequential reference")
+        true (!err < 1e-8)
+
+let test_e2e_kinds () =
+  with_server (fun path _server ->
+      with_client path (fun c ->
+          List.iter (checked_exec c)
+            [
+              "dft[64]f"; "dft[64]i"; "dft[12]f"; "dft2d[8x8]f"; "wht[64]f";
+              "rfft[64]f"; "rfft[64]i"; "dct[32]f"; "dft[16]fx4";
+            ]))
+
+let test_e2e_errors () =
+  with_server (fun path _server ->
+      with_client path (fun c ->
+          let exec ?deadline_ms descriptor payload =
+            status_name (Client.exec c ?deadline_ms ~descriptor payload)
+          in
+          check_status "parse failure" "bad-descriptor" (exec "nonsense" [||]);
+          check_status "empty" "bad-descriptor" (exec "" [||]);
+          check_status "oversized" "unsupported" (exec "dft[16777216]f" [||]);
+          check_status "unsupported inverse batch" "unsupported"
+            (exec "dft[16]ix4" (Array.make 128 0.0));
+          check_status "short payload" "bad-payload"
+            (exec "dft[64]f" (Array.make 7 0.0));
+          check_status "non-finite payload" "bad-payload"
+            (exec "dft[64]f"
+               (Array.init 128 (fun i -> if i = 77 then Float.nan else 0.5)));
+          (* the connection is still perfectly usable after every error *)
+          checked_exec c "dft[64]f"))
+
+let test_e2e_info_ping_stats () =
+  with_server (fun path _server ->
+      with_client path (fun c ->
+          let pong = Client.ping c in
+          check_status "ping" "ok" (status_name pong);
+          let r = Client.info c "rfft[64]f" in
+          check_status "info" "ok" (status_name r);
+          Alcotest.(check string) "geometry" "in=64 out=66" r.message;
+          let r = Client.info c "bogus" in
+          check_status "info error" "bad-descriptor" (status_name r);
+          let stats = Client.stats c in
+          let contains hay needle =
+            let nl = String.length needle and hl = String.length hay in
+            let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool)
+            "stats mention service counters" true
+            (contains stats "service.")))
+
+let test_e2e_deadline () =
+  with_server (fun path _server ->
+      with_client path (fun c ->
+          ignore (Client.hello c "slow-tenant");
+          (* every request of this tenant stalls 50 ms in the executor;
+             a 1 ms deadline must produce a Deadline reply, not a hang
+             and not an Ok *)
+          Fault.arm ~site:"service.delay" ~scope:"slow-tenant" ~times:max_int ();
+          let reply = Client.exec c ~deadline_ms:1 ~descriptor:"dft[64]f"
+              (Array.make 128 0.25)
+          in
+          check_status "deadline" "deadline-exceeded" (status_name reply);
+          Fault.reset ();
+          (* no deadline: same request now succeeds *)
+          checked_exec c "dft[64]f"))
+
+let test_e2e_shedding () =
+  with_server
+    ~tweak:(fun c -> { c with Server.max_pending = 8; max_per_client = 4 })
+    (fun path _server ->
+      with_client path (fun c ->
+          ignore (Client.hello c "pipeliner");
+          Fault.arm ~site:"service.delay" ~scope:"pipeliner" ~times:max_int ();
+          let x = Array.make 128 0.5 in
+          let ids =
+            List.init 12 (fun _ -> Client.exec_async c ~descriptor:"dft[64]f" x)
+          in
+          Fault.disarm "service.delay";
+          let replies = List.map (Client.wait c) ids in
+          let count s =
+            List.length (List.filter (fun r -> status_name r = s) replies)
+          in
+          Alcotest.(check int) "everything answered" 12 (List.length replies);
+          Alcotest.(check bool) "some shed" true (count "overloaded" > 0);
+          Alcotest.(check bool) "some served" true (count "ok" > 0);
+          (* overload is shed, never silently dropped or crashed *)
+          Alcotest.(check int)
+            "ok + overloaded = all" 12
+            (count "ok" + count "overloaded")))
+
+let test_e2e_isolation () =
+  with_server (fun path server ->
+      with_client path (fun evil ->
+          with_client path (fun honest ->
+              ignore (Client.hello evil "evil");
+              ignore (Client.hello honest "honest");
+              (* warm the plan both tenants share *)
+              checked_exec honest "dft[64]f";
+              let plans_before = Server.plan_count server in
+              Fault.arm ~site:"service.exec" ~scope:"evil" ~times:max_int ();
+              let x = Array.make 128 0.125 in
+              for _ = 1 to 5 do
+                let r = Client.exec evil ~descriptor:"dft[64]f" x in
+                check_status "evil gets structured error" "internal-error"
+                  (status_name r)
+              done;
+              (* the honest tenant is untouched: same descriptor, same
+                 shared plan, correct answers all along *)
+              for _ = 1 to 3 do
+                checked_exec honest "dft[64]f"
+              done;
+              Alcotest.(check int)
+                "cached plans survive the faulted tenant" plans_before
+                (Server.plan_count server);
+              Fault.reset ();
+              (* the faulted tenant recovers the moment faults stop *)
+              checked_exec evil "dft[64]f")))
+
+let test_e2e_abrupt_disconnect () =
+  with_server (fun path _server ->
+      (* clients that post work and vanish without reading — the server
+         must reap them and keep serving everyone else *)
+      for _ = 1 to 5 do
+        let c = Client.connect path in
+        ignore (Client.exec_async c ~descriptor:"dft[64]f" (Array.make 128 1.0));
+        ignore (Client.exec_async c ~descriptor:"dft[64]f" (Array.make 128 2.0));
+        Client.close c
+      done;
+      with_client path (fun c ->
+          check_status "ping after rogues" "ok" (status_name (Client.ping c));
+          checked_exec c "dft[64]f"))
+
+let test_e2e_frame_limits () =
+  with_server (fun path _server ->
+      (* a raw oversized frame header: the server must reply Bad_request
+         and drop the connection without reading the announced body *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 0x7FFFFFFFl;
+      ignore (Unix.write fd header 0 4);
+      (match Protocol.read_frame fd with
+      | Protocol.Frame body -> (
+          match Protocol.decode_reply body with
+          | Ok r ->
+              check_status "oversized rejected" "bad-request"
+                (Protocol.status_to_string r.status)
+          | Error e -> Alcotest.failf "undecodable reply: %s" e)
+      | Protocol.Eof -> Alcotest.fail "connection dropped without a reply"
+      | Protocol.Oversized _ -> Alcotest.fail "reply oversized");
+      Unix.close fd;
+      (* and the server is still fine *)
+      with_client path (fun c ->
+          check_status "ping" "ok" (status_name (Client.ping c))))
+
+let test_e2e_graceful_stop () =
+  let path = sock_path () in
+  let cfg = Server.default_config ~socket_path:path () in
+  let server = Server.start cfg in
+  with_client path (fun c -> check_status "up" "ok" (status_name (Client.ping c)));
+  Server.stop server;
+  Server.stop server (* idempotent *);
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path);
+  match Client.connect path with
+  | exception Unix.Unix_error _ -> ()
+  | c ->
+      Client.close c;
+      Alcotest.fail "connect succeeded after stop"
+
+(* ---- chaos soak (the tentpole invariants) ---- *)
+
+let test_soak () =
+  let r = Soak.run ~seed:42 ~clients:3 ~requests:200 () in
+  Format.printf "%a@." Soak.pp_report r;
+  Alcotest.(check bool) "enough traffic" true (r.total >= 800);
+  Alcotest.(check int) "zero wrong answers" 0 r.wrong;
+  Alcotest.(check bool) "server survived" true r.server_survived;
+  Alcotest.(check int) "honest tenants isolated from chaos" 0 r.honest_internal;
+  Alcotest.(check bool) "chaos tenant saw its faults" true (r.internal > 0);
+  (* bounded = a few multiples of the 5 s pool timeout, never the 30 s
+     unbounded-wait signature *)
+  Alcotest.(check bool)
+    "error replies bounded (worst < 15s)" true
+    (r.max_error_reply_us < 15e6);
+  Alcotest.(check bool) "rogue kept connecting" true (r.rogue_connects > 0)
+
+let suite =
+  [
+    Alcotest.test_case "protocol: roundtrip is bit-exact" `Quick
+      test_protocol_roundtrip;
+    Alcotest.test_case "protocol: garbage is rejected" `Quick
+      test_protocol_garbage;
+    Alcotest.test_case "admission: round-robin fairness" `Quick
+      test_admission_fairness;
+    Alcotest.test_case "admission: global and per-client bounds" `Quick
+      test_admission_bounds;
+    Alcotest.test_case "admission: drop_client and graceful close" `Quick
+      test_admission_drop_and_close;
+    Alcotest.test_case "e2e: every descriptor kind matches reference" `Quick
+      test_e2e_kinds;
+    Alcotest.test_case "e2e: structured error replies" `Quick test_e2e_errors;
+    Alcotest.test_case "e2e: info, ping, stats" `Quick test_e2e_info_ping_stats;
+    Alcotest.test_case "e2e: deadline enforcement" `Quick test_e2e_deadline;
+    Alcotest.test_case "e2e: load shedding under pipelining" `Quick
+      test_e2e_shedding;
+    Alcotest.test_case "e2e: tenant isolation under scoped faults" `Quick
+      test_e2e_isolation;
+    Alcotest.test_case "e2e: abrupt disconnects don't wedge" `Quick
+      test_e2e_abrupt_disconnect;
+    Alcotest.test_case "e2e: oversized frame rejected" `Quick
+      test_e2e_frame_limits;
+    Alcotest.test_case "e2e: graceful stop" `Quick test_e2e_graceful_stop;
+    Alcotest.test_case "soak: chaos invariants" `Slow test_soak;
+  ]

@@ -617,6 +617,64 @@ let prop_worker_range_aligned_partition =
         (List.init workers (fun w -> w));
       Array.for_all (fun c -> c = 1) seen)
 
+(* ------------------------------------------------------------------ *)
+(* Pool registry: release/acquire races                                *)
+
+let test_registry_never_hands_out_stopped () =
+  (* regression: a pool shut down behind the registry's back (a stress
+     harness, an embedder) used to be handed to the next acquirer, whose
+     every [run] would then raise.  acquire must revalidate and
+     replace. *)
+  let p = 5 (* worker count no other test uses *) in
+  let a = Pool_registry.acquire p in
+  Pool_registry.release a;
+  Pool.shutdown a;
+  let replaced0 = Counters.get "pool_registry.replaced" in
+  let b = Pool_registry.acquire p in
+  check cb "fresh pool, not the stopped one" true (not (b == a));
+  check cb "handed-out pool is live" true (not (Pool.stopped b));
+  check ci "replacement counted" (replaced0 + 1)
+    (Counters.get "pool_registry.replaced");
+  (* the replacement actually works *)
+  let hits = Atomic.make 0 in
+  Pool.run b (fun _ -> Atomic.incr hits);
+  check ci "all workers ran" p (Atomic.get hits);
+  Pool_registry.release b;
+  Pool.shutdown b
+
+let test_registry_acquire_release_clear_race () =
+  (* churn acquire/release/clear/heal_sick from several domains at once;
+     the invariant under test: an acquired pool is never stopped at
+     hand-out, no matter how the operations interleave (acquire bumps
+     the refcount in the same critical section clear inspects, so clear
+     can only shut down pools nobody holds) *)
+  let p = 6 in
+  let iters = 150 in
+  let bad = Atomic.make 0 in
+  let worker seed =
+    let rng = Random.State.make [| seed |] in
+    for _ = 1 to iters do
+      let pool = Pool_registry.acquire p in
+      if Pool.stopped pool then Atomic.incr bad;
+      if Random.State.int rng 4 = 0 then Domain.cpu_relax ();
+      Pool_registry.release pool;
+      match Random.State.int rng 8 with
+      | 0 -> Pool_registry.clear ()
+      | 1 -> ignore (Pool_registry.heal_sick ())
+      | _ -> ()
+    done
+  in
+  let domains = Array.init 4 (fun i -> Domain.spawn (fun () -> worker (17 * (i + 1)))) in
+  Array.iter Domain.join domains;
+  check ci "no stopped pool ever handed out" 0 (Atomic.get bad);
+  (* the registry is coherent afterwards: a fresh acquire serves jobs *)
+  let pool = Pool_registry.acquire p in
+  let hits = Atomic.make 0 in
+  Pool.run pool (fun _ -> Atomic.incr hits);
+  check ci "registry coherent after churn" p (Atomic.get hits);
+  Pool_registry.release pool;
+  Pool_registry.clear ()
+
 let suite =
   [
     Alcotest.test_case "barrier: multi-phase visibility" `Quick test_barrier_phases;
@@ -675,4 +733,8 @@ let suite =
     Alcotest.test_case "schedule: aligned boundaries" `Quick
       test_worker_range_aligned;
     QCheck_alcotest.to_alcotest prop_worker_range_aligned_partition;
+    Alcotest.test_case "registry: stopped pool never handed out" `Quick
+      test_registry_never_hands_out_stopped;
+    Alcotest.test_case "registry: acquire/release/clear churn" `Quick
+      test_registry_acquire_release_clear_race;
   ]
