@@ -361,7 +361,8 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
 let cmd_serve =
-  let run socket threads mu max_pending max_per_client max_plans pool_timeout =
+  let run socket threads mu max_pending max_per_client max_conns max_plans
+      pool_timeout send_timeout =
     let cfg = Spiral_service.Server.default_config ~socket_path:socket () in
     let cfg =
       {
@@ -370,8 +371,10 @@ let cmd_serve =
         mu;
         max_pending;
         max_per_client;
+        max_conns;
         max_plans;
         pool_timeout;
+        send_timeout;
       }
     in
     match Spiral_service.Server.start cfg with
@@ -405,6 +408,10 @@ let cmd_serve =
     Arg.(value & opt int 32 & info [ "max-per-client" ] ~docv:"N"
          ~doc:"Per-client pending bound.")
   in
+  let max_conns =
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N"
+         ~doc:"Concurrent connection cap; excess connects are rejected.")
+  in
   let max_plans =
     Arg.(value & opt int 64 & info [ "max-plans" ] ~docv:"N"
          ~doc:"Resident compiled plans before LRU eviction.")
@@ -413,11 +420,16 @@ let cmd_serve =
     Arg.(value & opt float 5.0 & info [ "pool-timeout" ] ~docv:"SECONDS"
          ~doc:"Bound on every parallel wait.")
   in
+  let send_timeout =
+    Arg.(value & opt float 1.0 & info [ "send-timeout" ] ~docv:"SECONDS"
+         ~doc:"Bound on any one reply write; a client that stops reading \
+               is disconnected.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the resident FFT daemon on a Unix-domain socket")
     Term.(
       const run $ socket_arg $ threads $ mu_arg $ max_pending $ max_per_client
-      $ max_plans $ pool_timeout)
+      $ max_conns $ max_plans $ pool_timeout $ send_timeout)
 
 let cmd_client =
   let run socket op descriptor deadline_ms count tenant seed =

@@ -82,8 +82,16 @@ let status_to_string = function
   | Shutting_down -> "shutting-down"
 
 (* Frames over this size are rejected before the body is read, so a
-   hostile length prefix cannot make the server allocate gigabytes. *)
+   hostile length prefix cannot make the server allocate gigabytes.
+   This is the permissive default (clients reading replies); the server
+   tightens it per its own configuration via [request_frame_bound]. *)
 let max_frame = ref (128 * 1024 * 1024)
+
+(* The largest request body a server sized for [max_total] complex
+   elements can legitimately receive: the fixed header (op u8, id u32,
+   deadline u32, desc_len u16 = 11 bytes), the largest descriptor a u16
+   length can announce, and 2 big-endian float64s per complex element. *)
+let request_frame_bound ~max_total = 11 + 0xffff + (16 * max_total)
 
 (* ---- body encoding ---- *)
 
@@ -160,24 +168,35 @@ let decode_reply b =
 
 (* ---- framing over a file descriptor ---- *)
 
-let rec write_all fd b off len =
+(* [deadline] bounds the *total* wall-clock time of the frame write, so
+   even a peer draining its socket one byte per second (each syscall
+   succeeds, the frame never finishes) cannot hold the caller past it.
+   [EAGAIN]/[EWOULDBLOCK] — [SO_SNDTIMEO] expired with a full buffer —
+   and an exhausted deadline both surface as [ETIMEDOUT], so callers
+   have a single "peer stopped reading" signal to act on. *)
+let rec write_all ?deadline fd b off len =
   if len > 0 then begin
+    (match deadline with
+    | Some d when Unix.gettimeofday () > d ->
+        raise (Unix.Unix_error (Unix.ETIMEDOUT, "write_frame", ""))
+    | _ -> ());
     let n =
-      try Unix.write fd b off len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      try Unix.write fd b off len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          raise (Unix.Unix_error (Unix.ETIMEDOUT, "write_frame", ""))
     in
-    write_all fd b (off + n) (len - n)
+    write_all ?deadline fd b (off + n) (len - n)
   end
 
-let write_frame fd body =
+let write_frame ?timeout fd body =
   let len = Bytes.length body in
-  let hdr = Bytes.create 4 in
-  Bytes.set_int32_be hdr 0 (Int32.of_int len);
   (* one write for header+body keeps small frames in one segment *)
   let all = Bytes.create (4 + len) in
-  Bytes.blit hdr 0 all 0 4;
+  Bytes.set_int32_be all 0 (Int32.of_int len);
   Bytes.blit body 0 all 4 len;
-  write_all fd all 0 (4 + len)
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  write_all ?deadline fd all 0 (4 + len)
 
 type read_result = Frame of bytes | Eof | Oversized of int
 
@@ -197,12 +216,13 @@ let read_exact fd b off len =
   done;
   !ok
 
-let read_frame fd =
+let read_frame ?limit fd =
+  let limit = match limit with Some l -> l | None -> !max_frame in
   let hdr = Bytes.create 4 in
   if not (read_exact fd hdr 0 4) then Eof
   else
     let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-    if len < 0 || len > !max_frame then Oversized len
+    if len < 0 || len > limit then Oversized len
     else
       let body = Bytes.create len in
       if read_exact fd body 0 len then Frame body else Eof

@@ -48,25 +48,39 @@ val status_code : status -> int
 val status_of_code : int -> status option
 
 val max_frame : int ref
-(** Reject frames whose announced body exceeds this many bytes (default
-    128 MiB) before allocating — a hostile length prefix must not OOM the
-    daemon. *)
+(** Default bound on an announced frame body (128 MiB), used when
+    {!read_frame} is given no explicit [limit] — a hostile length prefix
+    must not OOM the reader.  Clients reading replies use this; the
+    server derives a much tighter per-configuration limit with
+    {!request_frame_bound}. *)
+
+val request_frame_bound : max_total:int -> int
+(** The largest request body (bytes) a server capped at [max_total]
+    complex elements can legitimately receive: fixed header + maximal
+    descriptor + [2 * max_total] float64s. *)
 
 val encode_request : request -> bytes
 val decode_request : bytes -> (request, string) result
 val encode_reply : reply -> bytes
 val decode_reply : bytes -> (reply, string) result
 
-val write_frame : Unix.file_descr -> bytes -> unit
-(** Write one frame (header + body), restarting on [EINTR].
-    @raise Unix.Unix_error when the peer is gone ([EPIPE], …). *)
+val write_frame : ?timeout:float -> Unix.file_descr -> bytes -> unit
+(** Write one frame (header + body), restarting on [EINTR].  [timeout]
+    bounds the {e total} wall-clock time of the write; combined with
+    [SO_SNDTIMEO] on the fd (which bounds each blocking syscall) a peer
+    that stops reading — full socket buffer or byte-at-a-time trickle —
+    makes the write fail with [ETIMEDOUT] instead of blocking forever.
+    @raise Unix.Unix_error when the peer is gone ([EPIPE], …) or has
+    stopped reading ([ETIMEDOUT]). *)
 
 type read_result =
   | Frame of bytes
   | Eof  (** clean close, or the peer died mid-frame *)
   | Oversized of int  (** announced length; nothing was consumed after it *)
 
-val read_frame : Unix.file_descr -> read_result
+val read_frame : ?limit:int -> Unix.file_descr -> read_result
 (** Read one frame, restarting on [EINTR].  A peer that disappears
-    mid-frame is an [Eof], not an exception.
+    mid-frame is an [Eof], not an exception.  An announced body length
+    above [limit] (default [!max_frame]) is [Oversized] and nothing is
+    allocated or consumed past the header.
     @raise Unix.Unix_error on hard socket errors. *)

@@ -3,12 +3,15 @@ open Spiral_util
 (* The resident FFT daemon.  Engineering goal: stay up under hostile
    load.  The robustness layers, outermost first:
 
-   - framing: a 4-byte length prefix bounds every read; oversized or
-     malformed frames get an error reply without desynchronizing or
-     crashing anything;
+   - framing: a 4-byte length prefix bounds every read; the request
+     limit is derived from the configured [max_total] (not a generous
+     global), so a hostile length prefix cannot pin more memory than a
+     legitimate maximal request; oversized or malformed frames get an
+     error reply without desynchronizing or crashing anything;
    - admission: a bounded, client-fair queue ({!Admission}); excess load
      is shed immediately with [Overloaded], one pipelining tenant cannot
-     starve the others;
+     starve the others; concurrent connections are capped at accept, so
+     reader threads and frame buffers stay bounded too;
    - deadlines: a request carries its total budget; it is rejected with
      [Deadline] the moment the budget is found exhausted (at dequeue and
      after execution), and the execution itself can never hang — every
@@ -29,7 +32,10 @@ open Spiral_util
    - connection supervision: each connection has one reader thread; a
      client that vanishes (kill -9) mid-request is detected on read or
      write failure, its queue is purged, and in-flight replies to it are
-     dropped — never letting a dead peer wedge the executor.
+     dropped; reply writes carry a send timeout (SO_SNDTIMEO per
+     syscall, a wall-clock bound per frame), so a live client that
+     simply stops reading takes the same exit — neither a dead nor a
+     stalled peer can wedge the executor.
 
    Threading: the accept loop and per-connection readers are systhreads
    (they block in I/O); the single executor runs in its own domain and
@@ -42,9 +48,11 @@ type config = {
   mu : int;
   max_pending : int;  (* admission: global queue bound *)
   max_per_client : int;  (* admission: per-client pending bound *)
+  max_conns : int;  (* concurrent connections; excess rejected at accept *)
   max_total : int;  (* largest problem (complex elements) served *)
   max_plans : int;  (* resident compiled plans before LRU eviction *)
   pool_timeout : float;  (* bound on every parallel wait (seconds) *)
+  send_timeout : float;  (* total budget for any one reply write (seconds) *)
   breaker_threshold : int;  (* consecutive sick executions to open *)
   backoff_base : float;  (* first backoff window (seconds) *)
   backoff_max : float;  (* backoff growth cap *)
@@ -57,9 +65,11 @@ let default_config ~socket_path () =
     mu = 4;
     max_pending = 256;
     max_per_client = 32;
+    max_conns = 64;
     max_total = Spiral_fft.Engine.default_total_limit;
     max_plans = 64;
     pool_timeout = 5.0;
+    send_timeout = 1.0;
     breaker_threshold = 3;
     backoff_base = 0.05;
     backoff_max = 2.0;
@@ -68,16 +78,28 @@ let default_config ~socket_path () =
 type conn = {
   fd : Unix.file_descr;
   cid : int;
-  mutable tenant : string;  (* fault scope; defaults to "c<cid>" *)
+  mutable tenant : string;
+      (* fault scope; defaults to "c<cid>".  Written only by this
+         connection's reader thread (Hello) and captured into each job
+         at admission — the executor domain never reads this field, so
+         there is no cross-domain race and a request keeps the scope it
+         was admitted under even if a Hello lands while it is queued. *)
   alive : bool Atomic.t;
   wlock : Mutex.t;  (* reader (sheds, pings) and executor both write *)
+  send_timeout : float;  (* total budget for one reply write *)
 }
 
-type job = { conn : conn; req : Protocol.request; enq_ns : int }
+type job = {
+  conn : conn;
+  req : Protocol.request;
+  enq_ns : int;
+  tenant : string;  (* fault scope frozen at admission *)
+}
 
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
+  frame_limit : int;  (* request frames above this are rejected unread *)
   queue : job Admission.t;
   plans : Plans.t;
   stopping : bool Atomic.t;
@@ -86,7 +108,10 @@ type t = {
   mutable next_cid : int;
   mutable accept_thread : Thread.t option;
   mutable executor : unit Domain.t option;
-  mutable reader_threads : Thread.t list;  (* guarded by conns_lock *)
+  readers : (int, Thread.t) Hashtbl.t;
+      (* reader thread per live connection, keyed by cid; guarded by
+         conns_lock.  Each reader registers itself on entry and prunes
+         its own entry on exit, so connection churn cannot grow it. *)
   (* circuit breaker state — executor-domain private *)
   mutable sick_streak : int;
   mutable breaker_level : int;
@@ -95,6 +120,14 @@ type t = {
 
 (* ---- replies ---- *)
 
+(* Reply writes are doubly bounded: SO_SNDTIMEO on the fd caps each
+   blocking syscall, and [write_frame ~timeout] caps the whole frame —
+   so neither a full socket buffer (a ~64 MiB reply against a ~200 KiB
+   buffer) nor a byte-at-a-time trickle reader can hold the executor.
+   A write that fails takes the same exit as a dead peer: the connection
+   is marked dead (queued jobs for it are skipped), and the fd is shut
+   down so the blocked reader wakes, reaps the connection, and purges
+   its admission queue. *)
 let send_reply conn (reply : Protocol.reply) =
   if Atomic.get conn.alive then begin
     let body = Protocol.encode_reply reply in
@@ -102,12 +135,18 @@ let send_reply conn (reply : Protocol.reply) =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock conn.wlock)
       (fun () ->
-        try Protocol.write_frame conn.fd body
-        with Unix.Unix_error _ | Sys_error _ ->
-          (* peer is gone (EPIPE after a kill -9, …): drop the reply,
-             the reader thread will reap the connection *)
+        try Protocol.write_frame ~timeout:conn.send_timeout conn.fd body
+        with Unix.Unix_error _ | Sys_error _ as e ->
+          (* ETIMEDOUT: live peer that stopped reading; anything else
+             (EPIPE after a kill -9, …): peer is gone.  Either way the
+             reply is dropped and the reader reaps the connection. *)
           Atomic.set conn.alive false;
-          Counters.incr "service.client_gone")
+          (match e with
+          | Unix.Unix_error (Unix.ETIMEDOUT, _, _) ->
+              Counters.incr "service.client_stalled"
+          | _ -> Counters.incr "service.client_gone");
+          (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+           with Unix.Unix_error _ -> ()))
   end
 
 let error_reply ?(payload = [||]) id status message : Protocol.reply =
@@ -178,13 +217,13 @@ let breaker_note_healthy t =
   end
 
 let exec_one t job =
-  let { conn; req; enq_ns } = job in
+  let { conn; req; enq_ns; tenant } = job in
   let reply_error status msg = send_error conn ~since_ns:enq_ns req.id status msg in
   if deadline_expired job then reply_error Protocol.Deadline "expired in queue"
   else begin
     (* chaos hook: a "service.delay" injection stalls this request (the
        executor survives; deadline/shedding behavior becomes testable) *)
-    (try Fault.check_scoped ~scope:conn.tenant "service.delay"
+    (try Fault.check_scoped ~scope:tenant "service.delay"
      with Fault.Injected _ -> Unix.sleepf 0.05);
     let seq = breaker_open t in
     if seq then begin
@@ -196,7 +235,7 @@ let exec_one t job =
     match
       (* per-tenant injection point: a fault here is this request's
          fault and nobody else's *)
-      Fault.check_scoped ~scope:conn.tenant "service.exec";
+      Fault.check_scoped ~scope:tenant "service.exec";
       Plans.lookup ~seq t.plans req.descriptor
     with
     | Error e ->
@@ -333,8 +372,11 @@ let handle_request t conn (req : Protocol.request) =
       else
         match
           Fault.check_scoped ~scope:conn.tenant "service.admit";
+          (* freeze the fault scope here: [conn.tenant] belongs to this
+             reader thread, the executor domain only ever sees the
+             captured copy *)
           Admission.submit t.queue ~client:conn.cid
-            { conn; req; enq_ns = since_ns }
+            { conn; req; enq_ns = since_ns; tenant = conn.tenant }
         with
         | Admission.Accepted -> Counters.incr "service.accepted"
         | Admission.Queue_full ->
@@ -354,6 +396,12 @@ let handle_request t conn (req : Protocol.request) =
               ("injected fault at " ^ site))
 
 let reader_loop t conn =
+  (* register under conns_lock so [stop] can join us; the matching
+     removal happens in [fin] on this same thread, so registration
+     always precedes it and the table is bounded by live connections *)
+  Mutex.lock t.conns_lock;
+  Hashtbl.replace t.readers conn.cid (Thread.self ());
+  Mutex.unlock t.conns_lock;
   let fin () =
     if Atomic.get conn.alive then begin
       Atomic.set conn.alive false;
@@ -364,12 +412,13 @@ let reader_loop t conn =
       Counters.incr ~by:(List.length purged) "service.purged";
     Mutex.lock t.conns_lock;
     Hashtbl.remove t.conns conn.cid;
+    Hashtbl.remove t.readers conn.cid;
     Mutex.unlock t.conns_lock;
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   in
   (try
      while Atomic.get conn.alive do
-       match Protocol.read_frame conn.fd with
+       match Protocol.read_frame ~limit:t.frame_limit conn.fd with
        | Protocol.Eof -> Atomic.set conn.alive false
        | Protocol.Oversized len ->
            Counters.incr "service.oversized";
@@ -408,28 +457,56 @@ let accept_loop t =
         match Unix.accept t.listen_fd with
         | exception Unix.Unix_error _ -> ()
         | fd, _ ->
-        let conn =
-          Mutex.lock t.conns_lock;
-          let cid = t.next_cid in
-          t.next_cid <- cid + 1;
-          let conn =
-            {
-              fd;
-              cid;
-              tenant = "c" ^ string_of_int cid;
-              alive = Atomic.make true;
-              wlock = Mutex.create ();
-            }
-          in
-          Hashtbl.replace t.conns cid conn;
-          Mutex.unlock t.conns_lock;
-          conn
-        in
-        Counters.incr "service.accept";
-            let th = Thread.create (fun () -> reader_loop t conn) () in
-            Mutex.lock t.conns_lock;
-            t.reader_threads <- th :: t.reader_threads;
-            Mutex.unlock t.conns_lock)
+            (* bound every blocking write syscall on this connection: a
+               peer that stops reading makes the write fail instead of
+               parking a server thread forever *)
+            (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.send_timeout
+             with Unix.Unix_error _ | Invalid_argument _ -> ());
+            let over =
+              Mutex.lock t.conns_lock;
+              let n = Hashtbl.length t.conns in
+              Mutex.unlock t.conns_lock;
+              n >= t.cfg.max_conns
+            in
+            if over then begin
+              (* connection cap: resident reader threads and per-frame
+                 buffers stay bounded no matter how many peers pile in;
+                 the reject is a best-effort structured reply *)
+              Counters.incr "service.conn_rejected";
+              (try
+                 Protocol.write_frame ~timeout:t.cfg.send_timeout fd
+                   (Protocol.encode_reply
+                      {
+                        id = 0;
+                        status = Protocol.Overloaded;
+                        message = "connection limit reached";
+                        payload = [||];
+                      })
+               with Unix.Unix_error _ | Sys_error _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ()
+            end
+            else begin
+              let conn =
+                Mutex.lock t.conns_lock;
+                let cid = t.next_cid in
+                t.next_cid <- cid + 1;
+                let conn =
+                  {
+                    fd;
+                    cid;
+                    tenant = "c" ^ string_of_int cid;
+                    alive = Atomic.make true;
+                    wlock = Mutex.create ();
+                    send_timeout = t.cfg.send_timeout;
+                  }
+                in
+                Hashtbl.replace t.conns cid conn;
+                Mutex.unlock t.conns_lock;
+                conn
+              in
+              Counters.incr "service.accept";
+              ignore (Thread.create (fun () -> reader_loop t conn) () : Thread.t)
+            end)
   done
 
 let start cfg =
@@ -455,6 +532,7 @@ let start cfg =
     {
       cfg;
       listen_fd;
+      frame_limit = Protocol.request_frame_bound ~max_total:cfg.max_total;
       queue =
         Admission.create ~max_pending:cfg.max_pending
           ~max_per_client:cfg.max_per_client ();
@@ -467,7 +545,7 @@ let start cfg =
       next_cid = 0;
       accept_thread = None;
       executor = None;
-      reader_threads = [];
+      readers = Hashtbl.create 16;
       sick_streak = 0;
       breaker_level = 0;
       breaker_until = 0.0;
@@ -501,8 +579,7 @@ let stop t =
       conns;
     let readers =
       Mutex.lock t.conns_lock;
-      let rs = t.reader_threads in
-      t.reader_threads <- [];
+      let rs = Hashtbl.fold (fun _ th acc -> th :: acc) t.readers [] in
       Mutex.unlock t.conns_lock;
       rs
     in
@@ -514,3 +591,9 @@ let stop t =
 let plan_count t = Plans.size t.plans
 
 let pending t = Admission.pending t.queue
+
+let reader_count t =
+  Mutex.lock t.conns_lock;
+  let n = Hashtbl.length t.readers in
+  Mutex.unlock t.conns_lock;
+  n

@@ -4,10 +4,14 @@
     engineered to stay up under hostile load; the robustness layers,
     outermost first:
 
-    - {b framing} — every read is bounded by a 4-byte length prefix;
-      malformed or oversized frames get an error reply, never a crash;
+    - {b framing} — every read is bounded by a 4-byte length prefix,
+      with the request limit derived from [max_total] rather than a
+      generous global; malformed or oversized frames get an error reply,
+      never a crash;
     - {b admission} — a bounded client-fair queue ({!Admission}); excess
-      load is shed immediately with [Overloaded];
+      load is shed immediately with [Overloaded], and concurrent
+      connections are capped at accept ([max_conns]) so reader threads
+      and frame buffers stay bounded;
     - {b deadlines} — a request's [deadline_ms] budget is enforced at
       dequeue and after execution ([Deadline] replies); executions can
       never hang because every pool/barrier wait in the runtime is
@@ -22,8 +26,10 @@
       reply, sick pools are healed and the suspect plan evicted, without
       touching other tenants' plans or queued requests;
     - {b connection supervision} — a client killed mid-request is
-      reaped; its pending work is purged and replies to it are dropped,
-      never wedging the executor.
+      reaped; its pending work is purged and replies to it are dropped;
+      reply writes are bounded by [send_timeout], so a live client that
+      stops reading is dropped the same way — neither a dead nor a
+      stalled peer can wedge the executor.
 
     Threading: accept loop and per-connection readers are systhreads;
     a single executor domain is the only thread that runs plans (the
@@ -35,18 +41,22 @@ type config = {
   mu : int;
   max_pending : int;  (** admission: global queue bound *)
   max_per_client : int;  (** admission: per-client pending bound *)
-  max_total : int;  (** largest problem (complex elements) served *)
+  max_conns : int;  (** concurrent connections; excess rejected at accept *)
+  max_total : int;  (** largest problem (complex elements) served; also
+                        sizes the request-frame limit *)
   max_plans : int;  (** resident plans before LRU eviction *)
   pool_timeout : float;  (** bound on every parallel wait (seconds) *)
+  send_timeout : float;  (** total budget for any one reply write; a
+                             peer that stops reading is dropped *)
   breaker_threshold : int;  (** consecutive sick executions to open *)
   backoff_base : float;  (** first backoff window (seconds) *)
   backoff_max : float;  (** backoff growth cap (seconds) *)
 }
 
 val default_config : socket_path:string -> unit -> config
-(** threads = 2, mu = 4, 256 pending (32 per client), 4M-element cap,
-    64 plans, 5 s pool timeout, breaker at 3 with 50 ms base / 2 s max
-    backoff. *)
+(** threads = 2, mu = 4, 256 pending (32 per client), 64 connections,
+    4M-element cap, 64 plans, 5 s pool timeout, 1 s send timeout,
+    breaker at 3 with 50 ms base / 2 s max backoff. *)
 
 type t
 
@@ -64,3 +74,7 @@ val stop : t -> unit
 
 val plan_count : t -> int
 val pending : t -> int
+
+val reader_count : t -> int
+(** Live reader threads (= live connections); readers prune their own
+    entry on exit, so this returns to 0 as connections close. *)

@@ -308,6 +308,144 @@ let test_e2e_frame_limits () =
       with_client path (fun c ->
           check_status "ping" "ok" (status_name (Client.ping c))))
 
+let test_e2e_stalled_reader () =
+  (* a LIVE client that stops reading (slow or malicious) must not wedge
+     the executor: its reply writes hit the send timeout, the connection
+     is dropped like a dead peer, and other tenants stay promptly
+     served *)
+  with_server
+    ~tweak:(fun c -> { c with Server.send_timeout = 0.2 })
+    (fun path _server ->
+      let stalled0 = Counters.get "service.client_stalled" in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      (* 16 x dft[2048] replies = 16 x 32 KiB, far beyond a unix socket
+         buffer; the stall is guaranteed once we never read them *)
+      let payload = Array.make 4096 0.5 in
+      (try
+         for id = 1 to 16 do
+           Protocol.write_frame fd
+             (Protocol.encode_request
+                {
+                  op = Protocol.Exec;
+                  id;
+                  deadline_ms = 0;
+                  descriptor = "dft[2048]f";
+                  payload;
+                })
+         done
+       with Unix.Unix_error _ ->
+         (* the server may drop us mid-burst once replies start timing
+            out — that is exactly the behavior under test *)
+         ());
+      let t0 = Unix.gettimeofday () in
+      with_client path (fun c ->
+          checked_exec c "dft[64]f";
+          check_status "ping after stall" "ok" (status_name (Client.ping c)));
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "honest tenant served promptly (%.2fs)" elapsed)
+        true (elapsed < 10.0);
+      let rec settle tries =
+        if Counters.get "service.client_stalled" > stalled0 then ()
+        else if tries = 0 then Alcotest.fail "stalled client never detected"
+        else begin
+          Unix.sleepf 0.1;
+          settle (tries - 1)
+        end
+      in
+      settle 100;
+      Unix.close fd)
+
+let test_e2e_conn_cap () =
+  with_server
+    ~tweak:(fun c -> { c with Server.max_conns = 2 })
+    (fun path _server ->
+      with_client path (fun c1 ->
+          with_client path (fun c2 ->
+              check_status "c1" "ok" (status_name (Client.ping c1));
+              check_status "c2" "ok" (status_name (Client.ping c2));
+              (* a third connection is rejected with a structured reply
+                 and closed — the server never grows a reader for it *)
+              let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              Unix.connect fd (Unix.ADDR_UNIX path);
+              (match Protocol.read_frame fd with
+              | Protocol.Frame body -> (
+                  match Protocol.decode_reply body with
+                  | Ok r ->
+                      check_status "over-cap rejected" "overloaded"
+                        (Protocol.status_to_string r.status)
+                  | Error e -> Alcotest.failf "undecodable reject: %s" e)
+              | Protocol.Eof -> Alcotest.fail "no rejection reply"
+              | Protocol.Oversized _ -> Alcotest.fail "reject oversized");
+              (match Protocol.read_frame fd with
+              | Protocol.Eof -> ()
+              | _ -> Alcotest.fail "rejected connection left open");
+              Unix.close fd);
+          (* closing a connection frees its slot (after the reader reaps
+             it, hence the retry) *)
+          let rec retry tries =
+            let c = Client.connect path in
+            match Client.ping c with
+            | r ->
+                Client.close c;
+                check_status "slot freed" "ok" (status_name r)
+            | exception Client.Disconnected ->
+                Client.close c;
+                if tries = 0 then Alcotest.fail "slot never freed"
+                else begin
+                  Unix.sleepf 0.1;
+                  retry (tries - 1)
+                end
+          in
+          retry 30))
+
+let test_e2e_derived_frame_limit () =
+  (* the per-frame memory bound follows the configured max_total: a
+     frame far under the permissive 128 MiB default must still be
+     rejected when the server is sized for small problems *)
+  with_server
+    ~tweak:(fun c -> { c with Server.max_total = 1024 })
+    (fun path _server ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 (Int32.of_int (1024 * 1024));
+      ignore (Unix.write fd header 0 4);
+      (match Protocol.read_frame fd with
+      | Protocol.Frame body -> (
+          match Protocol.decode_reply body with
+          | Ok r ->
+              check_status "1 MiB frame rejected on a 1k-element server"
+                "bad-request"
+                (Protocol.status_to_string r.status)
+          | Error e -> Alcotest.failf "undecodable reply: %s" e)
+      | Protocol.Eof -> Alcotest.fail "connection dropped without a reply"
+      | Protocol.Oversized _ -> Alcotest.fail "reply oversized");
+      Unix.close fd;
+      (* legitimate requests still fit comfortably under the bound *)
+      with_client path (fun c -> checked_exec c "dft[64]f"))
+
+let test_e2e_reader_prune () =
+  (* connection churn must not grow the reader-thread table: each reader
+     prunes its own entry when its connection dies *)
+  with_server (fun path server ->
+      for _ = 1 to 10 do
+        with_client path (fun c ->
+            check_status "ping" "ok" (status_name (Client.ping c)))
+      done;
+      let rec settle tries =
+        if Server.reader_count server = 0 then ()
+        else if tries = 0 then
+          Alcotest.failf "reader threads not pruned: %d left"
+            (Server.reader_count server)
+        else begin
+          Unix.sleepf 0.05;
+          settle (tries - 1)
+        end
+      in
+      settle 60)
+
 let test_e2e_graceful_stop () =
   let path = sock_path () in
   let cfg = Server.default_config ~socket_path:path () in
@@ -364,6 +502,13 @@ let suite =
       test_e2e_abrupt_disconnect;
     Alcotest.test_case "e2e: oversized frame rejected" `Quick
       test_e2e_frame_limits;
+    Alcotest.test_case "e2e: stalled reader can't wedge the executor" `Quick
+      test_e2e_stalled_reader;
+    Alcotest.test_case "e2e: connection cap" `Quick test_e2e_conn_cap;
+    Alcotest.test_case "e2e: frame limit derives from max_total" `Quick
+      test_e2e_derived_frame_limit;
+    Alcotest.test_case "e2e: reader threads are pruned" `Quick
+      test_e2e_reader_prune;
     Alcotest.test_case "e2e: graceful stop" `Quick test_e2e_graceful_stop;
     Alcotest.test_case "soak: chaos invariants" `Slow test_soak;
   ]
