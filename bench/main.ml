@@ -22,6 +22,7 @@ let only : string list ref = ref []
 let json_out : string option ref = ref None
 let reps_override : int option ref = ref None
 let trace_out : string option ref = ref None
+let residency_name = ref "auto"
 
 let () =
   let rec parse = function
@@ -49,6 +50,21 @@ let () =
         parse rest
     | "--trace" :: v :: rest ->
         trace_out := Some v;
+        parse rest
+    | "--spin-limit" :: v :: rest ->
+        Spiral_smp.Par_exec.default_spin_limit := Some (int_of_string v);
+        parse rest
+    | "--resident" :: v :: rest ->
+        (Spiral_smp.Par_exec.default_residency :=
+           match v with
+           | "auto" -> `Auto
+           | "on" -> `On
+           | "off" -> `Off
+           | _ -> failwith "expected --resident auto|on|off");
+        residency_name := v;
+        parse rest
+    | "--resident-idle" :: v :: rest ->
+        Spiral_smp.Par_exec.default_resident_idle := float_of_string v;
         parse rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
@@ -686,6 +702,12 @@ let run_json file =
     "  \"benchmark\": \"spiral-smp wall-clock (host machine, not simulated)\",\n";
   Buffer.add_string buf
     "  \"pseudo_mflops\": \"5 N log2(N) / microseconds per transform\",\n";
+  (* the host the numbers were taken on: the crossover guard only holds
+     parallel-speedup ceilings against runs with cores >= 2 *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"machine\": {\"cores\": %d, \"residency\": \"%s\"},\n"
+       Spiral_smp.Spinwait.cores !residency_name);
   Buffer.add_string buf "  \"sizes\": [\n";
   let pools = List.map (fun p -> (p, Spiral_smp.Pool.create p)) worker_counts in
   (* (logn, t_seq, (p, t_par) list), for the final crossover summary *)
@@ -801,22 +823,35 @@ let run_json file =
              (t_seq /. List.assoc 2 pars));
         addf
           (Printf.sprintf "\"barrier_elisions_per_transform\": %d" !elisions);
-        (* one traced execution, strictly after every timed round of this
-           size, so tracing never contaminates the reported series *)
+        (* traced executions, strictly after every timed round of this
+           size, so tracing never contaminates the reported series.
+           Scheduler noise only ever inflates a traced wait, so each
+           observability figure is the minimum over a few rounds *)
         Option.iter
           (fun prep ->
-            Trace.enable ~workers:2 ();
-            Spiral_smp.Par_exec.execute_prepared prep x y;
-            Trace.disable ();
-            let r = Trace.report () in
+            let best_wait = ref infinity
+            and best_imb = ref infinity
+            and best_disp = ref infinity in
+            for round = 1 to 5 do
+              Trace.enable ~workers:2 ();
+              Spiral_smp.Par_exec.execute_prepared prep x y;
+              Trace.disable ();
+              let r = Trace.report () in
+              if r.Trace.barrier_wait_frac < !best_wait then
+                best_wait := r.Trace.barrier_wait_frac;
+              if r.Trace.load_imbalance < !best_imb then
+                best_imb := r.Trace.load_imbalance;
+              if r.Trace.dispatch_latency_ns < !best_disp then
+                best_disp := r.Trace.dispatch_latency_ns;
+              if round = 5 then
+                last_trace := Some (logn, Trace.to_chrome_json ());
+              Trace.clear ()
+            done;
             addf
               (Printf.sprintf
                  "\"par2_observability\": {\"barrier_wait_frac\": %.4f, \
                   \"load_imbalance\": %.3f, \"dispatch_latency_us\": %.3f}"
-                 r.Trace.barrier_wait_frac r.Trace.load_imbalance
-                 (r.Trace.dispatch_latency_ns /. 1000.0));
-            last_trace := Some (logn, Trace.to_chrome_json ());
-            Trace.clear ())
+                 !best_wait !best_imb (!best_disp /. 1000.0)))
           !par2_prep
       end;
       sweep := (logn, t_seq, pars) :: !sweep;

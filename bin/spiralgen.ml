@@ -199,6 +199,54 @@ let cmd_run =
              both per-call execution and Batch.execute_many, which runs a \
              whole sequence of batches inside a single parallel region.")
   in
+  let residency_conv =
+    Arg.conv
+      ( (function
+        | "auto" -> Ok `Auto
+        | "on" -> Ok `On
+        | "off" -> Ok `Off
+        | s -> Error (`Msg ("expected auto|on|off, got " ^ s))),
+        fun ppf r ->
+          Format.pp_print_string ppf
+            (match r with `Auto -> "auto" | `On -> "on" | `Off -> "off") )
+  in
+  let resident_arg =
+    Arg.(
+      value & opt residency_conv `Auto
+      & info [ "resident" ] ~docv:"MODE"
+          ~doc:
+            "Cross-call residency policy for prepared parallel plans: \
+             $(b,on) pins the pool's workers inside a resident region on \
+             the first execution, $(b,off) pays a full pool rendezvous per \
+             call, $(b,auto) (default) pins after a few consecutive \
+             executions.  A non-zero $(b,smp.timed_sleep) counter in \
+             --metrics output means residency was lost (workers fell \
+             through spin and park to timed sleep).")
+  in
+  let resident_idle_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "resident-idle" ] ~docv:"SECONDS"
+          ~doc:
+            "Idle deadline after which a resident region's workers release \
+             themselves back to the shared pool (counted under \
+             $(b,pool.region_decay)).")
+  in
+  let spin_limit_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "spin-limit" ] ~docv:"ITERS"
+          ~doc:
+            "Spin budget before a waiting worker parks on the OS \
+             eventcount — governs barrier waits and resident workers' \
+             between-call pickup (default: the machine-derived \
+             Spinwait limit).")
+  in
+  let apply_smp_knobs resident resident_idle spin_limit =
+    Spiral_smp.Par_exec.default_residency := resident;
+    Spiral_smp.Par_exec.default_resident_idle := resident_idle;
+    Spiral_smp.Par_exec.default_spin_limit := spin_limit
+  in
   let run_batch n p mu reps batch trace metrics =
     Spiral_fft.Batch.with_plan ~threads:p ~mu ~count:batch n (fun bt ->
         let x = Cvec.random (batch * n) in
@@ -246,7 +294,8 @@ let cmd_run =
         write_metrics metrics;
         0)
   in
-  let run n p mu reps batch trace metrics =
+  let run n p mu reps batch trace metrics resident resident_idle spin_limit =
+    apply_smp_knobs resident resident_idle spin_limit;
     if n < 1 || batch < 1 then begin
       Printf.eprintf "error: N and B must be >= 1\n";
       1
@@ -311,7 +360,7 @@ let cmd_run =
   Cmd.v (Cmd.info "run" ~doc:"Execute on this host and verify")
     Term.(
       const run $ n_arg $ p_arg $ mu_arg $ reps_arg $ batch_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ resident_arg $ resident_idle_arg $ spin_limit_arg)
 
 let cmd_search =
   let run n machine =
@@ -362,7 +411,11 @@ let socket_arg =
 
 let cmd_serve =
   let run socket threads mu max_pending max_per_client max_conns max_plans
-      pool_timeout send_timeout =
+      pool_timeout send_timeout warm =
+    let warm =
+      List.filter (fun s -> s <> "")
+        (List.map String.trim (String.split_on_char ',' warm))
+    in
     let cfg = Spiral_service.Server.default_config ~socket_path:socket () in
     let cfg =
       {
@@ -375,6 +428,7 @@ let cmd_serve =
         max_plans;
         pool_timeout;
         send_timeout;
+        warm;
       }
     in
     match Spiral_service.Server.start cfg with
@@ -388,6 +442,13 @@ let cmd_serve =
         Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
         Printf.printf "spiralgen: serving on %s (threads=%d, mu=%d)\n%!" socket
           threads mu;
+        if warm <> [] then begin
+          let ok = Counters.get "service.warm_plan"
+          and bad = Counters.get "service.warm_fail" in
+          Printf.printf "spiralgen: warmed %d plan(s)%s\n%!" ok
+            (if bad = 0 then ""
+             else Printf.sprintf " (%d descriptor(s) failed to plan)" bad)
+        end;
         while not (Atomic.get stop) do
           Unix.sleepf 0.2
         done;
@@ -425,11 +486,18 @@ let cmd_serve =
          ~doc:"Bound on any one reply write; a client that stops reading \
                is disconnected.")
   in
+  let warm =
+    Arg.(value & opt string "" & info [ "warm" ] ~docv:"DESCS"
+         ~doc:"Comma-separated problem descriptors (e.g. \
+               'dft[1024]f,rfft[512]f') planned at boot, before the \
+               socket accepts — the first request for a warmed transform \
+               skips derivation and plan-cache population.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the resident FFT daemon on a Unix-domain socket")
     Term.(
       const run $ socket_arg $ threads $ mu_arg $ max_pending $ max_per_client
-      $ max_conns $ max_plans $ pool_timeout $ send_timeout)
+      $ max_conns $ max_plans $ pool_timeout $ send_timeout $ warm)
 
 let cmd_client =
   let run socket op descriptor deadline_ms count tenant seed =

@@ -153,6 +153,10 @@ let scratch t =
 let destroy t =
   if t.alive then begin
     t.alive <- false;
+    (* retire any resident region before the pool goes back to the
+       registry: an abandoned region would occupy the shared pool until
+       another plan evicts it or its idle decay fires *)
+    Option.iter Spiral_smp.Par_exec.release t.prep;
     Option.iter Spiral_smp.Pool_registry.release t.pool
   end
 

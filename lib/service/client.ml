@@ -37,7 +37,16 @@ let rec wait t id =
       Hashtbl.remove t.stash id;
       reply
   | None -> (
-      match Protocol.read_frame t.fd with
+      (* a peer that closed with our frame still in flight answers the
+         read with RST, not a clean EOF — same outcome for the caller *)
+      match
+        try Protocol.read_frame t.fd
+        with
+        | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+        | Sys_error _
+        ->
+          Protocol.Eof
+      with
       | Protocol.Eof | Protocol.Oversized _ -> raise Disconnected
       | Protocol.Frame body -> (
           match Protocol.decode_reply body with

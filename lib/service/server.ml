@@ -56,6 +56,7 @@ type config = {
   breaker_threshold : int;  (* consecutive sick executions to open *)
   backoff_base : float;  (* first backoff window (seconds) *)
   backoff_max : float;  (* backoff growth cap *)
+  warm : string list;  (* descriptors planned at boot, before accept *)
 }
 
 let default_config ~socket_path () =
@@ -73,6 +74,7 @@ let default_config ~socket_path () =
     breaker_threshold = 3;
     backoff_base = 0.05;
     backoff_max = 2.0;
+    warm = [];
   }
 
 type conn = {
@@ -551,6 +553,18 @@ let start cfg =
       breaker_until = 0.0;
     }
   in
+  (* plan warm descriptors before the socket starts accepting: the first
+     request for a warmed transform hits a cached plan instead of paying
+     derivation and pool-residency establishment on its own latency.
+     Runs on this thread, before the executor domain exists, so the
+     one-dispatcher discipline holds.  Bad descriptors are counted, not
+     fatal — a typo in a boot flag must not take the service down. *)
+  List.iter
+    (fun d ->
+      match Plans.lookup t.plans d with
+      | Ok _ -> Counters.incr "service.warm_plan"
+      | Error _ -> Counters.incr "service.warm_fail")
+    cfg.warm;
   t.executor <- Some (Domain.spawn (fun () -> executor_loop t));
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t

@@ -51,12 +51,18 @@ type config = {
   breaker_threshold : int;  (** consecutive sick executions to open *)
   backoff_base : float;  (** first backoff window (seconds) *)
   backoff_max : float;  (** backoff growth cap (seconds) *)
+  warm : string list;
+      (** descriptors planned at boot, before the socket accepts — the
+          first request for a warmed transform skips derivation and
+          plan-cache population ([spiralgen serve --warm]).  Successes
+          and failures are counted under ["service.warm_plan"] /
+          ["service.warm_fail"]; a bad descriptor is never fatal. *)
 }
 
 val default_config : socket_path:string -> unit -> config
 (** threads = 2, mu = 4, 256 pending (32 per client), 64 connections,
     4M-element cap, 64 plans, 5 s pool timeout, 1 s send timeout,
-    breaker at 3 with 50 ms base / 2 s max backoff. *)
+    breaker at 3 with 50 ms base / 2 s max backoff, no warm plans. *)
 
 type t
 

@@ -15,7 +15,16 @@
     barrier is {e broken} — the arrival count no longer matches
     reality — and must be discarded; the supervised executor
     ({!Par_exec.execute_safe}) rebuilds the pool and the barrier after
-    any timeout. *)
+    any timeout.
+
+    When [p = 2] the generic arrive/release machinery is skipped for a
+    specialized two-party rendezvous on a single atomic word: each
+    participant fetch-and-adds a shared ticket counter; an even ticket
+    is the episode's first arrival (it waits for the word to advance by
+    2), an odd ticket's own increment {e is} the release.  No counter
+    reset, no sense flip, one cache line of shared state.  Selected
+    automatically by {!create}; the {!wait} contract (fault site,
+    timeout, trace spans) is identical. *)
 
 type t
 

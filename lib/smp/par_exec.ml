@@ -225,6 +225,24 @@ let run_worker_pass ctx sched p ~src ~dst ~workers w =
    then exactly one pool dispatch, the interior barriers, and one join
    (the barrier after the final pass is subsumed by the join). *)
 
+type residency = [ `Auto | `On | `Off ]
+
+(* Process-wide residency defaults, consulted by [prepare] when the
+   caller passes nothing: the CLI knobs (`spiralgen run --resident ...`)
+   set these instead of threading new parameters through every
+   front-end. *)
+let default_residency : residency ref = ref `Auto
+let default_resident_idle = ref 0.25
+let default_spin_limit : int option ref = ref None
+
+(* Adaptive residency admission: pin after [pin_initial] consecutive
+   dispatches without losing the pool; double the threshold (up to
+   [pin_max]) each time another plan evicts us, so two plans alternating
+   on one shared pool degrade to plain pooled dispatch instead of
+   ping-ponging region setup/teardown. *)
+let pin_initial = 3
+let pin_max = 256
+
 type prepared = {
   plan : Plan.t;
   pool : Pool.t;
@@ -239,6 +257,14 @@ type prepared = {
       (* static legality of eliding the barrier between consecutive
          transforms of [execute_many]; see [compute_wrap_elidable] *)
   timeout : float option;
+  residency : residency;
+  idle : float;  (* resident-region decay deadline, seconds *)
+  spin : int option;  (* resident workers' between-call spin budget *)
+  mutable region : Pool.region option;
+      (* the resident region this plan currently holds on [pool], if
+         any; dispatcher-thread state like everything else here *)
+  mutable streak : int;  (* consecutive dispatches since last pool loss *)
+  mutable pin_after : int;  (* current adaptive admission threshold *)
   mutable barrier : Barrier.t;
   mutable bctxs : Barrier.ctx array;
       (* persistent senses: reused across calls, refreshed (with the
@@ -324,7 +350,8 @@ let pass_ranges schedule ~workers (p : Plan.pass) =
       Array.init workers (fun w ->
           if w = 0 then [| (0, p.Plan.count) |] else [||])
 
-let prepare pool ?(schedule = Block) ?(elide = true) ?timeout plan =
+let prepare pool ?(schedule = Block) ?(elide = true) ?timeout ?resident
+    ?resident_idle ?spin_limit plan =
   let workers = Pool.size pool in
   let mask =
     if elide then elision_mask ~schedule ~workers plan else empty_mask
@@ -339,7 +366,16 @@ let prepare pool ?(schedule = Block) ?(elide = true) ?timeout plan =
   let timeout =
     match timeout with Some t -> Some t | None -> Some (Pool.timeout pool)
   in
-  let barrier = Barrier.create ?timeout workers in
+  let residency =
+    match resident with Some r -> r | None -> !default_residency
+  in
+  let idle =
+    match resident_idle with Some s -> s | None -> !default_resident_idle
+  in
+  let spin =
+    match spin_limit with Some _ as s -> s | None -> !default_spin_limit
+  in
+  let barrier = Barrier.create ?timeout ?spin_limit:spin workers in
   {
     plan;
     pool;
@@ -351,6 +387,12 @@ let prepare pool ?(schedule = Block) ?(elide = true) ?timeout plan =
     elided;
     wrap_elidable = compute_wrap_elidable ~schedule ~workers mask plan;
     timeout;
+    residency;
+    idle;
+    spin;
+    region = None;
+    streak = 0;
+    pin_after = pin_initial;
     barrier;
     bctxs =
       Array.init workers (fun w ->
@@ -360,12 +402,80 @@ let prepare pool ?(schedule = Block) ?(elide = true) ?timeout plan =
   }
 
 let refresh t =
-  t.barrier <- Barrier.create ?timeout:t.timeout t.workers;
+  t.barrier <- Barrier.create ?timeout:t.timeout ?spin_limit:t.spin t.workers;
   t.bctxs <-
     Array.init t.workers (fun w ->
         let c = Barrier.make_ctx t.barrier in
         Barrier.set_worker c w;
         c)
+
+(* ---------------------------------------------------------------- *)
+(* Three-tier dispatch: resident region → pooled run → (in the
+   supervised wrappers) sequential fallback.  [dispatch] is the single
+   entry every prepared execution goes through. *)
+
+let region_teardown t =
+  match t.region with
+  | Some r ->
+      Pool.region_end r;
+      t.region <- None;
+      t.streak <- 0
+  | None -> ()
+
+let release t = region_teardown t
+
+(* Another plan's region holds our pool (a live region owns the pool's
+   busy flag): retire it so this dispatch can proceed.  The evicted plan
+   discovers the loss on its next dispatch and backs off. *)
+let evict_foreign t =
+  match Pool.resident t.pool with
+  | Some r ->
+      Pool.region_end r;
+      Counters.incr "pool.region_evict"
+  | None -> ()
+
+let dispatch_cold t body =
+  evict_foreign t;
+  let pin =
+    t.workers > 1
+    &&
+    match t.residency with
+    | `On -> true
+    | `Off -> false
+    | `Auto -> t.streak >= t.pin_after
+  in
+  if pin then begin
+    match Pool.region_begin ?spin_limit:t.spin ~idle:t.idle t.pool with
+    | r ->
+        t.region <- Some r;
+        if not (Pool.region_run r body) then begin
+          (* decayed before the first call could win the CAS (only
+             plausible with a sub-millisecond idle deadline) *)
+          region_teardown t;
+          Pool.run t.pool body
+        end
+    | exception Invalid_argument _ ->
+        (* lost the pool between evict and begin (or it is poisoned):
+           let the pooled path raise its own diagnostics *)
+        Pool.run t.pool body
+  end
+  else begin
+    Pool.run t.pool body;
+    t.streak <- t.streak + 1
+  end
+
+let dispatch t body =
+  match t.region with
+  | Some r ->
+      if not (Pool.region_run r body) then begin
+        (* region over: idle decay (rended still false) or eviction by
+           another plan sharing the pool *)
+        let evicted = Pool.region_ended r in
+        region_teardown t;
+        if evicted then t.pin_after <- min pin_max (t.pin_after * 2);
+        dispatch_cold t body
+      end
+  | None -> dispatch_cold t body
 
 let check_vec name plan v =
   if Array.length v <> 2 * plan.Plan.n then
@@ -385,7 +495,7 @@ let execute_prepared t x y =
   let np = Array.length plan.Plan.passes in
   let nb = Array.length t.mask in
   try
-    Pool.run t.pool (fun w ->
+    dispatch t (fun w ->
         let bctx = t.bctxs.(w) in
         let ctx = Plan.worker_ctx plan w in
         for k = 0 to np - 1 do
@@ -395,14 +505,17 @@ let execute_prepared t x y =
           Trace.begin_span w Trace.cat_pass k;
           run_ranges ctx plan.Plan.passes.(k) t.ranges.(k).(w) ~src ~dst;
           Trace.end_span w Trace.cat_pass k;
-          (* no barrier after the final pass: the pool join is the
-             rendezvous that releases the caller *)
+          (* no barrier after the final pass: the pool/region join is
+             the rendezvous that releases the caller *)
           if k < np - 1 then
             if k >= nb || not t.mask.(k) then Barrier.wait t.barrier bctx
             else Trace.mark w Trace.cat_elided k
         done)
   with e ->
-    (* any failure strands arrival counts and senses mid-phase *)
+    (* any failure strands arrival counts and senses mid-phase; drop
+       residency too so a heal (which needs the pool's busy flag clear)
+       can rebuild the workers *)
+    region_teardown t;
     refresh t;
     raise e
 
@@ -438,7 +551,7 @@ let execute_many t jobs =
     let np = Array.length plan.Plan.passes in
     let nb = Array.length t.mask in
     try
-      Pool.run t.pool (fun w ->
+      dispatch t (fun w ->
           let bctx = t.bctxs.(w) in
           let ctx = Plan.worker_ctx plan w in
           for j = 0 to njobs - 1 do
@@ -460,6 +573,7 @@ let execute_many t jobs =
             done
           done)
     with e ->
+      region_teardown t;
       refresh t;
       raise e
   end

@@ -76,30 +76,74 @@ val misaligned_lines : workers:int -> Spiral_codegen.Plan.t -> int
 
 type prepared
 (** A plan-baked parallel schedule bound to a pool: iteration ranges,
-    elision mask, barrier and per-worker senses, worker scratch. *)
+    elision mask, barrier and per-worker senses, worker scratch — plus
+    the plan's residency state (the {!Pool.region} it currently holds,
+    if any). *)
+
+type residency = [ `Auto | `On | `Off ]
+(** Whether a prepared plan may pin the pool's workers inside a
+    cross-call resident region ({!Pool.region_begin}): [`On] pins on the
+    first execution, [`Off] never pins (every call is a full pool
+    rendezvous), [`Auto] (the default) pins after a few consecutive
+    executions and backs off exponentially when another plan sharing the
+    pool evicts it. *)
+
+val default_residency : residency ref
+(** Residency policy applied by {!prepare} when none is given
+    ([`Auto]).  The `spiralgen` [--resident] flag sets this. *)
+
+val default_resident_idle : float ref
+(** Idle-decay deadline (seconds, default 0.25) applied by {!prepare}
+    when none is given: a resident region whose workers see no call for
+    this long releases them back to the pool's ordinary idle park
+    (counted under ["pool.region_decay"]). *)
+
+val default_spin_limit : int option ref
+(** Spin budget override applied by {!prepare} when none is given
+    (default [None]: the {!Spinwait.spin_limit_for} machine default).
+    Governs both the prepared barrier's waits and resident workers'
+    between-call spinning. *)
 
 val prepare :
   Pool.t ->
   ?schedule:schedule ->
   ?elide:bool ->
   ?timeout:float ->
+  ?resident:residency ->
+  ?resident_idle:float ->
+  ?spin_limit:int ->
   Spiral_codegen.Plan.t ->
   prepared
 (** Bake the parallel schedule of [plan] on this pool.  [elide] (default
     [true]) enables barrier elision; [timeout] bounds every inter-pass
-    barrier wait (default {!Barrier.default_timeout}).  The prepared
-    schedule assumes the pool keeps its size; it may be reused for any
-    number of executions, including after failures (the barrier state is
-    refreshed internally when an execution raises). *)
+    barrier wait (default: the pool's timeout).  [resident],
+    [resident_idle] and [spin_limit] override the process-wide residency
+    defaults above.  The prepared schedule assumes the pool keeps its
+    size; it may be reused for any number of executions, including after
+    failures (the barrier and residency state are refreshed internally
+    when an execution raises). *)
+
+val release : prepared -> unit
+(** Retire the prepared plan's resident region, if it holds one,
+    releasing the pool for other plans ({!Pool.region_end}).  Idempotent
+    and cheap when nothing is pinned; call it before dropping a
+    long-lived [prepared] (e.g. {!Engine.destroy}) — an abandoned
+    region would otherwise occupy the pool until evicted or
+    idle-decayed. *)
 
 val execute_prepared :
   prepared -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t -> unit
-(** Pooled execution with spin barriers between passes.  Sequential passes
-    (no [par] annotation) run on worker 0 while others wait.  Elided
+(** Parallel execution with spin barriers between passes, through the
+    three-tier dispatch: a steady-state call on a resident region costs
+    one CAS on the region's sequence word (plus a wake if a worker
+    parked); otherwise a full pool rendezvous ({!Pool.run}); the
+    supervised wrappers add the sequential tier.  Sequential passes (no
+    [par] annotation) run on worker 0 while others wait.  Elided
     barriers are counted into {!Spiral_util.Counters} under
     ["par_exec.barrier_elided"]; each pass declares the fault-injection
     site ["par_exec.pass"] ({!Spiral_util.Fault}).  The barrier after the
-    final pass is subsumed by the pool join.
+    final pass is subsumed by the pool/region join.  Any failure drops
+    residency (so the pool can heal) and refreshes the barrier.
     @raise Pool.Worker_errors, Pool.Deadlock on worker failure. *)
 
 val execute_safe_prepared :

@@ -20,6 +20,12 @@ let () =
    from a slow one. *)
 type worker_state = { finished : bool Atomic.t; alive : bool Atomic.t }
 
+(* Internal marker: a resident worker signalling that its domain must
+   die (injected domain death inside a region).  The worker loop
+   re-raises the payload so the usual death path (liveness flag, joiner
+   wake) runs, instead of recording it as an ordinary job error. *)
+exception Region_poison of exn
+
 type t = {
   p : int;
   mutable job : int -> unit;
@@ -43,7 +49,43 @@ type t = {
       (* workers yet to finish the current job; the worker that brings it
          to zero wakes the joiner, so intermediate finishes never cause a
          spurious context switch of the caller *)
+  mutable resident : region option;
+      (* the parallel region currently pinning this pool's workers, if
+         any.  Written only by the dispatching thread (the same
+         single-dispatcher discipline [busy] relies on); read by dying
+         workers to wake the region joiner. *)
 }
+
+(* A cross-call resident parallel region: one long-running pool job that
+   occupies every worker, inside which per-call work is dispatched by a
+   single CAS on [rseq] — no pool-level generation bump, no error-list
+   reset, no completion-flag sweep.  Workers spin-then-park on the
+   region's own eventcount between calls and decay back to the pool's
+   idle park (one CAS to the [region_retired] sentinel) after [ridle]
+   seconds without work, so a pinned-but-forgotten plan never burns a
+   core. *)
+and region = {
+  rpool : t;
+  rseq : int Atomic.t;
+      (* current call sequence, or [region_retired] once the region is
+         over (idle decay by a worker, or retirement by the dispatcher).
+         Both transitions are CASes from the current sequence, so a
+         decay racing a dispatch linearizes: exactly one wins. *)
+  mutable rjob : int -> unit;
+      (* written by [region_run] strictly before its [rseq] CAS; workers
+         read it only after observing the new sequence *)
+  rremaining : int Atomic.t;
+  rdispatch_ec : Spinwait.eventcount;  (* idle resident workers *)
+  rjoin_ec : Spinwait.eventcount;  (* the per-call joining caller *)
+  rspin : int;  (* worker spin budget before parking between calls *)
+  ridle : float;  (* seconds of idle before decay; infinity pins forever *)
+  mutable rbusy : bool;  (* re-entrancy guard for [region_run] *)
+  mutable rended : bool;
+      (* dispatcher-side retirement flag: distinguishes an eviction/end
+         (dispatcher sealed the region) from a worker's idle decay *)
+}
+
+let region_retired = min_int
 
 let record t e =
   Mutex.lock t.err_mutex;
@@ -76,9 +118,14 @@ let worker_loop t w ~seen0 =
          let job = t.job in
          Trace.begin_span w Trace.cat_job !seen;
          (* Simulated domain death: an injection here escapes the job
-            try-block below, so the whole worker loop unwinds. *)
+            try-block below, so the whole worker loop unwinds.  Inside a
+            resident region the per-call fault check wraps itself in
+            [Region_poison] to reach the same death path through the
+            handler below. *)
          Fault.check "pool.worker";
-         (try job w with e -> record t e);
+         (try job w with
+         | Region_poison e -> raise e
+         | e -> record t e);
          Trace.end_span w Trace.cat_job !seen;
          Atomic.set st.finished true;
          (* Only the last finisher wakes the joiner; if this protocol is
@@ -94,8 +141,13 @@ let worker_loop t w ~seen0 =
      record t e);
   Atomic.set st.alive false;
   (* Wake a parked joiner so it notices the death now, not at a
-     watchdog tick. *)
-  Spinwait.wake_all ~ec:t.join_ec ()
+     watchdog tick — including a joiner parked on a resident region's
+     own eventcount (benign race on the mutable field: a missed wake is
+     recovered by the joiner's watchdog-ticked abort check). *)
+  Spinwait.wake_all ~ec:t.join_ec ();
+  match t.resident with
+  | Some r -> Spinwait.wake_all ~ec:r.rjoin_ec ()
+  | None -> ()
 
 let default_timeout = ref 30.0
 
@@ -141,6 +193,7 @@ let create ?timeout ?spin_limit p =
       dispatch_ec = Spinwait.eventcount ();
       join_ec = Spinwait.eventcount ();
       remaining = Atomic.make 0;
+      resident = None;
     }
   in
   spawn_workers t;
@@ -174,6 +227,213 @@ let missing_report t =
   let ids l = String.concat "," (List.rev_map string_of_int l) in
   Printf.sprintf "dead workers [%s], unresponsive workers [%s]" (ids !dead)
     (ids !stuck)
+
+(* ---- cross-call resident regions ---- *)
+
+let resident t = t.resident
+
+let region_live r = (not r.rended) && Atomic.get r.rseq <> region_retired
+
+let region_ended r = r.rended
+
+(* The long-running pool job each resident worker executes: wait for the
+   next call sequence (or decay after [ridle] seconds without one), run
+   the call, check in on the region's remaining counter.  Exits on the
+   [region_retired] sentinel — set by a decaying worker or by the
+   dispatcher's [region_end] — after which the worker is back in the
+   pool's ordinary idle park. *)
+let region_worker r w ~seen0 =
+  let t = r.rpool in
+  let seen = ref seen0 in
+  let running = ref true in
+  while !running do
+    Trace.begin_span w Trace.cat_park 0;
+    let outcome =
+      Spinwait.wait ~spin_limit:r.rspin ~ec:r.rdispatch_ec ~timeout:r.ridle
+        (fun () -> Atomic.get r.rseq <> !seen)
+    in
+    Trace.end_span w Trace.cat_park 0;
+    match outcome with
+    | Spinwait.Ready ->
+        let s = Atomic.get r.rseq in
+        if s = region_retired then running := false
+        else begin
+          seen := s;
+          let job = r.rjob in
+          Trace.begin_span w Trace.cat_job s;
+          (* Simulated domain death inside the region: route through
+             [Region_poison] so the worker loop's death path runs (a
+             plain raise here would be recorded as a job error and leave
+             the domain alive). *)
+          (match Fault.check "pool.worker" with
+          | () -> ()
+          | exception e -> raise (Region_poison e));
+          (try job w with e -> record t e);
+          Trace.end_span w Trace.cat_job s;
+          if Atomic.fetch_and_add r.rremaining (-1) = 1 then
+            Spinwait.wake_all ~ec:r.rjoin_ec ()
+        end
+    | Spinwait.TimedOut _ ->
+        (* Idle decay: CAS the current sequence to the sentinel.  Losing
+           the race means either a fresh dispatch (loop and run it) or a
+           peer's decay (loop and exit on the sentinel). *)
+        if Atomic.compare_and_set r.rseq !seen region_retired then begin
+          Counters.incr "pool.region_decay";
+          Spinwait.wake_all ~ec:r.rdispatch_ec ();
+          running := false
+        end
+    | Spinwait.Aborted -> ()
+  done
+
+let region_begin ?spin_limit ?(idle = infinity) t =
+  if Atomic.get t.stop then
+    invalid_arg "Pool.region_begin: pool is shut down";
+  if t.busy then
+    invalid_arg "Pool.region_begin: pool is busy (another region or run?)";
+  if t.poisoned then
+    invalid_arg
+      "Pool.region_begin: pool is poisoned after a deadlock; Pool.heal it";
+  if not (idle > 0.0) then invalid_arg "Pool.region_begin: idle > 0";
+  t.busy <- true;  (* held for the region's lifetime, until [region_end] *)
+  Mutex.lock t.err_mutex;
+  t.errors <- [];
+  Mutex.unlock t.err_mutex;
+  Array.iter (fun st -> Atomic.set st.finished false) t.workers;
+  Atomic.set t.remaining (t.p - 1);
+  (* Call sequences live in a range disjoint from pool generations (the
+     hosting generation shifted up), so trace dispatch marks of region
+     calls never collide with pool-level dispatches in a report. *)
+  let seen0 = (Atomic.get t.gen + 1) lsl 20 in
+  let r =
+    {
+      rpool = t;
+      rseq = Atomic.make seen0;
+      rjob = ignore;
+      rremaining = Atomic.make 0;
+      rdispatch_ec = Spinwait.eventcount ();
+      rjoin_ec = Spinwait.eventcount ();
+      rspin =
+        (match spin_limit with Some s -> max 0 s | None -> t.spin_limit);
+      ridle = idle;
+      rbusy = false;
+      rended = false;
+    }
+  in
+  t.job <- (fun w -> region_worker r w ~seen0);
+  let g = 1 + Atomic.fetch_and_add t.gen 1 in
+  Trace.mark 0 Trace.cat_dispatch g;
+  Spinwait.wake_all ~ec:t.dispatch_ec ();
+  t.resident <- Some r;
+  Counters.incr "pool.region_enter";
+  r
+
+let region_run r f =
+  let t = r.rpool in
+  if r.rbusy then
+    invalid_arg
+      "Pool.region_run: region is busy (re-entrant run from worker 0?)";
+  let s = Atomic.get r.rseq in
+  if r.rended || s = region_retired then false
+  else begin
+    r.rbusy <- true;
+    Fun.protect ~finally:(fun () -> r.rbusy <- false) @@ fun () ->
+    (* [errors] is only ever non-empty here if the previous call raised
+       Worker_errors; the unsynchronized emptiness probe is ordered by
+       that call's join (workers record strictly before their remaining
+       decrement). *)
+    if t.errors != [] then begin
+      Mutex.lock t.err_mutex;
+      t.errors <- [];
+      Mutex.unlock t.err_mutex
+    end;
+    Atomic.set r.rremaining (t.p - 1);
+    r.rjob <- f;
+    (* Dispatch: one CAS.  Failure means a worker decayed the region
+       between calls — nothing ran, the caller re-establishes. *)
+    if not (Atomic.compare_and_set r.rseq s (s + 1)) then false
+    else begin
+      let s' = s + 1 in
+      Trace.mark 0 Trace.cat_dispatch s';
+      Spinwait.wake_all ~ec:r.rdispatch_ec ();
+      (* The caller is worker 0. *)
+      Trace.begin_span 0 Trace.cat_job s';
+      (try f 0 with e -> record t e);
+      Trace.end_span 0 Trace.cat_job s';
+      let all_done () = Atomic.get r.rremaining <= 0 in
+      let some_worker_dead () =
+        Array.exists (fun st -> not (Atomic.get st.alive)) t.workers
+      in
+      Trace.begin_span 0 Trace.cat_join s';
+      let gave_up =
+        match
+          Spinwait.wait ~spin_limit:t.spin_limit ~ec:r.rjoin_ec
+            ~timeout:t.timeout ~abort:some_worker_dead all_done
+        with
+        | Spinwait.Ready -> false
+        | Spinwait.Aborted | Spinwait.TimedOut _ -> true
+      in
+      Trace.end_span 0 Trace.cat_join s';
+      if gave_up then begin
+        t.poisoned <- true;
+        Counters.incr "pool.deadlock";
+        Mutex.lock t.err_mutex;
+        let nerrs = List.length t.errors in
+        Mutex.unlock t.err_mutex;
+        raise
+          (Deadlock
+             (Printf.sprintf
+                "resident region gave up after %.3gs: %s (%d error(s) \
+                 recorded)"
+                t.timeout (missing_report t) nerrs))
+      end;
+      Mutex.lock t.err_mutex;
+      let errs = List.rev t.errors in
+      Mutex.unlock t.err_mutex;
+      (match errs with [] -> () | errs -> raise (Worker_errors errs));
+      true
+    end
+  end
+
+let region_seal r =
+  let rec seal () =
+    let s = Atomic.get r.rseq in
+    if s <> region_retired then
+      if not (Atomic.compare_and_set r.rseq s region_retired) then seal ()
+  in
+  seal ();
+  Spinwait.wake_all ~ec:r.rdispatch_ec ()
+
+let region_end r =
+  let t = r.rpool in
+  if not r.rended then begin
+    r.rended <- true;
+    (* Seal: no further dispatch can win the CAS; parked workers wake,
+       see the sentinel, and fall back to the pool's idle park. *)
+    region_seal r;
+    (* Hosting-job join: wait (bounded) for every live worker to leave
+       the region loop. *)
+    let all_done () = Atomic.get t.remaining <= 0 in
+    let some_worker_dead () =
+      Array.exists
+        (fun st ->
+          (not (Atomic.get st.finished)) && not (Atomic.get st.alive))
+        t.workers
+    in
+    (match
+       Spinwait.wait ~spin_limit:t.spin_limit ~ec:t.join_ec
+         ~timeout:t.timeout ~abort:some_worker_dead all_done
+     with
+    | Spinwait.Ready -> ()
+    | Spinwait.Aborted | Spinwait.TimedOut _ ->
+        (* a worker died or is wedged inside the region: force a heal
+           before the pool's next dispatch *)
+        t.poisoned <- true;
+        Counters.incr "pool.deadlock");
+    (match t.resident with
+    | Some r' when r' == r -> t.resident <- None
+    | _ -> ());
+    t.busy <- false
+  end
 
 let run t f =
   if Atomic.get t.stop then invalid_arg "Pool.run: pool is shut down";
@@ -264,6 +524,10 @@ let heal t =
 let shutdown t =
   if not (Atomic.get t.stop) then begin
     Atomic.set t.stop true;
+    (* Workers pinned in a resident region park on the region's
+       eventcount, not the pool's: seal the region first so they unwind
+       into the stopping worker loop instead of deadlocking the join. *)
+    (match t.resident with Some r -> region_seal r | None -> ());
     Spinwait.wake_all ~ec:t.dispatch_ec ();
     join_all t
   end

@@ -65,6 +65,78 @@ val run : t -> (int -> unit) -> unit
     @raise Deadlock when some workers died or stalled past the timeout;
     @raise Invalid_argument on a shut-down, busy, or poisoned pool. *)
 
+(** {2 Cross-call resident parallel regions}
+
+    [run] pays a full pool rendezvous per call: error-list reset,
+    completion-flag sweep, generation bump, dispatch wake, join.  A
+    {e resident region} hoists all of that out of the per-call path: one
+    long-running pool job pins every worker inside a loop that waits on
+    the region's own eventcount, and each subsequent call is dispatched
+    by a single CAS on the region's call-sequence word (plus a wake only
+    if a worker actually parked).  The caller still executes partition 0
+    itself and joins on a dedicated per-region eventcount.
+
+    Workers that see no call for [idle] seconds {e decay}: one of them
+    CASes the sequence word to a retirement sentinel (the same word a
+    dispatch CASes, so decay-versus-dispatch is linearizable — exactly
+    one wins), all of them fall back to the pool's ordinary idle park,
+    and ["pool.region_decay"] is counted.  The dispatcher discovers the
+    decay on its next {!region_run} (which returns [false] without
+    running anything) and must {!region_end} the region — which is also
+    how another plan {e evicts} a region to get the pool back, since a
+    live region holds the pool's busy flag for its whole lifetime.
+
+    All dispatcher-side operations ({!region_begin}, {!region_run},
+    {!region_end}) follow the same one-dispatcher discipline as {!run}. *)
+
+type region
+
+val region_begin : ?spin_limit:int -> ?idle:float -> t -> region
+(** Pin the pool's workers inside a fresh resident region.  [spin_limit]
+    is each worker's spin budget before parking between calls (default:
+    the pool's); [idle] (seconds, default [infinity]) is the decay
+    deadline.  Holds the pool's busy flag until {!region_end}: an
+    ordinary {!run} (or a second region) raises [Invalid_argument] until
+    then.  Counted under ["pool.region_enter"].
+    @raise Invalid_argument on a shut-down, busy, or poisoned pool. *)
+
+val region_run : region -> (int -> unit) -> bool
+(** [region_run r f] dispatches [f] to the resident workers with a
+    single CAS and runs [f 0] on the calling domain, then joins.
+    Returns [false] — without running anything — when the region has
+    already decayed or been ended; the caller should {!region_end} it
+    and fall back to {!run} or a fresh region.  Error semantics match
+    {!run}: worker exceptions aggregate into [Worker_errors]; a dead or
+    stuck worker raises [Deadlock] (naming the dead workers) and
+    poisons the pool.  Declares the fault-injection site ["pool.worker"]
+    at each call pickup, with domain-death semantics, exactly like the
+    pooled dispatch path.
+    @raise Worker_errors when the call failed on some workers;
+    @raise Deadlock when some workers died or stalled past the timeout;
+    @raise Invalid_argument on a re-entrant call from inside [f]. *)
+
+val region_end : region -> unit
+(** Retire the region: seal its sequence word, wake and wait (bounded)
+    for every live worker to fall back to the pool's idle park, release
+    the pool's busy flag.  Idempotent; never raises.  If a worker died
+    or is wedged inside the region the pool is left poisoned (heal it
+    before the next dispatch), but the busy flag is released regardless
+    so {!heal} can run. *)
+
+val region_live : region -> bool
+(** [true] while the region can still accept {!region_run} calls (not
+    decayed, not ended). *)
+
+val region_ended : region -> bool
+(** [true] once {!region_end} ran.  A region for which {!region_run}
+    returns [false] but [region_ended] is still [false] decayed from
+    idleness; one that is already ended was evicted by another
+    dispatcher — callers use the distinction to back off their
+    re-pinning threshold under pool contention. *)
+
+val resident : t -> region option
+(** The region currently pinning this pool's workers, if any. *)
+
 val healthy : t -> bool
 (** [true] when the pool is not poisoned and all worker domains are
     alive, i.e. the next {!run} can be dispatched normally. *)

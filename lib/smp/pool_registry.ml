@@ -52,11 +52,18 @@ let acquire ?timeout p =
       | None -> fresh ())
 
 let release pool =
-  with_lock (fun () ->
-      match Hashtbl.find_opt table (Pool.size pool) with
-      | Some e when e.pool == pool ->
-          if e.refs > 0 then e.refs <- e.refs - 1
-      | Some _ | None -> ())
+  let idle =
+    with_lock (fun () ->
+        match Hashtbl.find_opt table (Pool.size pool) with
+        | Some e when e.pool == pool ->
+            if e.refs > 0 then e.refs <- e.refs - 1;
+            e.refs = 0
+        | Some _ | None -> false)
+  in
+  (* Last reference gone: nobody is left to evict a resident region, so
+     retire it here (outside the lock — region_end waits for the workers
+     to check back in) and leave the cached pool truly idle. *)
+  if idle then Option.iter Pool.region_end (Pool.resident pool)
 
 let stats () =
   with_lock (fun () ->
@@ -80,6 +87,14 @@ let heal_sick () =
   in
   List.fold_left
     (fun n pool ->
+      (* a sick pool occupied by a resident region would make heal raise
+         (the region holds the busy flag); evict the region first — its
+         owner re-establishes on a later execute, after the rebuild *)
+      (match Pool.resident pool with
+      | Some r ->
+          Pool.region_end r;
+          Counters.incr "pool.region_evict"
+      | None -> ());
       match Pool.heal pool with
       | () -> n + 1
       | exception Invalid_argument _ -> n)

@@ -66,6 +66,13 @@ val wake_all : ?ec:eventcount -> unit -> unit
     The single home of the spin/sleep constants both {!Pool} and
     {!Barrier} use (hoisted here from their former per-module copies). *)
 
+val cores : int
+(** Cores available to this process ([Domain.recommended_domain_count]),
+    sampled once at load.  The basis of every spin-versus-park decision
+    here; exported so benchmarks can record the machine a measurement
+    was taken on (the crossover guard only enforces parallel-speedup
+    ceilings against numbers measured with [cores >= 2]). *)
+
 val default_spin_limit : int
 (** Spin iterations before parking: {!dedicated_spin_limit} when the
     machine has more than one core, else {!oversubscribed_spin_limit}. *)

@@ -477,6 +477,25 @@ let test_soak () =
     (r.max_error_reply_us < 15e6);
   Alcotest.(check bool) "rogue kept connecting" true (r.rogue_connects > 0)
 
+(* warm plans are compiled at boot, before the socket accepts: the first
+   request for a warmed descriptor must not plan, and a bad descriptor in
+   the warm list is counted, never fatal *)
+let test_warm_plans () =
+  Counters.reset ();
+  with_server
+    ~tweak:(fun c ->
+      { c with Server.warm = [ "dft[256]f"; "rfft[128]f"; "nonsense[1]" ] })
+    (fun path server ->
+      Alcotest.(check int) "two descriptors planned" 2 (Server.plan_count server);
+      Alcotest.(check int) "warm successes" 2 (Counters.get "service.warm_plan");
+      Alcotest.(check int) "warm failures" 1 (Counters.get "service.warm_fail");
+      with_client path (fun c ->
+          let x = Array.init 512 (fun i -> float_of_int (i mod 7) /. 7.0) in
+          let r = Client.exec c ~descriptor:"dft[256]f" x in
+          check_status "warm exec ok" "ok" (status_name r);
+          Alcotest.(check int) "first request hit the warmed plan" 2
+            (Server.plan_count server)))
+
 let suite =
   [
     Alcotest.test_case "protocol: roundtrip is bit-exact" `Quick
@@ -510,5 +529,6 @@ let suite =
     Alcotest.test_case "e2e: reader threads are pruned" `Quick
       test_e2e_reader_prune;
     Alcotest.test_case "e2e: graceful stop" `Quick test_e2e_graceful_stop;
+    Alcotest.test_case "e2e: warm plans at boot" `Quick test_warm_plans;
     Alcotest.test_case "soak: chaos invariants" `Slow test_soak;
   ]

@@ -675,6 +675,196 @@ let test_registry_acquire_release_clear_race () =
   Pool_registry.release pool;
   Pool_registry.clear ()
 
+(* ------------------------------------------------------------------ *)
+(* Resident regions and the specialized 2-party rendezvous             *)
+
+let test_barrier2_phases () =
+  (* the p=2 ticket protocol: many phases, both participants must
+     observe each other's increments after every wait *)
+  let phases = 200 in
+  let b = Barrier.create 2 in
+  let errors = Atomic.make 0 in
+  let counter = Atomic.make 0 in
+  let peer =
+    Domain.spawn (fun () ->
+        let ctx = Barrier.make_ctx b in
+        for ph = 0 to phases - 1 do
+          Atomic.incr counter;
+          Barrier.wait b ctx;
+          if Atomic.get counter < 2 * (ph + 1) then Atomic.incr errors;
+          Barrier.wait b ctx
+        done)
+  in
+  let ctx = Barrier.make_ctx b in
+  for ph = 0 to phases - 1 do
+    Atomic.incr counter;
+    Barrier.wait b ctx;
+    if Atomic.get counter <> 2 * (ph + 1) then Atomic.incr errors;
+    Barrier.wait b ctx
+  done;
+  Domain.join peer;
+  check ci "two-party phase errors" 0 (Atomic.get errors);
+  check ci "two-party final count" (2 * phases) (Atomic.get counter)
+
+let test_region_resident_steady () =
+  (* a pinned plan executes many times inside one region: exactly one
+     region establishment, no timed sleeps, bit-exact results *)
+  Counters.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:61 256 in
+  let want = Cvec.create 256 in
+  Plan.execute plan x want;
+  Pool.with_pool 2 (fun pool ->
+      let prep = Par_exec.prepare pool ~resident:`On plan in
+      let y = Cvec.create 256 in
+      for _ = 1 to 50 do
+        Cvec.fill_zero y;
+        Par_exec.execute_prepared prep x y;
+        if Cvec.max_abs_diff y want <> 0.0 then Alcotest.fail "wrong result"
+      done;
+      check cb "region established" true (Pool.resident pool <> None);
+      check ci "established exactly once" 1
+        (Counters.get "pool.region_enter");
+      Par_exec.release prep;
+      check cb "released" true (Pool.resident pool = None);
+      (* the pool is an ordinary pool again *)
+      let acc = Atomic.make 0 in
+      Pool.run pool (fun _ -> Atomic.incr acc);
+      check ci "pooled dispatch after release" 2 (Atomic.get acc));
+  check ci "no timed sleeps while resident" 0
+    (Counters.get Spinwait.timed_sleep_counter)
+
+let test_region_idle_decay () =
+  (* workers release themselves back to the pool's idle park after the
+     idle deadline; the next execute re-establishes transparently *)
+  Counters.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:62 256 in
+  let want = Cvec.create 256 in
+  Plan.execute plan x want;
+  Pool.with_pool 2 (fun pool ->
+      let prep = Par_exec.prepare pool ~resident:`On ~resident_idle:0.05 plan in
+      let y = Cvec.create 256 in
+      Par_exec.execute_prepared prep x y;
+      check ci "pinned" 1 (Counters.get "pool.region_enter");
+      (* outlive the idle deadline (decay CAS happens on a watchdog-ticked
+         re-check, so allow generous slack) *)
+      let rec await tries =
+        if Counters.get "pool.region_decay" >= 1 then ()
+        else if tries = 0 then Alcotest.fail "region never decayed"
+        else begin
+          Unix.sleepf 0.05;
+          await (tries - 1)
+        end
+      in
+      await 100;
+      (* decayed, not evicted: nothing ended the region yet *)
+      Cvec.fill_zero y;
+      Par_exec.execute_prepared prep x y;
+      check cb "correct after decay" true (Cvec.max_abs_diff y want = 0.0);
+      check cb "re-established" true (Counters.get "pool.region_enter" >= 2);
+      Par_exec.release prep)
+
+let test_region_worker_death () =
+  (* a peer killed inside the region surfaces as Deadlock naming the
+     dead worker; heal rebuilds, and residency is re-established *)
+  Fault.reset ();
+  Counters.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:63 256 in
+  let want = Naive_dft.dft x in
+  Pool.with_pool ~timeout:2.0 2 (fun pool ->
+      let prep = Par_exec.prepare pool ~resident:`On plan in
+      let y = Cvec.create 256 in
+      Par_exec.execute_prepared prep x y;
+      check ci "pinned before the kill" 1 (Counters.get "pool.region_enter");
+      Fault.arm ~site:"pool.worker" ~times:1 ();
+      (try
+         Par_exec.execute_prepared prep x y;
+         Alcotest.fail "dead resident worker not detected"
+       with Pool.Deadlock msg ->
+         check cb "names the dead worker" true (contains msg "dead workers [1]"));
+      Fault.disarm "pool.worker";
+      check cb "pool unhealthy after death" false (Pool.healthy pool);
+      (* the failed execute dropped residency, so heal can run *)
+      Pool.heal pool;
+      check ci "one rebuild" 1 (Pool.rebuilds pool);
+      Cvec.fill_zero y;
+      Par_exec.execute_prepared prep x y;
+      check cb "correct after heal" true (close_enough y want);
+      check cb "residency restored" true
+        (Counters.get "pool.region_enter" >= 2);
+      Par_exec.release prep);
+  Fault.reset ()
+
+let test_region_death_supervised () =
+  (* same kill through the supervised path: one call, correct answer *)
+  Fault.reset ();
+  Counters.reset ();
+  let plan = mc_plan () in
+  let x = Cvec.random ~seed:64 256 in
+  let want = Naive_dft.dft x in
+  Pool.with_pool ~timeout:0.5 2 (fun pool ->
+      let prep = Par_exec.prepare pool ~resident:`On plan in
+      let y = Cvec.create 256 in
+      Par_exec.execute_safe_prepared prep x y;
+      Fault.arm ~site:"pool.worker" ~times:1 ();
+      Cvec.fill_zero y;
+      Par_exec.execute_safe_prepared prep x y;
+      check cb "correct despite resident worker death" true
+        (close_enough y want);
+      check cb "retry recorded" true (Counters.get "par_exec.retry" >= 1);
+      check cb "pool was rebuilt" true (Pool.rebuilds pool >= 1);
+      Par_exec.release prep);
+  Fault.reset ()
+
+let test_region_reentrant_rejected () =
+  (* caller-as-worker-0 re-entrancy guard on the region fast path *)
+  Pool.with_pool 2 (fun pool ->
+      let r = Pool.region_begin pool in
+      let rejected = Atomic.make false in
+      let ok =
+        Pool.region_run r (fun w ->
+            if w = 0 then
+              try ignore (Pool.region_run r ignore)
+              with Invalid_argument _ -> Atomic.set rejected true)
+      in
+      check cb "outer call dispatched" true ok;
+      check cb "nested region_run rejected" true (Atomic.get rejected);
+      Pool.region_end r;
+      (* idempotent, and the pool is usable again *)
+      Pool.region_end r;
+      let acc = Atomic.make 0 in
+      Pool.run pool (fun _ -> Atomic.incr acc);
+      check ci "pool released" 2 (Atomic.get acc))
+
+let test_region_eviction_shared_pool () =
+  (* two plans alternating on one pool: the second evicts the first's
+     region and both keep computing correctly *)
+  Counters.reset ();
+  let plan_a = mc_plan () and plan_b = mc_plan () in
+  let x = Cvec.random ~seed:65 256 in
+  let want = Cvec.create 256 in
+  Plan.execute plan_a x want;
+  Pool.with_pool 2 (fun pool ->
+      let pa = Par_exec.prepare pool ~resident:`On plan_a in
+      let pb = Par_exec.prepare pool ~resident:`Off plan_b in
+      let y = Cvec.create 256 in
+      Par_exec.execute_prepared pa x y;
+      check cb "A pinned" true (Pool.resident pool <> None);
+      Cvec.fill_zero y;
+      Par_exec.execute_prepared pb x y;
+      check cb "B correct after evicting A" true
+        (Cvec.max_abs_diff y want = 0.0);
+      check cb "eviction counted" true
+        (Counters.get "pool.region_evict" >= 1);
+      Cvec.fill_zero y;
+      Par_exec.execute_prepared pa x y;
+      check cb "A correct after being evicted" true
+        (Cvec.max_abs_diff y want = 0.0);
+      Par_exec.release pa;
+      Par_exec.release pb)
+
 let suite =
   [
     Alcotest.test_case "barrier: multi-phase visibility" `Quick test_barrier_phases;
@@ -737,4 +927,18 @@ let suite =
       test_registry_never_hands_out_stopped;
     Alcotest.test_case "registry: acquire/release/clear churn" `Quick
       test_registry_acquire_release_clear_race;
+    Alcotest.test_case "barrier: two-party ticket protocol phases" `Quick
+      test_barrier2_phases;
+    Alcotest.test_case "region: resident steady state, one establishment"
+      `Quick test_region_resident_steady;
+    Alcotest.test_case "region: idle decay releases workers" `Quick
+      test_region_idle_decay;
+    Alcotest.test_case "region: worker death names dead worker, heals" `Quick
+      test_region_worker_death;
+    Alcotest.test_case "region: worker death under supervision" `Quick
+      test_region_death_supervised;
+    Alcotest.test_case "region: re-entrant run rejected" `Quick
+      test_region_reentrant_rejected;
+    Alcotest.test_case "region: eviction on a shared pool" `Quick
+      test_region_eviction_shared_pool;
   ]
