@@ -577,6 +577,10 @@ let run_host_seq () =
      - seq            current sequential executor
      - sixstep_explicit / sixstep_fused   permutation-pass fusion
                       ablation on the explicit six-step plan (even logN)
+     - vec / vec_boundary   short-vector lowering: the scalar formula
+                      rewritten to vec(ν) and executed in split re/im
+                      (planar) layout — resident, and including the
+                      interleaved<->planar transposes Engine pays
      - par1 / par2 / par4   worker sweep: prepared pooled executor on an
                       autotuned multicore plan for p workers
      - par2_batch     execute_many over 8 transforms in one parallel region
@@ -736,6 +740,23 @@ let run_json file =
       let add name reps call = items := (name, reps, call) :: !items in
       add "seq" reps (fun () -> Plan.execute seq x y);
       add "seq_baseline" reps (fun () -> Plan.execute baseline x y);
+      (* the same formula lowered to vec(ν): "vec" is the planar-resident
+         split executor, "vec_boundary" adds the per-call transposes *)
+      let vec_nu = ref 0 in
+      (let vf, nu = Spiral_fft.Planner.vectorize_formula ~vec:`Auto tree in
+       if nu > 0 then
+         match Plan.of_formula ~layout:Plan.Split vf with
+         | vplan ->
+             vec_nu := nu;
+             let px = Array.make (2 * n) 0.0
+             and py = Array.make (2 * n) 0.0 in
+             Cvec.to_planar x px;
+             add "vec" reps (fun () -> Plan.execute vplan px py);
+             add "vec_boundary" reps (fun () ->
+                 Cvec.to_planar x px;
+                 Plan.execute vplan px py;
+                 Cvec.of_planar py y)
+         | exception Ir.Unsupported _ -> ());
       (if logn mod 2 = 0 then
          let half = 1 lsl (logn / 2) in
          match Derive.six_step_dft ~p:2 ~mu:4 ~m:half ~n:half with
@@ -809,6 +830,13 @@ let run_json file =
           (Printf.sprintf "\"fusion_speedup\": %.2f"
              (time "sixstep_explicit" /. time "sixstep_fused"))
       end;
+      if has "vec" then begin
+        addf (field "vec" (time "vec") fn);
+        addf (field "vec_boundary" (time "vec_boundary") fn);
+        addf (Printf.sprintf "\"vec_nu\": %d" !vec_nu);
+        addf
+          (Printf.sprintf "\"vec_speedup\": %.2f" (t_seq /. time "vec"))
+      end;
       let pars =
         List.map (fun p -> (p, time (Printf.sprintf "par%d" p))) par_ps
       in
@@ -865,8 +893,14 @@ let run_json file =
            logn n reps
            (String.concat ",\n      " (List.rev !fields))
            (if i = List.length logns - 1 then "" else ","));
-      Printf.printf "  2^%-2d  seq %8.1f pMflop/s   baseline %8.1f   (%.2fx)%s\n"
-        logn (pmflops fn t_seq) (pmflops fn t_base) (t_base /. t_seq)
+      Printf.printf
+        "  2^%-2d  seq %8.1f pMflop/s   baseline %8.1f   (%.2fx)%s%s\n" logn
+        (pmflops fn t_seq) (pmflops fn t_base) (t_base /. t_seq)
+        (if has "vec" then
+           Printf.sprintf "   vec%d %8.1f (%.2fx)" !vec_nu
+             (pmflops fn (time "vec"))
+             (t_seq /. time "vec")
+         else "")
         (String.concat ""
            (List.map
               (fun (p, t) ->

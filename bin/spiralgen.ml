@@ -3,6 +3,7 @@
    Subcommands:
      formula   — derive and print the SPL formula for a DFT
      generate  — emit C code (sequential / OpenMP / pthreads)
+     codegen   — emit vector-lowered SIMD C code (sse2/avx2/neon/generic)
      run       — execute a transform on this host and verify it
      search    — autotune a ruletree (DP over the machine model)
      simulate  — performance-simulate a plan on a modeled machine
@@ -39,6 +40,65 @@ let mu_arg =
 let machine_arg =
   Arg.(value & opt machine_conv Machine.core_duo
        & info [ "machine" ] ~docv:"M" ~doc:"Machine model (core-duo|pentium-d|opteron|xeon-mp).")
+
+let vec_conv =
+  Arg.conv
+    ( (function
+      | "off" -> Ok `Off
+      | "auto" -> Ok `Auto
+      | s -> (
+          match int_of_string_opt s with
+          | Some nu when nu >= 2 -> Ok (`Nu nu)
+          | _ -> Error (`Msg ("expected off|auto|NU (NU >= 2), got " ^ s)))),
+      fun ppf v ->
+        Format.pp_print_string ppf
+          (match v with
+          | `Off -> "off"
+          | `Auto -> "auto"
+          | `Nu nu -> string_of_int nu) )
+
+let vec_arg ~default =
+  Arg.(
+    value & opt vec_conv default
+    & info [ "vec" ] ~docv:"V"
+        ~doc:
+          "Short-vector lowering of the derived formula: $(b,off), \
+           $(b,auto) (try nu=4 then nu=2, fall back to scalar), or an \
+           explicit vector length nu >= 2.")
+
+let backend_conv =
+  Arg.conv
+    ( (function
+      | "omp" | "openmp" -> Ok `OpenMP
+      | "pthreads" -> Ok `Pthreads
+      | "seq" -> Ok `None
+      | s -> Error (`Msg ("unknown backend: " ^ s))),
+      fun ppf b ->
+        Format.pp_print_string ppf
+          (match b with
+          | `OpenMP -> "openmp"
+          | `Pthreads -> "pthreads"
+          | `None -> "seq") )
+
+let backend_arg =
+  Arg.(
+    value & opt backend_conv `OpenMP
+    & info [ "backend" ] ~docv:"B" ~doc:"omp | pthreads | seq")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+
+let write_source out src =
+  match out with
+  | None ->
+      print_string src;
+      0
+  | Some file ->
+      let oc = open_out file in
+      output_string oc src;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" file (String.length src);
+      0
 
 let size_supported n =
   n >= 1
@@ -101,24 +161,6 @@ let cmd_formula =
     Term.(const run $ n_arg $ p_arg $ mu_arg)
 
 let cmd_generate =
-  let backend_conv =
-    Arg.conv
-      ( (function
-        | "omp" | "openmp" -> Ok `OpenMP
-        | "pthreads" -> Ok `Pthreads
-        | "seq" -> Ok `None
-        | s -> Error (`Msg ("unknown backend: " ^ s))),
-        fun ppf b ->
-          Format.pp_print_string ppf
-            (match b with `OpenMP -> "openmp" | `Pthreads -> "pthreads" | `None -> "seq") )
-  in
-  let backend_arg =
-    Arg.(value & opt backend_conv `OpenMP
-         & info [ "backend" ] ~docv:"B" ~doc:"omp | pthreads | seq")
-  in
-  let out_arg =
-    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
-  in
   let run n p mu backend out =
     match derive_plan ~p ~mu n with
     | Error e ->
@@ -129,20 +171,75 @@ let cmd_generate =
         | exception Invalid_argument msg ->
             Printf.eprintf "error: %s\n" msg;
             1
-        | src ->
-        match out with
-        | None ->
-            print_string src;
-            0
-        | Some file ->
-            let oc = open_out file in
-            output_string oc src;
-            close_out oc;
-            Printf.printf "wrote %s (%d bytes)\n" file (String.length src);
-            0)
+        | src -> write_source out src)
   in
   Cmd.v (Cmd.info "generate" ~doc:"Emit C code for the transform")
     Term.(const run $ n_arg $ p_arg $ mu_arg $ backend_arg $ out_arg)
+
+let cmd_codegen =
+  let simd_conv =
+    Arg.conv
+      ( (function
+        | "sse2" -> Ok `SSE2
+        | "avx2" -> Ok `AVX2
+        | "neon" -> Ok `NEON
+        | "generic" -> Ok `Generic
+        | s ->
+            Error (`Msg ("unknown SIMD ISA: " ^ s ^ " (sse2|avx2|neon|generic)"))),
+        fun ppf s ->
+          Format.pp_print_string ppf
+            (match s with
+            | `SSE2 -> "sse2"
+            | `AVX2 -> "avx2"
+            | `NEON -> "neon"
+            | `Generic -> "generic") )
+  in
+  let simd_arg =
+    Arg.(
+      value & opt simd_conv `AVX2
+      & info [ "simd" ] ~docv:"ISA"
+          ~doc:
+            "SIMD instruction set for vec-tagged passes: sse2 | avx2 | \
+             neon | generic (GCC vector extensions).  Compile avx2 output \
+             with -mavx2; neon needs an AArch64 target.")
+  in
+  let run n p mu vec simd backend out =
+    match derive_plan ~p ~mu n with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok f -> (
+        let vf, nu =
+          match vec with
+          | `Off -> (f, 0)
+          | v -> Spiral_fft.Planner.vectorize_formula ~vec:v f
+        in
+        match (vec, nu) with
+        | `Nu want, 0 ->
+            Printf.eprintf
+              "error: vector lowering with nu=%d does not apply to DFT_%d \
+               (p=%d, mu=%d)\n"
+              want n p mu;
+            1
+        | _ -> (
+            if vec <> `Off && nu = 0 then
+              Printf.eprintf
+                "note: vector lowering does not apply; emitting scalar code\n";
+            match C_emit.to_c ~backend ~simd (Plan.of_formula vf) with
+            | exception Invalid_argument msg ->
+                Printf.eprintf "error: %s\n" msg;
+                1
+            | src -> write_source out src))
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:
+         "Emit SIMD C code: the vec(nu)-tagged passes of the \
+          vector-lowered formula become intrinsic vector kernels composed \
+          with the usual OpenMP/pthreads worksharing")
+    Term.(
+      const run $ n_arg $ p_arg $ mu_arg $ vec_arg ~default:`Auto $ simd_arg
+      $ backend_arg $ out_arg)
 
 let cmd_run =
   let reps_arg =
@@ -247,8 +344,8 @@ let cmd_run =
     Spiral_smp.Par_exec.default_resident_idle := resident_idle;
     Spiral_smp.Par_exec.default_spin_limit := spin_limit
   in
-  let run_batch n p mu reps batch trace metrics =
-    Spiral_fft.Batch.with_plan ~threads:p ~mu ~count:batch n (fun bt ->
+  let run_batch n p mu vec reps batch trace metrics =
+    Spiral_fft.Batch.with_plan ~threads:p ~mu ~vec ~count:batch n (fun bt ->
         let x = Cvec.random (batch * n) in
         let y = Spiral_fft.Batch.execute bt x in
         (* verify row 0 against the O(n^2) definition when affordable *)
@@ -294,17 +391,18 @@ let cmd_run =
         write_metrics metrics;
         0)
   in
-  let run n p mu reps batch trace metrics resident resident_idle spin_limit =
+  let run n p mu vec reps batch trace metrics resident resident_idle
+      spin_limit =
     apply_smp_knobs resident resident_idle spin_limit;
     if n < 1 || batch < 1 then begin
       Printf.eprintf "error: N and B must be >= 1\n";
       1
     end
-    else if batch > 1 then run_batch n p mu reps batch trace metrics
+    else if batch > 1 then run_batch n p mu vec reps batch trace metrics
     else
       (* the library API dispatches to Bluestein for sizes with large
          prime factors, so `run` works for any N *)
-      Spiral_fft.Dft.with_plan ~threads:p ~mu n (fun t ->
+      Spiral_fft.Dft.with_plan ~threads:p ~mu ~vec n (fun t ->
           let x = Cvec.random n in
           let y = Cvec.create n in
           Spiral_fft.Dft.execute_into t ~src:x ~dst:y;
@@ -359,8 +457,9 @@ let cmd_run =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute on this host and verify")
     Term.(
-      const run $ n_arg $ p_arg $ mu_arg $ reps_arg $ batch_arg $ trace_arg
-      $ metrics_arg $ resident_arg $ resident_idle_arg $ spin_limit_arg)
+      const run $ n_arg $ p_arg $ mu_arg $ vec_arg ~default:`Off $ reps_arg
+      $ batch_arg $ trace_arg $ metrics_arg $ resident_arg $ resident_idle_arg
+      $ spin_limit_arg)
 
 let cmd_search =
   let run n machine =
@@ -611,6 +710,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            cmd_formula; cmd_generate; cmd_run; cmd_search; cmd_simulate;
-            cmd_serve; cmd_client;
+            cmd_formula; cmd_generate; cmd_codegen; cmd_run; cmd_search;
+            cmd_simulate; cmd_serve; cmd_client;
           ]))

@@ -53,14 +53,34 @@ let () =
   (* 5. the tandem of Section 3.2: the same derivation composed with the
      short-vector rewriting — simultaneously fully optimized for
      smp(2,4) and 2-way vectorized *)
-  match
-    Derive.multicore_vector_dft ~p:2 ~mu:4 ~nu:2
-      (Ruletree.Ct (Ruletree.mixed_radix 16, Ruletree.mixed_radix 16))
-  with
+  (match
+     Derive.multicore_vector_dft ~p:2 ~mu:4 ~nu:2
+       (Ruletree.Ct (Ruletree.mixed_radix 16, Ruletree.mixed_radix 16))
+   with
   | Error e -> failwith (Derive.error_to_string e)
   | Ok f ->
       Printf.printf
         "\ntandem smp(2,4) x vec(2) for DFT_256: fully optimized = %b, \
          vectorized = %b\n"
         (Props.fully_optimized ~p:2 ~mu:4 f)
-        (Props.vectorized ~nu:2 f)
+        (Props.vectorized ~nu:2 f));
+
+  (* 6. the tandem lowered all the way to machine code shape: the same
+     DFT_64 derivation vectorized with vec(2) and emitted as AVX2
+     intrinsics inside the OpenMP worksharing — smp x vec in one
+     translation unit *)
+  match Derive.multicore_vector_dft ~p ~mu ~nu:2 tree with
+  | Error e -> failwith (Derive.error_to_string e)
+  | Ok vf ->
+      let vplan = Plan.of_formula vf in
+      let simd_src = C_emit.to_c ~backend:`OpenMP ~simd:`AVX2 vplan in
+      let simd_file = "generated_dft64_avx2.c" in
+      let oc = open_out simd_file in
+      output_string oc simd_src;
+      close_out oc;
+      Printf.printf
+        "wrote %s (%d lines) — compile with:\n\
+        \  gcc -O2 -mavx2 -fopenmp %s -lm && ./a.out\n"
+        simd_file
+        (List.length (String.split_on_char '\n' simd_src))
+        simd_file

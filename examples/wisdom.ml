@@ -41,7 +41,7 @@ let () =
   List.iter
     (fun logn ->
       let n = 1 lsl logn in
-      let key = { Plan_cache.kind = "dft"; n; p = 1; mu = 4; machine = "core-duo" } in
+      let key = { Plan_cache.kind = "dft"; n; p = 1; mu = 4; vec = 0; machine = "core-duo" } in
       let t0 = Unix.gettimeofday () in
       let tree =
         Plan_cache.find_or_add cache key (fun () ->

@@ -91,7 +91,21 @@ let kernel_matrix name radix =
     (* generic dft *)
     Some (Cmatrix.init radix radix (fun k l -> Twiddle.omega_pow ~n:radix ~k ~l))
 
-let emit_generic_kernel b name radix =
+let emit_mat_table b name (mat : Cmatrix.t) radix =
+  buf_add b
+    (Printf.sprintf "static const double mat_%s[%d] = {\n" name
+       (2 * radix * radix));
+  for k = 0 to radix - 1 do
+    buf_add b "  ";
+    for l = 0 to radix - 1 do
+      let (z : Complex.t) = mat.(k).(l) in
+      buf_add b (Printf.sprintf "%.17g, %.17g, " z.re z.im)
+    done;
+    buf_add b "\n"
+  done;
+  buf_add b "};\n"
+
+let emit_generic_kernel ?(with_mat = true) b name radix =
   match kernel_matrix name radix with
   | None ->
       buf_add b
@@ -100,18 +114,7 @@ let emit_generic_kernel b name radix =
             out[2*l+1] = in[2*l+1]; }\n}\n\n"
            (kernel_decl name) radix)
   | Some mat ->
-      buf_add b
-        (Printf.sprintf "static const double mat_%s[%d] = {\n" name
-           (2 * radix * radix));
-      for k = 0 to radix - 1 do
-        buf_add b "  ";
-        for l = 0 to radix - 1 do
-          let (z : Complex.t) = mat.(k).(l) in
-          buf_add b (Printf.sprintf "%.17g, %.17g, " z.re z.im)
-        done;
-        buf_add b "\n"
-      done;
-      buf_add b "};\n";
+      if with_mat then emit_mat_table b name mat radix;
       buf_add b
         (Printf.sprintf
            "%s {\n\
@@ -127,10 +130,271 @@ let emit_generic_kernel b name radix =
             }\n\n"
            (kernel_decl name) radix radix name radix name radix)
 
-let emit_kernel b name radix =
+let emit_kernel ?with_mat b name radix =
   match List.assoc_opt name unrolled_kernels with
   | Some body -> buf_add b (Printf.sprintf "%s %s\n\n" (kernel_decl name) body)
-  | None -> emit_generic_kernel b name radix
+  | None -> emit_generic_kernel ?with_mat b name radix
+
+(* ------------------------------------------------------------------ *)
+(* SIMD backend.  A vector [vd] holds VL complex elements as 2·VL
+   interleaved doubles; every ISA provides the same small macro layer
+   (vld/vst/vadd/vsub/vmul plus the complex shuffles vswap/vdupre/
+   vdupim/vaddsub), and the kernels and pass bodies are emitted once in
+   terms of it.  SSE2 and NEON pack one complex per vector (re and im
+   still move in one op); AVX2 and the GCC vector-extension fallback
+   pack two. *)
+
+type simd = [ `SSE2 | `AVX2 | `NEON | `Generic ]
+
+let simd_vl : simd -> int = function
+  | `AVX2 | `Generic -> 2
+  | `SSE2 | `NEON -> 1
+
+let simd_label : simd -> string = function
+  | `SSE2 -> "SSE2"
+  | `AVX2 -> "AVX2"
+  | `NEON -> "NEON"
+  | `Generic -> "generic vector_size"
+
+let simd_include : simd -> string = function
+  | `SSE2 -> "#include <emmintrin.h>\n"
+  | `AVX2 -> "#include <immintrin.h>\n"
+  | `NEON -> "#include <arm_neon.h>\n"
+  | `Generic -> ""
+
+(* The per-ISA layer.  vaddsub(a,b) = (a0-b0, a1+b1, ...) per complex;
+   vdupre/vdupim broadcast one component across its complex slot. *)
+let simd_prelude : simd -> string = function
+  | `AVX2 ->
+      "typedef __m256d vd;                 /* 2 complexes */\n\
+       #define vld(p)     _mm256_loadu_pd(p)\n\
+       #define vst(p, a)  _mm256_storeu_pd(p, a)\n\
+       #define vadd       _mm256_add_pd\n\
+       #define vsub       _mm256_sub_pd\n\
+       #define vmul       _mm256_mul_pd\n\
+       #define vswap(a)   _mm256_permute_pd(a, 0x5)\n\
+       #define vdupre(a)  _mm256_movedup_pd(a)\n\
+       #define vdupim(a)  _mm256_permute_pd(a, 0xF)\n\
+       #define vaddsub    _mm256_addsub_pd\n\
+       #define vzero()    _mm256_setzero_pd()\n\
+       #define vbcastd(c) _mm256_set1_pd(c)\n"
+  | `SSE2 ->
+      "typedef __m128d vd;                 /* 1 complex */\n\
+       #define vld(p)     _mm_loadu_pd(p)\n\
+       #define vst(p, a)  _mm_storeu_pd(p, a)\n\
+       #define vadd       _mm_add_pd\n\
+       #define vsub       _mm_sub_pd\n\
+       #define vmul       _mm_mul_pd\n\
+       #define vswap(a)   _mm_shuffle_pd(a, a, 1)\n\
+       #define vdupre(a)  _mm_unpacklo_pd(a, a)\n\
+       #define vdupim(a)  _mm_unpackhi_pd(a, a)\n\
+       /* SSE2 has no addsub (SSE3); emulate with a sign flip */\n\
+       #define vaddsub(a, b) vadd(a, vmul(b, _mm_setr_pd(-1.0, 1.0)))\n\
+       #define vzero()    _mm_setzero_pd()\n\
+       #define vbcastd(c) _mm_set1_pd(c)\n"
+  | `NEON ->
+      "typedef float64x2_t vd;             /* 1 complex */\n\
+       #define vld(p)     vld1q_f64(p)\n\
+       #define vst(p, a)  vst1q_f64(p, a)\n\
+       #define vadd       vaddq_f64\n\
+       #define vsub       vsubq_f64\n\
+       #define vmul       vmulq_f64\n\
+       #define vswap(a)   vextq_f64(a, a, 1)\n\
+       #define vdupre(a)  vdupq_laneq_f64(a, 0)\n\
+       #define vdupim(a)  vdupq_laneq_f64(a, 1)\n\
+       static inline vd v_asign(void)\n\
+       { const double s[2] = { -1.0, 1.0 }; return vld1q_f64(s); }\n\
+       #define vaddsub(a, b) vaddq_f64(a, vmulq_f64(b, v_asign()))\n\
+       #define vzero()    vdupq_n_f64(0.0)\n\
+       #define vbcastd(c) vdupq_n_f64(c)\n"
+  | `Generic ->
+      "typedef double vd __attribute__((vector_size(32), aligned(8)));\n\
+       typedef long long vm_ __attribute__((vector_size(32)));\n\
+       static inline vd vld(const double *p) { return *(const vd *)p; }\n\
+       static inline void vst(double *p, vd a) { *(vd *)p = a; }\n\
+       #define vadd(a, b) ((a) + (b))\n\
+       #define vsub(a, b) ((a) - (b))\n\
+       #define vmul(a, b) ((a) * (b))\n\
+       #define vswap(a)   __builtin_shuffle(a, (vm_){1, 0, 3, 2})\n\
+       #define vdupre(a)  __builtin_shuffle(a, (vm_){0, 0, 2, 2})\n\
+       #define vdupim(a)  __builtin_shuffle(a, (vm_){1, 1, 3, 3})\n\
+       #define vaddsub(a, b) ((a) + (b) * (vd){-1.0, 1.0, -1.0, 1.0})\n\
+       static inline vd vzero(void) { return (vd){0.0, 0.0, 0.0, 0.0}; }\n\
+       static inline vd vbcastd(double c) { return (vd){c, c, c, c}; }\n"
+
+(* ISA-independent complex helpers on top of the layer:
+     vmulmi(z) = -i·z              (the in-register quarter rotation)
+     vcmul(z, w)   = z·w, w a vector of per-lane twiddles
+     vcmulc(z, wr, wi) = z·(wr + i·wi), a constant twiddle *)
+let simd_helpers =
+  "static inline vd vmulmi(vd a) { return vswap(vaddsub(vzero(), a)); }\n\
+   static inline vd vscale(vd a, double c) { return vmul(a, vbcastd(c)); }\n\
+   static inline vd vcmul(vd z, vd w)\n\
+   { return vaddsub(vmul(z, vdupre(w)), vmul(vswap(z), vdupim(w))); }\n\
+   static inline vd vcmulc(vd z, double wr, double wi)\n\
+   { return vaddsub(vscale(z, wr), vscale(vswap(z), wi)); }\n\n"
+
+let vkernel_decl name =
+  Printf.sprintf "static void %s_vkernel(const vd *in, vd *out)" name
+
+(* Vector codelet bodies: the scalar unrolled kernels transliterated to
+   whole-complex ops; the twiddle-free rotations become vmulmi. *)
+let unrolled_vkernels =
+  [
+    ("dft1", "{\n  out[0] = in[0];\n}");
+    ( "dft2",
+      "{\n\
+      \  out[0] = vadd(in[0], in[1]);\n\
+      \  out[1] = vsub(in[0], in[1]);\n\
+       }" );
+    ( "dft3",
+      "{\n\
+      \  const double s3 = 0.86602540378443864676;\n\
+      \  vd t = vadd(in[1], in[2]);\n\
+      \  vd u = vsub(in[1], in[2]);\n\
+      \  vd a = vsub(in[0], vscale(t, 0.5));\n\
+      \  vd bm = vmulmi(vscale(u, s3));\n\
+      \  out[0] = vadd(in[0], t);\n\
+      \  out[1] = vadd(a, bm);\n\
+      \  out[2] = vsub(a, bm);\n\
+       }" );
+    ( "dft4",
+      "{\n\
+      \  vd t0 = vadd(in[0], in[2]), t1 = vsub(in[0], in[2]);\n\
+      \  vd t2 = vadd(in[1], in[3]), t3 = vsub(in[1], in[3]);\n\
+      \  vd t3m = vmulmi(t3);\n\
+      \  out[0] = vadd(t0, t2); out[2] = vsub(t0, t2);\n\
+      \  out[1] = vadd(t1, t3m); out[3] = vsub(t1, t3m);\n\
+       }" );
+    ( "dft8",
+      "{\n\
+      \  const double s = 0.70710678118654752440;\n\
+      \  vd t0 = vadd(in[0], in[4]), t1 = vsub(in[0], in[4]);\n\
+      \  vd t2 = vadd(in[2], in[6]), t3 = vsub(in[2], in[6]);\n\
+      \  vd t3m = vmulmi(t3);\n\
+      \  vd e0 = vadd(t0, t2), e2 = vsub(t0, t2);\n\
+      \  vd e1 = vadd(t1, t3m), e3 = vsub(t1, t3m);\n\
+      \  vd u0 = vadd(in[1], in[5]), u1 = vsub(in[1], in[5]);\n\
+      \  vd u2 = vadd(in[3], in[7]), u3 = vsub(in[3], in[7]);\n\
+      \  vd u3m = vmulmi(u3);\n\
+      \  vd f0 = vadd(u0, u2), f2 = vsub(u0, u2);\n\
+      \  vd f1 = vadd(u1, u3m), f3 = vsub(u1, u3m);\n\
+      \  out[0] = vadd(e0, f0); out[4] = vsub(e0, f0);\n\
+      \  vd w1 = vscale(vadd(f1, vmulmi(f1)), s);\n\
+      \  out[1] = vadd(e1, w1); out[5] = vsub(e1, w1);\n\
+      \  vd f2m = vmulmi(f2);\n\
+      \  out[2] = vadd(e2, f2m); out[6] = vsub(e2, f2m);\n\
+      \  vd w3 = vscale(vsub(vmulmi(f3), f3), s);\n\
+      \  out[3] = vadd(e3, w3); out[7] = vsub(e3, w3);\n\
+       }" );
+  ]
+
+let emit_vkernel b name radix =
+  match List.assoc_opt name unrolled_vkernels with
+  | Some body -> buf_add b (Printf.sprintf "%s %s\n\n" (vkernel_decl name) body)
+  | None -> (
+      match kernel_matrix name radix with
+      | None ->
+          buf_add b
+            (Printf.sprintf "%s {\n  for (int l = 0; l < %d; ++l) out[l] = in[l];\n}\n\n"
+               (vkernel_decl name) radix)
+      | Some _ ->
+          (* mat_<name> is emitted alongside the scalar kernel *)
+          buf_add b
+            (Printf.sprintf
+               "%s {\n\
+               \  for (int k = 0; k < %d; ++k) {\n\
+               \    vd acc = vzero();\n\
+               \    for (int l = 0; l < %d; ++l)\n\
+               \      acc = vadd(acc, vcmulc(in[l], mat_%s[2*(k*%d + l)], \
+                mat_%s[2*(k*%d + l)+1]));\n\
+               \    out[k] = acc;\n\
+               \  }\n\
+                }\n\n"
+               (vkernel_decl name) radix radix name radix name radix))
+
+(* Which loop level carries the VL-wide lane block, and on which side(s)
+   it is memory-contiguous.  Loop merging can put the tagged ν dimension
+   at any level and at unit stride on only one side (the in-register
+   shuffle stages trade contiguity between gather and scatter), so each
+   pass is classified structurally:
+     Both     — unit lane stride on gather and scatter: full vector
+                loads and stores;
+     GatherV  — unit gather stride only: vector loads/twiddle/kernel,
+                lane-unpacked scalar stores;
+     ScatterV — unit scatter stride only: lane-packed scalar loads,
+                vector stores.
+   At VL = 1 the block is one complex (2 contiguous doubles on both
+   sides by layout), so every vec-tagged strided pass vectorizes as
+   Both. *)
+type vform = Both | GatherV | ScatterV
+
+let vec_form ~vl (p : Plan.pass) =
+  if p.vec = None then None
+  else
+    match p.addr with
+    | Plan.Indexed _ -> None
+    | Plan.Strided { exts; gstrs; sstrs; _ } ->
+        let k = Array.length exts in
+        if vl = 1 then Some (k - 1, Both)
+        else begin
+          let best = ref None in
+          let rank = function Both -> 2 | GatherV | ScatterV -> 1 in
+          for j = 0 to k - 1 do
+            if exts.(j) mod vl = 0 then begin
+              let cand =
+                match (gstrs.(j) = 1, sstrs.(j) = 1) with
+                | true, true -> Some Both
+                | true, false -> Some GatherV
+                | false, true -> Some ScatterV
+                | false, false -> None
+              in
+              match (cand, !best) with
+              | Some f, None -> best := Some (j, f)
+              | Some f, Some (_, f') when rank f >= rank f' ->
+                  best := Some (j, f)
+              | _ -> ()
+            end
+          done;
+          !best
+        end
+
+(* Re-index a pass twiddle table lane-major: lane [v] of block [b],
+   element [l] lands at [((b*r + l)*vl + v)], so the pass loads one
+   contiguous vector of per-lane twiddles per element.  Block [b]
+   enumerates the iteration digits with the lane level divided by vl;
+   lane [v] restores the original digit [d*vl + v]. *)
+let lane_major_tw ~vl ~level ~exts ~r tw =
+  if vl = 1 then tw
+  else begin
+    let k = Array.length exts in
+    let mexts = Array.copy exts in
+    mexts.(level) <- exts.(level) / vl;
+    let msuf = Array.make (k + 1) 1 and osuf = Array.make (k + 1) 1 in
+    for j = k - 1 downto 0 do
+      msuf.(j) <- msuf.(j + 1) * mexts.(j);
+      osuf.(j) <- osuf.(j + 1) * exts.(j)
+    done;
+    let blocks = msuf.(0) in
+    let out = Array.make (2 * blocks * r * vl) 0.0 in
+    for b = 0 to blocks - 1 do
+      for v = 0 to vl - 1 do
+        let i = ref 0 in
+        for j = 0 to k - 1 do
+          let d = b / msuf.(j + 1) mod mexts.(j) in
+          let d = if j = level then (d * vl) + v else d in
+          i := !i + (d * osuf.(j + 1))
+        done;
+        for l = 0 to r - 1 do
+          let si = 2 * ((!i * r) + l) in
+          let di = 2 * ((((b * r) + l) * vl) + v) in
+          out.(di) <- tw.(si);
+          out.(di + 1) <- tw.(si + 1)
+        done
+      done
+    done;
+    out
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -227,25 +491,122 @@ let emit_pass b ~backend ~k (p : Plan.pass) =
            r k r));
   buf_add b "  }\n}\n\n"
 
+(* Vectorized pass: iterations are VL-wide lane blocks ([lo, hi) count
+   blocks; call sites divide [count] by VL).  The digit decomposition is
+   the scalar one with the lane level's extent divided by VL and its
+   stride contribution scaled by VL; the lane offset [v] lives inside
+   the vector ops (unit stride on the contiguous side(s)). *)
+let emit_vpass b ~backend ~k ~vl ~level ~form (p : Plan.pass) =
+  let r = p.radix in
+  let kname = p.kernel.Codelet.name in
+  match p.addr with
+  | Plan.Indexed _ -> assert false
+  | Plan.Strided { exts; gstrs; sstrs; g0; s0; gl; sl; _ } ->
+      (match p.tw with
+      | Some tw ->
+          emit_double_table b
+            (Printf.sprintf "vtw_p%d" k)
+            (lane_major_tw ~vl ~level ~exts ~r tw)
+      | None -> ());
+      buf_add b
+        (Printf.sprintf
+           "/* vectorized: %s lane block at loop level %d */\n\
+            static void pass%d(const double *restrict src, double *restrict \
+            dst, long lo, long hi)\n\
+            {\n"
+           (match form with
+           | Both -> "load+store"
+           | GatherV -> "load-side"
+           | ScatterV -> "store-side")
+           level k);
+      (match (backend, p.par) with
+      | `OpenMP, Some q ->
+          buf_add b
+            (Printf.sprintf
+               "#pragma omp parallel for num_threads(%d) schedule(static)\n" q)
+      | _ -> ());
+      buf_add b "  for (long it = lo; it < hi; ++it) {\n";
+      let kk = Array.length exts in
+      buf_add b (Printf.sprintf "    long gb = %d, sb = %d, rem = it;\n" g0 s0);
+      for j = kk - 1 downto 0 do
+        let e = if j = level then exts.(j) / vl else exts.(j) in
+        let gs = if j = level then vl * gstrs.(j) else gstrs.(j) in
+        let ss = if j = level then vl * sstrs.(j) else sstrs.(j) in
+        buf_add b
+          (Printf.sprintf
+             "    { long d = rem %% %d; rem /= %d; gb += d*%dL; sb += d*%dL; }\n"
+             e e gs ss)
+      done;
+      buf_add b (Printf.sprintf "    vd bin[%d], bout[%d];\n" r r);
+      (match form with
+      | Both | GatherV ->
+          buf_add b
+            (Printf.sprintf
+               "    for (int l = 0; l < %d; ++l) bin[l] = vld(src + 2*(gb + \
+                (long)l*%d));\n"
+               r gl)
+      | ScatterV ->
+          buf_add b
+            (Printf.sprintf
+               "    { double tmpv[%d];\n\
+               \      for (int l = 0; l < %d; ++l) {\n\
+               \        for (int v = 0; v < %d; ++v) { long s_ = gb + \
+                (long)l*%d + (long)v*%d;\n\
+               \          tmpv[2*v] = src[2*s_]; tmpv[2*v+1] = src[2*s_+1]; }\n\
+               \        bin[l] = vld(tmpv); } }\n"
+               (2 * vl) r vl gl gstrs.(level)));
+      (match p.tw with
+      | Some _ ->
+          buf_add b
+            (Printf.sprintf
+               "    { const double *twp = vtw_p%d + it*%d;\n\
+               \      for (int l = 0; l < %d; ++l) bin[l] = vcmul(bin[l], \
+                vld(twp + %d*l)); }\n"
+               k
+               (2 * vl * r)
+               r (2 * vl))
+      | None -> ());
+      buf_add b (Printf.sprintf "    %s_vkernel(bin, bout);\n" kname);
+      (match form with
+      | Both | ScatterV ->
+          buf_add b
+            (Printf.sprintf
+               "    for (int l = 0; l < %d; ++l) vst(dst + 2*(sb + \
+                (long)l*%d), bout[l]);\n"
+               r sl)
+      | GatherV ->
+          buf_add b
+            (Printf.sprintf
+               "    { double tmpv[%d];\n\
+               \      for (int l = 0; l < %d; ++l) {\n\
+               \        vst(tmpv, bout[l]);\n\
+               \        for (int v = 0; v < %d; ++v) { long d_ = sb + \
+                (long)l*%d + (long)v*%d;\n\
+               \          dst[2*d_] = tmpv[2*v]; dst[2*d_+1] = tmpv[2*v+1]; } \
+                } }\n"
+               (2 * vl) r vl sl sstrs.(level)));
+      buf_add b "  }\n}\n\n"
+
 let pass_buffers (plan : Plan.t) k =
   let last = Array.length plan.passes - 1 in
   let out j = if j = last then "y" else if j mod 2 = 0 then "ta" else "tb" in
   ((if k = 0 then "x" else out (k - 1)), out k)
 
-let emit_transform_seq_omp b fname (plan : Plan.t) =
+let emit_transform_seq_omp b fname (plan : Plan.t) ~counts =
   buf_add b
     (Printf.sprintf
        "void %s(const double *restrict x, double *restrict y, double \
         *restrict ta, double *restrict tb)\n{\n"
        fname);
   Array.iteri
-    (fun k (p : Plan.pass) ->
+    (fun k (_ : Plan.pass) ->
       let src, dst = pass_buffers plan k in
-      buf_add b (Printf.sprintf "  pass%d(%s, %s, 0, %d);\n" k src dst p.count))
+      buf_add b
+        (Printf.sprintf "  pass%d(%s, %s, 0, %d);\n" k src dst counts.(k)))
     plan.passes;
   buf_add b "}\n\n"
 
-let emit_transform_pthreads b fname (plan : Plan.t) p =
+let emit_transform_pthreads b fname (plan : Plan.t) ~counts p =
   buf_add b
     (Printf.sprintf
        "/* persistent worker pool with a sense-reversing spin barrier: the\n\
@@ -280,12 +641,13 @@ let emit_transform_pthreads b fname (plan : Plan.t) p =
       let dst = if dst = "y" then "g_y" else "g_" ^ dst in
       (match pass.par with
       | Some _ ->
-          buf_add b (Printf.sprintf "    range(%d, w, &lo, &hi);\n" pass.count);
+          buf_add b
+            (Printf.sprintf "    range(%d, w, &lo, &hi);\n" counts.(k));
           buf_add b (Printf.sprintf "    pass%d(%s, %s, lo, hi);\n" k src dst)
       | None ->
           buf_add b
             (Printf.sprintf "    if (w == 0) pass%d(%s, %s, 0, %d);\n" k src
-               dst pass.count));
+               dst counts.(k)));
       buf_add b "    barrier_wait(&sense);\n")
     plan.passes;
   buf_add b "  }\n}\n\n";
@@ -340,7 +702,7 @@ let emit_main b fname n =
         }\n"
        n fname)
 
-let to_c ?backend ?fname (plan : Plan.t) =
+let to_c ?backend ?simd ?fname (plan : Plan.t) =
   if plan.n > max_n then
     invalid_arg
       (Printf.sprintf "C_emit.to_c: n=%d exceeds the emitter limit %d" plan.n
@@ -357,37 +719,98 @@ let to_c ?backend ?fname (plan : Plan.t) =
         match p.par with Some q -> max acc q | None -> acc)
       1 plan.passes
   in
+  (* Per-pass vectorization decision (SIMD mode only): passes that carry
+     a vec tag and expose a VL-aligned contiguous lane level vectorize;
+     the rest fall back to the scalar emission in the same TU. *)
+  let vec =
+    match simd with
+    | None -> Array.map (fun _ -> None) plan.passes
+    | Some isa ->
+        let vl = simd_vl isa in
+        Array.map (vec_form ~vl) plan.passes
+  in
+  let vl = match simd with Some isa -> simd_vl isa | None -> 1 in
+  let counts =
+    Array.mapi
+      (fun k (p : Plan.pass) ->
+        match vec.(k) with Some _ -> p.count / vl | None -> p.count)
+      plan.passes
+  in
   let fname = match fname with Some f -> f | None -> Printf.sprintf "dft_%d" plan.n in
   let b = Buffer.create (1 lsl 16) in
   buf_add b
     (Printf.sprintf
        "/* Generated by spiral-smp (OCaml reproduction of Franchetti et al.,\n\
        \   \"FFT Program Generation for Shared Memory: SMP and Multicore\",\n\
-       \   SC 2006).  DFT of size %d, %d pass(es), backend: %s. */\n\
+       \   SC 2006).  DFT of size %d, %d pass(es), backend: %s%s. */\n\
         #include <stdio.h>\n\
         #include <math.h>\n"
        plan.n (Array.length plan.passes)
        (match backend with
        | `OpenMP -> "OpenMP"
        | `Pthreads -> "pthreads"
-       | `None -> "sequential"));
+       | `None -> "sequential")
+       (match simd with
+       | Some isa ->
+           Printf.sprintf " + %s SIMD (%d vectorized pass(es) of %d)"
+             (simd_label isa)
+             (Array.fold_left
+                (fun a v -> if v <> None then a + 1 else a)
+                0 vec)
+             (Array.length plan.passes)
+       | None -> ""));
   (match backend with
   | `Pthreads -> buf_add b "#include <pthread.h>\n"
   | `OpenMP | `None -> ());
+  (match simd with
+  | Some isa -> buf_add b (simd_include isa)
+  | None -> ());
   buf_add b "#ifndef M_PI\n#define M_PI 3.14159265358979323846\n#endif\n\n";
-  (* kernels, de-duplicated *)
-  let seen = Hashtbl.create 8 in
-  Array.iter
-    (fun (p : Plan.pass) ->
+  (match simd with
+  | Some isa ->
+      buf_add b (simd_prelude isa);
+      buf_add b simd_helpers
+  | None -> ());
+  (* Scalar kernels for scalar passes; vector kernels (plus the dense
+     matrix they may need) for vectorized ones.  De-duplicated per form. *)
+  let seen_scalar = Hashtbl.create 8
+  and seen_vec = Hashtbl.create 8
+  and seen_mat = Hashtbl.create 8 in
+  Array.iteri
+    (fun k (p : Plan.pass) ->
       let name = p.kernel.Codelet.name in
-      if not (Hashtbl.mem seen name) then begin
-        Hashtbl.add seen name ();
-        emit_kernel b name p.radix
-      end)
+      match vec.(k) with
+      | None ->
+          if not (Hashtbl.mem seen_scalar name) then begin
+            Hashtbl.add seen_scalar name ();
+            let with_mat = not (Hashtbl.mem seen_mat name) in
+            if kernel_matrix name p.radix <> None then
+              Hashtbl.add seen_mat name ();
+            emit_kernel ~with_mat b name p.radix
+          end
+      | Some _ ->
+          if not (Hashtbl.mem seen_vec name) then begin
+            Hashtbl.add seen_vec name ();
+            if
+              (not (List.mem_assoc name unrolled_vkernels))
+              && not (Hashtbl.mem seen_mat name)
+            then (
+              match kernel_matrix name p.radix with
+              | Some mat ->
+                  Hashtbl.add seen_mat name ();
+                  emit_mat_table b name mat p.radix
+              | None -> ());
+            emit_vkernel b name p.radix
+          end)
     plan.passes;
-  Array.iteri (fun k p -> emit_pass b ~backend ~k p) plan.passes;
+  Array.iteri
+    (fun k p ->
+      match vec.(k) with
+      | Some (level, form) -> emit_vpass b ~backend ~k ~vl ~level ~form p
+      | None -> emit_pass b ~backend ~k p)
+    plan.passes;
   (match backend with
-  | `Pthreads -> emit_transform_pthreads b fname plan par_degree
-  | `OpenMP | `None -> emit_transform_seq_omp b fname plan);
+  | `Pthreads -> emit_transform_pthreads b fname plan ~counts par_degree
+  | `OpenMP | `None -> emit_transform_seq_omp b fname plan ~counts);
   emit_main b fname plan.n;
   Buffer.contents b

@@ -12,14 +12,36 @@
       barrier between passes (the paper's low-overhead pthreads backend);
     - [`None]: sequential loops.
 
-    The result compiles with [gcc -O2 -fopenmp] / [-pthread]; the test
-    suite does exactly that when a C compiler is available. *)
+    In SIMD mode ([simd]), passes carrying a [vec(ν)] tag whose
+    materialized strides expose a VL-aligned memory-contiguous lane
+    level are emitted as intrinsic vector code — vector loads/stores,
+    in-register twiddle application from lane-major tables, and vector
+    codelets built on a small per-ISA macro layer — composed with the
+    same OpenMP/pthreads worksharing, so smp × vec runs as one
+    translation unit.  Passes whose lane level is contiguous on only one
+    side (the in-register shuffle stages trade contiguity between gather
+    and scatter) vectorize that side and lane-unpack the other; the rest
+    fall back to the scalar emission.
+
+    The result compiles with [gcc -O2 -fopenmp] / [-pthread]; add
+    [-mavx2] for [`AVX2] (SSE2 is baseline on x86-64, [`NEON] needs an
+    AArch64 target, [`Generic] uses GCC/Clang vector extensions only).
+    The test suite does exactly that when a C compiler is available. *)
+
+type simd = [ `SSE2 | `AVX2 | `NEON | `Generic ]
+
+val simd_vl : simd -> int
+(** Complex elements per vector register: 2 for [`AVX2]/[`Generic]
+    (256-bit), 1 for [`SSE2]/[`NEON] (128-bit — re and im still move in
+    one op). *)
 
 val to_c :
   ?backend:[ `OpenMP | `Pthreads | `None ] ->
+  ?simd:simd ->
   ?fname:string ->
   Plan.t ->
   string
 (** [to_c plan] is the C source text.  [fname] names the transform
     function (default [dft_<n>]).  Default backend: [`OpenMP] when the plan
-    has parallel passes, [`None] otherwise. *)
+    has parallel passes, [`None] otherwise.  [simd] (default off) selects
+    the SIMD instruction set for vec-tagged passes. *)

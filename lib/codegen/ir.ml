@@ -7,6 +7,7 @@ type pass = {
   radix : int;
   par : int option;
   mu : int option;
+  vec : int option;
   kernel : Codelet.t;
   gather : int -> int -> int;
   scatter : int -> int -> int;
@@ -29,6 +30,7 @@ type embed = {
   scale : (int -> int -> Complex.t) option;
   par : int option;
   mu : int option;  (* cache-line granularity from smp(p,µ) / CacheTensor *)
+  vec : int option;  (* ν-way vector block width from VTensor/VShuffle *)
   hint : int list;  (* loop extents, outermost first; product = count *)
 }
 
@@ -119,6 +121,7 @@ let rec compile ~explicit ~emit embed (f : Formula.t) =
               embed.scale;
           par = embed.par;
           mu = embed.mu;
+          vec = embed.vec;
           hint = embed.hint @ [ m ];
         }
         a
@@ -135,6 +138,7 @@ let rec compile ~explicit ~emit embed (f : Formula.t) =
               embed.scale;
           par = embed.par;
           mu = embed.mu;
+          vec = embed.vec;
           hint = embed.hint @ [ q ];
         }
         a
@@ -157,6 +161,7 @@ let rec compile ~explicit ~emit embed (f : Formula.t) =
               embed.scale;
           par = (match embed.par with None -> Some p | some -> some);
           mu = embed.mu;
+          vec = embed.vec;
           hint = embed.hint @ [ p ];
         }
         a
@@ -181,8 +186,17 @@ let rec compile ~explicit ~emit embed (f : Formula.t) =
       in
       compile ~explicit ~emit embed a
   | Vec (_, a) -> compile ~explicit ~emit embed a
-  | VTensor (a, nu) -> compile ~explicit ~emit embed (Tensor (a, I nu))
+  | VTensor (a, nu) ->
+      (* the ν-way block structure survives loop merging as a tag on the
+         emitted pass; backends re-verify lane legality structurally *)
+      let embed =
+        { embed with vec = (match embed.vec with None -> Some nu | s -> s) }
+      in
+      compile ~explicit ~emit embed (Tensor (a, I nu))
   | VShuffle (k, nu) ->
+      let embed =
+        { embed with vec = (match embed.vec with None -> Some nu | s -> s) }
+      in
       compile ~explicit ~emit embed
         (Tensor (I k, Perm (Perm.L (nu * nu, nu))))
 
@@ -193,6 +207,7 @@ and emit_leaf ~emit embed kernel =
       radix = kernel.Codelet.radix;
       par = embed.par;
       mu = embed.mu;
+      vec = embed.vec;
       kernel;
       gather = embed.in_of;
       scatter = embed.out_of;
@@ -224,6 +239,7 @@ and emit_data ~emit embed sigma scale_local =
       radix = 1;
       par = embed.par;
       mu = embed.mu;
+      vec = embed.vec;
       kernel = Codelet.dft 1;
       gather = (fun it _l -> embed.in_of (it / d) (sigma (it mod d)));
       scatter = (fun it _l -> embed.out_of (it / d) (it mod d));
@@ -315,6 +331,7 @@ and compile_chain ~explicit ~emit embed factors =
               scale;
               par = embed.par;
               mu;
+              vec = embed.vec;
               hint = embed.hint;
             }
             comp)
@@ -333,6 +350,7 @@ let of_formula ?(explicit_data = false) f =
       scale = None;
       par = None;
       mu = None;
+      vec = None;
       hint = [];
     }
   in

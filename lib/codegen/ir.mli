@@ -32,6 +32,14 @@ type pass = {
           The parallel executor aligns Block-partition boundaries to
           multiples of [µ] so no cache line is shared between processors
           (Definition 1's false-sharing freedom). *)
+  vec : int option;
+      (** ν-way vector block width from the enclosing [A ⊗→ I_ν]
+          ([VTensor]) / in-register shuffle ([VShuffle]) construct of a
+          {!Spiral_rewrite.Vector_rules.vectorize}d formula.  Advisory:
+          backends that vectorize must re-verify lane legality on the
+          materialized strides (loop merging can rotate the lane
+          dimension to any loop level, or split it between the gather and
+          scatter sides). *)
   kernel : Codelet.t;
   gather : int -> int -> int;
       (** [gather i l]: complex index read for element [l] of iteration

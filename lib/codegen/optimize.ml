@@ -32,6 +32,7 @@ type pending = {
   scale : Complex.t array option;
   par : int option;
   mu : int option;
+  vec : int option;
   hint : int list;
 }
 
@@ -41,6 +42,11 @@ let merge_mu a b =
   match (a, b) with
   | None, m | m, None -> m
   | Some x, Some y -> Some (max x y)
+
+(* A fused pass keeps the compute side's vector tag; a data-only chain
+   keeps any tag of its constituents (they all came from one vectorized
+   formula, so widths agree). *)
+let merge_vec a b = match (a, b) with None, v | v, None -> v | v, _ -> v
 
 let is_data_pass (p : Ir.pass) =
   p.radix = 1
@@ -65,10 +71,10 @@ let compose n (prev : pending option) (d : Ir.pass) =
      with Exit -> ());
     if not !ok then None
     else begin
-      let pperm, pscale, pmu =
+      let pperm, pscale, pmu, pvec =
         match prev with
-        | None -> (None, None, None)
-        | Some p -> (Some p.perm, p.scale, p.mu)
+        | None -> (None, None, None, None)
+        | Some p -> (Some p.perm, p.scale, p.mu, p.vec)
       in
       let perm = Array.make n 0 in
       let scale =
@@ -99,7 +105,15 @@ let compose n (prev : pending option) (d : Ir.pass) =
        with Exit -> ());
       if not !ok then None
       else
-        Some { perm; scale; par = d.par; mu = merge_mu pmu d.mu; hint = d.hint }
+        Some
+          {
+            perm;
+            scale;
+            par = d.par;
+            mu = merge_mu pmu d.mu;
+            vec = merge_vec pvec d.vec;
+            hint = d.hint;
+          }
     end
   end
 
@@ -118,7 +132,7 @@ let fuse_forward (c : Ir.pass) (p : pending) : Ir.pass =
             | None -> s0
             | Some s -> Complex.mul (s i l) s0)
   in
-  { c with gather; scale; mu = merge_mu c.mu p.mu }
+  { c with gather; scale; mu = merge_mu c.mu p.mu; vec = merge_vec c.vec p.vec }
 
 (* Backward fusion: pending pure permutation follows the chain's last
    pass [c]; rewrite its scatter through the inverse permutation. *)
@@ -141,7 +155,13 @@ let fuse_backward n (c : Ir.pass) (p : pending) : Ir.pass option =
       if not !ok then None
       else begin
         let cs = c.scatter in
-        Some { c with scatter = (fun i l -> pinv.(cs i l)); mu = merge_mu c.mu p.mu }
+        Some
+          {
+            c with
+            scatter = (fun i l -> pinv.(cs i l));
+            mu = merge_mu c.mu p.mu;
+            vec = merge_vec c.vec p.vec;
+          }
       end
 
 let residual n (p : pending) : Ir.pass =
@@ -151,6 +171,7 @@ let residual n (p : pending) : Ir.pass =
     radix = 1;
     par = p.par;
     mu = p.mu;
+    vec = p.vec;
     kernel = Codelet.dft 1;
     gather = (fun i _l -> perm.(i));
     scatter = (fun i _l -> i);

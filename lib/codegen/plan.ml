@@ -13,15 +13,32 @@ type addressing =
     }
   | Indexed of { gidx : int array; sidx : int array }
 
+(* Buffer layout of a plan's vectors: [Interleaved] is the classic
+   re,im,re,im float array of 2n; [Split] keeps the same 2n float array
+   but as two planes — re at [0,n), im at [n,2n) — executed by planar
+   {!Vcodelet}s.  Split plans run the identical pass/range/barrier
+   machinery (buffers have the same type and length), so [Par_exec]
+   works on them unchanged. *)
+type layout = Interleaved | Split
+
+type split_exec = {
+  vk : Vcodelet.t;
+  im : int;  (** Plane offset (= n) of every buffer of the plan. *)
+}
+
 type pass = {
   count : int;
   radix : int;
   par : int option;
   mu : int option;
+  vec : int option;
   kernel : Codelet.t;
   addr : addressing;
   tw : float array option;
   flops : int;
+  split : split_exec option;
+      (** [Some _] iff the plan layout is [Split]: the planar kernel this
+          pass runs instead of [kernel]. *)
 }
 
 (* Per-worker execution context: codelet scratch plus the odometer digit
@@ -30,6 +47,7 @@ type ctx = { cscratch : Codelet.scratch; dig : int array }
 
 type t = {
   n : int;
+  layout : layout;
   passes : pass array;
   tmp_a : float array;
   tmp_b : float array;
@@ -191,13 +209,34 @@ let materialize_pass (p : Ir.pass) : pass =
     radix = p.radix;
     par = p.par;
     mu = p.mu;
+    vec = p.vec;
     kernel = p.kernel;
     addr;
     tw;
     flops = Ir.pass_flops p;
+    split = None;
   }
 
-let of_ir ?(fuse = true) ?(baseline = false) (ir : Ir.t) =
+(* A pass of a Split-layout plan gets its planar kernel here.  The ν-lane
+   block materializes only when the innermost loop level actually carries
+   ν-aligned iterations — loop merging can rotate the tagged lane
+   dimension to any level (see {!Ir.pass.vec}), so legality is re-checked
+   on the materialized extents, and unblocked passes fall back to scalar
+   planar execution. *)
+let attach_split ~n (p : pass) =
+  let lanes =
+    match (p.vec, p.addr) with
+    | Some nu, Strided { exts; _ } when nu > 1 ->
+        let k = Array.length exts in
+        if k > 0 && exts.(k - 1) mod nu = 0 then nu else 1
+    | _ -> 1
+  in
+  Spiral_util.Counters.incr
+    (if lanes > 1 then "vec.pass_blocked" else "vec.pass_scalar");
+  { p with split = Some { vk = Vcodelet.get ~lanes p.kernel; im = n } }
+
+let of_ir ?(fuse = true) ?(baseline = false) ?(layout = Interleaved)
+    (ir : Ir.t) =
   let ir = if fuse then Optimize.fuse_data ir else ir in
   let passes = Array.of_list (List.map materialize_pass ir.passes) in
   let passes =
@@ -205,10 +244,16 @@ let of_ir ?(fuse = true) ?(baseline = false) (ir : Ir.t) =
       Array.map (fun p -> { p with kernel = Codelet.legacy p.kernel }) passes
     else passes
   in
+  let passes =
+    match layout with
+    | Interleaved -> passes
+    | Split -> Array.map (attach_split ~n:ir.n) passes
+  in
   let need_tmp = Array.length passes > 1 in
   let tmp_size = if need_tmp then 2 * ir.n else 0 in
   {
     n = ir.n;
+    layout;
     passes;
     tmp_a = Array.make tmp_size 0.0;
     tmp_b = Array.make (if Array.length passes > 2 then tmp_size else 0) 0.0;
@@ -218,11 +263,11 @@ let of_ir ?(fuse = true) ?(baseline = false) (ir : Ir.t) =
     misaligned = [];
   }
 
-let of_formula ?fuse ?baseline ?(explicit_data = false) f =
+let of_formula ?fuse ?baseline ?layout ?(explicit_data = false) f =
   (* [explicit_data] plans exist to show the unmerged execution; fusing
      them back would defeat the point, so fusion defaults off for them. *)
   let fuse = match fuse with Some b -> b | None -> not explicit_data in
-  of_ir ~fuse ?baseline (Ir.of_formula ~explicit_data f)
+  of_ir ~fuse ?baseline ?layout (Ir.of_formula ~explicit_data f)
 
 let clone t =
   {
@@ -243,7 +288,7 @@ let clone t =
    the old [run_strided] helper (whose [radix]/[gl]/[sl] parameters were
    dead). *)
 
-let run_pass_range ctx p ~src ~dst ~lo ~hi =
+let run_interleaved ctx p ~src ~dst ~lo ~hi =
   let r = p.radix in
   let cs = ctx.cscratch in
   match p.addr with
@@ -353,6 +398,113 @@ let run_pass_range ctx p ~src ~dst ~lo ~hi =
             kern cs src gidx (i * r) dst sidx (i * r) tw (i * r)
           done)
 
+(* Planar (split re/im) pass execution.  The odometer is the same as the
+   interleaved path, but advances by the lane count ν when the innermost
+   digit is ν-aligned and the remaining range covers a whole block, so a
+   blocked planar kernel ([Vcodelet.blk]) runs ν consecutive iterations
+   per call: consecutive flat iterations differ only in the innermost
+   digit within a block (ν divides the innermost extent), which also
+   means blocks never straddle a carry and their twiddle indices are the
+   [lanes × radix] panel starting at [i·r]. *)
+let run_split ctx p se ~src ~dst ~lo ~hi =
+  let r = p.radix in
+  let cs = ctx.cscratch in
+  let vk = se.vk and im = se.im in
+  match p.addr with
+  | Strided { exts; suffix; gstrs; sstrs; g0; s0; gl; sl } -> (
+      let k = Array.length exts in
+      let dig = ctx.dig in
+      let bg = ref g0 and bs = ref s0 in
+      for j = 0 to k - 1 do
+        let d = lo / suffix.(j + 1) mod exts.(j) in
+        dig.(j) <- d;
+        bg := !bg + (d * gstrs.(j));
+        bs := !bs + (d * sstrs.(j))
+      done;
+      let nu = vk.Vcodelet.lanes in
+      let ki = k - 1 in
+      let gv = gstrs.(ki) and sv = sstrs.(ki) in
+      (* the odometer advance is written out in both twiddle branches
+         (rather than shared via a local function) so no closure
+         captures [bg]/[bs]: all refs stay local and unboxed, keeping
+         the executor allocation-free *)
+      match p.tw with
+      | None ->
+          let blk = vk.Vcodelet.blk and s1 = vk.Vcodelet.s1 in
+          let i = ref lo in
+          while !i < hi do
+            let step =
+              if nu > 1 && dig.(ki) mod nu = 0 && !i + nu <= hi then begin
+                blk cs im src !bg gl gv dst !bs sl sv;
+                nu
+              end
+              else begin
+                s1 cs im src !bg gl dst !bs sl;
+                1
+              end
+            in
+            i := !i + step;
+            dig.(ki) <- dig.(ki) + step;
+            bg := !bg + (step * gv);
+            bs := !bs + (step * sv);
+            let j = ref ki in
+            while dig.(!j) = exts.(!j) && !j > 0 do
+              dig.(!j) <- 0;
+              bg := !bg - (exts.(!j) * gstrs.(!j));
+              bs := !bs - (exts.(!j) * sstrs.(!j));
+              decr j;
+              dig.(!j) <- dig.(!j) + 1;
+              bg := !bg + gstrs.(!j);
+              bs := !bs + sstrs.(!j)
+            done
+          done
+      | Some tw ->
+          let blk_tw = vk.Vcodelet.blk_tw and s1_tw = vk.Vcodelet.s1_tw in
+          let i = ref lo in
+          while !i < hi do
+            let step =
+              if nu > 1 && dig.(ki) mod nu = 0 && !i + nu <= hi then begin
+                blk_tw cs im src !bg gl gv dst !bs sl sv tw (!i * r);
+                nu
+              end
+              else begin
+                s1_tw cs im src !bg gl dst !bs sl tw (!i * r);
+                1
+              end
+            in
+            i := !i + step;
+            dig.(ki) <- dig.(ki) + step;
+            bg := !bg + (step * gv);
+            bs := !bs + (step * sv);
+            let j = ref ki in
+            while dig.(!j) = exts.(!j) && !j > 0 do
+              dig.(!j) <- 0;
+              bg := !bg - (exts.(!j) * gstrs.(!j));
+              bs := !bs - (exts.(!j) * sstrs.(!j));
+              decr j;
+              dig.(!j) <- dig.(!j) + 1;
+              bg := !bg + gstrs.(!j);
+              bs := !bs + sstrs.(!j)
+            done
+          done)
+  | Indexed { gidx; sidx } -> (
+      match p.tw with
+      | None ->
+          let ix1 = vk.Vcodelet.ix1 in
+          for i = lo to hi - 1 do
+            ix1 cs im src gidx (i * r) dst sidx (i * r)
+          done
+      | Some tw ->
+          let ix1_tw = vk.Vcodelet.ix1_tw in
+          for i = lo to hi - 1 do
+            ix1_tw cs im src gidx (i * r) dst sidx (i * r) tw (i * r)
+          done)
+
+let run_pass_range ctx p ~src ~dst ~lo ~hi =
+  match p.split with
+  | Some se -> run_split ctx p se ~src ~dst ~lo ~hi
+  | None -> run_interleaved ctx p ~src ~dst ~lo ~hi
+
 (* Ping-pong buffer schedule: pass 0 reads [x], the last pass writes [y],
    intermediates alternate tmp_a/tmp_b.  Split accessors so the executors
    can resolve buffers without allocating a tuple. *)
@@ -401,11 +553,13 @@ let total_flops t = Array.fold_left (fun acc p -> acc + p.flops) 0 t.passes
 let describe t =
   let b = Buffer.create 256 in
   Buffer.add_string b
-    (Printf.sprintf "plan n=%d, %d passes\n" t.n (Array.length t.passes));
+    (Printf.sprintf "plan n=%d%s, %d passes\n" t.n
+       (match t.layout with Interleaved -> "" | Split -> " split-re/im")
+       (Array.length t.passes));
   Array.iteri
     (fun k p ->
       Buffer.add_string b
-        (Printf.sprintf "  pass %d: %-14s count=%-8d %s%s%s\n" k
+        (Printf.sprintf "  pass %d: %-14s count=%-8d %s%s%s%s\n" k
            p.kernel.Codelet.name p.count
            (match p.addr with
            | Strided { exts; _ } ->
@@ -416,6 +570,11 @@ let describe t =
            (match p.tw with Some _ -> " +twiddle" | None -> "")
            (match p.par with
            | Some q -> Printf.sprintf " parallel(%d)" q
+           | None -> "")
+           (match p.split with
+           | Some { vk; _ } when vk.Vcodelet.lanes > 1 ->
+               Printf.sprintf " vec(%d)" vk.Vcodelet.lanes
+           | Some _ -> " planar"
            | None -> "")))
     t.passes;
   Buffer.contents b

@@ -32,6 +32,20 @@ type addressing =
   | Indexed of { gidx : int array; sidx : int array }
       (** Index tables of size [count * radix], iteration-major. *)
 
+type layout =
+  | Interleaved  (** re,im,re,im — the classic layout; scalar codelets. *)
+  | Split
+      (** Split re/im planes within one float array of 2n: re at [0,n),
+          im at [n,2n).  Passes run planar {!Vcodelet}s, ν-lane-blocked
+          where the materialized strides allow; buffers keep the same
+          type and length, so [Par_exec] (ranges, barriers, resident
+          regions) works unchanged. *)
+
+type split_exec = {
+  vk : Vcodelet.t;
+  im : int;  (** Plane offset (= n) of every buffer of the plan. *)
+}
+
 type pass = {
   count : int;
   radix : int;
@@ -42,11 +56,19 @@ type pass = {
           (fusion keeps the largest tag).  [Par_exec] aligns Block
           boundaries of µ-tagged parallel passes so no cache line is
           shared between workers (Definition 1). *)
+  vec : int option;
+      (** ν-way vector tag carried from {!Ir.pass.vec} (advisory — see
+          there). *)
   kernel : Codelet.t;
   addr : addressing;
   tw : float array option;
       (** Interleaved load-scale table, indexed by [i*radix + l]. *)
   flops : int;
+  split : split_exec option;
+      (** [Some _] iff the plan layout is [Split]: the planar kernel this
+          pass runs instead of [kernel].  Lane-blocked ([vk.lanes] = ν)
+          when the pass is ν-tagged and the innermost materialized loop
+          extent is divisible by ν; scalar planar otherwise. *)
 }
 
 type ctx
@@ -55,6 +77,7 @@ type ctx
 
 type t = {
   n : int;
+  layout : layout;
   passes : pass array;
   tmp_a : float array;  (** Intermediate buffers (ping-pong). *)
   tmp_b : float array;
@@ -74,14 +97,17 @@ val affine_check_threshold : int
 (** Below this many (iteration, element) points, affinity of index
     functions is verified exhaustively; above, densely sampled. *)
 
-val of_ir : ?fuse:bool -> ?baseline:bool -> Ir.t -> t
+val of_ir : ?fuse:bool -> ?baseline:bool -> ?layout:layout -> Ir.t -> t
 (** [fuse] (default [true]) runs {!Optimize.fuse_data} before
     materializing.  [baseline] (default [false]) swaps every kernel for
     its {!Codelet.legacy} implementation — the pre-optimization hot path,
-    for benchmark ablations only. *)
+    for benchmark ablations only.  [layout] (default [Interleaved])
+    selects the buffer layout; [Split] attaches planar kernels to every
+    pass (ν-lane-blocked where the [vec] tags and materialized strides
+    permit — counted under [vec.pass_blocked]/[vec.pass_scalar]). *)
 
 val of_formula :
-  ?fuse:bool -> ?baseline:bool -> ?explicit_data:bool ->
+  ?fuse:bool -> ?baseline:bool -> ?layout:layout -> ?explicit_data:bool ->
   Spiral_spl.Formula.t -> t
 (** As {!of_ir} ∘ {!Ir.of_formula}.  [fuse] defaults to [true] except
     when [explicit_data] is set (an explicit plan exists to show the
@@ -132,8 +158,10 @@ val clone : t -> t
 
 val execute : t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t -> unit
 (** [execute plan x y] computes [y = A x] sequentially.  [x] and [y] must
-    be distinct vectors of length [n].  Not re-entrant: a plan owns its
-    intermediate buffers and context ({!clone} for concurrent use). *)
+    be distinct vectors of length [n] — in the plan's own layout: a
+    [Split] plan reads and writes planar buffers (re plane then im
+    plane; see {!layout}).  Not re-entrant: a plan owns its intermediate
+    buffers and context ({!clone} for concurrent use). *)
 
 val total_flops : t -> int
 

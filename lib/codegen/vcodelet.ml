@@ -1,0 +1,543 @@
+open Spiral_util
+
+(* Planar (split re/im) codelets: the OCaml lowering target of
+   [Vector_rules.vectorize]d formulas.  Buffers hold a transform of n
+   complex elements as one float array of 2n with the real plane at
+   [0, n) and the imaginary plane at [n, 2n); every entry point takes the
+   plane offset [im] (= n) instead of interleaving by 2.  Splitting the
+   planes removes the ×2 index scaling and the re/im interleave from the
+   inner loops, so a ν-lane block compiles to straight-line unboxed float
+   code over two independent streams — the scalar-ISA analogue of the
+   paper's short-vector kernels.
+
+   Blocked entry points ([blk]/[blk_tw]) process [lanes] consecutive
+   iterations of a pass per call — the materialized ν-way vector block —
+   amortizing the odometer and twiddle-base arithmetic over the block.
+   The inner radices 2 and 4 are fully unrolled at 2 and 4 lanes; radix
+   3/8 blocks run an unrolled straight-line body per lane; everything
+   else falls back to a planar dense-matrix kernel.
+
+   Scratch is shared with the interleaved path: a planar stage of radix r
+   needs 2r floats, and [Codelet.scratch] buffers hold 2·max_radix. *)
+
+type t = {
+  radix : int;
+  lanes : int;  (** Iterations per [blk] call; 1 = scalar planar. *)
+  name : string;
+  s1 : Codelet.scratch -> int -> float array -> int -> int -> float array -> int -> int -> unit;
+      (** [s1 cs im src gb gl dst sb sl]: one iteration; element [l] reads
+          re [src.(gb + l*gl)], im [src.(im + gb + l*gl)]. *)
+  s1_tw :
+    Codelet.scratch -> int -> float array -> int -> int -> float array ->
+    int -> int -> float array -> int -> unit;
+      (** As [s1] plus an interleaved twiddle table: element [l] is scaled
+          by [tw.(2*(t0+l))] + i·[tw.(2*(t0+l)+1)] on load. *)
+  blk :
+    Codelet.scratch -> int -> float array -> int -> int -> int ->
+    float array -> int -> int -> int -> unit;
+      (** [blk cs im src gb gl gv dst sb sl sv]: [lanes] iterations; lane
+          [v] element [l] reads [gb + l*gl + v*gv], writes
+          [sb + l*sl + v*sv]. *)
+  blk_tw :
+    Codelet.scratch -> int -> float array -> int -> int -> int ->
+    float array -> int -> int -> int -> float array -> int -> unit;
+      (** As [blk]; lane [v] element [l] uses twiddle [t0 + v*radix + l]. *)
+  ix1 :
+    Codelet.scratch -> int -> float array -> int array -> int ->
+    float array -> int array -> int -> unit;
+      (** Indexed addressing: element [l] reads [gidx.(gb + l)], writes
+          [sidx.(sb + l)]. *)
+  ix1_tw :
+    Codelet.scratch -> int -> float array -> int array -> int ->
+    float array -> int array -> int -> float array -> int -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Straight-line planar bodies.  Indices are resolved complex-element
+   positions; [im] is the plane offset of both buffers (plans ping-pong
+   between equal-sized buffers, so one offset serves src and dst). *)
+
+let p1 src im i0 dst o0 =
+  dst.(o0) <- src.(i0);
+  dst.(im + o0) <- src.(im + i0)
+
+let p1_tw src im i0 tw t0 dst o0 =
+  let wr = tw.(2 * t0) and wi = tw.((2 * t0) + 1) in
+  let xr = src.(i0) and xi = src.(im + i0) in
+  dst.(o0) <- (wr *. xr) -. (wi *. xi);
+  dst.(im + o0) <- (wr *. xi) +. (wi *. xr)
+
+let p2 src im i0 i1 dst o0 o1 =
+  let x0r = src.(i0) and x0i = src.(im + i0) in
+  let x1r = src.(i1) and x1i = src.(im + i1) in
+  dst.(o0) <- x0r +. x1r;
+  dst.(im + o0) <- x0i +. x1i;
+  dst.(o1) <- x0r -. x1r;
+  dst.(im + o1) <- x0i -. x1i
+
+let p2_tw src im i0 i1 tw t0 dst o0 o1 =
+  let w0r = tw.(2 * t0) and w0i = tw.((2 * t0) + 1) in
+  let w1r = tw.(2 * (t0 + 1)) and w1i = tw.((2 * (t0 + 1)) + 1) in
+  let a0r = src.(i0) and a0i = src.(im + i0) in
+  let a1r = src.(i1) and a1i = src.(im + i1) in
+  let x0r = (w0r *. a0r) -. (w0i *. a0i)
+  and x0i = (w0r *. a0i) +. (w0i *. a0r) in
+  let x1r = (w1r *. a1r) -. (w1i *. a1i)
+  and x1i = (w1r *. a1i) +. (w1i *. a1r) in
+  dst.(o0) <- x0r +. x1r;
+  dst.(im + o0) <- x0i +. x1i;
+  dst.(o1) <- x0r -. x1r;
+  dst.(im + o1) <- x0i -. x1i
+
+let sqrt3_2 = sqrt 3.0 /. 2.0
+
+let p3 src im i0 i1 i2 dst o0 o1 o2 =
+  let x0r = src.(i0) and x0i = src.(im + i0) in
+  let x1r = src.(i1) and x1i = src.(im + i1) in
+  let x2r = src.(i2) and x2i = src.(im + i2) in
+  let tr = x1r +. x2r and ti = x1i +. x2i in
+  let ur = x1r -. x2r and ui = x1i -. x2i in
+  let ar = x0r -. (0.5 *. tr) and ai = x0i -. (0.5 *. ti) in
+  let br = sqrt3_2 *. ur and bi = sqrt3_2 *. ui in
+  dst.(o0) <- x0r +. tr;
+  dst.(im + o0) <- x0i +. ti;
+  dst.(o1) <- ar +. bi;
+  dst.(im + o1) <- ai -. br;
+  dst.(o2) <- ar -. bi;
+  dst.(im + o2) <- ai +. br
+
+let p4 src im i0 i1 i2 i3 dst o0 o1 o2 o3 =
+  let x0r = src.(i0) and x0i = src.(im + i0) in
+  let x1r = src.(i1) and x1i = src.(im + i1) in
+  let x2r = src.(i2) and x2i = src.(im + i2) in
+  let x3r = src.(i3) and x3i = src.(im + i3) in
+  let t0r = x0r +. x2r and t0i = x0i +. x2i in
+  let t1r = x0r -. x2r and t1i = x0i -. x2i in
+  let t2r = x1r +. x3r and t2i = x1i +. x3i in
+  let t3r = x1r -. x3r and t3i = x1i -. x3i in
+  dst.(o0) <- t0r +. t2r;
+  dst.(im + o0) <- t0i +. t2i;
+  dst.(o2) <- t0r -. t2r;
+  dst.(im + o2) <- t0i -. t2i;
+  dst.(o1) <- t1r +. t3i;
+  dst.(im + o1) <- t1i -. t3r;
+  dst.(o3) <- t1r -. t3i;
+  dst.(im + o3) <- t1i +. t3r
+
+let p4_tw src im i0 i1 i2 i3 tw t0 dst o0 o1 o2 o3 =
+  let w0r = tw.(2 * t0) and w0i = tw.((2 * t0) + 1) in
+  let w1r = tw.(2 * (t0 + 1)) and w1i = tw.((2 * (t0 + 1)) + 1) in
+  let w2r = tw.(2 * (t0 + 2)) and w2i = tw.((2 * (t0 + 2)) + 1) in
+  let w3r = tw.(2 * (t0 + 3)) and w3i = tw.((2 * (t0 + 3)) + 1) in
+  let a0r = src.(i0) and a0i = src.(im + i0) in
+  let a1r = src.(i1) and a1i = src.(im + i1) in
+  let a2r = src.(i2) and a2i = src.(im + i2) in
+  let a3r = src.(i3) and a3i = src.(im + i3) in
+  let x0r = (w0r *. a0r) -. (w0i *. a0i)
+  and x0i = (w0r *. a0i) +. (w0i *. a0r) in
+  let x1r = (w1r *. a1r) -. (w1i *. a1i)
+  and x1i = (w1r *. a1i) +. (w1i *. a1r) in
+  let x2r = (w2r *. a2r) -. (w2i *. a2i)
+  and x2i = (w2r *. a2i) +. (w2i *. a2r) in
+  let x3r = (w3r *. a3r) -. (w3i *. a3i)
+  and x3i = (w3r *. a3i) +. (w3i *. a3r) in
+  let t0r = x0r +. x2r and t0i = x0i +. x2i in
+  let t1r = x0r -. x2r and t1i = x0i -. x2i in
+  let t2r = x1r +. x3r and t2i = x1i +. x3i in
+  let t3r = x1r -. x3r and t3i = x1i -. x3i in
+  dst.(o0) <- t0r +. t2r;
+  dst.(im + o0) <- t0i +. t2i;
+  dst.(o2) <- t0r -. t2r;
+  dst.(im + o2) <- t0i -. t2i;
+  dst.(o1) <- t1r +. t3i;
+  dst.(im + o1) <- t1i -. t3r;
+  dst.(o3) <- t1r -. t3i;
+  dst.(im + o3) <- t1i +. t3r
+
+let sqrt1_2 = sqrt 0.5
+
+let p8 src ims imd i0 i1 i2 i3 i4 i5 i6 i7 dst o0 o1 o2 o3 o4 o5 o6 o7 =
+  let x0r = src.(i0) and x0i = src.(ims + i0) in
+  let x2r = src.(i2) and x2i = src.(ims + i2) in
+  let x4r = src.(i4) and x4i = src.(ims + i4) in
+  let x6r = src.(i6) and x6i = src.(ims + i6) in
+  let t0r = x0r +. x4r and t0i = x0i +. x4i in
+  let t1r = x0r -. x4r and t1i = x0i -. x4i in
+  let t2r = x2r +. x6r and t2i = x2i +. x6i in
+  let t3r = x2r -. x6r and t3i = x2i -. x6i in
+  let e0r = t0r +. t2r and e0i = t0i +. t2i in
+  let e2r = t0r -. t2r and e2i = t0i -. t2i in
+  let e1r = t1r +. t3i and e1i = t1i -. t3r in
+  let e3r = t1r -. t3i and e3i = t1i +. t3r in
+  let x1r = src.(i1) and x1i = src.(ims + i1) in
+  let x3r = src.(i3) and x3i = src.(ims + i3) in
+  let x5r = src.(i5) and x5i = src.(ims + i5) in
+  let x7r = src.(i7) and x7i = src.(ims + i7) in
+  let u0r = x1r +. x5r and u0i = x1i +. x5i in
+  let u1r = x1r -. x5r and u1i = x1i -. x5i in
+  let u2r = x3r +. x7r and u2i = x3i +. x7i in
+  let u3r = x3r -. x7r and u3i = x3i -. x7i in
+  let f0r = u0r +. u2r and f0i = u0i +. u2i in
+  let f2r = u0r -. u2r and f2i = u0i -. u2i in
+  let f1r = u1r +. u3i and f1i = u1i -. u3r in
+  let f3r = u1r -. u3i and f3i = u1i +. u3r in
+  dst.(o0) <- e0r +. f0r;
+  dst.(imd + o0) <- e0i +. f0i;
+  dst.(o4) <- e0r -. f0r;
+  dst.(imd + o4) <- e0i -. f0i;
+  let w1r = sqrt1_2 *. (f1r +. f1i) and w1i = sqrt1_2 *. (f1i -. f1r) in
+  dst.(o1) <- e1r +. w1r;
+  dst.(imd + o1) <- e1i +. w1i;
+  dst.(o5) <- e1r -. w1r;
+  dst.(imd + o5) <- e1i -. w1i;
+  dst.(o2) <- e2r +. f2i;
+  dst.(imd + o2) <- e2i -. f2r;
+  dst.(o6) <- e2r -. f2i;
+  dst.(imd + o6) <- e2i +. f2r;
+  let w3r = sqrt1_2 *. (f3i -. f3r) and w3i = -.sqrt1_2 *. (f3r +. f3i) in
+  dst.(o3) <- e3r +. w3r;
+  dst.(imd + o3) <- e3i +. w3i;
+  dst.(o7) <- e3r -. w3r;
+  dst.(imd + o7) <- e3i -. w3i
+
+(* Twiddle-scale [r] planar elements into the (planar, plane offset [r])
+   stage — the load phase of generic and radix-8 twiddled entries. *)
+let scale_planar stage src im g0 gl tw t0 r =
+  for l = 0 to r - 1 do
+    let s = g0 + (l * gl) in
+    let wr = tw.(2 * (t0 + l)) and wi = tw.((2 * (t0 + l)) + 1) in
+    let xr = src.(s) and xi = src.(im + s) in
+    stage.(l) <- (wr *. xr) -. (wi *. xi);
+    stage.(r + l) <- (wr *. xi) +. (wi *. xr)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Generic construction from a planar contiguous kernel
+   [compute stage out] (both planar with plane offset [radix]). *)
+
+let make_generic ~radix ~lanes ~name compute =
+  let r = radix in
+  let s1 cs im src gb gl dst sb sl =
+    let stage = cs.Codelet.stage and out = cs.Codelet.out in
+    for l = 0 to r - 1 do
+      let s = gb + (l * gl) in
+      stage.(l) <- src.(s);
+      stage.(r + l) <- src.(im + s)
+    done;
+    compute stage out;
+    for l = 0 to r - 1 do
+      let d = sb + (l * sl) in
+      dst.(d) <- out.(l);
+      dst.(im + d) <- out.(r + l)
+    done
+  in
+  let s1_tw cs im src gb gl dst sb sl tw t0 =
+    let stage = cs.Codelet.stage and out = cs.Codelet.out in
+    scale_planar stage src im gb gl tw t0 r;
+    compute stage out;
+    for l = 0 to r - 1 do
+      let d = sb + (l * sl) in
+      dst.(d) <- out.(l);
+      dst.(im + d) <- out.(r + l)
+    done
+  in
+  {
+    radix;
+    lanes;
+    name;
+    s1;
+    s1_tw;
+    blk =
+      (fun cs im src gb gl gv dst sb sl sv ->
+        for v = 0 to lanes - 1 do
+          s1 cs im src (gb + (v * gv)) gl dst (sb + (v * sv)) sl
+        done);
+    blk_tw =
+      (fun cs im src gb gl gv dst sb sl sv tw t0 ->
+        for v = 0 to lanes - 1 do
+          s1_tw cs im src (gb + (v * gv)) gl dst
+            (sb + (v * sv))
+            sl tw
+            (t0 + (v * r))
+        done);
+    ix1 =
+      (fun cs im src gidx gb dst sidx sb ->
+        let stage = cs.Codelet.stage and out = cs.Codelet.out in
+        for l = 0 to r - 1 do
+          let s = gidx.(gb + l) in
+          stage.(l) <- src.(s);
+          stage.(r + l) <- src.(im + s)
+        done;
+        compute stage out;
+        for l = 0 to r - 1 do
+          let d = sidx.(sb + l) in
+          dst.(d) <- out.(l);
+          dst.(im + d) <- out.(r + l)
+        done);
+    ix1_tw =
+      (fun cs im src gidx gb dst sidx sb tw t0 ->
+        let stage = cs.Codelet.stage and out = cs.Codelet.out in
+        for l = 0 to r - 1 do
+          let s = gidx.(gb + l) in
+          let wr = tw.(2 * (t0 + l)) and wi = tw.((2 * (t0 + l)) + 1) in
+          let xr = src.(s) and xi = src.(im + s) in
+          stage.(l) <- (wr *. xr) -. (wi *. xi);
+          stage.(r + l) <- (wr *. xi) +. (wi *. xr)
+        done;
+        compute stage out;
+        for l = 0 to r - 1 do
+          let d = sidx.(sb + l) in
+          dst.(d) <- out.(l);
+          dst.(im + d) <- out.(r + l)
+        done);
+  }
+
+(* Planar dense-matrix kernel for radices without a straight-line body
+   (dft16/32, generic leaves, WHT). *)
+let matrix_compute name radix =
+  let mat =
+    if String.length name >= 3 && String.sub name 0 3 = "wht" then
+      let rec wht n =
+        if n = 1 then [| [| Complex.one |] |]
+        else
+          Cmatrix.kronecker
+            [| [| Complex.one; Complex.one |];
+               [| Complex.one; { Complex.re = -1.0; im = 0.0 } |] |]
+            (wht (n / 2))
+      in
+      wht radix
+    else Cmatrix.init radix radix (fun k l -> Twiddle.omega_pow ~n:radix ~k ~l)
+  in
+  let r = radix in
+  let wre = Array.make (r * r) 0.0 and wim = Array.make (r * r) 0.0 in
+  for k = 0 to r - 1 do
+    for l = 0 to r - 1 do
+      wre.((k * r) + l) <- mat.(k).(l).Complex.re;
+      wim.((k * r) + l) <- mat.(k).(l).Complex.im
+    done
+  done;
+  fun stage out ->
+    for k = 0 to r - 1 do
+      let ar = ref 0.0 and ai = ref 0.0 in
+      for l = 0 to r - 1 do
+        let wr = wre.((k * r) + l) and wi = wim.((k * r) + l) in
+        let xr = stage.(l) and xi = stage.(r + l) in
+        ar := !ar +. ((wr *. xr) -. (wi *. xi));
+        ai := !ai +. ((wr *. xi) +. (wi *. xr))
+      done;
+      out.(k) <- !ar;
+      out.(r + k) <- !ai
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Specialized planar entries: direct src→dst with no stage round-trip,
+   lane blocks unrolled for the inner radices. *)
+
+let specialize base =
+  let r = base.radix and nu = base.lanes in
+  match r with
+  | 1 ->
+      {
+        base with
+        s1 = (fun _cs im src gb _gl dst sb _sl -> p1 src im gb dst sb);
+        s1_tw =
+          (fun _cs im src gb _gl dst sb _sl tw t0 ->
+            p1_tw src im gb tw t0 dst sb);
+        blk =
+          (fun _cs im src gb _gl gv dst sb _sl sv ->
+            for v = 0 to nu - 1 do
+              p1 src im (gb + (v * gv)) dst (sb + (v * sv))
+            done);
+        blk_tw =
+          (fun _cs im src gb _gl gv dst sb _sl sv tw t0 ->
+            for v = 0 to nu - 1 do
+              p1_tw src im (gb + (v * gv)) tw (t0 + v) dst (sb + (v * sv))
+            done);
+      }
+  | 2 ->
+      let s1 _cs im src gb gl dst sb sl = p2 src im gb (gb + gl) dst sb (sb + sl) in
+      let s1_tw _cs im src gb gl dst sb sl tw t0 =
+        p2_tw src im gb (gb + gl) tw t0 dst sb (sb + sl)
+      in
+      let blk =
+        if nu = 2 then fun _cs im src gb gl gv dst sb sl sv ->
+          p2 src im gb (gb + gl) dst sb (sb + sl);
+          p2 src im (gb + gv) (gb + gl + gv) dst (sb + sv) (sb + sl + sv)
+        else if nu = 4 then fun _cs im src gb gl gv dst sb sl sv ->
+          p2 src im gb (gb + gl) dst sb (sb + sl);
+          p2 src im (gb + gv) (gb + gl + gv) dst (sb + sv) (sb + sl + sv);
+          let g2 = gb + (2 * gv) and s2 = sb + (2 * sv) in
+          p2 src im g2 (g2 + gl) dst s2 (s2 + sl);
+          p2 src im (g2 + gv) (g2 + gl + gv) dst (s2 + sv) (s2 + sl + sv)
+        else fun _cs im src gb gl gv dst sb sl sv ->
+          for v = 0 to nu - 1 do
+            p2 src im (gb + (v * gv)) (gb + gl + (v * gv)) dst
+              (sb + (v * sv))
+              (sb + sl + (v * sv))
+          done
+      in
+      let blk_tw =
+        if nu = 2 then fun _cs im src gb gl gv dst sb sl sv tw t0 ->
+          p2_tw src im gb (gb + gl) tw t0 dst sb (sb + sl);
+          p2_tw src im (gb + gv) (gb + gl + gv) tw (t0 + 2) dst (sb + sv)
+            (sb + sl + sv)
+        else if nu = 4 then fun _cs im src gb gl gv dst sb sl sv tw t0 ->
+          p2_tw src im gb (gb + gl) tw t0 dst sb (sb + sl);
+          p2_tw src im (gb + gv) (gb + gl + gv) tw (t0 + 2) dst (sb + sv)
+            (sb + sl + sv);
+          let g2 = gb + (2 * gv) and s2 = sb + (2 * sv) in
+          p2_tw src im g2 (g2 + gl) tw (t0 + 4) dst s2 (s2 + sl);
+          p2_tw src im (g2 + gv) (g2 + gl + gv) tw (t0 + 6) dst (s2 + sv)
+            (s2 + sl + sv)
+        else fun _cs im src gb gl gv dst sb sl sv tw t0 ->
+          for v = 0 to nu - 1 do
+            p2_tw src im (gb + (v * gv)) (gb + gl + (v * gv)) tw (t0 + (v * 2))
+              dst
+              (sb + (v * sv))
+              (sb + sl + (v * sv))
+          done
+      in
+      { base with s1; s1_tw; blk; blk_tw }
+  | 3 ->
+      let s1 _cs im src gb gl dst sb sl =
+        p3 src im gb (gb + gl) (gb + (2 * gl)) dst sb (sb + sl) (sb + (2 * sl))
+      in
+      {
+        base with
+        s1;
+        blk =
+          (fun _cs im src gb gl gv dst sb sl sv ->
+            for v = 0 to nu - 1 do
+              let g = gb + (v * gv) and s = sb + (v * sv) in
+              p3 src im g (g + gl) (g + (2 * gl)) dst s (s + sl) (s + (2 * sl))
+            done);
+      }
+  | 4 ->
+      let s1 _cs im src gb gl dst sb sl =
+        p4 src im gb (gb + gl) (gb + (2 * gl)) (gb + (3 * gl)) dst sb (sb + sl)
+          (sb + (2 * sl))
+          (sb + (3 * sl))
+      in
+      let s1_tw _cs im src gb gl dst sb sl tw t0 =
+        p4_tw src im gb (gb + gl) (gb + (2 * gl)) (gb + (3 * gl)) tw t0 dst sb
+          (sb + sl)
+          (sb + (2 * sl))
+          (sb + (3 * sl))
+      in
+      let blk _cs im src gb gl gv dst sb sl sv =
+        if nu = 2 then begin
+          p4 src im gb (gb + gl) (gb + (2 * gl)) (gb + (3 * gl)) dst sb
+            (sb + sl)
+            (sb + (2 * sl))
+            (sb + (3 * sl));
+          let g = gb + gv and s = sb + sv in
+          p4 src im g (g + gl) (g + (2 * gl)) (g + (3 * gl)) dst s (s + sl)
+            (s + (2 * sl))
+            (s + (3 * sl))
+        end
+        else
+          for v = 0 to nu - 1 do
+            let g = gb + (v * gv) and s = sb + (v * sv) in
+            p4 src im g (g + gl) (g + (2 * gl)) (g + (3 * gl)) dst s (s + sl)
+              (s + (2 * sl))
+              (s + (3 * sl))
+          done
+      in
+      let blk_tw _cs im src gb gl gv dst sb sl sv tw t0 =
+        if nu = 2 then begin
+          p4_tw src im gb (gb + gl) (gb + (2 * gl)) (gb + (3 * gl)) tw t0 dst
+            sb (sb + sl)
+            (sb + (2 * sl))
+            (sb + (3 * sl));
+          let g = gb + gv and s = sb + sv in
+          p4_tw src im g (g + gl) (g + (2 * gl)) (g + (3 * gl)) tw (t0 + 4) dst
+            s (s + sl)
+            (s + (2 * sl))
+            (s + (3 * sl))
+        end
+        else
+          for v = 0 to nu - 1 do
+            let g = gb + (v * gv) and s = sb + (v * sv) in
+            p4_tw src im g (g + gl) (g + (2 * gl)) (g + (3 * gl)) tw
+              (t0 + (v * 4))
+              dst s (s + sl)
+              (s + (2 * sl))
+              (s + (3 * sl))
+          done
+      in
+      { base with s1; s1_tw; blk; blk_tw }
+  | 8 ->
+      let s1 _cs im src gb gl dst sb sl =
+        p8 src im im gb (gb + gl) (gb + (2 * gl)) (gb + (3 * gl)) (gb + (4 * gl))
+          (gb + (5 * gl))
+          (gb + (6 * gl))
+          (gb + (7 * gl))
+          dst sb (sb + sl)
+          (sb + (2 * sl))
+          (sb + (3 * sl))
+          (sb + (4 * sl))
+          (sb + (5 * sl))
+          (sb + (6 * sl))
+          (sb + (7 * sl))
+      in
+      let s1_tw cs im src gb gl dst sb sl tw t0 =
+        let stage = cs.Codelet.stage in
+        scale_planar stage src im gb gl tw t0 8;
+        p8 stage 8 im 0 1 2 3 4 5 6 7 dst sb (sb + sl)
+          (sb + (2 * sl))
+          (sb + (3 * sl))
+          (sb + (4 * sl))
+          (sb + (5 * sl))
+          (sb + (6 * sl))
+          (sb + (7 * sl))
+      in
+      {
+        base with
+        s1;
+        s1_tw;
+        blk =
+          (fun cs im src gb gl gv dst sb sl sv ->
+            for v = 0 to nu - 1 do
+              s1 cs im src (gb + (v * gv)) gl dst (sb + (v * sv)) sl
+            done);
+        blk_tw =
+          (fun cs im src gb gl gv dst sb sl sv tw t0 ->
+            for v = 0 to nu - 1 do
+              s1_tw cs im src (gb + (v * gv)) gl dst
+                (sb + (v * sv))
+                sl tw
+                (t0 + (v * 8))
+            done);
+      }
+  | _ -> base
+
+let is_copy name =
+  String.length name >= 4 && String.sub name 0 4 = "copy"
+
+let build ~lanes (kernel : Codelet.t) =
+  let r = kernel.Codelet.radix and name = kernel.Codelet.name in
+  let compute =
+    if r = 1 || is_copy name then fun stage out ->
+      out.(0) <- stage.(0);
+      out.(1) <- stage.(1)
+    else matrix_compute name r
+  in
+  specialize (make_generic ~radix:r ~lanes ~name compute)
+
+(* Instances are immutable and stateless, so one per (kernel, lanes)
+   serves every plan; cloned plans share them like interleaved kernels. *)
+let cache : (string * int, t) Hashtbl.t = Hashtbl.create 16
+let cache_lock = Mutex.create ()
+
+let get ~lanes (kernel : Codelet.t) =
+  let key = (kernel.Codelet.name, lanes) in
+  Mutex.lock cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_lock)
+    (fun () ->
+      match Hashtbl.find_opt cache key with
+      | Some vk -> vk
+      | None ->
+          let vk = build ~lanes kernel in
+          Hashtbl.add cache key vk;
+          vk)

@@ -1,0 +1,53 @@
+(** Planar (split re/im) codelets — the OCaml lowering target of
+    {!Spiral_rewrite.Vector_rules.vectorize}d formulas.
+
+    Buffers hold n complex elements as one float array of length 2n with
+    the real plane at [0, n) and the imaginary plane at [n, 2n); entry
+    points take the plane offset [im] (= n) in place of the interleaved
+    path's ×2 index scaling.  The blocked entries process [lanes]
+    consecutive pass iterations per call — the materialized ν-way vector
+    block of a [vec(ν)]-tagged pass — with the inner radices (2 and 4)
+    fully unrolled at 2 and 4 lanes.
+
+    Instances are stateless and cached per (kernel, lanes); cloned plans
+    share them exactly like interleaved {!Codelet.t} kernels. *)
+
+type t = {
+  radix : int;
+  lanes : int;  (** Iterations per [blk] call; 1 = scalar planar. *)
+  name : string;
+  s1 : Codelet.scratch -> int -> float array -> int -> int -> float array -> int -> int -> unit;
+      (** [s1 cs im src gb gl dst sb sl]: one iteration; element [l] reads
+          re [src.(gb + l*gl)] and im [src.(im + gb + l*gl)], writes at
+          [sb + l*sl] likewise. *)
+  s1_tw :
+    Codelet.scratch -> int -> float array -> int -> int -> float array ->
+    int -> int -> float array -> int -> unit;
+      (** As [s1] plus an interleaved twiddle table: element [l] is scaled
+          on load by [tw.(2*(t0+l))] + i·[tw.(2*(t0+l)+1)]. *)
+  blk :
+    Codelet.scratch -> int -> float array -> int -> int -> int ->
+    float array -> int -> int -> int -> unit;
+      (** [blk cs im src gb gl gv dst sb sl sv]: [lanes] iterations; lane
+          [v] element [l] reads [gb + l*gl + v*gv] and writes
+          [sb + l*sl + v*sv]. *)
+  blk_tw :
+    Codelet.scratch -> int -> float array -> int -> int -> int ->
+    float array -> int -> int -> int -> float array -> int -> unit;
+      (** As [blk]; lane [v] element [l] uses twiddle index
+          [t0 + v*radix + l]. *)
+  ix1 :
+    Codelet.scratch -> int -> float array -> int array -> int ->
+    float array -> int array -> int -> unit;
+      (** Indexed addressing: element [l] reads complex index
+          [gidx.(gb + l)], writes [sidx.(sb + l)]. *)
+  ix1_tw :
+    Codelet.scratch -> int -> float array -> int array -> int ->
+    float array -> int array -> int -> float array -> int -> unit;
+}
+
+val get : lanes:int -> Codelet.t -> t
+(** The planar counterpart of an interleaved kernel at the given lane
+    count.  Straight-line bodies for radices 1/2/3/4/8 (with the 2- and
+    4-lane blocks of radices 2 and 4 fully unrolled), a planar
+    dense-matrix fallback otherwise.  Cached; thread-safe. *)

@@ -14,10 +14,10 @@ let derive ~count ~n ~threads ~mu =
         (Derive.substitute_nonterminals f [ inner ], threads)
     | Ok _ | Error _ -> (Derive.substitute_nonterminals top [ inner ], 1)
 
-let plan ?(threads = 1) ?(mu = 4) ~count n =
+let plan ?(threads = 1) ?(mu = 4) ?(vec = `Off) ~count n =
   if count < 1 || n < 1 then invalid_arg "Batch.plan: count and n >= 1";
   let engine =
-    Engine.plan ~threads ~mu ~derive:(derive ~count ~n)
+    Engine.plan ~threads ~mu ~vec ~derive:(derive ~count ~n)
       (Problem.make ~batch:count Problem.Dft [ n ])
   in
   { count; n; engine }
@@ -40,6 +40,6 @@ let execute_many t xs =
 
 let destroy t = Engine.destroy t.engine
 
-let with_plan ?threads ?mu ~count n f =
-  let t = plan ?threads ?mu ~count n in
+let with_plan ?threads ?mu ?vec ~count n f =
+  let t = plan ?threads ?mu ?vec ~count n in
   Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)

@@ -8,9 +8,12 @@
 
 type t
 
-val plan : ?threads:int -> ?mu:int -> count:int -> int -> t
+val plan :
+  ?threads:int -> ?mu:int -> ?vec:Planner.vec_request -> count:int -> int -> t
 (** [plan ~count n]: [count] transforms of size [n], stored back to back
-    (row-major [count × n]). *)
+    (row-major [count × n]).  [vec] requests short-vector lowering of
+    the batched formula (falls back to scalar when the rules do not
+    apply). *)
 
 val count : t -> int
 val n : t -> int
@@ -28,4 +31,11 @@ val execute_many : t -> Spiral_util.Cvec.t array -> Spiral_util.Cvec.t array
 
 val destroy : t -> unit
 
-val with_plan : ?threads:int -> ?mu:int -> count:int -> int -> (t -> 'a) -> 'a
+val with_plan :
+  ?threads:int ->
+  ?mu:int ->
+  ?vec:Planner.vec_request ->
+  count:int ->
+  int ->
+  (t -> 'a) ->
+  'a

@@ -36,14 +36,16 @@ let chirp_table n =
 
 let run_inner t src dst = Engine.execute_into t.inner ~src ~dst
 
-let plan ?(threads = 1) ?(mu = 4) n =
+let plan ?(threads = 1) ?(mu = 4) ?(vec = `Off) n =
   if n < 1 then invalid_arg "Bluestein.plan: n >= 1";
   let m = next_pow2 ((2 * n) - 1) in
   let chirp = chirp_table n in
   (* the inner problem is a plain forward DFT_m: it shares the plan
-     registry entry (and the pool) with any other size-m transform *)
+     registry entry (and the pool) with any other size-m transform
+     planned with the same vec request — all three inner calls per
+     execution run the one (possibly vectorized) plan *)
   let inner =
-    Engine.plan ~threads ~mu
+    Engine.plan ~threads ~mu ~vec
       ~derive:(fun ~threads ~mu ->
         Planner.derive_formula ~threads ~mu ~tree:(Ruletree.mixed_radix m) m)
       (Problem.make Problem.Dft [ m ])
@@ -79,6 +81,7 @@ let plan ?(threads = 1) ?(mu = 4) n =
   t
 
 let inner_size t = t.m
+let vectorized t = Engine.vectorized t.inner
 
 let execute_into t ~src ~dst =
   if not t.alive then invalid_arg "Bluestein: plan was destroyed";

@@ -16,12 +16,18 @@ val supported_directly : int -> bool
 (** [true] when the plain generator handles the size (all prime factors
     within codelet range) — callers prefer the direct path. *)
 
-val plan : ?threads:int -> ?mu:int -> int -> t
+val plan : ?threads:int -> ?mu:int -> ?vec:Planner.vec_request -> int -> t
 (** [plan n] prepares [DFT_n] for any [n >= 1].  [threads] parallelizes the
-    inner power-of-two transforms when the multicore derivation applies. *)
+    inner power-of-two transforms when the multicore derivation applies;
+    [vec] requests short-vector lowering of the same inner transforms
+    (they share the engine registry entry with any other size-[m] plan
+    carrying the same request). *)
 
 val inner_size : t -> int
 (** The power-of-two convolution size [m]. *)
+
+val vectorized : t -> int
+(** Vector length ν of the inner engine's plan; [0] when scalar. *)
 
 val execute_into :
   t -> src:Spiral_util.Cvec.t -> dst:Spiral_util.Cvec.t -> unit

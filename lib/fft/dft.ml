@@ -17,7 +17,8 @@ type t = {
   mutable alive : bool;
 }
 
-let plan ?(direction = Forward) ?(threads = 1) ?(mu = 4) ?tree n =
+let plan ?(direction = Forward) ?(threads = 1) ?(mu = 4) ?(vec = `Off) ?tree n
+    =
   if n < 1 then invalid_arg "Dft.plan: n >= 1";
   let impl =
     if Bluestein.supported_directly n || tree <> None then begin
@@ -31,10 +32,12 @@ let plan ?(direction = Forward) ?(threads = 1) ?(mu = 4) ?tree n =
         | None -> Ruletree.mixed_radix n
       in
       (* the inverse is the conjugated forward transform, so both
-         directions share one engine (and one plan-registry entry) *)
+         directions share one engine (and one plan-registry entry) —
+         including a vectorized one: the conjugation happens at the
+         boundary, outside the split-layout plan *)
       let eng =
         try
-          Engine.plan ~threads ~mu ~cache:(not custom)
+          Engine.plan ~threads ~mu ~cache:(not custom) ~vec
             ~derive:(fun ~threads ~mu ->
               Planner.derive_formula ~threads ~mu ~tree n)
             (Problem.make Problem.Dft [ n ])
@@ -42,7 +45,7 @@ let plan ?(direction = Forward) ?(threads = 1) ?(mu = 4) ?tree n =
       in
       Direct eng
     end
-    else Chirp (Bluestein.plan ~threads ~mu n)
+    else Chirp (Bluestein.plan ~threads ~mu ~vec n)
   in
   let conj_buf = if direction = Inverse then Some (Cvec.create n) else None in
   { n; direction; impl; conj_buf; alive = true }
@@ -54,6 +57,11 @@ let threads t =
 
 let parallel t =
   match t.impl with Direct eng -> Engine.parallel eng | Chirp _ -> false
+
+let vectorized t =
+  match t.impl with
+  | Direct eng -> Engine.vectorized eng
+  | Chirp b -> Bluestein.vectorized b
 
 let formula t =
   match t.impl with
@@ -109,6 +117,6 @@ let destroy t =
     | Chirp b -> Bluestein.destroy b
   end
 
-let with_plan ?direction ?threads ?mu ?tree n f =
-  let t = plan ?direction ?threads ?mu ?tree n in
+let with_plan ?direction ?threads ?mu ?vec ?tree n f =
+  let t = plan ?direction ?threads ?mu ?vec ?tree n in
   Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)

@@ -16,15 +16,21 @@ val plan :
   ?direction:direction ->
   ?threads:int ->
   ?mu:int ->
+  ?vec:Planner.vec_request ->
   ?tree:Spiral_rewrite.Ruletree.t ->
   int ->
   t
 (** [plan n] creates a plan for [DFT_n], any [n >= 1].  Defaults:
-    [Forward], 1 thread, [mu = 4] (64-byte lines, complex doubles), the
-    standard mixed-radix ruletree.  Sizes with prime factors beyond the
-    codelet range transparently use Bluestein's chirp-z algorithm over a
-    generated power-of-two transform.  @raise Invalid_argument if [n < 1]
-    or the tree size does not match. *)
+    [Forward], 1 thread, [mu = 4] (64-byte lines, complex doubles),
+    [vec = `Off], the standard mixed-radix ruletree.  [vec] requests
+    short-vector lowering ({!Planner.vec_request}); both directions
+    share one (possibly vectorized) engine — the inverse is the
+    conjugated forward transform, and the conjugation happens outside
+    the split-layout plan.  Sizes with prime factors beyond the codelet
+    range transparently use Bluestein's chirp-z algorithm over a
+    generated power-of-two transform, whose inner transforms honour the
+    same [vec] request.  @raise Invalid_argument if [n < 1] or the tree
+    size does not match. *)
 
 val n : t -> int
 
@@ -34,6 +40,10 @@ val threads : t -> int
 
 val parallel : t -> bool
 (** [true] when the plan executes the multicore Cooley-Tukey formula. *)
+
+val vectorized : t -> int
+(** Vector length ν achieved by short-vector lowering ([0] when the plan
+    is scalar — either [vec = `Off] or the lowering did not apply). *)
 
 val formula : t -> Spiral_spl.Formula.t
 
@@ -53,6 +63,7 @@ val with_plan :
   ?direction:direction ->
   ?threads:int ->
   ?mu:int ->
+  ?vec:Planner.vec_request ->
   ?tree:Spiral_rewrite.Ruletree.t ->
   int ->
   (t -> 'a) ->

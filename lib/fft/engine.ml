@@ -11,6 +11,7 @@ open Spiral_codegen
 type registry_entry = {
   formula : Spiral_spl.Formula.t;
   p : int;
+  nu : int;  (* achieved short-vector length; 0 = scalar interleaved *)
   master : Plan.t;
 }
 
@@ -21,8 +22,9 @@ let with_registry f =
   Mutex.lock registry_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
-let registry_key problem ~threads ~mu =
-  Printf.sprintf "%s p%d mu%d" (Problem.to_string problem) threads mu
+let registry_key problem ~threads ~mu ~vec =
+  Printf.sprintf "%s p%d mu%d %s" (Problem.to_string problem) threads mu
+    (Planner.vec_request_to_string vec)
 
 let registry_size () = with_registry (fun () -> Hashtbl.length registry)
 
@@ -35,6 +37,11 @@ type t = {
   formula : Spiral_spl.Formula.t;
   plan : Plan.t;
   p : int;
+  nu : int;  (* achieved short-vector length; 0 = scalar interleaved *)
+  planar : (float array * float array) option;
+      (* boundary buffers of a split-layout plan: interleaved callers
+         are transposed in/out of these planar re/im vectors.
+         Some iff nu > 0 *)
   pool : Spiral_smp.Pool.t option;
   prep : Spiral_smp.Par_exec.prepared option;
       (* the one prepared-schedule ownership site of the library:
@@ -43,30 +50,56 @@ type t = {
   mutable alive : bool;
 }
 
-let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ~derive problem =
+let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ?vec ~derive problem =
   if threads < 1 then invalid_arg "Engine.plan: threads >= 1";
   if mu < 1 then invalid_arg "Engine.plan: mu >= 1";
+  let vec =
+    match vec with
+    | Some v -> v
+    | None -> (
+        match Problem.vec problem with 0 -> `Off | nu -> `Nu nu)
+  in
   let total = Problem.total problem in
   let compile () =
     Trace.begin_span 0 Trace.cat_plan total;
     let formula, p = derive ~threads ~mu in
-    let plan =
-      try Plan.of_formula formula
-      with Ir.Unsupported msg -> invalid_arg ("Engine.plan: " ^ msg)
+    let vformula, nu = Planner.vectorize_formula ~vec formula in
+    let formula, nu, plan =
+      if nu > 0 then
+        (* vectorized formulas compile to split re/im plans; if the
+           lowered formula somehow does not compile, fall back to the
+           scalar derivation rather than failing the whole plan *)
+        match Plan.of_formula ~layout:Plan.Split vformula with
+        | plan ->
+            Counters.incr "vec.plan_split";
+            (vformula, nu, plan)
+        | exception Ir.Unsupported _ ->
+            Counters.incr "vec.compile_fail";
+            let plan =
+              try Plan.of_formula formula
+              with Ir.Unsupported msg -> invalid_arg ("Engine.plan: " ^ msg)
+            in
+            (formula, 0, plan)
+      else
+        let plan =
+          try Plan.of_formula formula
+          with Ir.Unsupported msg -> invalid_arg ("Engine.plan: " ^ msg)
+        in
+        (formula, 0, plan)
     in
     Trace.end_span 0 Trace.cat_plan total;
-    { formula; p; master = plan }
+    { formula; p; nu; master = plan }
   in
-  let formula, p, plan =
+  let formula, p, nu, plan =
     if not cache then
       let e = compile () in
-      (e.formula, e.p, e.master)
+      (e.formula, e.p, e.nu, e.master)
     else
-      let key = registry_key problem ~threads ~mu in
+      let key = registry_key problem ~threads ~mu ~vec in
       match with_registry (fun () -> Hashtbl.find_opt registry key) with
       | Some e ->
           Counters.incr "engine.plan_reuse";
-          (e.formula, e.p, Plan.clone e.master)
+          (e.formula, e.p, e.nu, Plan.clone e.master)
       | None ->
           (* compile outside the lock (derivation can be slow); a racing
              second planner at worst compiles a duplicate and the first
@@ -80,7 +113,7 @@ let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ~derive problem =
                     Hashtbl.replace registry key e;
                     e)
           in
-          (e.formula, e.p, Plan.clone e.master)
+          (e.formula, e.p, e.nu, Plan.clone e.master)
   in
   if threads > 1 && p <= 1 then begin
     Counters.incr "engine.seq_fallback";
@@ -96,20 +129,45 @@ let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ~derive problem =
         prep)
       pool
   in
-  { problem; formula; plan; p; pool; prep; scratch = None; alive = true }
+  let planar =
+    if nu > 0 then
+      Some (Array.make (2 * total) 0.0, Array.make (2 * total) 0.0)
+    else None
+  in
+  { problem; formula; plan; p; nu; planar; pool; prep; scratch = None;
+    alive = true }
 
 let problem t = t.problem
 let formula t = t.formula
 let size t = Problem.total t.problem
 let threads t = t.p
 let parallel t = t.pool <> None
+let vectorized t = t.nu
 let alive t = t.alive
 
 let describe t =
-  Printf.sprintf "%s threads=%d\n%s" (Problem.to_string t.problem) t.p
+  let vec = if t.nu > 0 then Printf.sprintf " vec=%d" t.nu else "" in
+  Printf.sprintf "%s threads=%d%s\n%s" (Problem.to_string t.problem) t.p vec
     (Plan.describe t.plan)
 
 let check_alive t = if not t.alive then invalid_arg "Engine: plan was destroyed"
+
+let run_plan t src dst =
+  match t.prep with
+  | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep src dst
+  | None -> Plan.execute t.plan src dst
+
+(* Split-layout plans read and write planar re/im vectors; interleaved
+   callers are transposed through the engine-owned boundary buffers.
+   The two transposes are O(n) sequential work against the O(n log n)
+   transform — the same trade the paper's split-complex backends make. *)
+let run_boundary t src dst =
+  match t.planar with
+  | Some (px, py) ->
+      Cvec.to_planar src px;
+      run_plan t px py;
+      Cvec.of_planar py dst
+  | None -> run_plan t src dst
 
 let execute_into t ~src ~dst =
   check_alive t;
@@ -117,9 +175,7 @@ let execute_into t ~src ~dst =
   if Cvec.length src <> n || Cvec.length dst <> n then
     invalid_arg "Engine.execute_into: wrong vector length";
   Trace.begin_span 0 Trace.cat_execute n;
-  (match t.prep with
-  | Some prep -> Spiral_smp.Par_exec.execute_safe_prepared prep src dst
-  | None -> Plan.execute t.plan src dst);
+  run_boundary t src dst;
   Trace.end_span 0 Trace.cat_execute n
 
 let execute t x =
@@ -136,9 +192,14 @@ let execute_many t jobs =
         invalid_arg "Engine.execute_many: wrong vector length")
     jobs;
   Trace.begin_span 0 Trace.cat_execute n;
-  (match t.prep with
-  | Some prep -> Spiral_smp.Par_exec.execute_many_safe prep jobs
-  | None -> Array.iter (fun (x, y) -> Plan.execute t.plan x y) jobs);
+  (match (t.planar, t.prep) with
+  | Some _, _ ->
+      (* split layout: each job crosses the planar boundary buffers, so
+         the batch runs one transform at a time (each still parallel
+         inside when the engine is) *)
+      Array.iter (fun (x, y) -> run_boundary t x y) jobs
+  | None, Some prep -> Spiral_smp.Par_exec.execute_many_safe prep jobs
+  | None, None -> Array.iter (fun (x, y) -> Plan.execute t.plan x y) jobs);
   Trace.end_span 0 Trace.cat_execute n
 
 let scratch t =

@@ -31,6 +31,7 @@ val plan :
   ?threads:int ->
   ?mu:int ->
   ?cache:bool ->
+  ?vec:Planner.vec_request ->
   derive:
     (threads:int -> mu:int -> Spiral_spl.Formula.t * int) ->
   Problem.t ->
@@ -39,12 +40,22 @@ val plan :
     must return the formula to compile and the worker count it is
     parallelized for ([1] = sequential); it runs only on a plan-registry
     miss.  [cache] (default [true]) keys the compiled plan by
-    (problem, threads, µ) in the process-wide registry — pass [false]
-    when the derivation depends on state outside the descriptor (e.g. a
-    user-supplied ruletree).  When the derived worker count is [> 1]
-    the engine acquires the shared pool and bakes the parallel schedule;
-    a derivation that falls back to sequential despite [threads > 1] is
-    counted under ["engine.seq_fallback"].
+    (problem, threads, µ, vec request) in the process-wide registry —
+    pass [false] when the derivation depends on state outside the
+    descriptor (e.g. a user-supplied ruletree).  When the derived worker
+    count is [> 1] the engine acquires the shared pool and bakes the
+    parallel schedule; a derivation that falls back to sequential
+    despite [threads > 1] is counted under ["engine.seq_fallback"].
+
+    [vec] requests short-vector lowering
+    ({!Planner.vectorize_formula}) of the derived formula: on success
+    the engine compiles a split re/im plan (["vec.plan_split"]) and
+    transposes interleaved callers through planar boundary buffers; on
+    failure it keeps the scalar plan (["vec.lower_fail"]).  Default:
+    [`Nu ν] when the problem descriptor carries a [vν] suffix
+    ({!Problem.vec}), [`Off] otherwise.  smp × vec compose: a multicore
+    derivation that vectorizes runs its vector passes inside the same
+    worksharing schedule.
     @raise Invalid_argument if [threads < 1], [mu < 1], or the formula
     does not compile. *)
 
@@ -58,6 +69,10 @@ val threads : t -> int
 (** Worker count actually used (1 when sequential). *)
 
 val parallel : t -> bool
+
+val vectorized : t -> int
+(** Short-vector length ν the plan was actually lowered with; 0 when the
+    plan is scalar (no request, or the lowering did not apply). *)
 
 val alive : t -> bool
 
@@ -77,7 +92,9 @@ val execute : t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t
 val execute_many : t -> (Spiral_util.Cvec.t * Spiral_util.Cvec.t) array -> unit
 (** Batch of executions in one parallel region
     ({!Spiral_smp.Par_exec.execute_many_safe}); sequential engines just
-    loop.  Bit-identical to repeated {!execute_into}. *)
+    loop, and vectorized (split-layout) engines run the jobs one at a
+    time through the planar boundary buffers.  Bit-identical to repeated
+    {!execute_into}. *)
 
 val scratch : t -> Spiral_util.Cvec.t
 (** A {!size}-element work buffer owned by the engine, allocated on

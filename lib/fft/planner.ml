@@ -32,3 +32,34 @@ let derive_formula ~threads ~mu ~tree n =
         match Derive.multicore_dft ~p:threads ~mu t with
         | Ok f -> (f, threads)
         | Error _ -> (Ruletree.expand tree, 1))
+
+(* Short-vector lowering as post-processing of any derived formula:
+   [Derive.short_vector_dft] and [Derive.multicore_vector_dft] are
+   exactly [Vector_rules.vectorize] composed after the scalar
+   derivations, so the same composition applies to every formula the
+   planner produces, for every transform kind. *)
+
+type vec_request = [ `Off | `Auto | `Nu of int ]
+
+let vec_request_to_string = function
+  | `Off -> "v0"
+  | `Auto -> "va"
+  | `Nu nu -> Printf.sprintf "v%d" nu
+
+let vectorize_formula ~vec f =
+  match vec with
+  | `Off -> (f, 0)
+  | (`Auto | `Nu _) as v ->
+      let nus = match v with `Nu nu -> [ nu ] | `Auto -> [ 4; 2 ] in
+      let rec go = function
+        | [] ->
+            Counters.incr "vec.lower_fail";
+            (f, 0)
+        | nu :: rest -> (
+            match Vector_rules.vectorize ~nu f with
+            | Ok g when Spiral_spl.Props.vectorized ~nu g ->
+                Counters.incr "vec.lowered";
+                (g, nu)
+            | _ -> go rest)
+      in
+      go nus

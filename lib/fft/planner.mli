@@ -14,3 +14,22 @@ val derive_formula :
   Spiral_spl.Formula.t * int
 (** [(formula, p)]: the formula to compile and the worker count actually
     used ([1] when the multicore derivation is not applicable). *)
+
+type vec_request = [ `Off | `Auto | `Nu of int ]
+(** Short-vector lowering request: [`Off] keeps the scalar formula,
+    [`Nu ν] demands vector length ν, [`Auto] tries ν = 4 then ν = 2 and
+    falls back to scalar.  Lowered formulas compile to split re/im
+    (planar) plans executed by the blocked {!Spiral_codegen.Vcodelet}
+    path, and to SIMD intrinsics under {!Spiral_codegen.C_emit.to_c}. *)
+
+val vec_request_to_string : vec_request -> string
+(** Deterministic tag ("v0", "va", "v4", …) for registry keys. *)
+
+val vectorize_formula :
+  vec:vec_request -> Spiral_spl.Formula.t -> Spiral_spl.Formula.t * int
+(** [(g, ν)]: the vectorized formula and the vector length achieved, or
+    [(f, 0)] unchanged when [`Off] or when no requested ν passes
+    {!Spiral_rewrite.Props.vectorized} (counted under [vec.lowered] /
+    [vec.lower_fail]).  Works on any derived formula — the composition
+    is identical to [Derive.short_vector_dft] /
+    [Derive.multicore_vector_dft]. *)

@@ -7,6 +7,7 @@ type t = {
   dims : int array;
   direction : direction;
   batch : int;
+  vec : int;  (* requested short-vector length ν; 0 = scalar *)
 }
 
 let kind_to_string = function
@@ -26,7 +27,7 @@ let kind_of_string = function
 
 let rank = function Dft | Wht | Rfft | Dct -> 1 | Dft2d -> 2
 
-let make ?(direction = Forward) ?(batch = 1) kind dims =
+let make ?(direction = Forward) ?(batch = 1) ?(vec = 0) kind dims =
   let dims = Array.of_list dims in
   if Array.length dims <> rank kind then
     invalid_arg
@@ -34,27 +35,31 @@ let make ?(direction = Forward) ?(batch = 1) kind dims =
          (kind_to_string kind) (rank kind));
   Array.iter (fun d -> if d < 1 then invalid_arg "Problem.make: dims >= 1") dims;
   if batch < 1 then invalid_arg "Problem.make: batch >= 1";
-  { kind; dims; direction; batch }
+  if vec < 0 || vec = 1 then invalid_arg "Problem.make: vec is 0 or >= 2";
+  { kind; dims; direction; batch; vec }
 
 let kind t = t.kind
 let dims t = Array.copy t.dims
 let direction t = t.direction
 let batch t = t.batch
+let vec t = t.vec
 
 let size t = Array.fold_left ( * ) 1 t.dims
 
 let total t = t.batch * size t
 
-(* Canonical form, e.g. "dft[1024]f", "dft2d[16x16]f", "dft[256]ix8".
-   The string is the registry key: equal problems must render equal
+(* Canonical form, e.g. "dft[1024]f", "dft2d[16x16]f", "dft[256]ix8",
+   "dft[1024]fv4" (request short-vector lowering with ν = 4).  The
+   string is the registry key: equal problems must render equal
    strings, distinct problems distinct strings. *)
 let to_string t =
   let dims =
     String.concat "x" (Array.to_list (Array.map string_of_int t.dims))
   in
   let dir = match t.direction with Forward -> "f" | Inverse -> "i" in
+  let vec = if t.vec = 0 then "" else Printf.sprintf "v%d" t.vec in
   let batch = if t.batch = 1 then "" else Printf.sprintf "x%d" t.batch in
-  Printf.sprintf "%s[%s]%s%s" (kind_to_string t.kind) dims dir batch
+  Printf.sprintf "%s[%s]%s%s%s" (kind_to_string t.kind) dims dir vec batch
 
 let of_string s =
   match (String.index_opt s '[', String.index_opt s ']') with
@@ -62,7 +67,7 @@ let of_string s =
       let kind_s = String.sub s 0 i in
       let dims_s = String.sub s (i + 1) (j - i - 1) in
       let rest = String.sub s (j + 1) (String.length s - j - 1) in
-      let dir, batch_s =
+      let dir, tail =
         if String.length rest = 0 then (None, "")
         else
           ( (match rest.[0] with
@@ -70,6 +75,17 @@ let of_string s =
             | 'i' -> Some Inverse
             | _ -> None),
             String.sub rest 1 (String.length rest - 1) )
+      in
+      let vec_s, batch_s =
+        if String.length tail > 0 && tail.[0] = 'v' then
+          match String.index_opt tail 'x' with
+          | Some k -> (Some (String.sub tail 1 (k - 1)), String.sub tail k (String.length tail - k))
+          | None -> (Some (String.sub tail 1 (String.length tail - 1)), "")
+        else (None, tail)
+      in
+      (* a 'v' with no digits ("dft[64]fvx4") is malformed, not vec=0 *)
+      let vec =
+        match vec_s with None -> Some 0 | Some s -> int_of_string_opt s
       in
       let batch =
         if batch_s = "" then Some 1
@@ -84,16 +100,16 @@ let of_string s =
           Some parsed
         else None
       in
-      match (kind_of_string kind_s, dims, dir, batch) with
-      | Some kind, Some dims, Some direction, Some batch -> (
-          try Some (make ~direction ~batch kind dims)
+      match (kind_of_string kind_s, dims, dir, batch, vec) with
+      | Some kind, Some dims, Some direction, Some batch, Some vec -> (
+          try Some (make ~direction ~batch ~vec kind dims)
           with Invalid_argument _ -> None)
       | _ -> None)
   | _ -> None
 
 let equal a b =
   a.kind = b.kind && a.direction = b.direction && a.batch = b.batch
-  && a.dims = b.dims
+  && a.vec = b.vec && a.dims = b.dims
 
 let compare a b = compare (to_string a) (to_string b)
 

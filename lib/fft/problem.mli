@@ -13,16 +13,23 @@ type kind = Dft | Wht | Dft2d | Rfft | Dct
 
 type t
 
-val make : ?direction:direction -> ?batch:int -> kind -> int list -> t
+val make :
+  ?direction:direction -> ?batch:int -> ?vec:int -> kind -> int list -> t
 (** [make kind dims] with [dims] the transform dimensions — one entry
     for 1-D kinds, [rows; cols] for {!Dft2d}.  Defaults: [Forward],
-    [batch = 1].  @raise Invalid_argument on a dimension-count mismatch,
-    a non-positive dimension, or [batch < 1]. *)
+    [batch = 1], [vec = 0].  [vec = ν ≥ 2] requests short-vector
+    lowering of the derived formula with vector length ν ([vec = 0]
+    means scalar; the engine may still be asked to auto-pick per plan).
+    @raise Invalid_argument on a dimension-count mismatch, a
+    non-positive dimension, [batch < 1], or [vec] negative or 1. *)
 
 val kind : t -> kind
 val dims : t -> int array
 val direction : t -> direction
 val batch : t -> int
+
+val vec : t -> int
+(** Requested short-vector length ν; 0 when none was requested. *)
 
 val size : t -> int
 (** Elements of one transform (product of [dims]). *)
@@ -38,8 +45,10 @@ val kind_of_string : string -> kind option
 
 val to_string : t -> string
 (** Canonical form, e.g. ["dft[1024]f"], ["dft2d[16x16]f"],
-    ["dft[256]ix8"] (batch of 8 inverse transforms).  Injective: equal
-    strings iff {!equal} problems. *)
+    ["dft[256]ix8"] (batch of 8 inverse transforms), ["dft[1024]fv4"]
+    (short-vector request ν = 4; the [v] suffix sits between the
+    direction and the [x<batch>] suffix).  Injective: equal strings iff
+    {!equal} problems. *)
 
 val of_string : string -> t option
 (** Inverse of {!to_string}; [None] on anything it did not produce. *)

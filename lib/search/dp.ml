@@ -63,3 +63,29 @@ let search_parallel ?memo ~p ~mu ~measure_formula ~measure n =
         (List.fold_left
            (fun (bt, bc) (t, c) -> if c < bc then (t, c) else (bt, bc))
            hd tl)
+
+let search_vector ?(nus = [ 4; 2 ]) ?memo ~measure ~measure_plan n =
+  let best_tree, _ = search ?memo ~measure n in
+  (* the DP winner may not satisfy the vector rules' legality conditions
+     while the standard mixed-radix tree does (or vice versa), so both
+     trees enter the final end-to-end shoot-out *)
+  let trees =
+    let std = Ruletree.mixed_radix n in
+    if best_tree = std then [ best_tree ] else [ best_tree; std ]
+  in
+  let candidates =
+    List.concat_map
+      (fun tree ->
+        List.filter_map
+          (fun vec ->
+            Option.map (fun c -> (vec, tree, c)) (measure_plan ~vec tree))
+          (0 :: nus))
+      trees
+  in
+  match candidates with
+  | [] -> invalid_arg "Dp.search_vector: no measurable candidate"
+  | hd :: tl ->
+      List.fold_left
+        (fun (bv, bt, bc) (v, t, c) ->
+          if c < bc then (v, t, c) else (bv, bt, bc))
+        hd tl

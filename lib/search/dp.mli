@@ -27,3 +27,22 @@ val search_parallel :
     every valid split [m·k = n] with [pµ | m, k], using DP-optimal
     sequential subtrees, and measures the derived parallel formula with
     [measure_formula].  [None] when no valid split exists. *)
+
+val search_vector :
+  ?nus:int list ->
+  ?memo:(int, Spiral_rewrite.Ruletree.t * float) Hashtbl.t ->
+  measure:measure ->
+  measure_plan:(vec:int -> Spiral_rewrite.Ruletree.t -> float option) ->
+  int ->
+  int * Spiral_rewrite.Ruletree.t * float
+(** Scalar-vs-vector autotuning: [(ν, tree, cost)] minimizing
+    [measure_plan ~vec tree] over [vec ∈ 0 :: nus] (default
+    [nus = [4; 2]]; 0 = scalar) and over the DP-optimal tree plus the
+    standard mixed-radix tree.  [measure_plan] measures the end-to-end
+    plan the engine would actually run at that vector length — a split
+    re/im plan including the planar boundary transposes when [vec > 0] —
+    and returns [None] when the lowering does not apply to that tree, so
+    an unvectorizable candidate simply drops out.  The scalar candidate
+    always measures, making the result total.
+    @raise Invalid_argument if no candidate measures (degenerate
+    [measure_plan]). *)

@@ -1,7 +1,14 @@
 open Spiral_util
 open Spiral_rewrite
 
-type key = { kind : string; n : int; p : int; mu : int; machine : string }
+type key = {
+  kind : string;
+  n : int;
+  p : int;
+  mu : int;
+  vec : int;  (* short-vector length ν the plan was tuned for; 0 = scalar *)
+  machine : string;
+}
 
 type t = (key, Ruletree.t) Hashtbl.t
 
@@ -21,20 +28,25 @@ let add t key tree = Hashtbl.replace t (canonical key) tree
 
 let size t = Hashtbl.length t
 
-(* On-disk format v3: a header line, then one entry per line prefixed
+(* On-disk format v4: a header line, then one entry per line prefixed
    with an 8-hex-digit FNV-1a checksum of the payload:
 
-     # spiral-wisdom v3
-     <cksum> <kind> <n> <p> <mu> <machine> <tree>
+     # spiral-wisdom v4
+     <cksum> <kind> <n> <p> <mu> <vec> <machine> <tree>
 
    The kind field (e.g. "dft", "wht", "rfft") lets every front-end share
-   one wisdom file.  v2 files (same shape, no kind field) and v1 files
-   (no header, no checksum, no kind) are still read; a payload whose
-   first field is numeric is a kind-less v1/v2 entry and defaults to
-   kind "dft".  Writes go through a temp file + atomic rename so a
+   one wisdom file; the vec field records the short-vector length ν the
+   entry was tuned for (0 = scalar) — scalar and vectorized tunings of
+   the same size are distinct wisdom.  Older files still load: v3 files
+   (same shape, no vec field — vec defaults to 0), v2 files (no kind
+   either) and v1 files (no header, no checksum, no kind).  A payload
+   whose first field is numeric is a kind-less v1/v2 entry and defaults
+   to kind "dft".  Writes go through a temp file + atomic rename so a
    crash mid-save can never corrupt existing wisdom. *)
 
-let header = "# spiral-wisdom v3"
+let header = "# spiral-wisdom v4"
+
+let header_v3 = "# spiral-wisdom v3"
 
 let header_v2 = "# spiral-wisdom v2"
 
@@ -46,7 +58,8 @@ let checksum payload =
   Printf.sprintf "%08x" !h
 
 let payload_of_entry key tree =
-  Printf.sprintf "%s %d %d %d %s %s" key.kind key.n key.p key.mu key.machine
+  Printf.sprintf "%s %d %d %d %d %s %s" key.kind key.n key.p key.mu key.vec
+    key.machine
     (Ruletree.to_string tree)
 
 let save t path =
@@ -71,11 +84,12 @@ let save t path =
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e
 
-(* [parse_payload s] parses "<kind> <n> <p> <mu> <machine> <tree>", or
-   the kind-less "<n> <p> <mu> <machine> <tree>" of v1/v2 entries
-   (detected by a numeric first field; kinds are never numeric),
-   defaulting the kind to "dft". *)
-let parse_payload payload =
+(* [parse_payload s] parses "<kind> <n> <p> <mu> [<vec>] <machine>
+   <tree>" — the vec field only when [with_vec] (v4 files; earlier
+   formats default it to 0) — or the kind-less "<n> <p> <mu> <machine>
+   <tree>" of v1/v2 entries (detected by a numeric first field; kinds
+   are never numeric), defaulting the kind to "dft". *)
+let parse_payload ~with_vec payload =
   let fields = String.split_on_char ' ' payload in
   let kind, fields =
     match fields with
@@ -83,32 +97,44 @@ let parse_payload payload =
         (first, rest)
     | _ -> ("dft", fields)
   in
+  let vec, fields =
+    if not with_vec then (Some 0, fields)
+    else
+      match fields with
+      | n :: p :: mu :: vec :: rest ->
+          (int_of_string_opt vec, n :: p :: mu :: rest)
+      | _ -> (None, fields)
+  in
   match fields with
   | n :: p :: mu :: machine :: (_ :: _ as rest) -> (
       match
         ( int_of_string_opt n,
           int_of_string_opt p,
           int_of_string_opt mu,
+          vec,
           try Ok (Ruletree.of_string (String.concat " " rest))
           with Invalid_argument m | Failure m -> Error m )
       with
-      | Some n, Some p, Some mu, Ok tree ->
-          Ok ({ kind; n; p; mu; machine }, tree)
-      | None, _, _, _ | _, None, _, _ | _, _, None, _ ->
+      | Some n, Some p, Some mu, Some vec, Ok tree ->
+          Ok ({ kind; n; p; mu; vec; machine }, tree)
+      | None, _, _, _, _ | _, None, _, _, _ | _, _, None, _, _
+      | _, _, _, None, _ ->
           Error "non-numeric key field"
-      | _, _, _, Error m -> Error ("bad ruletree: " ^ m))
+      | _, _, _, _, Error m -> Error ("bad ruletree: " ^ m))
   | _ -> Error "too few fields"
 
-let parse_line ~checksummed line =
-  if not checksummed then parse_payload line
-  else
-    match String.index_opt line ' ' with
-    | None -> Error "missing checksum"
-    | Some i ->
-        let cksum = String.sub line 0 i in
-        let payload = String.sub line (i + 1) (String.length line - i - 1) in
-        if checksum payload <> cksum then Error "checksum mismatch"
-        else parse_payload payload
+let parse_line ~version line =
+  match version with
+  | `V1 -> parse_payload ~with_vec:false line
+  | (`V2_or_v3 | `V4) as v -> (
+      let with_vec = v = `V4 in
+      match String.index_opt line ' ' with
+      | None -> Error "missing checksum"
+      | Some i ->
+          let cksum = String.sub line 0 i in
+          let payload = String.sub line (i + 1) (String.length line - i - 1) in
+          if checksum payload <> cksum then Error "checksum mismatch"
+          else parse_payload ~with_vec payload)
 
 let load_gen ~strict path =
   let ic = open_in path in
@@ -117,7 +143,7 @@ let load_gen ~strict path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let checksummed = ref false in
+      let version = ref `V1 in
       let lineno = ref 0 in
       (try
          while true do
@@ -125,12 +151,14 @@ let load_gen ~strict path =
            incr lineno;
            if line = "" then () (* blank lines and trailing newlines ok *)
            else if String.length line > 0 && line.[0] = '#' then begin
-             if !lineno = 1 && (line = header || line = header_v2) then
-               checksummed := true
+             if !lineno = 1 then
+               if line = header then version := `V4
+               else if line = header_v3 || line = header_v2 then
+                 version := `V2_or_v3
              (* other comment lines are ignored in all formats *)
            end
            else
-             match parse_line ~checksummed:!checksummed line with
+             match parse_line ~version:!version line with
              | Ok (key, tree) ->
                  add t key tree;
                  incr loaded

@@ -1,22 +1,32 @@
 (** Persistent cache of tuned plans ("wisdom"): maps (transform kind,
-    size, threads, µ, machine) keys to the best ruletree found by
-    search, with a simple line-oriented on-disk format shared by every
-    front-end (DFT, WHT, RFFT, …).
+    size, threads, µ, vector length ν, machine) keys to the best
+    ruletree found by search, with a simple line-oriented on-disk format
+    shared by every front-end (DFT, WHT, RFFT, …).
 
     Persistence is crash-safe: {!save} writes a versioned, per-line
     checksummed file through a temp file + atomic rename, so an
     interrupted save leaves the previous wisdom intact, and
     {!load_tolerant} salvages the valid entries of a corrupted file
     instead of discarding all wisdom over one bad line.  Files written
-    by older versions (v2 with checksums, headerless v1) still load;
-    their kind-less keys default to ["dft"]. *)
+    by older versions (v3/v2 with checksums, headerless v1) still load;
+    vec-less keys default to [vec = 0] and kind-less keys to ["dft"]. *)
 
-type key = { kind : string; n : int; p : int; mu : int; machine : string }
+type key = {
+  kind : string;
+  n : int;
+  p : int;
+  mu : int;
+  vec : int;
+  machine : string;
+}
 (** [kind] is the transform kind tag — use
     {!Spiral_fft.Problem.kind_to_string} values ("dft", "wht", "dft2d",
     "rfft", "dct"); it must not start with a digit (numeric first fields
-    mark kind-less legacy entries on disk).  Whitespace in [kind] and
-    [machine] is escaped to underscores on {!add}/{!find}. *)
+    mark kind-less legacy entries on disk).  [vec] is the short-vector
+    length ν the entry was tuned for (0 = scalar): the best scalar tree
+    and the best ν-vectorizable tree for one size are different wisdom.
+    Whitespace in [kind] and [machine] is escaped to underscores on
+    {!add}/{!find}. *)
 
 type t
 
@@ -34,17 +44,19 @@ val size : t -> int
 
 val save : t -> string -> unit
 (** Write the cache to [path] atomically (temp file in the same
-    directory, then rename).  Format v3: a ["# spiral-wisdom v3"] header,
-    then one entry per line — [cksum kind n p mu machine <tree>] with
-    kind/machine whitespace-escaped and an FNV-1a checksum of the rest
-    of the line.  A crash (or injected fault at site ["plan_cache.save"])
-    before the rename leaves any existing file at [path] untouched. *)
+    directory, then rename).  Format v4: a ["# spiral-wisdom v4"] header,
+    then one entry per line — [cksum kind n p mu vec machine <tree>]
+    with kind/machine whitespace-escaped and an FNV-1a checksum of the
+    rest of the line.  A crash (or injected fault at site
+    ["plan_cache.save"]) before the rename leaves any existing file at
+    [path] untouched. *)
 
 val load : string -> t
-(** Strict load.  Accepts v3, v2 (checksummed, kind-less — keys default
-    to kind ["dft"]) and headerless v1 (no checksum) files; blank lines,
-    trailing newlines and [#] comment lines are ignored, and an empty
-    file yields an empty cache.
+(** Strict load.  Accepts v4, v3 (checksummed, vec-less — keys default
+    to [vec = 0]), v2 (also kind-less — kind defaults to ["dft"]) and
+    headerless v1 (no checksum) files; blank lines, trailing newlines
+    and [#] comment lines are ignored, and an empty file yields an empty
+    cache.
     @raise Sys_error if the file cannot be read;
     @raise Invalid_argument on the first malformed or checksum-failing
     entry. *)

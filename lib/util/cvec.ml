@@ -40,6 +40,27 @@ let basis n i =
   x.(2 * i) <- 1.0;
   x
 
+(* Planar (split re/im) view: same 2n float array, re plane at [0, n),
+   im plane at [n, 2n).  The boundary conversions of split-layout plans. *)
+
+let to_planar x dst =
+  let n = length x in
+  if Array.length dst <> 2 * n then
+    invalid_arg "Cvec.to_planar: length mismatch";
+  for i = 0 to n - 1 do
+    dst.(i) <- x.(2 * i);
+    dst.(n + i) <- x.((2 * i) + 1)
+  done
+
+let of_planar src x =
+  let n = length x in
+  if Array.length src <> 2 * n then
+    invalid_arg "Cvec.of_planar: length mismatch";
+  for i = 0 to n - 1 do
+    x.(2 * i) <- src.(i);
+    x.((2 * i) + 1) <- src.(n + i)
+  done
+
 let max_abs_diff x y =
   if Array.length x <> Array.length y then
     invalid_arg "Cvec.max_abs_diff: length mismatch";

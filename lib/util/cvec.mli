@@ -41,6 +41,15 @@ val random : ?seed:int -> int -> t
 val basis : int -> int -> t
 (** [basis n i] is the [i]-th standard basis vector of length [n]. *)
 
+val to_planar : t -> float array -> unit
+(** [to_planar x dst] transposes interleaved [x] into the planar (split
+    re/im) layout: [dst] (length [2n]) receives the real plane at
+    [0, n) and the imaginary plane at [n, 2n) — the boundary conversion
+    into a split-layout plan. *)
+
+val of_planar : float array -> t -> unit
+(** [of_planar src x] is the inverse of {!to_planar}. *)
+
 val max_abs_diff : t -> t -> float
 (** L∞ distance between two vectors of equal length. *)
 

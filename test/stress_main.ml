@@ -61,7 +61,7 @@ let site_scenario ~seed ~iters site =
 let wisdom_scenario ~seed =
   Fault.reset ();
   let file = Filename.temp_file "spiral_stress_wisdom" ".txt" in
-  let entry n = { Plan_cache.kind = "dft"; n; p = 1; mu = 4; machine = "stress" } in
+  let entry n = { Plan_cache.kind = "dft"; n; p = 1; mu = 4; vec = 0; machine = "stress" } in
   let cache_of sizes =
     let c = Plan_cache.create () in
     List.iter (fun n -> Plan_cache.add c (entry n) (Ruletree.mixed_radix n)) sizes;

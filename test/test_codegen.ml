@@ -466,6 +466,70 @@ let test_cemit_compile_generic_radix () =
       (C_emit.to_c (Plan.of_formula (Ruletree.expand (Ruletree.balanced 360))))
       ""
 
+(* -- SIMD emission ----------------------------------------------------- *)
+
+(* [gcc -mavx2 ...] may be unsupported (non-x86 hosts): probe each flag
+   set with an empty translation unit before attempting the real build *)
+let cflags_supported flags =
+  Lazy.force gcc_available
+  && Sys.command
+       (Printf.sprintf
+          "echo 'int main(void){return 0;}' | gcc -O2 %s -x c - -o /dev/null \
+           > /dev/null 2>&1"
+          flags)
+     = 0
+
+let vec_plan_64 () =
+  match Derive.multicore_vector_dft ~p:2 ~mu:2 ~nu:2 (Ct (Leaf 8, Leaf 8)) with
+  | Ok f -> Plan.of_formula f
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+
+let test_cemit_simd_markers () =
+  let plan = vec_plan_64 () in
+  let avx = C_emit.to_c ~backend:`OpenMP ~simd:`AVX2 plan in
+  check cb "immintrin" true (contains avx "immintrin.h");
+  check cb "avx2 loads" true (contains avx "_mm256_loadu_pd");
+  check cb "omp composes with simd" true (contains avx "#pragma omp parallel for");
+  check cb "self test" true (contains avx "max_abs_err");
+  let sse = C_emit.to_c ~simd:`SSE2 plan in
+  check cb "emmintrin" true (contains sse "emmintrin.h");
+  check cb "sse2 loads" true (contains sse "_mm_loadu_pd");
+  let neon = C_emit.to_c ~simd:`NEON plan in
+  check cb "arm_neon" true (contains neon "arm_neon.h");
+  check cb "neon loads" true (contains neon "vld1q_f64");
+  let gen = C_emit.to_c ~simd:`Generic plan in
+  check cb "generic vector ext" true (contains gen "__attribute__((vector_size");
+  check cb "no intrinsics headers in generic" false (contains gen "immintrin.h")
+
+let test_cemit_compile_simd_avx2 () =
+  if not (cflags_supported "-mavx2 -fopenmp") then ()
+  else
+    compile_and_run "avx2"
+      (C_emit.to_c ~backend:`OpenMP ~simd:`AVX2 (vec_plan_64 ()))
+      "-mavx2 -fopenmp"
+
+let test_cemit_compile_simd_sse2 () =
+  if not (cflags_supported "-msse2") then ()
+  else compile_and_run "sse2" (C_emit.to_c ~simd:`SSE2 (vec_plan_64 ())) "-msse2"
+
+let test_cemit_compile_simd_generic () =
+  if not (Lazy.force gcc_available) then ()
+  else compile_and_run "gvec" (C_emit.to_c ~simd:`Generic (vec_plan_64 ())) ""
+
+let test_cemit_compile_simd_pthreads_large () =
+  (* a bigger tandem: smp(2,4) x vec(2) for DFT_4096 under pthreads *)
+  if not (cflags_supported "-mavx2 -pthread") then ()
+  else
+    match
+      Derive.multicore_vector_dft ~p:2 ~mu:4 ~nu:2
+        (Ct (Ruletree.mixed_radix 64, Ruletree.mixed_radix 64))
+    with
+    | Error e -> Alcotest.fail (Derive.error_to_string e)
+    | Ok f ->
+        compile_and_run "avx2pthr"
+          (C_emit.to_c ~backend:`Pthreads ~simd:`AVX2 (Plan.of_formula f))
+          "-mavx2 -pthread"
+
 let suite =
   [
     Alcotest.test_case "codelets: strided" `Quick test_codelet_strided;
@@ -501,4 +565,12 @@ let suite =
     Alcotest.test_case "plans: clone for concurrency" `Quick test_plan_clone_concurrent;
     Alcotest.test_case "C: vectorized formula" `Slow test_cemit_vectorized_formula;
     Alcotest.test_case "C: pthreads p=4" `Slow test_cemit_compile_pthreads_p4;
+    Alcotest.test_case "C: SIMD markers" `Quick test_cemit_simd_markers;
+    Alcotest.test_case "C: compile+run AVX2+OpenMP" `Slow
+      test_cemit_compile_simd_avx2;
+    Alcotest.test_case "C: compile+run SSE2" `Slow test_cemit_compile_simd_sse2;
+    Alcotest.test_case "C: compile+run generic SIMD" `Slow
+      test_cemit_compile_simd_generic;
+    Alcotest.test_case "C: compile+run AVX2+pthreads 4096" `Slow
+      test_cemit_compile_simd_pthreads_large;
   ]

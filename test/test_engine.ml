@@ -50,10 +50,41 @@ let test_problem_validation () =
      ignore (Problem.make Problem.Dft2d [ 8 ]);
      Alcotest.fail "rank mismatch accepted"
    with Invalid_argument _ -> ());
+  (try
+     ignore (Problem.make ~batch:0 Problem.Dft [ 8 ]);
+     Alcotest.fail "batch 0 accepted"
+   with Invalid_argument _ -> ());
   try
-    ignore (Problem.make ~batch:0 Problem.Dft [ 8 ]);
-    Alcotest.fail "batch 0 accepted"
+    ignore (Problem.make ~vec:1 Problem.Dft [ 8 ]);
+    Alcotest.fail "vec 1 accepted"
   with Invalid_argument _ -> ()
+
+let test_problem_vec_descriptor () =
+  check cs "vec suffix" "dft[1024]fv4"
+    (Problem.to_string (Problem.make ~vec:4 Problem.Dft [ 1024 ]));
+  check cs "vec before batch" "dft[256]iv2x8"
+    (Problem.to_string
+       (Problem.make ~direction:Problem.Inverse ~batch:8 ~vec:2 Problem.Dft
+          [ 256 ]));
+  List.iter
+    (fun p ->
+      match Problem.of_string (Problem.to_string p) with
+      | Some p' ->
+          check cb (Problem.to_string p) true (Problem.equal p p');
+          check ci "vec preserved" (Problem.vec p) (Problem.vec p')
+      | None -> Alcotest.failf "no parse: %s" (Problem.to_string p))
+    [
+      Problem.make ~vec:4 Problem.Dft [ 1024 ];
+      Problem.make ~vec:2 ~batch:8 Problem.Dft [ 256 ];
+      Problem.make ~vec:2 Problem.Wht [ 64 ];
+    ];
+  (* scalar and vectorized descriptors are distinct problems *)
+  check cb "vec distinguishes" false
+    (Problem.equal
+       (Problem.make Problem.Dft [ 64 ])
+       (Problem.make ~vec:2 Problem.Dft [ 64 ]));
+  check cb "v1 rejected" true (Problem.of_string "dft[64]fv1" = None);
+  check cb "bare v rejected" true (Problem.of_string "dft[64]fvx4" = None)
 
 (* ------------------------------------------------------------------ *)
 (* Cross-transform property suite: every kind through the unified
@@ -316,6 +347,109 @@ let test_engine_execute_many () =
         xs)
 
 (* ------------------------------------------------------------------ *)
+(* Vectorized engines: split-layout plans behind the same front-ends   *)
+
+let test_engine_vec_correctness () =
+  (* vectorize-derived plans must be bit-correct against naive at
+     p ∈ {1, 2, 4}, forward and inverse *)
+  List.iter
+    (fun p ->
+      Dft.with_plan ~threads:p ~mu:2 ~vec:`Auto 1024 (fun t ->
+          let x = Cvec.random ~seed:(p + 20) 1024 in
+          check cb
+            (Printf.sprintf "vec dft p=%d" p)
+            true
+            (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x) < 1e-6));
+      Dft.with_plan ~direction:Dft.Inverse ~threads:p ~mu:2 ~vec:`Auto 1024
+        (fun t ->
+          let x = Cvec.random ~seed:(p + 30) 1024 in
+          check cb
+            (Printf.sprintf "vec idft p=%d" p)
+            true
+            (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.idft x) < 1e-7)))
+    workers
+
+let test_engine_vec_knob () =
+  (* `Auto actually lowers for a friendly size, and the engine reports
+     the chosen lane count *)
+  Dft.with_plan ~mu:2 ~vec:`Auto 1024 (fun t ->
+      check cb "auto lowers" true (Dft.vectorized t > 0));
+  Dft.with_plan ~mu:2 ~vec:(`Nu 2) 1024 (fun t ->
+      check ci "explicit nu honored" 2 (Dft.vectorized t));
+  Dft.with_plan ~mu:2 1024 (fun t ->
+      check ci "default is scalar" 0 (Dft.vectorized t));
+  (* sizes the short-vector rules cannot lower fall back to scalar
+     rather than failing the plan *)
+  Dft.with_plan ~mu:2 ~vec:`Auto 6 (fun t ->
+      check ci "unlowerable falls back" 0 (Dft.vectorized t);
+      let x = Cvec.random ~seed:7 6 in
+      check cb "fallback still correct" true
+        (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x) < 1e-9))
+
+let test_engine_vec_registry_separation () =
+  (* scalar and vectorized requests for the same problem compile to
+     distinct registry entries; repeating either hits its own entry *)
+  let reuse0 = Counters.get "engine.plan_reuse" in
+  let s1 = Dft.plan ~mu:2 1664 in
+  let v1 = Dft.plan ~mu:2 ~vec:(`Nu 2) 1664 in
+  check ci "vec plan did not reuse the scalar entry" reuse0
+    (Counters.get "engine.plan_reuse");
+  let v2 = Dft.plan ~mu:2 ~vec:(`Nu 2) 1664 in
+  check ci "identical vec plan reuses" (reuse0 + 1)
+    (Counters.get "engine.plan_reuse");
+  check ci "scalar stayed scalar" 0 (Dft.vectorized s1);
+  check ci "vec stayed vec" 2 (Dft.vectorized v1);
+  let x = Cvec.random ~seed:11 1664 in
+  let want = Naive_dft.dft x in
+  check cb "scalar correct" true (Cvec.max_abs_diff (Dft.execute s1 x) want < 1e-6);
+  check cb "vec correct" true (Cvec.max_abs_diff (Dft.execute v1 x) want < 1e-6);
+  check cb "reused vec correct" true
+    (Cvec.max_abs_diff (Dft.execute v2 x) want < 1e-6);
+  Dft.destroy s1;
+  Dft.destroy v1;
+  Dft.destroy v2
+
+let test_engine_vec_descriptor_flow () =
+  (* a v-suffixed descriptor turns the vec knob on without any explicit
+     parameter: the Engine honors Problem.vec as its default *)
+  match Engine.parse_problem "dft[1024]fv4" with
+  | Error e -> Alcotest.failf "v-descriptor rejected: %s" (Engine.error_to_string e)
+  | Ok p ->
+      let derive ~threads ~mu =
+        Planner.derive_formula ~threads ~mu
+          ~tree:(Spiral_rewrite.Ruletree.mixed_radix 1024) 1024
+      in
+      let eng = Engine.plan ~cache:false ~derive p in
+      check ci "descriptor vec honored" 4 (Engine.vectorized eng);
+      let x = Cvec.random ~seed:13 1024 in
+      let y = Cvec.create 1024 in
+      Engine.execute_into eng ~src:x ~dst:y;
+      check cb "descriptor-vectorized engine correct" true
+        (Cvec.max_abs_diff y (Naive_dft.dft x) < 1e-6);
+      Engine.destroy eng
+
+let test_engine_vec_bluestein_and_batch () =
+  (* the Bluestein inner transforms accept the vec knob (lowering may
+     or may not apply to the padded size; correctness must hold) *)
+  Dft.with_plan ~mu:2 ~vec:`Auto 97 (fun t ->
+      let x = Cvec.random ~seed:17 97 in
+      check cb "bluestein with vec knob" true
+        (Cvec.max_abs_diff (Dft.execute t x) (Naive_dft.dft x) < 1e-7));
+  (* batch front-end: each element through the split path *)
+  Batch.with_plan ~mu:2 ~vec:`Auto ~count:4 256 (fun t ->
+      let x = Cvec.random ~seed:19 (4 * 256) in
+      let y = Batch.execute t x in
+      for b = 0 to 3 do
+        let slice = Cvec.create 256 in
+        Array.blit x (2 * b * 256) slice 0 (2 * 256);
+        let want = Naive_dft.dft slice in
+        let got = Cvec.create 256 in
+        Array.blit y (2 * b * 256) got 0 (2 * 256);
+        if Cvec.max_abs_diff got want > 1e-7 then
+          Alcotest.failf "vec batch element %d" b
+      done)
+
+(* ------------------------------------------------------------------ *)
 (* Structured errors (the service boundary)                            *)
 
 let test_parse_problem_errors () =
@@ -382,6 +516,8 @@ let suite =
     Alcotest.test_case "problem: canonical strings" `Quick test_problem_canonical;
     Alcotest.test_case "problem: string roundtrip" `Quick test_problem_roundtrip;
     Alcotest.test_case "problem: validation" `Quick test_problem_validation;
+    Alcotest.test_case "problem: vec descriptors" `Quick
+      test_problem_vec_descriptor;
     Alcotest.test_case "cross: dft fwd/inv at p=1,2,4" `Quick test_cross_dft;
     Alcotest.test_case "cross: bluestein at p=1,2,4" `Quick test_cross_bluestein;
     Alcotest.test_case "cross: wht at p=1,2,4" `Quick test_cross_wht;
@@ -400,6 +536,15 @@ let suite =
     Alcotest.test_case "engine: destroy semantics" `Quick
       test_engine_destroy_semantics;
     Alcotest.test_case "engine: execute_many" `Quick test_engine_execute_many;
+    Alcotest.test_case "vec: correctness at p=1,2,4" `Quick
+      test_engine_vec_correctness;
+    Alcotest.test_case "vec: knob and fallback" `Quick test_engine_vec_knob;
+    Alcotest.test_case "vec: registry separation" `Quick
+      test_engine_vec_registry_separation;
+    Alcotest.test_case "vec: descriptor flow" `Quick
+      test_engine_vec_descriptor_flow;
+    Alcotest.test_case "vec: bluestein and batch" `Quick
+      test_engine_vec_bluestein_and_batch;
     Alcotest.test_case "errors: parse_problem is structured" `Quick
       test_parse_problem_errors;
     Alcotest.test_case "errors: checked execution" `Quick

@@ -88,8 +88,8 @@ let test_evolve_deterministic () =
 
 let test_plan_cache_roundtrip () =
   let c = Plan_cache.create () in
-  let k1 = { Plan_cache.kind = "dft"; n = 1024; p = 2; mu = 4; machine = "core duo" } in
-  let k2 = { Plan_cache.kind = "dft"; n = 512; p = 1; mu = 4; machine = "host" } in
+  let k1 = { Plan_cache.kind = "dft"; n = 1024; p = 2; mu = 4; vec = 0; machine = "core duo" } in
+  let k2 = { Plan_cache.kind = "dft"; n = 512; p = 1; mu = 4; vec = 0; machine = "host" } in
   Plan_cache.add c k1 (Ruletree.mixed_radix 1024);
   Plan_cache.add c k2 (Ruletree.balanced 512);
   check ci "two entries" 2 (Plan_cache.size c);
@@ -108,14 +108,14 @@ let test_plan_cache_roundtrip () =
 let test_plan_cache_unescaped_lookup () =
   (* regression: find must canonicalize the machine name like add does *)
   let c = Plan_cache.create () in
-  let k = { Plan_cache.kind = "dft"; n = 64; p = 2; mu = 4; machine = "core duo" } in
+  let k = { Plan_cache.kind = "dft"; n = 64; p = 2; mu = 4; vec = 0; machine = "core duo" } in
   Plan_cache.add c k (Ruletree.mixed_radix 64);
   check cb "raw key with spaces found" true
     (Plan_cache.find c k = Some (Ruletree.mixed_radix 64))
 
 let test_plan_cache_find_or_add () =
   let c = Plan_cache.create () in
-  let k = { Plan_cache.kind = "dft"; n = 64; p = 1; mu = 4; machine = "m" } in
+  let k = { Plan_cache.kind = "dft"; n = 64; p = 1; mu = 4; vec = 0; machine = "m" } in
   let calls = ref 0 in
   let make () = incr calls; Ruletree.mixed_radix 64 in
   let _ = Plan_cache.find_or_add c k make in
@@ -125,7 +125,7 @@ let test_plan_cache_find_or_add () =
 let test_plan_cache_find_or_add_raising_generator () =
   (* a generator that raises must cache nothing, so a later retry works *)
   let c = Plan_cache.create () in
-  let k = { Plan_cache.kind = "dft"; n = 64; p = 1; mu = 4; machine = "m" } in
+  let k = { Plan_cache.kind = "dft"; n = 64; p = 1; mu = 4; vec = 0; machine = "m" } in
   (try
      ignore (Plan_cache.find_or_add c k (fun () -> failwith "search blew up"));
      Alcotest.fail "generator exception swallowed"
@@ -156,7 +156,7 @@ let read_lines path =
   close_in ic;
   lines
 
-let entry n = { Plan_cache.kind = "dft"; n; p = 1; mu = 4; machine = "test" }
+let entry n = { Plan_cache.kind = "dft"; n; p = 1; mu = 4; vec = 0; machine = "test" }
 
 let cache_of sizes =
   let c = Plan_cache.create () in
@@ -195,7 +195,7 @@ let test_plan_cache_v1_compat () =
   let c = Plan_cache.load file in
   check ci "one v1 entry" 1 (Plan_cache.size c);
   check cb "entry found" true
-    (Plan_cache.find c { kind = "dft"; n = 64; p = 1; mu = 4; machine = "host" }
+    (Plan_cache.find c { kind = "dft"; n = 64; p = 1; mu = 4; vec = 0; machine = "host" }
     = Some (Ruletree.mixed_radix 64));
   Sys.remove file
 
@@ -222,16 +222,16 @@ let test_plan_cache_v2_migration_roundtrip () =
   check ci "v2 entries load" 2 (Plan_cache.size c);
   check ci "none skipped" 0 r.Plan_cache.skipped;
   (* kind-less legacy keys default to dft *)
-  let key kind n = { Plan_cache.kind; n; p = 2; mu = 4; machine = "host" } in
+  let key kind n = { Plan_cache.kind; n; p = 2; mu = 4; vec = 0; machine = "host" } in
   check cb "defaults to dft kind" true
     (Plan_cache.find c (key "dft" 64) = Some (Ruletree.mixed_radix 64));
   check cb "not under another kind" true
     (Plan_cache.find c (key "wht" 64) = None);
-  (* add a kinded entry and round-trip through the v3 format *)
+  (* add a kinded entry and round-trip through the current format *)
   Plan_cache.add c (key "wht" 128) (Ruletree.mixed_radix 128);
   Plan_cache.save c file;
   (match read_lines file with
-  | hdr :: _ -> check Alcotest.string "v3 header" "# spiral-wisdom v3" hdr
+  | hdr :: _ -> check Alcotest.string "v4 header" "# spiral-wisdom v4" hdr
   | [] -> Alcotest.fail "empty saved file");
   let c' = Plan_cache.load file in
   check ci "all entries survive the rewrite" 3 (Plan_cache.size c');
@@ -240,6 +240,78 @@ let test_plan_cache_v2_migration_roundtrip () =
   check cb "kinded entry roundtrips" true
     (Plan_cache.find c' (key "wht" 128) = Some (Ruletree.mixed_radix 128));
   Sys.remove file
+
+let test_plan_cache_v3_migration () =
+  (* a v3-era file: checksummed, kinded lines without the vec field.
+     Loading must default vec to 0 and re-save in the v4 format. *)
+  let file = Filename.temp_file "spiral_cache" ".txt" in
+  let payload kind n =
+    Printf.sprintf "%s %d 2 4 host %s" kind n
+      (Ruletree.to_string (Ruletree.mixed_radix n))
+  in
+  write_file file
+    (String.concat "\n"
+       [ "# spiral-wisdom v3";
+         fnv (payload "dft" 64) ^ " " ^ payload "dft" 64;
+         fnv (payload "wht" 256) ^ " " ^ payload "wht" 256; "" ]);
+  let c, r = Plan_cache.load_tolerant file in
+  check ci "v3 entries load" 2 (Plan_cache.size c);
+  check ci "none skipped" 0 r.Plan_cache.skipped;
+  let key ?(vec = 0) kind n =
+    { Plan_cache.kind; n; p = 2; mu = 4; vec; machine = "host" }
+  in
+  check cb "legacy entry found under vec=0" true
+    (Plan_cache.find c (key "dft" 64) = Some (Ruletree.mixed_radix 64));
+  check cb "not under a vectorized key" true
+    (Plan_cache.find c (key ~vec:4 "dft" 64) = None);
+  (* add a vectorized entry and round-trip: the rewrite is v4 *)
+  Plan_cache.add c (key ~vec:4 "dft" 1024) (Ruletree.balanced 1024);
+  Plan_cache.save c file;
+  (match read_lines file with
+  | hdr :: _ -> check Alcotest.string "v4 header" "# spiral-wisdom v4" hdr
+  | [] -> Alcotest.fail "empty saved file");
+  let c' = Plan_cache.load file in
+  check ci "all survive the rewrite" 3 (Plan_cache.size c');
+  check cb "migrated scalar entry" true
+    (Plan_cache.find c' (key "wht" 256) = Some (Ruletree.mixed_radix 256));
+  check cb "vectorized entry roundtrips" true
+    (Plan_cache.find c' (key ~vec:4 "dft" 1024) = Some (Ruletree.balanced 1024));
+  check cb "scalar and vectorized keys stay distinct" true
+    (Plan_cache.find c' (key "dft" 1024) = None);
+  Sys.remove file
+
+let test_dp_search_vector () =
+  (* synthetic measures: scalar cost is flat, vectorization at nu divides
+     the cost by nu but is only "lowerable" for nu = 2.  search_vector
+     must pick nu = 2 and report its (cheaper) cost. *)
+  let measure t = float_of_int (Ruletree.size t) in
+  let measure_plan ~vec t =
+    let base = float_of_int (Ruletree.size t) in
+    match vec with
+    | 0 -> Some base
+    | 2 -> Some (base /. 2.0)
+    | _ -> None
+  in
+  let nu, tree, cost = Dp.search_vector ~measure ~measure_plan 1024 in
+  check ci "picks nu=2" 2 nu;
+  check ci "tree size" 1024 (Ruletree.size tree);
+  Ruletree.validate tree;
+  check cb "vector cost is the halved one" true (cost = 512.0);
+  (* when lowering always fails, the scalar candidate must win *)
+  let nu0, _, cost0 =
+    Dp.search_vector
+      ~measure_plan:(fun ~vec t ->
+        if vec = 0 then Some (float_of_int (Ruletree.size t)) else None)
+      ~measure 256
+  in
+  check ci "falls back to scalar" 0 nu0;
+  check cb "scalar cost" true (cost0 = 256.0);
+  (* no measurable candidate at all is a caller error *)
+  try
+    ignore
+      (Dp.search_vector ~measure ~measure_plan:(fun ~vec:_ _ -> None) 64);
+    Alcotest.fail "must reject when nothing measures"
+  with Invalid_argument _ -> ()
 
 let test_plan_cache_salvage_corrupted () =
   let file = Filename.temp_file "spiral_cache" ".txt" in
@@ -373,6 +445,9 @@ let suite =
       test_plan_cache_v1_compat;
     Alcotest.test_case "plan cache: v2 migration roundtrip" `Quick
       test_plan_cache_v2_migration_roundtrip;
+    Alcotest.test_case "plan cache: v3 migration (vec default)" `Quick
+      test_plan_cache_v3_migration;
+    Alcotest.test_case "dp: vector search" `Quick test_dp_search_vector;
     Alcotest.test_case "plan cache: salvages corrupted file" `Quick
       test_plan_cache_salvage_corrupted;
     Alcotest.test_case "plan cache: interrupted save is atomic" `Quick

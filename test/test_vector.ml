@@ -178,6 +178,127 @@ let test_tandem_no_false_sharing () =
       in
       check Alcotest.int "zero false sharing" 0 r.Spiral_sim.Simulate.false_sharing
 
+(* ------------------------------------------------------------------ *)
+(* The split re/im (planar) execution backend                          *)
+
+let split_plan f = Spiral_codegen.Plan.of_formula ~layout:Spiral_codegen.Plan.Split f
+
+let run_split_plan plan n x =
+  let px = Array.make (2 * n) 0.0 and py = Array.make (2 * n) 0.0 in
+  Cvec.to_planar x px;
+  Spiral_codegen.Plan.execute plan px py;
+  let y = Cvec.create n in
+  Cvec.of_planar py y;
+  y
+
+let test_split_plan_sweep () =
+  (* vectorized derivations executed through the planar backend match
+     the dense transform across 2^4..2^10 for both vector lengths *)
+  List.iter
+    (fun nu ->
+      List.iter
+        (fun logn ->
+          let n = 1 lsl logn in
+          match Derive.short_vector_dft ~nu (Ruletree.mixed_radix n) with
+          | Error e ->
+              Alcotest.failf "nu=%d n=%d: %s" nu n (Derive.error_to_string e)
+          | Ok f ->
+              if n <= 64 then
+                check cb
+                  (Printf.sprintf "dense semantics nu=%d n=%d" nu n)
+                  true (sem_equal f (DFT n));
+              let y = run_split_plan (split_plan f) n (Cvec.random ~seed:logn n) in
+              let want = Naive_dft.dft (Cvec.random ~seed:logn n) in
+              check cb
+                (Printf.sprintf "split exec nu=%d n=%d" nu n)
+                true
+                (Cvec.max_abs_diff y want < 1e-8 *. float_of_int n))
+        [ 4; 5; 6; 7; 8; 9; 10 ])
+    [ 2; 4 ]
+
+let test_split_blocked_passes () =
+  (* the planar plan actually takes the blocked (lane-parallel) kernel
+     path, not just the scalar planar fallback *)
+  match Derive.short_vector_dft ~nu:4 (Ruletree.mixed_radix 4096) with
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+  | Ok f ->
+      let plan = split_plan f in
+      let blocked =
+        Array.to_list plan.Spiral_codegen.Plan.passes
+        |> List.filter (fun (p : Spiral_codegen.Plan.pass) ->
+               match p.Spiral_codegen.Plan.split with
+               | Some se -> se.Spiral_codegen.Plan.vk.Spiral_codegen.Vcodelet.lanes > 1
+               | None -> false)
+        |> List.length
+      in
+      check cb "every pass blocked" true
+        (blocked = Array.length plan.Spiral_codegen.Plan.passes)
+
+let test_split_tandem_parallel () =
+  (* smp(p,µ) x vec(ν) through the planar backend, executed at p ∈
+     {2, 4}: bit-identical to the sequential run, correct vs naive *)
+  List.iter
+    (fun (p, mu, nu, m, n) ->
+      let tree = Ruletree.Ct (Ruletree.mixed_radix m, Ruletree.mixed_radix n) in
+      match Derive.multicore_vector_dft ~p ~mu ~nu tree with
+      | Error e ->
+          Alcotest.failf "p%d mu%d nu%d: %s" p mu nu (Derive.error_to_string e)
+      | Ok f ->
+          let sz = m * n in
+          let plan = split_plan f in
+          let x = Cvec.random ~seed:p sz in
+          let want = run_split_plan plan sz x in
+          check cb "sequential split correct" true
+            (Cvec.max_abs_diff want (Naive_dft.dft x)
+            < 1e-8 *. float_of_int sz);
+          Spiral_smp.Pool.with_pool p (fun pool ->
+              let px = Array.make (2 * sz) 0.0
+              and py = Array.make (2 * sz) 0.0 in
+              Cvec.to_planar x px;
+              Spiral_smp.Par_exec.execute pool plan px py;
+              let y = Cvec.create sz in
+              Cvec.of_planar py y;
+              check cb
+                (Printf.sprintf "p=%d parallel split identical" p)
+                true
+                (Cvec.max_abs_diff y want = 0.0)))
+    [ (2, 2, 2, 8, 8); (2, 4, 2, 16, 16); (2, 4, 4, 32, 32);
+      (4, 4, 4, 32, 32) ]
+
+let test_split_zero_alloc () =
+  (* steady-state planar execution allocates nothing: codelet scratch,
+     odometer digits and ping-pong buffers are all plan/context-owned *)
+  match Derive.short_vector_dft ~nu:4 (Ruletree.mixed_radix 1024) with
+  | Error e -> Alcotest.fail (Derive.error_to_string e)
+  | Ok f ->
+      let plan = split_plan f in
+      let px = Array.make 2048 0.0 and py = Array.make 2048 0.0 in
+      Cvec.to_planar (Cvec.random ~seed:5 1024) px;
+      (* warm up: first call may fault in lazy state *)
+      Spiral_codegen.Plan.execute plan px py;
+      let w0 = Gc.minor_words () in
+      for _ = 1 to 10 do
+        Spiral_codegen.Plan.execute plan px py
+      done;
+      let dw = Gc.minor_words () -. w0 in
+      check cb
+        (Printf.sprintf "no allocation in split execute (%.0f words)" dw)
+        true (dw = 0.0)
+
+let test_vectorize_formula_fallback () =
+  (* the planner-level lowering: `Auto falls back to scalar when no ν
+     applies, `Nu reports 0 rather than raising *)
+  let f6 = Ruletree.expand (Ruletree.Ct (Ruletree.Leaf 2, Ruletree.Leaf 3)) in
+  let g, nu = Spiral_fft.Planner.vectorize_formula ~vec:`Auto f6 in
+  check cb "auto fallback keeps formula" true (g == f6);
+  check Alcotest.int "auto fallback nu" 0 nu;
+  let _, nu = Spiral_fft.Planner.vectorize_formula ~vec:(`Nu 4) f6 in
+  check Alcotest.int "explicit nu fails to 0" 0 nu;
+  let f64 = Ruletree.expand (Ruletree.mixed_radix 64) in
+  let g, nu = Spiral_fft.Planner.vectorize_formula ~vec:`Auto f64 in
+  check Alcotest.int "auto picks 4" 4 nu;
+  check cb "lowered is vectorized" true (Props.vectorized ~nu:4 g)
+
 let suite =
   [
     Alcotest.test_case "constructs: semantics" `Quick test_vtensor_semantics;
@@ -192,4 +313,9 @@ let suite =
     Alcotest.test_case "tandem smp x vec" `Quick test_tandem;
     Alcotest.test_case "tandem executes in parallel" `Quick test_tandem_executes_parallel;
     Alcotest.test_case "tandem: no false sharing" `Quick test_tandem_no_false_sharing;
+    Alcotest.test_case "split backend: size sweep" `Quick test_split_plan_sweep;
+    Alcotest.test_case "split backend: blocked kernels" `Quick test_split_blocked_passes;
+    Alcotest.test_case "split backend: smp tandem p=2,4" `Quick test_split_tandem_parallel;
+    Alcotest.test_case "split backend: zero allocation" `Quick test_split_zero_alloc;
+    Alcotest.test_case "vectorize_formula fallback" `Quick test_vectorize_formula_fallback;
   ]
