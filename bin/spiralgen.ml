@@ -66,6 +66,20 @@ let vec_arg ~default =
            $(b,auto) (try nu=4 then nu=2, fall back to scalar), or an \
            explicit vector length nu >= 2.")
 
+let paranoid_arg =
+  Arg.(
+    value & flag
+    & info [ "paranoid" ]
+        ~doc:
+          "Discharge every optimizer certificate exhaustively at plan time \
+           (every index of every pass, every boundary witness) instead of \
+           the sampled default.  Slower planning, same execution speed; \
+           results appear under the $(b,validate.*) counters in --metrics \
+           output.")
+
+let apply_paranoid paranoid =
+  if paranoid then Spiral_validate.mode := Spiral_validate.Exhaustive
+
 let backend_conv =
   Arg.conv
     ( (function
@@ -392,8 +406,9 @@ let cmd_run =
         0)
   in
   let run n p mu vec reps batch trace metrics resident resident_idle
-      spin_limit =
+      spin_limit paranoid =
     apply_smp_knobs resident resident_idle spin_limit;
+    apply_paranoid paranoid;
     if n < 1 || batch < 1 then begin
       Printf.eprintf "error: N and B must be >= 1\n";
       1
@@ -459,7 +474,7 @@ let cmd_run =
     Term.(
       const run $ n_arg $ p_arg $ mu_arg $ vec_arg ~default:`Off $ reps_arg
       $ batch_arg $ trace_arg $ metrics_arg $ resident_arg $ resident_idle_arg
-      $ spin_limit_arg)
+      $ spin_limit_arg $ paranoid_arg)
 
 let cmd_search =
   let run n machine =
@@ -510,7 +525,8 @@ let socket_arg =
 
 let cmd_serve =
   let run socket threads mu max_pending max_per_client max_conns max_plans
-      pool_timeout send_timeout warm =
+      pool_timeout send_timeout warm paranoid =
+    apply_paranoid paranoid;
     let warm =
       List.filter (fun s -> s <> "")
         (List.map String.trim (String.split_on_char ',' warm))
@@ -596,7 +612,8 @@ let cmd_serve =
     (Cmd.info "serve" ~doc:"Run the resident FFT daemon on a Unix-domain socket")
     Term.(
       const run $ socket_arg $ threads $ mu_arg $ max_pending $ max_per_client
-      $ max_conns $ max_plans $ pool_timeout $ send_timeout $ warm)
+      $ max_conns $ max_plans $ pool_timeout $ send_timeout $ warm
+      $ paranoid_arg)
 
 let cmd_client =
   let run socket op descriptor deadline_ms count tenant seed =

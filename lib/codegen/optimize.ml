@@ -25,8 +25,22 @@ open Spiral_util
 
 let counter_fused = "optimize.fused_passes"
 
+type fusion_claim = {
+  src : int option;
+  gchain : int list;
+  schain : int list;
+}
+
+type fusion_cert = {
+  original : Ir.t;
+  fused : Ir.t;
+  claims : fusion_claim list;
+}
+
 (* [perm]: output position q of the pending data chain reads input
-   position [perm.(q)], scaled by [scale.(q)] when present. *)
+   position [perm.(q)], scaled by [scale.(q)] when present.  [idxs]
+   records which original passes were composed into the chain (reversed;
+   the certificate claims report them in execution order). *)
 type pending = {
   perm : int array;
   scale : Complex.t array option;
@@ -34,6 +48,7 @@ type pending = {
   mu : int option;
   vec : int option;
   hint : int list;
+  idxs : int list;
 }
 
 (* A fused pass inherits the strictest (largest) cache-line tag of its
@@ -52,9 +67,10 @@ let is_data_pass (p : Ir.pass) =
   p.radix = 1
   && (p.kernel == Codelet.dft 1 || p.kernel.Codelet.name = "copy1")
 
-(* Compose data pass [d] onto the pending chain: returns [None] if [d] is
-   not a full-size pass with bijective scatter and in-range gather. *)
-let compose n (prev : pending option) (d : Ir.pass) =
+(* Compose data pass [d] (original index [di]) onto the pending chain:
+   returns [None] if [d] is not a full-size pass with bijective scatter
+   and in-range gather. *)
+let compose n ~di (prev : pending option) (d : Ir.pass) =
   if d.count <> n then None
   else begin
     let inv = Array.make n (-1) in
@@ -71,10 +87,10 @@ let compose n (prev : pending option) (d : Ir.pass) =
      with Exit -> ());
     if not !ok then None
     else begin
-      let pperm, pscale, pmu, pvec =
+      let pperm, pscale, pmu, pvec, pidxs =
         match prev with
-        | None -> (None, None, None, None)
-        | Some p -> (Some p.perm, p.scale, p.mu, p.vec)
+        | None -> (None, None, None, None, [])
+        | Some p -> (Some p.perm, p.scale, p.mu, p.vec, p.idxs)
       in
       let perm = Array.make n 0 in
       let scale =
@@ -113,6 +129,7 @@ let compose n (prev : pending option) (d : Ir.pass) =
             mu = merge_mu pmu d.mu;
             vec = merge_vec pvec d.vec;
             hint = d.hint;
+            idxs = di :: pidxs;
           }
     end
   end
@@ -179,43 +196,55 @@ let residual n (p : pending) : Ir.pass =
     hint = p.hint;
   }
 
-let fuse_data (ir : Ir.t) : Ir.t =
+let fuse_data_certified (ir : Ir.t) : Ir.t * fusion_cert =
   let n = ir.n in
+  (* reversed (pass, claim) pairs: each claim names the original passes
+     the output pass accounts for, so the validator can replay the
+     composition independently *)
   let out = ref [] in
   let pending = ref None in
   let flush () =
     match !pending with
     | None -> ()
     | Some p ->
-        out := residual n p :: !out;
+        out :=
+          (residual n p, { src = None; gchain = List.rev p.idxs; schain = [] })
+          :: !out;
         pending := None
   in
-  List.iter
-    (fun (p : Ir.pass) ->
+  List.iteri
+    (fun i (p : Ir.pass) ->
       if is_data_pass p then
-        match compose n !pending p with
+        match compose n ~di:i !pending p with
         | Some pd -> pending := Some pd
         | None ->
             flush ();
-            out := p :: !out
+            out := (p, { src = Some i; gchain = []; schain = [] }) :: !out
       else begin
-        (match !pending with
+        match !pending with
         | Some pd ->
-            out := fuse_forward p pd :: !out;
+            out :=
+              ( fuse_forward p pd,
+                { src = Some i; gchain = List.rev pd.idxs; schain = [] } )
+              :: !out;
             pending := None
-        | None -> out := p :: !out)
+        | None -> out := (p, { src = Some i; gchain = []; schain = [] }) :: !out
       end)
     ir.passes;
   (match (!pending, !out) with
   | None, _ -> ()
-  | Some pd, last :: rest -> (
+  | Some pd, (last, lc) :: rest -> (
       match fuse_backward n last pd with
       | Some last' ->
-          out := last' :: rest;
+          out := (last', { lc with schain = List.rev pd.idxs }) :: rest;
           pending := None
       | None -> flush ())
   | Some _, [] -> flush ());
-  let passes = List.rev !out in
+  let items = List.rev !out in
+  let passes = List.map fst items in
   let fused = List.length ir.passes - List.length passes in
   if fused > 0 then Counters.incr ~by:fused counter_fused;
-  { ir with passes }
+  let fir = { ir with passes } in
+  (fir, { original = ir; fused = fir; claims = List.map snd items })
+
+let fuse_data (ir : Ir.t) : Ir.t = fst (fuse_data_certified ir)

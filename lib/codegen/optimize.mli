@@ -15,10 +15,43 @@
     emitted as a residual explicit pass: [fuse_data] never changes the
     computed transform. *)
 
+type fusion_claim = {
+  src : int option;
+      (** Index (into the original pass list) of the pass the output pass
+          was derived from; [None] for a residual pass synthesized from
+          an unabsorbed data chain. *)
+  gchain : int list;
+      (** Original data passes composed into the output pass's gather and
+          load-scale (forward fusion; or the residual's own content when
+          [src = None]), in execution order. *)
+  schain : int list;
+      (** Original data passes whose inverted permutation was composed
+          into the output pass's scatter (backward fusion), in execution
+          order.  Always a pure permutation (no diagonal). *)
+}
+(** What one output pass of {!fuse_data_certified} claims to account
+    for.  Concatenating [gchain @ src @ schain] over all claims must
+    enumerate the original pass list exactly once, in order — one of the
+    obligations the validator discharges. *)
+
+type fusion_cert = {
+  original : Ir.t;  (** The pass list before fusion. *)
+  fused : Ir.t;  (** The pass list after fusion (what gets executed). *)
+  claims : fusion_claim list;  (** One claim per fused pass, in order. *)
+}
+(** Certificate emitted alongside a fused pass list: everything an
+    independent checker needs to replay the composition and verify
+    totality, bijectivity and pointwise equality of the rewritten index
+    functions (see [Spiral_validate.check_fusion]). *)
+
 val fuse_data : Ir.t -> Ir.t
 (** Fuse away data-movement passes.  The number of eliminated passes is
     added to the {!Spiral_util.Counters} counter
     ["optimize.fused_passes"]. *)
+
+val fuse_data_certified : Ir.t -> Ir.t * fusion_cert
+(** {!fuse_data} plus the certificate describing every rewrite it
+    performed.  [fuse_data] is [fst ∘ fuse_data_certified]. *)
 
 val is_data_pass : Ir.pass -> bool
 (** True for radix-1 passes whose kernel is the identity (the passes

@@ -45,6 +45,12 @@ type pass = {
    buffer, preallocated so the pass loops allocate nothing. *)
 type ctx = { cscratch : Codelet.scratch; dig : int array }
 
+type vreport = {
+  vdigest : int;
+  mutable vbase : bool;
+  mutable vworkers : int list;
+}
+
 type t = {
   n : int;
   layout : layout;
@@ -61,6 +67,14 @@ type t = {
       (** Cache of the false-sharing check: worker count -> number of
           cache lines written by more than one worker under the aligned
           Block partition (maintained by [Par_exec]). *)
+  fusion_cert : Optimize.fusion_cert option;
+      (** Certificate of the fusion rewrites the plan's IR went through
+          ([Some] iff [of_ir ~fuse:true] actually ran the optimizer);
+          discharged by [Spiral_validate.check_fusion]. *)
+  mutable validation : vreport option;
+      (** Validation results, keyed by {!digest} at validation time so a
+          mutated plan cannot inherit a stale certificate (maintained by
+          [Spiral_validate.validate_plan]). *)
 }
 
 let max_depth passes =
@@ -235,9 +249,72 @@ let attach_split ~n (p : pass) =
     (if lanes > 1 then "vec.pass_blocked" else "vec.pass_scalar");
   { p with split = Some { vk = Vcodelet.get ~lanes p.kernel; im = n } }
 
+(* Structural digest over everything validation depends on: pass shapes,
+   tags, kernels and the materialized addressing and twiddles.  An
+   explicit fold (not [Hashtbl.hash], which truncates its traversal) so
+   that any mutation of a pass array entry or its index tables changes
+   the digest and invalidates cached validation results.  Large index
+   and twiddle tables are sampled at a fixed stride — plenty to catch
+   the accidental mutations this guards against. *)
+let digest t =
+  let h = ref (Hashtbl.hash (t.n, Array.length t.passes, t.layout = Split)) in
+  let mix v = h := ((!h * 131) + v) lxor (v lsl 7) in
+  let mix_table a =
+    let m = Array.length a in
+    mix m;
+    let step = max 1 (m / 64) in
+    let i = ref 0 in
+    while !i < m do
+      mix a.(!i);
+      i := !i + step
+    done
+  in
+  Array.iter
+    (fun p ->
+      mix p.count;
+      mix p.radix;
+      mix (match p.par with None -> -1 | Some q -> q);
+      mix (match p.mu with None -> -1 | Some m -> 1000 + m);
+      mix (match p.vec with None -> -1 | Some v -> 2000 + v);
+      mix (Hashtbl.hash p.kernel.Codelet.name);
+      mix
+        (match p.split with
+        | None -> 0
+        | Some se -> 3000 + se.vk.Vcodelet.lanes);
+      (match p.addr with
+      | Strided { exts; gstrs; sstrs; g0; s0; gl; sl; _ } ->
+          Array.iter mix exts;
+          Array.iter mix gstrs;
+          Array.iter mix sstrs;
+          mix g0;
+          mix s0;
+          mix gl;
+          mix sl
+      | Indexed { gidx; sidx } ->
+          mix_table gidx;
+          mix_table sidx);
+      match p.tw with
+      | None -> mix 0
+      | Some tw ->
+          let m = Array.length tw in
+          mix m;
+          let step = max 1 (m / 64) in
+          let i = ref 0 in
+          while !i < m do
+            mix (Hashtbl.hash tw.(!i));
+            i := !i + step
+          done)
+    t.passes;
+  !h land max_int
+
 let of_ir ?(fuse = true) ?(baseline = false) ?(layout = Interleaved)
     (ir : Ir.t) =
-  let ir = if fuse then Optimize.fuse_data ir else ir in
+  let ir, fusion_cert =
+    if fuse then
+      let fused, cert = Optimize.fuse_data_certified ir in
+      (fused, Some cert)
+    else (ir, None)
+  in
   let passes = Array.of_list (List.map materialize_pass ir.passes) in
   let passes =
     if baseline then
@@ -261,6 +338,8 @@ let of_ir ?(fuse = true) ?(baseline = false) ?(layout = Interleaved)
     wctx = [||];
     elision = [];
     misaligned = [];
+    fusion_cert;
+    validation = None;
   }
 
 let of_formula ?fuse ?baseline ?layout ?(explicit_data = false) f =

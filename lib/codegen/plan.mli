@@ -75,6 +75,20 @@ type ctx
 (** Per-worker execution context (codelet scratch + odometer digit
     buffer).  A ctx must not be shared by concurrently running domains. *)
 
+type vreport = {
+  vdigest : int;  (** {!digest} of the plan at validation time. *)
+  mutable vbase : bool;
+      (** Worker-independent obligations (fusion, vec lowering)
+          discharged. *)
+  mutable vworkers : int list;
+      (** Worker counts whose partition/elision/coverage obligations were
+          discharged at this digest. *)
+}
+(** Record of discharged validation obligations, written by
+    [Spiral_validate.validate_plan] and shared by {!clone} (cloning
+    changes no immutable state, so certificates carry over); a digest
+    mismatch marks the report stale. *)
+
 type t = {
   n : int;
   layout : layout;
@@ -91,11 +105,24 @@ type t = {
       (** False-sharing-check cache, keyed by worker count: number of
           µ-lines written by two or more workers under the aligned Block
           partition.  Owned by [Par_exec.misaligned_lines]. *)
+  fusion_cert : Optimize.fusion_cert option;
+      (** Certificate of the fusion rewrites applied to the plan's IR
+          ([Some] iff fusion ran); discharged by
+          [Spiral_validate.check_fusion]. *)
+  mutable validation : vreport option;
+      (** Discharged-obligation record, keyed by {!digest}; owned by
+          [Spiral_validate.validate_plan].  Shared by {!clone}. *)
 }
 
 val affine_check_threshold : int
 (** Below this many (iteration, element) points, affinity of index
     functions is verified exhaustively; above, densely sampled. *)
+
+val digest : t -> int
+(** Structural digest of everything validation depends on (pass shapes,
+    tags, kernels, materialized addressing, sampled index/twiddle
+    tables).  Any mutation of the pass array changes it, so a stale
+    {!vreport} can be detected and never trusted. *)
 
 val of_ir : ?fuse:bool -> ?baseline:bool -> ?layout:layout -> Ir.t -> t
 (** [fuse] (default [true]) runs {!Optimize.fuse_data} before
@@ -154,7 +181,11 @@ val iter_addresses : pass -> int -> (int -> int) * (int -> int)
 val clone : t -> t
 (** A plan sharing all immutable state (kernels, index tables, twiddles)
     but with fresh intermediate buffers and contexts — for concurrent
-    execution of the same transform from several threads. *)
+    execution of the same transform from several threads.  Cached
+    analysis results (elision masks, false-sharing counts, the
+    {!vreport} of validation runs that completed before the clone) are
+    shared too: they depend only on the shared state, so re-deriving
+    them on a clone would be pure waste. *)
 
 val execute : t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t -> unit
 (** [execute plan x y] computes [y = A x] sequentially.  [x] and [y] must

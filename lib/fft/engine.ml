@@ -50,7 +50,8 @@ type t = {
   mutable alive : bool;
 }
 
-let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ?vec ~derive problem =
+let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ?vec ?validate ~derive
+    problem =
   if threads < 1 then invalid_arg "Engine.plan: threads >= 1";
   if mu < 1 then invalid_arg "Engine.plan: mu >= 1";
   let vec =
@@ -62,8 +63,10 @@ let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ?vec ~derive problem =
   let total = Problem.total problem in
   let compile () =
     Trace.begin_span 0 Trace.cat_plan total;
-    let formula, p = derive ~threads ~mu in
-    let vformula, nu = Planner.vectorize_formula ~vec formula in
+    let dformula, p = derive ~threads ~mu in
+    let vformula, nu, vcert =
+      Planner.vectorize_formula_certified ~vec dformula
+    in
     let formula, nu, plan =
       if nu > 0 then
         (* vectorized formulas compile to split re/im plans; if the
@@ -76,19 +79,41 @@ let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ?vec ~derive problem =
         | exception Ir.Unsupported _ ->
             Counters.incr "vec.compile_fail";
             let plan =
-              try Plan.of_formula formula
+              try Plan.of_formula dformula
               with Ir.Unsupported msg -> invalid_arg ("Engine.plan: " ^ msg)
             in
-            (formula, 0, plan)
+            (dformula, 0, plan)
       else
         let plan =
-          try Plan.of_formula formula
+          try Plan.of_formula dformula
           with Ir.Unsupported msg -> invalid_arg ("Engine.plan: " ^ msg)
         in
-        (formula, 0, plan)
+        (dformula, 0, plan)
+    in
+    (* discharge the optimizer certificates before the plan can execute
+       or enter the registry: fusion, barrier elision, partition/split
+       coverage, and — when the plan is vectorized — the vec lowering *)
+    let entry =
+      match
+        Spiral_validate.validate_plan_result ?mode:validate ~workers:p
+          ?vec:(if nu > 0 then vcert else None)
+          plan
+      with
+      | Ok () -> { formula; p; nu; master = plan }
+      | Error _ ->
+          (* a certificate failed its check: never execute the suspect
+             plan.  Recompile the scalar derivation without fusion and
+             run it on the existing sequential path (p = 1, no pool). *)
+          Counters.incr "engine.validation_fallback";
+          Trace.mark 0 Trace.cat_fallback total;
+          let fallback =
+            try Plan.of_formula ~fuse:false dformula
+            with Ir.Unsupported msg -> invalid_arg ("Engine.plan: " ^ msg)
+          in
+          { formula = dformula; p = 1; nu = 0; master = fallback }
     in
     Trace.end_span 0 Trace.cat_plan total;
-    { formula; p; nu; master = plan }
+    entry
   in
   let formula, p, nu, plan =
     if not cache then

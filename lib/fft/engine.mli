@@ -32,6 +32,7 @@ val plan :
   ?mu:int ->
   ?cache:bool ->
   ?vec:Planner.vec_request ->
+  ?validate:Spiral_validate.mode ->
   derive:
     (threads:int -> mu:int -> Spiral_spl.Formula.t * int) ->
   Problem.t ->
@@ -56,6 +57,17 @@ val plan :
     ({!Problem.vec}), [`Off] otherwise.  smp × vec compose: a multicore
     derivation that vectorizes runs its vector passes inside the same
     worksharing schedule.
+
+    Before a freshly compiled plan can execute or enter the registry,
+    its optimizer certificates (fusion, barrier elision, partition and
+    ν-block coverage, vec lowering) are discharged by
+    [Spiral_validate.validate_plan_result] in mode [validate] (default:
+    the process-wide [Spiral_validate.mode], i.e. sampled, or exhaustive
+    under [--paranoid]).  A failed obligation never executes the suspect
+    plan: the engine recompiles the scalar derivation without fusion and
+    runs it sequentially (counted under ["engine.validation_fallback"],
+    plus ["engine.seq_fallback"] when [threads > 1]).  Registry hits
+    reuse the master plan's validation via [Plan.clone].
     @raise Invalid_argument if [threads < 1], [mu < 1], or the formula
     does not compile. *)
 

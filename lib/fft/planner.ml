@@ -46,20 +46,31 @@ let vec_request_to_string = function
   | `Auto -> "va"
   | `Nu nu -> Printf.sprintf "v%d" nu
 
-let vectorize_formula ~vec f =
+let vectorize_formula_certified ~vec f =
   match vec with
-  | `Off -> (f, 0)
+  | `Off -> (f, 0, None)
   | (`Auto | `Nu _) as v ->
       let nus = match v with `Nu nu -> [ nu ] | `Auto -> [ 4; 2 ] in
       let rec go = function
         | [] ->
             Counters.incr "vec.lower_fail";
-            (f, 0)
+            (f, 0, None)
         | nu :: rest -> (
             match Vector_rules.vectorize ~nu f with
             | Ok g when Spiral_spl.Props.vectorized ~nu g ->
                 Counters.incr "vec.lowered";
-                (g, nu)
+                ( g,
+                  nu,
+                  Some
+                    {
+                      Spiral_validate.vc_scalar = f;
+                      vc_vector = g;
+                      vc_nu = nu;
+                    } )
             | _ -> go rest)
       in
       go nus
+
+let vectorize_formula ~vec f =
+  let g, nu, _ = vectorize_formula_certified ~vec f in
+  (g, nu)

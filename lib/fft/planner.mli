@@ -25,6 +25,15 @@ type vec_request = [ `Off | `Auto | `Nu of int ]
 val vec_request_to_string : vec_request -> string
 (** Deterministic tag ("v0", "va", "v4", …) for registry keys. *)
 
+val vectorize_formula_certified :
+  vec:vec_request ->
+  Spiral_spl.Formula.t ->
+  Spiral_spl.Formula.t * int * Spiral_validate.vec_cert option
+(** As {!vectorize_formula}, additionally returning the lowering
+    certificate (scalar formula, lowered formula, ν) for
+    [Spiral_validate.check_vectorization] to discharge; [None] iff the
+    achieved ν is 0. *)
+
 val vectorize_formula :
   vec:vec_request -> Spiral_spl.Formula.t -> Spiral_spl.Formula.t * int
 (** [(g, ν)]: the vectorized formula and the vector length achieved, or

@@ -70,10 +70,22 @@ let worker_range ?(align = 1) sched ~count ~workers w =
    materialized addressing, so it is conservative only where it
    refuses. *)
 
-let compute_elision ~workers (plan : Plan.t) =
+type boundary_witness = {
+  boundary : int;
+  writer : int array;
+  reader : int array;
+}
+
+(* [capture] snapshots the per-position writer/reader ownership arrays of
+   pass k for every boundary the analysis decides to elide — the
+   certificate [Spiral_validate.check_elision] re-derives and checks.
+   Witnesses are only materialized on request (two int arrays of size n
+   per elided boundary), never cached. *)
+let compute_elision ?(capture = false) ~workers (plan : Plan.t) =
   let np = Array.length plan.Plan.passes in
   let nb = max 0 (np - 1) in
   let mask = Array.make nb false in
+  let wits = ref [] in
   if workers = 1 then Array.fill mask 0 nb true
   else begin
     let n = plan.Plan.n in
@@ -129,7 +141,12 @@ let compute_elision ~workers (plan : Plan.t) =
                   ~count:pk1.Plan.count ~workers w)
            done
          with Exit -> ());
-        mask.(b) <- !ok
+        mask.(b) <- !ok;
+        if capture && !ok then
+          wits :=
+            { boundary = b; writer = Array.copy writer;
+              reader = Array.copy reader }
+            :: !wits
       end
     done;
     (* no chained elisions: a skipped barrier must be followed by a real
@@ -138,7 +155,9 @@ let compute_elision ~workers (plan : Plan.t) =
       if mask.(b) && mask.(b - 1) then mask.(b) <- false
     done
   end;
-  mask
+  (* the no-chain rule may have withdrawn some elisions after their
+     witnesses were captured *)
+  (mask, List.rev (List.filter (fun w -> mask.(w.boundary)) !wits))
 
 let empty_mask = [||]
 
@@ -149,9 +168,17 @@ let elision_mask ?(schedule = Block) ~workers (plan : Plan.t) =
       match List.assoc_opt workers plan.Plan.elision with
       | Some m -> m
       | None ->
-          let m = compute_elision ~workers plan in
+          let m, _ = compute_elision ~workers plan in
           plan.Plan.elision <- (workers, m) :: plan.Plan.elision;
           m)
+
+let elision_witness ~workers (plan : Plan.t) =
+  let mask, wits = compute_elision ~capture:true ~workers plan in
+  (* refresh the cache: the recomputed mask reflects the plan as it is
+     now, which is what subsequent [prepare]s should see *)
+  plan.Plan.elision <-
+    (workers, mask) :: List.remove_assoc workers plan.Plan.elision;
+  (mask, wits)
 
 (* ---------------------------------------------------------------- *)
 (* False-sharing check (Definition 1).  A µ-tagged parallel pass is

@@ -66,6 +66,30 @@ val elision_mask :
     schedules get an empty mask (no elision).  Results are cached on the
     plan per worker count. *)
 
+type boundary_witness = {
+  boundary : int;  (** The elided boundary (between passes [b], [b+1]). *)
+  writer : int array;
+      (** Per buffer position of pass [b]'s output: the worker that wrote
+          it under the aligned Block partition, [-1] if untouched. *)
+  reader : int array;
+      (** Per buffer position of pass [b]'s input: the worker that read
+          it, [-1] if unread, [-2] if read by several workers. *)
+}
+(** Read/write-set witness of one elided barrier: what the analysis
+    believed about pass [b]'s footprint when it licensed the elision.
+    [Spiral_validate.check_elision] re-derives both arrays from
+    {!Spiral_codegen.Plan.iter_addresses} and re-checks conditions A/B
+    against them rather than trusting the analysis. *)
+
+val elision_witness :
+  workers:int ->
+  Spiral_codegen.Plan.t ->
+  bool array * boundary_witness list
+(** {!elision_mask} recomputed with per-boundary witnesses (one per
+    elided boundary; none when [workers = 1], where every boundary is
+    trivially elidable).  Always recomputes — witnesses are never cached
+    — and refreshes the plan's mask cache with the result. *)
+
 val misaligned_lines : workers:int -> Spiral_codegen.Plan.t -> int
 (** Number of µ-lines written by two or more workers across the plan's
     µ-tagged parallel passes under the aligned Block partition — the

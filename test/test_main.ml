@@ -9,6 +9,7 @@ let () =
       ("derive", Test_derive.suite);
       ("codegen", Test_codegen.suite);
       ("optimize", Test_optimize.suite);
+      ("validate", Test_validate.suite);
       ("smp", Test_smp.suite);
       ("sim", Test_sim.suite);
       ("search", Test_search.suite);

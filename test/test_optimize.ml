@@ -71,6 +71,105 @@ let test_fused_exact () =
     [ (16, 16); (16, 32); (32, 32); (64, 64) ]
 
 (* ------------------------------------------------------------------ *)
+(* Residual path: a data pass that fails the legality checks (not
+   full-size, or a scatter with a collision) must be emitted verbatim,
+   never absorbed — and never change the transform.  Randomized over
+   hand-built IR because the formula compiler only produces legal
+   permutations. *)
+
+let shuffle st a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let data_pass ~count ~gather ~scatter =
+  {
+    Ir.count;
+    radix = 1;
+    par = None;
+    mu = None;
+    vec = None;
+    kernel = Codelet.dft 1;
+    gather;
+    scatter;
+    scale = None;
+    hint = [ count ];
+  }
+
+let prop_residual_preserved =
+  QCheck.Test.make
+    ~name:"fusion: illegal data passes stay residual, bit-for-bit" ~count:40
+    QCheck.(pair (int_range 0 10_000) (int_range 0 1))
+    (fun (seed, kind) ->
+      let n = 16 in
+      let st = Random.State.make [| seed; kind |] in
+      let perm () =
+        let a = Array.init n Fun.id in
+        shuffle st a;
+        a
+      in
+      (* the bad pass: non-total (covers a strict subset of [0, n)) or
+         non-bijective (two iterations write the same position) *)
+      let bad =
+        let gp = perm () and sp = perm () in
+        match kind with
+        | 0 ->
+            let count = 1 + Random.State.int st (n - 1) in
+            data_pass ~count
+              ~gather:(fun i _ -> gp.(i))
+              ~scatter:(fun i _ -> sp.(i))
+        | _ ->
+            let j = Random.State.int st n in
+            let k = (j + 1 + Random.State.int st (n - 1)) mod n in
+            sp.(j) <- sp.(k);
+            data_pass ~count:n
+              ~gather:(fun i _ -> gp.(i))
+              ~scatter:(fun i _ -> sp.(i))
+      in
+      (* a legal permutation right before the compute pass, so the run
+         exercises fusion and residual emission side by side *)
+      let gp = perm () in
+      let good =
+        data_pass ~count:n ~gather:(fun i _ -> gp.(i)) ~scatter:(fun i _ -> i)
+      in
+      let compute =
+        {
+          Ir.count = 4;
+          radix = 4;
+          par = None;
+          mu = None;
+          vec = None;
+          kernel = Codelet.dft 4;
+          gather = (fun i l -> i + (4 * l));
+          scatter = (fun i l -> (4 * i) + l);
+          scale = None;
+          hint = [ 4 ];
+        }
+      in
+      let ir = { Ir.n; passes = [ bad; good; compute ] } in
+      Counters.reset ();
+      let fused_ir, cert = Optimize.fuse_data_certified ir in
+      (* exactly the good permutation fused; the bad pass survived *)
+      let ok_shape =
+        List.length fused_ir.Ir.passes = 2
+        && Counters.get "optimize.fused_passes" = 1
+        && List.exists Optimize.is_data_pass fused_ir.Ir.passes
+      in
+      let unfused = Plan.of_ir ~fuse:false ir in
+      let fused = Plan.of_ir ~fuse:false fused_ir in
+      let x = Cvec.random ~seed n in
+      let yu = Cvec.create n and yf = Cvec.create n in
+      Plan.execute unfused x yu;
+      Plan.execute fused x yf;
+      ok_shape
+      && Cvec.max_abs_diff yu yf = 0.0
+      && Result.is_ok
+           (Spiral_validate.check_fusion ~mode:Spiral_validate.Exhaustive cert))
+
+(* ------------------------------------------------------------------ *)
 (* Legacy-kernel baseline plans compute the same transform              *)
 
 let test_baseline_exact () =
@@ -210,6 +309,7 @@ let suite =
       test_fusion_shrinks;
     Alcotest.test_case "fusion: idempotent" `Quick test_fusion_idempotent;
     Alcotest.test_case "fusion: bit-for-bit" `Quick test_fused_exact;
+    QCheck_alcotest.to_alcotest prop_residual_preserved;
     Alcotest.test_case "baseline: legacy kernels bit-identical" `Quick
       test_baseline_exact;
     Alcotest.test_case "fused: all workers and schedules" `Quick
