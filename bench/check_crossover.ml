@@ -87,6 +87,10 @@ type size_block = {
   dispatch_us : float option;
   wait_frac : float option;
   vec_speedup : float option;  (* seq time / vectorized split time *)
+  dft2d_seq : float option;  (* us_per_call of the 2-D series *)
+  dft2d_strided : float option;
+  dft2d_tiled : float option;
+  dft2d_speedup : float option;  (* 2-D seq time / best parallel *)
 }
 
 (* every size block of a bench JSON, with its traced observability *)
@@ -113,6 +117,12 @@ let sizes content =
             dispatch_us = field stop "\"dispatch_latency_us\": " j;
             wait_frac = field stop "\"barrier_wait_frac\": " j;
             vec_speedup = field stop "\"vec_speedup\": " j;
+            dft2d_seq = field stop "\"dft2d_seq\": {\"us_per_call\": " j;
+            dft2d_strided =
+              field stop "\"dft2d_par2_strided\": {\"us_per_call\": " j;
+            dft2d_tiled =
+              field stop "\"dft2d_par2_tiled\": {\"us_per_call\": " j;
+            dft2d_speedup = field stop "\"dft2d_par2_speedup\": " j;
           }
         in
         go j (block :: acc)
@@ -195,38 +205,66 @@ let check_ceilings label blocks ncores =
               fail "%s 2^%d barrier wait fraction %.3f exceeds %.2f" label
                 b.logn w wait_ceiling
           end)
-    blocks;
-  if ncores < 2 then
-    Printf.printf
-      "check-crossover: SKIP %s barrier_wait_frac ceilings — 1-core host \
-       (waits there measure OS preemption, not the rendezvous)\n"
-      label
+    blocks
 
-(* Advisory only: by 2^10 the working set has left L1 and the planar
-   layout halves the per-line footprint, so the vectorized split path is
-   expected to win there.  Losing is worth a loud line in the log — but
-   it is a tuning outcome on this host, not a correctness failure.
-   A JSON written before the bench emitted the vec series has no
-   "vec_speedup" key at all; that is an old artifact, not a missing
-   measurement, so the whole advisory SKIPs in one line rather than
-   muttering per size. *)
-let check_vec label content blocks =
+(* SKIP/WARN advisories as data, so the plain checker and the --summary
+   markdown renderer emit the same determinations: the checker prints
+   them as "check-crossover: …" log lines, the renderer as a bullet
+   list in the job summary (previously the renderer dropped them
+   entirely, so a summary against a pre-vec artifact silently showed an
+   empty column where the checker would have said SKIP).
+
+   - Vec: by 2^10 the working set has left L1 and the planar layout
+     halves the per-line footprint, so the vectorized split path is
+     expected to win there.  Losing is worth a loud line — but it is a
+     tuning outcome on this host, not a correctness failure.
+   - Dft2d: on a multi-core host the parallel 2-D schedule is expected
+     to beat its own sequential schedule once the image leaves L2;
+     cores-gated like the barrier-wait ceilings.
+   - A JSON written before the bench emitted a series has no such key
+     at all; that is an old artifact, not a missing measurement, so the
+     whole advisory SKIPs in one line rather than muttering per size. *)
+let advisories label content blocks ncores =
+  let out = ref [] in
+  let advise fmt = Printf.ksprintf (fun m -> out := m :: !out) fmt in
+  if ncores < 2 then
+    advise
+      "SKIP %s barrier_wait_frac ceilings — 1-core host (waits there \
+       measure OS preemption, not the rendezvous)"
+      label;
   if after content 0 "\"vec_speedup\": " = None then
-    Printf.printf
-      "check-crossover: SKIP %s vec-speedup advisory — JSON predates the vec \
-       series\n"
+    advise "SKIP %s vec-speedup advisory — JSON predates the vec series"
       label
   else
     List.iter
       (fun b ->
         match b.vec_speedup with
         | Some s when b.logn >= 10 && s < 1.0 ->
-            Printf.printf
-              "check-crossover: WARN — %s 2^%d vectorized split path loses to \
-               scalar (%.2fx); advisory, not a failure\n"
+            advise
+              "WARN — %s 2^%d vectorized split path loses to scalar \
+               (%.2fx); advisory, not a failure"
               label b.logn s
         | _ -> ())
-      blocks
+      blocks;
+  if after content 0 "\"dft2d_par2_speedup\": " = None then
+    advise "SKIP %s dft2d advisory — JSON predates the dft2d series" label
+  else if ncores < 2 then
+    advise
+      "SKIP %s dft2d speedup advisory — 1-core host (the parallel 2-D \
+       schedule cannot beat its sequential one by construction)"
+      label
+  else
+    List.iter
+      (fun b ->
+        match b.dft2d_speedup with
+        | Some s when b.logn >= 12 && s < 1.0 ->
+            advise
+              "WARN — %s 2^%d 2-D engine: parallel column schedules lose \
+               to the sequential one (%.2fx); advisory, not a failure"
+              label b.logn s
+        | _ -> ())
+      blocks;
+  List.rev !out
 
 (* --summary FRESH.json COMMITTED.json: markdown table of the traced
    par2 observability of a fresh run against the committed sweep, for a
@@ -253,7 +291,40 @@ let print_summary fresh_file committed_file =
           Printf.printf "| 2^%d | %s | %s | %s | %s | %s | %s |\n" b.logn
             (show b.dispatch_us) (show c.dispatch_us) (show b.wait_frac)
             (show c.wait_frac) (show b.par2) (show c.par2))
-    fresh
+    fresh;
+  (* 2-D engine series: square images, both parallel column schedules *)
+  let has_2d bs = List.exists (fun b -> b.dft2d_seq <> None) bs in
+  if has_2d fresh then begin
+    Printf.printf
+      "\n### dft2d: row/column-parallel 2-D engine (square images, p = 2)\n\n";
+    Printf.printf
+      "| size | seq us (run) | strided us (run) | tiled us (run) | speedup \
+       (run) | speedup (committed) |\n";
+    Printf.printf "|---|---|---|---|---|---|\n";
+    List.iter
+      (fun b ->
+        if b.dft2d_seq <> None then
+          let c =
+            List.find_opt
+              (fun c -> c.logn = b.logn && c.dft2d_seq <> None)
+              committed
+          in
+          Printf.printf "| 2^%d (%dx%d) | %s | %s | %s | %s | %s |\n" b.logn
+            (1 lsl (b.logn / 2))
+            (1 lsl (b.logn / 2))
+            (show b.dft2d_seq) (show b.dft2d_strided) (show b.dft2d_tiled)
+            (show b.dft2d_speedup)
+            (match c with Some c -> show c.dft2d_speedup | None -> "—"))
+      fresh
+  end;
+  let adv =
+    advisories "run" fresh_json fresh (cores fresh_json)
+    @ advisories "committed" committed_json committed (cores committed_json)
+  in
+  if adv <> [] then begin
+    Printf.printf "\n#### Advisories\n\n";
+    List.iter (fun m -> Printf.printf "- %s\n" m) adv
+  end
 
 let () =
   if
@@ -274,8 +345,10 @@ let () =
   check_crossover_exists committed_json (cores committed_json);
   check_ceilings "committed" committed (cores committed_json);
   check_ceilings "smoke" smoke (cores smoke_json);
-  check_vec "committed" committed_json committed;
-  check_vec "smoke" smoke_json smoke;
+  List.iter
+    (fun m -> Printf.printf "check-crossover: %s\n" m)
+    (advisories "committed" committed_json committed (cores committed_json)
+    @ advisories "smoke" smoke_json smoke (cores smoke_json));
   if !failures > 0 then begin
     Printf.eprintf "check-crossover: %d failure(s)\n" !failures;
     exit 1

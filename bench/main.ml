@@ -766,6 +766,26 @@ let run_json file =
              let fused = Plan.of_formula ~explicit_data:true ~fuse:true f in
              add "sixstep_explicit" reps (fun () -> Plan.execute explicit x y);
              add "sixstep_fused" reps (fun () -> Plan.execute fused x y));
+      (* 2-D engine series (square shapes, so even logN only): the
+         sequential strided schedule as the baseline, both parallel
+         column schedules at p = 2 — the crossover guard's dft2d table
+         reads these *)
+      let d2d_plans = ref [] in
+      (if logn mod 2 = 0 then begin
+         let half = 1 lsl (logn / 2) in
+         let dst2d = Cvec.create n in
+         let mk name threads variant =
+           let t =
+             Spiral_fft.Dft2d.plan ~threads ~variant ~rows:half ~cols:half ()
+           in
+           d2d_plans := t :: !d2d_plans;
+           add name reps (fun () ->
+               Spiral_fft.Dft2d.execute_into t ~src:x ~dst:dst2d)
+         in
+         mk "dft2d_seq" 1 Spiral_fft.Dft2d.Strided;
+         mk "dft2d_par2_strided" 2 Spiral_fft.Dft2d.Strided;
+         mk "dft2d_par2_tiled" 2 Spiral_fft.Dft2d.Tiled
+       end);
       let elisions = ref 0 in
       let par2_prep = ref None in
       let par_ps =
@@ -837,6 +857,19 @@ let run_json file =
         addf
           (Printf.sprintf "\"vec_speedup\": %.2f" (t_seq /. time "vec"))
       end;
+      if has "dft2d_seq" then begin
+        addf (field "dft2d_seq" (time "dft2d_seq") fn);
+        addf (field "dft2d_par2_strided" (time "dft2d_par2_strided") fn);
+        addf (field "dft2d_par2_tiled" (time "dft2d_par2_tiled") fn);
+        let t_str = time "dft2d_par2_strided"
+        and t_til = time "dft2d_par2_tiled" in
+        addf
+          (Printf.sprintf "\"dft2d_par2_speedup\": %.2f"
+             (time "dft2d_seq" /. Float.min t_str t_til));
+        addf
+          (Printf.sprintf "\"dft2d_best_variant\": \"%s\""
+             (if t_str <= t_til then "strided" else "tiled"))
+      end;
       let pars =
         List.map (fun p -> (p, time (Printf.sprintf "par%d" p))) par_ps
       in
@@ -882,6 +915,7 @@ let run_json file =
                  !best_wait !best_imb (!best_disp /. 1000.0)))
           !par2_prep
       end;
+      List.iter Spiral_fft.Dft2d.destroy !d2d_plans;
       sweep := (logn, t_seq, pars) :: !sweep;
       let beats = List.filter (fun (_, t) -> t < t_seq) pars in
       addf

@@ -256,6 +256,42 @@ let cmd_codegen =
       $ backend_arg $ out_arg)
 
 let cmd_run =
+  let problem_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROBLEM"
+          ~doc:
+            "What to run: a plain size $(b,N) (shorthand for $(b,dft[N]f)) \
+             or a problem descriptor such as $(b,dft2d[512x512]f), \
+             $(b,rdft2d[64x64]f) or $(b,dft2d[256x256]fx8) (a batch of 8 \
+             spectra through one parallel region).")
+  in
+  let variant_conv =
+    Arg.conv
+      ( (function
+        | "strided" -> Ok Spiral_fft.Dft2d.Strided
+        | "tiled" -> Ok Spiral_fft.Dft2d.Tiled
+        | "auto" -> Ok Spiral_fft.Dft2d.Auto
+        | s -> Error (`Msg ("expected strided|tiled|auto, got " ^ s))),
+        fun ppf v ->
+          Format.pp_print_string ppf
+            (match v with
+            | Spiral_fft.Dft2d.Strided -> "strided"
+            | Spiral_fft.Dft2d.Tiled -> "tiled"
+            | Spiral_fft.Dft2d.Auto -> "auto") )
+  in
+  let variant_arg =
+    Arg.(
+      value & opt variant_conv Spiral_fft.Dft2d.Auto
+      & info [ "variant" ] ~docv:"V"
+          ~doc:
+            "Column schedule for 2-D problems: $(b,strided) \
+             (transpose-free, column-strided passes), $(b,tiled) \
+             (cache-blocked transpose between the row and column \
+             transforms), or $(b,auto) (measure both once and remember \
+             the winner; the default).")
+  in
   let reps_arg =
     Arg.(value & opt int 100 & info [ "reps" ] ~docv:"R" ~doc:"Timing repetitions.")
   in
@@ -405,10 +441,181 @@ let cmd_run =
         write_metrics metrics;
         0)
   in
-  let run n p mu vec reps batch trace metrics resident resident_idle
-      spin_limit paranoid =
-    apply_smp_knobs resident resident_idle spin_limit;
-    apply_paranoid paranoid;
+  (* separable O(RC(R+C)) reference: naive DFT on every row, then on
+     every column of the result *)
+  let naive_dft2d rows cols x =
+    let tmp = Cvec.create (rows * cols) in
+    let row = Cvec.create cols in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        Cvec.set row c (Cvec.get x ((r * cols) + c))
+      done;
+      let fr = Naive_dft.dft row in
+      for c = 0 to cols - 1 do
+        Cvec.set tmp ((r * cols) + c) (Cvec.get fr c)
+      done
+    done;
+    let out = Cvec.create (rows * cols) in
+    let col = Cvec.create rows in
+    for c = 0 to cols - 1 do
+      for r = 0 to rows - 1 do
+        Cvec.set col r (Cvec.get tmp ((r * cols) + c))
+      done;
+      let fc = Naive_dft.dft col in
+      for r = 0 to rows - 1 do
+        Cvec.set out ((r * cols) + c) (Cvec.get fc r)
+      done
+    done;
+    out
+  in
+  let naive_idft2d rows cols x =
+    let n = rows * cols in
+    let cx = Cvec.create n in
+    for i = 0 to n - 1 do
+      Cvec.set cx i (Complex.conj (Cvec.get x i))
+    done;
+    let f = naive_dft2d rows cols cx in
+    let s = 1.0 /. float_of_int n in
+    for i = 0 to n - 1 do
+      let v = Complex.conj (Cvec.get f i) in
+      Cvec.set f i { Complex.re = v.Complex.re *. s; im = v.Complex.im *. s }
+    done;
+    f
+  in
+  let time_reps reps call =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      call ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let pseudo_mflops n dt =
+    let nf = float_of_int n in
+    5.0 *. nf *. (log nf /. log 2.0) /. dt /. 1e6
+  in
+  let run_dft2d problem variant p mu reps trace metrics =
+    let dims = Spiral_fft.Problem.dims problem in
+    let rows = dims.(0) and cols = dims.(1) in
+    let direction =
+      match Spiral_fft.Problem.direction problem with
+      | Spiral_fft.Problem.Forward -> Spiral_fft.Dft2d.Forward
+      | Spiral_fft.Problem.Inverse -> Spiral_fft.Dft2d.Inverse
+    in
+    Spiral_fft.Dft2d.with_plan ~threads:p ~mu ~variant ~direction ~rows ~cols
+      (fun t ->
+        let n = rows * cols in
+        let batch = Spiral_fft.Problem.batch problem in
+        let jobs =
+          Array.init batch (fun i -> (Cvec.random ~seed:i n, Cvec.create n))
+        in
+        let src, dst = jobs.(0) in
+        Spiral_fft.Dft2d.execute_into t ~src ~dst;
+        let err =
+          if n > 16384 then nan
+          else
+            let want =
+              match direction with
+              | Spiral_fft.Dft2d.Forward -> naive_dft2d rows cols src
+              | Spiral_fft.Dft2d.Inverse -> naive_idft2d rows cols src
+            in
+            Cvec.max_abs_diff dst want
+        in
+        let dt =
+          if batch > 1 then
+            time_reps reps (fun () -> Spiral_fft.Dft2d.execute_many t jobs)
+            /. float_of_int batch
+          else
+            time_reps reps (fun () ->
+                Spiral_fft.Dft2d.execute_into t ~src ~dst)
+        in
+        Printf.printf "DFT2D_%dx%d%s threads=%d: %.3f us/transform, %.0f \
+                       pseudo-Mflop/s"
+          rows cols
+          (if batch > 1 then Printf.sprintf " x %d" batch else "")
+          p (dt *. 1e6) (pseudo_mflops n dt);
+        if Float.is_nan err then print_newline ()
+        else Printf.printf ", max err vs naive %.2e\n" err;
+        Printf.printf "schedule: %s, parallel: %b, barriers per region: %d\n"
+          (Spiral_fft.Dft2d.schedule t)
+          (Spiral_fft.Dft2d.parallel t)
+          (Spiral_fft.Dft2d.barriers t);
+        with_trace trace p (fun () ->
+            Spiral_fft.Dft2d.execute_into t ~src ~dst);
+        write_metrics metrics;
+        0)
+  in
+  let run_rdft2d problem variant p mu reps trace metrics =
+    let dims = Spiral_fft.Problem.dims problem in
+    let rows = dims.(0) and cols = dims.(1) in
+    if cols mod 2 <> 0 || cols < 2 then begin
+      Printf.eprintf "error: rdft2d needs an even number of columns\n";
+      1
+    end
+    else
+      Spiral_fft.Rfft2d.with_plan ~threads:p ~mu ~variant ~rows ~cols
+        (fun t ->
+          let n = rows * cols in
+          let h = (cols / 2) + 1 in
+          let x =
+            Array.init n (fun i ->
+                sin (0.7 *. float_of_int i)
+                +. (0.25 *. cos (2.3 *. float_of_int (i * i mod 97))))
+          in
+          let s = Cvec.create (rows * h) in
+          let back = Array.make n 0.0 in
+          Spiral_fft.Rfft2d.forward_into t ~src:x ~dst:s;
+          let err =
+            if n > 16384 then nan
+            else begin
+              let cx = Cvec.create n in
+              for i = 0 to n - 1 do
+                Cvec.set cx i { Complex.re = x.(i); im = 0.0 }
+              done;
+              let want = naive_dft2d rows cols cx in
+              let d = ref 0.0 in
+              for k1 = 0 to rows - 1 do
+                for k2 = 0 to h - 1 do
+                  let a = Cvec.get s ((k1 * h) + k2)
+                  and b = Cvec.get want ((k1 * cols) + k2) in
+                  d := Float.max !d (Complex.norm (Complex.sub a b))
+                done
+              done;
+              !d
+            end
+          in
+          let dt =
+            match Spiral_fft.Problem.direction problem with
+            | Spiral_fft.Problem.Forward ->
+                time_reps reps (fun () ->
+                    Spiral_fft.Rfft2d.forward_into t ~src:x ~dst:s)
+            | Spiral_fft.Problem.Inverse ->
+                time_reps reps (fun () ->
+                    Spiral_fft.Rfft2d.inverse_into t ~src:s ~dst:back)
+          in
+          (* the round trip must reproduce the input regardless of which
+             direction was timed *)
+          Spiral_fft.Rfft2d.inverse_into t ~src:s ~dst:back;
+          let rt = ref 0.0 in
+          for i = 0 to n - 1 do
+            rt := Float.max !rt (Float.abs (back.(i) -. x.(i)))
+          done;
+          Printf.printf "RDFT2D_%dx%d threads=%d: %.3f us/transform, %.0f \
+                         pseudo-Mflop/s"
+            rows cols p (dt *. 1e6)
+            (pseudo_mflops n dt /. 2.0)
+          (* real input: half the complex flop count *);
+          if Float.is_nan err then Printf.printf ", round trip %.2e\n" !rt
+          else
+            Printf.printf ", max err vs naive %.2e, round trip %.2e\n" err !rt;
+          Printf.printf "inner schedule: %s, parallel: %b\n"
+            (Spiral_fft.Rfft2d.schedule t)
+            (Spiral_fft.Rfft2d.parallel t);
+          with_trace trace p (fun () ->
+              Spiral_fft.Rfft2d.forward_into t ~src:x ~dst:s);
+          write_metrics metrics;
+          0)
+  in
+  let run_dft1d n p mu vec reps batch trace metrics =
     if n < 1 || batch < 1 then begin
       Printf.eprintf "error: N and B must be >= 1\n";
       1
@@ -470,11 +677,60 @@ let cmd_run =
           write_metrics metrics;
           0)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Execute on this host and verify")
+  let run spec variant p mu vec reps batch trace metrics resident
+      resident_idle spin_limit paranoid =
+    apply_smp_knobs resident resident_idle spin_limit;
+    apply_paranoid paranoid;
+    match int_of_string_opt spec with
+    | Some n -> run_dft1d n p mu vec reps batch trace metrics
+    | None -> (
+        match Spiral_fft.Problem.of_string spec with
+        | None ->
+            Printf.eprintf
+              "error: %S is neither a size nor a problem descriptor \
+               (expected e.g. 4096, dft[4096]f, dft2d[512x512]f, \
+               rdft2d[64x64]f)\n"
+              spec;
+            1
+        | Some problem -> (
+            match
+              (Spiral_fft.Problem.kind problem,
+               Spiral_fft.Problem.direction problem)
+            with
+            | Spiral_fft.Problem.Dft, Spiral_fft.Problem.Forward ->
+                let dims = Spiral_fft.Problem.dims problem in
+                let vec' =
+                  if Spiral_fft.Problem.vec problem >= 2 then
+                    `Nu (Spiral_fft.Problem.vec problem)
+                  else vec
+                in
+                run_dft1d dims.(0) p mu vec' reps
+                  (max batch (Spiral_fft.Problem.batch problem))
+                  trace metrics
+            | Spiral_fft.Problem.Dft2d, _ ->
+                run_dft2d problem variant p mu reps trace metrics
+            | Spiral_fft.Problem.Rdft2d, _ ->
+                run_rdft2d problem variant p mu reps trace metrics
+            | _ ->
+                Printf.eprintf
+                  "error: `run` executes dft, dft2d and rdft2d problems; \
+                   %s is served by `spiralgen serve`\n"
+                  spec;
+                1))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute on this host and verify.  Takes a plain size N \
+          (DFT_N) or a problem descriptor: dft2d[RxC]f runs the \
+          row/column-parallel 2-D engine (see --variant), rdft2d[RxC]f \
+          the real-input 2-D transform, dft2d[RxC]fxB a batch of B \
+          spectra through Engine.execute_many.")
     Term.(
-      const run $ n_arg $ p_arg $ mu_arg $ vec_arg ~default:`Off $ reps_arg
-      $ batch_arg $ trace_arg $ metrics_arg $ resident_arg $ resident_idle_arg
-      $ spin_limit_arg $ paranoid_arg)
+      const run $ problem_arg $ variant_arg $ p_arg $ mu_arg
+      $ vec_arg ~default:`Off $ reps_arg $ batch_arg $ trace_arg
+      $ metrics_arg $ resident_arg $ resident_idle_arg $ spin_limit_arg
+      $ paranoid_arg)
 
 let cmd_search =
   let run n machine =

@@ -69,7 +69,7 @@ let () =
      DFT_64 derivation vectorized with vec(2) and emitted as AVX2
      intrinsics inside the OpenMP worksharing — smp x vec in one
      translation unit *)
-  match Derive.multicore_vector_dft ~p ~mu ~nu:2 tree with
+  (match Derive.multicore_vector_dft ~p ~mu ~nu:2 tree with
   | Error e -> failwith (Derive.error_to_string e)
   | Ok vf ->
       let vplan = Plan.of_formula vf in
@@ -83,4 +83,23 @@ let () =
         \  gcc -O2 -mavx2 -fopenmp %s -lm && ./a.out\n"
         simd_file
         (List.length (String.split_on_char '\n' simd_src))
-        simd_file
+        simd_file);
+
+  (* 7. the 2-D engine's row/column schedule as a translation unit: the
+     transpose-free strided dft2d[16x16] plan — row pass, then
+     column-strided passes, one real barrier between them — emitted as
+     OpenMP C with a 2-D self test *)
+  Spiral_fft.Dft2d.with_plan ~threads:p ~mu ~variant:Spiral_fft.Dft2d.Strided
+    ~rows:16 ~cols:16 (fun t2d ->
+      let plan2d = Plan.of_formula (Spiral_fft.Dft2d.formula t2d) in
+      let c2d = C_emit.to_c ~backend:`OpenMP ~dims:(16, 16) plan2d in
+      let file2d = "generated_dft2d16x16_omp.c" in
+      let oc = open_out file2d in
+      output_string oc c2d;
+      close_out oc;
+      Printf.printf
+        "wrote %s (%d lines) — compile with:\n\
+        \  gcc -O2 -fopenmp %s -lm && ./a.out\n"
+        file2d
+        (List.length (String.split_on_char '\n' c2d))
+        file2d)

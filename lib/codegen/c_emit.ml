@@ -702,11 +702,62 @@ let emit_main b fname n =
         }\n"
        n fname)
 
-let to_c ?backend ?simd ?fname (plan : Plan.t) =
+(* 2-D self test: the plan's output is the row-major 2-D transform of a
+   rows x cols matrix, so the reference is the direct O((RC)^2) double
+   sum, not the 1-D definition. *)
+let emit_main_2d b fname rows cols =
+  buf_add b
+    (Printf.sprintf
+       "/* self test against the O((RC)^2) 2-D definition, then a timing \
+        loop */\n\
+        int main(void)\n\
+        {\n\
+       \  enum { R = %d, C = %d, N = %d };\n\
+       \  static double x[2*N], y[2*N], ta[2*N], tb[2*N], ref[2*N];\n\
+       \  unsigned s = 123456789u;\n\
+       \  for (long i = 0; i < 2*N; ++i) {\n\
+       \    s = s*1664525u + 1013904223u;\n\
+       \    x[i] = (double)(s >> 8) / (double)(1u << 24) - 0.5;\n\
+       \  }\n\
+       \  for (long k1 = 0; k1 < R; ++k1)\n\
+       \    for (long k2 = 0; k2 < C; ++k2) {\n\
+       \      double ar = 0.0, ai = 0.0;\n\
+       \      for (long l1 = 0; l1 < R; ++l1)\n\
+       \        for (long l2 = 0; l2 < C; ++l2) {\n\
+       \          double ph = -2.0*M_PI*((double)((k1*l1) %% R)/(double)R\n\
+       \                                 + (double)((k2*l2) %% C)/(double)C);\n\
+       \          double wr = cos(ph), wi = sin(ph);\n\
+       \          long l = l1*C + l2;\n\
+       \          ar += wr*x[2*l] - wi*x[2*l+1];\n\
+       \          ai += wr*x[2*l+1] + wi*x[2*l];\n\
+       \        }\n\
+       \      long k = k1*C + k2;\n\
+       \      ref[2*k] = ar; ref[2*k+1] = ai;\n\
+       \    }\n\
+       \  %s(x, y, ta, tb);\n\
+       \  double err = 0.0;\n\
+       \  for (long i = 0; i < 2*N; ++i) {\n\
+       \    double d = fabs(y[i] - ref[i]);\n\
+       \    if (d > err) err = d;\n\
+       \  }\n\
+       \  printf(\"max_abs_err %%.3e\\n\", err);\n\
+       \  if (err > 1e-6 * (double)N) { printf(\"FAIL\\n\"); return 1; }\n\
+       \  printf(\"PASS\\n\");\n\
+       \  return 0;\n\
+        }\n"
+       rows cols (rows * cols) fname)
+
+let to_c ?backend ?simd ?fname ?dims (plan : Plan.t) =
   if plan.n > max_n then
     invalid_arg
       (Printf.sprintf "C_emit.to_c: n=%d exceeds the emitter limit %d" plan.n
          max_n);
+  (match dims with
+  | Some (r, c) when r * c <> plan.n ->
+      invalid_arg
+        (Printf.sprintf "C_emit.to_c: dims %dx%d do not factor n=%d" r c
+           plan.n)
+  | _ -> ());
   let has_par = Array.exists (fun (p : Plan.pass) -> p.par <> None) plan.passes in
   let backend =
     match backend with
@@ -736,16 +787,26 @@ let to_c ?backend ?simd ?fname (plan : Plan.t) =
         match vec.(k) with Some _ -> p.count / vl | None -> p.count)
       plan.passes
   in
-  let fname = match fname with Some f -> f | None -> Printf.sprintf "dft_%d" plan.n in
+  let fname =
+    match (fname, dims) with
+    | Some f, _ -> f
+    | None, Some (r, c) -> Printf.sprintf "dft2d_%dx%d" r c
+    | None, None -> Printf.sprintf "dft_%d" plan.n
+  in
   let b = Buffer.create (1 lsl 16) in
   buf_add b
     (Printf.sprintf
        "/* Generated by spiral-smp (OCaml reproduction of Franchetti et al.,\n\
        \   \"FFT Program Generation for Shared Memory: SMP and Multicore\",\n\
-       \   SC 2006).  DFT of size %d, %d pass(es), backend: %s%s. */\n\
+       \   SC 2006).  %s, %d pass(es), backend: %s%s. */\n\
         #include <stdio.h>\n\
         #include <math.h>\n"
-       plan.n (Array.length plan.passes)
+       (match dims with
+       | Some (r, c) ->
+           Printf.sprintf "Row-major 2-D DFT of size %dx%d (%d points)" r c
+             plan.n
+       | None -> Printf.sprintf "DFT of size %d" plan.n)
+       (Array.length plan.passes)
        (match backend with
        | `OpenMP -> "OpenMP"
        | `Pthreads -> "pthreads"
@@ -812,5 +873,7 @@ let to_c ?backend ?simd ?fname (plan : Plan.t) =
   (match backend with
   | `Pthreads -> emit_transform_pthreads b fname plan ~counts par_degree
   | `OpenMP | `None -> emit_transform_seq_omp b fname plan ~counts);
-  emit_main b fname plan.n;
+  (match dims with
+  | Some (r, c) -> emit_main_2d b fname r c
+  | None -> emit_main b fname plan.n);
   Buffer.contents b

@@ -39,9 +39,14 @@ val to_c :
   ?backend:[ `OpenMP | `Pthreads | `None ] ->
   ?simd:simd ->
   ?fname:string ->
+  ?dims:int * int ->
   Plan.t ->
   string
 (** [to_c plan] is the C source text.  [fname] names the transform
     function (default [dft_<n>]).  Default backend: [`OpenMP] when the plan
     has parallel passes, [`None] otherwise.  [simd] (default off) selects
-    the SIMD instruction set for vec-tagged passes. *)
+    the SIMD instruction set for vec-tagged passes.  [dims = (rows, cols)]
+    declares the plan a row-major 2-D transform: the emitted [main]
+    self-checks against the direct O((RC)²) 2-D definition instead of the
+    1-D one, and the default [fname] becomes [dft2d_<R>x<C>].
+    @raise Invalid_argument if [rows·cols ≠ plan.n]. *)

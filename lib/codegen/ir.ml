@@ -385,3 +385,42 @@ let validate t =
       if p.count * p.radix <> t.n then
         failwith "Ir.validate: pass does not cover the vector")
     t.passes
+
+(* Tiled transpose pass for 2D plans: relocate a row-major [rows]x[cols]
+   matrix into its column-major (transposed) image, walking [tile]x[tile]
+   cache blocks so each block's loads and stores stay within a few cache
+   lines regardless of the matrix extent.  One iteration copies [tile]
+   consecutive elements of one row of a block (gather stride 1, scatter
+   stride [rows]) — affine in the element index, so materialization
+   recovers strided addressing and the ν/µ machinery applies unchanged.
+   Iteration order: column blocks outermost, then row blocks, then rows
+   within the block (hint [cols/tile; rows/tile; tile]). *)
+let transpose_pass ~rows ~cols ~tile ?par ?mu () =
+  if tile < 1 then invalid_arg "Ir.transpose_pass: tile >= 1";
+  if rows mod tile <> 0 || cols mod tile <> 0 then
+    invalid_arg "Ir.transpose_pass: tile must divide both extents";
+  let n = rows * cols in
+  let rblk = rows / tile in
+  let decomp it =
+    let cb = it / (rblk * tile) in
+    let rem = it mod (rblk * tile) in
+    (cb, rem / tile, rem mod tile)
+  in
+  {
+    count = n / tile;
+    radix = tile;
+    par;
+    mu;
+    vec = None;
+    kernel = Codelet.copy tile;
+    gather =
+      (fun it l ->
+        let cb, rb, ri = decomp it in
+        (((rb * tile) + ri) * cols) + (cb * tile) + l);
+    scatter =
+      (fun it l ->
+        let cb, rb, ri = decomp it in
+        (((cb * tile) + l) * rows) + (rb * tile) + ri);
+    scale = None;
+    hint = [ cols / tile; rblk; tile ];
+  }

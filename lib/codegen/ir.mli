@@ -73,3 +73,14 @@ val total_flops : t -> int
 val validate : t -> unit
 (** Structural checks: index functions in range, no write overlap within a
     pass.  O(n · radix); for tests. *)
+
+val transpose_pass :
+  rows:int -> cols:int -> tile:int -> ?par:int -> ?mu:int -> unit -> pass
+(** A pure data-movement pass relocating a row-major [rows]x[cols] matrix
+    into its transposed (column-major) image in [tile]x[tile] cache
+    blocks: iteration [(cb, rb, ri)] copies [tile] consecutive elements
+    of row [rb*tile + ri], columns [cb*tile ..], to the transposed
+    position (gather stride 1, scatter stride [rows] — affine, so plans
+    materialize it as strided addressing).  [tile] must divide both
+    extents.  The kernel is {!Codelet.copy}[ tile]; [par]/[mu] tag the
+    pass for worker partitioning and µ-alignment like any other. *)

@@ -2,13 +2,80 @@ open Spiral_util
 open Spiral_spl
 open Spiral_rewrite
 
-type t = { rows : int; cols : int; engine : Engine.t }
+(* First-class 2-D engine.  A dft2d[RxC] plan compiles the row pass, the
+   column pass and (in the tiled variant) the cache-blocked transpose
+   between them into ONE Plan executed in a single resident parallel
+   region: workers partition rows, cross at most one real barrier, then
+   partition columns, with every other pass boundary discharged by the
+   barrier-elision analysis (DESIGN.md §5a/§5f).  Two column schedules:
+
+   - {e strided}: no transpose at all.  Each compute factor of the
+     expanded column transform c is conjugated as
+     L(n,R) · (I_{C/p·p} ⊗ c) · L(n,C), which materializes to a single
+     pass whose gather/scatter walk the matrix column-wise (stride C)
+     while each worker touches only its own column block — so every
+     within-stage boundary elides and only the row→column crossing
+     synchronizes.
+   - {e tiled}: the rows' output is relocated through
+     {!Spiral_codegen.Ir.transpose_pass} (µ-aligned tile×tile cache
+     blocks), the column transform then runs at unit stride on the
+     transposed image, and the final pass's scatter absorbs the
+     un-transposing L(n,R).  The copy pass costs one extra sweep but
+     every column load after it is contiguous.
+
+   [Auto] (the default) measures both compiled plans once per
+   (R, C, threads, µ) and remembers the winner — the Dp shoot-out the
+   1-D searches use, applied to whole 2-D schedules.  Shapes the
+   variants cannot serve (p ∤ R, p ∤ C, or a dimension < 2) fall back
+   to the adapter-era derivation, sequential when the Table 1 rules do
+   not produce a fully optimized formula. *)
+
+type variant = Strided | Tiled | Auto
+type direction = Forward | Inverse
+
+type t = {
+  rows : int;
+  cols : int;
+  direction : direction;
+  schedule : string;  (* "strided" | "tiled" | "legacy" — what compiled *)
+  engine : Engine.t;
+}
 
 let expand_dim n = Ruletree.expand (Ruletree.mixed_radix n)
 
-let derive ~rows ~cols ~threads ~mu =
-  (* DFT_m ⊗ DFT_n = (DFT_m ⊗ I_n)(I_m ⊗ DFT_n): parallelize both stages
-     with the Table 1 rules, then expand the 1-D sub-transforms. *)
+(* Column-dimension expansion: at most two compute factors whenever a
+   balanced split with both sides inside the codelet range exists
+   (R <= leaf_max²).  A deeper column pipeline puts three or more
+   column passes over the ping-pong buffer, and the elision analysis
+   rightly refuses the first of those boundaries: the pass after it
+   scatters the transposed image into the very buffer the first column
+   pass still gathers row-major (condition B).  With two, the second
+   column pass writes [y] and the hazard vanishes, so the row→column
+   crossing stays the only real barrier. *)
+let expand_col n =
+  if n <= Ruletree.leaf_max then expand_dim n
+  else begin
+    let best = ref None in
+    List.iter
+      (fun m ->
+        if m <= Ruletree.leaf_max && n / m <= Ruletree.leaf_max then begin
+          let bal = abs (m - (n / m)) in
+          match !best with
+          | Some (b, _) when b <= bal -> ()
+          | _ -> best := Some (bal, m)
+        end)
+      (Int_util.divisors n);
+    match !best with
+    | Some (_, m) ->
+        Ruletree.expand (Ruletree.Ct (Ruletree.Leaf m, Ruletree.Leaf (n / m)))
+    | None -> expand_dim n
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Legacy adapter derivation — kept as the fallback for shapes the 2-D
+   schedules cannot partition (p ∤ R or p ∤ C, or a unit dimension). *)
+
+let derive_legacy ~rows ~cols ~threads ~mu =
   let top =
     Formula.compose
       [ Formula.Tensor (Formula.DFT rows, Formula.I cols);
@@ -27,26 +94,250 @@ let derive ~rows ~cols ~threads ~mu =
             [ expand_dim rows; expand_dim cols ],
           1 )
 
-let plan ?(threads = 1) ?(mu = 4) ~rows ~cols () =
-  if rows < 1 || cols < 1 then invalid_arg "Dft2d.plan: dimensions >= 1";
-  let engine =
-    Engine.plan ~threads ~mu ~derive:(derive ~rows ~cols)
-      (Problem.make Problem.Dft2d [ rows; cols ])
+(* ------------------------------------------------------------------ *)
+(* Strided (transpose-free) schedule. *)
+
+(* Flatten an expanded 1-D formula into its pipeline atoms: the factors
+   that each materialize to exactly one pass.  Tensor-by-identity
+   distributes over the inner composition so a Compose buried under
+   I ⊗ (..) or (..) ⊗ I comes apart too. *)
+let rec atoms f =
+  match f with
+  | Formula.Compose fs -> List.concat_map atoms fs
+  | Formula.Tensor (Formula.I m, b) ->
+      List.map (fun g -> Formula.Tensor (Formula.I m, g)) (atoms b)
+  | Formula.Tensor (a, Formula.I q) ->
+      List.map (fun g -> Formula.Tensor (g, Formula.I q)) (atoms a)
+  | _ -> [ f ]
+
+let derive_strided ~rows ~cols ~threads ~mu =
+  let n = rows * cols in
+  let col_atoms = atoms (expand_col rows) in
+  if threads <= 1 then
+    (* column factors at stride C, row stage at unit stride; one flat
+       composition so loop merging absorbs every data factor *)
+    let col_stage =
+      List.map (fun a -> Formula.Tensor (a, Formula.I cols)) col_atoms
+    in
+    let row_stage = Formula.Tensor (Formula.I rows, expand_dim cols) in
+    (Formula.compose (col_stage @ [ row_stage ]), 1)
+  else begin
+    (* caller guarantees p | rows and p | cols *)
+    let col_stage =
+      List.map
+        (fun a ->
+          if Shape.is_data a then
+            (* decor: keep it in row-major space, where it stays a
+               load-time gather adjustment of the neighbouring pass *)
+            Formula.Tensor (a, Formula.I cols)
+          else
+            (* c ⊗ I_C = L(n,R) · (I_C ⊗ c) · L(n,C), with the middle
+               identity split p × C/p so each worker owns a column
+               block; both L's dissolve into the pass's own
+               gather/scatter, leaving one column-strided pass *)
+            Formula.compose
+              [ Formula.Perm (Perm.L (n, rows));
+                Formula.ParTensor
+                  (threads, Formula.Tensor (Formula.I (cols / threads), a));
+                Formula.Perm (Perm.L (n, cols)) ])
+        col_atoms
+    in
+    let row_stage =
+      Formula.ParTensor
+        (threads, Formula.Tensor (Formula.I (rows / threads), expand_dim cols))
+    in
+    ( Formula.Smp (threads, mu, Formula.compose (col_stage @ [ row_stage ])),
+      threads )
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Tiled (transpose) schedule: row passes, one cache-blocked transpose
+   pass, unit-stride column passes whose final scatter un-transposes. *)
+
+(* largest power of two dividing both extents, capped at 16 (a 16×16
+   complex tile is 4 KiB — comfortably cache-resident) *)
+let tile_for rows cols =
+  let rec pow2 g = if g mod 2 = 0 && g > 1 then 2 * pow2 (g / 2) else 1 in
+  min 16 (pow2 (Int_util.gcd rows cols))
+
+let derive_ir_tiled ~rows ~cols ~threads ~mu =
+  let n = rows * cols in
+  let tile = tile_for rows cols in
+  let p =
+    if threads > 1 && rows mod threads = 0 && cols mod threads = 0 then threads
+    else 1
   in
-  { rows; cols; engine }
+  let rowf =
+    if p <= 1 then Formula.Tensor (Formula.I rows, expand_dim cols)
+    else
+      Formula.Smp
+        ( p,
+          mu,
+          Formula.ParTensor
+            (p, Formula.Tensor (Formula.I (rows / p), expand_dim cols)) )
+  in
+  let col_mid =
+    if p <= 1 then Formula.Tensor (Formula.I cols, expand_col rows)
+    else
+      Formula.Smp
+        ( p,
+          mu,
+          Formula.ParTensor
+            (p, Formula.Tensor (Formula.I (cols / p), expand_col rows)) )
+  in
+  (* the leading L(n,R) un-transposes the column stage's output back to
+     row-major; as a data factor it becomes the last pass's scatter *)
+  let colf = Formula.compose [ Formula.Perm (Perm.L (n, rows)); col_mid ] in
+  let ir_row = Spiral_codegen.Ir.of_formula rowf in
+  let ir_col = Spiral_codegen.Ir.of_formula colf in
+  let xpose =
+    Spiral_codegen.Ir.transpose_pass ~rows ~cols ~tile
+      ?par:(if p > 1 then Some p else None)
+      ~mu ()
+  in
+  let ir =
+    {
+      Spiral_codegen.Ir.n;
+      passes =
+        ir_row.Spiral_codegen.Ir.passes
+        @ (xpose :: ir_col.Spiral_codegen.Ir.passes);
+    }
+  in
+  let dformula =
+    Formula.compose [ colf; Formula.Perm (Perm.L (n, cols)); rowf ]
+  in
+  (ir, dformula, p)
+
+(* ------------------------------------------------------------------ *)
+
+let strided_eligible ~rows ~cols ~threads =
+  rows >= 2 && cols >= 2
+  && (threads <= 1 || (rows mod threads = 0 && cols mod threads = 0))
+
+let tiled_eligible ~rows ~cols ~threads =
+  strided_eligible ~rows ~cols ~threads && tile_for rows cols >= 2
+
+(* Auto shoot-out winners, one measurement per shape/schedule config *)
+let auto_memo : (int * int * int * int, string) Hashtbl.t = Hashtbl.create 16
+let auto_lock = Mutex.create ()
+
+let plan ?(threads = 1) ?(mu = 4) ?(variant = Auto) ?(direction = Forward)
+    ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Dft2d.plan: dimensions >= 1";
+  let problem =
+    Problem.make
+      ~direction:
+        (match direction with
+        | Forward -> Problem.Forward
+        | Inverse -> Problem.Inverse)
+      Problem.Dft2d [ rows; cols ]
+  in
+  let mk_strided () =
+    Engine.plan ~threads ~mu ~flavor:"strided"
+      ~derive:(derive_strided ~rows ~cols)
+      problem
+  in
+  let mk_tiled () =
+    (* [derive] backs the registry signature only; the IR path compiles *)
+    Engine.plan ~threads ~mu ~flavor:"tiled"
+      ~derive_ir:(derive_ir_tiled ~rows ~cols)
+      ~derive:(derive_strided ~rows ~cols)
+      problem
+  in
+  let mk_legacy () =
+    Counters.incr "dft2d.legacy_fallback";
+    Engine.plan ~threads ~mu ~derive:(derive_legacy ~rows ~cols) problem
+  in
+  let strided_ok = strided_eligible ~rows ~cols ~threads in
+  let tiled_ok = tiled_eligible ~rows ~cols ~threads in
+  let schedule, engine =
+    match variant with
+    | Strided -> if strided_ok then ("strided", mk_strided ()) else ("legacy", mk_legacy ())
+    | Tiled ->
+        if tiled_ok then ("tiled", mk_tiled ())
+        else if strided_ok then ("strided", mk_strided ())
+        else ("legacy", mk_legacy ())
+    | Auto ->
+        if not strided_ok then ("legacy", mk_legacy ())
+        else if not tiled_ok then ("strided", mk_strided ())
+        else begin
+          let key = (rows, cols, threads, mu) in
+          let remembered =
+            Mutex.lock auto_lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock auto_lock)
+              (fun () -> Hashtbl.find_opt auto_memo key)
+          in
+          match remembered with
+          | Some "tiled" -> ("tiled", mk_tiled ())
+          | Some _ -> ("strided", mk_strided ())
+          | None ->
+              let es = mk_strided () and et = mk_tiled () in
+              let src = Cvec.random ~seed:7 (rows * cols)
+              and dst = Cvec.create (rows * cols) in
+              let name, winner, _ =
+                Spiral_search.Dp.choose
+                  ~measure:(fun e ->
+                    Spiral_search.Timer.time_min ~repeats:3 (fun () ->
+                        Engine.execute_into e ~src ~dst))
+                  [ ("strided", es); ("tiled", et) ]
+              in
+              Engine.destroy (if winner == es then et else es);
+              Mutex.lock auto_lock;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock auto_lock)
+                (fun () -> Hashtbl.replace auto_memo key name);
+              Counters.incr ("dft2d.auto_" ^ name);
+              (name, winner)
+        end
+  in
+  { rows; cols; direction; schedule; engine }
 
 let rows t = t.rows
 let cols t = t.cols
+let direction t = t.direction
+let schedule t = t.schedule
 let parallel t = Engine.parallel t.engine
+let barriers t = Engine.barriers t.engine
 let formula t = Engine.formula t.engine
+
+(* DFT2D⁻¹ = (1/n) · conj ∘ DFT2D ∘ conj — same compiled forward plan,
+   conjugation at the boundary through the engine-owned scratch (the 1-D
+   Dft front-end's inverse idiom, allocation-free in steady state). *)
+let execute_into t ~src ~dst =
+  match t.direction with
+  | Forward -> Engine.execute_into t.engine ~src ~dst
+  | Inverse ->
+      let n = Engine.size t.engine in
+      if Cvec.length src <> n || Cvec.length dst <> n then
+        invalid_arg "Dft2d.execute_into: wrong vector length";
+      let tmp = Engine.scratch t.engine in
+      for i = 0 to n - 1 do
+        tmp.(2 * i) <- src.(2 * i);
+        tmp.((2 * i) + 1) <- -.src.((2 * i) + 1)
+      done;
+      Engine.execute_into t.engine ~src:tmp ~dst;
+      let s = 1.0 /. float_of_int n in
+      for i = 0 to n - 1 do
+        dst.(2 * i) <- dst.(2 * i) *. s;
+        dst.((2 * i) + 1) <- -.dst.((2 * i) + 1) *. s
+      done
 
 let execute t x =
   let y = Cvec.create (Engine.size t.engine) in
-  Engine.execute_into t.engine ~src:x ~dst:y;
+  execute_into t ~src:x ~dst:y;
   y
+
+let execute_many t jobs =
+  match t.direction with
+  | Forward -> Engine.execute_many t.engine jobs
+  | Inverse ->
+      (* each job crosses the conjugation scratch, so inverse batches run
+         one spectrum at a time (each still parallel inside) *)
+      Array.iter (fun (x, y) -> execute_into t ~src:x ~dst:y) jobs
 
 let destroy t = Engine.destroy t.engine
 
-let with_plan ?threads ?mu ~rows ~cols f =
-  let t = plan ?threads ?mu ~rows ~cols () in
+let with_plan ?threads ?mu ?variant ?direction ~rows ~cols f =
+  let t = plan ?threads ?mu ?variant ?direction ~rows ~cols () in
   Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)

@@ -1,28 +1,101 @@
-(** Two-dimensional DFTs.
+(** Two-dimensional DFT as a first-class engine (DESIGN.md §5f).
 
-    As the paper notes (Section 2.2), multi-dimensional transforms are
-    tensor products of their one-dimensional counterparts:
-    [DFT_{m×n} = DFT_m ⊗ DFT_n] on row-major data.  The same Table 1
-    rewriting parallelizes the row and column stages, so 2-D plans get the
-    load-balancing and false-sharing guarantees for free. *)
+    A [dft2d[RxC]] plan compiles the row pass, the column pass and — in
+    the tiled variant — the cache-blocked transpose between them into
+    one {!Spiral_codegen.Plan} executed in a single resident parallel
+    region: workers partition rows, cross at most one real barrier at
+    the row→column boundary, then partition columns; every other pass
+    boundary is discharged by the barrier-elision certificate
+    (["par_exec.barrier_elided"] accounts for them).  The tiled
+    transpose additionally discharges the tile-coverage certificate
+    ({!Spiral_validate.check_tile_coverage}). *)
+
+type variant =
+  | Strided
+      (** Transpose-free: column factors materialize to column-strided
+          passes (stride [C]), each worker touching only its own column
+          block. *)
+  | Tiled
+      (** Relocate the rows' output through a µ-aligned tile×tile
+          blocked transpose pass, run the column transform at unit
+          stride, and fold the un-transposing permutation into the last
+          pass's scatter. *)
+  | Auto
+      (** Measure both compiled schedules once per (R, C, threads, µ) —
+          {!Spiral_search.Dp.choose} — and remember the winner.  The
+          default. *)
+
+type direction = Forward | Inverse
 
 type t
 
-val plan : ?threads:int -> ?mu:int -> rows:int -> cols:int -> unit -> t
-(** Transform of a [rows × cols] complex image stored row-major.  Both
-    dimensions must have prime factors within codelet range. *)
+val plan :
+  ?threads:int ->
+  ?mu:int ->
+  ?variant:variant ->
+  ?direction:direction ->
+  rows:int ->
+  cols:int ->
+  unit ->
+  t
+(** [plan ~rows ~cols ()] prepares a 2-D transform of an [rows × cols]
+    row-major complex matrix.  Defaults: [threads = 1], [mu = 4],
+    [variant = Auto], [direction = Forward].  Shapes the 2-D schedules
+    cannot partition ([threads ∤ rows], [threads ∤ cols], or a
+    dimension < 2; additionally [gcd rows cols] odd for [Tiled]) fall
+    back — tiled to strided, strided to the adapter-era derivation
+    (sequential when the Table 1 rules do not apply), counted under
+    ["dft2d.legacy_fallback"].  The inverse shares the forward plan via
+    conjugation at the boundary (scaled by [1/(rows·cols)]).
+    @raise Invalid_argument if a dimension is [< 1]. *)
 
 val rows : t -> int
 val cols : t -> int
+val direction : t -> direction
+
+val schedule : t -> string
+(** Which schedule actually compiled: ["strided"], ["tiled"] or
+    ["legacy"]. *)
 
 val parallel : t -> bool
+(** [true] when the plan executes on the worker pool. *)
+
+val barriers : t -> int
+(** Real synchronization points one parallel execution crosses (pass
+    boundaries the elision certificate could not discharge) — 1 for the
+    strided schedule at partitionable shapes (the row→column crossing),
+    at most 2 for the tiled one.  0 when sequential. *)
 
 val formula : t -> Spiral_spl.Formula.t
+(** The formula the compiled plan stands for (for the tiled schedule,
+    the formula its hand-stitched IR denotes). *)
+
+val execute_into :
+  t -> src:Spiral_util.Cvec.t -> dst:Spiral_util.Cvec.t -> unit
+(** One transform: rows and columns in a single parallel region.
+    Allocation-free in steady state ([Inverse] conjugates through the
+    engine-owned scratch).  [src] and [dst] must be distinct vectors of
+    [rows·cols] complex elements. *)
 
 val execute : t -> Spiral_util.Cvec.t -> Spiral_util.Cvec.t
-(** Input length [rows * cols], row-major. *)
+(** Allocating convenience: fresh output vector per call. *)
+
+val execute_many :
+  t -> (Spiral_util.Cvec.t * Spiral_util.Cvec.t) array -> unit
+(** Batch of same-shape transforms.  [Forward] batches run through
+    {!Engine.execute_many} — one parallel region for the whole batch,
+    with the inter-job barriers elided when the schedule allows;
+    [Inverse] batches loop one spectrum at a time through the
+    conjugation boundary.  Bit-identical to repeated {!execute_into}. *)
 
 val destroy : t -> unit
 
 val with_plan :
-  ?threads:int -> ?mu:int -> rows:int -> cols:int -> (t -> 'a) -> 'a
+  ?threads:int ->
+  ?mu:int ->
+  ?variant:variant ->
+  ?direction:direction ->
+  rows:int ->
+  cols:int ->
+  (t -> 'a) ->
+  'a

@@ -22,9 +22,10 @@ let with_registry f =
   Mutex.lock registry_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
-let registry_key problem ~threads ~mu ~vec =
-  Printf.sprintf "%s p%d mu%d %s" (Problem.to_string problem) threads mu
+let registry_key problem ~threads ~mu ~vec ~flavor =
+  Printf.sprintf "%s p%d mu%d %s%s" (Problem.to_string problem) threads mu
     (Planner.vec_request_to_string vec)
+    (if flavor = "" then "" else " " ^ flavor)
 
 let registry_size () = with_registry (fun () -> Hashtbl.length registry)
 
@@ -50,8 +51,8 @@ type t = {
   mutable alive : bool;
 }
 
-let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ?vec ?validate ~derive
-    problem =
+let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ?vec ?validate
+    ?(flavor = "") ?derive_ir ~derive problem =
   if threads < 1 then invalid_arg "Engine.plan: threads >= 1";
   if mu < 1 then invalid_arg "Engine.plan: mu >= 1";
   let vec =
@@ -61,7 +62,35 @@ let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ?vec ?validate ~derive
         match Problem.vec problem with 0 -> `Off | nu -> `Nu nu)
   in
   let total = Problem.total problem in
-  let compile () =
+  (* IR-derived plans (the stitched 2D schedules): the front-end hands a
+     finished pass list plus the formula it stands for; vectorization
+     does not apply, and a failed certificate recompiles the same IR
+     without fusion onto the sequential path *)
+  let compile_ir di =
+    Trace.begin_span 0 Trace.cat_plan total;
+    let ir, dformula, p = di ~threads ~mu in
+    let plan =
+      try Plan.of_ir ir
+      with Ir.Unsupported msg -> invalid_arg ("Engine.plan: " ^ msg)
+    in
+    let entry =
+      match
+        Spiral_validate.validate_plan_result ?mode:validate ~workers:p plan
+      with
+      | Ok () -> { formula = dformula; p; nu = 0; master = plan }
+      | Error _ ->
+          Counters.incr "engine.validation_fallback";
+          Trace.mark 0 Trace.cat_fallback total;
+          let fallback =
+            try Plan.of_ir ~fuse:false ir
+            with Ir.Unsupported msg -> invalid_arg ("Engine.plan: " ^ msg)
+          in
+          { formula = dformula; p = 1; nu = 0; master = fallback }
+    in
+    Trace.end_span 0 Trace.cat_plan total;
+    entry
+  in
+  let compile_formula () =
     Trace.begin_span 0 Trace.cat_plan total;
     let dformula, p = derive ~threads ~mu in
     let vformula, nu, vcert =
@@ -115,12 +144,17 @@ let plan ?(threads = 1) ?(mu = 4) ?(cache = true) ?vec ?validate ~derive
     Trace.end_span 0 Trace.cat_plan total;
     entry
   in
+  let compile () =
+    match derive_ir with
+    | Some di -> compile_ir di
+    | None -> compile_formula ()
+  in
   let formula, p, nu, plan =
     if not cache then
       let e = compile () in
       (e.formula, e.p, e.nu, e.master)
     else
-      let key = registry_key problem ~threads ~mu ~vec in
+      let key = registry_key problem ~threads ~mu ~vec ~flavor in
       match with_registry (fun () -> Hashtbl.find_opt registry key) with
       | Some e ->
           Counters.incr "engine.plan_reuse";
@@ -169,6 +203,12 @@ let threads t = t.p
 let parallel t = t.pool <> None
 let vectorized t = t.nu
 let alive t = t.alive
+
+let barriers t =
+  if t.pool = None then 0
+  else
+    let mask = Spiral_smp.Par_exec.elision_mask ~workers:t.p t.plan in
+    Array.fold_left (fun acc e -> if e then acc else acc + 1) 0 mask
 
 let describe t =
   let vec = if t.nu > 0 then Printf.sprintf " vec=%d" t.nu else "" in

@@ -33,6 +33,11 @@ val plan :
   ?cache:bool ->
   ?vec:Planner.vec_request ->
   ?validate:Spiral_validate.mode ->
+  ?flavor:string ->
+  ?derive_ir:
+    (threads:int ->
+    mu:int ->
+    Spiral_codegen.Ir.t * Spiral_spl.Formula.t * int) ->
   derive:
     (threads:int -> mu:int -> Spiral_spl.Formula.t * int) ->
   Problem.t ->
@@ -41,12 +46,25 @@ val plan :
     must return the formula to compile and the worker count it is
     parallelized for ([1] = sequential); it runs only on a plan-registry
     miss.  [cache] (default [true]) keys the compiled plan by
-    (problem, threads, µ, vec request) in the process-wide registry —
-    pass [false] when the derivation depends on state outside the
-    descriptor (e.g. a user-supplied ruletree).  When the derived worker
-    count is [> 1] the engine acquires the shared pool and bakes the
-    parallel schedule; a derivation that falls back to sequential
-    despite [threads > 1] is counted under ["engine.seq_fallback"].
+    (problem, threads, µ, vec request, flavor) in the process-wide
+    registry — pass [false] when the derivation depends on state outside
+    the descriptor (e.g. a user-supplied ruletree).  [flavor] (default
+    [""]) disambiguates registry entries when one descriptor has several
+    derivations (the 2D engine's strided vs tiled schedules).  When the
+    derived worker count is [> 1] the engine acquires the shared pool
+    and bakes the parallel schedule; a derivation that falls back to
+    sequential despite [threads > 1] is counted under
+    ["engine.seq_fallback"].
+
+    [derive_ir], when given, replaces the formula compilation entirely:
+    it returns a hand-stitched {!Spiral_codegen.Ir.t} (the 2D engine's
+    row passes + tiled transpose + column passes), the formula the IR
+    stands for (carried for {!describe}/{!formula}), and the worker
+    count.  The IR compiles through [Plan.of_ir] with the same fusion
+    pipeline; [vec] is ignored on this path (ν tags belong to the
+    pass-level IR the caller already built).  A failed certificate
+    recompiles the same IR without fusion onto the sequential path, as
+    below.
 
     [vec] requests short-vector lowering
     ({!Planner.vectorize_formula}) of the derived formula: on success
@@ -85,6 +103,12 @@ val parallel : t -> bool
 val vectorized : t -> int
 (** Short-vector length ν the plan was actually lowered with; 0 when the
     plan is scalar (no request, or the lowering did not apply). *)
+
+val barriers : t -> int
+(** Real synchronization points one parallel execution crosses: pass
+    boundaries whose barrier the elision analysis could not discharge
+    (the rest are accounted under ["par_exec.barrier_elided"]).  0 for
+    sequential engines. *)
 
 val alive : t -> bool
 

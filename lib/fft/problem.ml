@@ -1,6 +1,6 @@
 type direction = Forward | Inverse
 
-type kind = Dft | Wht | Dft2d | Rfft | Dct
+type kind = Dft | Wht | Dft2d | Rfft | Rdft2d | Dct
 
 type t = {
   kind : kind;
@@ -15,6 +15,7 @@ let kind_to_string = function
   | Wht -> "wht"
   | Dft2d -> "dft2d"
   | Rfft -> "rfft"
+  | Rdft2d -> "rdft2d"
   | Dct -> "dct"
 
 let kind_of_string = function
@@ -22,10 +23,11 @@ let kind_of_string = function
   | "wht" -> Some Wht
   | "dft2d" -> Some Dft2d
   | "rfft" -> Some Rfft
+  | "rdft2d" -> Some Rdft2d
   | "dct" -> Some Dct
   | _ -> None
 
-let rank = function Dft | Wht | Rfft | Dct -> 1 | Dft2d -> 2
+let rank = function Dft | Wht | Rfft | Dct -> 1 | Dft2d | Rdft2d -> 2
 
 let make ?(direction = Forward) ?(batch = 1) ?(vec = 0) kind dims =
   let dims = Array.of_list dims in

@@ -9,7 +9,7 @@
 
 type direction = Forward | Inverse
 
-type kind = Dft | Wht | Dft2d | Rfft | Dct
+type kind = Dft | Wht | Dft2d | Rfft | Rdft2d | Dct
 
 type t
 
@@ -38,8 +38,8 @@ val total : t -> int
 (** Elements of one execution: [batch * size]. *)
 
 val kind_to_string : kind -> string
-(** Lower-case tag ("dft", "wht", "dft2d", "rfft", "dct") — the wisdom
-    key's kind field ({!Spiral_search.Plan_cache}). *)
+(** Lower-case tag ("dft", "wht", "dft2d", "rfft", "rdft2d", "dct") —
+    the wisdom key's kind field ({!Spiral_search.Plan_cache}). *)
 
 val kind_of_string : string -> kind option
 

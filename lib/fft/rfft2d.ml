@@ -1,0 +1,140 @@
+open Spiral_util
+
+(* Real-input 2-D FFT via the packing trick, row direction halved: pack
+   column pairs of each row into complex samples, run one complex
+   DFT2D_{R×C/2} through the 2-D engine, and untangle the half-spectrum
+   with the Hermitian symmetry of the full R×C real transform —
+   X[k1][k2] = conj X[(R−k1) mod R][(C−k2) mod C] — which needs the
+   row-mirrored bin, not just the column mirror the 1-D untangle uses.
+   Output: R × (C/2 + 1) complex bins, the non-redundant half. *)
+
+type t = {
+  rows : int;
+  cols : int;  (* even *)
+  inner : Dft2d.t;  (* complex DFT2D of R × C/2, forward *)
+  inner_inv : Dft2d.t;
+  (* untangling twiddles: w[k] = exp (-2 pi i k / cols), k = 0 .. C/2 *)
+  w : float array;
+  (* plan-time work buffers (R · C/2 complex elements each) *)
+  z : Cvec.t;
+  zf : Cvec.t;
+}
+
+let plan ?threads ?mu ?variant ~rows ~cols () =
+  if rows < 1 then invalid_arg "Rfft2d.plan: rows >= 1";
+  if cols < 2 || cols mod 2 <> 0 then
+    invalid_arg "Rfft2d.plan: cols must be even and >= 2";
+  let h = cols / 2 in
+  let w = Array.make (2 * (h + 1)) 0.0 in
+  for k = 0 to h do
+    let z = Twiddle.omega cols k in
+    w.(2 * k) <- z.re;
+    w.((2 * k) + 1) <- z.im
+  done;
+  (* the Nyquist twiddle is exactly -1 *)
+  w.(2 * h) <- -1.0;
+  w.((2 * h) + 1) <- 0.0;
+  {
+    rows;
+    cols;
+    inner = Dft2d.plan ?threads ?mu ?variant ~rows ~cols:h ();
+    inner_inv =
+      Dft2d.plan ?threads ?mu ?variant ~direction:Dft2d.Inverse ~rows ~cols:h
+        ();
+    w;
+    z = Cvec.create (rows * h);
+    zf = Cvec.create (rows * h);
+  }
+
+let rows t = t.rows
+let cols t = t.cols
+let parallel t = Dft2d.parallel t.inner
+let schedule t = Dft2d.schedule t.inner
+
+let forward_into t ~src ~dst =
+  let h = t.cols / 2 in
+  if Array.length src <> t.rows * t.cols then
+    invalid_arg "Rfft2d.forward: input needs rows * cols samples";
+  if Cvec.length dst <> t.rows * (h + 1) then
+    invalid_arg "Rfft2d.forward: output needs rows * (cols/2 + 1) bins";
+  (* pack neighbouring columns: z[r][j] = x[r][2j] + i x[r][2j+1] *)
+  for r = 0 to t.rows - 1 do
+    let ro = r * t.cols and zo = r * h in
+    for j = 0 to h - 1 do
+      t.z.(2 * (zo + j)) <- src.(ro + (2 * j));
+      t.z.((2 * (zo + j)) + 1) <- src.(ro + (2 * j) + 1)
+    done
+  done;
+  Dft2d.execute_into t.inner ~src:t.z ~dst:t.zf;
+  (* untangle: X[k1][k2] = E + w^{k2} O against the row-and-column
+     mirrored conjugate bin (both spectra are h-periodic in k2) *)
+  let f = t.zf in
+  for k1 = 0 to t.rows - 1 do
+    let m1 = (t.rows - k1) mod t.rows in
+    let fo = k1 * h and go = m1 * h and oo = k1 * (h + 1) in
+    for k = 0 to h do
+      let ka = k mod h in
+      let kb = (h - k) mod h in
+      let fr = f.(2 * (fo + ka)) and fi = f.((2 * (fo + ka)) + 1) in
+      (* conj Z[(R-k1) mod R][(h-k2) mod h] *)
+      let gr = f.(2 * (go + kb)) and gi = -.f.((2 * (go + kb)) + 1) in
+      let er = 0.5 *. (fr +. gr) and ei = 0.5 *. (fi +. gi) in
+      let dr = fr -. gr and di = fi -. gi in
+      let or_ = 0.5 *. di and oi = -0.5 *. dr in
+      let wr = t.w.(2 * k) and wi = t.w.((2 * k) + 1) in
+      dst.(2 * (oo + k)) <- er +. (wr *. or_) -. (wi *. oi);
+      dst.((2 * (oo + k)) + 1) <- ei +. (wr *. oi) +. (wi *. or_)
+    done
+  done
+
+let forward t x =
+  let out = Cvec.create (t.rows * ((t.cols / 2) + 1)) in
+  forward_into t ~src:x ~dst:out;
+  out
+
+let inverse_into t ~src ~dst =
+  let h = t.cols / 2 in
+  if Cvec.length src <> t.rows * (h + 1) then
+    invalid_arg "Rfft2d.inverse: input needs rows * (cols/2 + 1) bins";
+  if Array.length dst <> t.rows * t.cols then
+    invalid_arg "Rfft2d.inverse: output needs rows * cols samples";
+  (* retangle: Z[k1][k2] = E + i O with E = (X_a + conj X_b)/2,
+     O = conj(w^{k2}) (X_a - conj X_b)/2, X_b = X[(R-k1) mod R][h-k2] *)
+  let s = src in
+  let f = t.z in
+  for k1 = 0 to t.rows - 1 do
+    let m1 = (t.rows - k1) mod t.rows in
+    let so = k1 * (h + 1) and mo = m1 * (h + 1) and fo = k1 * h in
+    for k = 0 to h - 1 do
+      let xr = s.(2 * (so + k)) and xi = s.((2 * (so + k)) + 1) in
+      let yr = s.(2 * (mo + (h - k)))
+      and yi = -.s.((2 * (mo + (h - k))) + 1) in
+      let er = 0.5 *. (xr +. yr) and ei = 0.5 *. (xi +. yi) in
+      let dr = 0.5 *. (xr -. yr) and di = 0.5 *. (xi -. yi) in
+      let wr = t.w.(2 * k) and wi = -.t.w.((2 * k) + 1) in
+      let or_ = (wr *. dr) -. (wi *. di) and oi = (wr *. di) +. (wi *. dr) in
+      f.(2 * (fo + k)) <- er -. oi;
+      f.((2 * (fo + k)) + 1) <- ei +. or_
+    done
+  done;
+  Dft2d.execute_into t.inner_inv ~src:t.z ~dst:t.zf;
+  for r = 0 to t.rows - 1 do
+    let ro = r * t.cols and zo = r * h in
+    for j = 0 to h - 1 do
+      dst.(ro + (2 * j)) <- t.zf.(2 * (zo + j));
+      dst.(ro + (2 * j) + 1) <- t.zf.((2 * (zo + j)) + 1)
+    done
+  done
+
+let inverse t s =
+  let x = Array.make (t.rows * t.cols) 0.0 in
+  inverse_into t ~src:s ~dst:x;
+  x
+
+let destroy t =
+  Dft2d.destroy t.inner;
+  Dft2d.destroy t.inner_inv
+
+let with_plan ?threads ?mu ?variant ~rows ~cols f =
+  let t = plan ?threads ?mu ?variant ~rows ~cols () in
+  Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)

@@ -1,0 +1,60 @@
+(** Real-input 2-D FFTs ([rdft2d[RxC]]) via the packing trick, row
+    direction halved: one complex [DFT2D_{R×C/2}] through the 2-D engine
+    ({!Dft2d} — single parallel region, strided or tiled column
+    schedule) plus an O(RC) untangling pass using the 2-D Hermitian
+    symmetry [X(k1,k2) = conj X((R−k1) mod R, (C−k2) mod C)].  All work
+    buffers live in the plan, so {!forward_into}/{!inverse_into}
+    allocate nothing in steady state. *)
+
+type t
+
+val plan :
+  ?threads:int ->
+  ?mu:int ->
+  ?variant:Dft2d.variant ->
+  rows:int ->
+  cols:int ->
+  unit ->
+  t
+(** [plan ~rows ~cols ()] prepares a real-to-complex 2-D transform of an
+    [rows × cols] row-major real matrix; [cols] must be even.
+    [variant] selects the inner 2-D engine's column schedule.
+    @raise Invalid_argument if [rows < 1] or [cols] is odd or [< 2]. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val parallel : t -> bool
+(** [true] when the inner 2-D transform executes on the worker pool. *)
+
+val schedule : t -> string
+(** The inner 2-D engine's schedule ({!Dft2d.schedule}). *)
+
+val forward : t -> float array -> Spiral_util.Cvec.t
+(** [forward t x] with [x] of [rows·cols] real samples returns the
+    non-redundant half-spectrum: [rows × (cols/2 + 1)] complex bins,
+    row-major (the remaining bins follow from Hermitian symmetry). *)
+
+val forward_into : t -> src:float array -> dst:Spiral_util.Cvec.t -> unit
+(** As {!forward} into a caller-provided [rows·(cols/2 + 1)]-bin vector;
+    allocation-free in steady state.  Not re-entrant: the plan owns the
+    packing buffers. *)
+
+val inverse : t -> Spiral_util.Cvec.t -> float array
+(** [inverse t s] with [s] of [rows·(cols/2 + 1)] bins reconstructs the
+    [rows·cols] real samples ([inverse t (forward t x) ≈ x]). *)
+
+val inverse_into : t -> src:Spiral_util.Cvec.t -> dst:float array -> unit
+(** As {!inverse} into a caller-provided [rows·cols]-sample array;
+    allocation-free in steady state. *)
+
+val destroy : t -> unit
+
+val with_plan :
+  ?threads:int ->
+  ?mu:int ->
+  ?variant:Dft2d.variant ->
+  rows:int ->
+  cols:int ->
+  (t -> 'a) ->
+  'a

@@ -64,6 +64,16 @@ let search_parallel ?memo ~p ~mu ~measure_formula ~measure n =
            (fun (bt, bc) (t, c) -> if c < bc then (t, c) else (bt, bc))
            hd tl)
 
+let choose ~measure candidates =
+  match candidates with
+  | [] -> invalid_arg "Dp.choose: no candidates"
+  | (n0, v0) :: tl ->
+      List.fold_left
+        (fun (bn, bv, bc) (n, v) ->
+          let c = measure v in
+          if c < bc then (n, v, c) else (bn, bv, bc))
+        (n0, v0, measure v0) tl
+
 let search_vector ?(nus = [ 4; 2 ]) ?memo ~measure ~measure_plan n =
   let best_tree, _ = search ?memo ~measure n in
   (* the DP winner may not satisfy the vector rules' legality conditions

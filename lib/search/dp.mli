@@ -28,6 +28,14 @@ val search_parallel :
     sequential subtrees, and measures the derived parallel formula with
     [measure_formula].  [None] when no valid split exists. *)
 
+val choose : measure:('a -> float) -> (string * 'a) list -> string * 'a * float
+(** [choose ~measure candidates] runs the measured shoot-out the other
+    searches are built from, over an explicit candidate list:
+    [(name, best, cost)] minimizing [measure] (smaller is better), ties
+    resolved to the earlier candidate.  The 2-D engine uses it to pick
+    between its strided and tiled column schedules.
+    @raise Invalid_argument on an empty candidate list. *)
+
 val search_vector :
   ?nus:int list ->
   ?memo:(int, Spiral_rewrite.Ruletree.t * float) Hashtbl.t ->

@@ -57,12 +57,18 @@ let io_floats problem =
   | Problem.Wht, Problem.Forward, 1 -> Ok (2 * total, 2 * total)
   | Problem.Rfft, Problem.Forward, 1 -> Ok (n, 2 * ((n / 2) + 1))
   | Problem.Rfft, Problem.Inverse, 1 -> Ok (2 * ((n / 2) + 1), n)
+  | Problem.Rdft2d, Problem.Forward, 1 ->
+      let dims = Problem.dims problem in
+      Ok (n, 2 * dims.(0) * ((dims.(1) / 2) + 1))
+  | Problem.Rdft2d, Problem.Inverse, 1 ->
+      let dims = Problem.dims problem in
+      Ok (2 * dims.(0) * ((dims.(1) / 2) + 1), n)
   | Problem.Dct, _, 1 -> Ok (n, n)
   | Problem.Dft2d, _, _ | Problem.Wht, _, _ ->
       Error
         (Engine.Unsupported
            "only forward, unbatched transforms are served for this kind")
-  | (Problem.Rfft | Problem.Dct), _, _ ->
+  | (Problem.Rfft | Problem.Rdft2d | Problem.Dct), _, _ ->
       Error (Engine.Unsupported "real-input transforms are served unbatched")
 
 (* Build the executable closure for a parsed problem.  Front-end plan
@@ -116,6 +122,18 @@ let build t ~seq problem descriptor =
         | Problem.Rfft, Problem.Inverse, _ ->
             let p = Rfft.plan ~threads ~mu n in
             ((fun x -> Rfft.inverse p x), (fun () -> Rfft.destroy p), Rfft.parallel p)
+        | Problem.Rdft2d, dir, _ -> (
+            let dims = Problem.dims problem in
+            let p = Rfft2d.plan ~threads ~mu ~rows:dims.(0) ~cols:dims.(1) () in
+            match dir with
+            | Problem.Forward ->
+                ( (fun x -> Rfft2d.forward p x),
+                  (fun () -> Rfft2d.destroy p),
+                  Rfft2d.parallel p )
+            | Problem.Inverse ->
+                ( (fun x -> Rfft2d.inverse p x),
+                  (fun () -> Rfft2d.destroy p),
+                  Rfft2d.parallel p ))
         | Problem.Dct, Problem.Forward, _ ->
             let p = Dct.plan ~threads ~mu n in
             ((fun x -> Dct.forward p x), (fun () -> Dct.destroy p), Dct.parallel p)

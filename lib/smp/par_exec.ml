@@ -61,10 +61,12 @@ let worker_range ?(align = 1) sched ~count ~workers w =
       every position pass k+1 scatters for worker w is gathered in pass k
       by no worker other than w (no write-before-read of another
       worker's pending input);
-   and never two boundaries in a row (an elided barrier lets workers skew
-   by one pass; chaining would allow a skew of two, and conditions A/B
-   are only pairwise).  With a single worker there is no concurrency and
-   every boundary is elidable.
+   and never three boundaries in a row.  Two consecutive elisions (worker
+   skew of two passes) are admitted under an extra condition C checked
+   below: the two passes bracketing the chain must agree pointwise on
+   which worker writes each position of the ping-pong buffer they share.
+   With a single worker there is no concurrency and every boundary is
+   elidable.
 
    The analysis walks the exact (µ-aligned) Block partition and the
    materialized addressing, so it is conservative only where it
@@ -149,13 +151,67 @@ let compute_elision ?(capture = false) ~workers (plan : Plan.t) =
             :: !wits
       end
     done;
-    (* no chained elisions: a skipped barrier must be followed by a real
-       one, keeping worker skew bounded by a single pass *)
+    (* Chained elisions, length exactly two (worker skew ≤ 2 passes).
+       With boundaries b-1 and b both elided, a fast worker can run pass
+       b+1 while a straggler is still in pass b-1.  The pairwise A/B
+       checks above cover every adjacent-pass hazard at skew 1; the only
+       new hazards at skew 2 are between passes b+1 and b-1, whose
+       outputs land in the same ping-pong intermediate (out(b+1) ≡
+       out(b-1) by buffer parity — unless pass b+1 writes y).  Both the
+       WAW (two writes racing) and the WAR (pass b+1 clobbering a
+       position a straggler's pass-b neighbour still gathers, which
+       condition A pins to the pass-(b-1) writer) are serialized by
+       per-worker program order exactly when the two passes agree
+       pointwise on which worker owns each co-written position.  Chains
+       of three would add distance-3 hazards with no such cheap
+       certificate, so a third consecutive elision is never attempted. *)
+    let pass_writer = Array.make np None in
+    let writer_of k =
+      match pass_writer.(k) with
+      | Some a -> a
+      | None ->
+          let p = plan.Plan.passes.(k) in
+          let a = Array.make n (-1) in
+          let addrs = Plan.iter_addresses p in
+          for w = 0 to workers - 1 do
+            List.iter
+              (fun (lo, hi) ->
+                for i = lo to hi - 1 do
+                  let _, s = addrs i in
+                  for l = 0 to p.Plan.radix - 1 do
+                    a.(s l) <- w
+                  done
+                done)
+              (worker_range ~align:(pass_align p) Block ~count:p.Plan.count
+                 ~workers w)
+          done;
+          pass_writer.(k) <- Some a;
+          a
+    in
+    let writers_agree j k =
+      let wa = writer_of j and wb = writer_of k in
+      let same = ref true in
+      (try
+         for q = 0 to n - 1 do
+           if wa.(q) >= 0 && wb.(q) >= 0 && wa.(q) <> wb.(q) then begin
+             same := false;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !same
+    in
     for b = 1 to nb - 1 do
-      if mask.(b) && mask.(b - 1) then mask.(b) <- false
+      if mask.(b) && mask.(b - 1) then begin
+        let chain3 = b >= 2 && mask.(b - 2) in
+        let ok =
+          (not chain3) && (b + 1 = np - 1 || writers_agree (b + 1) (b - 1))
+        in
+        if not ok then mask.(b) <- false
+      end
     done
   end;
-  (* the no-chain rule may have withdrawn some elisions after their
+  (* the chain-length rule may have withdrawn some elisions after their
      witnesses were captured *)
   (mask, List.rev (List.filter (fun w -> mask.(w.boundary)) !wits))
 

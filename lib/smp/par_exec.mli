@@ -61,8 +61,12 @@ val elision_mask :
     provably unnecessary: both passes are parallel, under the (aligned)
     Block schedule every worker's pass-[k+1] gathers land in its own
     pass-[k] scatters, writes into an aliased ping-pong buffer touch no
-    other worker's pending reads, and the previous boundary was not
-    itself elided (worker skew stays bounded by one pass).  [Cyclic]
+    other worker's pending reads, and chaining stays legal: at most two
+    consecutive boundaries elide (worker skew bounded by two passes), and
+    a length-2 chain additionally requires the passes bracketing it to
+    agree pointwise on which worker writes each position of the
+    ping-pong buffer their outputs share (condition C — per-worker
+    program order then serializes the distance-2 hazards).  [Cyclic]
     schedules get an empty mask (no elision).  Results are cached on the
     plan per worker count. *)
 

@@ -347,11 +347,36 @@ let check_elision_claims ?mode:(md = !mode) ~workers (plan : Plan.t)
         badf "elision mask has %d entries for %d boundaries"
           (Array.length mask) nb;
       if workers > 1 then begin
-        (* with one worker there is no skew to bound, and the analysis
-           rightly elides every boundary — including consecutive ones *)
+        (* Chain legality: with one worker there is no skew to bound and
+           the analysis rightly elides every boundary; with several, at
+           most two consecutive boundaries may elide, and each length-2
+           chain must satisfy condition C — the passes bracketing it
+           (b-1 and b+1, whose outputs share a ping-pong intermediate
+           unless pass b+1 writes the final output) agree pointwise on
+           which worker writes each position, so per-worker program
+           order serializes the distance-2 WAW/WAR hazards.  Re-derived
+           from the materialized addressing, not the analysis's word. *)
         for b = 1 to nb - 1 do
-          if mask.(b) && mask.(b - 1) then
-            badf "chained elision at boundaries %d and %d" (b - 1) b
+          if mask.(b) && mask.(b - 1) then begin
+            if b >= 2 && mask.(b - 2) then
+              badf "chained elision of length 3 at boundaries %d..%d" (b - 2)
+                b;
+            if b + 1 < np - 1 then begin
+              let n = plan.Plan.n in
+              let wa, _ =
+                derive_footprint ~workers ~n plan.Plan.passes.(b + 1)
+              and wb, _ =
+                derive_footprint ~workers ~n plan.Plan.passes.(b - 1)
+              in
+              for q = 0 to n - 1 do
+                if wa.(q) >= 0 && wb.(q) >= 0 && wa.(q) <> wb.(q) then
+                  badf
+                    "chained boundaries %d and %d: passes %d and %d write \
+                     position %d from different workers (condition C)"
+                    (b - 1) b (b - 1) (b + 1) q
+              done
+            end
+          end
         done;
         Array.iteri
           (fun b elided ->
@@ -553,6 +578,69 @@ let check_split_coverage ?mode:(md = !mode) ~workers (plan : Plan.t) =
           plan.Plan.passes)
 
 (* ---------------------------------------------------------------- *)
+(* Tiled data-movement coverage (the 2D transpose pass).  A radix-r copy
+   pass (zero-flop kernel, no load-scale) claims to relocate all n
+   points: the kernel must behave as the radix-r identity, and over the
+   full iteration walk the materialized gather must read every source
+   position exactly once and the scatter write every destination
+   position exactly once — the tile odometer has no seams, overlaps or
+   double-writes.  Partition exactness (checked separately) already
+   proves the union of the worker ranges is that same walk, so the
+   per-worker schedules inherit the coverage. *)
+
+let copy_probe (k : Codelet.t) =
+  let r = k.Codelet.radix in
+  let cs = Codelet.make_scratch () in
+  let src = Array.init (2 * r) (fun i -> float_of_int (i + 3) +. 0.25) in
+  let dst = Array.make (2 * r) 0.0 in
+  k.Codelet.strided_u cs src 0 dst 0;
+  let ok = ref true in
+  for i = 0 to (2 * r) - 1 do
+    if dst.(i) <> src.(i) then ok := false
+  done;
+  !ok
+
+let check_tile_coverage ?mode:(md = !mode) (plan : Plan.t) =
+  guard (fun () ->
+      ignore md;
+      let n = plan.Plan.n in
+      Array.iteri
+        (fun k (p : Plan.pass) ->
+          if p.Plan.radix > 1 && p.Plan.kernel.Codelet.flops = 0 then begin
+            if p.Plan.tw <> None then
+              badf "pass %d: zero-flop copy pass carries a load-scale table" k;
+            if not (copy_probe p.Plan.kernel) then
+              badf "pass %d: kernel %S is not the radix-%d identity copy" k
+                p.Plan.kernel.Codelet.name p.Plan.radix;
+            if p.Plan.count * p.Plan.radix <> n then
+              badf "pass %d: copy pass moves %d of %d points" k
+                (p.Plan.count * p.Plan.radix) n;
+            let read = Array.make n 0 and written = Array.make n 0 in
+            let addrs = Plan.iter_addresses p in
+            for i = 0 to p.Plan.count - 1 do
+              let g, s = addrs i in
+              for l = 0 to p.Plan.radix - 1 do
+                let gp = g l and sp = s l in
+                if gp < 0 || gp >= n then
+                  badf "pass %d: tile gather out of range at (%d, %d)" k i l;
+                if sp < 0 || sp >= n then
+                  badf "pass %d: tile scatter out of range at (%d, %d)" k i l;
+                read.(gp) <- read.(gp) + 1;
+                written.(sp) <- written.(sp) + 1
+              done
+            done;
+            for q = 0 to n - 1 do
+              if read.(q) <> 1 then
+                badf "pass %d: tile walk reads position %d %d times" k q
+                  read.(q);
+              if written.(q) <> 1 then
+                badf "pass %d: tile walk writes position %d %d times" k q
+                  written.(q)
+            done
+          end)
+        plan.Plan.passes)
+
+(* ---------------------------------------------------------------- *)
 (* Short-vector lowering. *)
 
 let vec_check_limit = 1 lsl 12
@@ -652,6 +740,10 @@ let validate_plan_result ?mode:(md = !mode) ?(workers = 1) ?vec
                 match plan.Plan.fusion_cert with
                 | None -> Ok ()
                 | Some c -> check_fusion ~mode:md c)
+          in
+          let r =
+            discharge r "tile-coverage" (fun () ->
+                check_tile_coverage ~mode:md plan)
           in
           match vec with
           | None -> r

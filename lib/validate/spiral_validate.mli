@@ -91,13 +91,16 @@ val check_elision_claims :
   bool array * Spiral_smp.Par_exec.boundary_witness list ->
   (unit, string) result
 (** Discharge an elision mask against its witnesses without trusting the
-    analysis: no chained elisions; every elided boundary joins two
-    parallel passes and carries a witness whose writer/reader arrays
-    match a fresh re-derivation from [Plan.iter_addresses]; conditions A
-    (each worker reads only its own writes) and B (no overwrite of
-    another worker's pending reads when the ping-pong buffers alias)
-    hold on the re-derived footprints.  Exposed separately so tests can
-    present tampered claims. *)
+    analysis: no chain of three consecutive elisions, and every length-2
+    chain satisfies condition C (the passes bracketing it agree
+    pointwise on which worker writes each shared ping-pong position,
+    re-derived from the materialized addressing); every elided boundary
+    joins two parallel passes and carries a witness whose writer/reader
+    arrays match a fresh re-derivation from [Plan.iter_addresses];
+    conditions A (each worker reads only its own writes) and B (no
+    overwrite of another worker's pending reads when the ping-pong
+    buffers alias) hold on the re-derived footprints.  Exposed
+    separately so tests can present tampered claims. *)
 
 val check_split_coverage :
   ?mode:mode -> workers:int -> Spiral_codegen.Plan.t -> (unit, string) result
@@ -107,6 +110,16 @@ val check_split_coverage :
     sequential range and every worker's ranges covers each iteration
     exactly once, with no block straddling a digit carry and block
     addresses advancing by exactly the innermost stride. *)
+
+val check_tile_coverage :
+  ?mode:mode -> Spiral_codegen.Plan.t -> (unit, string) result
+(** For every radix-r pure data-movement pass (zero-flop kernel — the 2D
+    tiled transpose): no load-scale table, the kernel behaves as the
+    radix-r identity copy on a probe, and over the full iteration walk
+    the materialized gather reads every source position exactly once
+    while the scatter writes every destination position exactly once
+    (the tile odometer has no seams or double-writes).  Worker
+    schedules inherit the coverage via {!check_partition}. *)
 
 val check_vectorization : ?mode:mode -> vec_cert -> (unit, string) result
 (** The lowered formula preserves dimension and its structural semantics

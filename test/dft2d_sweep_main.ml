@@ -1,0 +1,109 @@
+(* Exhaustive 2-D schedule sweep — the CI `runtest-2d` lane
+   (`dune build @dft2d`).
+
+   Every (R, C) in {4..256}² × p in {1, 2, 4} × both explicit variants
+   is planned, executed and checked against the separable naive
+   reference, and its barrier budget is enforced: a parallel strided
+   schedule crosses exactly one real barrier (the row→column boundary),
+   a parallel tiled schedule at most two, and every other pass boundary
+   must have been discharged by the elision certificate.  The same
+   binary runs a second time under SPIRAL_PARANOID=1 (size-capped), so
+   every certificate of every schedule in the sweep is discharged
+   exhaustively. *)
+
+open Spiral_util
+
+let sizes = [ 4; 8; 16; 32; 64; 128; 256 ]
+let thread_counts = [ 1; 2; 4 ]
+
+(* separable O(RC(R+C)·max(R,C)) reference: naive DFT on every row,
+   then on every column of the result *)
+let naive_dft2d rows cols x =
+  let tmp = Cvec.create (rows * cols) in
+  let row = Cvec.create cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Cvec.set row c (Cvec.get x ((r * cols) + c))
+    done;
+    let fr = Naive_dft.dft row in
+    for c = 0 to cols - 1 do
+      Cvec.set tmp ((r * cols) + c) (Cvec.get fr c)
+    done
+  done;
+  let out = Cvec.create (rows * cols) in
+  let col = Cvec.create rows in
+  for c = 0 to cols - 1 do
+    for r = 0 to rows - 1 do
+      Cvec.set col r (Cvec.get tmp ((r * cols) + c))
+    done;
+    let fc = Naive_dft.dft col in
+    for r = 0 to rows - 1 do
+      Cvec.set out ((r * cols) + c) (Cvec.get fc r)
+    done
+  done;
+  out
+
+let () =
+  let max_n = ref max_int in
+  let rec parse = function
+    | [] -> ()
+    | "--max" :: v :: rest ->
+        max_n := int_of_string v;
+        parse rest
+    | a :: _ ->
+        prerr_endline ("dft2d_sweep: unknown argument " ^ a);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let paranoid = Sys.getenv_opt "SPIRAL_PARANOID" <> None in
+  let failures = ref 0 in
+  let plans = ref 0 in
+  List.iter
+    (fun rows ->
+      List.iter
+        (fun cols ->
+          let n = rows * cols in
+          if n <= !max_n then begin
+            let x = Cvec.random ~seed:((rows * 1000) + cols) n in
+            let want = naive_dft2d rows cols x in
+            let tol = 1e-10 *. float_of_int n in
+            List.iter
+              (fun p ->
+                List.iter
+                  (fun (vname, variant) ->
+                    incr plans;
+                    Spiral_fft.Dft2d.with_plan ~threads:p ~variant ~rows
+                      ~cols (fun t ->
+                        let y = Spiral_fft.Dft2d.execute t x in
+                        let err = Cvec.max_abs_diff y want in
+                        let sched = Spiral_fft.Dft2d.schedule t in
+                        let barriers = Spiral_fft.Dft2d.barriers t in
+                        let barrier_ok =
+                          if not (Spiral_fft.Dft2d.parallel t) then
+                            barriers = 0
+                          else
+                            match sched with
+                            | "strided" -> barriers = 1
+                            | "tiled" -> barriers <= 2
+                            | _ -> true
+                        in
+                        if err > tol || not barrier_ok then begin
+                          incr failures;
+                          Printf.printf
+                            "FAIL dft2d[%dx%d] p=%d %s: schedule=%s \
+                             err=%.3e (tol %.1e) barriers=%d\n\
+                             %!"
+                            rows cols p vname sched err tol barriers
+                        end))
+                  [
+                    ("strided", Spiral_fft.Dft2d.Strided);
+                    ("tiled", Spiral_fft.Dft2d.Tiled);
+                  ])
+              thread_counts
+          end)
+        sizes)
+    sizes;
+  Printf.printf "dft2d sweep%s: %d plans, %d failures\n"
+    (if paranoid then " (paranoid)" else "")
+    !plans !failures;
+  exit (if !failures = 0 then 0 else 1)

@@ -1,0 +1,275 @@
+(* The 2-D engine: strided vs tiled column schedules, single-region
+   barrier accounting, inverse, batching, real-input 2-D, and the tiled
+   transpose's tile-coverage certificate. *)
+
+open Spiral_util
+open Spiral_fft
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* Literal O((RC)²) reference — every output bin against every input
+   sample, no factorization shared with the code under test:
+   X[k1][k2] = Σ_{r,c} x[r][c] ω_R^{k1·r} ω_C^{k2·c}. *)
+let naive_dft2d ~rows ~cols x =
+  let wr = Array.init rows (fun k -> Twiddle.omega rows k) in
+  let wc = Array.init cols (fun k -> Twiddle.omega cols k) in
+  let out = Cvec.create (rows * cols) in
+  for k1 = 0 to rows - 1 do
+    for k2 = 0 to cols - 1 do
+      let sr = ref 0.0 and si = ref 0.0 in
+      for r = 0 to rows - 1 do
+        let a = wr.(k1 * r mod rows) in
+        let ar = a.Complex.re and ai = a.Complex.im in
+        for c = 0 to cols - 1 do
+          let b = wc.(k2 * c mod cols) in
+          let tr = (ar *. b.Complex.re) -. (ai *. b.Complex.im)
+          and ti = (ar *. b.Complex.im) +. (ai *. b.Complex.re) in
+          let xr = x.(2 * ((r * cols) + c))
+          and xi = x.((2 * ((r * cols) + c)) + 1) in
+          sr := !sr +. (xr *. tr) -. (xi *. ti);
+          si := !si +. (xr *. ti) +. (xi *. tr)
+        done
+      done;
+      out.(2 * ((k1 * cols) + k2)) <- !sr;
+      out.((2 * ((k1 * cols) + k2)) + 1) <- !si
+    done
+  done;
+  out
+
+let variant_name = function
+  | Dft2d.Strided -> "strided"
+  | Dft2d.Tiled -> "tiled"
+  | Dft2d.Auto -> "auto"
+
+(* ------------------------------------------------------------------ *)
+
+(* ISSUE sizes: wide (8×1024) and tall (512×4), both schedules, against
+   the quadratic reference *)
+let test_matches_quadratic_naive () =
+  List.iter
+    (fun (rows, cols) ->
+      let x = Cvec.random ~seed:(rows + cols) (rows * cols) in
+      let want = naive_dft2d ~rows ~cols x in
+      let tol = 1e-9 *. float_of_int (rows * cols) in
+      List.iter
+        (fun v ->
+          Dft2d.with_plan ~variant:v ~rows ~cols (fun t ->
+              check cb
+                (Printf.sprintf "%dx%d %s schedule" rows cols
+                   (variant_name v))
+                true
+                (Dft2d.schedule t = variant_name v);
+              check cb
+                (Printf.sprintf "%dx%d %s matches naive" rows cols
+                   (variant_name v))
+                true
+                (Cvec.max_abs_diff (Dft2d.execute t x) want < tol)))
+        [ Dft2d.Strided; Dft2d.Tiled ])
+    [ (8, 1024); (512, 4) ]
+
+let test_single_region_barriers () =
+  (* 64×64 on 2 workers: 2 compute passes per dimension.  Strided: every
+     within-stage boundary elides, only the row→column crossing
+     synchronizes.  Tiled adds the transpose pass; its outgoing boundary
+     elides when tile·p | C, so it costs at most one extra barrier. *)
+  let x = Cvec.random ~seed:11 4096 in
+  let want = naive_dft2d ~rows:64 ~cols:64 x in
+  Dft2d.with_plan ~threads:2 ~variant:Dft2d.Strided ~rows:64 ~cols:64
+    (fun t ->
+      check cb "strided parallel" true (Dft2d.parallel t);
+      check ci "strided: one real barrier" 1 (Dft2d.barriers t);
+      Counters.reset ();
+      let y = Cvec.create 4096 in
+      Dft2d.execute_into t ~src:x ~dst:y;
+      let elided = Counters.get "par_exec.barrier_elided" in
+      check cb "elision certificate active" true (elided > 0);
+      Dft2d.execute_into t ~src:x ~dst:y;
+      check ci "elisions deterministic per execute" (2 * elided)
+        (Counters.get "par_exec.barrier_elided");
+      check cb "strided matches naive" true
+        (Cvec.max_abs_diff y want < 1e-7));
+  Dft2d.with_plan ~threads:2 ~variant:Dft2d.Tiled ~rows:64 ~cols:64 (fun t ->
+      check cb "tiled parallel" true (Dft2d.parallel t);
+      check cb "tiled: at most two barriers" true (Dft2d.barriers t <= 2);
+      check cb "tiled matches naive" true
+        (Cvec.max_abs_diff (Dft2d.execute t x) want < 1e-7))
+
+let test_inverse_roundtrip () =
+  let x = Cvec.random ~seed:21 (32 * 16) in
+  Dft2d.with_plan ~rows:32 ~cols:16 (fun fwd ->
+      Dft2d.with_plan ~direction:Dft2d.Inverse ~rows:32 ~cols:16 (fun inv ->
+          check cb "direction introspects" true
+            (Dft2d.direction inv = Dft2d.Inverse);
+          let y = Dft2d.execute fwd x in
+          check cb "inverse . forward = id" true
+            (Cvec.max_abs_diff (Dft2d.execute inv y) x < 1e-9)));
+  (* inverse of an all-ones spectrum is the unit impulse *)
+  Dft2d.with_plan ~direction:Dft2d.Inverse ~rows:8 ~cols:8 (fun inv ->
+      let ones = Cvec.create 64 in
+      for i = 0 to 63 do
+        ones.(2 * i) <- 1.0
+      done;
+      let y = Dft2d.execute inv ones in
+      check cb "impulse recovered" true
+        (Cvec.max_abs_diff y (Cvec.basis 64 0) < 1e-10))
+
+let test_execute_many_bit_identical () =
+  (* a batch through one parallel region must be bit-identical to looped
+     singles — same plan, same schedule, same arithmetic order *)
+  List.iter
+    (fun threads ->
+      Dft2d.with_plan ~threads ~variant:Dft2d.Strided ~rows:16 ~cols:16
+        (fun t ->
+          let jobs = 5 in
+          let xs = Array.init jobs (fun j -> Cvec.random ~seed:(40 + j) 256) in
+          let singles = Array.map (fun x -> Dft2d.execute t x) xs in
+          let batched = Array.map (fun _ -> Cvec.create 256) xs in
+          Dft2d.execute_many t (Array.mapi (fun j x -> (x, batched.(j))) xs);
+          Array.iteri
+            (fun j y ->
+              check cb
+                (Printf.sprintf "job %d bit-identical (p=%d)" j threads)
+                true
+                (Cvec.max_abs_diff y singles.(j) = 0.0))
+            batched))
+    [ 1; 2 ]
+
+let test_zero_alloc_hot_path () =
+  (* sequential steady state allocates nothing, both schedules and the
+     inverse's conjugation boundary included *)
+  List.iter
+    (fun (v, direction) ->
+      Dft2d.with_plan ~variant:v ~direction ~rows:64 ~cols:64 (fun t ->
+          let x = Cvec.random ~seed:51 4096 in
+          let y = Cvec.create 4096 in
+          Dft2d.execute_into t ~src:x ~dst:y;
+          Dft2d.execute_into t ~src:x ~dst:y;
+          let w0 = Gc.minor_words () in
+          for _ = 1 to 10 do
+            Dft2d.execute_into t ~src:x ~dst:y
+          done;
+          let dw = Gc.minor_words () -. w0 in
+          check cb
+            (Printf.sprintf "no allocation (%s %s, %.0f words)"
+               (variant_name v)
+               (match direction with
+               | Dft2d.Forward -> "fwd"
+               | Dft2d.Inverse -> "inv")
+               dw)
+            true (dw = 0.0)))
+    [ (Dft2d.Strided, Dft2d.Forward);
+      (Dft2d.Tiled, Dft2d.Forward);
+      (Dft2d.Strided, Dft2d.Inverse) ]
+
+let test_schedule_fallbacks () =
+  (* shapes the 2-D schedules cannot partition drop to the adapter-era
+     path; tiled without an even tile drops to strided *)
+  Dft2d.with_plan ~threads:4 ~rows:6 ~cols:10 (fun t ->
+      check cb "6x10 p=4 legacy" true (Dft2d.schedule t = "legacy");
+      check cb "6x10 p=4 sequential" false (Dft2d.parallel t));
+  Dft2d.with_plan ~variant:Dft2d.Tiled ~rows:9 ~cols:15 (fun t ->
+      check cb "odd gcd: tiled -> strided" true
+        (Dft2d.schedule t = "strided");
+      let x = Cvec.random ~seed:61 135 in
+      check cb "9x15 strided correct" true
+        (Cvec.max_abs_diff (Dft2d.execute t x)
+           (naive_dft2d ~rows:9 ~cols:15 x)
+        < 1e-8));
+  Dft2d.with_plan ~variant:Dft2d.Auto ~rows:16 ~cols:16 (fun t ->
+      check cb "auto picked a 2-D schedule" true
+        (List.mem (Dft2d.schedule t) [ "strided"; "tiled" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Real-input 2-D *)
+
+let test_rdft2d_matches_naive () =
+  List.iter
+    (fun (rows, cols, threads) ->
+      let h = cols / 2 in
+      let x =
+        Array.init (rows * cols) (fun i ->
+            sin (float_of_int ((i * 7) mod 23)) +. (0.25 *. float_of_int (i mod 5)))
+      in
+      (* complexify and run the full naive 2-D DFT; compare the stored
+         non-redundant half *)
+      let xc = Cvec.create (rows * cols) in
+      Array.iteri (fun i v -> xc.(2 * i) <- v) x;
+      let want = naive_dft2d ~rows ~cols xc in
+      Rfft2d.with_plan ~threads ~rows ~cols (fun t ->
+          let got = Rfft2d.forward t x in
+          let worst = ref 0.0 in
+          for k1 = 0 to rows - 1 do
+            for k2 = 0 to h do
+              let o = (k1 * (h + 1)) + k2 and w = (k1 * cols) + k2 in
+              worst :=
+                Float.max !worst
+                  (Float.max
+                     (Float.abs (got.(2 * o) -. want.(2 * w)))
+                     (Float.abs (got.((2 * o) + 1) -. want.((2 * w) + 1))))
+            done
+          done;
+          check cb
+            (Printf.sprintf "rdft2d %dx%d p=%d matches naive" rows cols
+               threads)
+            true (!worst < 1e-9)))
+    [ (8, 16, 1); (16, 8, 2); (4, 6, 1) ]
+
+let test_rdft2d_roundtrip () =
+  Rfft2d.with_plan ~rows:16 ~cols:12 (fun t ->
+      let x = Array.init (16 * 12) (fun i -> cos (0.37 *. float_of_int i)) in
+      let back = Rfft2d.inverse t (Rfft2d.forward t x) in
+      let worst = ref 0.0 in
+      Array.iteri
+        (fun i v -> worst := Float.max !worst (Float.abs (v -. x.(i))))
+        back;
+      check cb "inverse . forward = id" true (!worst < 1e-10));
+  (try
+     Rfft2d.with_plan ~rows:4 ~cols:7 ignore;
+     Alcotest.fail "odd column count accepted"
+   with Invalid_argument _ -> ());
+  Rfft2d.with_plan ~rows:4 ~cols:8 (fun t ->
+      try
+        ignore (Rfft2d.forward t (Array.make 3 0.0));
+        Alcotest.fail "wrong length accepted"
+      with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* The tiled transpose's certificate *)
+
+let test_tile_coverage_certificate () =
+  let open Spiral_codegen in
+  let good = Ir.transpose_pass ~rows:16 ~cols:8 ~tile:4 () in
+  let plan ps = Plan.of_ir ~fuse:false { Ir.n = 128; passes = ps } in
+  (match Spiral_validate.check_tile_coverage (plan [ good ]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid transpose rejected: %s" e);
+  (* a seamed odometer: two iterations read the same source tile row *)
+  let seamed =
+    { good with Ir.gather = (fun it l -> good.Ir.gather (max 1 it) l) }
+  in
+  (match Spiral_validate.check_tile_coverage (plan [ seamed ]) with
+  | Ok () -> Alcotest.fail "seamed tile walk accepted"
+  | Error _ -> ());
+  (* a copy kernel that is not the identity must be rejected too *)
+  let scaled = { good with Ir.scale = Some (fun _ _ -> Complex.one) } in
+  match Spiral_validate.check_tile_coverage (plan [ scaled ]) with
+  | Ok () -> Alcotest.fail "load-scaled copy pass accepted"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "2d-quadratic-naive" `Slow test_matches_quadratic_naive;
+    Alcotest.test_case "2d-single-region-barriers" `Quick
+      test_single_region_barriers;
+    Alcotest.test_case "2d-inverse-roundtrip" `Quick test_inverse_roundtrip;
+    Alcotest.test_case "2d-execute-many-bit-identical" `Quick
+      test_execute_many_bit_identical;
+    Alcotest.test_case "2d-zero-alloc" `Quick test_zero_alloc_hot_path;
+    Alcotest.test_case "2d-schedule-fallbacks" `Quick test_schedule_fallbacks;
+    Alcotest.test_case "rdft2d-matches-naive" `Quick test_rdft2d_matches_naive;
+    Alcotest.test_case "rdft2d-roundtrip" `Quick test_rdft2d_roundtrip;
+    Alcotest.test_case "tile-coverage-certificate" `Quick
+      test_tile_coverage_certificate;
+  ]

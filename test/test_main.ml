@@ -15,6 +15,7 @@ let () =
       ("search", Test_search.suite);
       ("vector", Test_vector.suite);
       ("fft", Test_fft.suite);
+      ("dft2d", Test_dft2d.suite);
       ("engine", Test_engine.suite);
       ("service", Test_service.suite);
       ("trace", Test_trace.suite);
